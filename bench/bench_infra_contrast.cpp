@@ -1,0 +1,106 @@
+// §6.4's argument, demonstrated from both sides.
+//
+// "DeepLog has a high accuracy rate when it is applied to HDFS and
+// OpenStack systems. However, its performance degrades when it targets
+// distributed data analytics systems" — because infrastructure-level
+// requests emit short, near-fixed-order log sequences, while data
+// analytics sessions interleave parallel components.
+//
+// This bench runs the SAME DeepLog on (a) YARN application sessions
+// (infrastructure-level request unit) and (b) Spark container sessions
+// (data-analytics unit), measuring the false-alarm rate on perfectly
+// normal held-out sessions, plus the session-length variability that
+// drives the difference.
+#include <algorithm>
+
+#include "baselines/deeplog.hpp"
+#include "bench/harness.hpp"
+#include "common/table.hpp"
+#include "simsys/yarn_system.hpp"
+
+using namespace intellog;
+
+namespace {
+
+struct Numbers {
+  double false_alarm_rate = 0;
+  std::size_t min_len = SIZE_MAX, max_len = 0;
+  std::size_t vocab = 0;
+};
+
+Numbers evaluate(const std::vector<logparse::Session>& training,
+                 const std::vector<logparse::Session>& heldout) {
+  core::IntelLog il;
+  il.train(training);
+  const auto seq = [&](const logparse::Session& s) {
+    std::vector<int> q;
+    for (const auto& rec : s.records) q.push_back(il.spell().match(rec.content));
+    return q;
+  };
+  std::vector<std::vector<int>> train_seqs;
+  for (const auto& s : training) train_seqs.push_back(seq(s));
+
+  baselines::DeepLog::Config cfg;
+  cfg.hidden = 32;
+  cfg.top_g = 9;
+  cfg.epochs = 1;
+  cfg.max_windows = 6000;
+  baselines::DeepLog dl(cfg);
+  dl.train(train_seqs);
+
+  Numbers out;
+  out.vocab = dl.vocab();
+  std::size_t flagged = 0;
+  for (const auto& s : heldout) {
+    flagged += dl.is_anomalous(seq(s));
+    out.min_len = std::min(out.min_len, s.records.size());
+    out.max_len = std::max(out.max_len, s.records.size());
+  }
+  out.false_alarm_rate = static_cast<double>(flagged) / static_cast<double>(heldout.size());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Infrastructure vs data-analytics logs under DeepLog (§6.4)");
+  simsys::ClusterSpec cluster;
+
+  // (a) YARN: one session per application request — short, fixed order.
+  common::Rng yarn_rng(11);
+  const auto yarn_train = simsys::generate_yarn_sessions(cluster, 300, yarn_rng);
+  const auto yarn_heldout = simsys::generate_yarn_sessions(cluster, 80, yarn_rng);
+
+  // (b) Spark: one session per container — parallel task runners interleave.
+  const auto spark_train = bench::training_corpus("spark", 25, 12);
+  std::vector<logparse::Session> spark_heldout;
+  {
+    simsys::WorkloadGenerator gen("spark", 13);
+    for (int i = 0; i < 8; ++i) {
+      simsys::JobResult job = simsys::run_job(gen.detection_job(i % 3), cluster);
+      for (auto& s : job.sessions) spark_heldout.push_back(std::move(s));
+    }
+  }
+
+  const Numbers yarn = evaluate(yarn_train, yarn_heldout);
+  const Numbers spark = evaluate(spark_train, spark_heldout);
+
+  common::TextTable table({"log source", "session unit", "session length", "log keys",
+                           "DeepLog false-alarm rate (normal sessions)"});
+  table.add_row({"YARN (infrastructure)", "application request",
+                 std::to_string(yarn.min_len) + "~" + std::to_string(yarn.max_len),
+                 std::to_string(yarn.vocab - 1), common::fmt_percent(yarn.false_alarm_rate, 1)});
+  table.add_row({"Spark (data analytics)", "container",
+                 std::to_string(spark.min_len) + "~" + std::to_string(spark.max_len),
+                 std::to_string(spark.vocab - 1),
+                 common::fmt_percent(spark.false_alarm_rate, 1)});
+  table.print(std::cout);
+
+  std::cout << "\nPaper (§2.2/§6.4): infrastructure-level requests emit short log\n"
+               "sequences in relatively fixed order (OpenStack: ~9 lines per request),\n"
+               "so next-key prediction works; data-analytics sessions vary with data\n"
+               "size and interleave parallel components, so it false-alarms broadly.\n"
+               "Expected shape: a near-zero false-alarm rate on YARN, a large one on\n"
+               "Spark — the reason IntelLog exists.\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Microbenchmarks (google-benchmark) for the pipeline's hot paths:
+// Spell key matching, POS tagging + extraction, Intel-Message
+// instantiation, and end-to-end session detection. These are not paper
+// tables; they document the throughput envelope of the implementation.
+#include <benchmark/benchmark.h>
+
+#include "bench/harness.hpp"
+#include "core/extraction.hpp"
+
+using namespace intellog;
+
+namespace {
+
+const core::IntelLog& shared_model() {
+  static const core::IntelLog il = bench::train_model("spark", 10, 7);
+  return il;
+}
+
+const logparse::Session& shared_session() {
+  static const logparse::Session session = [] {
+    simsys::ClusterSpec cluster;
+    simsys::WorkloadGenerator gen("spark", 17);
+    static simsys::JobResult job = simsys::run_job(gen.detection_job(2), cluster);
+    return job.sessions.front();
+  }();
+  return session;
+}
+
+void BM_SpellMatch(benchmark::State& state) {
+  const auto& il = shared_model();
+  const auto& session = shared_session();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& rec = session.records[i++ % session.records.size()];
+    benchmark::DoNotOptimize(il.spell().match(rec.content));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpellMatch);
+
+void BM_PosTagMessage(benchmark::State& state) {
+  const nlp::PosTagger tagger;
+  const std::string msg =
+      "Finished task 1.0 in stage 0.0 (TID 3). 2578 bytes result sent to driver";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tagger.tag_message(msg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PosTagMessage);
+
+void BM_ExtractIntelKey(benchmark::State& state) {
+  const core::InfoExtractor extractor;
+  logparse::LogKey key;
+  key.id = 0;
+  key.tokens = {"fetcher", "#", "*", "about", "to", "shuffle", "output", "of", "map", "*"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        extractor.extract(key, "fetcher # 1 about to shuffle output of map attempt_01"));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ExtractIntelKey);
+
+void BM_DetectSession(benchmark::State& state) {
+  const auto& il = shared_model();
+  const auto& session = shared_session();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(il.detect(session));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * session.records.size()));
+}
+BENCHMARK(BM_DetectSession);
+
+void BM_TrainSmallCorpus(benchmark::State& state) {
+  const auto sessions = bench::training_corpus("spark", 3, 5);
+  std::size_t records = 0;
+  for (const auto& s : sessions) records += s.records.size();
+  for (auto _ : state) {
+    core::IntelLog il;
+    il.train(sessions);
+    benchmark::DoNotOptimize(il.trained());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * records));
+}
+BENCHMARK(BM_TrainSmallCorpus);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Table 6: anomaly-detection accuracy of IntelLog per system.
+//
+// Per system: 30 detection jobs from 5 configuration sets — 15 with an
+// injected problem (session abortion / network failure / node failure, one
+// of each per set) and 15 without; two of the clean jobs run with
+// borderline memory, reproducing the paper's "(P/B)" unexpected-problem
+// detections. Paper: Spark 13/2/2/(2), MapReduce 15/1/0/(0),
+// Tez 13/3/2/(3); overall 41/45 detected, 87.23% precision, 91.11% recall.
+#include <algorithm>
+
+#include "bench/harness.hpp"
+#include "common/table.hpp"
+
+using namespace intellog;
+
+int main() {
+  bench::print_header("Table 6: anomaly-detection accuracy (IntelLog)");
+  common::TextTable table({"Framework", "sessions/job", "session length", "D / FP / FN / (P,B)"});
+
+  std::size_t detected_all = 0, fp_all = 0, injected_all = 0;
+  for (const auto& system : bench::systems()) {
+    const core::IntelLog il = bench::train_model(system, 30, 2024);
+    const auto jobs = bench::detection_workload(system, 3030);
+
+    std::size_t detected = 0, fp = 0, fn = 0, pb = 0;
+    std::size_t min_sessions = SIZE_MAX, max_sessions = 0;
+    std::size_t min_len = SIZE_MAX, max_len = 0;
+    for (const auto& dj : jobs) {
+      min_sessions = std::min(min_sessions, dj.result.sessions.size());
+      max_sessions = std::max(max_sessions, dj.result.sessions.size());
+      for (const auto& s : dj.result.sessions) {
+        min_len = std::min(min_len, s.records.size());
+        max_len = std::max(max_len, s.records.size());
+      }
+      const bool flagged = bench::job_flagged(il, dj.result);
+      if (dj.injected) {
+        (flagged ? detected : fn)++;
+      } else if (dj.borderline) {
+        pb += flagged;  // a real (performance) problem, not a false alarm
+      } else {
+        fp += flagged;
+      }
+    }
+    detected_all += detected;
+    fp_all += fp;
+    injected_all += 15;
+    table.add_row({system,
+                   std::to_string(min_sessions) + "~" + std::to_string(max_sessions),
+                   std::to_string(min_len) + "~" + std::to_string(max_len),
+                   std::to_string(detected) + " / " + std::to_string(fp) + " / " +
+                       std::to_string(fn) + " / (" + std::to_string(pb) + ")"});
+  }
+  table.print(std::cout);
+
+  const double precision = static_cast<double>(detected_all) /
+                           static_cast<double>(detected_all + fp_all);
+  const double recall =
+      static_cast<double>(detected_all) / static_cast<double>(injected_all);
+  std::cout << "\noverall: detected " << detected_all << " / " << injected_all
+            << " injected problems, precision " << common::fmt_percent(precision, 2)
+            << ", recall " << common::fmt_percent(recall, 2) << "\n";
+  std::cout << "\nPaper (Table 6): Spark 4~26 sessions, len 20~1812, 13/2/2/(2);\n"
+               "MapReduce 16~257, 67~2147, 15/1/0/(0); Tez 2~36, 107~486, 13/3/2/(3);\n"
+               "overall 41/45, precision 87.23%, recall 91.11%.\n";
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Table 8: anomaly-detection comparison — IntelLog vs DeepLog vs
+// LogCluster on the same detection workload.
+//
+// Paper: IntelLog 87.23% precision / 91.11% recall / 89.13% F;
+// DeepLog 8.81% / 100% / 16.19%; LogCluster 73.08% / N/A / N/A.
+//
+// Shape under test (§6.4): DeepLog keeps perfect recall but its precision
+// collapses on data-analytics logs — parallel task/fetcher interleavings
+// make the next log key unpredictable, so it alarms on nearly every
+// session. LogCluster lands between: most reported sessions relate to
+// anomalies, but it cannot guarantee coverage (recall not measurable).
+#include "baselines/deeplog.hpp"
+#include "baselines/logcluster.hpp"
+#include "bench/harness.hpp"
+#include "common/table.hpp"
+
+using namespace intellog;
+
+namespace {
+
+std::vector<int> key_sequence(const core::IntelLog& il, const logparse::Session& s) {
+  std::vector<int> seq;
+  seq.reserve(s.records.size());
+  for (const auto& rec : s.records) seq.push_back(il.spell().match(rec.content));
+  return seq;
+}
+
+struct ToolScore {
+  std::size_t tp = 0, alarms = 0;     // session-level alarms
+  std::size_t problems_hit = 0;       // problem-level recall numerator
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header("Table 8: IntelLog vs DeepLog vs LogCluster");
+
+  std::size_t il_detected = 0, il_fp = 0, injected_total = 0;
+  ToolScore deeplog_score, logcluster_score;
+
+  for (const auto& system : bench::systems()) {
+    const auto training = bench::training_corpus(system, 25, 555);
+    core::IntelLog il;
+    il.train(training);
+
+    std::vector<std::vector<int>> train_seqs;
+    train_seqs.reserve(training.size());
+    for (const auto& s : training) train_seqs.push_back(key_sequence(il, s));
+
+    baselines::DeepLog::Config dl_cfg;
+    dl_cfg.hidden = 32;
+    dl_cfg.window = 10;  // DeepLog's published defaults: h = 10, g = 9
+    dl_cfg.top_g = 9;
+    dl_cfg.epochs = 1;
+    dl_cfg.max_windows = 6000;  // equal training budget across systems
+    baselines::DeepLog deeplog(dl_cfg);
+    deeplog.train(train_seqs);
+
+    baselines::LogCluster logcluster;
+    logcluster.train(train_seqs);
+
+    const auto jobs = bench::detection_workload(system, 777);
+    for (const auto& dj : jobs) {
+      const auto affected = [&](const logparse::Session& s) {
+        return dj.result.affected_containers.count(s.container_id) > 0 ||
+               dj.result.perf_affected_containers.count(s.container_id) > 0;
+      };
+      // IntelLog: job-level verdicts (Table 6 arithmetic).
+      const bool il_flagged = bench::job_flagged(il, dj.result);
+      if (dj.injected) {
+        injected_total++;
+        il_detected += il_flagged;
+      } else if (!dj.borderline) {
+        il_fp += il_flagged;
+      }
+      // DeepLog / LogCluster: session-level alarms.
+      bool dl_hit_problem = false, lc_hit_problem = false;
+      for (const auto& s : dj.result.sessions) {
+        const auto seq = key_sequence(il, s);
+        const bool truly = affected(s);
+        if (deeplog.is_anomalous(seq)) {
+          deeplog_score.alarms++;
+          deeplog_score.tp += truly;
+          dl_hit_problem |= truly;
+        }
+        if (logcluster.is_new_pattern(seq)) {
+          logcluster_score.alarms++;
+          logcluster_score.tp += truly;
+          lc_hit_problem |= truly;
+        }
+      }
+      if (dj.injected && dl_hit_problem) deeplog_score.problems_hit++;
+      if (dj.injected && lc_hit_problem) logcluster_score.problems_hit++;
+    }
+  }
+
+  const auto pct = [](double x) { return common::fmt_percent(x, 2); };
+  const double il_p =
+      static_cast<double>(il_detected) / static_cast<double>(il_detected + il_fp);
+  const double il_r = static_cast<double>(il_detected) / static_cast<double>(injected_total);
+  const double il_f = 2 * il_p * il_r / (il_p + il_r);
+  const double dl_p = deeplog_score.alarms == 0
+                          ? 0.0
+                          : static_cast<double>(deeplog_score.tp) /
+                                static_cast<double>(deeplog_score.alarms);
+  const double dl_r = static_cast<double>(deeplog_score.problems_hit) /
+                      static_cast<double>(injected_total);
+  const double dl_f = dl_p + dl_r == 0 ? 0.0 : 2 * dl_p * dl_r / (dl_p + dl_r);
+  const double lc_p = logcluster_score.alarms == 0
+                          ? 0.0
+                          : static_cast<double>(logcluster_score.tp) /
+                                static_cast<double>(logcluster_score.alarms);
+
+  common::TextTable table({"tool", "precision", "recall", "F-measure"});
+  table.add_row({"IntelLog", pct(il_p), pct(il_r), pct(il_f)});
+  table.add_row({"DeepLog", pct(dl_p), pct(dl_r), pct(dl_f)});
+  table.add_row({"LogCluster", pct(lc_p), "N/A", "N/A"});
+  table.print(std::cout);
+
+  std::cout << "\n(DeepLog/LogCluster precision is over session-level alarms; recall is\n"
+               "over the " << injected_total << " injected problems. LogCluster surfaces "
+               "representative logs for\nexamination, so its recall is not measurable — as in "
+               "the paper.)\n";
+  std::cout << "\nPaper (Table 8): IntelLog 87.23% / 91.11% / 89.13%; DeepLog 8.81% /\n"
+               "100.00% / 16.19%; LogCluster 73.08% / N/A / N/A.\n";
+  return 0;
+}

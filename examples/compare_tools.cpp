@@ -1,0 +1,85 @@
+// Side-by-side detector comparison on one faulty Spark job: IntelLog vs
+// DeepLog vs LogCluster (the §6.4 comparison in miniature).
+//
+// The point the paper makes: next-key prediction (DeepLog) breaks down on
+// data-analytics logs because parallel tasks interleave; session clustering
+// (LogCluster) cannot localize; IntelLog pinpoints the erroneous component
+// and hands back structured evidence.
+#include <iostream>
+
+#include "baselines/deeplog.hpp"
+#include "baselines/logcluster.hpp"
+#include "core/intellog.hpp"
+#include "simsys/workload.hpp"
+
+using namespace intellog;
+
+namespace {
+
+std::vector<int> key_sequence(const core::IntelLog& il, const logparse::Session& s) {
+  std::vector<int> seq;
+  for (const auto& rec : s.records) seq.push_back(il.spell().match(rec.content));
+  return seq;
+}
+
+}  // namespace
+
+int main() {
+  simsys::ClusterSpec cluster;
+  simsys::WorkloadGenerator gen("spark", 77);
+
+  std::vector<logparse::Session> training;
+  for (int i = 0; i < 20; ++i) {
+    simsys::JobResult job = simsys::run_job(gen.training_job(), cluster);
+    for (auto& s : job.sessions) training.push_back(std::move(s));
+  }
+  core::IntelLog il;
+  il.train(training);
+
+  std::vector<std::vector<int>> seqs;
+  for (const auto& s : training) seqs.push_back(key_sequence(il, s));
+  baselines::DeepLog::Config cfg;
+  cfg.hidden = 32;
+  cfg.epochs = 1;
+  cfg.max_windows = 6000;
+  baselines::DeepLog deeplog(cfg);
+  deeplog.train(seqs);
+  baselines::LogCluster logcluster;
+  logcluster.train(seqs);
+
+  simsys::FaultPlan fault = gen.make_fault(simsys::ProblemKind::NetworkFailure, cluster);
+  fault.at_fraction = 0.3;
+  const simsys::JobResult job = simsys::run_job(gen.detection_job(2), cluster, fault);
+
+  std::cout << "faulty Spark job: " << job.sessions.size() << " sessions, "
+            << job.affected_containers.size() << " truly affected ("
+            << to_string(fault.kind) << " on " << cluster.node_name(fault.target_node)
+            << ")\n\n";
+  std::cout << "session            affected  IntelLog  DeepLog  LogCluster\n";
+  for (const auto& s : job.sessions) {
+    const bool truly = job.affected_containers.count(s.container_id) > 0;
+    const auto report = il.detect(s);
+    const auto seq = key_sequence(il, s);
+    const std::string tail =
+        s.container_id.size() > 16 ? s.container_id.substr(s.container_id.size() - 16)
+                                   : s.container_id;
+    std::cout << "  " << tail << "   " << (truly ? "YES" : " - ") << "       "
+              << (report.anomalous() ? "FLAG" : "  - ") << "      "
+              << (deeplog.is_anomalous(seq) ? "FLAG" : "  - ") << "     "
+              << (logcluster.is_new_pattern(seq) ? "FLAG" : "  - ") << "\n";
+  }
+
+  std::cout << "\nonly IntelLog explains *what* went wrong:\n";
+  for (const auto& s : job.sessions) {
+    if (!job.affected_containers.count(s.container_id)) continue;
+    const auto report = il.detect(s);
+    for (const auto& u : report.unexpected) {
+      std::cout << "  " << s.container_id << ": \"" << u.content << "\"";
+      if (!u.message.localities.empty()) std::cout << "  [locality " << u.message.localities[0]
+                                                   << "]";
+      std::cout << "\n";
+      break;  // one line per session is enough here
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Quickstart: train IntelLog on simulated Spark runs, look at the model,
+// and detect an injected network failure.
+//
+//   1. generate fault-free training jobs (tuned configs),
+//   2. IntelLog::train -> log keys, Intel Keys, entity groups, HW-graph,
+//   3. run one faulty job and one clean job through detection.
+#include <iostream>
+
+#include "core/intellog.hpp"
+#include "simsys/workload.hpp"
+
+using namespace intellog;
+
+int main() {
+  simsys::ClusterSpec cluster;
+  simsys::WorkloadGenerator gen("spark", /*seed=*/7);
+
+  // --- 1. training corpus ---------------------------------------------------
+  std::vector<logparse::Session> training;
+  for (int i = 0; i < 12; ++i) {
+    simsys::JobResult job = simsys::run_job(gen.training_job(), cluster);
+    for (auto& s : job.sessions) training.push_back(std::move(s));
+  }
+  std::cout << "training sessions: " << training.size() << "\n";
+
+  // --- 2. train ---------------------------------------------------------------
+  core::IntelLog il;
+  il.train(training);
+  std::cout << "log keys discovered: " << il.spell().size() << "\n";
+  std::cout << "intel keys (natural language): " << il.intel_keys().size() << "\n";
+  std::cout << "entity groups: " << il.entity_groups().groups.size()
+            << " (critical: " << il.hw_graph().critical_group_count() << ")\n\n";
+
+  std::cout << "entity groups and their members:\n";
+  for (const auto& [name, members] : il.entity_groups().groups) {
+    std::cout << "  [" << name << "] ";
+    for (const auto& m : members) std::cout << m << "; ";
+    std::cout << "\n";
+  }
+
+  std::cout << "\nHW-graph roots and children:\n";
+  for (const auto& root : il.hw_graph().roots()) {
+    std::cout << "  " << root << "\n";
+    for (const auto& child : il.hw_graph().children_of(root)) {
+      std::cout << "    +- " << child << "\n";
+    }
+  }
+
+  // --- 3. detect --------------------------------------------------------------
+  std::cout << "\n--- clean job ---\n";
+  simsys::JobResult clean = simsys::run_job(gen.detection_job(1), cluster);
+  int flagged = 0;
+  for (const auto& s : clean.sessions) flagged += il.detect(s).anomalous() ? 1 : 0;
+  std::cout << "flagged sessions: " << flagged << " / " << clean.sessions.size() << "\n";
+
+  std::cout << "\n--- job with injected network failure ---\n";
+  const simsys::FaultPlan fault = gen.make_fault(simsys::ProblemKind::NetworkFailure, cluster);
+  simsys::JobResult faulty = simsys::run_job(gen.detection_job(2), cluster, fault);
+  flagged = 0;
+  for (const auto& s : faulty.sessions) {
+    const auto report = il.detect(s);
+    if (!report.anomalous()) continue;
+    ++flagged;
+    if (flagged <= 2) {
+      for (const auto& u : report.unexpected) {
+        std::cout << "  unexpected: \"" << u.content << "\"\n";
+        for (const auto& loc : u.message.localities) std::cout << "    locality: " << loc << "\n";
+      }
+      for (const auto& i : report.issues) {
+        std::cout << "  issue: " << to_string(i.kind) << " in group '" << i.group << "'\n";
+      }
+    }
+  }
+  std::cout << "flagged sessions: " << flagged << " / " << faulty.sessions.size()
+            << "  (truly affected: " << faulty.affected_containers.size() << ")\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Case-study walkthrough (paper §6.4, case 1): diagnosing a network
+// failure in a MapReduce job with IntelLog's query workflow.
+//
+//   1. train on clean runs;
+//   2. run a WordCount job with a network failure injected on one node;
+//   3. IntelLog flags the problematic sessions and transforms the
+//      unexpected messages into Intel Messages;
+//   4. GroupBy identifier -> the failing fetchers;
+//   5. GroupBy locality   -> a single host: the root cause.
+#include <iostream>
+
+#include "core/intellog.hpp"
+#include "core/message_store.hpp"
+#include "simsys/workload.hpp"
+
+using namespace intellog;
+
+int main() {
+  simsys::ClusterSpec cluster;
+
+  std::cout << "training IntelLog on 25 clean MapReduce runs...\n";
+  simsys::WorkloadGenerator gen("mapreduce", 11);
+  std::vector<logparse::Session> training;
+  for (int i = 0; i < 25; ++i) {
+    simsys::JobResult job = simsys::run_job(gen.training_job(), cluster);
+    for (auto& s : job.sessions) training.push_back(std::move(s));
+  }
+  core::IntelLog il;
+  il.train(training);
+  std::cout << "  " << il.spell().size() << " log keys, " << il.intel_keys().size()
+            << " Intel Keys, " << il.entity_groups().groups.size() << " entity groups\n\n";
+
+  // --- the incident -----------------------------------------------------------
+  simsys::JobSpec spec;
+  spec.system = "mapreduce";
+  spec.name = "WordCount";
+  spec.input_gb = 30;
+  spec.container_cores = 8;
+  spec.container_memory_mb = 4096;
+  spec.seed = 91;
+  simsys::FaultPlan fault = gen.make_fault(simsys::ProblemKind::NetworkFailure, cluster);
+  fault.at_fraction = 0.35;
+  std::cout << "running WordCount (30GB) with a network failure injected on "
+            << cluster.node_name(fault.target_node) << "...\n";
+  const simsys::JobResult job = simsys::run_job(spec, cluster, fault);
+
+  // --- detection ---------------------------------------------------------------
+  core::MessageStore store;
+  std::size_t problematic = 0;
+  std::string example_report;
+  for (const auto& session : job.sessions) {
+    const core::AnomalyReport report = il.detect(session);
+    if (!report.anomalous()) continue;
+    ++problematic;
+    for (const auto& u : report.unexpected) store.add(u.message);
+    if (example_report.empty()) example_report = report.to_json().dump(2);
+  }
+  std::cout << "IntelLog reports " << problematic << " problematic sessions out of "
+            << job.sessions.size() << " (" << store.size() << " unexpected messages)\n\n";
+
+  std::cout << "GroupBy identifier (which components fail?):\n";
+  for (const auto& [id, msgs] : store.group_by_identifier("FETCHER")) {
+    std::cout << "  " << id << ": " << msgs.size() << " messages\n";
+  }
+  std::cout << "\nGroupBy locality (where do they fail?):\n";
+  for (const auto& [loc, msgs] : store.group_by_locality()) {
+    std::cout << "  " << loc << ": " << msgs.size() << " messages\n";
+  }
+  std::cout << "\n=> all failures point at " << cluster.node_name(fault.target_node)
+            << "; the injection log confirms a network failure there.\n";
+
+  std::cout << "\nfirst anomaly report as JSON (queryable, §5):\n"
+            << example_report.substr(0, 1200) << "\n...\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Workflow exploration: build the HW-graph for a chosen system and export
+// it (plus a session's Intel Messages) as JSON for downstream query tools
+// (§5: "output as JSON files which can be queried by JSON query tools").
+//
+//   ./workflow_explorer [spark|mapreduce|tez] [output.json]
+#include <fstream>
+#include <iostream>
+
+#include "core/intellog.hpp"
+#include "core/message_store.hpp"
+#include "simsys/workload.hpp"
+
+using namespace intellog;
+
+namespace {
+
+void print_tree(const core::IntelLog& il, const std::string& group, int depth) {
+  const auto& node = il.hw_graph().groups().at(group);
+  std::cout << std::string(static_cast<std::size_t>(depth) * 2, ' ') << "- " << group << " ("
+            << node.keys.size() << " keys" << (node.is_critical() ? ", critical" : "") << ")\n";
+  for (const auto& child : il.hw_graph().children_of(group)) print_tree(il, child, depth + 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string system = argc > 1 ? argv[1] : "spark";
+  const std::string out_path = argc > 2 ? argv[2] : "hw_graph_" + system + ".json";
+
+  simsys::ClusterSpec cluster;
+  simsys::WorkloadGenerator gen(system, 23);
+  std::vector<logparse::Session> training;
+  for (int i = 0; i < 25; ++i) {
+    simsys::JobResult job = simsys::run_job(gen.training_job(), cluster);
+    for (auto& s : job.sessions) training.push_back(std::move(s));
+  }
+  core::IntelLog il;
+  il.train(training);
+
+  std::cout << "HW-graph for " << system << " (" << il.entity_groups().groups.size()
+            << " entity groups, " << il.hw_graph().critical_group_count() << " critical):\n\n";
+  for (const auto& root : il.hw_graph().roots()) print_tree(il, root, 0);
+
+  // Show the Intel Keys of the largest critical group.
+  std::string biggest;
+  std::size_t biggest_keys = 0;
+  for (const auto& [name, node] : il.hw_graph().groups()) {
+    if (node.is_critical() && node.keys.size() > biggest_keys) {
+      biggest = name;
+      biggest_keys = node.keys.size();
+    }
+  }
+  std::cout << "\nIntel Keys of group '" << biggest << "':\n";
+  for (const int key : il.hw_graph().groups().at(biggest).keys) {
+    const auto it = il.intel_keys().find(key);
+    if (it != il.intel_keys().end()) std::cout << "  [" << key << "] " << it->second.key_text
+                                               << "\n";
+  }
+
+  // JSON export: HW-graph + one session's Intel Messages.
+  common::Json doc = common::Json::object();
+  doc["system"] = system;
+  doc["hw_graph"] = il.hw_graph_json();
+  core::MessageStore store;
+  store.add_all(il.to_intel_messages(training.front()));
+  doc["example_session_messages"] = store.to_json();
+  std::ofstream out(out_path);
+  out << doc.dump(2) << "\n";
+  std::cout << "\nwrote " << out_path << " (" << doc.dump().size() << " bytes)\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "baselines/deeplog.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace intellog::baselines {
+
+DeepLog::DeepLog(Config config) : config_(config) {}
+
+std::size_t DeepLog::encode(int key) const {
+  const auto it = vocab_map_.find(key);
+  return it == vocab_map_.end() ? vocab_ - 1 : it->second;  // last id = UNK
+}
+
+void DeepLog::train(const std::vector<std::vector<int>>& sequences) {
+  vocab_map_.clear();
+  for (const auto& seq : sequences) {
+    for (const int k : seq) vocab_map_.emplace(k, 0);
+  }
+  std::size_t next = 0;
+  for (auto& [k, id] : vocab_map_) id = next++;
+  vocab_ = next + 1;  // + UNK
+
+  common::Rng rng(config_.seed);
+  net_ = std::make_unique<LstmNetwork>(vocab_, config_.hidden, rng);
+
+  // Collect sliding windows (sequence prefixes shorter than the window are
+  // trained as-is so short sessions still contribute).
+  std::vector<std::vector<std::size_t>> windows;
+  for (const auto& seq : sequences) {
+    if (seq.size() < 2) continue;
+    std::vector<std::size_t> enc(seq.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) enc[i] = encode(seq[i]);
+    const std::size_t w = config_.window;
+    if (enc.size() <= w + 1) {
+      windows.push_back(enc);
+    } else {
+      for (std::size_t start = 0; start + w + 1 <= enc.size(); start += 1) {
+        windows.emplace_back(enc.begin() + static_cast<std::ptrdiff_t>(start),
+                             enc.begin() + static_cast<std::ptrdiff_t>(start + w + 1));
+      }
+    }
+  }
+  if (windows.size() > config_.max_windows) {
+    rng.shuffle(windows);
+    windows.resize(config_.max_windows);
+  }
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(windows);
+    for (const auto& w : windows) net_->train_window(w, config_.learning_rate);
+  }
+}
+
+double DeepLog::miss_fraction(const std::vector<int>& sequence) const {
+  if (!net_ || sequence.size() < 2) return 0.0;
+  auto state = net_->initial_state();
+  std::size_t misses = 0, steps = 0;
+  std::vector<std::size_t> order(vocab_);
+  for (std::size_t i = 0; i + 1 < sequence.size(); ++i) {
+    const common::Vector probs = net_->step(encode(sequence[i]), state);
+    const std::size_t actual = encode(sequence[i + 1]);
+    // Is `actual` among the top-g most probable candidates?
+    std::iota(order.begin(), order.end(), 0);
+    const std::size_t g = std::min(config_.top_g, order.size());
+    std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(g), order.end(),
+                      [&](std::size_t a, std::size_t b) { return probs[a] > probs[b]; });
+    bool hit = false;
+    for (std::size_t j = 0; j < g; ++j) {
+      if (order[j] == actual) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) ++misses;
+    ++steps;
+  }
+  return steps == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(steps);
+}
+
+bool DeepLog::is_anomalous(const std::vector<int>& sequence) const {
+  return miss_fraction(sequence) > 0.0;  // any miss flags the session
+}
+
+}  // namespace intellog::baselines

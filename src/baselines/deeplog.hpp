@@ -1,0 +1,59 @@
+// DeepLog baseline (Du et al., CCS'17) — reimplemented per the paper's
+// description for the Table-8 comparison.
+//
+// An LSTM learns the conditional distribution of the next log key given a
+// window of h preceding keys. At detection time, a step is anomalous when
+// the actual next key is not among the model's top-g candidates; a session
+// is anomalous when any step is (DeepLog's criterion). The paper's point
+// (§6.4): this works on infrastructure logs with short fixed-order
+// sequences but collapses on data-analytics logs, whose parallel
+// interleavings make the next key inherently unpredictable — recall stays
+// perfect, precision plummets.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "baselines/lstm.hpp"
+
+namespace intellog::baselines {
+
+class DeepLog {
+ public:
+  struct Config {
+    std::size_t hidden = 32;
+    std::size_t window = 10;     ///< history length h
+    std::size_t top_g = 9;       ///< candidate set size g
+    std::size_t epochs = 2;
+    std::size_t max_windows = 20000;  ///< training-window subsample cap
+    double learning_rate = 0.01;
+    std::uint64_t seed = 42;
+  };
+
+  DeepLog() : DeepLog(Config{}) {}
+  explicit DeepLog(Config config);
+
+  /// Trains on normal-execution sessions given as log-key id sequences.
+  /// Key ids may be arbitrary ints; they are mapped to a dense vocabulary.
+  void train(const std::vector<std::vector<int>>& sequences);
+
+  /// True when any step's actual key falls outside the top-g prediction.
+  bool is_anomalous(const std::vector<int>& sequence) const;
+
+  /// Fraction of mispredicted steps (diagnostics).
+  double miss_fraction(const std::vector<int>& sequence) const;
+
+  std::size_t vocab() const { return vocab_; }
+  bool trained() const { return net_ != nullptr; }
+
+ private:
+  std::size_t encode(int key) const;  ///< unseen keys -> UNK symbol
+
+  Config config_;
+  std::map<int, std::size_t> vocab_map_;
+  std::size_t vocab_ = 0;  ///< dense vocab size incl. UNK
+  std::unique_ptr<LstmNetwork> net_;
+};
+
+}  // namespace intellog::baselines

@@ -1,0 +1,95 @@
+#include "baselines/logcluster.hpp"
+
+#include <cmath>
+
+namespace intellog::baselines {
+
+LogCluster::LogCluster(Config config) : config_(config) {}
+
+LogCluster::SparseVec LogCluster::vectorize(const std::vector<int>& sequence) const {
+  SparseVec counts;
+  for (const int k : sequence) counts[k] += 1.0;
+  // Weight: log(1+tf) * idf. Unknown keys get the maximum IDF (rare).
+  const double max_idf =
+      1.0 + std::log(static_cast<double>(documents_ == 0 ? 1 : documents_));
+  SparseVec out;
+  for (const auto& [k, tf] : counts) {
+    const auto it = idf_.find(k);
+    const double idf = it == idf_.end() ? max_idf : it->second;
+    out[k] = std::log(1.0 + tf) * idf;
+  }
+  return out;
+}
+
+double LogCluster::cosine(const SparseVec& a, const SparseVec& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (const auto& [k, v] : a) {
+    na += v * v;
+    const auto it = b.find(k);
+    if (it != b.end()) dot += v * it->second;
+  }
+  for (const auto& [k, v] : b) {
+    (void)k;
+    nb += v * v;
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+void LogCluster::train(const std::vector<std::vector<int>>& sequences) {
+  documents_ = sequences.size();
+  idf_.clear();
+  std::map<int, std::size_t> df;
+  for (const auto& seq : sequences) {
+    std::map<int, bool> seen;
+    for (const int k : seq) {
+      if (!seen[k]) {
+        seen[k] = true;
+        df[k]++;
+      }
+    }
+  }
+  for (const auto& [k, n] : df) {
+    idf_[k] = 1.0 + std::log(static_cast<double>(documents_) / static_cast<double>(n));
+  }
+
+  // Online agglomerative pass: assign each session to the nearest centroid
+  // above the threshold, else found a new cluster.
+  centroids_.clear();
+  cluster_sizes_.clear();
+  for (const auto& seq : sequences) {
+    const SparseVec v = vectorize(seq);
+    double best = -1.0;
+    std::size_t best_idx = 0;
+    for (std::size_t c = 0; c < centroids_.size(); ++c) {
+      const double s = cosine(v, centroids_[c]);
+      if (s > best) {
+        best = s;
+        best_idx = c;
+      }
+    }
+    if (best >= config_.similarity_threshold) {
+      // Running-mean centroid update.
+      SparseVec& cen = centroids_[best_idx];
+      const double n = static_cast<double>(++cluster_sizes_[best_idx]);
+      for (auto& [k, w] : cen) w *= (n - 1.0) / n;
+      for (const auto& [k, w] : v) cen[k] += w / n;
+    } else {
+      centroids_.push_back(v);
+      cluster_sizes_.push_back(1);
+    }
+  }
+}
+
+double LogCluster::best_similarity(const std::vector<int>& sequence) const {
+  const SparseVec v = vectorize(sequence);
+  double best = 0.0;
+  for (const auto& c : centroids_) best = std::max(best, cosine(v, c));
+  return best;
+}
+
+bool LogCluster::is_new_pattern(const std::vector<int>& sequence) const {
+  return best_similarity(sequence) < config_.similarity_threshold;
+}
+
+}  // namespace intellog::baselines

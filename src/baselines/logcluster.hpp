@@ -1,0 +1,50 @@
+// LogCluster baseline (Lin et al., ICSE'16) for the Table-8 comparison.
+//
+// Sessions become IDF-weighted log-key vectors; agglomerative clustering
+// over cosine similarity builds a knowledge base from normal runs. At
+// detection time a session whose nearest knowledge-base cluster falls
+// below the similarity threshold represents a previously-unseen pattern
+// and is surfaced (with a representative) for the operator to examine.
+// LogCluster reduces examination effort; it does not claim to catch every
+// problem — which is why the paper reports its recall as N/A.
+#pragma once
+
+#include <map>
+#include <vector>
+
+namespace intellog::baselines {
+
+class LogCluster {
+ public:
+  struct Config {
+    double similarity_threshold = 0.6;  ///< cosine; below = new pattern
+  };
+
+  LogCluster() : LogCluster(Config{}) {}
+  explicit LogCluster(Config config);
+
+  /// Builds the knowledge base from normal-execution sessions (log-key id
+  /// sequences).
+  void train(const std::vector<std::vector<int>>& sequences);
+
+  /// True when the session does not fall into any knowledge-base cluster.
+  bool is_new_pattern(const std::vector<int>& sequence) const;
+
+  /// Highest cosine similarity to the knowledge base (diagnostics).
+  double best_similarity(const std::vector<int>& sequence) const;
+
+  std::size_t cluster_count() const { return centroids_.size(); }
+
+ private:
+  using SparseVec = std::map<int, double>;  ///< key id -> weight
+  SparseVec vectorize(const std::vector<int>& sequence) const;
+  static double cosine(const SparseVec& a, const SparseVec& b);
+
+  Config config_;
+  std::map<int, double> idf_;  ///< key id -> inverse document frequency
+  std::size_t documents_ = 0;
+  std::vector<SparseVec> centroids_;
+  std::vector<std::size_t> cluster_sizes_;
+};
+
+}  // namespace intellog::baselines

@@ -1,0 +1,223 @@
+#include "baselines/lstm.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace intellog::baselines {
+
+using common::Matrix;
+using common::Vector;
+
+LstmNetwork::LstmNetwork(std::size_t vocab, std::size_t hidden, common::Rng& rng)
+    : vocab_(vocab),
+      hidden_(hidden),
+      w_gates_(Matrix::xavier(4 * hidden, vocab + hidden, rng)),
+      b_gates_(4 * hidden, 0.0),
+      w_out_(Matrix::xavier(vocab, hidden, rng)),
+      b_out_(vocab, 0.0),
+      m_wg_(4 * hidden, vocab + hidden),
+      v_wg_(4 * hidden, vocab + hidden),
+      m_wo_(vocab, hidden),
+      v_wo_(vocab, hidden),
+      m_bg_(4 * hidden, 0.0),
+      v_bg_(4 * hidden, 0.0),
+      m_bo_(vocab, 0.0),
+      v_bo_(vocab, 0.0) {
+  // Forget-gate bias init at 1.0 stabilizes early training.
+  for (std::size_t i = hidden; i < 2 * hidden; ++i) b_gates_[i] = 1.0;
+}
+
+LstmNetwork::StepState LstmNetwork::initial_state() const {
+  return {Vector(hidden_, 0.0), Vector(hidden_, 0.0)};
+}
+
+struct LstmNetwork::StepCache {
+  std::size_t symbol;
+  Vector h_prev, c_prev;
+  Vector gates;  // 4H pre/post activations (post, gate-activated)
+  Vector c, h;
+  Vector probs;
+};
+
+namespace {
+
+/// z = W [onehot(sym); h_prev] + b, exploiting the one-hot column.
+void gates_forward(const Matrix& w, const Vector& b, std::size_t sym, const Vector& h_prev,
+                   Vector& z) {
+  const std::size_t rows = w.rows();
+  const std::size_t hidden = h_prev.size();
+  const std::size_t vocab = w.cols() - hidden;
+  z = b;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* wr = w.row(r);
+    double acc = wr[sym];  // one-hot input column
+    const double* wh = wr + vocab;
+    for (std::size_t k = 0; k < hidden; ++k) acc += wh[k] * h_prev[k];
+    z[r] += acc;
+  }
+}
+
+}  // namespace
+
+Vector LstmNetwork::step(std::size_t symbol, StepState& state) const {
+  assert(symbol < vocab_);
+  Vector z;
+  gates_forward(w_gates_, b_gates_, symbol, state.h, z);
+  const std::size_t H = hidden_;
+  Vector c_new(H), h_new(H);
+  for (std::size_t k = 0; k < H; ++k) {
+    const double i = common::sigmoid(z[k]);
+    const double f = common::sigmoid(z[H + k]);
+    const double g = std::tanh(z[2 * H + k]);
+    const double o = common::sigmoid(z[3 * H + k]);
+    c_new[k] = f * state.c[k] + i * g;
+    h_new[k] = o * std::tanh(c_new[k]);
+  }
+  state.c = std::move(c_new);
+  state.h = std::move(h_new);
+  Vector logits;
+  common::matvec(w_out_, state.h, logits);
+  common::add_inplace(logits, b_out_);
+  common::softmax(logits);
+  return logits;
+}
+
+double LstmNetwork::train_window(const std::vector<std::size_t>& symbols, double lr) {
+  if (symbols.size() < 2) return 0.0;
+  const std::size_t H = hidden_;
+  const std::size_t V = vocab_;
+  const std::size_t steps = symbols.size() - 1;
+
+  // ---- forward with caches ----
+  std::vector<StepCache> caches(steps);
+  Vector h(H, 0.0), c(H, 0.0);
+  double loss = 0.0;
+  for (std::size_t t = 0; t < steps; ++t) {
+    StepCache& cc = caches[t];
+    cc.symbol = symbols[t];
+    cc.h_prev = h;
+    cc.c_prev = c;
+    Vector z;
+    gates_forward(w_gates_, b_gates_, cc.symbol, h, z);
+    cc.gates.assign(4 * H, 0.0);
+    Vector c_new(H), h_new(H);
+    for (std::size_t k = 0; k < H; ++k) {
+      const double i = common::sigmoid(z[k]);
+      const double f = common::sigmoid(z[H + k]);
+      const double g = std::tanh(z[2 * H + k]);
+      const double o = common::sigmoid(z[3 * H + k]);
+      cc.gates[k] = i;
+      cc.gates[H + k] = f;
+      cc.gates[2 * H + k] = g;
+      cc.gates[3 * H + k] = o;
+      c_new[k] = f * c[k] + i * g;
+      h_new[k] = o * std::tanh(c_new[k]);
+    }
+    cc.c = c_new;
+    cc.h = h_new;
+    c = std::move(c_new);
+    h = std::move(h_new);
+    Vector logits;
+    common::matvec(w_out_, h, logits);
+    common::add_inplace(logits, b_out_);
+    common::softmax(logits);
+    cc.probs = logits;
+    const double p = std::max(logits[symbols[t + 1]], 1e-12);
+    loss -= std::log(p);
+  }
+
+  // ---- backward (BPTT) ----
+  Matrix g_wg(4 * H, V + H), g_wo(V, H);
+  Vector g_bg(4 * H, 0.0), g_bo(V, 0.0);
+  Vector dh_next(H, 0.0), dc_next(H, 0.0);
+  for (std::size_t ti = steps; ti-- > 0;) {
+    const StepCache& cc = caches[ti];
+    // Output layer: dlogits = probs - onehot(target)
+    Vector dlogits = cc.probs;
+    dlogits[symbols[ti + 1]] -= 1.0;
+    common::outer_acc(g_wo, dlogits, cc.h);
+    common::add_inplace(g_bo, dlogits);
+    Vector dh;
+    common::matvec_transpose(w_out_, dlogits, dh);
+    common::add_inplace(dh, dh_next);
+
+    Vector dz(4 * H, 0.0);
+    Vector dc(H, 0.0);
+    for (std::size_t k = 0; k < H; ++k) {
+      const double i = cc.gates[k], f = cc.gates[H + k], g = cc.gates[2 * H + k],
+                   o = cc.gates[3 * H + k];
+      const double tanh_c = std::tanh(cc.c[k]);
+      const double do_ = dh[k] * tanh_c;
+      double dck = dh[k] * o * (1.0 - tanh_c * tanh_c) + dc_next[k];
+      const double di = dck * g;
+      const double dg = dck * i;
+      const double df = dck * cc.c_prev[k];
+      dc[k] = dck * f;
+      dz[k] = di * i * (1.0 - i);
+      dz[H + k] = df * f * (1.0 - f);
+      dz[2 * H + k] = dg * (1.0 - g * g);
+      dz[3 * H + k] = do_ * o * (1.0 - o);
+    }
+    // Accumulate gate-weight gradients: g_wg += dz [onehot; h_prev]^T
+    for (std::size_t r = 0; r < 4 * H; ++r) {
+      const double d = dz[r];
+      if (d == 0.0) continue;
+      double* row = g_wg.row(r);
+      row[cc.symbol] += d;
+      double* rowh = row + V;
+      for (std::size_t k = 0; k < H; ++k) rowh[k] += d * cc.h_prev[k];
+    }
+    common::add_inplace(g_bg, dz);
+    // dh_prev = W_h^T dz
+    Vector dh_prev(H, 0.0);
+    for (std::size_t r = 0; r < 4 * H; ++r) {
+      const double d = dz[r];
+      if (d == 0.0) continue;
+      const double* rowh = w_gates_.row(r) + V;
+      for (std::size_t k = 0; k < H; ++k) dh_prev[k] += d * rowh[k];
+    }
+    dh_next = std::move(dh_prev);
+    dc_next = std::move(dc);
+  }
+
+  const double scale = 1.0 / static_cast<double>(steps);
+  g_wg *= scale;
+  g_wo *= scale;
+  for (auto& x : g_bg) x *= scale;
+  for (auto& x : g_bo) x *= scale;
+  g_wg.clip_norm(5.0);
+  g_wo.clip_norm(5.0);
+
+  ++adam_t_;
+  adam_update(w_gates_, g_wg, m_wg_, v_wg_, lr);
+  adam_update(w_out_, g_wo, m_wo_, v_wo_, lr);
+  adam_update_vec(b_gates_, g_bg, m_bg_, v_bg_, lr);
+  adam_update_vec(b_out_, g_bo, m_bo_, v_bo_, lr);
+  return loss / static_cast<double>(steps);
+}
+
+void LstmNetwork::adam_update(Matrix& p, Matrix& g, Matrix& m, Matrix& v, double lr) {
+  constexpr double b1 = 0.9, b2 = 0.999, eps = 1e-8;
+  const double bc1 = 1.0 - std::pow(b1, static_cast<double>(adam_t_));
+  const double bc2 = 1.0 - std::pow(b2, static_cast<double>(adam_t_));
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    m.data()[i] = b1 * m.data()[i] + (1 - b1) * g.data()[i];
+    v.data()[i] = b2 * v.data()[i] + (1 - b2) * g.data()[i] * g.data()[i];
+    const double mhat = m.data()[i] / bc1;
+    const double vhat = v.data()[i] / bc2;
+    p.data()[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+void LstmNetwork::adam_update_vec(Vector& p, Vector& g, Vector& m, Vector& v, double lr) {
+  constexpr double b1 = 0.9, b2 = 0.999, eps = 1e-8;
+  const double bc1 = 1.0 - std::pow(b1, static_cast<double>(adam_t_));
+  const double bc2 = 1.0 - std::pow(b2, static_cast<double>(adam_t_));
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    m[i] = b1 * m[i] + (1 - b1) * g[i];
+    v[i] = b2 * v[i] + (1 - b2) * g[i] * g[i];
+    p[i] -= lr * (m[i] / bc1) / (std::sqrt(v[i] / bc2) + eps);
+  }
+}
+
+}  // namespace intellog::baselines

@@ -1,0 +1,60 @@
+// A from-scratch LSTM for the DeepLog baseline (see DESIGN.md).
+//
+// Single-layer LSTM with a softmax projection, trained by truncated BPTT
+// with Adam. Sized for log-key vocabularies (tens to a few hundred
+// symbols), so plain scalar matrix kernels from common/matrix are plenty.
+//
+// Gate layout packs [input, forget, cell, output] into one (4H x (V+H))
+// weight so a step is two matvecs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace intellog::baselines {
+
+class LstmNetwork {
+ public:
+  /// vocab = input/output symbol count, hidden = LSTM width.
+  LstmNetwork(std::size_t vocab, std::size_t hidden, common::Rng& rng);
+
+  struct StepState {
+    common::Vector h, c;  ///< hidden and cell state
+  };
+  StepState initial_state() const;
+
+  /// One forward step: consumes symbol id, updates state, returns the
+  /// softmax distribution over the next symbol.
+  common::Vector step(std::size_t symbol, StepState& state) const;
+
+  /// Trains on one window (symbols[0..n-2] -> symbols[1..n-1]) with BPTT;
+  /// returns the mean cross-entropy loss over the window.
+  double train_window(const std::vector<std::size_t>& symbols, double learning_rate);
+
+  std::size_t vocab() const { return vocab_; }
+  std::size_t hidden() const { return hidden_; }
+
+ private:
+  struct StepCache;  // forward activations kept for backprop
+
+  std::size_t vocab_, hidden_;
+  common::Matrix w_gates_;  ///< 4H x (V+H)
+  common::Vector b_gates_;  ///< 4H
+  common::Matrix w_out_;    ///< V x H
+  common::Vector b_out_;    ///< V
+
+  // Adam state (same shapes as the parameters).
+  common::Matrix m_wg_, v_wg_, m_wo_, v_wo_;
+  common::Vector m_bg_, v_bg_, m_bo_, v_bo_;
+  std::size_t adam_t_ = 0;
+
+  void adam_update(common::Matrix& p, common::Matrix& g, common::Matrix& m, common::Matrix& v,
+                   double lr);
+  void adam_update_vec(common::Vector& p, common::Vector& g, common::Vector& m, common::Vector& v,
+                       double lr);
+};
+
+}  // namespace intellog::baselines

@@ -1,0 +1,188 @@
+#include "baselines/stitch.hpp"
+
+#include <algorithm>
+
+namespace intellog::baselines {
+
+std::string_view to_string(IdRelation rel) {
+  switch (rel) {
+    case IdRelation::Empty: return "empty";
+    case IdRelation::OneToOne: return "1:1";
+    case IdRelation::OneToMany: return "1:n";
+    case IdRelation::ManyToOne: return "n:1";
+    case IdRelation::ManyToMany: return "m:n";
+  }
+  return "empty";
+}
+
+void Stitch::observe(const std::vector<core::IdentifierValue>& ids) {
+  for (const auto& iv : ids) types_.insert(iv.type);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      const core::IdentifierValue* a = &ids[i];
+      const core::IdentifierValue* b = &ids[j];
+      if (a->type == b->type) continue;
+      if (a->type > b->type) std::swap(a, b);
+      pairs_[{a->type, b->type}].insert({a->value, b->value});
+    }
+  }
+}
+
+IdRelation Stitch::relation(const std::string& a, const std::string& b) const {
+  const bool flipped = a > b;
+  const auto it = pairs_.find(flipped ? std::make_pair(b, a) : std::make_pair(a, b));
+  if (it == pairs_.end() || it->second.empty()) return IdRelation::Empty;
+  // Fan-outs in both directions.
+  std::map<std::string, std::set<std::string>> ab, ba;
+  for (const auto& [va, vb] : it->second) {
+    ab[va].insert(vb);
+    ba[vb].insert(va);
+  }
+  std::size_t max_ab = 0, max_ba = 0;
+  for (const auto& [v, s] : ab) {
+    (void)v;
+    max_ab = std::max(max_ab, s.size());
+  }
+  for (const auto& [v, s] : ba) {
+    (void)v;
+    max_ba = std::max(max_ba, s.size());
+  }
+  IdRelation rel;
+  if (max_ab <= 1 && max_ba <= 1) {
+    rel = IdRelation::OneToOne;
+  } else if (max_ba <= 1) {
+    rel = IdRelation::OneToMany;  // one a -> many b, each b has one a
+  } else if (max_ab <= 1) {
+    rel = IdRelation::ManyToOne;
+  } else {
+    rel = IdRelation::ManyToMany;
+  }
+  if (!flipped) return rel;
+  if (rel == IdRelation::OneToMany) return IdRelation::ManyToOne;
+  if (rel == IdRelation::ManyToOne) return IdRelation::OneToMany;
+  return rel;
+}
+
+Stitch::S3Graph Stitch::build() const {
+  S3Graph graph;
+  // Merge 1:1 partners into clusters.
+  std::map<std::string, std::size_t> cluster_of;
+  std::vector<std::vector<std::string>> clusters;
+  for (const auto& t : types_) {
+    bool merged = false;
+    for (auto& [other, ci] : cluster_of) {
+      if (relation(t, other) == IdRelation::OneToOne) {
+        clusters[ci].push_back(t);
+        cluster_of[t] = ci;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      cluster_of[t] = clusters.size();
+      clusters.push_back({t});
+    }
+  }
+  // Hierarchy edges between clusters (any 1:n member pair) and same-level
+  // constraints (m:n pairs co-identify objects -> Fig. 9 shows them in one
+  // node, e.g. {STAGE, TASK}).
+  const auto edge = [&](std::size_t a, std::size_t b) {
+    for (const auto& ta : clusters[a]) {
+      for (const auto& tb : clusters[b]) {
+        if (relation(ta, tb) == IdRelation::OneToMany) return true;
+      }
+    }
+    return false;
+  };
+  const auto mn = [&](std::size_t a, std::size_t b) {
+    for (const auto& ta : clusters[a]) {
+      for (const auto& tb : clusters[b]) {
+        if (relation(ta, tb) == IdRelation::ManyToMany) return true;
+      }
+    }
+    return false;
+  };
+  const auto is_isolated = [&](std::size_t c) {
+    for (std::size_t o = 0; o < clusters.size(); ++o) {
+      if (o == c) continue;
+      for (const auto& ta : clusters[c]) {
+        for (const auto& tb : clusters[o]) {
+          if (relation(ta, tb) != IdRelation::Empty) return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  // Depth = longest 1:n chain from a root; m:n partners pull each other to
+  // the same depth. Iterated to a fixpoint (bounded; 1:n cycles are not
+  // observed in identifier data, the bound is a safety net).
+  std::vector<std::size_t> depth(clusters.size(), 0);
+  std::vector<bool> isolated(clusters.size(), false);
+  for (std::size_t c = 0; c < clusters.size(); ++c) isolated[c] = is_isolated(c);
+  for (std::size_t round = 0; round <= clusters.size() + 1; ++round) {
+    bool changed = false;
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+      if (isolated[c]) continue;
+      for (std::size_t o = 0; o < clusters.size(); ++o) {
+        if (o == c || isolated[o]) continue;
+        if (edge(o, c) && depth[c] < depth[o] + 1) {
+          depth[c] = depth[o] + 1;
+          changed = true;
+        }
+        if (mn(o, c) && depth[c] < depth[o]) {
+          depth[c] = depth[o];
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  std::size_t max_depth = 0;
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    if (isolated[c]) {
+      for (const auto& t : clusters[c]) graph.isolated.push_back(t);
+    } else {
+      max_depth = std::max(max_depth, depth[c]);
+    }
+  }
+  std::sort(graph.isolated.begin(), graph.isolated.end());
+  bool any = false;
+  for (std::size_t c = 0; c < clusters.size(); ++c) any |= !isolated[c];
+  if (!any) return graph;
+  graph.levels.assign(max_depth + 1, {});
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    if (isolated[c]) continue;
+    auto& level = graph.levels[depth[c]];
+    for (const auto& t : clusters[c]) level.push_back(t);
+  }
+  for (auto& level : graph.levels) std::sort(level.begin(), level.end());
+  // Drop empty levels (possible when m:n pulls vacate a depth).
+  std::erase_if(graph.levels, [](const auto& l) { return l.empty(); });
+  return graph;
+}
+
+std::string Stitch::render() const {
+  const S3Graph g = build();
+  std::string out;
+  for (std::size_t i = 0; i < g.levels.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += "{";
+    for (std::size_t j = 0; j < g.levels[i].size(); ++j) {
+      if (j > 0) out += ", ";
+      out += g.levels[i][j];
+    }
+    out += "}";
+  }
+  if (!g.isolated.empty()) {
+    out += "   isolated: ";
+    for (std::size_t j = 0; j < g.isolated.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += "{" + g.isolated[j] + "}";
+    }
+  }
+  return out;
+}
+
+}  // namespace intellog::baselines

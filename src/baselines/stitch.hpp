@@ -1,0 +1,58 @@
+// Stitch baseline (Zhao et al., OSDI'16): the S³ graph of identifier-pair
+// relationships, reconstructed for the Fig. 9 comparison.
+//
+// Stitch looks only at identifiers (and locality tokens treated as HOST
+// identifiers). For every pair of identifier *types* it classifies the
+// value-level association observed in the logs:
+//   1:1  — interchangeable names for the same object,
+//   1:n  — hierarchy (one stage runs many TIDs),
+//   m:n  — only the pair identifies an object,
+//   empty — never co-occur.
+// The S³ graph chains types by 1:n edges; 1:1 partners collapse into one
+// node. No semantics are attached — exactly the limitation IntelLog's
+// HW-graph addresses.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/intel_key.hpp"
+
+namespace intellog::baselines {
+
+enum class IdRelation { Empty, OneToOne, OneToMany, ManyToOne, ManyToMany };
+
+std::string_view to_string(IdRelation rel);
+
+class Stitch {
+ public:
+  /// Feeds one observation scope (one log message, or one session-level
+  /// binding such as container<->host): identifiers co-occurring in scope.
+  void observe(const std::vector<core::IdentifierValue>& ids);
+
+  /// Relation from type a to type b (OneToMany = one a maps to many b).
+  IdRelation relation(const std::string& a, const std::string& b) const;
+
+  const std::set<std::string>& types() const { return types_; }
+
+  /// S³ graph levels: types ordered by 1:n hierarchy (roots first), with
+  /// 1:1 partners merged into one level entry. Isolated types come last.
+  struct S3Graph {
+    std::vector<std::vector<std::string>> levels;  ///< hierarchy chain
+    std::vector<std::string> isolated;             ///< empty-relation types
+  };
+  S3Graph build() const;
+
+  /// Fig. 9-style one-line rendering: "{HOST} -> {STAGE, TASK} -> {TID}".
+  std::string render() const;
+
+ private:
+  std::set<std::string> types_;
+  /// (typeA,typeB) -> set of observed (valueA,valueB) pairs; typeA < typeB.
+  std::map<std::pair<std::string, std::string>, std::set<std::pair<std::string, std::string>>>
+      pairs_;
+};
+
+}  // namespace intellog::baselines

@@ -1,0 +1,91 @@
+// Minimal JSON value type + serializer + parser.
+//
+// IntelLog exports HW-graphs and Intel Messages as JSON (§5: "Both HW-graphs
+// and its instances are output as JSON files which can be queried by JSON
+// query tools"). This is a deliberately small, dependency-free
+// implementation: ordered object keys (stable output for tests/benches),
+// UTF-8 pass-through, no comments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace intellog::common {
+
+class Json;
+using JsonArray = std::vector<Json>;
+// std::map keeps keys ordered -> deterministic serialization.
+using JsonObject = std::map<std::string, Json>;
+
+/// A JSON value. Value-semantic; copies are deep.
+class Json {
+ public:
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(int i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(std::int64_t i) : v_(i) {}
+  Json(std::size_t i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(double d) : v_(d) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+  Json(std::string_view s) : v_(std::string(s)) {}
+  Json(JsonArray a) : v_(std::move(a)) {}
+  Json(JsonObject o) : v_(std::move(o)) {}
+
+  static Json array() { return Json(JsonArray{}); }
+  static Json object() { return Json(JsonObject{}); }
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(v_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(v_); }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  std::int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const JsonArray& as_array() const { return std::get<JsonArray>(v_); }
+  JsonArray& as_array() { return std::get<JsonArray>(v_); }
+  const JsonObject& as_object() const { return std::get<JsonObject>(v_); }
+  JsonObject& as_object() { return std::get<JsonObject>(v_); }
+
+  /// Object access; creates the key when mutating a non-const object.
+  Json& operator[](const std::string& key);
+  /// Const object lookup; returns a shared null for missing keys.
+  const Json& operator[](const std::string& key) const;
+  /// Array element access.
+  Json& operator[](std::size_t i) { return as_array()[i]; }
+  const Json& operator[](std::size_t i) const { return as_array()[i]; }
+
+  bool contains(const std::string& key) const;
+  std::size_t size() const;
+
+  void push_back(Json value) { as_array().push_back(std::move(value)); }
+
+  /// Serializes. indent < 0 -> compact; otherwise pretty with that width.
+  std::string dump(int indent = -1) const;
+
+  /// Parses a JSON document. Throws std::runtime_error on malformed input.
+  static Json parse(std::string_view text);
+
+  bool operator==(const Json& other) const { return v_ == other.v_; }
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, JsonArray, JsonObject> v_;
+};
+
+/// Escapes a string for inclusion in a JSON document (without quotes).
+std::string json_escape(std::string_view s);
+
+}  // namespace intellog::common

@@ -1,0 +1,111 @@
+#include "common/matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace intellog::common {
+
+Matrix Matrix::random_uniform(std::size_t rows, std::size_t cols, double lo, double hi, Rng& rng) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = rng.uniform_real(lo, hi);
+  return m;
+}
+
+Matrix Matrix::xavier(std::size_t rows, std::size_t cols, Rng& rng) {
+  const double bound = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  return random_uniform(rows, cols, -bound, bound, rng);
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+double Matrix::clip_norm(double max_norm) {
+  double sq = 0.0;
+  for (double v : data_) sq += v * v;
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const double scale = max_norm / norm;
+    for (auto& v : data_) v *= scale;
+  }
+  return norm;
+}
+
+void matvec(const Matrix& w, const Vector& x, Vector& y) {
+  assert(w.cols() == x.size());
+  y.assign(w.rows(), 0.0);
+  matvec_acc(w, x, y);
+}
+
+void matvec_acc(const Matrix& w, const Vector& x, Vector& y) {
+  assert(w.cols() == x.size() && w.rows() == y.size());
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    const double* wr = w.row(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < w.cols(); ++c) acc += wr[c] * x[c];
+    y[r] += acc;
+  }
+}
+
+void matvec_transpose(const Matrix& w, const Vector& x, Vector& y) {
+  assert(w.rows() == x.size());
+  y.assign(w.cols(), 0.0);
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    const double* wr = w.row(r);
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t c = 0; c < w.cols(); ++c) y[c] += wr[c] * xr;
+  }
+}
+
+void outer_acc(Matrix& w, const Vector& a, const Vector& b, double alpha) {
+  assert(w.rows() == a.size() && w.cols() == b.size());
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    const double ar = alpha * a[r];
+    if (ar == 0.0) continue;
+    double* wr = w.row(r);
+    for (std::size_t c = 0; c < b.size(); ++c) wr[c] += ar * b[c];
+  }
+}
+
+void add_inplace(Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+}
+
+double dot(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void softmax(Vector& v) {
+  if (v.empty()) return;
+  const double mx = *std::max_element(v.begin(), v.end());
+  double sum = 0.0;
+  for (auto& x : v) {
+    x = std::exp(x - mx);
+    sum += x;
+  }
+  for (auto& x : v) x /= sum;
+}
+
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+double tanh_approx(double x) { return std::tanh(x); }
+
+}  // namespace intellog::common

@@ -1,0 +1,71 @@
+// Dense row-major matrix / vector ops for the DeepLog LSTM baseline.
+//
+// Small sizes (hidden ~64, vocab ~few hundred), so a straightforward
+// cache-friendly implementation is plenty; no BLAS dependency.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace intellog::common {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix random_uniform(std::size_t rows, std::size_t cols, double lo, double hi, Rng& rng);
+  /// Xavier/Glorot uniform init for layer weights.
+  static Matrix xavier(std::size_t rows, std::size_t cols, Rng& rng);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double* row(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+
+  /// Frobenius-norm clipping in place; returns the pre-clip norm.
+  double clip_norm(double max_norm);
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+using Vector = std::vector<double>;
+
+/// y = W x  (W: m x n, x: n, y: m)
+void matvec(const Matrix& w, const Vector& x, Vector& y);
+/// y += W x
+void matvec_acc(const Matrix& w, const Vector& x, Vector& y);
+/// y = W^T x  (W: m x n, x: m, y: n)
+void matvec_transpose(const Matrix& w, const Vector& x, Vector& y);
+/// W += alpha * a b^T  (outer-product accumulate; a: m, b: n)
+void outer_acc(Matrix& w, const Vector& a, const Vector& b, double alpha = 1.0);
+
+void add_inplace(Vector& a, const Vector& b);
+double dot(const Vector& a, const Vector& b);
+
+/// Numerically stable in-place softmax.
+void softmax(Vector& v);
+
+double sigmoid(double x);
+double tanh_approx(double x);  // plain std::tanh; named for symmetry
+
+}  // namespace intellog::common

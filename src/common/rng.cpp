@@ -1,0 +1,30 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace intellog::common {
+
+double Rng::normal(double mean, double stddev) {
+  // Box-Muller; discard the second value for simplicity.
+  double u1 = uniform01();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform01();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+std::size_t Rng::weighted_choice(const std::vector<double>& weights) {
+  if (weights.empty()) throw std::invalid_argument("weighted_choice: empty weights");
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) throw std::invalid_argument("weighted_choice: non-positive total weight");
+  double r = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace intellog::common

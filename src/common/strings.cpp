@@ -1,0 +1,176 @@
+#include "common/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace intellog::common {
+
+std::vector<std::string> split(std::string_view s, std::string_view delims) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start < s.size()) {
+    const std::size_t pos = s.find_first_of(delims, start);
+    const std::size_t end = (pos == std::string_view::npos) ? s.size() : pos;
+    if (end > start) out.emplace_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> split_ws(std::string_view s) { return split(s, " \t\r\n"); }
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  const auto* ws = " \t\r\n";
+  const std::size_t b = s.find_first_not_of(ws);
+  if (b == std::string_view::npos) return {};
+  const std::size_t e = s.find_last_not_of(ws);
+  return s.substr(b, e - b + 1);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool is_all_digits(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), [](unsigned char c) { return std::isdigit(c); });
+}
+
+bool has_letter(std::string_view s) {
+  return std::any_of(s.begin(), s.end(), [](unsigned char c) { return std::isalpha(c); });
+}
+
+bool has_digit(std::string_view s) {
+  return std::any_of(s.begin(), s.end(), [](unsigned char c) { return std::isdigit(c); });
+}
+
+bool is_number(std::string_view s) {
+  if (s.empty()) return false;
+  std::size_t i = 0;
+  if (s[i] == '-' || s[i] == '+') ++i;
+  bool digits = false, dot = false;
+  for (; i < s.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    if (std::isdigit(c)) {
+      digits = true;
+    } else if (s[i] == '.' && !dot) {
+      dot = true;
+    } else if ((s[i] == ',') && digits) {
+      // thousands separator, e.g. "1,286,159"
+    } else {
+      return false;
+    }
+  }
+  return digits;
+}
+
+std::string replace_all(std::string s, std::string_view from, std::string_view to) {
+  if (from.empty()) return s;
+  std::size_t pos = 0;
+  while ((pos = s.find(from, pos)) != std::string::npos) {
+    s.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+  return s;
+}
+
+std::size_t lcs_length(const std::vector<std::string>& a, const std::vector<std::string>& b) {
+  const std::size_t n = a.size(), m = b.size();
+  if (n == 0 || m == 0) return 0;
+  // Two-row DP keeps memory O(min side); rows over `b`.
+  std::vector<std::size_t> prev(m + 1, 0), cur(m + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      cur[j] = (a[i - 1] == b[j - 1]) ? prev[j - 1] + 1 : std::max(prev[j], cur[j - 1]);
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+std::vector<std::string> lcs(const std::vector<std::string>& a, const std::vector<std::string>& b) {
+  const std::size_t n = a.size(), m = b.size();
+  std::vector<std::vector<std::size_t>> dp(n + 1, std::vector<std::size_t>(m + 1, 0));
+  for (std::size_t i = 1; i <= n; ++i)
+    for (std::size_t j = 1; j <= m; ++j)
+      dp[i][j] = (a[i - 1] == b[j - 1]) ? dp[i - 1][j - 1] + 1 : std::max(dp[i - 1][j], dp[i][j - 1]);
+  std::vector<std::string> out;
+  std::size_t i = n, j = m;
+  while (i > 0 && j > 0) {
+    if (a[i - 1] == b[j - 1]) {
+      out.push_back(a[i - 1]);
+      --i;
+      --j;
+    } else if (dp[i - 1][j] >= dp[i][j - 1]) {
+      --i;
+    } else {
+      --j;
+    }
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> longest_common_substring_words(const std::vector<std::string>& a,
+                                                        const std::vector<std::string>& b) {
+  const std::size_t n = a.size(), m = b.size();
+  std::size_t best_len = 0, best_end_a = 0;
+  std::vector<std::size_t> prev(m + 1, 0), cur(m + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      cur[j] = (a[i - 1] == b[j - 1]) ? prev[j - 1] + 1 : 0;
+      if (cur[j] > best_len) {
+        best_len = cur[j];
+        best_end_a = i;
+      }
+    }
+    std::swap(prev, cur);
+    std::fill(cur.begin(), cur.end(), 0);
+  }
+  return {a.begin() + static_cast<std::ptrdiff_t>(best_end_a - best_len),
+          a.begin() + static_cast<std::ptrdiff_t>(best_end_a)};
+}
+
+std::size_t common_suffix_words(const std::vector<std::string>& a,
+                                const std::vector<std::string>& b) {
+  std::size_t k = 0;
+  while (k < a.size() && k < b.size() && a[a.size() - 1 - k] == b[b.size() - 1 - k]) ++k;
+  return k;
+}
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  const std::size_t n = a.size(), m = b.size();
+  std::vector<std::size_t> prev(m + 1), cur(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+}  // namespace intellog::common

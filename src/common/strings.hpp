@@ -1,0 +1,67 @@
+// String utilities shared across IntelLog modules.
+//
+// Includes the two sequence algorithms the paper's pipeline is built on:
+//  - longest common subsequence over token sequences (Spell, §2.1), and
+//  - longest common *contiguous* phrase over word sequences
+//    (entity grouping, Algorithm 1).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace intellog::common {
+
+/// Splits `s` on any character in `delims`, dropping empty pieces.
+std::vector<std::string> split(std::string_view s, std::string_view delims = " \t");
+
+/// Splits `s` on whitespace, keeping the original token text.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep = " ");
+
+/// ASCII lower-case copy.
+std::string to_lower(std::string_view s);
+
+/// Removes leading/trailing whitespace.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// True if every character is an ASCII digit (and s is non-empty).
+bool is_all_digits(std::string_view s);
+
+/// True if `s` contains at least one ASCII letter.
+bool has_letter(std::string_view s);
+
+/// True if `s` contains at least one ASCII digit.
+bool has_digit(std::string_view s);
+
+/// True if `s` parses as a decimal number, e.g. "12", "3.5", "-7".
+bool is_number(std::string_view s);
+
+/// Replaces all occurrences of `from` in `s` with `to`.
+std::string replace_all(std::string s, std::string_view from, std::string_view to);
+
+/// Length of the longest common subsequence of two token sequences.
+/// O(|a| * |b|) dynamic program; used by Spell's log-key matching.
+std::size_t lcs_length(const std::vector<std::string>& a, const std::vector<std::string>& b);
+
+/// One longest common subsequence (the DP backtrace) of two token sequences.
+std::vector<std::string> lcs(const std::vector<std::string>& a, const std::vector<std::string>& b);
+
+/// Longest common *contiguous* run of words between two word sequences.
+/// Ties are broken toward the earliest position in `a`.
+std::vector<std::string> longest_common_substring_words(const std::vector<std::string>& a,
+                                                        const std::vector<std::string>& b);
+
+/// Number of trailing words shared by `a` and `b`.
+std::size_t common_suffix_words(const std::vector<std::string>& a,
+                                const std::vector<std::string>& b);
+
+/// Levenshtein edit distance between two strings (character level).
+std::size_t edit_distance(std::string_view a, std::string_view b);
+
+}  // namespace intellog::common

@@ -1,0 +1,55 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace intellog::common {
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  const auto grow = [&](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  const auto line = [&](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      out += ' ';
+      out += cell;
+      out.append(widths[i] - cell.size() + 1, ' ');
+      out += '|';
+    }
+    out += '\n';
+    return out;
+  };
+
+  std::string out = line(header_);
+  std::string sep = "|";
+  for (const std::size_t w : widths) {
+    sep.append(w + 2, '-');
+    sep += '|';
+  }
+  out += sep + "\n";
+  for (const auto& r : rows_) out += line(r);
+  return out;
+}
+
+void TextTable::print(std::ostream& os) const { os << render(); }
+
+std::string fmt_double(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_percent(double ratio, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", digits, ratio * 100.0);
+  return buf;
+}
+
+}  // namespace intellog::common

@@ -1,0 +1,32 @@
+// Fixed-width text table printer used by the benches to render paper tables.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace intellog::common {
+
+/// Accumulates rows of cells and prints an aligned ASCII table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Renders with column alignment and a header separator.
+  std::string render() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+std::string fmt_double(double v, int digits = 2);
+/// Formats a ratio (0..1) as a percentage with two decimals, e.g. "87.23%".
+std::string fmt_percent(double ratio, int digits = 2);
+
+}  // namespace intellog::common

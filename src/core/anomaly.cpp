@@ -1,0 +1,171 @@
+#include "core/anomaly.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace intellog::core {
+
+std::string_view to_string(GroupIssue::Kind kind) {
+  switch (kind) {
+    case GroupIssue::Kind::MissingGroup: return "missing-group";
+    case GroupIssue::Kind::IncompleteSubroutine: return "incomplete-subroutine";
+    case GroupIssue::Kind::UnknownSignature: return "unknown-signature";
+    case GroupIssue::Kind::OrderViolation: return "order-violation";
+  }
+  return "unknown";
+}
+
+common::Json AnomalyReport::to_json() const {
+  common::Json j = common::Json::object();
+  j["container"] = container_id;
+  j["session_length"] = session_length;
+  j["anomalous"] = anomalous();
+  common::Json unexp = common::Json::array();
+  for (const auto& u : unexpected) {
+    common::Json uj = common::Json::object();
+    uj["record_index"] = u.record_index;
+    uj["content"] = u.content;
+    uj["intel_key"] = u.extracted.to_json();
+    uj["intel_message"] = u.message.to_json();
+    unexp.push_back(std::move(uj));
+  }
+  j["unexpected_messages"] = std::move(unexp);
+  common::Json iss = common::Json::array();
+  for (const auto& i : issues) {
+    common::Json ij = common::Json::object();
+    ij["kind"] = std::string(to_string(i.kind));
+    ij["group"] = i.group;
+    common::Json sig = common::Json::array();
+    for (const auto& s : i.signature) sig.push_back(s);
+    ij["signature"] = std::move(sig);
+    common::Json mk = common::Json::array();
+    for (const int k : i.missing_keys) mk.push_back(k);
+    ij["missing_critical_keys"] = std::move(mk);
+    common::Json ov = common::Json::array();
+    for (const auto& [a, b] : i.violated_orders) {
+      common::Json pair = common::Json::array();
+      pair.push_back(a);
+      pair.push_back(b);
+      ov.push_back(std::move(pair));
+    }
+    ij["violated_orders"] = std::move(ov);
+    iss.push_back(std::move(ij));
+  }
+  j["group_issues"] = std::move(iss);
+  return j;
+}
+
+AnomalyDetector::AnomalyDetector(const logparse::Spell& spell, const logparse::KvFilter& kv,
+                                 const InfoExtractor& extractor,
+                                 const std::map<int, IntelKey>& intel_keys,
+                                 const EntityGroups& groups, const HwGraph& graph,
+                                 double expected_group_fraction)
+    : spell_(spell),
+      kv_(kv),
+      extractor_(extractor),
+      intel_keys_(intel_keys),
+      groups_(groups),
+      graph_(graph),
+      expected_groups_(graph.expected_groups(expected_group_fraction)) {}
+
+AnomalyReport AnomalyDetector::detect(const logparse::Session& session) const {
+  AnomalyReport report;
+  report.container_id = session.container_id;
+  report.session_length = session.records.size();
+
+  std::map<std::string, std::vector<GroupMessage>> group_messages;
+  std::set<std::string> groups_seen;
+
+  for (std::size_t ri = 0; ri < session.records.size(); ++ri) {
+    const logparse::LogRecord& rec = session.records[ri];
+    const int key_id = spell_.match(rec.content);
+    if (key_id < 0) {
+      // Unexpected log message: run extraction on the fly (§4.2).
+      UnexpectedMessage u;
+      u.record_index = ri;
+      u.content = rec.content;
+      u.extracted = extractor_.extract_from_message(rec.content);
+      // Instantiate against the pseudo-key built by extract_from_message.
+      logparse::LogKey pseudo;
+      pseudo.id = -1;
+      for (const auto& tok : common::split_ws(rec.content)) {
+        if (common::has_digit(tok)) {
+          if (pseudo.tokens.empty() || pseudo.tokens.back() != "*")
+            pseudo.tokens.emplace_back("*");
+        } else {
+          pseudo.tokens.push_back(tok);
+        }
+      }
+      u.message = extractor_.instantiate(u.extracted, pseudo, rec);
+      report.unexpected.push_back(std::move(u));
+      continue;
+    }
+    if (kv_.is_learned_kv_key(key_id)) continue;  // learned key-value noise (§5)
+    const auto ik_it = intel_keys_.find(key_id);
+    if (ik_it == intel_keys_.end()) continue;
+    const IntelKey& ik = ik_it->second;
+
+    const IntelMessage msg =
+        extractor_.instantiate(ik, spell_.key(key_id), rec);
+    GroupMessage gm;
+    gm.key_id = key_id;
+    gm.ids = msg.identifiers;
+    gm.record_index = ri;
+    gm.timestamp_ms = rec.timestamp_ms;
+    std::set<std::string> target_groups;
+    for (const auto& entity : ik.entities) {
+      const auto& gs = groups_.groups_of(entity);
+      target_groups.insert(gs.begin(), gs.end());
+    }
+    for (const auto& g : target_groups) {
+      group_messages[g].push_back(gm);
+      groups_seen.insert(g);
+    }
+  }
+
+  // Expected groups that never appeared -> erroneous HW-graph instance.
+  for (const auto& g : expected_groups_) {
+    if (!groups_seen.count(g)) {
+      GroupIssue issue;
+      issue.kind = GroupIssue::Kind::MissingGroup;
+      issue.group = g;
+      report.issues.push_back(std::move(issue));
+    }
+  }
+
+  // Subroutine instances checked against the trained model.
+  for (const auto& [gname, messages] : group_messages) {
+    const auto git = graph_.groups().find(gname);
+    if (git == graph_.groups().end()) continue;
+    const SubroutineModel& model = git->second.subroutines;
+    if (model.empty()) continue;
+    for (const auto& inst : partition_instances(messages)) {
+      const auto check = model.check(inst);
+      if (!check.known_signature) {
+        GroupIssue issue;
+        issue.kind = GroupIssue::Kind::UnknownSignature;
+        issue.group = gname;
+        issue.signature = inst.signature;
+        report.issues.push_back(std::move(issue));
+      } else if (!check.missing_critical.empty()) {
+        GroupIssue issue;
+        issue.kind = GroupIssue::Kind::IncompleteSubroutine;
+        issue.group = gname;
+        issue.signature = inst.signature;
+        issue.missing_keys = check.missing_critical;
+        report.issues.push_back(std::move(issue));
+      } else if (!check.order_violations.empty()) {
+        GroupIssue issue;
+        issue.kind = GroupIssue::Kind::OrderViolation;
+        issue.group = gname;
+        issue.signature = inst.signature;
+        issue.violated_orders = check.order_violations;
+        report.issues.push_back(std::move(issue));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace intellog::core

@@ -1,0 +1,75 @@
+// Anomaly detection (§4.2).
+//
+// For each incoming session IntelLog instantiates a HW-graph instance and
+// checks it against the trained HW-graph. Two anomaly classes are reported:
+//  1. unexpected log messages — no Intel Key matches; the §3 extraction
+//     runs on the raw message so the report carries structured fields
+//     (this is what powers the case-study GroupBy diagnosis), and
+//  2. erroneous HW-graph instances — an expected entity group never
+//     appeared, a subroutine instance misses critical Intel Keys, or an
+//     instance has an identifier-type signature never seen in training.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/entity_grouping.hpp"
+#include "core/extraction.hpp"
+#include "core/hw_graph.hpp"
+#include "core/intel_key.hpp"
+#include "logparse/kv_filter.hpp"
+#include "logparse/session.hpp"
+#include "logparse/spell.hpp"
+
+namespace intellog::core {
+
+struct UnexpectedMessage {
+  std::size_t record_index = 0;
+  std::string content;
+  IntelKey extracted;    ///< on-the-fly §3 extraction result
+  IntelMessage message;  ///< structured fields for queries
+};
+
+struct GroupIssue {
+  enum class Kind { MissingGroup, IncompleteSubroutine, UnknownSignature, OrderViolation };
+  Kind kind = Kind::MissingGroup;
+  std::string group;
+  std::set<std::string> signature;   ///< subroutine signature (if relevant)
+  std::vector<int> missing_keys;     ///< critical keys never seen
+  std::vector<std::pair<int, int>> violated_orders;  ///< BEFORE pairs inverted
+};
+
+std::string_view to_string(GroupIssue::Kind kind);
+
+struct AnomalyReport {
+  std::string container_id;
+  std::size_t session_length = 0;
+  std::vector<UnexpectedMessage> unexpected;
+  std::vector<GroupIssue> issues;
+
+  bool anomalous() const { return !unexpected.empty() || !issues.empty(); }
+  common::Json to_json() const;
+};
+
+class AnomalyDetector {
+ public:
+  AnomalyDetector(const logparse::Spell& spell, const logparse::KvFilter& kv,
+                  const InfoExtractor& extractor, const std::map<int, IntelKey>& intel_keys,
+                  const EntityGroups& groups, const HwGraph& graph,
+                  double expected_group_fraction);
+
+  AnomalyReport detect(const logparse::Session& session) const;
+
+ private:
+  const logparse::Spell& spell_;
+  const logparse::KvFilter& kv_;
+  const InfoExtractor& extractor_;
+  const std::map<int, IntelKey>& intel_keys_;
+  const EntityGroups& groups_;
+  const HwGraph& graph_;
+  std::vector<std::string> expected_groups_;
+};
+
+}  // namespace intellog::core

@@ -1,0 +1,38 @@
+// Entity grouping by nomenclature (§4.1, Algorithm 1).
+//
+// Correlated entities share a common sub-phrase in their names ("block",
+// "block manager", "block manager endpoint"), but entities that only share
+// their *last* words are usually unrelated ("block manager" vs "security
+// manager" — "manager" is too generic). Algorithm 1 grows groups by the
+// longest common phrase, rejecting suffix-only overlaps, and keeps a
+// reverse index from entity to groups (an entity can belong to several).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace intellog::core {
+
+struct EntityGroups {
+  /// Group name (the shared common phrase) -> entities in the group.
+  std::map<std::string, std::set<std::string>> groups;
+  /// Reverse index: entity -> the groups it belongs to.
+  std::map<std::string, std::set<std::string>> reverse;
+
+  /// Groups an entity belongs to (empty set when unknown).
+  const std::set<std::string>& groups_of(const std::string& entity) const;
+};
+
+/// The LongestCommonPhrase function of Algorithm 1 (word-level). Returns an
+/// empty vector when the phrases only share their last words or share
+/// nothing.
+std::vector<std::string> longest_common_phrase(const std::vector<std::string>& a,
+                                               const std::vector<std::string>& b);
+
+/// Algorithm 1. `entities` are space-joined lemmatized phrases.
+EntityGroups group_entities(const std::vector<std::string>& entities);
+
+}  // namespace intellog::core

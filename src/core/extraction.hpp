@@ -1,0 +1,95 @@
+// NLP-assisted information extraction (§3): log key + sample message ->
+// Intel Key; concrete message + Intel Key -> Intel Message.
+//
+// Pipeline (Fig. 3 / Fig. 4):
+//  1. A log key contains '*' fields, so the POS tagger runs on a *sample
+//     log message* and the tags are transferred back (the key's variable
+//     positions are recovered by aligning the key's constant tokens to the
+//     sample with an LCS).
+//  2. Entities come from the Table-2 POS patterns over nouns/adjectives
+//     (longest match first) plus the camel-case filter; phrases are
+//     lemmatized to singular. Unit words ("bytes", "ms") are omitted.
+//  3. Variable fields are classified by the four §3.1 heuristics:
+//     verb-tagged and locality fields are filtered first, then
+//     number+unit -> value, letter+digit mix -> identifier, bare number ->
+//     identifier iff the preceding word is a noun.
+//  4. Operations come from the shallow UD parse: {subj-entity, predicate,
+//     obj-entity} via the Table-3 relations.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/intel_key.hpp"
+#include "core/locality.hpp"
+#include "logparse/spell.hpp"
+#include "nlp/dependency_parser.hpp"
+#include "nlp/lemmatizer.hpp"
+#include "nlp/pos_tagger.hpp"
+
+namespace intellog::core {
+
+class InfoExtractor {
+ public:
+  InfoExtractor();
+
+  // The lemmatizer points into this object's own lexicon, so moves must
+  // re-seat that pointer.
+  InfoExtractor(InfoExtractor&& other) noexcept
+      : tagger_(std::move(other.tagger_)),
+        lemmatizer_(&tagger_.lexicon()),
+        parser_(std::move(other.parser_)),
+        locality_(std::move(other.locality_)) {}
+  InfoExtractor& operator=(InfoExtractor&& other) noexcept {
+    tagger_ = std::move(other.tagger_);
+    lemmatizer_ = nlp::Lemmatizer(&tagger_.lexicon());
+    parser_ = std::move(other.parser_);
+    locality_ = std::move(other.locality_);
+    return *this;
+  }
+  InfoExtractor(const InfoExtractor&) = delete;
+  InfoExtractor& operator=(const InfoExtractor&) = delete;
+
+  /// Builds the Intel Key for a Spell log key using a sample message that
+  /// matched the key.
+  IntelKey extract(const logparse::LogKey& key, std::string_view sample_message) const;
+
+  /// §4.2: extracts directly from an unexpected message (no log key).
+  IntelKey extract_from_message(std::string_view message) const;
+
+  /// Fills an Intel Message from a concrete record matching `key`.
+  IntelMessage instantiate(const IntelKey& ikey, const logparse::LogKey& key,
+                           const logparse::LogRecord& record) const;
+
+  /// Infers the identifier type of a concrete identifier value
+  /// ("attempt_01" -> "ATTEMPT", "3" after "TID" -> "TID").
+  static std::string infer_id_type(std::string_view value, std::string_view prev_word);
+
+  /// True for unit words that follow values ("bytes", "ms", "MB", ...).
+  static bool is_unit_word(std::string_view lower_word);
+
+  const nlp::PosTagger& tagger() const { return tagger_; }
+  LocalityMatcher& locality() { return locality_; }
+
+ private:
+  struct Analysis;  // internal working state
+
+  Analysis analyze(const std::vector<std::string>& key_tokens,
+                   std::string_view sample_message) const;
+
+  nlp::PosTagger tagger_;
+  nlp::Lemmatizer lemmatizer_;
+  nlp::DependencyParser parser_;
+  LocalityMatcher locality_;
+};
+
+/// Splits a message into whitespace tokens and returns, for each '*' gap of
+/// the key (in order), the concatenated message tokens filling that gap.
+/// Shared by extraction and instantiation.
+std::vector<std::string> align_fields(const std::vector<std::string>& key_tokens,
+                                      const std::vector<std::string>& message_ws_tokens,
+                                      std::vector<int>* ws_field_index = nullptr);
+
+}  // namespace intellog::core

@@ -1,0 +1,236 @@
+#include "core/hw_graph.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace intellog::core {
+
+std::string_view to_string(GroupRelation rel) {
+  switch (rel) {
+    case GroupRelation::Parent: return "PARENT";
+    case GroupRelation::ChildOf: return "CHILD";
+    case GroupRelation::Before: return "BEFORE";
+    case GroupRelation::After: return "AFTER";
+    case GroupRelation::Parallel: return "PARALLEL";
+  }
+  return "PARALLEL";
+}
+
+std::optional<GroupRelation> HwGraph::relation(const std::string& a, const std::string& b) const {
+  if (const auto it = relations_.find({a, b}); it != relations_.end()) return it->second;
+  if (const auto it = relations_.find({b, a}); it != relations_.end()) {
+    switch (it->second) {
+      case GroupRelation::Parent: return GroupRelation::ChildOf;
+      case GroupRelation::ChildOf: return GroupRelation::Parent;
+      case GroupRelation::Before: return GroupRelation::After;
+      case GroupRelation::After: return GroupRelation::Before;
+      case GroupRelation::Parallel: return GroupRelation::Parallel;
+    }
+  }
+  return std::nullopt;
+}
+
+const std::vector<std::string>& HwGraph::children_of(const std::string& g) const {
+  static const std::vector<std::string> kEmpty;
+  const auto it = children_.find(g);
+  return it == children_.end() ? kEmpty : it->second;
+}
+
+std::string HwGraph::parent_of(const std::string& g) const {
+  const auto it = parent_.find(g);
+  return it == parent_.end() ? std::string{} : it->second;
+}
+
+std::vector<std::string> HwGraph::expected_groups(double fraction) const {
+  std::vector<std::string> out;
+  if (training_sessions_ == 0) return out;
+  for (const auto& [name, node] : groups_) {
+    const double f =
+        static_cast<double>(node.sessions_present) / static_cast<double>(training_sessions_);
+    if (f >= fraction) out.push_back(name);
+  }
+  return out;
+}
+
+std::size_t HwGraph::critical_group_count() const {
+  std::size_t n = 0;
+  for (const auto& [name, node] : groups_) {
+    (void)name;
+    if (node.is_critical()) ++n;
+  }
+  return n;
+}
+
+common::Json HwGraph::to_json() const {
+  common::Json j = common::Json::object();
+  j["training_sessions"] = training_sessions_;
+  common::Json groups = common::Json::object();
+  for (const auto& [name, node] : groups_) {
+    common::Json g = common::Json::object();
+    g["critical"] = node.is_critical();
+    g["sessions_present"] = node.sessions_present;
+    g["parent"] = parent_of(name);
+    common::Json keys = common::Json::array();
+    for (const int k : node.keys) keys.push_back(k);
+    g["intel_keys"] = std::move(keys);
+    common::Json subs = common::Json::array();
+    for (const auto& [sig, sub] : node.subroutines.subroutines()) {
+      common::Json s = common::Json::object();
+      common::Json sigj = common::Json::array();
+      for (const auto& t : sig) sigj.push_back(t);
+      s["signature"] = std::move(sigj);
+      common::Json sk = common::Json::array();
+      for (const int k : sub.keys) sk.push_back(k);
+      s["keys"] = std::move(sk);
+      common::Json crit = common::Json::array();
+      for (const int k : sub.critical) crit.push_back(k);
+      s["critical_keys"] = std::move(crit);
+      s["instances"] = sub.instance_count;
+      subs.push_back(std::move(s));
+    }
+    g["subroutines"] = std::move(subs);
+    groups[name] = std::move(g);
+  }
+  j["groups"] = std::move(groups);
+  common::Json rels = common::Json::array();
+  for (const auto& [pair, rel] : relations_) {
+    common::Json r = common::Json::object();
+    r["a"] = pair.first;
+    r["b"] = pair.second;
+    r["relation"] = std::string(to_string(rel));
+    rels.push_back(std::move(r));
+  }
+  j["relations"] = std::move(rels);
+  return j;
+}
+
+std::string HwGraph::to_dot() const {
+  std::string out = "digraph hwgraph {\n  rankdir=TB;\n  node [shape=box, fontname=\"Helvetica\"];\n";
+  const auto id_of = [](const std::string& name) {
+    std::string id = "g_";
+    for (char c : name) id += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+    return id;
+  };
+  for (const auto& [name, node] : groups_) {
+    out += "  " + id_of(name) + " [label=\"" + name + "\\n(" + std::to_string(node.keys.size()) +
+           " keys)\"" + (node.is_critical() ? ", style=filled, fillcolor=\"#dbe9f6\"" : "") +
+           "];\n";
+  }
+  for (const auto& [child, parent] : parent_) {
+    out += "  " + id_of(parent) + " -> " + id_of(child) + ";\n";
+  }
+  for (std::size_t i = 0; i < roots_.size(); ++i) {
+    for (std::size_t j = 0; j < roots_.size(); ++j) {
+      if (i == j) continue;
+      const auto rel = relation(roots_[i], roots_[j]);
+      if (rel && *rel == GroupRelation::Before) {
+        out += "  " + id_of(roots_[i]) + " -> " + id_of(roots_[j]) +
+               " [style=dashed, label=\"before\"];\n";
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+void HwGraph::restore_structure(
+    std::map<std::pair<std::string, std::string>, GroupRelation> relations,
+    std::map<std::string, std::string> parent, std::size_t training_sessions) {
+  relations_ = std::move(relations);
+  parent_ = std::move(parent);
+  training_sessions_ = training_sessions;
+  children_.clear();
+  roots_.clear();
+  for (auto& [name, node] : groups_) {
+    node.name = name;
+    const auto it = parent_.find(name);
+    if (it == parent_.end()) {
+      roots_.push_back(name);
+    } else {
+      children_[it->second].push_back(name);
+    }
+  }
+}
+
+void HwGraphBuilder::add_session(const SessionLifespans& spans) {
+  ++sessions_;
+  for (const auto& [name, span] : spans) {
+    (void)span;
+    presence_[name]++;
+  }
+  for (auto ia = spans.begin(); ia != spans.end(); ++ia) {
+    for (auto ib = std::next(ia); ib != spans.end(); ++ib) {
+      PairStats& ps = pairs_[{ia->first, ib->first}];
+      ps.together++;
+      const Lifespan& a = ia->second;
+      const Lifespan& b = ib->second;
+      if (!(b.first_ms <= a.first_ms && a.last_ms <= b.last_ms)) ps.a_in_b = false;
+      if (!(a.first_ms <= b.first_ms && b.last_ms <= a.last_ms)) ps.b_in_a = false;
+      if (!(a.last_ms < b.first_ms)) ps.a_before_b = false;
+      if (!(b.last_ms < a.first_ms)) ps.b_before_a = false;
+    }
+  }
+}
+
+void HwGraphBuilder::finalize(HwGraph& graph) const {
+  graph.training_sessions_ = sessions_;
+  for (auto& [name, node] : graph.groups_) {
+    node.name = name;
+    const auto it = presence_.find(name);
+    node.sessions_present = it == presence_.end() ? 0 : it->second;
+  }
+  // Pairwise relations (Fig. 6): checked across every shared session.
+  graph.relations_.clear();
+  for (const auto& [pair, ps] : pairs_) {
+    GroupRelation rel;
+    if (ps.a_in_b && ps.b_in_a) {
+      rel = GroupRelation::Parallel;  // identical spans: no hierarchy signal
+    } else if (ps.b_in_a) {
+      rel = GroupRelation::Parent;  // a contains b
+    } else if (ps.a_in_b) {
+      rel = GroupRelation::ChildOf;
+    } else if (ps.a_before_b) {
+      rel = GroupRelation::Before;
+    } else if (ps.b_before_a) {
+      rel = GroupRelation::After;
+    } else {
+      rel = GroupRelation::Parallel;
+    }
+    graph.relations_[pair] = rel;
+  }
+
+  // Containment tree (the Fig. 7 iterative construction collapses to:
+  // each group's parent is its tightest container).
+  graph.parent_.clear();
+  graph.children_.clear();
+  graph.roots_.clear();
+  // Average span length per group (over sessions) to pick the tightest.
+  const auto containers_of = [&](const std::string& g) {
+    std::vector<std::string> out;
+    for (const auto& [name, node] : graph.groups_) {
+      (void)node;
+      if (name == g) continue;
+      const auto rel = graph.relation(name, g);
+      if (rel && *rel == GroupRelation::Parent) out.push_back(name);
+    }
+    return out;
+  };
+  for (const auto& [name, node] : graph.groups_) {
+    (void)node;
+    const auto containers = containers_of(name);
+    if (containers.empty()) {
+      graph.roots_.push_back(name);
+      continue;
+    }
+    // The tightest container is itself contained in every other container.
+    std::string best = containers.front();
+    for (const auto& c : containers) {
+      const auto rel = graph.relation(best, c);
+      if (rel && *rel == GroupRelation::Parent) best = c;
+    }
+    graph.parent_[name] = best;
+    graph.children_[best].push_back(name);
+  }
+}
+
+}  // namespace intellog::core

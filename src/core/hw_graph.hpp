@@ -1,0 +1,119 @@
+// The Hierarchical Workflow graph (§4.1, Figs. 6-8).
+//
+// Entity groups get lifespans per session (first..last message of the
+// group). Two groups relate as PARENT when one's lifespan nests inside the
+// other's in *every* session they share, BEFORE when one always ends before
+// the other begins, and PARALLEL otherwise. The HW-graph is the containment
+// tree plus the BEFORE edges among siblings, with each group carrying its
+// subroutines. Critical groups (§6.3) have multiple Intel Keys or a key
+// that repeats within a single session.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "core/entity_grouping.hpp"
+#include "core/subroutine.hpp"
+
+namespace intellog::core {
+
+enum class GroupRelation { Parent, ChildOf, Before, After, Parallel };
+
+std::string_view to_string(GroupRelation rel);
+
+/// Lifespan of an entity group within one session.
+struct Lifespan {
+  std::uint64_t first_ms = 0;
+  std::uint64_t last_ms = 0;
+  std::size_t message_count = 0;
+};
+
+using SessionLifespans = std::map<std::string, Lifespan>;
+
+/// Per-group aggregate state in the trained HW-graph.
+struct GroupNode {
+  std::string name;
+  std::set<int> keys;              ///< Intel Keys whose entities hit the group
+  SubroutineModel subroutines;
+  std::size_t sessions_present = 0;
+  bool repeated_key_in_session = false;  ///< §6.3 critical criterion 2
+
+  /// §6.3: multiple Intel Keys, or one key logging repeatedly in a session.
+  bool is_critical() const { return keys.size() >= 2 || repeated_key_in_session; }
+};
+
+class HwGraph {
+ public:
+  /// Relation from a to b (a PARENT b == b nests in a). Pairs that never
+  /// co-occurred return nullopt.
+  std::optional<GroupRelation> relation(const std::string& a, const std::string& b) const;
+
+  const std::map<std::string, GroupNode>& groups() const { return groups_; }
+  GroupNode& group(const std::string& name) { return groups_[name]; }
+  const std::vector<std::string>& roots() const { return roots_; }
+  const std::vector<std::string>& children_of(const std::string& g) const;
+  /// Parent in the containment tree ("" for roots).
+  std::string parent_of(const std::string& g) const;
+
+  std::size_t training_sessions() const { return training_sessions_; }
+  /// Groups present in >= `fraction` of training sessions (detection
+  /// expects them in every session).
+  std::vector<std::string> expected_groups(double fraction) const;
+
+  std::size_t critical_group_count() const;
+
+  /// All pairwise relations (serialization / introspection).
+  const std::map<std::pair<std::string, std::string>, GroupRelation>& relations() const {
+    return relations_;
+  }
+
+  /// Restores the structural state (model deserialization): relations,
+  /// parent pointers (children/roots are derived) and the training-session
+  /// count. Group nodes must already be populated via group().
+  void restore_structure(
+      std::map<std::pair<std::string, std::string>, GroupRelation> relations,
+      std::map<std::string, std::string> parent, std::size_t training_sessions);
+
+  /// Fig.-8-style JSON export (hierarchy + relations + subroutines).
+  common::Json to_json() const;
+
+  /// Graphviz DOT export: containment tree as solid edges, BEFORE
+  /// relations among roots as dashed edges, critical groups shaded.
+  std::string to_dot() const;
+
+ private:
+  friend class HwGraphBuilder;
+  std::map<std::string, GroupNode> groups_;
+  std::map<std::pair<std::string, std::string>, GroupRelation> relations_;
+  std::map<std::string, std::string> parent_;
+  std::map<std::string, std::vector<std::string>> children_;
+  std::vector<std::string> roots_;
+  std::size_t training_sessions_ = 0;
+};
+
+/// Accumulates per-session lifespans, then computes relations and the tree
+/// (the Fig. 7 construction).
+class HwGraphBuilder {
+ public:
+  void add_session(const SessionLifespans& spans);
+  /// Consumes accumulated state; `graph.groups_` must already be populated
+  /// with keys/subroutines by the caller (the IntelLog facade does this).
+  void finalize(HwGraph& graph) const;
+
+ private:
+  struct PairStats {
+    std::size_t together = 0;
+    bool a_in_b = true, b_in_a = true;   // containment in every session
+    bool a_before_b = true, b_before_a = true;
+  };
+  std::map<std::string, std::size_t> presence_;
+  std::map<std::pair<std::string, std::string>, PairStats> pairs_;  // a < b
+  std::size_t sessions_ = 0;
+};
+
+}  // namespace intellog::core

@@ -1,0 +1,71 @@
+#include "core/intel_key.hpp"
+
+namespace intellog::core {
+
+namespace {
+
+std::string category_name(FieldCategory c) {
+  switch (c) {
+    case FieldCategory::Entity: return "entity";
+    case FieldCategory::Identifier: return "identifier";
+    case FieldCategory::Value: return "value";
+    case FieldCategory::Locality: return "locality";
+    case FieldCategory::Other: return "other";
+  }
+  return "other";
+}
+
+}  // namespace
+
+common::Json IntelKey::to_json() const {
+  common::Json j = common::Json::object();
+  j["key_id"] = key_id;
+  j["key"] = key_text;
+  j["kv_only"] = kv_only;
+  common::Json ents = common::Json::array();
+  for (const auto& e : entities) ents.push_back(e);
+  j["entities"] = std::move(ents);
+  common::Json flds = common::Json::array();
+  for (const auto& f : fields) {
+    common::Json fj = common::Json::object();
+    fj["category"] = category_name(f.category);
+    if (!f.id_type.empty()) fj["id_type"] = f.id_type;
+    if (!f.unit.empty()) fj["unit"] = f.unit;
+    flds.push_back(std::move(fj));
+  }
+  j["fields"] = std::move(flds);
+  common::Json ops = common::Json::array();
+  for (const auto& op : operations) {
+    common::Json oj = common::Json::object();
+    oj["subj"] = op.subj;
+    oj["predicate"] = op.predicate;
+    oj["obj"] = op.obj;
+    ops.push_back(std::move(oj));
+  }
+  j["operations"] = std::move(ops);
+  return j;
+}
+
+common::Json IntelMessage::to_json() const {
+  common::Json j = common::Json::object();
+  j["key_id"] = key_id;
+  j["timestamp_ms"] = static_cast<std::int64_t>(timestamp_ms);
+  j["container"] = container_id;
+  common::Json ids = common::Json::object();
+  for (const auto& iv : identifiers) ids[iv.type] = iv.value;
+  j["identifiers"] = std::move(ids);
+  common::Json vals = common::Json::array();
+  for (const auto& [text, unit] : values) {
+    common::Json vj = common::Json::object();
+    vj["value"] = text;
+    if (!unit.empty()) vj["unit"] = unit;
+    vals.push_back(std::move(vj));
+  }
+  j["values"] = std::move(vals);
+  common::Json locs = common::Json::array();
+  for (const auto& l : localities) locs.push_back(l);
+  j["localities"] = std::move(locs);
+  return j;
+}
+
+}  // namespace intellog::core

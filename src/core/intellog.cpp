@@ -1,0 +1,196 @@
+#include "core/intellog.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+#include "common/thread_pool.hpp"
+
+namespace intellog::core {
+
+IntelLog::IntelLog(Config config)
+    : config_(config),
+      spell_(config.spell_threshold),
+      kv_filter_(&extractor_.tagger().lexicon()) {}
+
+IntelLog::IntelLog(IntelLog&& other) noexcept
+    : config_(other.config_),
+      extractor_(std::move(other.extractor_)),
+      spell_(std::move(other.spell_)),
+      kv_filter_(std::move(other.kv_filter_)),
+      intel_keys_(std::move(other.intel_keys_)),
+      samples_(std::move(other.samples_)),
+      groups_(std::move(other.groups_)),
+      graph_(std::move(other.graph_)),
+      trained_(other.trained_) {
+  other.detector_.reset();
+  other.trained_ = false;
+  if (trained_) {
+    detector_ = std::make_unique<AnomalyDetector>(spell_, kv_filter_, extractor_, intel_keys_,
+                                                  groups_, graph_,
+                                                  config_.expected_group_fraction);
+  }
+}
+
+IntelLog& IntelLog::operator=(IntelLog&& other) noexcept {
+  if (this == &other) return *this;
+  detector_.reset();
+  config_ = other.config_;
+  extractor_ = std::move(other.extractor_);
+  spell_ = std::move(other.spell_);
+  kv_filter_ = std::move(other.kv_filter_);
+  intel_keys_ = std::move(other.intel_keys_);
+  samples_ = std::move(other.samples_);
+  groups_ = std::move(other.groups_);
+  graph_ = std::move(other.graph_);
+  trained_ = other.trained_;
+  other.detector_.reset();
+  other.trained_ = false;
+  if (trained_) {
+    detector_ = std::make_unique<AnomalyDetector>(spell_, kv_filter_, extractor_, intel_keys_,
+                                                  groups_, graph_,
+                                                  config_.expected_group_fraction);
+  }
+  return *this;
+}
+
+const std::string& IntelLog::sample_message(int key_id) const {
+  static const std::string kEmpty;
+  const auto it = samples_.find(key_id);
+  return it == samples_.end() ? kEmpty : it->second;
+}
+
+std::set<std::string> IntelLog::groups_of_key(int key_id) const {
+  std::set<std::string> out;
+  const auto it = intel_keys_.find(key_id);
+  if (it == intel_keys_.end()) return out;
+  for (const auto& entity : it->second.entities) {
+    const auto& gs = groups_.groups_of(entity);
+    out.insert(gs.begin(), gs.end());
+  }
+  return out;
+}
+
+void IntelLog::train(const std::vector<logparse::Session>& sessions) {
+  if (trained_) throw std::logic_error("IntelLog::train called twice");
+
+  // --- Stage 1 (Fig. 2): Spell log-key extraction --------------------------
+  std::vector<std::vector<int>> session_keys(sessions.size());
+  for (std::size_t si = 0; si < sessions.size(); ++si) {
+    session_keys[si].reserve(sessions[si].records.size());
+    for (const auto& rec : sessions[si].records) {
+      const int id = spell_.consume(rec.content);
+      if (id >= 0) samples_.try_emplace(id, rec.content);
+      session_keys[si].push_back(id);
+    }
+  }
+
+  // --- Stage 2: Intel Keys (NL keys only; key-value keys are learned and
+  // skipped, §5). Extraction is independent per key -> parallel.
+  common::ThreadPool pool(config_.num_threads);
+  {
+    std::vector<int> nl_keys;
+    for (const auto& key : spell_.keys()) {
+      const std::string& sample = samples_[key.id];
+      // §5: only pure key-value status lines are omitted; clause-less prose
+      // still gets an Intel Key.
+      if (kv_filter_.is_kv_only(sample)) {
+        kv_filter_.learn_kv_key(key.id);
+      } else {
+        nl_keys.push_back(key.id);
+      }
+    }
+    std::vector<IntelKey> extracted(nl_keys.size());
+    pool.parallel_for(nl_keys.size(), [&](std::size_t i) {
+      const int id = nl_keys[i];
+      extracted[i] = extractor_.extract(spell_.key(id), samples_[id]);
+    });
+    for (auto& ik : extracted) intel_keys_.emplace(ik.key_id, std::move(ik));
+  }
+
+  // --- Stage 3: entity grouping (Algorithm 1) ------------------------------
+  {
+    std::vector<std::string> all_entities;
+    for (const auto& [id, ik] : intel_keys_) {
+      (void)id;
+      all_entities.insert(all_entities.end(), ik.entities.begin(), ik.entities.end());
+    }
+    groups_ = group_entities(all_entities);
+  }
+  std::map<int, std::set<std::string>> key_groups;
+  for (const auto& [id, ik] : intel_keys_) {
+    (void)ik;
+    key_groups[id] = groups_of_key(id);
+  }
+
+  // --- Stage 3b: per-session group sequences, lifespans, subroutines ------
+  struct SessionView {
+    SessionLifespans spans;
+    std::map<std::string, std::vector<GroupMessage>> group_messages;
+  };
+  std::vector<SessionView> views(sessions.size());
+  pool.parallel_for(sessions.size(), [&](std::size_t si) {
+    SessionView& view = views[si];
+    const auto& session = sessions[si];
+    for (std::size_t ri = 0; ri < session.records.size(); ++ri) {
+      const int id = session_keys[si][ri];
+      if (id < 0 || kv_filter_.is_learned_kv_key(id)) continue;
+      const auto kg = key_groups.find(id);
+      if (kg == key_groups.end() || kg->second.empty()) continue;
+      const IntelMessage msg =
+          extractor_.instantiate(intel_keys_.at(id), spell_.key(id), session.records[ri]);
+      GroupMessage gm;
+      gm.key_id = id;
+      gm.ids = msg.identifiers;
+      gm.record_index = ri;
+      gm.timestamp_ms = session.records[ri].timestamp_ms;
+      for (const auto& g : kg->second) {
+        view.group_messages[g].push_back(gm);
+        auto [it, fresh] = view.spans.emplace(g, Lifespan{gm.timestamp_ms, gm.timestamp_ms, 1});
+        if (!fresh) {
+          it->second.first_ms = std::min(it->second.first_ms, gm.timestamp_ms);
+          it->second.last_ms = std::max(it->second.last_ms, gm.timestamp_ms);
+          it->second.message_count++;
+        }
+      }
+    }
+  });
+
+  HwGraphBuilder builder;
+  for (const SessionView& view : views) {
+    builder.add_session(view.spans);
+    for (const auto& [gname, messages] : view.group_messages) {
+      GroupNode& node = graph_.group(gname);
+      std::map<int, int> key_counts;
+      for (const auto& m : messages) {
+        node.keys.insert(m.key_id);
+        if (++key_counts[m.key_id] >= 2) node.repeated_key_in_session = true;
+      }
+      node.subroutines.update(partition_instances(messages));
+    }
+  }
+  builder.finalize(graph_);
+
+  detector_ = std::make_unique<AnomalyDetector>(spell_, kv_filter_, extractor_, intel_keys_,
+                                                groups_, graph_,
+                                                config_.expected_group_fraction);
+  trained_ = true;
+}
+
+AnomalyReport IntelLog::detect(const logparse::Session& session) const {
+  if (!trained_) throw std::logic_error("IntelLog::detect before train");
+  return detector_->detect(session);
+}
+
+std::vector<IntelMessage> IntelLog::to_intel_messages(const logparse::Session& session) const {
+  std::vector<IntelMessage> out;
+  for (const auto& rec : session.records) {
+    const int id = spell_.match(rec.content);
+    if (id < 0 || kv_filter_.is_learned_kv_key(id)) continue;
+    const auto it = intel_keys_.find(id);
+    if (it == intel_keys_.end()) continue;
+    out.push_back(extractor_.instantiate(it->second, spell_.key(id), rec));
+  }
+  return out;
+}
+
+}  // namespace intellog::core

@@ -1,0 +1,96 @@
+// IntelLog facade (Fig. 2): the full pipeline behind one class.
+//
+//   log files -> [Spell: log keys] -> [NLP extraction: Intel Keys]
+//             -> [entity grouping + subroutines + lifespans: HW-graph]
+//             -> [anomaly detection on incoming sessions]
+//
+// Typical use:
+//   IntelLog il;
+//   il.train(training_sessions);          // tuned, fault-free runs
+//   auto report = il.detect(new_session); // report.anomalous() etc.
+//   auto json = il.hw_graph_json();       // queryable workflow export
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/anomaly.hpp"
+#include "core/entity_grouping.hpp"
+#include "core/extraction.hpp"
+#include "core/hw_graph.hpp"
+#include "core/intel_key.hpp"
+#include "core/message_store.hpp"
+#include "logparse/kv_filter.hpp"
+#include "logparse/session.hpp"
+#include "logparse/spell.hpp"
+
+namespace intellog::core {
+
+class IntelLog {
+ public:
+  struct Config {
+    double spell_threshold = 1.7;          ///< §5 empirical Spell threshold
+    /// A group is "expected" (its absence is an erroneous HW-graph
+    /// instance) only when EVERY training session contained it — sessions
+    /// are heterogeneous (AM vs mapper vs reducer containers), so any
+    /// lower bar misfires on whole session classes.
+    double expected_group_fraction = 1.0;
+    std::size_t num_threads = 0;           ///< 0 = hardware concurrency
+  };
+
+  IntelLog() : IntelLog(Config{}) {}
+  explicit IntelLog(Config config);
+
+  // The detector references this object's members, so moves rebuild it.
+  IntelLog(IntelLog&& other) noexcept;
+  IntelLog& operator=(IntelLog&& other) noexcept;
+  IntelLog(const IntelLog&) = delete;
+  IntelLog& operator=(const IntelLog&) = delete;
+
+  /// Trains the model from fault-free sessions (log keys, Intel Keys,
+  /// entity groups, subroutines, HW-graph). May be called once.
+  void train(const std::vector<logparse::Session>& sessions);
+
+  /// Detects anomalies in one session against the trained model.
+  AnomalyReport detect(const logparse::Session& session) const;
+
+  /// Converts a session's records into Intel Messages (for MessageStore
+  /// queries and exports).
+  std::vector<IntelMessage> to_intel_messages(const logparse::Session& session) const;
+
+  // --- model introspection -------------------------------------------------
+  bool trained() const { return trained_; }
+  const logparse::Spell& spell() const { return spell_; }
+  const std::map<int, IntelKey>& intel_keys() const { return intel_keys_; }
+  const EntityGroups& entity_groups() const { return groups_; }
+  const HwGraph& hw_graph() const { return graph_; }
+  const InfoExtractor& extractor() const { return extractor_; }
+  InfoExtractor& extractor() { return extractor_; }
+  const logparse::KvFilter& kv_filter() const { return kv_filter_; }
+  common::Json hw_graph_json() const { return graph_.to_json(); }
+  const Config& config() const { return config_; }
+
+  /// First sample message recorded for a log key during training.
+  const std::string& sample_message(int key_id) const;
+
+ private:
+  friend common::Json save_model(const IntelLog&);
+  friend IntelLog load_model(const common::Json&);
+
+  std::set<std::string> groups_of_key(int key_id) const;
+
+  Config config_;
+  InfoExtractor extractor_;
+  logparse::Spell spell_;
+  logparse::KvFilter kv_filter_;
+  std::map<int, IntelKey> intel_keys_;
+  std::map<int, std::string> samples_;
+  EntityGroups groups_;
+  HwGraph graph_;
+  std::unique_ptr<AnomalyDetector> detector_;
+  bool trained_ = false;
+};
+
+}  // namespace intellog::core

@@ -1,0 +1,107 @@
+#include "core/locality.hpp"
+
+#include <cctype>
+
+#include "common/strings.hpp"
+
+namespace intellog::core {
+
+namespace {
+
+bool valid_host_chars(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '.' && c != '-') return false;
+  }
+  return std::isalpha(static_cast<unsigned char>(s.front())) ||
+         std::isdigit(static_cast<unsigned char>(s.front()));
+}
+
+bool is_ipv4(std::string_view s) {
+  int dots = 0, run = 0;
+  for (char c : s) {
+    if (c == '.') {
+      if (run == 0 || run > 3) return false;
+      ++dots;
+      run = 0;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      ++run;
+    } else {
+      return false;
+    }
+  }
+  return dots == 3 && run >= 1 && run <= 3;
+}
+
+}  // namespace
+
+bool looks_like_host_name(std::string_view token) {
+  // Conservative: the well-known naming shapes of cluster nodes —
+  // "host3", "node12", "worker-7", "compute1", "master", or a dotted FQDN.
+  if (token.find('.') != std::string_view::npos) {
+    // FQDN: letters/digits/dots/dashes, at least one dot, not an IP, and a
+    // letter somewhere.
+    return valid_host_chars(token) && !is_ipv4(token) && common::has_letter(token) &&
+           !common::starts_with(token, ".") && !common::ends_with(token, ".");
+  }
+  static const char* kPrefixes[] = {"host", "node", "worker", "compute", "slave", "master"};
+  const std::string lower = common::to_lower(token);
+  for (const char* p : kPrefixes) {
+    if (lower == p) return true;
+    if (common::starts_with(lower, p)) {
+      const std::string_view rest = std::string_view(lower).substr(std::string(p).size());
+      if (common::is_all_digits(rest) || (rest.size() > 1 && rest.front() == '-' &&
+                                          common::is_all_digits(rest.substr(1))))
+        return true;
+    }
+  }
+  return false;
+}
+
+bool looks_like_ip_port(std::string_view token) {
+  const std::size_t colon = token.find(':');
+  if (colon == std::string_view::npos) return is_ipv4(token);
+  return is_ipv4(token.substr(0, colon)) && common::is_all_digits(token.substr(colon + 1));
+}
+
+bool looks_like_host_port(std::string_view token) {
+  const std::size_t colon = token.find(':');
+  if (colon == std::string_view::npos || colon == 0 || colon + 1 >= token.size()) return false;
+  if (token.find(':', colon + 1) != std::string_view::npos) return false;
+  return (valid_host_chars(token.substr(0, colon)) || is_ipv4(token.substr(0, colon))) &&
+         common::is_all_digits(token.substr(colon + 1));
+}
+
+bool looks_like_local_path(std::string_view token) {
+  return token.size() >= 2 && token.front() == '/' &&
+         token.find("://") == std::string_view::npos;
+}
+
+bool looks_like_dfs_path(std::string_view token) {
+  // Any scheme-qualified URI counts (hdfs://, s3a://, spark://, ...).
+  const std::size_t pos = token.find("://");
+  if (pos == std::string_view::npos || pos == 0) return false;
+  for (char c : token.substr(0, pos)) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+LocalityMatcher::LocalityMatcher() {
+  patterns_ = {
+      [](std::string_view t) { return looks_like_dfs_path(t); },
+      [](std::string_view t) { return looks_like_local_path(t); },
+      [](std::string_view t) { return looks_like_ip_port(t); },
+      [](std::string_view t) { return looks_like_host_port(t); },
+      [](std::string_view t) { return looks_like_host_name(t); },
+  };
+}
+
+bool LocalityMatcher::is_locality(std::string_view token) const {
+  for (const auto& p : patterns_) {
+    if (p(token)) return true;
+  }
+  return false;
+}
+
+}  // namespace intellog::core

@@ -1,0 +1,40 @@
+// Locality-information patterns (§3.1).
+//
+// "We define a set of patterns to capture commonly used locality
+// information in distributed systems. These patterns include: 1) host
+// names, 2) IP addresses and ports, 3) local directory paths, and 4)
+// distributed file system paths. Besides, users can define new patterns."
+#pragma once
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+namespace intellog::core {
+
+/// A user-extensible locality matcher: token -> is-locality.
+using LocalityPattern = std::function<bool(std::string_view)>;
+
+class LocalityMatcher {
+ public:
+  /// Builds the four built-in pattern classes.
+  LocalityMatcher();
+
+  /// True if the token carries locality information.
+  bool is_locality(std::string_view token) const;
+
+  /// Registers an additional user pattern.
+  void add_pattern(LocalityPattern pattern) { patterns_.push_back(std::move(pattern)); }
+
+ private:
+  std::vector<LocalityPattern> patterns_;
+};
+
+/// Built-in pattern primitives (exposed for tests and user composition).
+bool looks_like_host_name(std::string_view token);
+bool looks_like_ip_port(std::string_view token);
+bool looks_like_host_port(std::string_view token);
+bool looks_like_local_path(std::string_view token);
+bool looks_like_dfs_path(std::string_view token);
+
+}  // namespace intellog::core

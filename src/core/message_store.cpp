@@ -1,0 +1,47 @@
+#include "core/message_store.hpp"
+
+namespace intellog::core {
+
+void MessageStore::add_all(std::vector<IntelMessage> messages) {
+  for (auto& m : messages) messages_.push_back(std::move(m));
+}
+
+std::vector<const IntelMessage*> MessageStore::query(const Predicate& pred) const {
+  std::vector<const IntelMessage*> out;
+  for (const auto& m : messages_) {
+    if (pred(m)) out.push_back(&m);
+  }
+  return out;
+}
+
+std::vector<const IntelMessage*> MessageStore::by_key(int key_id) const {
+  return query([key_id](const IntelMessage& m) { return m.key_id == key_id; });
+}
+
+std::map<std::string, std::vector<const IntelMessage*>> MessageStore::group_by_identifier(
+    const std::string& type) const {
+  std::map<std::string, std::vector<const IntelMessage*>> out;
+  for (const auto& m : messages_) {
+    for (const auto& iv : m.identifiers) {
+      if (!type.empty() && iv.type != type) continue;
+      out[iv.type + ":" + iv.value].push_back(&m);
+    }
+  }
+  return out;
+}
+
+std::map<std::string, std::vector<const IntelMessage*>> MessageStore::group_by_locality() const {
+  std::map<std::string, std::vector<const IntelMessage*>> out;
+  for (const auto& m : messages_) {
+    for (const auto& loc : m.localities) out[loc].push_back(&m);
+  }
+  return out;
+}
+
+common::Json MessageStore::to_json() const {
+  common::Json arr = common::Json::array();
+  for (const auto& m : messages_) arr.push_back(m.to_json());
+  return arr;
+}
+
+}  // namespace intellog::core

@@ -1,0 +1,50 @@
+// Intel Message store with query operators (§3.3, §6.4).
+//
+// "An Intel Message can be considered as a collection of key-value pairs.
+// It naturally fits in the storage structure of time series databases."
+// The store supports the diagnosis workflow of the case studies: filter by
+// entity group / key, GroupBy on identifiers, GroupBy on locality — e.g.
+// case 1 groups the unexpected fetcher messages by identifier (11 fetchers)
+// and then by locality (a single host).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "core/intel_key.hpp"
+
+namespace intellog::core {
+
+class MessageStore {
+ public:
+  void add(IntelMessage message) { messages_.push_back(std::move(message)); }
+  void add_all(std::vector<IntelMessage> messages);
+
+  std::size_t size() const { return messages_.size(); }
+  const std::vector<IntelMessage>& all() const { return messages_; }
+
+  using Predicate = std::function<bool(const IntelMessage&)>;
+  /// Messages matching a predicate.
+  std::vector<const IntelMessage*> query(const Predicate& pred) const;
+  /// Messages of one Intel Key.
+  std::vector<const IntelMessage*> by_key(int key_id) const;
+
+  /// GroupBy identifier value, optionally restricted to one identifier
+  /// type. Group key is "TYPE:value".
+  std::map<std::string, std::vector<const IntelMessage*>> group_by_identifier(
+      const std::string& type = {}) const;
+
+  /// GroupBy locality (each locality value of a message counts once).
+  std::map<std::string, std::vector<const IntelMessage*>> group_by_locality() const;
+
+  /// Whole store as a JSON array (time-series-database-ready export).
+  common::Json to_json() const;
+
+ private:
+  std::vector<IntelMessage> messages_;
+};
+
+}  // namespace intellog::core

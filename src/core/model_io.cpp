@@ -1,0 +1,297 @@
+#include "core/model_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace intellog::core {
+
+namespace {
+
+using common::Json;
+using common::JsonArray;
+
+Json string_array(const std::vector<std::string>& v) {
+  Json arr = Json::array();
+  for (const auto& s : v) arr.push_back(s);
+  return arr;
+}
+
+Json string_array(const std::set<std::string>& v) {
+  Json arr = Json::array();
+  for (const auto& s : v) arr.push_back(s);
+  return arr;
+}
+
+Json int_array(const std::set<int>& v) {
+  Json arr = Json::array();
+  for (const int i : v) arr.push_back(i);
+  return arr;
+}
+
+std::vector<std::string> to_strings(const Json& arr) {
+  std::vector<std::string> out;
+  for (const auto& x : arr.as_array()) out.push_back(x.as_string());
+  return out;
+}
+
+std::set<std::string> to_string_set(const Json& arr) {
+  std::set<std::string> out;
+  for (const auto& x : arr.as_array()) out.insert(x.as_string());
+  return out;
+}
+
+std::set<int> to_int_set(const Json& arr) {
+  std::set<int> out;
+  for (const auto& x : arr.as_array()) out.insert(static_cast<int>(x.as_int()));
+  return out;
+}
+
+std::string category_name(FieldCategory c) {
+  switch (c) {
+    case FieldCategory::Entity: return "entity";
+    case FieldCategory::Identifier: return "identifier";
+    case FieldCategory::Value: return "value";
+    case FieldCategory::Locality: return "locality";
+    case FieldCategory::Other: return "other";
+  }
+  return "other";
+}
+
+FieldCategory category_from(const std::string& s) {
+  if (s == "entity") return FieldCategory::Entity;
+  if (s == "identifier") return FieldCategory::Identifier;
+  if (s == "value") return FieldCategory::Value;
+  if (s == "locality") return FieldCategory::Locality;
+  return FieldCategory::Other;
+}
+
+GroupRelation relation_from(const std::string& s) {
+  if (s == "PARENT") return GroupRelation::Parent;
+  if (s == "CHILD") return GroupRelation::ChildOf;
+  if (s == "BEFORE") return GroupRelation::Before;
+  if (s == "AFTER") return GroupRelation::After;
+  return GroupRelation::Parallel;
+}
+
+constexpr int kFormatVersion = 1;
+
+}  // namespace
+
+Json save_model(const IntelLog& model) {
+  if (!model.trained()) throw std::logic_error("save_model: model is untrained");
+  Json doc = Json::object();
+  doc["format_version"] = kFormatVersion;
+  doc["config"]["spell_threshold"] = model.config_.spell_threshold;
+  doc["config"]["expected_group_fraction"] = model.config_.expected_group_fraction;
+
+  // --- Spell log keys + samples ------------------------------------------------
+  Json keys = Json::array();
+  for (const auto& key : model.spell_.keys()) {
+    Json k = Json::object();
+    k["id"] = key.id;
+    k["tokens"] = string_array(key.tokens);
+    k["match_count"] = key.match_count;
+    k["sample"] = model.sample_message(key.id);
+    keys.push_back(std::move(k));
+  }
+  doc["log_keys"] = std::move(keys);
+
+  // --- key-value keys -------------------------------------------------------------
+  Json kv = Json::array();
+  for (const auto& key : model.spell_.keys()) {
+    if (model.kv_filter_.is_learned_kv_key(key.id)) kv.push_back(key.id);
+  }
+  doc["kv_keys"] = std::move(kv);
+
+  // --- Intel Keys -----------------------------------------------------------------
+  Json iks = Json::array();
+  for (const auto& [id, ik] : model.intel_keys_) {
+    (void)id;
+    iks.push_back(ik.to_json());
+  }
+  doc["intel_keys"] = std::move(iks);
+
+  // --- entity groups ----------------------------------------------------------------
+  Json groups = Json::object();
+  for (const auto& [name, members] : model.groups_.groups) {
+    groups[name] = string_array(members);
+  }
+  doc["entity_groups"] = std::move(groups);
+
+  // --- HW-graph ---------------------------------------------------------------------
+  Json graph = Json::object();
+  graph["training_sessions"] = model.graph_.training_sessions();
+  Json nodes = Json::object();
+  for (const auto& [name, node] : model.graph_.groups()) {
+    Json n = Json::object();
+    n["keys"] = int_array(node.keys);
+    n["sessions_present"] = node.sessions_present;
+    n["repeated_key"] = node.repeated_key_in_session;
+    Json subs = Json::array();
+    for (const auto& [sig, sub] : node.subroutines.subroutines()) {
+      Json s = Json::object();
+      s["signature"] = string_array(sig);
+      s["keys"] = int_array(sub.keys);
+      s["critical"] = int_array(sub.critical);
+      s["instances"] = sub.instance_count;
+      Json before = Json::array();
+      for (const auto& [a, b] : sub.before) {
+        Json pair = Json::array();
+        pair.push_back(a);
+        pair.push_back(b);
+        before.push_back(std::move(pair));
+      }
+      s["before"] = std::move(before);
+      Json parallel = Json::array();
+      for (const auto& [a, b] : sub.parallel) {
+        Json pair = Json::array();
+        pair.push_back(a);
+        pair.push_back(b);
+        parallel.push_back(std::move(pair));
+      }
+      s["parallel"] = std::move(parallel);
+      subs.push_back(std::move(s));
+    }
+    n["subroutines"] = std::move(subs);
+    nodes[name] = std::move(n);
+  }
+  graph["groups"] = std::move(nodes);
+  Json rels = Json::array();
+  for (const auto& [pair, rel] : model.graph_.relations()) {
+    Json r = Json::object();
+    r["a"] = pair.first;
+    r["b"] = pair.second;
+    r["rel"] = std::string(to_string(rel));
+    rels.push_back(std::move(r));
+  }
+  graph["relations"] = std::move(rels);
+  Json parents = Json::object();
+  for (const auto& [name, node] : model.graph_.groups()) {
+    (void)node;
+    const std::string p = model.graph_.parent_of(name);
+    if (!p.empty()) parents[name] = p;
+  }
+  graph["parents"] = std::move(parents);
+  doc["hw_graph"] = std::move(graph);
+  return doc;
+}
+
+IntelLog load_model(const Json& doc) {
+  if (!doc.is_object() || !doc.contains("format_version")) {
+    throw std::runtime_error("load_model: not an IntelLog model document");
+  }
+  if (doc["format_version"].as_int() != kFormatVersion) {
+    throw std::runtime_error("load_model: unsupported format version");
+  }
+  IntelLog::Config cfg;
+  cfg.spell_threshold = doc["config"]["spell_threshold"].as_double();
+  cfg.expected_group_fraction = doc["config"]["expected_group_fraction"].as_double();
+  IntelLog model(cfg);
+
+  // --- Spell keys + samples ----------------------------------------------------
+  std::vector<logparse::LogKey> keys;
+  for (const auto& k : doc["log_keys"].as_array()) {
+    logparse::LogKey key;
+    key.id = static_cast<int>(k["id"].as_int());
+    key.tokens = to_strings(k["tokens"]);
+    key.match_count = static_cast<std::size_t>(k["match_count"].as_int());
+    if (key.id != static_cast<int>(keys.size())) {
+      throw std::runtime_error("load_model: log key ids must be dense and ordered");
+    }
+    keys.push_back(std::move(key));
+    model.samples_[keys.back().id] = k["sample"].as_string();
+  }
+  model.spell_.restore_keys(std::move(keys));
+
+  for (const auto& id : doc["kv_keys"].as_array()) {
+    model.kv_filter_.learn_kv_key(static_cast<int>(id.as_int()));
+  }
+
+  // --- Intel Keys ------------------------------------------------------------------
+  for (const auto& j : doc["intel_keys"].as_array()) {
+    IntelKey ik;
+    ik.key_id = static_cast<int>(j["key_id"].as_int());
+    ik.key_text = j["key"].as_string();
+    ik.kv_only = j["kv_only"].as_bool();
+    for (const auto& e : j["entities"].as_array()) ik.entities.push_back(e.as_string());
+    for (const auto& f : j["fields"].as_array()) {
+      FieldInfo info;
+      info.category = category_from(f["category"].as_string());
+      if (f.contains("id_type")) info.id_type = f["id_type"].as_string();
+      if (f.contains("unit")) info.unit = f["unit"].as_string();
+      ik.fields.push_back(std::move(info));
+    }
+    for (const auto& o : j["operations"].as_array()) {
+      ik.operations.push_back(
+          {o["subj"].as_string(), o["predicate"].as_string(), o["obj"].as_string()});
+    }
+    model.intel_keys_.emplace(ik.key_id, std::move(ik));
+  }
+
+  // --- entity groups -----------------------------------------------------------------
+  for (const auto& [name, members] : doc["entity_groups"].as_object()) {
+    auto& group = model.groups_.groups[name];
+    for (const auto& m : members.as_array()) {
+      group.insert(m.as_string());
+      model.groups_.reverse[m.as_string()].insert(name);
+    }
+  }
+
+  // --- HW-graph ------------------------------------------------------------------------
+  const Json& graph = doc["hw_graph"];
+  for (const auto& [name, n] : graph["groups"].as_object()) {
+    GroupNode& node = model.graph_.group(name);
+    node.name = name;
+    node.keys = to_int_set(n["keys"]);
+    node.sessions_present = static_cast<std::size_t>(n["sessions_present"].as_int());
+    node.repeated_key_in_session = n["repeated_key"].as_bool();
+    std::map<std::set<std::string>, Subroutine> subs;
+    for (const auto& s : n["subroutines"].as_array()) {
+      Subroutine sub;
+      sub.signature = to_string_set(s["signature"]);
+      sub.keys = to_int_set(s["keys"]);
+      sub.critical = to_int_set(s["critical"]);
+      sub.instance_count = static_cast<std::size_t>(s["instances"].as_int());
+      for (const auto& p : s["before"].as_array()) {
+        sub.before.emplace(static_cast<int>(p[0u].as_int()), static_cast<int>(p[1u].as_int()));
+      }
+      for (const auto& p : s["parallel"].as_array()) {
+        sub.parallel.emplace(static_cast<int>(p[0u].as_int()),
+                             static_cast<int>(p[1u].as_int()));
+      }
+      subs.emplace(sub.signature, std::move(sub));
+    }
+    node.subroutines.restore(std::move(subs));
+  }
+  std::map<std::pair<std::string, std::string>, GroupRelation> relations;
+  for (const auto& r : graph["relations"].as_array()) {
+    relations[{r["a"].as_string(), r["b"].as_string()}] = relation_from(r["rel"].as_string());
+  }
+  std::map<std::string, std::string> parents;
+  for (const auto& [name, p] : graph["parents"].as_object()) parents[name] = p.as_string();
+  model.graph_.restore_structure(std::move(relations), std::move(parents),
+                                 static_cast<std::size_t>(graph["training_sessions"].as_int()));
+
+  model.detector_ = std::make_unique<AnomalyDetector>(
+      model.spell_, model.kv_filter_, model.extractor_, model.intel_keys_, model.groups_,
+      model.graph_, cfg.expected_group_fraction);
+  model.trained_ = true;
+  return model;
+}
+
+void save_model_file(const IntelLog& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_model_file: cannot open " + path);
+  out << save_model(model).dump(2) << "\n";
+}
+
+IntelLog load_model_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_model_file: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return load_model(Json::parse(buf.str()));
+}
+
+}  // namespace intellog::core

@@ -1,0 +1,30 @@
+// Trained-model serialization.
+//
+// Training needs the full corpus; detection does not. save_model/load_model
+// round-trip everything detection depends on — Spell log keys, the
+// key-value key list, Intel Keys, entity groups, subroutines (keys, order
+// relations, critical sets), group lifapan relations and presence counts —
+// as a single JSON document, so a model trained once can ship to the
+// machines that tail the logs.
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+#include "core/intellog.hpp"
+
+namespace intellog::core {
+
+/// Serializes a trained IntelLog model. Throws std::logic_error if the
+/// model is untrained.
+common::Json save_model(const IntelLog& model);
+
+/// Reconstructs a trained IntelLog from save_model output. Throws
+/// std::runtime_error on malformed documents.
+IntelLog load_model(const common::Json& doc);
+
+/// Convenience file wrappers.
+void save_model_file(const IntelLog& model, const std::string& path);
+IntelLog load_model_file(const std::string& path);
+
+}  // namespace intellog::core

@@ -1,0 +1,90 @@
+#include "core/online.hpp"
+
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace intellog::core {
+
+OnlineDetector::OnlineDetector(const IntelLog& model) : model_(model) {
+  if (!model.trained()) throw std::logic_error("OnlineDetector: model is untrained");
+}
+
+std::optional<OnlineDetector::Event> OnlineDetector::consume(const logparse::LogRecord& record) {
+  if (record.container_id.empty()) return std::nullopt;
+  SessionState& state = open_[record.container_id];
+  if (state.session.container_id.empty()) state.session.container_id = record.container_id;
+  state.session.records.push_back(record);
+  state.last_seen_ms = std::max(state.last_seen_ms, record.timestamp_ms);
+
+  const int key_id = model_.spell().match(record.content);
+  if (key_id >= 0) return std::nullopt;
+
+  // Unexpected message: surface immediately with on-the-fly extraction.
+  Event event;
+  event.container_id = record.container_id;
+  event.record_index = state.session.records.size() - 1;
+  event.unexpected.record_index = event.record_index;
+  event.unexpected.content = record.content;
+  event.unexpected.extracted = model_.extractor().extract_from_message(record.content);
+  logparse::LogKey pseudo;
+  pseudo.id = -1;
+  for (const auto& tok : common::split_ws(record.content)) {
+    if (common::has_digit(tok)) {
+      if (pseudo.tokens.empty() || pseudo.tokens.back() != "*") pseudo.tokens.emplace_back("*");
+    } else {
+      pseudo.tokens.push_back(tok);
+    }
+  }
+  event.unexpected.message =
+      model_.extractor().instantiate(event.unexpected.extracted, pseudo, record);
+  return event;
+}
+
+std::optional<AnomalyReport> OnlineDetector::close_session(const std::string& container_id) {
+  const auto it = open_.find(container_id);
+  if (it == open_.end()) return std::nullopt;
+  AnomalyReport report = model_.detect(it->second.session);
+  open_.erase(it);
+  return report;
+}
+
+std::vector<AnomalyReport> OnlineDetector::close_idle(std::uint64_t now_ms,
+                                                      std::uint64_t idle_ms) {
+  std::vector<AnomalyReport> out;
+  for (auto it = open_.begin(); it != open_.end();) {
+    if (it->second.last_seen_ms + idle_ms <= now_ms) {
+      out.push_back(model_.detect(it->second.session));
+      it = open_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+std::vector<AnomalyReport> OnlineDetector::close_all() {
+  std::vector<AnomalyReport> out;
+  for (const auto& [id, state] : open_) {
+    (void)id;
+    out.push_back(model_.detect(state.session));
+  }
+  open_.clear();
+  return out;
+}
+
+std::vector<std::string> OnlineDetector::open_sessions() const {
+  std::vector<std::string> out;
+  for (const auto& [id, state] : open_) {
+    (void)state;
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::size_t OnlineDetector::buffered_records(const std::string& container_id) const {
+  const auto it = open_.find(container_id);
+  return it == open_.end() ? 0 : it->second.session.records.size();
+}
+
+}  // namespace intellog::core

@@ -1,0 +1,64 @@
+// Streaming anomaly detection.
+//
+// §4.2: "IntelLog instantiates a HW-graph instance when a system starts a
+// new session ... While consuming incoming logs, IntelLog aims to build
+// the graph instance to meet the structure of the corresponding HW-graph."
+// OnlineDetector is that consumption loop: feed records as they arrive
+// (any interleaving of containers); unexpected messages surface
+// immediately, structural checks (missing groups, incomplete subroutines,
+// order violations) run when a session closes — explicitly, or after an
+// idle timeout.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/intellog.hpp"
+
+namespace intellog::core {
+
+class OnlineDetector {
+ public:
+  /// `model` must outlive the detector and be trained.
+  explicit OnlineDetector(const IntelLog& model);
+
+  /// An immediately-reportable event from one consumed record.
+  struct Event {
+    std::string container_id;
+    std::size_t record_index = 0;  ///< index within the session so far
+    UnexpectedMessage unexpected;
+  };
+
+  /// Consumes one record (routed by record.container_id; empty ids are
+  /// dropped). Returns the unexpected-message event if the record matches
+  /// no Intel Key.
+  std::optional<Event> consume(const logparse::LogRecord& record);
+
+  /// Ends a session and runs the full structural check. Returns nullopt if
+  /// the container is unknown.
+  std::optional<AnomalyReport> close_session(const std::string& container_id);
+
+  /// Closes every session whose last record is older than `idle_ms`
+  /// relative to `now_ms`, returning their reports.
+  std::vector<AnomalyReport> close_idle(std::uint64_t now_ms, std::uint64_t idle_ms);
+
+  /// Closes everything still open.
+  std::vector<AnomalyReport> close_all();
+
+  std::vector<std::string> open_sessions() const;
+  std::size_t buffered_records(const std::string& container_id) const;
+
+ private:
+  struct SessionState {
+    logparse::Session session;
+    std::uint64_t last_seen_ms = 0;
+  };
+
+  const IntelLog& model_;
+  std::map<std::string, SessionState> open_;
+};
+
+}  // namespace intellog::core

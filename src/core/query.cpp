@@ -1,0 +1,318 @@
+#include "core/query.hpp"
+
+#include <cctype>
+#include <optional>
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace intellog::core {
+
+namespace {
+
+enum class Op { Eq, Ne, Contains, Lt, Gt };
+
+std::string_view op_name(Op op) {
+  switch (op) {
+    case Op::Eq: return "=";
+    case Op::Ne: return "!=";
+    case Op::Contains: return "~";
+    case Op::Lt: return "<";
+    case Op::Gt: return ">";
+  }
+  return "=";
+}
+
+bool compare_text(Op op, std::string_view actual, std::string_view expected) {
+  switch (op) {
+    case Op::Eq: return actual == expected;
+    case Op::Ne: return actual != expected;
+    case Op::Contains: return actual.find(expected) != std::string_view::npos;
+    default: return false;
+  }
+}
+
+std::optional<double> to_number(std::string_view s) {
+  // Values may carry fused units ("17ms"): take the leading numeric run.
+  std::size_t end = 0;
+  bool dot = false;
+  while (end < s.size() &&
+         (std::isdigit(static_cast<unsigned char>(s[end])) || (s[end] == '.' && !dot))) {
+    if (s[end] == '.') dot = true;
+    ++end;
+  }
+  if (end == 0) return std::nullopt;
+  try {
+    return std::stod(std::string(s.substr(0, end)));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+bool compare_numeric(Op op, double actual, double expected) {
+  switch (op) {
+    case Op::Eq: return actual == expected;
+    case Op::Ne: return actual != expected;
+    case Op::Lt: return actual < expected;
+    case Op::Gt: return actual > expected;
+    default: return false;
+  }
+}
+
+}  // namespace
+
+struct Query::Node {
+  enum class Kind { And, Or, Not, Term } kind = Kind::Term;
+  std::shared_ptr<const Node> left, right;  // And/Or; Not uses left only
+  // Term:
+  std::string field;    // "key", "container", "time", "id", "locality", "value", "unit"
+  std::string id_type;  // for "id.<TYPE>"
+  Op op = Op::Eq;
+  std::string value;
+
+  bool eval(const IntelMessage& m) const {
+    switch (kind) {
+      case Kind::And: return left->eval(m) && right->eval(m);
+      case Kind::Or: return left->eval(m) || right->eval(m);
+      case Kind::Not: return !left->eval(m);
+      case Kind::Term: break;
+    }
+    if (field == "key") {
+      const auto num = to_number(value);
+      return num && compare_numeric(op, static_cast<double>(m.key_id), *num);
+    }
+    if (field == "time") {
+      const auto num = to_number(value);
+      return num && compare_numeric(op, static_cast<double>(m.timestamp_ms), *num);
+    }
+    if (field == "container") return compare_text(op, m.container_id, value);
+    if (field == "locality") {
+      for (const auto& loc : m.localities) {
+        if (compare_text(op, loc, value)) return true;
+      }
+      return false;
+    }
+    if (field == "unit") {
+      for (const auto& [text, unit] : m.values) {
+        (void)text;
+        if (compare_text(op, unit, value)) return true;
+      }
+      return false;
+    }
+    if (field == "value") {
+      for (const auto& [text, unit] : m.values) {
+        (void)unit;
+        if (op == Op::Lt || op == Op::Gt || op == Op::Eq || op == Op::Ne) {
+          const auto actual = to_number(text);
+          const auto expected = to_number(value);
+          if (actual && expected && compare_numeric(op, *actual, *expected)) return true;
+          if (op == Op::Eq && compare_text(Op::Eq, text, value)) return true;
+          if (op == Op::Ne && !actual && compare_text(Op::Ne, text, value)) return true;
+        } else if (compare_text(op, text, value)) {
+          return true;
+        }
+      }
+      return false;
+    }
+    if (field == "id") {
+      for (const auto& iv : m.identifiers) {
+        if (!id_type.empty() && iv.type != id_type) continue;
+        if (compare_text(op, iv.value, value)) return true;
+      }
+      return false;
+    }
+    return false;
+  }
+
+  std::string str() const {
+    switch (kind) {
+      case Kind::And: return "(" + left->str() + " AND " + right->str() + ")";
+      case Kind::Or: return "(" + left->str() + " OR " + right->str() + ")";
+      case Kind::Not: return "(NOT " + left->str() + ")";
+      case Kind::Term: break;
+    }
+    std::string f = field;
+    if (!id_type.empty()) f += "." + id_type;
+    return f + std::string(op_name(op)) + "\"" + value + "\"";
+  }
+};
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  std::shared_ptr<const Query::Node> parse() {
+    auto node = parse_or();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing input");
+    return node;
+  }
+
+ private:
+  using Node = Query::Node;
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw std::invalid_argument("query error at offset " + std::to_string(pos_) + ": " + msg);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  bool consume_word(std::string_view word) {
+    skip_ws();
+    if (s_.substr(pos_, word.size()) != word) return false;
+    const std::size_t after = pos_ + word.size();
+    if (after < s_.size() && std::isalnum(static_cast<unsigned char>(s_[after]))) return false;
+    pos_ = after;
+    return true;
+  }
+
+  std::shared_ptr<const Node> parse_or() {
+    auto left = parse_and();
+    while (consume_word("OR")) {
+      auto node = std::make_shared<Node>();
+      node->kind = Node::Kind::Or;
+      node->left = left;
+      node->right = parse_and();
+      left = node;
+    }
+    return left;
+  }
+
+  std::shared_ptr<const Node> parse_and() {
+    auto left = parse_term();
+    while (consume_word("AND")) {
+      auto node = std::make_shared<Node>();
+      node->kind = Node::Kind::And;
+      node->left = left;
+      node->right = parse_term();
+      left = node;
+    }
+    return left;
+  }
+
+  std::shared_ptr<const Node> parse_term() {
+    skip_ws();
+    if (consume_word("NOT")) {
+      auto node = std::make_shared<Node>();
+      node->kind = Node::Kind::Not;
+      node->left = parse_term();
+      return node;
+    }
+    if (pos_ < s_.size() && s_[pos_] == '(') {
+      ++pos_;
+      auto inner = parse_or();
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ')') fail("expected ')'");
+      ++pos_;
+      return inner;
+    }
+    return parse_comparison();
+  }
+
+  std::shared_ptr<const Node> parse_comparison() {
+    skip_ws();
+    auto node = std::make_shared<Node>();
+    node->kind = Node::Kind::Term;
+
+    // field [. TYPE]
+    const std::size_t fstart = pos_;
+    while (pos_ < s_.size() && (std::isalnum(static_cast<unsigned char>(s_[pos_])) ||
+                                s_[pos_] == '_')) {
+      ++pos_;
+    }
+    node->field = std::string(s_.substr(fstart, pos_ - fstart));
+    static const char* kFields[] = {"key", "container", "time", "id", "locality", "value",
+                                    "unit"};
+    bool known = false;
+    for (const char* f : kFields) known |= node->field == f;
+    if (!known) fail("unknown field '" + node->field + "'");
+    if (node->field == "id" && pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      const std::size_t tstart = pos_;
+      while (pos_ < s_.size() && (std::isalnum(static_cast<unsigned char>(s_[pos_])) ||
+                                  s_[pos_] == '_')) {
+        ++pos_;
+      }
+      node->id_type = std::string(s_.substr(tstart, pos_ - tstart));
+      if (node->id_type.empty()) fail("expected identifier type after 'id.'");
+    }
+
+    // operator
+    skip_ws();
+    if (pos_ >= s_.size()) fail("expected operator");
+    if (s_[pos_] == '!' && pos_ + 1 < s_.size() && s_[pos_ + 1] == '=') {
+      node->op = Op::Ne;
+      pos_ += 2;
+    } else if (s_[pos_] == '=') {
+      node->op = Op::Eq;
+      ++pos_;
+    } else if (s_[pos_] == '~') {
+      node->op = Op::Contains;
+      ++pos_;
+    } else if (s_[pos_] == '<') {
+      node->op = Op::Lt;
+      ++pos_;
+    } else if (s_[pos_] == '>') {
+      node->op = Op::Gt;
+      ++pos_;
+    } else {
+      fail("expected one of = != ~ < >");
+    }
+    if ((node->op == Op::Lt || node->op == Op::Gt) && node->field != "key" &&
+        node->field != "time" && node->field != "value") {
+      fail("numeric comparison only on key/time/value");
+    }
+
+    // value: quoted or bare token
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '"') {
+      ++pos_;
+      const std::size_t vstart = pos_;
+      while (pos_ < s_.size() && s_[pos_] != '"') ++pos_;
+      if (pos_ >= s_.size()) fail("unterminated quoted value");
+      node->value = std::string(s_.substr(vstart, pos_ - vstart));
+      ++pos_;
+    } else {
+      if (pos_ < s_.size() &&
+          std::string_view("=~<>!").find(s_[pos_]) != std::string_view::npos) {
+        fail("expected value");
+      }
+      const std::size_t vstart = pos_;
+      while (pos_ < s_.size() && !std::isspace(static_cast<unsigned char>(s_[pos_])) &&
+             s_[pos_] != ')') {
+        ++pos_;
+      }
+      node->value = std::string(s_.substr(vstart, pos_ - vstart));
+      if (node->value.empty()) fail("expected value");
+    }
+    return node;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Query Query::parse(std::string_view text) {
+  Query q;
+  q.root_ = Parser(text).parse();
+  return q;
+}
+
+bool Query::matches(const IntelMessage& message) const {
+  return root_ && root_->eval(message);
+}
+
+std::string Query::to_string() const { return root_ ? root_->str() : "<empty>"; }
+
+std::vector<const IntelMessage*> run_query(const MessageStore& store, std::string_view text) {
+  const Query q = Query::parse(text);
+  return store.query([&q](const IntelMessage& m) { return q.matches(m); });
+}
+
+}  // namespace intellog::core

@@ -1,0 +1,58 @@
+// A small query language over Intel Messages (§1/§6.4: "Users can query
+// the formatted semantic knowledge to understand and further troubleshoot
+// the systems"; §5 points at JSON query tools — this is the built-in
+// equivalent).
+//
+// Grammar (case-sensitive field names, AND binds tighter than OR):
+//
+//   query  := or
+//   or     := and ( "OR" and )*
+//   and    := term ( "AND" term )*
+//   term   := "NOT" term | "(" query ")" | field op value
+//   field  := "key" | "container" | "time"
+//           | "id" | "id." TYPE            (any identifier / typed)
+//           | "locality" | "value" | "unit"
+//   op     := "=" | "!=" | "~"             ('~' = substring)
+//           | "<" | ">"                    (numeric; key/time/value only)
+//
+// Values with spaces use double quotes. Examples:
+//
+//   id.FETCHER=1 AND locality~host1
+//   key=12 OR key=14
+//   container~_02_ AND NOT locality~master
+//   time>3600000 AND value>1000
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/intel_key.hpp"
+#include "core/message_store.hpp"
+
+namespace intellog::core {
+
+class Query {
+ public:
+  /// Parses a query; throws std::invalid_argument with a position-bearing
+  /// message on syntax errors.
+  static Query parse(std::string_view text);
+
+  /// True when the message satisfies the query.
+  bool matches(const IntelMessage& message) const;
+
+  /// The parsed form, normalized (debugging / tests).
+  std::string to_string() const;
+
+  struct Node;  // public for the out-of-line parser; opaque to callers
+
+ private:
+  Query() = default;
+  std::shared_ptr<const Node> root_;
+};
+
+/// Convenience: filter a store by a query string.
+std::vector<const IntelMessage*> run_query(const MessageStore& store, std::string_view text);
+
+}  // namespace intellog::core

@@ -1,0 +1,145 @@
+#include "core/subroutine.hpp"
+
+#include <algorithm>
+
+namespace intellog::core {
+
+namespace {
+
+std::set<std::string> value_set(const std::vector<IdentifierValue>& ids) {
+  std::set<std::string> out;
+  for (const auto& iv : ids) out.insert(iv.type + ":" + iv.value);
+  return out;
+}
+
+std::set<std::string> type_set(const std::vector<IdentifierValue>& ids) {
+  std::set<std::string> out;
+  for (const auto& iv : ids) out.insert(iv.type);
+  return out;
+}
+
+bool subset(const std::set<std::string>& a, const std::set<std::string>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+}  // namespace
+
+std::set<int> SubroutineInstance::key_set() const {
+  std::set<int> out;
+  for (const auto& m : messages) out.insert(m.key_id);
+  return out;
+}
+
+std::vector<SubroutineInstance> partition_instances(const std::vector<GroupMessage>& messages) {
+  std::vector<SubroutineInstance> instances;
+  SubroutineInstance none;  // the NONE-keyed sequence (Line 5)
+  for (const GroupMessage& msg : messages) {
+    const std::set<std::string> sv = value_set(msg.ids);
+    if (sv.empty()) {
+      none.messages.push_back(msg);
+      continue;
+    }
+    bool placed = false;
+    for (auto& inst : instances) {
+      if (subset(sv, inst.id_values) || subset(inst.id_values, sv)) {
+        inst.id_values.insert(sv.begin(), sv.end());
+        for (const auto& iv : msg.ids) inst.signature.insert(iv.type);
+        inst.messages.push_back(msg);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      SubroutineInstance inst;
+      inst.id_values = sv;
+      inst.signature = type_set(msg.ids);
+      inst.messages.push_back(msg);
+      instances.push_back(std::move(inst));
+    }
+  }
+  if (!none.messages.empty()) instances.push_back(std::move(none));
+  return instances;
+}
+
+void SubroutineModel::update(const std::vector<SubroutineInstance>& instances) {
+  for (const auto& inst : instances) {
+    Subroutine& sub = subs_[inst.signature];
+    sub.signature = inst.signature;
+
+    // First-occurrence positions of each key in this instance.
+    std::map<int, std::size_t> first_pos;
+    for (std::size_t i = 0; i < inst.messages.size(); ++i) {
+      first_pos.emplace(inst.messages[i].key_id, i);
+    }
+    const std::set<int> inst_keys = inst.key_set();
+
+    // Critical keys: intersection over all instances (Fig. 5).
+    if (sub.instance_count == 0) {
+      sub.critical = inst_keys;
+    } else {
+      std::set<int> still;
+      std::set_intersection(sub.critical.begin(), sub.critical.end(), inst_keys.begin(),
+                            inst_keys.end(), std::inserter(still, still.begin()));
+      sub.critical = std::move(still);
+    }
+
+    // Order relations: keys already known keep/break their BEFORE pairs;
+    // a violated order becomes PARALLEL permanently.
+    for (const auto& [a, pa] : first_pos) {
+      for (const auto& [b, pb] : first_pos) {
+        if (a >= b) continue;
+        const int lo = pa < pb ? a : b;
+        const int hi = pa < pb ? b : a;
+        const auto fwd = std::make_pair(lo, hi);
+        const auto rev = std::make_pair(hi, lo);
+        if (sub.parallel.count(fwd) || sub.parallel.count(rev)) continue;
+        if (sub.before.count(rev)) {
+          // Contradiction with the learned order: demote to parallel.
+          sub.before.erase(rev);
+          sub.parallel.insert(fwd);
+          sub.parallel.insert(rev);
+          continue;
+        }
+        const bool both_known = sub.keys.count(a) && sub.keys.count(b);
+        if (!both_known || sub.before.count(fwd)) sub.before.insert(fwd);
+      }
+    }
+    sub.keys.insert(inst_keys.begin(), inst_keys.end());
+    sub.instance_count++;
+  }
+}
+
+SubroutineModel::InstanceCheck SubroutineModel::check(
+    const SubroutineInstance& inst, std::size_t min_instances_for_order) const {
+  InstanceCheck out;
+  const auto it = subs_.find(inst.signature);
+  if (it == subs_.end()) {
+    out.known_signature = false;
+    return out;
+  }
+  const Subroutine& sub = it->second;
+  const std::set<int> keys = inst.key_set();
+  for (const int k : sub.critical) {
+    if (!keys.count(k)) out.missing_critical.push_back(k);
+  }
+  for (const int k : keys) {
+    if (!sub.keys.count(k)) out.unknown_keys.push_back(k);
+  }
+  // Order violations: a trained-invariant BEFORE relation observed inverted.
+  if (sub.instance_count >= min_instances_for_order) {
+    std::map<int, std::size_t> first_pos;
+    for (std::size_t i = 0; i < inst.messages.size(); ++i) {
+      first_pos.emplace(inst.messages[i].key_id, i);
+    }
+    for (const auto& [a, b] : sub.before) {
+      const auto pa = first_pos.find(a);
+      const auto pb = first_pos.find(b);
+      if (pa != first_pos.end() && pb != first_pos.end() && pb->second < pa->second) {
+        out.order_violations.emplace_back(a, b);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace intellog::core

@@ -1,0 +1,91 @@
+// Subroutine construction (§4.1, Algorithm 2 + UpdateSubroutine, Fig. 5).
+//
+// Within an entity group, Intel-Key sequences that share identifiers form
+// subroutine *instances* ("fetcher#1 shuffles attempt_01" = one instance).
+// Algorithm 2 partitions a session's group messages into instances by
+// identifier-value subset matching (messages without identifiers go to the
+// NONE instance). UpdateSubroutine then groups instances by their
+// identifier-*type* signature and mines, per signature:
+//  - the BEFORE order relations between Intel Keys (an order observed
+//    violated once becomes PARALLEL and never returns — Fig. 5),
+//  - the critical Intel Keys: keys present in *every* instance so far.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/intel_key.hpp"
+
+namespace intellog::core {
+
+/// One message of an entity group, reduced to what Algorithm 2 needs.
+struct GroupMessage {
+  int key_id = -1;
+  std::vector<IdentifierValue> ids;  ///< identifiers in the message
+  std::size_t record_index = 0;      ///< index into the session's records
+  std::uint64_t timestamp_ms = 0;
+};
+
+/// A subroutine instance: messages bound together by shared identifiers.
+struct SubroutineInstance {
+  std::set<std::string> id_values;  ///< "TYPE:value" strings (S_v); empty = NONE
+  std::set<std::string> signature;  ///< identifier types
+  std::vector<GroupMessage> messages;
+
+  std::set<int> key_set() const;
+};
+
+/// Algorithm 2, lines 5-15: partition one session's group messages.
+std::vector<SubroutineInstance> partition_instances(const std::vector<GroupMessage>& messages);
+
+/// A learned subroutine for one identifier-type signature.
+struct Subroutine {
+  std::set<std::string> signature;
+  std::set<int> keys;                          ///< Intel Keys seen
+  std::set<std::pair<int, int>> before;        ///< BEFORE order relations
+  std::set<std::pair<int, int>> parallel;      ///< demoted orders
+  std::set<int> critical;                      ///< keys in every instance
+  std::size_t instance_count = 0;
+
+  /// Keys in subroutine (Table 5's "length of subroutines").
+  std::size_t length() const { return keys.size(); }
+};
+
+/// The per-entity-group subroutine model (UpdateSubroutine state).
+class SubroutineModel {
+ public:
+  /// Training: consume one session's instances.
+  void update(const std::vector<SubroutineInstance>& instances);
+
+  /// Detection: issues found in one instance against the learned model.
+  struct InstanceCheck {
+    bool known_signature = true;
+    std::vector<int> missing_critical;  ///< critical keys absent
+    std::vector<int> unknown_keys;      ///< keys never seen in this signature
+    /// Learned BEFORE orders observed inverted (only reported for
+    /// subroutines trained on enough instances to trust the order).
+    std::vector<std::pair<int, int>> order_violations;
+    bool ok() const {
+      return known_signature && missing_critical.empty() && order_violations.empty();
+    }
+  };
+  /// `min_instances_for_order`: BEFORE relations from subroutines with
+  /// fewer training instances are not trusted for violation reports.
+  InstanceCheck check(const SubroutineInstance& instance,
+                      std::size_t min_instances_for_order = 20) const;
+
+  const std::map<std::set<std::string>, Subroutine>& subroutines() const { return subs_; }
+  bool empty() const { return subs_.empty(); }
+
+  /// Replaces the learned subroutines (model deserialization).
+  void restore(std::map<std::set<std::string>, Subroutine> subs) { subs_ = std::move(subs); }
+
+ private:
+  std::map<std::set<std::string>, Subroutine> subs_;
+};
+
+}  // namespace intellog::core

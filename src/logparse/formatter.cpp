@@ -1,0 +1,141 @@
+#include "logparse/formatter.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+#include "common/strings.hpp"
+
+namespace intellog::logparse {
+
+namespace {
+
+// All simulated timestamps are offsets from this fictional run start.
+constexpr std::uint64_t kMsPerDay = 86400000ULL;
+
+struct ClockParts {
+  unsigned day, hour, minute, second, millis;
+};
+
+ClockParts split_clock(std::uint64_t ts_ms) {
+  ClockParts p{};
+  p.day = static_cast<unsigned>(ts_ms / kMsPerDay) + 1;  // day-of-month, 1-based
+  std::uint64_t rem = ts_ms % kMsPerDay;
+  p.hour = static_cast<unsigned>(rem / 3600000ULL);
+  rem %= 3600000ULL;
+  p.minute = static_cast<unsigned>(rem / 60000ULL);
+  rem %= 60000ULL;
+  p.second = static_cast<unsigned>(rem / 1000ULL);
+  p.millis = static_cast<unsigned>(rem % 1000ULL);
+  return p;
+}
+
+std::uint64_t join_clock(unsigned day, unsigned hour, unsigned minute, unsigned second,
+                         unsigned millis) {
+  return static_cast<std::uint64_t>(day - 1) * kMsPerDay + hour * 3600000ULL +
+         minute * 60000ULL + second * 1000ULL + millis;
+}
+
+bool parse_uint(std::string_view s, unsigned& out) {
+  if (s.empty()) return false;
+  unsigned v = 0;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    v = v * 10 + static_cast<unsigned>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+/// Hadoop format: "2019-06-DD HH:MM:SS,mmm LEVEL [thread] class: message"
+class HadoopFormatter final : public Formatter {
+ public:
+  std::optional<LogRecord> parse(std::string_view line) const override {
+    // Fixed-width timestamp: "2019-06-DD HH:MM:SS,mmm " = 24 chars.
+    if (line.size() < 25 || line.substr(0, 8) != "2019-06-") return std::nullopt;
+    unsigned day, hour, minute, second, millis;
+    if (!parse_uint(line.substr(8, 2), day) || !parse_uint(line.substr(11, 2), hour) ||
+        !parse_uint(line.substr(14, 2), minute) || !parse_uint(line.substr(17, 2), second) ||
+        line[19] != ',' || !parse_uint(line.substr(20, 3), millis))
+      return std::nullopt;
+    std::string_view rest = common::trim(line.substr(24));
+
+    LogRecord rec;
+    rec.timestamp_ms = join_clock(day, hour, minute, second, millis);
+    const std::size_t sp1 = rest.find(' ');
+    if (sp1 == std::string_view::npos) return std::nullopt;
+    rec.level = std::string(rest.substr(0, sp1));
+    rest = common::trim(rest.substr(sp1));
+    if (!rest.empty() && rest.front() == '[') {
+      const std::size_t close = rest.find(']');
+      if (close == std::string_view::npos) return std::nullopt;
+      rest = common::trim(rest.substr(close + 1));
+    }
+    const std::size_t colon = rest.find(": ");
+    if (colon == std::string_view::npos) return std::nullopt;
+    rec.source = std::string(rest.substr(0, colon));
+    rec.content = std::string(rest.substr(colon + 2));
+    return rec;
+  }
+
+  std::string render(const LogRecord& rec) const override {
+    const ClockParts p = split_clock(rec.timestamp_ms);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "2019-06-%02u %02u:%02u:%02u,%03u", p.day, p.hour, p.minute,
+                  p.second, p.millis);
+    return std::string(buf) + " " + rec.level + " [main] " + rec.source + ": " + rec.content;
+  }
+
+  std::string_view name() const override { return "hadoop"; }
+};
+
+/// Spark log4j default: "19/06/DD HH:MM:SS LEVEL class: message"
+class SparkFormatter final : public Formatter {
+ public:
+  std::optional<LogRecord> parse(std::string_view line) const override {
+    if (line.size() < 19 || line.substr(0, 6) != "19/06/") return std::nullopt;
+    unsigned day, hour, minute, second;
+    if (!parse_uint(line.substr(6, 2), day) || line[8] != ' ' ||
+        !parse_uint(line.substr(9, 2), hour) || !parse_uint(line.substr(12, 2), minute) ||
+        !parse_uint(line.substr(15, 2), second))
+      return std::nullopt;
+    std::string_view rest = common::trim(line.substr(18));
+
+    LogRecord rec;
+    rec.timestamp_ms = join_clock(day, hour, minute, second, 0);
+    const std::size_t sp1 = rest.find(' ');
+    if (sp1 == std::string_view::npos) return std::nullopt;
+    rec.level = std::string(rest.substr(0, sp1));
+    rest = common::trim(rest.substr(sp1));
+    const std::size_t colon = rest.find(": ");
+    if (colon == std::string_view::npos) return std::nullopt;
+    rec.source = std::string(rest.substr(0, colon));
+    rec.content = std::string(rest.substr(colon + 2));
+    return rec;
+  }
+
+  std::string render(const LogRecord& rec) const override {
+    const ClockParts p = split_clock(rec.timestamp_ms);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "19/06/%02u %02u:%02u:%02u", p.day, p.hour, p.minute,
+                  p.second);
+    return std::string(buf) + " " + rec.level + " " + rec.source + ": " + rec.content;
+  }
+
+  std::string_view name() const override { return "spark"; }
+};
+
+const HadoopFormatter kHadoop;
+const SparkFormatter kSpark;
+
+}  // namespace
+
+std::unique_ptr<Formatter> make_hadoop_formatter() { return std::make_unique<HadoopFormatter>(); }
+std::unique_ptr<Formatter> make_spark_formatter() { return std::make_unique<SparkFormatter>(); }
+
+const Formatter* detect_format(std::string_view sample_line) {
+  if (kHadoop.parse(sample_line)) return &kHadoop;
+  if (kSpark.parse(sample_line)) return &kSpark;
+  return nullptr;
+}
+
+}  // namespace intellog::logparse

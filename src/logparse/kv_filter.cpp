@@ -1,0 +1,56 @@
+#include "logparse/kv_filter.hpp"
+
+#include "common/strings.hpp"
+#include "nlp/tokenizer.hpp"
+
+namespace intellog::logparse {
+
+KvFilter::KvFilter(const nlp::Lexicon* lexicon)
+    : tagger_(lexicon ? nlp::PosTagger(*lexicon) : nlp::PosTagger()) {}
+
+bool KvFilter::is_natural_language(std::string_view message) const {
+  // A clause needs a predicate: tag the message and look for a verb reading
+  // in context. Value sides of "key=value" fragments never count.
+  const auto tagged = tagger_.tag(nlp::tokenize(message));
+  // Both sides of "key=value" are field material, not clause material
+  // (camel-case keys like "recordsProcessed" would otherwise read as
+  // participles).
+  std::vector<bool> excluded(tagged.size(), false);
+  for (std::size_t i = 0; i < tagged.size(); ++i) {
+    if (tagged[i].text != "=") continue;
+    if (i > 0) excluded[i - 1] = true;
+    if (i + 1 < tagged.size()) excluded[i + 1] = true;
+    excluded[i] = true;
+  }
+  for (std::size_t i = 0; i < tagged.size(); ++i) {
+    if (!excluded[i] && nlp::is_verb(tagged[i].tag)) return true;
+  }
+  return false;
+}
+
+bool KvFilter::is_kv_only(std::string_view message) const {
+  if (is_natural_language(message)) return false;
+  const auto tokens = nlp::tokenize(message);
+  if (tokens.empty()) return true;
+  // Count tokens participating in key=value fragments ("key", "=", "value"
+  // triples, or atomic tokens with an embedded '=').
+  std::size_t kv_tokens = 0, countable = 0;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i];
+    if (t == ":" || t == "," || t == "." || t == "(" || t == ")") continue;
+    ++countable;
+    if (t == "=") {
+      kv_tokens += 1;
+      continue;
+    }
+    const bool next_eq = i + 1 < tokens.size() && tokens[i + 1] == "=";
+    const bool prev_eq = i > 0 && tokens[i - 1] == "=";
+    if (next_eq || prev_eq || t.find('=') != std::string::npos) ++kv_tokens;
+  }
+  // 40%+ of countable tokens in key=value fragments -> status line. (Keys
+  // fused into atomic tokens, "phys_ram=131072MB", count once, so the bar
+  // sits below one half.)
+  return countable > 0 && kv_tokens * 5 >= countable * 2;
+}
+
+}  // namespace intellog::logparse

@@ -1,0 +1,45 @@
+// Natural-language vs. key-value classification (§2.2 / §5).
+//
+// "We define that a log message is written in a natural language if it
+// contains at least one clause." A clause needs a predicate, so the
+// detector asks whether the message contains a verb-capable English word
+// outside key=value fragments. Pure status lines ("memoryUsed=512 cpu=3",
+// "Free ram (MB): 12000") fail the test; IntelLog learns their log keys in
+// the training phase and silently skips them during detection rather than
+// raising unexpected-message alarms.
+#pragma once
+
+#include <set>
+#include <string_view>
+
+#include "nlp/lexicon.hpp"
+#include "nlp/pos_tagger.hpp"
+
+namespace intellog::logparse {
+
+class KvFilter {
+ public:
+  explicit KvFilter(const nlp::Lexicon* lexicon = nullptr);
+
+  /// True when the message contains at least one clause (§2.2 definition,
+  /// the Table-1 statistic).
+  bool is_natural_language(std::string_view message) const;
+
+  /// True when the message consists only of key=value pairs (§5's omission
+  /// rule). Distinct from !is_natural_language: clause-less prose ("Down to
+  /// the last merge-pass") still becomes an Intel Key; pure status lines
+  /// ("numCompletedTasks=5 ...") do not.
+  bool is_kv_only(std::string_view message) const;
+
+  /// Training: remember the log key of a non-NL message.
+  void learn_kv_key(int key_id) { kv_keys_.insert(key_id); }
+  /// Detection: keys learned as key-value-only messages are ignored.
+  bool is_learned_kv_key(int key_id) const { return kv_keys_.count(key_id) > 0; }
+  std::size_t learned_count() const { return kv_keys_.size(); }
+
+ private:
+  nlp::PosTagger tagger_;  // owns a copy of the lexicon
+  std::set<int> kv_keys_;
+};
+
+}  // namespace intellog::logparse

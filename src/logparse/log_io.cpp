@@ -1,0 +1,62 @@
+#include "logparse/log_io.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace intellog::logparse {
+
+namespace fs = std::filesystem;
+
+void write_session_file(const Formatter& fmt, const Session& session,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_session_file: cannot open " + path);
+  for (const auto& rec : session.records) out << fmt.render(rec) << "\n";
+}
+
+void write_log_directory(const Formatter& fmt, const std::vector<Session>& sessions,
+                         const std::string& dir) {
+  fs::create_directories(dir);
+  for (const auto& s : sessions) {
+    write_session_file(fmt, s, (fs::path(dir) / (s.container_id + ".log")).string());
+  }
+}
+
+Session read_session_file(const std::string& path, std::string_view system) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_session_file: cannot open " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+
+  // Format auto-detection from the first parseable line.
+  const Formatter* fmt = nullptr;
+  for (const auto& l : lines) {
+    fmt = detect_format(l);
+    if (fmt) break;
+  }
+  const std::string container = fs::path(path).stem().string();
+  if (!fmt) return Session{container, std::string(system), {}};
+  return parse_session(*fmt, container, lines, system);
+}
+
+std::vector<Session> read_log_directory(const std::string& dir, std::string_view system) {
+  if (!fs::exists(dir)) throw std::runtime_error("read_log_directory: no such dir " + dir);
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".log") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());  // deterministic order
+  std::vector<Session> sessions;
+  for (const auto& p : paths) {
+    Session s = read_session_file(p, system);
+    if (!s.records.empty()) sessions.push_back(std::move(s));
+  }
+  return sessions;
+}
+
+}  // namespace intellog::logparse

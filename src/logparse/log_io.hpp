@@ -1,0 +1,34 @@
+// Log-file I/O: sessions as on-disk log files, one file per YARN container.
+//
+// This is the boundary a real deployment uses — the simulator (or a real
+// cluster's log aggregation) writes `<dir>/<container_id>.log` files in the
+// system's native format, and the pipeline reads them back with format
+// auto-detection. `tools/loggen` and the `intellog` CLI are built on this.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "logparse/formatter.hpp"
+#include "logparse/session.hpp"
+
+namespace intellog::logparse {
+
+/// Writes one session to `path` in the given format.
+void write_session_file(const Formatter& fmt, const Session& session, const std::string& path);
+
+/// Writes each session to `dir/<container_id>.log`. Creates `dir`.
+void write_log_directory(const Formatter& fmt, const std::vector<Session>& sessions,
+                         const std::string& dir);
+
+/// Reads every `*.log` file under `dir` (recursively); each file becomes a
+/// session whose container id is the file's stem. The format is detected
+/// per file from its first parseable line. Files in no known format are
+/// skipped.
+std::vector<Session> read_log_directory(const std::string& dir, std::string_view system = {});
+
+/// Reads a single log file as one session.
+Session read_session_file(const std::string& path, std::string_view system = {});
+
+}  // namespace intellog::logparse

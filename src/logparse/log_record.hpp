@@ -1,0 +1,55 @@
+// Log record representation plus the simulator's ground-truth side channel.
+//
+// A LogRecord is what the formatters produce from a raw log line: timestamp,
+// level, source class, message content, and the YARN container that emitted
+// it (the paper's session unit, §5).
+//
+// GroundTruth exists because this repo replaces the paper's manual
+// source-code inspection (§6.2) with machine-checkable annotations: the
+// simulated systems know which template produced each line and what category
+// every variable field has. IntelLog itself NEVER reads GroundTruth — only
+// the accuracy benches do.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace intellog::logparse {
+
+/// The four variable-field categories of §2.1 plus an "other" bucket.
+enum class FieldCategory { Entity, Identifier, Value, Locality, Other };
+
+/// One annotated variable field of a template instance.
+struct FieldAnnotation {
+  std::string text;       ///< the concrete field text in this line
+  FieldCategory category;
+  std::string id_type;    ///< identifier type (e.g. "TASK") when Identifier
+};
+
+/// What the simulator knows about the line it emitted.
+struct GroundTruth {
+  int template_id = -1;            ///< stable per-system template number
+  std::string system;              ///< "spark" / "mapreduce" / "tez" / ...
+  bool natural_language = true;    ///< false for pure key-value status lines
+  bool injected_anomaly = false;   ///< line exists only because of a fault
+  std::vector<FieldAnnotation> fields;
+  /// Ground-truth entity phrases in the template's constant text
+  /// (lemmatized, lower-case), for Table 4 entity accuracy.
+  std::vector<std::string> entities;
+  /// Ground-truth operation predicates (lemmatized), for Table 4.
+  std::vector<std::string> operations;
+};
+
+/// A parsed log line.
+struct LogRecord {
+  std::uint64_t timestamp_ms = 0;
+  std::string level = "INFO";
+  std::string source;        ///< logging class, e.g. "storage.BlockManager"
+  std::string content;       ///< the message text
+  std::string container_id;  ///< session key (one YARN container = session)
+  std::optional<GroundTruth> truth;  ///< simulator side channel (benches only)
+};
+
+}  // namespace intellog::logparse

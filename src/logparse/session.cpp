@@ -1,0 +1,42 @@
+#include "logparse/session.hpp"
+
+#include <map>
+
+namespace intellog::logparse {
+
+std::vector<Session> split_sessions(const std::vector<LogRecord>& records,
+                                    std::string_view system) {
+  // std::map keeps container order deterministic (sorted by id).
+  std::map<std::string, Session> by_container;
+  for (const LogRecord& rec : records) {
+    if (rec.container_id.empty()) continue;
+    Session& s = by_container[rec.container_id];
+    if (s.container_id.empty()) {
+      s.container_id = rec.container_id;
+      s.system = std::string(system);
+    }
+    s.records.push_back(rec);
+  }
+  std::vector<Session> out;
+  out.reserve(by_container.size());
+  for (auto& [id, session] : by_container) out.push_back(std::move(session));
+  return out;
+}
+
+Session parse_session(const Formatter& fmt, std::string_view container_id,
+                      const std::vector<std::string>& lines, std::string_view system) {
+  Session s;
+  s.container_id = std::string(container_id);
+  s.system = std::string(system);
+  for (const std::string& line : lines) {
+    if (auto rec = fmt.parse(line)) {
+      rec->container_id = s.container_id;
+      s.records.push_back(std::move(*rec));
+    } else if (!s.records.empty()) {
+      s.records.back().content += "\n" + line;  // continuation (stack trace)
+    }
+  }
+  return s;
+}
+
+}  // namespace intellog::logparse

@@ -1,0 +1,166 @@
+#include "logparse/spell.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace intellog::logparse {
+
+std::string LogKey::to_string() const { return common::join(tokens, " "); }
+
+std::vector<std::string> LogKey::constants() const {
+  std::vector<std::string> out;
+  for (const auto& t : tokens) {
+    if (t != "*") out.push_back(t);
+  }
+  return out;
+}
+
+Spell::Spell(double t) : t_(t) {}
+
+void Spell::restore_keys(std::vector<LogKey> keys) {
+  keys_ = std::move(keys);
+  shape_cache_.clear();
+  token_index_.clear();
+  for (const LogKey& key : keys_) index_key(key);
+  // Seed the cache with each key's own shape: messages whose variables are
+  // all digit-bearing produce exactly this shape, and keys dominated by
+  // variable fields ("headroom * *") would otherwise fail the LCS bar.
+  for (const LogKey& key : keys_) {
+    shape_cache_.emplace(common::join(key.tokens, " "), key.id);
+  }
+}
+
+std::vector<std::string> Spell::split_tokens(std::string_view message) {
+  return common::split_ws(message);
+}
+
+std::string Spell::shape_of(const std::vector<std::string>& tokens) {
+  std::string out;
+  for (const auto& t : tokens) {
+    if (!out.empty()) out += ' ';
+    out += common::has_digit(t) ? std::string("*") : t;
+  }
+  return out;
+}
+
+void Spell::index_key(const LogKey& key) {
+  for (const auto& tok : key.tokens) {
+    if (tok == "*") continue;
+    auto& ids = token_index_[tok];
+    if (ids.empty() || ids.back() != key.id) ids.push_back(key.id);
+  }
+}
+
+std::vector<int> Spell::candidates(const std::vector<std::string>& tokens) const {
+  std::vector<int> out;
+  for (const auto& tok : tokens) {
+    const auto it = token_index_.find(tok);
+    if (it == token_index_.end()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+int Spell::best_match(const std::vector<std::string>& tokens, bool& exact) const {
+  exact = false;
+  int best_id = -1;
+  std::size_t best_lcs = 0;
+  for (const int id : candidates(tokens)) {
+    const LogKey& key = keys_[static_cast<std::size_t>(id)];
+    const std::vector<std::string> consts = key.constants();
+    // Upper bound check first: even a perfect overlap of the smaller
+    // sequence cannot pass the threshold if sizes diverge too far.
+    const std::size_t longer = std::max(tokens.size(), consts.size());
+    const double needed = static_cast<double>(longer) / t_;
+    if (static_cast<double>(std::min(tokens.size(), consts.size())) < needed) continue;
+    const std::size_t l = common::lcs_length(tokens, consts);
+    if (static_cast<double>(l) >= needed && l > best_lcs) {
+      best_lcs = l;
+      best_id = key.id;
+      if (l == tokens.size() && l == consts.size()) exact = true;
+    }
+  }
+  return best_id;
+}
+
+void Spell::refine_key(LogKey& key, const std::vector<std::string>& tokens) {
+  // Align the key's constant tokens with the message; keep common tokens,
+  // collapse every divergent run (including pre-existing '*') to one '*'.
+  const std::vector<std::string> consts = key.constants();
+  const std::vector<std::string> common_seq = common::lcs(consts, tokens);
+
+  std::vector<std::string> merged;
+  std::size_t ki = 0, mi = 0, ci = 0;
+  const auto emit_star = [&merged] {
+    if (merged.empty() || merged.back() != "*") merged.emplace_back("*");
+  };
+  while (ci < common_seq.size()) {
+    const std::string& next = common_seq[ci];
+    bool gap = false;
+    while (ki < key.tokens.size() && key.tokens[ki] != next) {
+      gap = true;
+      ++ki;
+    }
+    while (mi < tokens.size() && tokens[mi] != next) {
+      gap = true;
+      ++mi;
+    }
+    if (gap) emit_star();
+    merged.push_back(next);
+    ++ki;
+    ++mi;
+    ++ci;
+  }
+  if (ki < key.tokens.size() || mi < tokens.size()) emit_star();
+  key.tokens = std::move(merged);
+}
+
+int Spell::consume(std::string_view message) {
+  const std::vector<std::string> tokens = split_tokens(message);
+  if (tokens.empty()) return -1;
+  const std::string shape = shape_of(tokens);
+  if (const auto it = shape_cache_.find(shape); it != shape_cache_.end()) {
+    keys_[static_cast<std::size_t>(it->second)].match_count++;
+    return it->second;
+  }
+
+  bool exact = false;
+  const int matched = best_match(tokens, exact);
+  if (matched >= 0) {
+    LogKey& key = keys_[static_cast<std::size_t>(matched)];
+    key.match_count++;
+    if (!exact) refine_key(key, tokens);
+    shape_cache_.emplace(shape, matched);
+    return matched;
+  }
+
+  // Found a new key. Digit-bearing tokens start life as variables — Spell
+  // would converge there after the second sample anyway, and pre-masking
+  // keeps the shape cache consistent from the first line. Adjacent variable
+  // tokens keep one '*' each so distinct fields stay distinct
+  // ("(TID 3). 2578 bytes" has two fields, not one).
+  LogKey key;
+  key.id = static_cast<int>(keys_.size());
+  for (const auto& tok : tokens) {
+    key.tokens.push_back(common::has_digit(tok) ? std::string("*") : tok);
+  }
+  key.match_count = 1;
+  keys_.push_back(std::move(key));
+  index_key(keys_.back());
+  shape_cache_.emplace(shape, keys_.back().id);
+  return keys_.back().id;
+}
+
+int Spell::match(std::string_view message) const {
+  const std::vector<std::string> tokens = split_tokens(message);
+  if (tokens.empty()) return -1;
+  if (const auto it = shape_cache_.find(shape_of(tokens)); it != shape_cache_.end())
+    return it->second;
+  bool exact = false;
+  return best_match(tokens, exact);
+}
+
+}  // namespace intellog::logparse

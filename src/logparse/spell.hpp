@@ -1,0 +1,77 @@
+// Spell — streaming structured log-key extraction (Du & Li, ICDM'17), the
+// first stage of the paper's pipeline (§2.1, §5).
+//
+// Each log printing statement is recovered as a *log key*: the constant
+// words kept verbatim, variable fields collapsed to '*'. Spell matches an
+// incoming message to an existing key via longest-common-subsequence: the
+// message matches when |LCS| * t >= max(|message constants|, |key
+// constants|) with the paper's threshold t = 1.7 (§5). On a match the key
+// is refined to the LCS, with '*' marking positions where the sequences
+// diverge; on a miss the message founds a new key.
+//
+// Two optimizations stand in for the original's prefix tree:
+//  - a shape cache (digit-bearing tokens masked to '*') short-circuits the
+//    LCS search for the common case of repeated templates, and
+//  - an inverted token index prunes LCS candidates to keys sharing at least
+//    one constant token with the message, keeping million-line corpora and
+//    large key sets fast even on cache misses.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace intellog::logparse {
+
+/// One discovered log key.
+struct LogKey {
+  int id = -1;
+  std::vector<std::string> tokens;  ///< constant words and "*" placeholders
+  std::size_t match_count = 0;      ///< messages matched so far
+
+  /// The key as a display string, e.g. "* MapTask metrics system".
+  std::string to_string() const;
+  /// Constant (non-'*') tokens only.
+  std::vector<std::string> constants() const;
+};
+
+class Spell {
+ public:
+  /// t is the paper's empirical matching threshold (1.7, §5).
+  explicit Spell(double t = 1.7);
+
+  /// Consumes a message in training mode: matches or creates a key.
+  /// Returns the key id.
+  int consume(std::string_view message);
+
+  /// Detection-mode matching: returns the best matching key id or -1.
+  /// Never creates or refines keys.
+  int match(std::string_view message) const;
+
+  /// Replaces the key set (model deserialization). The shape cache starts
+  /// cold and refills on consume; match() falls back to LCS search.
+  void restore_keys(std::vector<LogKey> keys);
+
+  const std::vector<LogKey>& keys() const { return keys_; }
+  const LogKey& key(int id) const { return keys_[static_cast<std::size_t>(id)]; }
+  std::size_t size() const { return keys_.size(); }
+  double threshold() const { return t_; }
+
+ private:
+  static std::vector<std::string> split_tokens(std::string_view message);
+  static std::string shape_of(const std::vector<std::string>& tokens);
+  int best_match(const std::vector<std::string>& tokens, bool& exact) const;
+  void refine_key(LogKey& key, const std::vector<std::string>& tokens);
+  void index_key(const LogKey& key);
+  /// Key ids sharing >= 1 constant token with `tokens`, deduplicated.
+  std::vector<int> candidates(const std::vector<std::string>& tokens) const;
+
+  double t_;
+  std::vector<LogKey> keys_;
+  std::unordered_map<std::string, int> shape_cache_;
+  std::unordered_map<std::string, std::vector<int>> token_index_;
+};
+
+}  // namespace intellog::logparse

@@ -1,0 +1,65 @@
+#include "nlp/camel_case.hpp"
+
+#include <cctype>
+
+#include "common/strings.hpp"
+
+namespace intellog::nlp {
+
+std::vector<std::string> split_camel_case(std::string_view word) {
+  std::vector<std::string> parts;
+  std::string cur;
+  const auto flush = [&] {
+    if (!cur.empty()) {
+      parts.push_back(common::to_lower(cur));
+      cur.clear();
+    }
+  };
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    const char c = word[i];
+    if (c == '-') {
+      // Hyphenated words ("map-output", "non-empty") are NOT camel case;
+      // the hyphen stays inside the current part.
+      cur += c;
+      continue;
+    }
+    if (!std::isalpha(static_cast<unsigned char>(c))) {
+      // Digits/symbols terminate the current part but are kept verbatim as
+      // their own part ("Task2" -> "task", "2").
+      flush();
+      if (!std::isspace(static_cast<unsigned char>(c))) cur += c;
+      flush();
+      continue;
+    }
+    const bool upper = std::isupper(static_cast<unsigned char>(c));
+    if (upper && !cur.empty()) {
+      const char last = cur.back();
+      const bool last_lower = std::islower(static_cast<unsigned char>(last));
+      // lower->Upper boundary: "mapTask" -> map | Task
+      if (last_lower) {
+        flush();
+      } else if (i + 1 < word.size() && std::islower(static_cast<unsigned char>(word[i + 1]))) {
+        // Acronym-run end: "NMToken" -> NM | Token (current char starts the
+        // next word because the following char is lower-case).
+        flush();
+      }
+    }
+    cur += c;
+  }
+  flush();
+  return parts;
+}
+
+bool is_camel_case(std::string_view word) { return split_camel_case(word).size() >= 2; }
+
+std::vector<std::string> split_snake_case(std::string_view word) {
+  if (word.find('_') == std::string_view::npos) return {};
+  for (char c : word) {
+    if (!std::isalpha(static_cast<unsigned char>(c)) && c != '_') return {};
+  }
+  std::vector<std::string> parts;
+  for (const auto& p : common::split(word, "_")) parts.push_back(common::to_lower(p));
+  return parts.size() >= 2 ? parts : std::vector<std::string>{};
+}
+
+}  // namespace intellog::nlp

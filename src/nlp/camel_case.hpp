@@ -1,0 +1,33 @@
+// Camel-case word filter (§3.1).
+//
+// Entities in logs are often class names from the source code —
+// "MapTask" -> "map task", "BlockManagerEndpoint" -> "block manager
+// endpoint". Acronym runs stay together: "NMTokenCache" -> "nm token cache".
+// Users can register additional naming-convention filters (snake_case is
+// built in as an example of the extension point).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace intellog::nlp {
+
+/// Splits a camel-case word into lower-cased parts. A word with no internal
+/// case transition comes back as a single lower-cased part.
+std::vector<std::string> split_camel_case(std::string_view word);
+
+/// True if the word has at least one lower->upper or acronym->word boundary,
+/// i.e. split_camel_case would produce 2+ parts.
+bool is_camel_case(std::string_view word);
+
+/// A pluggable naming-convention filter: word -> phrase parts (empty when
+/// the filter does not apply).
+using NamingFilter = std::function<std::vector<std::string>(std::string_view)>;
+
+/// Built-in snake_case filter ("map_task" -> "map task"); only applies to
+/// all-letter words (identifier-like tokens with digits are left alone).
+std::vector<std::string> split_snake_case(std::string_view word);
+
+}  // namespace intellog::nlp

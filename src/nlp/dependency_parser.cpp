@@ -1,0 +1,236 @@
+#include "nlp/dependency_parser.hpp"
+
+namespace intellog::nlp {
+
+namespace {
+
+bool is_sentence_end(const Token& t) {
+  return t.tag == PosTag::PUNCT &&
+         (t.text == "." || t.text == ";" || t.text == "!" || t.text == "?");
+}
+
+bool is_be_form(const std::string& lower) {
+  return lower == "is" || lower == "are" || lower == "was" || lower == "were" ||
+         lower == "been" || lower == "being" || lower == "be" || lower == "got" ||
+         lower == "gets" || lower == "getting";
+}
+
+/// Words that take an open clausal complement ("about to X", "failed to X").
+bool takes_xcomp(const std::string& lower) {
+  return lower == "about" || lower == "ready" || lower == "unable" || lower == "trying" ||
+         lower == "failed" || lower == "failing" || lower == "able" || lower == "starting" ||
+         lower == "going" || lower == "waiting" || lower == "attempting";
+}
+
+}  // namespace
+
+std::string_view to_string(Relation rel) {
+  switch (rel) {
+    case Relation::Root: return "ROOT";
+    case Relation::Xcomp: return "xcomp";
+    case Relation::Nsubj: return "nsubj";
+    case Relation::Nsubjpass: return "nsubjpass";
+    case Relation::Dobj: return "dobj";
+    case Relation::Iobj: return "iobj";
+    case Relation::Nmod: return "nmod";
+    case Relation::None: return "none";
+  }
+  return "none";
+}
+
+std::ptrdiff_t ClauseParse::dependent_of(std::size_t head, Relation rel) const {
+  for (const auto& d : deps) {
+    if (d.head == head && d.rel == rel) return static_cast<std::ptrdiff_t>(d.dependent);
+  }
+  return -1;
+}
+
+std::vector<ClauseParse> DependencyParser::parse(const std::vector<Token>& tokens) const {
+  std::vector<ClauseParse> clauses;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i <= tokens.size(); ++i) {
+    const bool boundary = i == tokens.size() || is_sentence_end(tokens[i]);
+    if (!boundary) continue;
+    if (i > begin) clauses.push_back(parse_clause(tokens, begin, i));
+    begin = i + 1;
+  }
+  return clauses;
+}
+
+ClauseParse DependencyParser::parse_clause(const std::vector<Token>& tokens, std::size_t begin,
+                                           std::size_t end) const {
+  ClauseParse cp;
+  cp.begin = begin;
+  cp.end = end;
+
+  const auto tag_at = [&](std::size_t i) { return tokens[i].tag; };
+  const auto is_nominal = [&](std::size_t i) {
+    return is_noun(tag_at(i)) || tag_at(i) == PosTag::CD;
+  };
+  // Head of the noun-phrase run starting at i: the last contiguous nominal
+  // ("MapTask metrics system" -> "system"). CDs participate but never win
+  // over a real noun ("task 1.0" -> head "task"... the CD trails the noun,
+  // so the last *noun* within the run is the head).
+  const auto np_head = [&](std::size_t i) {
+    std::size_t last_noun = i;
+    std::size_t j = i;
+    while (j < end && (is_nominal(j) || tag_at(j) == PosTag::SYM)) {
+      if (is_noun(tag_at(j))) last_noun = j;
+      ++j;
+    }
+    return last_noun;
+  };
+
+  // --- Root selection ----------------------------------------------------
+  std::ptrdiff_t root = -1;
+  bool after_to = false;
+  for (std::size_t i = begin; i < end; ++i) {
+    const PosTag t = tag_at(i);
+    if (t == PosTag::TO) {
+      after_to = true;
+      continue;
+    }
+    if (is_finite_verb(t) && !after_to && !is_be_form(tokens[i].lower)) {
+      root = static_cast<std::ptrdiff_t>(i);
+      break;
+    }
+    if (t != PosTag::RB && t != PosTag::PUNCT) after_to = false;
+  }
+  if (root < 0) {
+    // Participles / gerunds / "to VB" complements can still head the clause.
+    for (std::size_t i = begin; i < end; ++i) {
+      const PosTag t = tag_at(i);
+      if (t == PosTag::VBN || t == PosTag::VBG || t == PosTag::VB) {
+        root = static_cast<std::ptrdiff_t>(i);
+        break;
+      }
+    }
+  }
+  if (root < 0) {
+    // Nominal clause ("Down to the last merge-pass"): no operation derivable.
+    for (std::size_t i = begin; i < end; ++i) {
+      if (is_noun(tag_at(i))) cp.root = static_cast<std::ptrdiff_t>(np_head(i));
+      if (cp.root >= 0) break;
+    }
+    cp.nominal_root = true;
+    if (cp.root >= 0)
+      cp.deps.push_back({static_cast<std::size_t>(cp.root), static_cast<std::size_t>(cp.root),
+                         Relation::Root});
+    return cp;
+  }
+
+  cp.root = root;
+  const std::size_t r = static_cast<std::size_t>(root);
+  cp.deps.push_back({r, r, Relation::Root});
+
+  // --- xcomp: "<gov> to VB" where gov is the root or an xcomp-taking word.
+  // If the root itself is a bare VB introduced by TO preceded by an
+  // xcomp-taking word ("about to shuffle"), record gov -> root as xcomp.
+  for (std::size_t i = r + 1; i < end; ++i) {
+    if (tag_at(i) != PosTag::TO) continue;
+    for (std::size_t j = i + 1; j < end; ++j) {
+      if (tag_at(j) == PosTag::RB) continue;
+      if (is_verb(tag_at(j))) cp.deps.push_back({r, j, Relation::Xcomp});
+      break;
+    }
+  }
+  if (tag_at(r) == PosTag::VB && r >= begin + 2 && tag_at(r - 1) == PosTag::TO &&
+      takes_xcomp(tokens[r - 2].lower)) {
+    cp.deps.push_back({r - 2, r, Relation::Xcomp});
+  }
+
+  // --- Passive detection ---------------------------------------------------
+  bool passive = false;
+  if (tag_at(r) == PosTag::VBN) {
+    // be-form auxiliary before the root, or an explicit "by"-agent after it.
+    for (std::size_t i = begin; i < r; ++i) {
+      if (is_be_form(tokens[i].lower)) passive = true;
+    }
+    for (std::size_t i = r + 1; i < end; ++i) {
+      if (tokens[i].lower == "by") passive = true;
+    }
+    // Clause-initial participle with no preceding noun ("Finished task 1.0")
+    // is an active elided-subject form, not a passive.
+    bool noun_before = false;
+    for (std::size_t i = begin; i < r; ++i) noun_before |= is_noun(tag_at(i));
+    if (!noun_before) passive = false;
+  }
+  cp.passive = passive;
+
+  // --- Subject: nearest noun-phrase head before the root (not crossing
+  // another verb) --------------------------------------------------------
+  std::ptrdiff_t subj = -1;
+  for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(r) - 1;
+       i >= static_cast<std::ptrdiff_t>(begin); --i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (is_verb(tag_at(idx)) && !is_be_form(tokens[idx].lower)) break;
+    if (is_noun(tag_at(idx))) {
+      subj = i;
+      break;
+    }
+  }
+  if (subj >= 0) {
+    cp.deps.push_back(
+        {r, static_cast<std::size_t>(subj), passive ? Relation::Nsubjpass : Relation::Nsubj});
+  }
+
+  // --- Objects after the predicate ----------------------------------------
+  // Scan from the rightmost predicate (root or its xcomp) forward.
+  std::size_t pred = r;
+  for (const auto& d : cp.deps) {
+    if (d.rel == Relation::Xcomp && d.dependent > pred) pred = d.dependent;
+  }
+  std::vector<std::size_t> bare_nps;  // NPs with no preposition in front
+  bool saw_prep = false;
+  std::size_t i = pred + 1;
+  while (i < end) {
+    const PosTag t = tag_at(i);
+    if (t == PosTag::IN || t == PosTag::TO) {
+      saw_prep = true;
+      ++i;
+      continue;
+    }
+    if (tokens[i].lower == "by" && passive) {
+      saw_prep = true;
+      ++i;
+      continue;
+    }
+    if (is_noun(t)) {
+      const std::size_t head_idx = np_head(i);
+      if (saw_prep) {
+        cp.deps.push_back({pred, head_idx, Relation::Nmod});
+      } else {
+        bare_nps.push_back(head_idx);
+      }
+      // Skip past the whole NP run.
+      std::size_t j = i;
+      while (j < end && (is_nominal(j) || tag_at(j) == PosTag::SYM)) ++j;
+      i = j;
+      saw_prep = false;
+      continue;
+    }
+    if (is_verb(t) && static_cast<std::ptrdiff_t>(i) != cp.dependent_of(r, Relation::Xcomp)) {
+      break;  // second predicate — stay within this clause's first predicate
+    }
+    if (t == PosTag::PUNCT && tokens[i].text != ",") {
+      break;  // parentheticals and trailing punctuation end the object scan
+    }
+    if (t != PosTag::DT && t != PosTag::JJ && t != PosTag::CD && t != PosTag::RB &&
+        t != PosTag::PUNCT && t != PosTag::SYM && t != PosTag::PRPS) {
+      saw_prep = false;
+    }
+    ++i;
+  }
+  // Double-object "send driver the result": first bare NP is iobj, second
+  // dobj; a single bare NP is the dobj.
+  if (bare_nps.size() >= 2) {
+    cp.deps.push_back({pred, bare_nps[0], Relation::Iobj});
+    cp.deps.push_back({pred, bare_nps[1], Relation::Dobj});
+  } else if (bare_nps.size() == 1) {
+    cp.deps.push_back({pred, bare_nps[0], Relation::Dobj});
+  }
+
+  return cp;
+}
+
+}  // namespace intellog::nlp

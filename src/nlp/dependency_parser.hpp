@@ -1,0 +1,58 @@
+// Shallow Universal Dependencies parser for log sentences.
+//
+// Replaces the paper's Stanford neural parser (DESIGN.md). IntelLog reads
+// exactly 7 UD relations (Table 3): ROOT and xcomp identify the predicate;
+// nsubj / nsubjpass identify the subj-entity; dobj / iobj / nmod identify
+// the obj-entity. Log messages are overwhelmingly single-clause simple
+// sentences (§7), so a deterministic rule parser recovers those relations:
+//  - clauses split at sentence punctuation,
+//  - the root is the first finite verb (else participle / gerund / base
+//    verb after "to"; else the clause is nominal and yields no operation),
+//  - passives are detected from be-forms and "by"-agents,
+//  - noun-phrase heads are the last noun of a contiguous nominal run.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "nlp/token.hpp"
+
+namespace intellog::nlp {
+
+/// The UD relations of Table 3 (plus None for "no relation found").
+enum class Relation { Root, Xcomp, Nsubj, Nsubjpass, Dobj, Iobj, Nmod, None };
+
+std::string_view to_string(Relation rel);
+
+/// One dependency edge. For Root, `head` equals `dependent`.
+struct Dependency {
+  std::size_t head;       ///< token index of the governor
+  std::size_t dependent;  ///< token index of the dependent
+  Relation rel;
+};
+
+/// Parse of one clause; token indices refer to the full tagged sequence.
+struct ClauseParse {
+  std::size_t begin = 0;  ///< first token index of the clause
+  std::size_t end = 0;    ///< one past the last token index
+  std::ptrdiff_t root = -1;  ///< root token index, -1 for an empty clause
+  bool nominal_root = false;  ///< true when no predicate was found
+  bool passive = false;
+  std::vector<Dependency> deps;
+
+  /// First dependent of `head` with relation `rel`, or -1.
+  std::ptrdiff_t dependent_of(std::size_t head, Relation rel) const;
+};
+
+class DependencyParser {
+ public:
+  /// Parses a tagged token sequence into per-clause dependency sets.
+  std::vector<ClauseParse> parse(const std::vector<Token>& tokens) const;
+
+ private:
+  ClauseParse parse_clause(const std::vector<Token>& tokens, std::size_t begin,
+                           std::size_t end) const;
+};
+
+}  // namespace intellog::nlp

@@ -1,0 +1,174 @@
+#include "nlp/hmm_tagger.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/strings.hpp"
+#include "nlp/tokenizer.hpp"
+
+namespace intellog::nlp {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+std::size_t tag_index(PosTag t) { return static_cast<std::size_t>(t); }
+PosTag index_tag(std::size_t i) { return static_cast<PosTag>(i); }
+
+std::string suffix3(const std::string& lower) {
+  return lower.size() <= 3 ? lower : lower.substr(lower.size() - 3);
+}
+
+/// Normalizes a count row into add-one-smoothed log probabilities.
+template <typename Row>
+void to_log_probs(Row& row, double smoothing = 1.0) {
+  double total = 0.0;
+  for (const double c : row) total += c;
+  const double denom = total + smoothing * static_cast<double>(row.size());
+  for (auto& c : row) c = std::log((c + smoothing) / denom);
+}
+
+}  // namespace
+
+void HmmTagger::train(const std::vector<std::vector<Token>>& tagged_sentences) {
+  std::array<std::array<double, kTags>, kTags> trans{};
+  std::array<double, kTags> init{};
+  std::unordered_map<std::string, std::array<double, kTags>> emit;
+  std::unordered_map<std::string, std::array<double, kTags>> suffix_emit;
+  std::array<double, kTags> open{};
+
+  for (const auto& sentence : tagged_sentences) {
+    PosTag prev = PosTag::FW;
+    bool first = true;
+    for (const Token& tok : sentence) {
+      const std::size_t t = tag_index(tok.tag);
+      if (first) {
+        init[t] += 1.0;
+        first = false;
+      } else {
+        trans[tag_index(prev)][t] += 1.0;
+      }
+      prev = tok.tag;
+      emit[tok.lower][t] += 1.0;
+      suffix_emit[suffix3(tok.lower)][t] += 1.0;
+      // Open-class prior: what tags do rare words take? Approximate with
+      // the distribution over nouns/verbs/adjectives only.
+      if (is_noun(tok.tag) || is_verb(tok.tag) || is_adjective(tok.tag)) open[t] += 1.0;
+    }
+  }
+
+  for (auto& row : trans) to_log_probs(row);
+  to_log_probs(init);
+  // Emissions: P(word | tag) would need per-tag totals; using the
+  // word-conditional P(tag | word) as the score works for decoding because
+  // we compare tags for a fixed word (a standard "conditional HMM" choice
+  // that sidesteps vocabulary-size normalization).
+  for (auto& [w, row] : emit) {
+    (void)w;
+    to_log_probs(row, 0.1);
+  }
+  for (auto& [sfx, row] : suffix_emit) {
+    (void)sfx;
+    to_log_probs(row, 0.5);
+  }
+  to_log_probs(open);
+
+  log_transition_ = trans;
+  log_initial_ = init;
+  emissions_ = std::move(emit);
+  suffix_emissions_ = std::move(suffix_emit);
+  open_class_prior_ = open;
+  trained_ = true;
+}
+
+void HmmTagger::bootstrap(const PosTagger& teacher, const std::vector<std::string>& messages) {
+  std::vector<std::vector<Token>> tagged;
+  tagged.reserve(messages.size());
+  for (const auto& msg : messages) tagged.push_back(teacher.tag_message(msg));
+  train(tagged);
+}
+
+const std::array<double, HmmTagger::kTags>* HmmTagger::emission_row(
+    const std::string& lower) const {
+  if (const auto it = emissions_.find(lower); it != emissions_.end()) return &it->second;
+  if (const auto it = suffix_emissions_.find(suffix3(lower)); it != suffix_emissions_.end()) {
+    return &it->second;
+  }
+  return &open_class_prior_;
+}
+
+std::vector<Token> HmmTagger::tag(const std::vector<std::string>& words) const {
+  std::vector<Token> out;
+  out.reserve(words.size());
+  if (!trained_ || words.empty()) {
+    for (const auto& w : words) out.emplace_back(w);
+    return out;
+  }
+
+  const std::size_t n = words.size();
+  std::vector<std::array<double, kTags>> score(n);
+  std::vector<std::array<std::size_t, kTags>> back(n);
+  std::vector<Token> tokens;
+  tokens.reserve(n);
+  for (const auto& w : words) tokens.emplace_back(w);
+
+  // Viterbi forward pass.
+  {
+    const auto* em = emission_row(tokens[0].lower);
+    for (std::size_t t = 0; t < kTags; ++t) score[0][t] = log_initial_[t] + (*em)[t];
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    const auto* em = emission_row(tokens[i].lower);
+    for (std::size_t t = 0; t < kTags; ++t) {
+      double best = kNegInf;
+      std::size_t best_prev = 0;
+      for (std::size_t p = 0; p < kTags; ++p) {
+        const double s = score[i - 1][p] + log_transition_[p][t];
+        if (s > best) {
+          best = s;
+          best_prev = p;
+        }
+      }
+      score[i][t] = best + (*em)[t];
+      back[i][t] = best_prev;
+    }
+  }
+
+  // Backtrace.
+  std::size_t cur = 0;
+  double best = kNegInf;
+  for (std::size_t t = 0; t < kTags; ++t) {
+    if (score[n - 1][t] > best) {
+      best = score[n - 1][t];
+      cur = t;
+    }
+  }
+  std::vector<std::size_t> path(n);
+  path[n - 1] = cur;
+  for (std::size_t i = n - 1; i > 0; --i) {
+    cur = back[i][cur];
+    path[i - 1] = cur;
+  }
+  for (std::size_t i = 0; i < n; ++i) tokens[i].tag = index_tag(path[i]);
+  return tokens;
+}
+
+std::vector<Token> HmmTagger::tag_message(std::string_view message) const {
+  return tag(tokenize(message));
+}
+
+double HmmTagger::agreement(const PosTagger& other,
+                            const std::vector<std::string>& messages) const {
+  std::size_t same = 0, total = 0;
+  for (const auto& msg : messages) {
+    const auto a = tag_message(msg);
+    const auto b = other.tag_message(msg);
+    for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+      ++total;
+      same += a[i].tag == b[i].tag;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(same) / static_cast<double>(total);
+}
+
+}  // namespace intellog::nlp

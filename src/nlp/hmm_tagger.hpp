@@ -1,0 +1,60 @@
+// Bigram hidden-Markov-model POS tagger with Viterbi decoding.
+//
+// A statistical alternative to the rule tagger, matching the tooling class
+// the paper used (OpenNLP ships maxent/perceptron models). There is no
+// treebank of log messages to train on, so the intended use is
+// *bootstrapping*: tag a large unlabeled log corpus with the rule tagger
+// and fit the HMM to its output. The HMM then generalizes through its
+// transition structure — it can out-vote the bootstrap tagger's word-level
+// mistakes in contexts the rules never anticipated, and it degrades
+// gracefully on unknown words through a suffix-based emission back-off.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "nlp/pos_tagger.hpp"
+#include "nlp/token.hpp"
+
+namespace intellog::nlp {
+
+class HmmTagger {
+ public:
+  /// Number of distinct PosTag states.
+  static constexpr std::size_t kTags = 23;
+
+  /// Fits transition/emission counts from tagged sentences.
+  void train(const std::vector<std::vector<Token>>& tagged_sentences);
+
+  /// Bootstraps from a rule tagger over unlabeled messages.
+  void bootstrap(const PosTagger& teacher, const std::vector<std::string>& messages);
+
+  /// Viterbi-decodes a token sequence. Requires train()/bootstrap() first.
+  std::vector<Token> tag(const std::vector<std::string>& words) const;
+  std::vector<Token> tag_message(std::string_view message) const;
+
+  bool trained() const { return trained_; }
+  std::size_t vocabulary_size() const { return emissions_.size(); }
+
+  /// Fraction of tokens on which this tagger agrees with `other` over the
+  /// given messages (evaluation helper).
+  double agreement(const PosTagger& other, const std::vector<std::string>& messages) const;
+
+ private:
+  /// log P(tag | prev); add-one smoothed.
+  std::array<std::array<double, kTags>, kTags> log_transition_{};
+  std::array<double, kTags> log_initial_{};
+  /// word -> per-tag log emission probability (known words).
+  std::unordered_map<std::string, std::array<double, kTags>> emissions_;
+  /// 3-char-suffix back-off emission model for unknown words.
+  std::unordered_map<std::string, std::array<double, kTags>> suffix_emissions_;
+  std::array<double, kTags> open_class_prior_{};  ///< last-resort back-off
+  bool trained_ = false;
+
+  const std::array<double, kTags>* emission_row(const std::string& lower) const;
+};
+
+}  // namespace intellog::nlp

@@ -1,0 +1,39 @@
+#include "nlp/lemmatizer.hpp"
+
+#include "common/strings.hpp"
+
+namespace intellog::nlp {
+
+std::string Lemmatizer::lemma(std::string_view lower_word) const {
+  if (lexicon_) {
+    if (auto base = lexicon_->lemma(lower_word)) return *base;
+    // A word the lexicon knows in this exact spelling is already a base form.
+    if (lexicon_->lookup(lower_word)) return std::string(lower_word);
+  }
+  std::string w(lower_word);
+  // Conservative plural stripping for unknown nouns.
+  if (w.size() > 4 && common::ends_with(w, "ies")) {
+    w.erase(w.size() - 3);
+    return w + "y";
+  }
+  if (w.size() > 4 && (common::ends_with(w, "ches") || common::ends_with(w, "shes") ||
+                       common::ends_with(w, "sses") || common::ends_with(w, "xes") ||
+                       common::ends_with(w, "zes"))) {
+    w.erase(w.size() - 2);
+    return w;
+  }
+  if (w.size() > 3 && w.back() == 's' && !common::ends_with(w, "ss") &&
+      !common::ends_with(w, "us") && !common::ends_with(w, "is")) {
+    w.pop_back();
+    return w;
+  }
+  return w;
+}
+
+std::vector<std::string> Lemmatizer::lemmatize_phrase(std::vector<std::string> words) const {
+  if (!words.empty()) words.back() = lemma(common::to_lower(words.back()));
+  for (auto& w : words) w = common::to_lower(w);
+  return words;
+}
+
+}  // namespace intellog::nlp

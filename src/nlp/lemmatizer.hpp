@@ -1,0 +1,32 @@
+// Lemmatization of extracted phrases (§3.1: "After we extract the entity
+// phrases, we lemmatize them to their singular forms").
+//
+// Uses the lexicon's recorded inflection->base map first (covers the
+// irregulars: vertices -> vertex, children -> child, read -> read, ...) and
+// falls back to conservative suffix stripping for unknown words.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nlp/lexicon.hpp"
+
+namespace intellog::nlp {
+
+class Lemmatizer {
+ public:
+  explicit Lemmatizer(const Lexicon* lexicon = nullptr) : lexicon_(lexicon) {}
+
+  /// Singular / base form of one lower-cased word.
+  std::string lemma(std::string_view lower_word) const;
+
+  /// Lemmatizes the final word of a multi-word phrase (the head noun);
+  /// earlier words are noun modifiers and stay as written.
+  std::vector<std::string> lemmatize_phrase(std::vector<std::string> words) const;
+
+ private:
+  const Lexicon* lexicon_;
+};
+
+}  // namespace intellog::nlp

@@ -1,0 +1,289 @@
+#include "nlp/lexicon.hpp"
+
+#include "common/strings.hpp"
+
+namespace intellog::nlp {
+
+namespace {
+
+bool ends_with_any(std::string_view s, std::initializer_list<std::string_view> suffixes) {
+  for (const auto suf : suffixes) {
+    if (common::ends_with(s, suf)) return true;
+  }
+  return false;
+}
+
+bool is_vowel(char c) { return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u'; }
+
+}  // namespace
+
+std::string regular_s_form(std::string_view base) {
+  std::string b(base);
+  if (ends_with_any(b, {"s", "x", "z", "ch", "sh"})) return b + "es";
+  if (b.size() >= 2 && b.back() == 'y' && !is_vowel(b[b.size() - 2])) {
+    b.pop_back();
+    return b + "ies";
+  }
+  return b + "s";
+}
+
+std::string regular_past(std::string_view base) {
+  std::string b(base);
+  if (!b.empty() && b.back() == 'e') return b + "d";
+  if (b.size() >= 2 && b.back() == 'y' && !is_vowel(b[b.size() - 2])) {
+    b.pop_back();
+    return b + "ied";
+  }
+  return b + "ed";
+}
+
+std::string regular_gerund(std::string_view base) {
+  std::string b(base);
+  if (b.size() >= 2 && b.back() == 'e' && b[b.size() - 2] != 'e') b.pop_back();
+  return b + "ing";
+}
+
+void Lexicon::add_with_readings(std::string_view word, PosTag tag, bool as_primary) {
+  auto& e = entries_[std::string(common::to_lower(word))];
+  const bool fresh = e.tag_mask == 0;
+  e.tag_mask |= 1u << static_cast<unsigned>(tag);
+  if (fresh || as_primary) e.primary = tag;
+  if (is_noun(tag)) e.noun_reading = tag;
+  if (is_verb(tag)) e.verb_reading = tag;
+}
+
+void Lexicon::add(std::string_view word, PosTag tag) { add_with_readings(word, tag, false); }
+
+void Lexicon::record_lemma(std::string_view form, std::string_view base) {
+  const std::string key = common::to_lower(form);
+  const std::string val = common::to_lower(base);
+  if (key != val) lemmas_.emplace(key, val);
+}
+
+std::optional<std::string> Lexicon::lemma(std::string_view lower_word) const {
+  const auto it = lemmas_.find(std::string(lower_word));
+  if (it == lemmas_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Lexicon::add_verb(std::string_view base, std::string_view past, std::string_view participle,
+                       std::string_view gerund, std::string_view third) {
+  const std::string past_s = past.empty() ? regular_past(base) : std::string(past);
+  const std::string part_s = participle.empty() ? past_s : std::string(participle);
+  const std::string ger_s = gerund.empty() ? regular_gerund(base) : std::string(gerund);
+  const std::string third_s = third.empty() ? regular_s_form(base) : std::string(third);
+  add_with_readings(base, PosTag::VB, false);
+  add_with_readings(base, PosTag::VBP, false);
+  add_with_readings(past_s, PosTag::VBD, false);
+  add_with_readings(part_s, PosTag::VBN, false);
+  add_with_readings(ger_s, PosTag::VBG, false);
+  add_with_readings(third_s, PosTag::VBZ, false);
+  record_lemma(past_s, base);
+  record_lemma(part_s, base);
+  record_lemma(ger_s, base);
+  record_lemma(third_s, base);
+}
+
+void Lexicon::add_noun(std::string_view singular, std::string_view plural) {
+  const std::string plural_s = plural.empty() ? regular_s_form(singular) : std::string(plural);
+  // Nouns are primary readings: a word listed both ways defaults to noun
+  // (log keys mention components far more often than they use the homonym
+  // verb), and the tagger's context rules switch to the verb reading.
+  add_with_readings(singular, PosTag::NN, true);
+  add_with_readings(plural_s, PosTag::NNS, true);
+  record_lemma(plural_s, singular);
+}
+
+std::optional<LexEntry> Lexicon::lookup(std::string_view lower_word) const {
+  const auto it = entries_.find(std::string(lower_word));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+Lexicon::Lexicon() {
+  // ---- Closed classes -------------------------------------------------
+  for (const char* w : {"the", "a", "an", "this", "that", "these", "those", "all", "some",
+                        "any", "no", "each", "every", "another", "such", "both"})
+    add(w, PosTag::DT);
+  for (const char* w : {"in", "on", "at", "of", "from", "for", "with", "by", "into", "onto",
+                        "over", "under", "after", "before", "during", "via", "per", "within",
+                        "without", "against", "between", "through", "as", "until", "since",
+                        "across", "towards", "upon", "than", "if", "because", "while"})
+    add(w, PosTag::IN);
+  add("to", PosTag::TO);
+  for (const char* w : {"and", "or", "but", "nor", "plus"}) add(w, PosTag::CC);
+  for (const char* w : {"will", "can", "may", "must", "should", "would", "could", "might",
+                        "shall", "cannot"})
+    add(w, PosTag::MD);
+  for (const char* w : {"it", "they", "we", "he", "she", "i", "you"}) add(w, PosTag::PRP);
+  for (const char* w : {"its", "their", "our", "his", "her", "my", "your"}) add(w, PosTag::PRPS);
+  for (const char* w :
+       {"now", "already", "successfully", "finally", "currently", "again", "not", "down", "up",
+        "only", "also", "still", "yet", "too", "about", "immediately", "asynchronously",
+        "gracefully", "periodically", "locally", "remotely", "here", "there", "never", "soon",
+        "out", "so", "far", "back", "forward", "away", "once", "twice"})
+    add(w, PosTag::RB);
+  add("non-empty", PosTag::JJ);
+  add("in-memory", PosTag::JJ);
+  add("on-disk", PosTag::JJ);
+
+  // be / have / do — explicit forms.
+  add("is", PosTag::VBZ);
+  add("are", PosTag::VBP);
+  add("was", PosTag::VBD);
+  add("were", PosTag::VBD);
+  add("be", PosTag::VB);
+  add("been", PosTag::VBN);
+  add("being", PosTag::VBG);
+  add("has", PosTag::VBZ);
+  add("have", PosTag::VBP);
+  add("had", PosTag::VBD);
+  add("does", PosTag::VBZ);
+  add("do", PosTag::VBP);
+  add("did", PosTag::VBD);
+  add("done", PosTag::VBN);
+
+  // ---- Verbs (systems-log predicates) ---------------------------------
+  // Irregular principal parts given explicitly; the rest are generated.
+  add_verb("read", "read", "read");
+  add_verb("write", "wrote", "written", "writing");
+  add_verb("send", "sent", "sent");
+  add_verb("get", "got", "got", "getting");
+  add_verb("put", "put", "put", "putting");
+  add_verb("run", "ran", "run", "running");
+  add_verb("begin", "began", "begun", "beginning");
+  add_verb("find", "found", "found");
+  add_verb("lose", "lost", "lost", "losing");
+  add_verb("shut", "shut", "shut", "shutting");
+  add_verb("set", "set", "set", "setting");
+  add_verb("take", "took", "taken", "taking");
+  add_verb("build", "built", "built");
+  add_verb("bind", "bound", "bound");
+  add_verb("keep", "kept", "kept");
+  add_verb("stop", "stopped", "stopped", "stopping");
+  add_verb("submit", "submitted", "submitted", "submitting");
+  add_verb("commit", "committed", "committed", "committing");
+  add_verb("spill", "spilled", "spilled", "spilling");
+  add_verb("drop", "dropped", "dropped", "dropping");
+  add_verb("skip", "skipped", "skipped", "skipping");
+  add_verb("plan", "planned", "planned", "planning");
+  add_verb("kill", "killed", "killed");
+  add_verb("map", "mapped", "mapped", "mapping");
+  add_verb("leave", "left", "left", "leaving");
+  add_verb("output", "output", "output", "outputting");
+  add_verb("go", "went", "gone", "going", "goes");
+  add_verb("tell", "told", "told");
+  add_verb("give", "gave", "given", "giving");
+  add_verb("sleep", "slept", "slept");
+  add_verb("forward", "forwarded", "forwarded");
+  add_verb("parse", "parsed", "parsed", "parsing");
+  add_verb("listen");
+  add_verb("satisfy");
+  add_verb("exist");
+  add_verb("evict");
+  add_verb("deprecate");
+  add_verb("measure");
+  add_verb("penalize");
+  add_verb("restore");
+  add_verb("stall");
+  add_verb("generate");
+  add_verb("pass", "passed", "passed", "passing", "passes");
+  add_verb("swap", "swapped", "swapped", "swapping");
+  add_verb("train");
+  add_verb("join");
+  for (const char* v :
+       {"start", "launch", "register", "initialize", "fetch", "shuffle", "free", "complete",
+        "finish", "assign", "receive", "connect", "fail", "retry", "allocate", "release",
+        "schedule", "store", "save", "remove", "delete", "create", "open", "close", "clean",
+        "transition", "report", "update", "process", "download", "upload", "succeed", "exit",
+        "wait", "try", "load", "cache", "broadcast", "add", "disconnect", "request", "grant",
+        "accept", "reject", "abort", "expire", "renew", "resolve", "copy", "clear", "flush",
+        "ignore", "mark", "check", "verify", "recover", "restart", "respond", "reply", "notify",
+        "move", "persist", "evict", "serialize", "deserialize", "compute", "execute",
+        "terminate", "preempt", "decommission", "merge", "sort", "reduce", "use", "localize",
+        "unregister", "configure", "invoke", "handle", "acquire", "refresh", "reserve",
+        "contact", "identify", "consume", "produce", "return", "enable", "disable", "converge",
+        "iterate", "rename", "validate", "authenticate", "enter", "reach", "detect", "time",
+        "call", "command", "initiate", "compile", "aggregate", "disassociate", "spawn",
+        "destroy", "attach", "detach", "claim", "collect", "instantiate", "finalize",
+        "reconnect", "allow", "trigger", "route", "bump", "emit", "poll", "dispatch",
+        "interrupt", "ping", "attempt", "remove"})
+    add_verb(v);
+
+  // ---- Nouns (components, resources, artifacts) ------------------------
+  add_noun("process", "processes");
+  add_noun("pass", "passes");
+  add_noun("address", "addresses");
+  add_noun("class", "classes");
+  add_noun("progress", "progresses");
+  add_noun("status", "statuses");
+  add_noun("diagnostics", "diagnostics");
+  add_noun("metrics", "metrics");
+  add_noun("index", "indices");
+  add_noun("vertex", "vertices");
+  add_noun("child", "children");
+  add_noun("datum", "data");
+  add_noun("data", "data");
+  add_noun("memory", "memories");
+  add_noun("capability", "capabilities");
+  add_noun("priority", "priorities");
+  add_noun("property", "properties");
+  add_noun("registry", "registries");
+  add_noun("query", "queries");
+  add_noun("retry", "retries");
+  add_noun("byte", "bytes");
+  add_noun("copy", "copies");
+  for (const char* n :
+       {"task", "job", "container", "executor", "driver", "block", "manager", "disk", "stage",
+        "attempt", "output", "input", "fetcher", "host", "node", "system", "event", "file",
+        "directory", "folder", "application", "master", "token", "resource", "queue",
+        "partition", "record", "segment", "buffer", "service", "server", "client", "connection",
+        "port", "endpoint", "rdd", "broadcast", "shuffle", "spill", "merge", "sort",
+        "heartbeat", "session", "operator", "table", "dag", "state", "error", "exception",
+        "failure", "result", "response", "request", "size", "length", "time", "timeout",
+        "limit", "threshold", "level", "id", "version", "user", "group", "permission", "acl",
+        "scheduler", "allocator", "tracker", "handler", "listener", "dispatcher", "committer",
+        "reader", "writer", "stream", "socket", "channel", "thread", "worker", "core", "cpu",
+        "configuration", "config", "value", "key", "path", "location", "store", "storage",
+        "cache", "offset", "count", "number", "total", "rate", "signal", "command", "message",
+        "log", "phase", "step", "round", "iteration", "model", "center", "centroid", "edge",
+        "graph", "rank", "word", "report", "update", "cleanup", "setup", "shutdown",
+        "localizer", "localization", "deletion", "recovery", "interval", "map", "reduce",
+        "mapper", "reducer", "start", "end", "instance", "machine", "vm", "hypervisor",
+        "compute", "image", "network", "interface", "volume", "flavor", "tenant", "quota",
+        "usage", "allocation", "proxy", "daemon", "context", "environment", "credential",
+        "secret", "label", "attribute", "column", "row", "object", "entry", "element", "batch",
+        "window", "checkpoint", "lineage", "dependency", "accumulator", "variable", "closure",
+        "function", "code", "source", "sink", "route", "header", "body", "payload", "chunk",
+        "replica", "pipeline", "snapshot", "summary", "plan", "tree", "root", "leaf", "branch",
+        "fetch", "free", "run", "read", "write", "load", "join", "filter", "expression",
+        "sink", "web", "symlink"})
+    add_noun(n);
+
+  // ---- Adjectives -------------------------------------------------------
+  for (const char* j :
+       {"remote", "local", "final", "temporary", "new", "current", "available", "last", "next",
+        "maximum", "minimum", "default", "pending", "active", "idle", "unhealthy", "healthy",
+        "virtual", "physical", "empty", "full", "invalid", "valid", "unknown", "internal",
+        "external", "native", "secure", "speculative", "sufficient", "insufficient", "slow",
+        "fast", "ready", "successful", "unsuccessful", "initial", "intermediate", "additional",
+        "unable", "responsive", "unresponsive", "stale", "fresh", "dirty", "primary",
+        "secondary", "early", "late", "high", "low", "big", "small", "large", "whole", "main"})
+    add(j, PosTag::JJ);
+
+  // "total" / "free" / "complete" also act as adjectives in log phrasing
+  // ("total size", "free memory", "executor complete") — and that reading
+  // is the default; context rules recover the verb reading.
+  add_with_readings("total", PosTag::JJ, /*as_primary=*/true);
+  add_with_readings("free", PosTag::JJ, /*as_primary=*/true);
+  add_with_readings("complete", PosTag::JJ, /*as_primary=*/true);
+  add("running", PosTag::JJ);
+
+  // ---- Units (tagged as nouns; the extractor holds the unit list) ------
+  for (const char* u : {"ms", "msec", "msecs", "s", "sec", "secs", "seconds", "second",
+                        "minutes", "minute", "b", "kb", "mb", "gb", "tb", "bytes", "kilobytes",
+                        "megabytes", "gigabytes", "percent", "vcores", "vcore", "mhz"})
+    add(u, PosTag::NN);
+}
+
+}  // namespace intellog::nlp

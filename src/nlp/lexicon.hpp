@@ -1,0 +1,81 @@
+// Embedded part-of-speech lexicon for systems-log vocabulary.
+//
+// Replaces the paper's OpenNLP model (see DESIGN.md substitution table).
+// The lexicon stores, per spelling, the set of PTB tags the word can take
+// plus its preferred noun/verb readings; the tagger's contextual rules pick
+// among them. Verb entries are generated morphologically from base forms
+// (3rd-person -s, past, participle, gerund), nouns get auto-plurals, so the
+// table below stays compact while covering every inflection the simulated
+// systems' log statements use.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "nlp/token.hpp"
+
+namespace intellog::nlp {
+
+/// What the lexicon knows about one spelling.
+struct LexEntry {
+  std::uint32_t tag_mask = 0;        ///< bitmask over PosTag values
+  PosTag primary = PosTag::NN;       ///< tag to use absent other evidence
+  PosTag noun_reading = PosTag::NN;  ///< tag when context forces a noun
+  PosTag verb_reading = PosTag::VB;  ///< tag when context forces a verb
+
+  bool can_be(PosTag t) const { return (tag_mask >> static_cast<unsigned>(t)) & 1u; }
+  bool can_be_noun() const { return can_be(PosTag::NN) || can_be(PosTag::NNS); }
+  bool can_be_verb() const {
+    return can_be(PosTag::VB) || can_be(PosTag::VBD) || can_be(PosTag::VBG) ||
+           can_be(PosTag::VBN) || can_be(PosTag::VBP) || can_be(PosTag::VBZ);
+  }
+  bool can_be_adjective() const { return can_be(PosTag::JJ); }
+};
+
+/// Immutable after construction; cheap hash lookups (lower-cased keys).
+class Lexicon {
+ public:
+  /// Builds the built-in systems-log lexicon.
+  Lexicon();
+
+  /// Looks a (lower-cased) spelling up; nullopt when unknown.
+  std::optional<LexEntry> lookup(std::string_view lower_word) const;
+
+  /// Registers an additional word (user extension point, §3.1 "users can
+  /// define their own filters"). Merges with any existing entry.
+  void add(std::string_view word, PosTag tag);
+
+  /// Registers a verb with explicit principal parts; inflections are
+  /// generated (3sg / past / participle / gerund).
+  void add_verb(std::string_view base, std::string_view past = {},
+                std::string_view participle = {}, std::string_view gerund = {},
+                std::string_view third = {});
+
+  /// Registers a noun and its plural (auto-generated unless given).
+  void add_noun(std::string_view singular, std::string_view plural = {});
+
+  /// Base form of an inflected word recorded at registration time
+  /// ("retried" -> "retry", "vertices" -> "vertex"); nullopt when unknown.
+  std::optional<std::string> lemma(std::string_view lower_word) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  void add_with_readings(std::string_view word, PosTag tag, bool as_primary);
+  void record_lemma(std::string_view form, std::string_view base);
+  std::unordered_map<std::string, LexEntry> entries_;
+  std::unordered_map<std::string, std::string> lemmas_;
+};
+
+/// Regular 3rd-person singular of a verb / plural of a noun ("fetch" ->
+/// "fetches", "registry" -> "registries").
+std::string regular_s_form(std::string_view base);
+/// Regular past tense ("free" -> "freed", "retry" -> "retried").
+std::string regular_past(std::string_view base);
+/// Regular gerund ("store" -> "storing", "read" -> "reading").
+std::string regular_gerund(std::string_view base);
+
+}  // namespace intellog::nlp

@@ -1,0 +1,170 @@
+#include "nlp/pos_tagger.hpp"
+
+#include <cctype>
+
+#include "common/strings.hpp"
+#include "nlp/tokenizer.hpp"
+
+namespace intellog::nlp {
+
+namespace {
+
+bool is_punct_token(const std::string& w) {
+  if (w.size() != 1) return false;
+  const char c = w[0];
+  return c == '[' || c == ']' || c == '(' || c == ')' || c == '{' || c == '}' || c == ',' ||
+         c == '.' || c == ':' || c == ';' || c == '!' || c == '?' || c == '"' || c == '\'';
+}
+
+bool is_symbol_token(const std::string& w) {
+  return w == "*" || w == "#" || w == "=" || w == "%" || w == "->" || w == "=>" || w == "-" ||
+         w == "/" || w == "+" || w == "&" || w == "@" || w == "|" || w == "...";
+}
+
+bool all_upper(std::string_view s) {
+  bool any = false;
+  for (char c : s) {
+    if (std::islower(static_cast<unsigned char>(c))) return false;
+    if (std::isupper(static_cast<unsigned char>(c))) any = true;
+  }
+  return any;
+}
+
+bool is_be_form(const std::string& lower) {
+  return lower == "is" || lower == "are" || lower == "was" || lower == "were" ||
+         lower == "been" || lower == "being" || lower == "be" || lower == "got" ||
+         lower == "gets" || lower == "has" || lower == "have" || lower == "had";
+}
+
+/// Picks the verb tag for a word whose context forces a verb reading.
+PosTag choose_verb_tag(const LexEntry& e, bool after_to_or_md, bool passive_context) {
+  if (after_to_or_md && e.can_be(PosTag::VB)) return PosTag::VB;
+  if (passive_context && e.can_be(PosTag::VBN)) return PosTag::VBN;
+  for (const PosTag pref : {PosTag::VBD, PosTag::VBZ, PosTag::VBG, PosTag::VBP, PosTag::VB,
+                            PosTag::VBN}) {
+    if (e.can_be(pref)) return pref;
+  }
+  return e.verb_reading;
+}
+
+}  // namespace
+
+PosTagger::PosTagger() : lexicon_() {}
+PosTagger::PosTagger(Lexicon lexicon) : lexicon_(std::move(lexicon)) {}
+
+PosTag PosTagger::initial_tag(const std::string& word, const std::string& lower,
+                              bool sentence_start) const {
+  if (is_punct_token(word)) return PosTag::PUNCT;
+  if (is_symbol_token(word)) return PosTag::SYM;
+  if (common::is_number(word)) return PosTag::CD;
+  // Identifier-like tokens: attempt_01, host1:13562, /tmp/x, hdfs://... —
+  // NNP, i.e. a name. The extractor later decides identifier vs. locality.
+  if (is_atomic_token(word)) return PosTag::NNP;
+  if (common::has_digit(word) && common::has_letter(word)) return PosTag::NNP;
+
+  if (const auto entry = lexicon_.lookup(lower)) return entry->primary;
+
+  // Unknown word: morphology, then capitalization.
+  if (common::ends_with(lower, "ing") && lower.size() > 5) return PosTag::VBG;
+  if (common::ends_with(lower, "ed") && lower.size() > 4) return PosTag::VBN;
+  if (common::ends_with(lower, "ly") && lower.size() > 4) return PosTag::RB;
+  for (const char* suf : {"tion", "sion", "ment", "ness", "ance", "ence", "ity", "ship"}) {
+    if (common::ends_with(lower, suf)) return PosTag::NN;
+  }
+  for (const char* suf : {"able", "ible", "ful", "ous", "ive"}) {
+    if (common::ends_with(lower, suf)) return PosTag::JJ;
+  }
+  if (all_upper(word)) return PosTag::NNP;  // acronyms: TID, RM, DAG
+  if (!sentence_start && std::isupper(static_cast<unsigned char>(word[0]))) return PosTag::NNP;
+  if (common::ends_with(lower, "s") && !common::ends_with(lower, "ss") && lower.size() > 3)
+    return PosTag::NNS;
+  return PosTag::NN;
+}
+
+void PosTagger::contextual_pass(std::vector<Token>& tokens) const {
+  const auto prev_word_index = [&](std::size_t i) -> std::ptrdiff_t {
+    for (std::ptrdiff_t j = static_cast<std::ptrdiff_t>(i) - 1; j >= 0; --j) {
+      if (tokens[static_cast<std::size_t>(j)].tag != PosTag::PUNCT) return j;
+    }
+    return -1;
+  };
+  const auto next_word_index = [&](std::size_t i) -> std::ptrdiff_t {
+    for (std::size_t j = i + 1; j < tokens.size(); ++j) {
+      if (tokens[j].tag != PosTag::PUNCT) return static_cast<std::ptrdiff_t>(j);
+    }
+    return -1;
+  };
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    Token& tok = tokens[i];
+    const auto entry = lexicon_.lookup(tok.lower);
+    const std::ptrdiff_t pi = prev_word_index(i);
+    const std::ptrdiff_t ni = next_word_index(i);
+    const Token* prev = pi >= 0 ? &tokens[static_cast<std::size_t>(pi)] : nullptr;
+    const Token* next = ni >= 0 ? &tokens[static_cast<std::size_t>(ni)] : nullptr;
+
+    // Rule 1: after TO or a modal, an ambiguous word is a base-form verb.
+    if (prev && (prev->tag == PosTag::TO || prev->tag == PosTag::MD) && entry &&
+        entry->can_be_verb()) {
+      tok.tag = choose_verb_tag(*entry, /*after_to_or_md=*/true, false);
+      continue;
+    }
+    // Rule 2: after a determiner / possessive / adjective / preposition /
+    // number, an ambiguous verb-tagged word is a noun ("of map", "the
+    // shuffle", "remote fetch").
+    if (prev && is_verb(tok.tag) && entry && entry->can_be_noun() &&
+        (prev->tag == PosTag::DT || prev->tag == PosTag::PRPS || prev->tag == PosTag::JJ ||
+         prev->tag == PosTag::IN || prev->tag == PosTag::CD)) {
+      tok.tag = entry->noun_reading;
+      continue;
+    }
+    // Rule 3: past form after a be/have form is a past participle
+    // ("was killed", "got assigned").
+    if (prev && tok.tag == PosTag::VBD && entry && entry->can_be(PosTag::VBN) &&
+        is_be_form(prev->lower)) {
+      tok.tag = PosTag::VBN;
+      continue;
+    }
+    // Rule 4: a participle-capable verb directly followed by "by" is a
+    // passive participle ("freed by fetcher").
+    if (next && is_verb(tok.tag) && entry && entry->can_be(PosTag::VBN) && next->lower == "by") {
+      tok.tag = PosTag::VBN;
+      continue;
+    }
+    // Rule 5: a noun-tagged verb homonym followed by a numeral/determiner is
+    // acting as the predicate ("read 2264 bytes", "freed the buffer") — but
+    // only when the clause has no predicate yet ("Finished spill 0" keeps
+    // 'spill' as the object noun).
+    if (next && is_noun(tok.tag) && entry && entry->can_be_verb() &&
+        (next->tag == PosTag::CD || next->tag == PosTag::DT || next->tag == PosTag::PRPS)) {
+      bool verb_before = false;
+      for (std::size_t j = 0; j < i; ++j) verb_before |= is_verb(tokens[j].tag);
+      if (!verb_before) {
+        tok.tag = choose_verb_tag(*entry, false, false);
+        continue;
+      }
+    }
+  }
+}
+
+std::vector<Token> PosTagger::tag(const std::vector<std::string>& words) const {
+  std::vector<Token> tokens;
+  tokens.reserve(words.size());
+  bool sentence_start = true;
+  for (const std::string& w : words) {
+    Token tok(w);
+    tok.tag = initial_tag(tok.text, tok.lower, sentence_start);
+    if (tok.tag != PosTag::PUNCT && tok.tag != PosTag::SYM) sentence_start = false;
+    if (tok.tag == PosTag::PUNCT && (w == "." || w == ";" || w == "!" || w == "?"))
+      sentence_start = true;
+    tokens.push_back(std::move(tok));
+  }
+  contextual_pass(tokens);
+  return tokens;
+}
+
+std::vector<Token> PosTagger::tag_message(std::string_view message) const {
+  return tag(tokenize(message));
+}
+
+}  // namespace intellog::nlp

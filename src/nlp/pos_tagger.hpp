@@ -1,0 +1,44 @@
+// Part-of-speech tagger for log messages (Penn Treebank tag set).
+//
+// Pipeline position (§3): IntelLog never tags a log key directly — the
+// asterisks would confuse any tagger — it tags a *sample log message* and
+// transfers the tags back onto the key (Fig. 3). This tagger implements the
+// sample-message side: lexicon lookup, morphological suffix rules for
+// unknown words, log-specific token classes (identifiers, socket addresses,
+// paths tag as NNP; numerals as CD), then Brill-style contextual repair
+// rules to resolve noun/verb homonyms ("map", "read", "shuffle", ...).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nlp/lexicon.hpp"
+#include "nlp/token.hpp"
+
+namespace intellog::nlp {
+
+class PosTagger {
+ public:
+  /// Uses the built-in systems-log lexicon.
+  PosTagger();
+  /// Uses a caller-supplied lexicon (user extension point).
+  explicit PosTagger(Lexicon lexicon);
+
+  /// Tags a pre-tokenized message.
+  std::vector<Token> tag(const std::vector<std::string>& words) const;
+
+  /// Tokenizes and tags a raw message.
+  std::vector<Token> tag_message(std::string_view message) const;
+
+  const Lexicon& lexicon() const { return lexicon_; }
+  Lexicon& lexicon() { return lexicon_; }
+
+ private:
+  PosTag initial_tag(const std::string& word, const std::string& lower, bool sentence_start) const;
+  void contextual_pass(std::vector<Token>& tokens) const;
+
+  Lexicon lexicon_;
+};
+
+}  // namespace intellog::nlp

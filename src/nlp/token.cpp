@@ -1,0 +1,87 @@
+#include "nlp/token.hpp"
+
+#include "common/strings.hpp"
+
+namespace intellog::nlp {
+
+std::string_view to_string(PosTag tag) {
+  switch (tag) {
+    case PosTag::NN: return "NN";
+    case PosTag::NNS: return "NNS";
+    case PosTag::NNP: return "NNP";
+    case PosTag::NNPS: return "NNPS";
+    case PosTag::JJ: return "JJ";
+    case PosTag::VB: return "VB";
+    case PosTag::VBD: return "VBD";
+    case PosTag::VBG: return "VBG";
+    case PosTag::VBN: return "VBN";
+    case PosTag::VBP: return "VBP";
+    case PosTag::VBZ: return "VBZ";
+    case PosTag::MD: return "MD";
+    case PosTag::IN: return "IN";
+    case PosTag::TO: return "TO";
+    case PosTag::DT: return "DT";
+    case PosTag::CD: return "CD";
+    case PosTag::RB: return "RB";
+    case PosTag::PRP: return "PRP";
+    case PosTag::PRPS: return "PRP$";
+    case PosTag::CC: return "CC";
+    case PosTag::SYM: return "SYM";
+    case PosTag::PUNCT: return ".";
+    case PosTag::FW: return "FW";
+  }
+  return "FW";
+}
+
+PosTag pos_from_string(std::string_view name) {
+  if (name == "NN") return PosTag::NN;
+  if (name == "NNS") return PosTag::NNS;
+  if (name == "NNP") return PosTag::NNP;
+  if (name == "NNPS") return PosTag::NNPS;
+  if (name == "JJ" || name == "JJR" || name == "JJS") return PosTag::JJ;
+  if (name == "VB") return PosTag::VB;
+  if (name == "VBD") return PosTag::VBD;
+  if (name == "VBG") return PosTag::VBG;
+  if (name == "VBN") return PosTag::VBN;
+  if (name == "VBP") return PosTag::VBP;
+  if (name == "VBZ") return PosTag::VBZ;
+  if (name == "MD") return PosTag::MD;
+  if (name == "IN") return PosTag::IN;
+  if (name == "TO") return PosTag::TO;
+  if (name == "DT" || name == "PDT" || name == "WDT") return PosTag::DT;
+  if (name == "CD") return PosTag::CD;
+  if (name == "RB" || name == "RBR" || name == "RBS") return PosTag::RB;
+  if (name == "PRP") return PosTag::PRP;
+  if (name == "PRP$") return PosTag::PRPS;
+  if (name == "CC") return PosTag::CC;
+  if (name == "SYM" || name == "#" || name == "$") return PosTag::SYM;
+  if (name == "." || name == "," || name == ":" || name == "-LRB-" || name == "-RRB-")
+    return PosTag::PUNCT;
+  return PosTag::FW;
+}
+
+bool is_noun(PosTag tag) {
+  return tag == PosTag::NN || tag == PosTag::NNS || tag == PosTag::NNP || tag == PosTag::NNPS;
+}
+
+bool is_verb(PosTag tag) {
+  switch (tag) {
+    case PosTag::VB:
+    case PosTag::VBD:
+    case PosTag::VBG:
+    case PosTag::VBN:
+    case PosTag::VBP:
+    case PosTag::VBZ: return true;
+    default: return false;
+  }
+}
+
+bool is_finite_verb(PosTag tag) {
+  return tag == PosTag::VBZ || tag == PosTag::VBP || tag == PosTag::VBD;
+}
+
+bool is_adjective(PosTag tag) { return tag == PosTag::JJ; }
+
+Token::Token(std::string t) : text(std::move(t)), lower(common::to_lower(text)) {}
+
+}  // namespace intellog::nlp

@@ -1,0 +1,67 @@
+// Token and Penn Treebank part-of-speech tag representation.
+//
+// The paper tags log-key words with the Penn Treebank tag set (§3, [24]) and
+// consumes a small subset downstream: the noun family (NN/NNS/NNP/NNPS) and
+// adjectives (JJ) for the Table-2 entity patterns, verbs for predicates,
+// IN for the "noun preposition noun" pattern and nmod attachment, and CD for
+// numeric fields.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace intellog::nlp {
+
+/// The Penn Treebank tags this pipeline distinguishes. Tags we never need to
+/// tell apart (e.g. PDT vs DT) collapse onto the nearest member.
+enum class PosTag {
+  NN,     ///< noun, singular
+  NNS,    ///< noun, plural
+  NNP,    ///< proper noun, singular
+  NNPS,   ///< proper noun, plural
+  JJ,     ///< adjective
+  VB,     ///< verb, base form
+  VBD,    ///< verb, past tense
+  VBG,    ///< verb, gerund/present participle
+  VBN,    ///< verb, past participle
+  VBP,    ///< verb, non-3rd person singular present
+  VBZ,    ///< verb, 3rd person singular present
+  MD,     ///< modal
+  IN,     ///< preposition / subordinating conjunction
+  TO,     ///< "to"
+  DT,     ///< determiner
+  CD,     ///< cardinal number
+  RB,     ///< adverb
+  PRP,    ///< personal pronoun
+  PRPS,   ///< possessive pronoun (PRP$)
+  CC,     ///< coordinating conjunction
+  SYM,    ///< symbol (#, %, ...)
+  PUNCT,  ///< punctuation
+  FW,     ///< foreign/unknown word
+};
+
+/// Canonical PTB spelling of a tag ("PRP$" for PRPS, "." for PUNCT).
+std::string_view to_string(PosTag tag);
+/// Parses a PTB tag name; unknown names map to FW.
+PosTag pos_from_string(std::string_view name);
+
+/// True for NN / NNS / NNP / NNPS — the paper's Table 2 folds all four
+/// noun tags into its 'NN' pattern element.
+bool is_noun(PosTag tag);
+/// True for any VB* tag.
+bool is_verb(PosTag tag);
+/// True for a finite verb form that can head a clause (VBZ/VBP/VBD).
+bool is_finite_verb(PosTag tag);
+bool is_adjective(PosTag tag);
+
+/// A single token of a log message with its assigned POS tag.
+struct Token {
+  std::string text;   ///< original spelling
+  std::string lower;  ///< lower-cased spelling (lookup key)
+  PosTag tag = PosTag::FW;
+
+  Token() = default;
+  explicit Token(std::string t);
+};
+
+}  // namespace intellog::nlp

@@ -1,0 +1,128 @@
+#include "nlp/tokenizer.hpp"
+
+#include <cctype>
+
+#include "common/strings.hpp"
+
+namespace intellog::nlp {
+
+namespace {
+
+bool is_open_punct(char c) { return c == '[' || c == '(' || c == '{' || c == '"' || c == '\''; }
+bool is_close_punct(char c) {
+  return c == ']' || c == ')' || c == '}' || c == '"' || c == '\'' || c == ',' || c == '.' ||
+         c == ';' || c == '!' || c == '?' || c == ':';
+}
+
+bool looks_like_host_port(std::string_view s) {
+  // letters/digits/dots/dashes, a single ':', digits after it.
+  const std::size_t colon = s.find(':');
+  if (colon == std::string_view::npos || colon == 0 || colon + 1 >= s.size()) return false;
+  if (s.find(':', colon + 1) != std::string_view::npos) return false;
+  for (char c : s.substr(0, colon)) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '.' && c != '-') return false;
+  }
+  return common::is_all_digits(s.substr(colon + 1));
+}
+
+// "4ms" / "128MB" / "2.5s" -> number + unit.
+bool split_number_unit(std::string_view s, std::string& num, std::string& unit) {
+  std::size_t i = 0;
+  bool dot = false;
+  while (i < s.size() &&
+         (std::isdigit(static_cast<unsigned char>(s[i])) || (s[i] == '.' && !dot))) {
+    if (s[i] == '.') dot = true;
+    ++i;
+  }
+  if (i == 0 || i == s.size()) return false;
+  const std::string_view tail = s.substr(i);
+  if (!common::has_letter(tail)) return false;
+  for (char c : tail) {
+    if (!std::isalpha(static_cast<unsigned char>(c)) && c != '%') return false;
+  }
+  // Mixed tokens where digits resume after letters (e.g. "e12a3") are
+  // identifiers, not number+unit — the loop above already rejects them
+  // because the tail must be all-alpha.
+  num = std::string(s.substr(0, i));
+  // A bare trailing '.' captured into the number ("4." from "4.") is noise.
+  if (!num.empty() && num.back() == '.') num.pop_back();
+  unit = std::string(tail);
+  return true;
+}
+
+void emit_core(std::string_view core, std::vector<std::string>& out) {
+  if (core.empty()) return;
+  if (is_atomic_token(core)) {
+    out.emplace_back(core);
+    return;
+  }
+  // '#' separates into its own SYM token: "fetcher#1" -> fetcher # 1.
+  const std::size_t hash = core.find('#');
+  if (hash != std::string_view::npos) {
+    emit_core(core.substr(0, hash), out);
+    out.emplace_back("#");
+    emit_core(core.substr(hash + 1), out);
+    return;
+  }
+  std::string num, unit;
+  if (split_number_unit(core, num, unit)) {
+    out.push_back(std::move(num));
+    out.push_back(std::move(unit));
+    return;
+  }
+  // "=" splits key=value style fragments.
+  const std::size_t eq = core.find('=');
+  if (eq != std::string_view::npos) {
+    emit_core(core.substr(0, eq), out);
+    out.emplace_back("=");
+    emit_core(core.substr(eq + 1), out);
+    return;
+  }
+  out.emplace_back(core);
+}
+
+}  // namespace
+
+bool is_atomic_token(std::string_view token) {
+  if (token.find("://") != std::string_view::npos) return true;  // hdfs://, http://
+  if (!token.empty() && token.front() == '/') return true;       // absolute path
+  if (looks_like_host_port(token)) return true;                  // host:port
+  if (token.find('_') != std::string_view::npos) return true;    // attempt_01 etc.
+  return false;
+}
+
+std::vector<std::string> tokenize(std::string_view message) {
+  std::vector<std::string> out;
+  for (const std::string& raw : common::split_ws(message)) {
+    std::string_view piece = raw;
+    // Peel leading punctuation.
+    std::vector<char> opens;
+    while (!piece.empty() && is_open_punct(piece.front())) {
+      opens.push_back(piece.front());
+      piece.remove_prefix(1);
+    }
+    // Peel trailing punctuation — but never break an atomic token from the
+    // right unless the final char cannot belong to it (',' '.' after digits
+    // at end of sentence are genuinely sentence punctuation, except a port
+    // or a path must keep its internals; we only strip chars at the very
+    // end that leave a still-well-formed core).
+    std::vector<char> closes;
+    while (!piece.empty() && is_close_punct(piece.back())) {
+      // ':' mid-token forms host:port; only strip a trailing ':'.
+      if (piece.back() == ':' && piece.size() == 1) break;
+      // Keep a '.' that is an interior decimal point ("1.0" never reaches
+      // here since '.' is at the end); "1.0." sheds only the final dot.
+      if (is_atomic_token(piece) && piece.back() != ',' && piece.back() != '.' &&
+          piece.back() != ':')
+        break;
+      closes.push_back(piece.back());
+      piece.remove_suffix(1);
+    }
+    for (char c : opens) out.emplace_back(1, c);
+    emit_core(piece, out);
+    for (auto it = closes.rbegin(); it != closes.rend(); ++it) out.emplace_back(1, *it);
+  }
+  return out;
+}
+
+}  // namespace intellog::nlp

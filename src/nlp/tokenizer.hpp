@@ -1,0 +1,27 @@
+// Log-message tokenizer.
+//
+// Log text is not free-form prose: identifiers (`attempt_01`,
+// `container_e12_0001_01_000002`), socket addresses (`host1:13562`),
+// filesystem and DFS paths, and number+unit fusions (`4ms`, `128MB`) must
+// survive as analyzable tokens. The tokenizer therefore:
+//  - keeps identifier-like tokens (letters+digits+[_./:-]) intact,
+//  - splits a trailing alphabetic unit off a leading number ("4ms" -> 4, ms),
+//  - separates surrounding punctuation ('[', ']', '(', ')', ',', trailing
+//    '.', ':') into PUNCT tokens, and
+//  - keeps '#' as its own SYM token (MapReduce's "fetcher#1" style).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace intellog::nlp {
+
+/// Splits a log message (or log key) into raw token strings.
+std::vector<std::string> tokenize(std::string_view message);
+
+/// True if the token looks like a path, URL, or socket address — something
+/// the tokenizer must never split on internal punctuation.
+bool is_atomic_token(std::string_view token);
+
+}  // namespace intellog::nlp

@@ -1,0 +1,61 @@
+// Cluster and job model for the simulated testbed.
+//
+// Mirrors the paper's experiment setup (§6.1): a 27-node YARN-managed
+// cluster (1 master + 26 workers), jobs submitted per system with varying
+// input sizes and per-container resources. Execution is encapsulated in
+// YARN containers; every container's log stream becomes one session.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace intellog::simsys {
+
+/// Physical cluster shape.
+struct ClusterSpec {
+  int num_workers = 26;
+  int cores_per_node = 32;
+  int memory_mb_per_node = 128 * 1024;
+
+  /// Worker node host name, 0-based ("host1".."host26").
+  std::string node_name(int i) const { return "host" + std::to_string(i + 1); }
+  std::string master_name() const { return "master"; }
+};
+
+/// One submitted job (the workload generator produces these).
+struct JobSpec {
+  std::string name;    ///< "WordCount", "KMeans", "TPCH-Q8", ...
+  std::string system;  ///< "spark" | "mapreduce" | "tez"
+  int input_gb = 10;
+  int container_cores = 8;
+  int container_memory_mb = 4096;
+  std::uint64_t seed = 1;
+
+  /// Memory a container needs for this input size to avoid spilling
+  /// intermediate data to disk (drives the §6.4 performance-issue case).
+  /// Per-system: Hive-on-Tez query operators are the hungriest, MapReduce
+  /// streams and needs the least.
+  int required_memory_mb() const {
+    if (system == "mapreduce") return 128 + input_gb * 64;
+    if (system == "tez") return 256 + input_gb * 160;
+    return 256 + input_gb * 96;  // spark
+  }
+  bool memory_sufficient() const { return container_memory_mb >= required_memory_mb(); }
+};
+
+/// The problems the injection tool emulates (§6.4) plus the two unexpected
+/// anomaly modes used by the case studies.
+enum class ProblemKind { None, SessionAbort, NetworkFailure, NodeFailure };
+
+std::string to_string(ProblemKind kind);
+
+/// What (if anything) goes wrong while a job runs.
+struct FaultPlan {
+  ProblemKind kind = ProblemKind::None;
+  int target_node = -1;       ///< victim node index for network/node failure
+  double at_fraction = 0.5;   ///< when the problem triggers, as job progress
+  bool spark19371_bug = false;  ///< Spark-19371: containers with no tasks
+};
+
+}  // namespace intellog::simsys

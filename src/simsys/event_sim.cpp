@@ -1,0 +1,65 @@
+#include "simsys/event_sim.hpp"
+
+#include <algorithm>
+
+namespace intellog::simsys {
+
+SessionBuilder::SessionBuilder(const TemplateCorpus& corpus, std::string container_id,
+                               std::string node, std::uint64_t start_ms, common::Rng rng)
+    : corpus_(corpus),
+      container_id_(std::move(container_id)),
+      node_(std::move(node)),
+      now_ms_(start_ms),
+      rng_(rng) {}
+
+void SessionBuilder::emit(std::string_view tmpl_name, std::vector<std::string> values,
+                          bool injected) {
+  const LogTemplate& tmpl = corpus_.by_name(tmpl_name);
+  logparse::LogRecord rec;
+  logparse::GroundTruth truth;
+  rec.content = tmpl.render(values, &truth);
+  truth.system = corpus_.system();
+  truth.injected_anomaly = injected;
+  rec.truth = std::move(truth);
+  rec.level = tmpl.level;
+  rec.source = tmpl.source;
+  rec.timestamp_ms = now_ms_;
+  rec.container_id = container_id_;
+  records_.push_back(std::move(rec));
+  advance(1, 30);
+}
+
+void SessionBuilder::advance(std::uint64_t min_ms, std::uint64_t max_ms) {
+  now_ms_ += min_ms + rng_.uniform(max_ms - min_ms + 1);
+}
+
+SessionBuilder SessionBuilder::fork(std::uint64_t offset_ms) {
+  return SessionBuilder(corpus_, container_id_, node_, now_ms_ + offset_ms, rng_.fork());
+}
+
+void SessionBuilder::absorb(SessionBuilder&& thread) {
+  records_.insert(records_.end(), std::make_move_iterator(thread.records_.begin()),
+                  std::make_move_iterator(thread.records_.end()));
+  now_ms_ = std::max(now_ms_, thread.now_ms_);
+}
+
+void SessionBuilder::truncate_after(std::uint64_t cutoff_ms) {
+  std::erase_if(records_, [cutoff_ms](const logparse::LogRecord& r) {
+    return r.timestamp_ms > cutoff_ms;
+  });
+  now_ms_ = std::min(now_ms_, cutoff_ms);
+}
+
+logparse::Session SessionBuilder::finish() {
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const logparse::LogRecord& a, const logparse::LogRecord& b) {
+                     return a.timestamp_ms < b.timestamp_ms;
+                   });
+  logparse::Session s;
+  s.container_id = container_id_;
+  s.system = corpus_.system();
+  s.records = std::move(records_);
+  return s;
+}
+
+}  // namespace intellog::simsys

@@ -1,0 +1,28 @@
+// Simulated Hadoop MapReduce (modelled on MapReduce 2.9 log statements).
+//
+// Three session shapes, matching a real YARN deployment:
+//  - the MRAppMaster container (job lifecycle, container launches, task
+//    transitions, plus frequent key-value status lines — MapReduce's
+//    non-natural-language share in Table 1),
+//  - mapper containers (MapTask metrics system, split processing, spills,
+//    output commit),
+//  - reducer containers (EventFetcher + parallel fetcher#k threads doing
+//    the Fig. 1 shuffle subroutine, merge phase, reduce phase).
+// A network/node failure makes fetchers fail against the victim host —
+// the exact symptom the paper's case study 1 diagnoses via GroupBy.
+#pragma once
+
+#include "simsys/cluster.hpp"
+#include "simsys/job_result.hpp"
+#include "simsys/template_corpus.hpp"
+
+namespace intellog::simsys {
+
+const TemplateCorpus& mapreduce_corpus();
+
+class MapReduceJobSim {
+ public:
+  JobResult run(const JobSpec& spec, const ClusterSpec& cluster, const FaultPlan& fault) const;
+};
+
+}  // namespace intellog::simsys

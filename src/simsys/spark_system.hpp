@@ -1,0 +1,32 @@
+// Simulated Spark (modelled on Spark 2.1 executor/driver log statements).
+//
+// Reproduces the log-level behaviour the paper's evaluation depends on:
+//  - every container session walks acl -> memory/directory/driver/block
+//    setup -> task execution (with per-core task-runner threads whose logs
+//    interleave) -> shutdown, matching the Fig. 8 HW-graph hierarchy;
+//  - the BlockManager register/registered/initialized subroutine (s1), the
+//    per-block storage subroutine (s2) and the identifier-less get/stop
+//    subroutine (s3) of §6.3;
+//  - task counts scale with input size, so session lengths vary (§6.4);
+//  - insufficient container memory triggers 'spill' messages (the §6.4
+//    performance-issue case), a slow shutdown can emit the rare
+//    driver-disassociation line (the paper's false-positive mechanism), and
+//    FaultPlan::spark19371_bug starves half the containers of tasks
+//    (case 3).
+#pragma once
+
+#include "simsys/cluster.hpp"
+#include "simsys/job_result.hpp"
+#include "simsys/template_corpus.hpp"
+
+namespace intellog::simsys {
+
+/// The Spark template corpus (shared, built once).
+const TemplateCorpus& spark_corpus();
+
+class SparkJobSim {
+ public:
+  JobResult run(const JobSpec& spec, const ClusterSpec& cluster, const FaultPlan& fault) const;
+};
+
+}  // namespace intellog::simsys

@@ -1,0 +1,108 @@
+#include "simsys/template_corpus.hpp"
+
+#include <stdexcept>
+
+namespace intellog::simsys {
+
+void parse_template_text(std::string_view text, std::vector<std::string>& parts,
+                         std::vector<FieldSpec>& fields) {
+  parts.clear();
+  fields.clear();
+  std::string cur;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] == '{' && i + 2 < text.size()) {
+      const std::size_t close = text.find('}', i);
+      if (close != std::string_view::npos) {
+        const std::string_view body = text.substr(i + 1, close - i - 1);
+        FieldSpec spec;
+        bool recognized = true;
+        if (body == "V") {
+          spec.category = FieldCategory::Value;
+        } else if (body == "L") {
+          spec.category = FieldCategory::Locality;
+        } else if (body == "W") {
+          spec.category = FieldCategory::Other;
+        } else if (body.size() > 2 && body.substr(0, 2) == "I:") {
+          spec.category = FieldCategory::Identifier;
+          spec.id_type = std::string(body.substr(2));
+        } else {
+          recognized = false;
+        }
+        if (recognized) {
+          parts.push_back(cur);
+          cur.clear();
+          fields.push_back(std::move(spec));
+          i = close + 1;
+          continue;
+        }
+      }
+    }
+    cur += text[i];
+    ++i;
+  }
+  parts.push_back(cur);
+}
+
+std::string LogTemplate::render(const std::vector<std::string>& values,
+                                logparse::GroundTruth* truth) const {
+  assert(values.size() == fields.size());
+  std::string out = parts[0];
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    out += values[i];
+    out += parts[i + 1];
+  }
+  if (truth) {
+    truth->template_id = id;
+    truth->natural_language = natural_language;
+    truth->entities = entities;
+    truth->operations = operations;
+    truth->fields.clear();
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      truth->fields.push_back({values[i], fields[i].category, fields[i].id_type});
+    }
+  }
+  return out;
+}
+
+std::string LogTemplate::key_string() const {
+  std::string out = parts[0];
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    out += "*";
+    out += parts[i + 1];
+  }
+  return out;
+}
+
+int TemplateCorpus::add(std::string_view name, std::string_view level, std::string_view source,
+                        std::string_view text, std::vector<std::string> entities,
+                        std::vector<std::string> operations, bool natural_language) {
+  LogTemplate t;
+  t.id = static_cast<int>(templates_.size());
+  t.level = std::string(level);
+  t.source = std::string(source);
+  parse_template_text(text, t.parts, t.fields);
+  t.natural_language = natural_language;
+  t.entities = std::move(entities);
+  t.operations = std::move(operations);
+  templates_.push_back(std::move(t));
+  names_.emplace_back(name);
+  return templates_.back().id;
+}
+
+const LogTemplate& TemplateCorpus::by_name(std::string_view name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return templates_[i];
+  }
+  throw std::out_of_range("TemplateCorpus(" + system_ + "): no template named '" +
+                          std::string(name) + "'");
+}
+
+bool TemplateCorpus::has(std::string_view name) const {
+  for (const auto& n : names_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+}  // namespace intellog::simsys

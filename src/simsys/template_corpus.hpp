@@ -1,0 +1,84 @@
+// Log-statement template corpora for the simulated systems.
+//
+// Each template models one log printing statement of a real system
+// (modelled on Spark 2.1 / Hadoop 2.9 / Tez 0.8 / YARN / nova-compute log
+// statements). The template text uses inline placeholders:
+//
+//   {I:TYPE}  identifier field with identifier type TYPE (e.g. {I:TASK})
+//   {V}       numeric value field (metric)
+//   {L}       locality field (host, host:port, path, DFS path)
+//   {W}       free word field (non-numeric variable, e.g. "memory"/"disk")
+//
+// and carries ground-truth annotations: which entity phrases a perfect
+// extractor should find in the constant text, and which operation
+// predicates. These annotations replace the paper's manual comparison
+// against the source code's logging statements (§6.2) — the simulator is
+// the "source code" here, so the benches can score extraction exactly.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "logparse/log_record.hpp"
+
+namespace intellog::simsys {
+
+using logparse::FieldCategory;
+
+/// Declared category of one placeholder.
+struct FieldSpec {
+  FieldCategory category = FieldCategory::Value;
+  std::string id_type;  ///< for Identifier fields: "TASK", "CONTAINER", ...
+};
+
+/// One log printing statement of a simulated system.
+struct LogTemplate {
+  int id = -1;
+  std::string level = "INFO";
+  std::string source;               ///< logging class
+  std::vector<std::string> parts;   ///< constant text around placeholders
+  std::vector<FieldSpec> fields;    ///< fields.size() + 1 == parts.size()
+  bool natural_language = true;
+  std::vector<std::string> entities;    ///< lemmatized entity phrases (truth)
+  std::vector<std::string> operations;  ///< lemmatized predicates (truth)
+
+  /// Renders the template with concrete field values; returns the message
+  /// content and fills the ground-truth record.
+  std::string render(const std::vector<std::string>& values,
+                     logparse::GroundTruth* truth = nullptr) const;
+
+  /// The template as a Spell-style key string (fields as '*').
+  std::string key_string() const;
+};
+
+/// A system's template corpus, addressable by symbolic name.
+class TemplateCorpus {
+ public:
+  explicit TemplateCorpus(std::string system_name) : system_(std::move(system_name)) {}
+
+  /// Parses `text` with the placeholder syntax above and registers it.
+  /// `name` is the symbolic handle emitters use. Returns the template id.
+  int add(std::string_view name, std::string_view level, std::string_view source,
+          std::string_view text, std::vector<std::string> entities = {},
+          std::vector<std::string> operations = {}, bool natural_language = true);
+
+  const LogTemplate& by_name(std::string_view name) const;
+  const LogTemplate& by_id(int id) const { return templates_[static_cast<std::size_t>(id)]; }
+  bool has(std::string_view name) const;
+  std::size_t size() const { return templates_.size(); }
+  const std::string& system() const { return system_; }
+  const std::vector<LogTemplate>& all() const { return templates_; }
+
+ private:
+  std::string system_;
+  std::vector<LogTemplate> templates_;
+  std::vector<std::string> names_;
+};
+
+/// Parses the "{I:TYPE} / {V} / {L} / {W}" placeholder syntax.
+void parse_template_text(std::string_view text, std::vector<std::string>& parts,
+                         std::vector<FieldSpec>& fields);
+
+}  // namespace intellog::simsys

@@ -1,0 +1,27 @@
+// Simulated distributed TensorFlow — the paper's stated future work
+// ("we plan to extend IntelLog to distributed machine learning systems
+// (e.g., TensorFlow)", §9) implemented as a fourth targeted system.
+//
+// Topology: parameter-server sessions plus worker sessions (worker 0 is
+// the chief: it checkpoints). Workers run a training-step loop whose
+// logging mixes natural-language lines with periodic key-value step
+// summaries; gradient aggregation on the PS interleaves with worker
+// traffic. Faults map naturally: a network/node failure severs workers
+// from a parameter server (connection-error lines), memory pressure spills
+// tensors to host memory.
+#pragma once
+
+#include "simsys/cluster.hpp"
+#include "simsys/job_result.hpp"
+#include "simsys/template_corpus.hpp"
+
+namespace intellog::simsys {
+
+const TemplateCorpus& tensorflow_corpus();
+
+class TensorFlowJobSim {
+ public:
+  JobResult run(const JobSpec& spec, const ClusterSpec& cluster, const FaultPlan& fault) const;
+};
+
+}  // namespace intellog::simsys

@@ -1,0 +1,24 @@
+// Simulated Tez running Hive/TPC-H-style queries (modelled on Tez 0.8 +
+// Hive 1.2 log statements).
+//
+// Sessions: one DAGAppMaster container per query plus task containers.
+// Tez logs are short and well-formatted (the paper credits this for Tez's
+// higher extraction accuracy) but include the two famously vague operator
+// keys ("{op} Close done", "{op} finished. Closing") and a handful of pure
+// key-value status lines (Table 1's ~92% NL share).
+#pragma once
+
+#include "simsys/cluster.hpp"
+#include "simsys/job_result.hpp"
+#include "simsys/template_corpus.hpp"
+
+namespace intellog::simsys {
+
+const TemplateCorpus& tez_corpus();
+
+class TezJobSim {
+ public:
+  JobResult run(const JobSpec& spec, const ClusterSpec& cluster, const FaultPlan& fault) const;
+};
+
+}  // namespace intellog::simsys

@@ -1,0 +1,51 @@
+// Workload generator and problem injector (§6.1, §6.4).
+//
+// Mirrors the paper's generator: HiBench-style jobs for Spark and
+// MapReduce (text processing, machine learning, graph processing), TPC-H
+// style queries through Hive for Tez. Training jobs use carefully tuned
+// resource configurations so every job runs clean; detection jobs draw
+// from five configuration sets with different input sizes and resource
+// allocations, and the injector triggers one of the three §6.4 problems at
+// a random point of the execution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simsys/cluster.hpp"
+#include "simsys/job_result.hpp"
+
+namespace intellog::simsys {
+
+/// Runs one job on the simulated cluster with the given fault plan,
+/// dispatching to the right system simulator.
+JobResult run_job(const JobSpec& spec, const ClusterSpec& cluster,
+                  const FaultPlan& fault = {});
+
+/// Job names available per system (HiBench mix / TPC-H queries).
+const std::vector<std::string>& job_names(const std::string& system);
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(std::string system, std::uint64_t seed);
+
+  /// A training job: random name/input size, resources tuned so the run is
+  /// clean (sufficient memory, no rare shutdown paths).
+  JobSpec training_job();
+
+  /// A detection-phase job from configuration set `config_set` (0..4):
+  /// different input sizes and resource allocations than training, still
+  /// guaranteed to succeed (§6.4).
+  JobSpec detection_job(int config_set);
+
+  /// A random fault plan of the given kind (victim node, trigger point).
+  FaultPlan make_fault(ProblemKind kind, const ClusterSpec& cluster);
+
+ private:
+  std::string system_;
+  common::Rng rng_;
+  int counter_ = 0;
+};
+
+}  // namespace intellog::simsys

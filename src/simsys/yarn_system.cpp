@@ -1,0 +1,174 @@
+#include "simsys/yarn_system.hpp"
+
+#include "simsys/event_sim.hpp"
+
+namespace intellog::simsys {
+
+namespace {
+
+TemplateCorpus build_yarn_corpus() {
+  TemplateCorpus c("yarn");
+  c.add("app.submitted", "INFO", "resourcemanager.ClientRMService",
+        "Application {I:APP} submitted by user {W}", {"application", "user"}, {"submit"});
+  c.add("app.accepted", "INFO", "resourcemanager.rmapp.RMAppImpl",
+        "Application {I:APP} transitioned from SUBMITTED to ACCEPTED", {"application"},
+        {"transition"});
+  c.add("app.attempt", "INFO", "resourcemanager.rmapp.attempt.RMAppAttemptImpl",
+        "Registering app attempt {I:ATTEMPT}", {"app attempt"}, {"register"});
+  c.add("container.allocated", "INFO", "resourcemanager.scheduler.SchedulerNode",
+        "Assigned container {I:CONTAINER} of capacity {W} on host {L}",
+        {"container", "capacity", "host"}, {"assign"});
+  c.add("container.transition", "INFO", "nodemanager.containermanager.container.ContainerImpl",
+        "Container {I:CONTAINER} transitioned from {W} to {W}", {"container"}, {"transition"});
+  c.add("container.launch", "INFO", "nodemanager.containermanager.launcher.ContainerLaunch",
+        "Launching container {I:CONTAINER} on node {L}", {"container", "node"}, {"launch"});
+  c.add("localizer.start", "INFO",
+        "nodemanager.containermanager.localizer.ResourceLocalizationService",
+        "Localizing resource {L} for container {I:CONTAINER}", {"resource", "container"},
+        {"localize"});
+  c.add("container.cleanup", "INFO", "nodemanager.DefaultContainerExecutor",
+        "Deleting absolute path {L}", {"absolute path"}, {"delete"});
+  c.add("container.released", "INFO", "resourcemanager.scheduler.AbstractYarnScheduler",
+        "Released container {I:CONTAINER} with state COMPLETE", {"container"}, {"release"});
+  c.add("app.finished", "INFO", "resourcemanager.rmapp.RMAppImpl",
+        "Application {I:APP} transitioned from RUNNING to FINISHED", {"application"},
+        {"transition"});
+  c.add("node.heartbeat", "INFO", "resourcemanager.ResourceTrackerService",
+        "Node {L} reported healthy status", {"node", "status"}, {"report"});
+  // Periodic key-value resource report (~2% of lines, drives the 97.6%).
+  c.add("node.resources", "INFO", "resourcemanager.scheduler.SchedulerNode",
+        "availableResources memory={V} vCores={V} usedResources memory={V} vCores={V}", {}, {},
+        /*natural_language=*/false);
+  return c;
+}
+
+TemplateCorpus build_nova_corpus() {
+  TemplateCorpus c("nova");
+  c.add("vm.start", "INFO", "compute.manager",
+        "Starting instance {I:INSTANCE}", {"instance"}, {"start"});
+  c.add("vm.claim", "INFO", "compute.claims",
+        "Attempting claim on node {L}: memory {V} MB, disk {V} GB, vcpus {V}",
+        {"claim", "node", "memory", "disk", "vcpus"}, {"attempt"});
+  c.add("vm.claim.ok", "INFO", "compute.claims",
+        "Claim successful on node {L}", {"claim", "node"}, {"succeed"});
+  c.add("vm.image", "INFO", "compute.manager",
+        "Creating image for instance {I:INSTANCE}", {"image", "instance"}, {"create"});
+  c.add("vm.network", "INFO", "compute.manager",
+        "Allocating network for instance {I:INSTANCE}", {"network", "instance"}, {"allocate"});
+  c.add("vm.spawned", "INFO", "compute.manager",
+        "Took {V} seconds to spawn the instance on the hypervisor", {"instance", "hypervisor"},
+        {"take", "spawn"});
+  c.add("vm.lifecycle", "INFO", "compute.manager",
+        "VM started for instance {I:INSTANCE}", {"vm", "instance"}, {"start"});
+  c.add("vm.terminate", "INFO", "compute.manager",
+        "Terminating instance {I:INSTANCE}", {"instance"}, {"terminate"});
+  c.add("vm.files.delete", "INFO", "compute.manager",
+        "Deleting instance files {L}", {"instance file"}, {"delete"});
+  c.add("vm.destroyed", "INFO", "compute.manager",
+        "Instance destroyed successfully", {"instance"}, {"destroy"});
+  c.add("vm.volume", "INFO", "compute.manager",
+        "Attaching volume {I:VOLUME} to instance {I:INSTANCE}", {"volume", "instance"},
+        {"attach"});
+  // The fixed-format periodic report the paper's footnote excludes.
+  c.add("resource.view", "INFO", "compute.resource_tracker",
+        "Final resource view: phys_ram={V}MB used_ram={V}MB phys_disk={V}GB used_disk={V}GB",
+        {}, {}, /*natural_language=*/false);
+  return c;
+}
+
+}  // namespace
+
+const TemplateCorpus& yarn_corpus() {
+  static const TemplateCorpus corpus = build_yarn_corpus();
+  return corpus;
+}
+
+const TemplateCorpus& nova_corpus() {
+  static const TemplateCorpus corpus = build_nova_corpus();
+  return corpus;
+}
+
+std::vector<logparse::Session> generate_yarn_sessions(const ClusterSpec& cluster, int num_apps,
+                                                      common::Rng& rng) {
+  const TemplateCorpus& corpus = yarn_corpus();
+  std::vector<logparse::Session> sessions;
+  std::uint64_t clock = 0;
+  for (int a = 0; a < num_apps; ++a) {
+    const std::string app = "application_1550200000_" + std::to_string(a + 1);
+    SessionBuilder b(corpus, app, cluster.master_name(), clock, rng.fork());
+    b.emit("app.submitted", {app, "hadoop"});
+    b.emit("app.accepted", {app});
+    b.emit("app.attempt", {"appattempt_1550200000_" + std::to_string(a + 1) + "_000001"});
+    const int containers = 2 + static_cast<int>(b.rng().uniform(8));
+    for (int k = 0; k < containers; ++k) {
+      const std::string cont =
+          "container_1550200000_" + std::to_string(a + 1) + "_01_" + std::to_string(k + 1);
+      const std::string node =
+          cluster.node_name(static_cast<int>(b.rng().uniform(cluster.num_workers)));
+      b.emit("container.allocated", {cont, "<memory:4096, vCores:8>", node + ":8041"});
+      b.emit("container.launch", {cont, node + ":8041"});
+      b.emit("container.transition", {cont, "LOCALIZING", "RUNNING"});
+      b.emit("localizer.start", {"hdfs://master:9000/user/libs/app.jar", cont});
+      if (b.rng().chance(0.25)) {
+        b.emit("node.resources", {std::to_string(b.rng().uniform(131072)),
+                                  std::to_string(b.rng().uniform(32)),
+                                  std::to_string(b.rng().uniform(131072)),
+                                  std::to_string(b.rng().uniform(32))});
+      }
+      b.emit("container.transition", {cont, "RUNNING", "EXITED_WITH_SUCCESS"});
+      b.emit("container.cleanup", {"/hadoop/yarn/local/usercache/hadoop/appcache/" + app});
+      b.emit("container.released", {cont});
+    }
+    if (b.rng().chance(0.5)) {
+      b.emit("node.heartbeat",
+             {cluster.node_name(static_cast<int>(b.rng().uniform(cluster.num_workers))) +
+              ":8041"});
+    }
+    b.emit("app.finished", {app});
+    clock = b.now() + 500;
+    sessions.push_back(b.finish());
+  }
+  return sessions;
+}
+
+std::vector<logparse::LogRecord> generate_yarn_logs(const ClusterSpec& cluster, int num_apps,
+                                                    common::Rng& rng) {
+  std::vector<logparse::LogRecord> out;
+  for (auto& session : generate_yarn_sessions(cluster, num_apps, rng)) {
+    out.insert(out.end(), std::make_move_iterator(session.records.begin()),
+               std::make_move_iterator(session.records.end()));
+  }
+  return out;
+}
+
+std::vector<logparse::LogRecord> generate_nova_logs(int num_requests, common::Rng& rng) {
+  const TemplateCorpus& corpus = nova_corpus();
+  SessionBuilder b(corpus, "nova_compute", "compute1", 0, rng.fork());
+  for (int r = 0; r < num_requests; ++r) {
+    const std::string inst = "instance-" + std::to_string(100000 + r);
+    b.emit("vm.start", {inst});
+    b.emit("vm.claim", {"compute1", std::to_string(2048 + b.rng().uniform(14336)),
+                        std::to_string(20 + b.rng().uniform(80)),
+                        std::to_string(1 + b.rng().uniform(8))});
+    b.emit("vm.claim.ok", {"compute1"});
+    b.emit("vm.image", {inst});
+    b.emit("vm.network", {inst});
+    if (b.rng().chance(0.3)) b.emit("vm.volume", {"volume-" + std::to_string(r), inst});
+    b.emit("vm.spawned", {std::to_string(5 + b.rng().uniform(55))});
+    b.emit("vm.lifecycle", {inst});
+    // Periodic resource view, independent of requests.
+    if (b.rng().chance(0.8)) {
+      b.emit("resource.view",
+             {std::to_string(131072), std::to_string(b.rng().uniform(131072)),
+              std::to_string(4000), std::to_string(b.rng().uniform(4000))});
+    }
+    if (b.rng().chance(0.5)) {
+      b.emit("vm.terminate", {inst});
+      b.emit("vm.files.delete", {"/var/lib/nova/instances/" + inst});
+      b.emit("vm.destroyed", {});
+    }
+  }
+  return b.finish().records;
+}
+
+}  // namespace intellog::simsys

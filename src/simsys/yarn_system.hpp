@@ -1,0 +1,37 @@
+// Simulated YARN ResourceManager / NodeManager daemons and OpenStack
+// nova-compute — used by the Table-1 natural-language-ratio measurement.
+//
+// YARN logs mix NL container-lifecycle lines with periodic key-value
+// resource reports (~2% of lines). nova-compute logs VM-request lifecycles
+// (100% NL) plus the fixed-format periodic resource view that the paper's
+// footnote excludes; the emitter tags those with the "resource_tracker"
+// source so the bench can apply the same exclusion.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "logparse/session.hpp"
+#include "simsys/cluster.hpp"
+#include "simsys/template_corpus.hpp"
+
+namespace intellog::simsys {
+
+const TemplateCorpus& yarn_corpus();
+const TemplateCorpus& nova_corpus();
+
+/// Generates `num_apps` application lifecycles worth of RM/NM log records.
+std::vector<logparse::LogRecord> generate_yarn_logs(const ClusterSpec& cluster, int num_apps,
+                                                    common::Rng& rng);
+
+/// The same lifecycles as per-application sessions (the infrastructure-level
+/// request unit the paper contrasts with data-analytics sessions: short,
+/// near-fixed order — the regime where next-key prediction works).
+std::vector<logparse::Session> generate_yarn_sessions(const ClusterSpec& cluster, int num_apps,
+                                                      common::Rng& rng);
+
+/// Generates `num_requests` VM-request lifecycles, interleaved with
+/// periodic resource reports (source "compute.resource_tracker").
+std::vector<logparse::LogRecord> generate_nova_logs(int num_requests, common::Rng& rng);
+
+}  // namespace intellog::simsys

@@ -1,0 +1,89 @@
+#include "baselines/logcluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+using intellog::baselines::LogCluster;
+
+namespace {
+
+std::vector<int> normal_session(intellog::common::Rng& rng) {
+  // A stable core with some repetition-count jitter.
+  std::vector<int> s = {1, 2, 3, 4};
+  const int tasks = 3 + static_cast<int>(rng.uniform(5));
+  for (int t = 0; t < tasks; ++t) {
+    s.push_back(10);
+    s.push_back(11);
+    s.push_back(12);
+  }
+  s.push_back(5);
+  s.push_back(6);
+  return s;
+}
+
+}  // namespace
+
+TEST(LogCluster, ClustersSimilarSessions) {
+  intellog::common::Rng rng(1);
+  std::vector<std::vector<int>> train;
+  for (int i = 0; i < 40; ++i) train.push_back(normal_session(rng));
+  LogCluster lc;
+  lc.train(train);
+  EXPECT_GE(lc.cluster_count(), 1u);
+  EXPECT_LE(lc.cluster_count(), 4u);
+}
+
+TEST(LogCluster, NormalSessionsMatchKnowledgeBase) {
+  intellog::common::Rng rng(2);
+  std::vector<std::vector<int>> train;
+  for (int i = 0; i < 40; ++i) train.push_back(normal_session(rng));
+  LogCluster lc;
+  lc.train(train);
+  int flagged = 0;
+  for (int i = 0; i < 20; ++i) flagged += lc.is_new_pattern(normal_session(rng));
+  EXPECT_LE(flagged, 2);
+}
+
+TEST(LogCluster, NovelPatternIsFlagged) {
+  intellog::common::Rng rng(3);
+  std::vector<std::vector<int>> train;
+  for (int i = 0; i < 40; ++i) train.push_back(normal_session(rng));
+  LogCluster lc;
+  lc.train(train);
+  // Error-dominated session: unseen keys.
+  EXPECT_TRUE(lc.is_new_pattern({100, 101, 100, 101, 100, 101, 100}));
+  // Truncated session missing the whole task phase.
+  EXPECT_LT(lc.best_similarity({1, 2}), 0.9);
+}
+
+TEST(LogCluster, SimilarityBounds) {
+  intellog::common::Rng rng(4);
+  std::vector<std::vector<int>> train;
+  for (int i = 0; i < 10; ++i) train.push_back(normal_session(rng));
+  LogCluster lc;
+  lc.train(train);
+  const double s = lc.best_similarity(normal_session(rng));
+  EXPECT_GE(s, 0.0);
+  EXPECT_LE(s, 1.0 + 1e-9);
+}
+
+TEST(LogCluster, ThresholdControlsSensitivity) {
+  intellog::common::Rng rng(5);
+  std::vector<std::vector<int>> train;
+  for (int i = 0; i < 20; ++i) train.push_back(normal_session(rng));
+  LogCluster::Config strict;
+  strict.similarity_threshold = 0.999;
+  LogCluster lc(strict);
+  lc.train(train);
+  // Nearly everything is a "new pattern" at an extreme threshold.
+  EXPECT_TRUE(lc.is_new_pattern({1, 2, 3, 4, 10, 11, 12, 5, 6, 10}));
+}
+
+TEST(LogCluster, EmptyInputsSafe) {
+  LogCluster lc;
+  lc.train({});
+  EXPECT_EQ(lc.cluster_count(), 0u);
+  EXPECT_TRUE(lc.is_new_pattern({1, 2, 3}));
+  EXPECT_TRUE(lc.is_new_pattern({}));
+}

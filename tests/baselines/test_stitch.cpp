@@ -1,0 +1,94 @@
+#include "baselines/stitch.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace intellog::baselines;
+using intellog::core::IdentifierValue;
+
+namespace {
+IdentifierValue iv(std::string t, std::string v) { return {std::move(t), std::move(v)}; }
+}  // namespace
+
+TEST(Stitch, OneToOne) {
+  Stitch s;
+  s.observe({iv("HOST", "h1"), iv("IP", "10.0.0.1")});
+  s.observe({iv("HOST", "h2"), iv("IP", "10.0.0.2")});
+  EXPECT_EQ(s.relation("HOST", "IP"), IdRelation::OneToOne);
+  EXPECT_EQ(s.relation("IP", "HOST"), IdRelation::OneToOne);
+}
+
+TEST(Stitch, OneToMany) {
+  Stitch s;
+  s.observe({iv("STAGE", "0"), iv("TID", "1")});
+  s.observe({iv("STAGE", "0"), iv("TID", "2")});
+  s.observe({iv("STAGE", "1"), iv("TID", "3")});
+  EXPECT_EQ(s.relation("STAGE", "TID"), IdRelation::OneToMany);
+  EXPECT_EQ(s.relation("TID", "STAGE"), IdRelation::ManyToOne);
+}
+
+TEST(Stitch, ManyToMany) {
+  Stitch s;
+  s.observe({iv("A", "1"), iv("B", "x")});
+  s.observe({iv("A", "1"), iv("B", "y")});
+  s.observe({iv("A", "2"), iv("B", "x")});
+  EXPECT_EQ(s.relation("A", "B"), IdRelation::ManyToMany);
+}
+
+TEST(Stitch, EmptyWhenNeverCoOccur) {
+  Stitch s;
+  s.observe({iv("A", "1")});
+  s.observe({iv("B", "2")});
+  EXPECT_EQ(s.relation("A", "B"), IdRelation::Empty);
+  EXPECT_EQ(s.relation("A", "UNKNOWN"), IdRelation::Empty);
+}
+
+TEST(Stitch, SameTypePairsIgnored) {
+  Stitch s;
+  s.observe({iv("A", "1"), iv("A", "2")});
+  EXPECT_EQ(s.relation("A", "A"), IdRelation::Empty);
+}
+
+TEST(Stitch, Fig9SparkShape) {
+  // HOST -> EXECUTOR -> {STAGE, TASK} -> TID, BROADCAST isolated.
+  Stitch s;
+  for (int e = 1; e <= 4; ++e) {
+    const std::string host = "host" + std::to_string(1 + (e - 1) / 2);
+    const std::string exec = std::to_string(e);
+    for (int t = 0; t < 3; ++t) {
+      const std::string tid = std::to_string(e * 10 + t);
+      const std::string stage = std::to_string(t % 2);
+      s.observe({iv("HOST", host), iv("EXECUTOR", exec)});
+      s.observe({iv("EXECUTOR", exec), iv("STAGE", stage), iv("TID", tid)});
+      s.observe({iv("STAGE", stage), iv("TASK", stage + "." + tid), iv("TID", tid)});
+    }
+  }
+  s.observe({iv("BROADCAST", "broadcast_0")});
+
+  EXPECT_EQ(s.relation("HOST", "EXECUTOR"), IdRelation::OneToMany);
+  EXPECT_EQ(s.relation("STAGE", "TID"), IdRelation::OneToMany);
+  const auto g = s.build();
+  ASSERT_GE(g.levels.size(), 3u);
+  EXPECT_EQ(g.levels[0], (std::vector<std::string>{"HOST"}));
+  // STAGE is m:n with EXECUTOR -> pulled to its level; TASK/TID (1:1) merge
+  // into the deepest level, matching the Fig. 9 chain shape.
+  EXPECT_EQ(g.levels[1], (std::vector<std::string>{"EXECUTOR", "STAGE"}));
+  EXPECT_EQ(g.levels.back(), (std::vector<std::string>{"TASK", "TID"}));
+  EXPECT_EQ(g.isolated, (std::vector<std::string>{"BROADCAST"}));
+  const std::string rendered = s.render();
+  EXPECT_NE(rendered.find("{HOST}"), std::string::npos);
+  EXPECT_NE(rendered.find("->"), std::string::npos);
+  EXPECT_NE(rendered.find("isolated: {BROADCAST}"), std::string::npos);
+}
+
+TEST(Stitch, RelationNames) {
+  EXPECT_EQ(to_string(IdRelation::OneToOne), "1:1");
+  EXPECT_EQ(to_string(IdRelation::OneToMany), "1:n");
+  EXPECT_EQ(to_string(IdRelation::ManyToMany), "m:n");
+  EXPECT_EQ(to_string(IdRelation::Empty), "empty");
+}
+
+TEST(Stitch, TypesAccumulate) {
+  Stitch s;
+  s.observe({iv("A", "1"), iv("B", "2")});
+  EXPECT_EQ(s.types(), (std::set<std::string>{"A", "B"}));
+}

@@ -1,0 +1,105 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+using intellog::common::Json;
+using intellog::common::JsonArray;
+using intellog::common::JsonObject;
+
+TEST(Json, ScalarsDump) {
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, DoubleDump) {
+  EXPECT_EQ(Json(1.5).dump(), "1.5");
+  EXPECT_EQ(Json(0.25).dump(), "0.25");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Json("line\nbreak").dump(), "\"line\\nbreak\"");
+  EXPECT_EQ(Json("tab\there").dump(), "\"tab\\there\"");
+  EXPECT_EQ(Json("back\\slash").dump(), "\"back\\\\slash\"");
+}
+
+TEST(Json, ObjectOrderingIsDeterministic) {
+  Json j = Json::object();
+  j["zeta"] = 1;
+  j["alpha"] = 2;
+  EXPECT_EQ(j.dump(), "{\"alpha\":2,\"zeta\":1}");
+}
+
+TEST(Json, NestedStructure) {
+  Json j = Json::object();
+  j["arr"] = Json::array();
+  j["arr"].push_back(1);
+  j["arr"].push_back("two");
+  j["obj"]["inner"] = true;
+  EXPECT_EQ(j.dump(), "{\"arr\":[1,\"two\"],\"obj\":{\"inner\":true}}");
+  EXPECT_EQ(j.size(), 2u);
+  EXPECT_TRUE(j.contains("arr"));
+  EXPECT_FALSE(j.contains("missing"));
+  EXPECT_TRUE(j["missing"].is_null());  // const access to missing key
+}
+
+TEST(Json, PrettyPrint) {
+  Json j = Json::object();
+  j["k"] = Json::array();
+  j["k"].push_back(1);
+  EXPECT_EQ(j.dump(2), "{\n  \"k\": [\n    1\n  ]\n}");
+}
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("-13").as_int(), -13);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5e2").as_double(), 250.0);
+  EXPECT_EQ(Json::parse("\"x\\ny\"").as_string(), "x\ny");
+}
+
+TEST(Json, ParseUnicodeEscape) {
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+}
+
+TEST(Json, RoundTrip) {
+  const std::string doc =
+      R"({"groups":{"block":{"critical":true,"keys":[1,2,3]}},"n":42,"ratio":0.5})";
+  const Json j = Json::parse(doc);
+  EXPECT_EQ(Json::parse(j.dump()), j);
+  EXPECT_EQ(j["groups"]["block"]["keys"][2].as_int(), 3);
+  EXPECT_TRUE(j["groups"]["block"]["critical"].as_bool());
+}
+
+TEST(Json, ParseWhitespaceTolerant) {
+  const Json j = Json::parse("  { \"a\" : [ 1 , 2 ] }  ");
+  EXPECT_EQ(j["a"].size(), 2u);
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(Json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(Json::parse("tru"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW(Json::parse(""), std::runtime_error);
+}
+
+TEST(Json, TypePredicates) {
+  EXPECT_TRUE(Json(1).is_number());
+  EXPECT_TRUE(Json(1.0).is_number());
+  EXPECT_TRUE(Json(1).is_int());
+  EXPECT_FALSE(Json(1.0).is_int());
+  EXPECT_TRUE(Json("s").is_string());
+  EXPECT_TRUE(Json::array().is_array());
+  EXPECT_TRUE(Json::object().is_object());
+}
+
+TEST(Json, IntDoubleCoercion) {
+  EXPECT_EQ(Json(2.9).as_int(), 2);
+  EXPECT_DOUBLE_EQ(Json(7).as_double(), 7.0);
+}

@@ -1,0 +1,117 @@
+#include "common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sc = intellog::common;
+using sc::Matrix;
+using sc::Vector;
+
+TEST(Matrix, ConstructAndIndex) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, MatVec) {
+  Matrix m(2, 3);
+  // [1 2 3; 4 5 6] * [1 1 1]^T = [6 15]
+  double v = 1;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = v++;
+  Vector x(3, 1.0), y;
+  sc::matvec(m, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(Matrix, MatVecTranspose) {
+  Matrix m(2, 3);
+  double v = 1;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = v++;
+  Vector x = {1.0, 2.0}, y;
+  sc::matvec_transpose(m, x, y);
+  // col sums weighted: [1*1+4*2, 2*1+5*2, 3*1+6*2] = [9, 12, 15]
+  EXPECT_DOUBLE_EQ(y[0], 9.0);
+  EXPECT_DOUBLE_EQ(y[1], 12.0);
+  EXPECT_DOUBLE_EQ(y[2], 15.0);
+}
+
+TEST(Matrix, OuterAcc) {
+  Matrix w(2, 2, 0.0);
+  sc::outer_acc(w, {1.0, 2.0}, {3.0, 4.0}, 0.5);
+  EXPECT_DOUBLE_EQ(w(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(w(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(w(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(w(1, 1), 4.0);
+}
+
+TEST(Matrix, PlusMinusScale) {
+  Matrix a(1, 2, 1.0), b(1, 2, 2.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a(0, 0), 3.0);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a(0, 1), 1.0);
+  a *= 4.0;
+  EXPECT_DOUBLE_EQ(a(0, 0), 4.0);
+}
+
+TEST(Matrix, ClipNorm) {
+  Matrix m(1, 2);
+  m(0, 0) = 3.0;
+  m(0, 1) = 4.0;  // norm 5
+  const double pre = m.clip_norm(2.5);
+  EXPECT_DOUBLE_EQ(pre, 5.0);
+  EXPECT_NEAR(m(0, 0), 1.5, 1e-12);
+  EXPECT_NEAR(m(0, 1), 2.0, 1e-12);
+  // No-op when under the cap.
+  m.clip_norm(100.0);
+  EXPECT_NEAR(m(0, 1), 2.0, 1e-12);
+}
+
+TEST(Matrix, XavierBounds) {
+  sc::Rng rng(4);
+  const Matrix m = Matrix::xavier(10, 20, rng);
+  const double bound = std::sqrt(6.0 / 30.0);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_LE(std::abs(m.data()[i]), bound);
+  }
+}
+
+TEST(Matrix, SoftmaxProperties) {
+  Vector v = {1.0, 2.0, 3.0};
+  sc::softmax(v);
+  double sum = 0;
+  for (const double x : v) {
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_GT(v[2], v[1]);
+  EXPECT_GT(v[1], v[0]);
+}
+
+TEST(Matrix, SoftmaxNumericallyStable) {
+  Vector v = {1000.0, 1001.0};
+  sc::softmax(v);
+  EXPECT_NEAR(v[0] + v[1], 1.0, 1e-12);
+  EXPECT_FALSE(std::isnan(v[0]));
+}
+
+TEST(Matrix, DotAndAdd) {
+  Vector a = {1, 2, 3}, b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(sc::dot(a, b), 32.0);
+  sc::add_inplace(a, b);
+  EXPECT_DOUBLE_EQ(a[2], 9.0);
+}
+
+TEST(Matrix, Sigmoid) {
+  EXPECT_DOUBLE_EQ(sc::sigmoid(0.0), 0.5);
+  EXPECT_GT(sc::sigmoid(10.0), 0.999);
+  EXPECT_LT(sc::sigmoid(-10.0), 0.001);
+}

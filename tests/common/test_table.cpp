@@ -1,0 +1,31 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.hpp"
+
+using intellog::common::TextTable;
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "count"});
+  t.add_row({"spark", "1286159"});
+  t.add_row({"tez", "9"});
+  const std::string r = t.render();
+  // Header separator present, all lines same width.
+  const auto lines = intellog::common::split(r, "\n");
+  ASSERT_EQ(lines.size(), 4u);
+  for (const auto& l : lines) EXPECT_EQ(l.size(), lines[0].size());
+  EXPECT_NE(r.find("| spark"), std::string::npos);
+}
+
+TEST(TextTable, HandlesShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_NE(t.render().find("only-one"), std::string::npos);
+}
+
+TEST(TextTable, FormatHelpers) {
+  EXPECT_EQ(intellog::common::fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(intellog::common::fmt_percent(0.8723, 2), "87.23%");
+  EXPECT_EQ(intellog::common::fmt_percent(1.0, 0), "100%");
+}

@@ -1,0 +1,150 @@
+#include "core/entity_grouping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+using namespace intellog::core;
+
+namespace {
+std::vector<std::string> words(std::initializer_list<const char*> ws) {
+  return {ws.begin(), ws.end()};
+}
+}  // namespace
+
+TEST(LongestCommonPhrase, OneWordContained) {
+  // "block" vs "block manager" -> "block" (Algorithm 1, lines 24-25).
+  EXPECT_EQ(longest_common_phrase(words({"block"}), words({"block", "manager"})),
+            words({"block"}));
+  EXPECT_EQ(longest_common_phrase(words({"block", "manager", "endpoint"}), words({"block"})),
+            words({"block"}));
+}
+
+TEST(LongestCommonPhrase, OneWordNotContained) {
+  EXPECT_TRUE(longest_common_phrase(words({"task"}), words({"block", "manager"})).empty());
+}
+
+TEST(LongestCommonPhrase, SuffixOnlyOverlapRejected) {
+  // "block manager" vs "security manager": only the generic tail is shared
+  // (Algorithm 1, lines 26-27 / §4.1).
+  EXPECT_TRUE(
+      longest_common_phrase(words({"block", "manager"}), words({"security", "manager"})).empty());
+  EXPECT_TRUE(longest_common_phrase(words({"map", "output"}), words({"task", "output"})).empty());
+}
+
+TEST(LongestCommonPhrase, PrefixOverlapAccepted) {
+  EXPECT_EQ(longest_common_phrase(words({"block", "manager"}),
+                                  words({"block", "manager", "endpoint"})),
+            words({"block", "manager"}));
+  EXPECT_EQ(longest_common_phrase(words({"map", "task"}), words({"map", "output"})),
+            words({"map"}));
+}
+
+TEST(LongestCommonPhrase, EmptyInputs) {
+  EXPECT_TRUE(longest_common_phrase({}, words({"x"})).empty());
+  EXPECT_TRUE(longest_common_phrase(words({"x"}), {}).empty());
+}
+
+TEST(GroupEntities, PaperBlockExample) {
+  // block / block manager / block manager endpoint group under "block".
+  const EntityGroups g =
+      group_entities({"block", "block manager", "block manager endpoint"});
+  ASSERT_EQ(g.groups.size(), 1u);
+  const auto& [name, members] = *g.groups.begin();
+  EXPECT_EQ(name, "block");
+  EXPECT_EQ(members.size(), 3u);
+  EXPECT_TRUE(members.count("block manager endpoint"));
+}
+
+TEST(GroupEntities, SecurityManagerStaysSeparate) {
+  const EntityGroups g = group_entities({"block manager", "security manager"});
+  EXPECT_EQ(g.groups.size(), 2u);
+}
+
+TEST(GroupEntities, GroupNameShrinksToSharedPhrase) {
+  const EntityGroups g = group_entities({"block manager", "block"});
+  // Sorted by word count: "block" first, then "block manager" joins it.
+  ASSERT_EQ(g.groups.size(), 1u);
+  EXPECT_EQ(g.groups.begin()->first, "block");
+}
+
+TEST(GroupEntities, ReverseIndexMapsEntityToGroups) {
+  const EntityGroups g = group_entities({"block", "block manager", "task"});
+  EXPECT_EQ(g.groups_of("block manager"), (std::set<std::string>{"block"}));
+  EXPECT_EQ(g.groups_of("task"), (std::set<std::string>{"task"}));
+  EXPECT_TRUE(g.groups_of("unknown").empty());
+}
+
+TEST(GroupEntities, EntityCanJoinMultipleGroups) {
+  // "map output" shares "map" with the map group and could correlate with
+  // more than one group via different sub-phrases.
+  const EntityGroups g = group_entities({"map", "output", "map output"});
+  const auto& gs = g.groups_of("map output");
+  EXPECT_GE(gs.size(), 1u);
+  EXPECT_TRUE(gs.count("map"));
+}
+
+TEST(GroupEntities, DuplicatesAndEmptiesIgnored) {
+  const EntityGroups g = group_entities({"task", "task", "", "task"});
+  ASSERT_EQ(g.groups.size(), 1u);
+  EXPECT_EQ(g.groups.begin()->second.size(), 1u);
+}
+
+TEST(GroupEntities, SingletonsFormOwnGroups) {
+  const EntityGroups g = group_entities({"driver", "shutdown hook", "acl"});
+  EXPECT_EQ(g.groups.size(), 3u);
+}
+
+TEST(GroupEntities, SparkRealisticMix) {
+  const EntityGroups g = group_entities({
+      "block", "block manager", "non-empty block", "memory store", "memory", "security manager",
+      "shutdown", "shutdown hook", "task", "driver", "local directory",
+  });
+  // block family together.
+  EXPECT_TRUE(g.groups_of("block manager").count("block"));
+  EXPECT_TRUE(g.groups_of("non-empty block").count("block"));
+  // memory family together; security manager alone (suffix-only vs block
+  // manager).
+  EXPECT_TRUE(g.groups_of("memory store").count("memory"));
+  EXPECT_EQ(g.groups_of("security manager"), (std::set<std::string>{"security manager"}));
+  EXPECT_TRUE(g.groups_of("shutdown hook").count("shutdown"));
+}
+
+// Property: every input entity lands in at least one group, and every group
+// name is a sub-phrase of each member.
+class GroupingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroupingProperty, Invariants) {
+  static const char* kWords[] = {"block", "manager", "task", "map", "output", "store"};
+  intellog::common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 13 + 5);
+  std::vector<std::string> entities;
+  for (int i = 0; i < 12; ++i) {
+    std::string e;
+    const std::size_t len = 1 + rng.uniform(3);
+    for (std::size_t w = 0; w < len; ++w) {
+      if (w) e += ' ';
+      e += kWords[rng.uniform(6)];
+    }
+    entities.push_back(std::move(e));
+  }
+  const EntityGroups g = group_entities(entities);
+  for (const auto& e : entities) {
+    EXPECT_FALSE(g.groups_of(e).empty()) << e;
+  }
+  for (const auto& [name, members] : g.groups) {
+    for (const auto& m : members) {
+      // The group name's words all appear in the member.
+      const auto nw = intellog::common::split_ws(name);
+      const auto mw = intellog::common::split_ws(m);
+      for (const auto& w : nw) {
+        EXPECT_NE(std::find(mw.begin(), mw.end(), w), mw.end())
+            << "group '" << name << "' member '" << m << "'";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GroupingProperty, ::testing::Range(0, 15));

@@ -1,0 +1,146 @@
+#include "core/hw_graph.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace intellog::core;
+
+namespace {
+
+Lifespan span(std::uint64_t first, std::uint64_t last, std::size_t count = 1) {
+  return {first, last, count};
+}
+
+}  // namespace
+
+class HwGraphTest : public ::testing::Test {
+ protected:
+  /// Builds a graph from per-session lifespans; groups get one key each so
+  /// they exist in the node map.
+  HwGraph build(const std::vector<SessionLifespans>& sessions) {
+    HwGraph graph;
+    HwGraphBuilder builder;
+    int key = 0;
+    for (const auto& s : sessions) {
+      builder.add_session(s);
+      for (const auto& [name, ls] : s) {
+        (void)ls;
+        graph.group(name).keys.insert(key++ % 3);
+      }
+    }
+    builder.finalize(graph);
+    return graph;
+  }
+};
+
+TEST_F(HwGraphTest, ParentWhenNestedInEverySession) {
+  const HwGraph g = build({
+      {{"driver", span(0, 100)}, {"task", span(10, 90)}},
+      {{"driver", span(5, 200)}, {"task", span(20, 150)}},
+  });
+  EXPECT_EQ(g.relation("driver", "task"), GroupRelation::Parent);
+  EXPECT_EQ(g.relation("task", "driver"), GroupRelation::ChildOf);
+  EXPECT_EQ(g.parent_of("task"), "driver");
+  EXPECT_EQ(g.children_of("driver"), (std::vector<std::string>{"task"}));
+  EXPECT_EQ(g.roots(), (std::vector<std::string>{"driver"}));
+}
+
+TEST_F(HwGraphTest, BeforeWhenAlwaysDisjointOrdered) {
+  const HwGraph g = build({
+      {{"acl", span(0, 10)}, {"task", span(20, 90)}},
+      {{"acl", span(0, 5)}, {"task", span(6, 50)}},
+  });
+  EXPECT_EQ(g.relation("acl", "task"), GroupRelation::Before);
+  EXPECT_EQ(g.relation("task", "acl"), GroupRelation::After);
+}
+
+TEST_F(HwGraphTest, ParallelWhenRelationInconsistent) {
+  // Nested in one session, overlapping in another -> PARALLEL (Fig. 6).
+  const HwGraph g = build({
+      {{"memory", span(0, 100)}, {"block", span(10, 90)}},
+      {{"memory", span(0, 100)}, {"block", span(50, 150)}},
+  });
+  EXPECT_EQ(g.relation("memory", "block"), GroupRelation::Parallel);
+  // Both become roots.
+  EXPECT_EQ(g.roots().size(), 2u);
+}
+
+TEST_F(HwGraphTest, BeforeBrokenByOverlapBecomesParallel) {
+  const HwGraph g = build({
+      {{"a", span(0, 10)}, {"b", span(20, 30)}},
+      {{"a", span(0, 25)}, {"b", span(20, 30)}},
+  });
+  EXPECT_EQ(g.relation("a", "b"), GroupRelation::Parallel);
+}
+
+TEST_F(HwGraphTest, TightestContainerWins) {
+  const HwGraph g = build({
+      {{"driver", span(0, 100)}, {"task", span(10, 90)}, {"fetch", span(20, 40)}},
+  });
+  // fetch is inside both; its parent must be task, the tighter container.
+  EXPECT_EQ(g.parent_of("fetch"), "task");
+  EXPECT_EQ(g.parent_of("task"), "driver");
+  EXPECT_EQ(g.roots(), (std::vector<std::string>{"driver"}));
+}
+
+TEST_F(HwGraphTest, PairsNeverTogetherHaveNoRelation) {
+  const HwGraph g = build({
+      {{"a", span(0, 1)}},
+      {{"b", span(0, 1)}},
+  });
+  EXPECT_FALSE(g.relation("a", "b").has_value());
+}
+
+TEST_F(HwGraphTest, IdenticalSpansAreParallel) {
+  const HwGraph g = build({
+      {{"a", span(0, 10)}, {"b", span(0, 10)}},
+  });
+  EXPECT_EQ(g.relation("a", "b"), GroupRelation::Parallel);
+}
+
+TEST_F(HwGraphTest, ExpectedGroupsByPresenceFraction) {
+  const HwGraph g = build({
+      {{"always", span(0, 1)}, {"rare", span(0, 1)}},
+      {{"always", span(0, 1)}},
+      {{"always", span(0, 1)}},
+      {{"always", span(0, 1)}},
+  });
+  const auto expected = g.expected_groups(0.9);
+  EXPECT_EQ(expected, (std::vector<std::string>{"always"}));
+  // Lower threshold admits the rare group.
+  EXPECT_EQ(g.expected_groups(0.2).size(), 2u);
+  EXPECT_EQ(g.training_sessions(), 4u);
+}
+
+TEST(GroupNode, CriticalCriteria) {
+  GroupNode multi_key;
+  multi_key.keys = {1, 2};
+  EXPECT_TRUE(multi_key.is_critical());
+
+  GroupNode repeated;
+  repeated.keys = {1};
+  repeated.repeated_key_in_session = true;
+  EXPECT_TRUE(repeated.is_critical());
+
+  GroupNode secondary;
+  secondary.keys = {1};
+  EXPECT_FALSE(secondary.is_critical());
+}
+
+TEST_F(HwGraphTest, JsonExportShape) {
+  const HwGraph g = build({
+      {{"driver", span(0, 100)}, {"task", span(10, 90)}},
+  });
+  const auto j = g.to_json();
+  EXPECT_TRUE(j["groups"].contains("driver"));
+  EXPECT_TRUE(j["groups"].contains("task"));
+  EXPECT_EQ(j["groups"]["task"]["parent"].as_string(), "driver");
+  EXPECT_GE(j["relations"].size(), 1u);
+  // Round-trips through the parser.
+  EXPECT_NO_THROW(intellog::common::Json::parse(j.dump(2)));
+}
+
+TEST(GroupRelationNames, ToString) {
+  EXPECT_EQ(to_string(GroupRelation::Parent), "PARENT");
+  EXPECT_EQ(to_string(GroupRelation::Before), "BEFORE");
+  EXPECT_EQ(to_string(GroupRelation::Parallel), "PARALLEL");
+}

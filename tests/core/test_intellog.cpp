@@ -1,0 +1,236 @@
+// Integration tests: the full IntelLog pipeline over the simulated systems.
+#include "core/intellog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simsys/workload.hpp"
+
+using namespace intellog;
+using simsys::ClusterSpec;
+using simsys::FaultPlan;
+using simsys::JobResult;
+using simsys::ProblemKind;
+
+namespace {
+
+std::vector<logparse::Session> training_corpus(const std::string& system, int jobs,
+                                               std::uint64_t seed) {
+  ClusterSpec cluster;
+  simsys::WorkloadGenerator gen(system, seed);
+  std::vector<logparse::Session> out;
+  for (int i = 0; i < jobs; ++i) {
+    JobResult job = simsys::run_job(gen.training_job(), cluster);
+    for (auto& s : job.sessions) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+class IntelLogSpark : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    il = new core::IntelLog();
+    il->train(training_corpus("spark", 20, 101));
+  }
+  static void TearDownTestSuite() {
+    delete il;
+    il = nullptr;
+  }
+  static core::IntelLog* il;
+};
+
+core::IntelLog* IntelLogSpark::il = nullptr;
+
+TEST_F(IntelLogSpark, ModelShape) {
+  EXPECT_TRUE(il->trained());
+  EXPECT_GE(il->spell().size(), 25u);
+  EXPECT_GE(il->intel_keys().size(), 25u);
+  EXPECT_GE(il->entity_groups().groups.size(), 15u);
+  EXPECT_GE(il->hw_graph().critical_group_count(), 5u);
+  // Entity groups are 5-10x fewer than session length (§6.3).
+  EXPECT_LT(il->entity_groups().groups.size(), 60u);
+}
+
+TEST_F(IntelLogSpark, BlockGroupHasPaperStructure) {
+  const auto& groups = il->entity_groups().groups;
+  ASSERT_TRUE(groups.count("block"));
+  EXPECT_TRUE(groups.at("block").count("block manager"));
+  // BlockManager register/registered/initialized subroutine exists with a
+  // BLOCKMANAGER-ish signature, and the no-identifier subroutine exists too.
+  const auto& node = il->hw_graph().groups().at("block");
+  EXPECT_GE(node.subroutines.subroutines().size(), 2u);
+  bool has_none_signature = false;
+  for (const auto& [sig, sub] : node.subroutines.subroutines()) {
+    (void)sub;
+    has_none_signature |= sig.empty();
+  }
+  EXPECT_TRUE(has_none_signature);
+}
+
+TEST_F(IntelLogSpark, AclBeforeTask) {
+  const auto rel = il->hw_graph().relation("acl", "task");
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_EQ(*rel, core::GroupRelation::Before);
+}
+
+TEST_F(IntelLogSpark, CleanDetectionJobsAreMostlyQuiet) {
+  ClusterSpec cluster;
+  simsys::WorkloadGenerator gen("spark", 555);
+  int flagged = 0, total = 0;
+  for (int c = 0; c < 3; ++c) {  // config sets 0-2: no rare slow paths
+    const JobResult job = simsys::run_job(gen.detection_job(c), cluster);
+    for (const auto& s : job.sessions) {
+      flagged += il->detect(s).anomalous();
+      ++total;
+    }
+  }
+  EXPECT_LE(flagged, total / 5) << flagged << "/" << total;
+}
+
+TEST_F(IntelLogSpark, NetworkFailureIsDetectedWithLocality) {
+  ClusterSpec cluster;
+  simsys::WorkloadGenerator gen("spark", 777);
+  bool detected = false;
+  std::string locality;
+  for (std::uint64_t attempt = 0; attempt < 6 && !detected; ++attempt) {
+    FaultPlan fault = gen.make_fault(ProblemKind::NetworkFailure, cluster);
+    fault.at_fraction = 0.3;
+    const JobResult job = simsys::run_job(gen.detection_job(2), cluster, fault);
+    for (const auto& s : job.sessions) {
+      const auto report = il->detect(s);
+      for (const auto& u : report.unexpected) {
+        if (!u.message.localities.empty()) {
+          detected = true;
+          locality = u.message.localities[0];
+        }
+      }
+    }
+  }
+  ASSERT_TRUE(detected);
+  EXPECT_NE(locality.find("host"), std::string::npos);
+}
+
+TEST_F(IntelLogSpark, AbortedSessionHasIncompleteGraphInstance) {
+  ClusterSpec cluster;
+  simsys::WorkloadGenerator gen("spark", 888);
+  bool issue_found = false;
+  for (std::uint64_t attempt = 0; attempt < 6 && !issue_found; ++attempt) {
+    const FaultPlan fault = gen.make_fault(ProblemKind::SessionAbort, cluster);
+    const JobResult job = simsys::run_job(gen.detection_job(1), cluster, fault);
+    for (const auto& s : job.sessions) {
+      if (!job.affected_containers.count(s.container_id)) continue;
+      const auto report = il->detect(s);
+      issue_found |= !report.issues.empty();
+    }
+  }
+  EXPECT_TRUE(issue_found) << "SIGKILL truncation must break the HW-graph instance";
+}
+
+TEST_F(IntelLogSpark, Spark19371MissingTaskGroup) {
+  // Case 3: containers with no tasks -> sessions missing the 'task' group.
+  ClusterSpec cluster;
+  simsys::WorkloadGenerator gen("spark", 999);
+  FaultPlan fault;
+  fault.spark19371_bug = true;
+  const JobResult job = simsys::run_job(gen.detection_job(2), cluster, fault);
+  int starved_flagged = 0;
+  for (const auto& s : job.sessions) {
+    if (!job.perf_affected_containers.count(s.container_id)) continue;
+    const auto report = il->detect(s);
+    bool missing_task = false;
+    for (const auto& i : report.issues) {
+      missing_task |= i.kind == core::GroupIssue::Kind::MissingGroup && i.group == "task";
+    }
+    starved_flagged += missing_task;
+  }
+  EXPECT_GT(starved_flagged, 0);
+}
+
+TEST_F(IntelLogSpark, SpillIsUnexpectedAndYieldsSpillEntity) {
+  // Case 2.1: insufficient memory -> spill messages unseen in training; the
+  // on-the-fly extraction surfaces a new 'spill' entity (§6.4).
+  ClusterSpec cluster;
+  simsys::JobSpec spec;
+  spec.system = "spark";
+  spec.name = "KMeans";
+  spec.input_gb = 30;
+  spec.container_cores = 8;
+  spec.container_memory_mb = 2048;  // below required_memory_mb(30GB)
+  spec.seed = 4242;
+  ASSERT_FALSE(spec.memory_sufficient());
+  const JobResult job = simsys::run_job(spec, cluster);
+  bool spill_entity = false;
+  for (const auto& s : job.sessions) {
+    const auto report = il->detect(s);
+    for (const auto& u : report.unexpected) {
+      for (const auto& e : u.extracted.entities) {
+        spill_entity |= e.find("spill") != std::string::npos;
+      }
+    }
+  }
+  EXPECT_TRUE(spill_entity);
+}
+
+TEST_F(IntelLogSpark, ToIntelMessagesRoundTrip) {
+  ClusterSpec cluster;
+  simsys::WorkloadGenerator gen("spark", 321);
+  const JobResult job = simsys::run_job(gen.detection_job(0), cluster);
+  const auto msgs = il->to_intel_messages(job.sessions.front());
+  EXPECT_GT(msgs.size(), 10u);
+  core::MessageStore store;
+  store.add_all(msgs);
+  EXPECT_FALSE(store.group_by_identifier().empty());
+}
+
+TEST_F(IntelLogSpark, HwGraphJsonParses) {
+  const auto j = il->hw_graph_json();
+  EXPECT_NO_THROW(common::Json::parse(j.dump()));
+  EXPECT_GT(j["groups"].size(), 10u);
+}
+
+TEST_F(IntelLogSpark, TrainTwiceThrows) {
+  core::IntelLog fresh;
+  EXPECT_THROW(fresh.detect(logparse::Session{}), std::logic_error);
+  fresh.train(training_corpus("spark", 2, 1));
+  EXPECT_THROW(fresh.train({}), std::logic_error);
+}
+
+// --- MapReduce integration ---------------------------------------------------
+
+TEST(IntelLogMapReduce, KvKeysAreLearnedAndSkipped) {
+  core::IntelLog il;
+  il.train(training_corpus("mapreduce", 6, 11));
+  EXPECT_GT(il.kv_filter().learned_count(), 0u);
+  // Learned KV keys have no Intel Key.
+  for (const auto& [id, ik] : il.intel_keys()) {
+    (void)ik;
+    EXPECT_FALSE(il.kv_filter().is_learned_kv_key(id));
+  }
+}
+
+TEST(IntelLogMapReduce, FetcherSubroutineLearned) {
+  core::IntelLog il;
+  il.train(training_corpus("mapreduce", 6, 13));
+  const auto& groups = il.hw_graph().groups();
+  ASSERT_TRUE(groups.count("fetcher"));
+  // The Fig. 1 subroutine signature {FETCHER, ATTEMPT} must exist.
+  bool fig1 = false;
+  for (const auto& [sig, sub] : groups.at("fetcher").subroutines.subroutines()) {
+    (void)sub;
+    fig1 |= sig.count("FETCHER") && sig.count("ATTEMPT");
+  }
+  EXPECT_TRUE(fig1);
+}
+
+TEST(IntelLogTez, TrainsAndDetectsCleanly) {
+  core::IntelLog il;
+  il.train(training_corpus("tez", 8, 17));
+  EXPECT_GE(il.entity_groups().groups.size(), 10u);
+  ClusterSpec cluster;
+  simsys::WorkloadGenerator gen("tez", 31);
+  const JobResult job = simsys::run_job(gen.detection_job(1), cluster);
+  int flagged = 0;
+  for (const auto& s : job.sessions) flagged += il.detect(s).anomalous();
+  EXPECT_LE(flagged * 5, static_cast<int>(job.sessions.size()) + 4);
+}

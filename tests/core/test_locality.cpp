@@ -1,0 +1,69 @@
+#include "core/locality.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace intellog::core;
+
+TEST(Locality, HostNames) {
+  EXPECT_TRUE(looks_like_host_name("host3"));
+  EXPECT_TRUE(looks_like_host_name("node12"));
+  EXPECT_TRUE(looks_like_host_name("worker-7"));
+  EXPECT_TRUE(looks_like_host_name("master"));
+  EXPECT_TRUE(looks_like_host_name("nn1.cluster.example.com"));
+  EXPECT_FALSE(looks_like_host_name("fetcher"));
+  EXPECT_FALSE(looks_like_host_name("task3x"));
+  EXPECT_FALSE(looks_like_host_name("10.0.0.1"));  // that's an IP, not a name
+}
+
+TEST(Locality, IpPort) {
+  EXPECT_TRUE(looks_like_ip_port("10.0.0.1"));
+  EXPECT_TRUE(looks_like_ip_port("192.168.1.100:8042"));
+  EXPECT_FALSE(looks_like_ip_port("1.2.3"));
+  EXPECT_FALSE(looks_like_ip_port("1.2.3.4.5"));
+  EXPECT_FALSE(looks_like_ip_port("a.b.c.d"));
+}
+
+TEST(Locality, HostPort) {
+  EXPECT_TRUE(looks_like_host_port("host1:13562"));
+  EXPECT_TRUE(looks_like_host_port("10.0.0.1:80"));
+  EXPECT_FALSE(looks_like_host_port("host1:"));
+  EXPECT_FALSE(looks_like_host_port(":8080"));
+  EXPECT_FALSE(looks_like_host_port("a:b:c"));
+  EXPECT_FALSE(looks_like_host_port("host1:port"));
+}
+
+TEST(Locality, LocalPaths) {
+  EXPECT_TRUE(looks_like_local_path("/tmp/spark-1/blockmgr-2"));
+  EXPECT_TRUE(looks_like_local_path("/var/log/app.log"));
+  EXPECT_FALSE(looks_like_local_path("tmp/relative"));
+  EXPECT_FALSE(looks_like_local_path("/"));
+  EXPECT_FALSE(looks_like_local_path("hdfs://x/y"));
+}
+
+TEST(Locality, DfsAndUris) {
+  EXPECT_TRUE(looks_like_dfs_path("hdfs://master:9000/user/out"));
+  EXPECT_TRUE(looks_like_dfs_path("s3a://bucket/key"));
+  EXPECT_TRUE(looks_like_dfs_path("spark://CoarseGrainedScheduler@master:37001"));
+  EXPECT_FALSE(looks_like_dfs_path("no-scheme"));
+  EXPECT_FALSE(looks_like_dfs_path("://bad"));
+}
+
+TEST(Locality, MatcherCombinesPatterns) {
+  LocalityMatcher m;
+  EXPECT_TRUE(m.is_locality("host1:13562"));
+  EXPECT_TRUE(m.is_locality("/tmp/x"));
+  EXPECT_TRUE(m.is_locality("hdfs://master:9000/a"));
+  EXPECT_TRUE(m.is_locality("master"));
+  EXPECT_FALSE(m.is_locality("attempt_01"));
+  EXPECT_FALSE(m.is_locality("2264"));
+  EXPECT_FALSE(m.is_locality("fetcher"));
+}
+
+TEST(Locality, UserDefinedPattern) {
+  LocalityMatcher m;
+  EXPECT_FALSE(m.is_locality("rack/r42"));
+  // §3.1: "users can define new patterns when applying IntelLog on their
+  // own targeted systems."
+  m.add_pattern([](std::string_view t) { return t.substr(0, 5) == "rack/"; });
+  EXPECT_TRUE(m.is_locality("rack/r42"));
+}

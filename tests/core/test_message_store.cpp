@@ -1,0 +1,84 @@
+#include "core/message_store.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace intellog::core;
+
+namespace {
+
+IntelMessage make(int key, std::string container,
+                  std::vector<IdentifierValue> ids = {},
+                  std::vector<std::string> locs = {}) {
+  IntelMessage m;
+  m.key_id = key;
+  m.container_id = std::move(container);
+  m.identifiers = std::move(ids);
+  m.localities = std::move(locs);
+  return m;
+}
+
+}  // namespace
+
+class MessageStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // The case-study-1 shape: fetcher messages, several fetchers, one bad
+    // host.
+    for (int f = 1; f <= 3; ++f) {
+      store.add(make(10, "c1", {{"FETCHER", std::to_string(f)}}, {"hostA:13562"}));
+    }
+    store.add(make(10, "c2", {{"FETCHER", "1"}}, {"hostB:13562"}));
+    store.add(make(11, "c1", {{"ATTEMPT", "attempt_01"}}));
+    store.add(make(12, "c3"));
+  }
+  MessageStore store;
+};
+
+TEST_F(MessageStoreTest, SizeAndAll) {
+  EXPECT_EQ(store.size(), 6u);
+  EXPECT_EQ(store.all().size(), 6u);
+}
+
+TEST_F(MessageStoreTest, QueryPredicate) {
+  const auto r = store.query([](const IntelMessage& m) { return m.container_id == "c1"; });
+  EXPECT_EQ(r.size(), 4u);
+}
+
+TEST_F(MessageStoreTest, ByKey) {
+  EXPECT_EQ(store.by_key(10).size(), 4u);
+  EXPECT_EQ(store.by_key(99).size(), 0u);
+}
+
+TEST_F(MessageStoreTest, GroupByIdentifierAllTypes) {
+  const auto groups = store.group_by_identifier();
+  // 3 fetchers + 1 attempt = 4 distinct identifier values.
+  EXPECT_EQ(groups.size(), 4u);
+  EXPECT_EQ(groups.at("FETCHER:1").size(), 2u);  // c1 and c2
+}
+
+TEST_F(MessageStoreTest, GroupByIdentifierTyped) {
+  const auto groups = store.group_by_identifier("FETCHER");
+  EXPECT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups.count("ATTEMPT:attempt_01"), 0u);
+}
+
+TEST_F(MessageStoreTest, GroupByLocalityFindsTheBadHost) {
+  // Case study 1's final step: GroupBy locality -> one group, hostA.
+  const auto groups = store.group_by_locality();
+  EXPECT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups.at("hostA:13562").size(), 3u);
+  EXPECT_EQ(groups.at("hostB:13562").size(), 1u);
+}
+
+TEST_F(MessageStoreTest, JsonExportIsArray) {
+  const auto j = store.to_json();
+  EXPECT_TRUE(j.is_array());
+  EXPECT_EQ(j.size(), 6u);
+  EXPECT_EQ(j[0u]["container"].as_string(), "c1");
+}
+
+TEST_F(MessageStoreTest, AddAll) {
+  MessageStore s2;
+  s2.add_all({make(1, "x"), make(2, "y")});
+  EXPECT_EQ(s2.size(), 2u);
+}

@@ -1,0 +1,128 @@
+// Model serialization round-trip tests.
+#include "core/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "simsys/workload.hpp"
+
+using namespace intellog;
+
+namespace {
+
+std::vector<logparse::Session> corpus(int jobs, std::uint64_t seed) {
+  simsys::ClusterSpec cluster;
+  simsys::WorkloadGenerator gen("spark", seed);
+  std::vector<logparse::Session> out;
+  for (int i = 0; i < jobs; ++i) {
+    simsys::JobResult job = simsys::run_job(gen.training_job(), cluster);
+    for (auto& s : job.sessions) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+class ModelIoTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trained = new core::IntelLog();
+    trained->train(corpus(8, 77));
+  }
+  static void TearDownTestSuite() {
+    delete trained;
+    trained = nullptr;
+  }
+  static core::IntelLog* trained;
+};
+
+core::IntelLog* ModelIoTest::trained = nullptr;
+
+TEST_F(ModelIoTest, SaveRequiresTrainedModel) {
+  core::IntelLog fresh;
+  EXPECT_THROW(core::save_model(fresh), std::logic_error);
+}
+
+TEST_F(ModelIoTest, RoundTripPreservesModelShape) {
+  const auto doc = core::save_model(*trained);
+  const core::IntelLog loaded = core::load_model(doc);
+  EXPECT_TRUE(loaded.trained());
+  EXPECT_EQ(loaded.spell().size(), trained->spell().size());
+  EXPECT_EQ(loaded.intel_keys().size(), trained->intel_keys().size());
+  EXPECT_EQ(loaded.entity_groups().groups, trained->entity_groups().groups);
+  EXPECT_EQ(loaded.hw_graph().groups().size(), trained->hw_graph().groups().size());
+  EXPECT_EQ(loaded.hw_graph().training_sessions(), trained->hw_graph().training_sessions());
+  EXPECT_EQ(loaded.hw_graph().roots(), trained->hw_graph().roots());
+  EXPECT_EQ(loaded.kv_filter().learned_count(), trained->kv_filter().learned_count());
+}
+
+TEST_F(ModelIoTest, LoadedKeysMatchSameMessages) {
+  const core::IntelLog loaded = core::load_model(core::save_model(*trained));
+  for (const auto& msg : {"Got assigned task 123", "Shutdown hook called",
+                          "Registering BlockManager BlockManagerId(3)"}) {
+    EXPECT_EQ(loaded.spell().match(msg), trained->spell().match(msg)) << msg;
+  }
+}
+
+TEST_F(ModelIoTest, LoadedModelDetectsIdentically) {
+  const core::IntelLog loaded = core::load_model(core::save_model(*trained));
+  simsys::ClusterSpec cluster;
+  simsys::WorkloadGenerator gen("spark", 555);
+  // One clean job, one faulty job.
+  const auto clean = simsys::run_job(gen.detection_job(1), cluster);
+  auto fault = gen.make_fault(simsys::ProblemKind::NetworkFailure, cluster);
+  fault.at_fraction = 0.3;
+  const auto faulty = simsys::run_job(gen.detection_job(2), cluster, fault);
+  for (const auto* job : {&clean, &faulty}) {
+    for (const auto& s : job->sessions) {
+      const auto a = trained->detect(s);
+      const auto b = loaded.detect(s);
+      EXPECT_EQ(a.anomalous(), b.anomalous()) << s.container_id;
+      EXPECT_EQ(a.unexpected.size(), b.unexpected.size());
+      EXPECT_EQ(a.issues.size(), b.issues.size());
+    }
+  }
+}
+
+TEST_F(ModelIoTest, SubroutinesSurviveRoundTrip) {
+  const core::IntelLog loaded = core::load_model(core::save_model(*trained));
+  const auto& orig = trained->hw_graph().groups().at("block").subroutines.subroutines();
+  const auto& back = loaded.hw_graph().groups().at("block").subroutines.subroutines();
+  ASSERT_EQ(orig.size(), back.size());
+  for (const auto& [sig, sub] : orig) {
+    const auto it = back.find(sig);
+    ASSERT_NE(it, back.end());
+    EXPECT_EQ(it->second.keys, sub.keys);
+    EXPECT_EQ(it->second.critical, sub.critical);
+    EXPECT_EQ(it->second.before, sub.before);
+    EXPECT_EQ(it->second.instance_count, sub.instance_count);
+  }
+}
+
+TEST_F(ModelIoTest, FileRoundTrip) {
+  const std::string path = "/tmp/intellog_model_test.json";
+  core::save_model_file(*trained, path);
+  const core::IntelLog loaded = core::load_model_file(path);
+  EXPECT_EQ(loaded.intel_keys().size(), trained->intel_keys().size());
+  std::remove(path.c_str());
+}
+
+TEST_F(ModelIoTest, LoadRejectsGarbage) {
+  EXPECT_THROW(core::load_model(common::Json::parse("{}")), std::runtime_error);
+  EXPECT_THROW(core::load_model(common::Json(42)), std::runtime_error);
+  EXPECT_THROW(core::load_model_file("/nonexistent/path.json"), std::runtime_error);
+}
+
+TEST_F(ModelIoTest, MovedModelStillDetects) {
+  // IntelLog's move operations must re-seat the detector's references.
+  core::IntelLog moved = core::load_model(core::save_model(*trained));
+  core::IntelLog target = std::move(moved);
+  simsys::ClusterSpec cluster;
+  simsys::WorkloadGenerator gen("spark", 9);
+  const auto job = simsys::run_job(gen.detection_job(0), cluster);
+  EXPECT_NO_THROW({
+    for (const auto& s : job.sessions) target.detect(s);
+  });
+  EXPECT_FALSE(moved.trained());  // moved-from is reset
+}

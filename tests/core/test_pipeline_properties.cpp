@@ -1,0 +1,133 @@
+// Cross-cutting pipeline properties over the full template corpora and the
+// trained models.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+#include "core/extraction.hpp"
+#include "core/model_io.hpp"
+#include "logparse/spell.hpp"
+#include "simsys/mapreduce_system.hpp"
+#include "simsys/spark_system.hpp"
+#include "simsys/tensorflow_system.hpp"
+#include "simsys/tez_system.hpp"
+#include "simsys/workload.hpp"
+
+using namespace intellog;
+
+namespace {
+
+const simsys::TemplateCorpus& corpus_for(const std::string& system) {
+  if (system == "spark") return simsys::spark_corpus();
+  if (system == "mapreduce") return simsys::mapreduce_corpus();
+  if (system == "tez") return simsys::tez_corpus();
+  return simsys::tensorflow_corpus();
+}
+
+/// Plausible value for a field spec (deterministic per template/index).
+std::string sample_value(const simsys::FieldSpec& spec, int tmpl_id, std::size_t field_idx) {
+  const std::string n = std::to_string(10 + tmpl_id) + std::to_string(field_idx);
+  switch (spec.category) {
+    case logparse::FieldCategory::Identifier:
+      return common::to_lower(spec.id_type) + "_" + n;
+    case logparse::FieldCategory::Value:
+      return n;
+    case logparse::FieldCategory::Locality:
+      return "host" + std::to_string(1 + tmpl_id % 9) + ":13562";
+    default:
+      return "WORDVAL";
+  }
+}
+
+}  // namespace
+
+class PipelineProperty : public ::testing::TestWithParam<const char*> {};
+
+// Property: for every template, a rendered message's variable fields are
+// recovered intact by the Spell-key + align_fields machinery.
+TEST_P(PipelineProperty, FieldAlignmentRecoversRenderedValues) {
+  const auto& corpus = corpus_for(GetParam());
+  for (const auto& tmpl : corpus.all()) {
+    std::vector<std::string> values;
+    for (std::size_t f = 0; f < tmpl.fields.size(); ++f) {
+      values.push_back(sample_value(tmpl.fields[f], tmpl.id, f));
+    }
+    const std::string message = tmpl.render(values, nullptr);
+
+    // The Spell key as first-sight consume would build it.
+    logparse::Spell spell;
+    const int id = spell.consume(message);
+    ASSERT_GE(id, 0);
+    const auto fields =
+        core::align_fields(spell.key(id).tokens, common::split_ws(message), nullptr);
+
+    // Every rendered value appears in the recovered fields (identifiers and
+    // localities contain digits, so they must land in a field; pure word
+    // values may legitimately end up as key constants).
+    for (std::size_t f = 0; f < values.size(); ++f) {
+      if (!common::has_digit(values[f])) continue;
+      bool found = false;
+      for (const auto& rec : fields) {
+        found |= rec.find(values[f]) != std::string::npos;
+      }
+      EXPECT_TRUE(found) << corpus.system() << " template " << tmpl.id << " ('"
+                         << tmpl.key_string() << "'): value '" << values[f]
+                         << "' lost in alignment of '" << message << "'";
+    }
+  }
+}
+
+// Property: extraction never crashes on any template and classifies
+// identifier fields declared with digit-bearing values as identifiers.
+TEST_P(PipelineProperty, ExtractionClassifiesDeclaredIdentifiers) {
+  const auto& corpus = corpus_for(GetParam());
+  const core::InfoExtractor extractor;
+  for (const auto& tmpl : corpus.all()) {
+    if (!tmpl.natural_language) continue;
+    std::vector<std::string> values;
+    for (std::size_t f = 0; f < tmpl.fields.size(); ++f) {
+      values.push_back(sample_value(tmpl.fields[f], tmpl.id, f));
+    }
+    const std::string message = tmpl.render(values, nullptr);
+    logparse::Spell spell;
+    const int id = spell.consume(message);
+    const core::IntelKey ik = extractor.extract(spell.key(id), message);
+    // Count categories: at least as many identifier fields as declared
+    // identifier values that carry '<type>_<digits>' shape.
+    std::size_t declared = 0;
+    for (const auto& f : tmpl.fields) {
+      declared += f.category == logparse::FieldCategory::Identifier;
+    }
+    std::size_t extracted = 0;
+    for (const auto& f : ik.fields) {
+      extracted += f.category == logparse::FieldCategory::Identifier;
+    }
+    // Underscored identifier values trigger heuristic 3 deterministically.
+    EXPECT_GE(extracted + 1, declared)  // tolerate one boundary disagreement
+        << corpus.system() << " template " << tmpl.id << ": " << message;
+  }
+}
+
+// Property: training is deterministic — two models trained on the same
+// corpus serialize identically.
+TEST_P(PipelineProperty, TrainingIsDeterministic) {
+  const std::string system = GetParam();
+  simsys::ClusterSpec cluster;
+  const auto make_corpus = [&] {
+    simsys::WorkloadGenerator gen(system, 1234);
+    std::vector<logparse::Session> out;
+    for (int i = 0; i < 4; ++i) {
+      simsys::JobResult job = simsys::run_job(gen.training_job(), cluster);
+      for (auto& s : job.sessions) out.push_back(std::move(s));
+    }
+    return out;
+  };
+  core::IntelLog a, b;
+  a.train(make_corpus());
+  b.train(make_corpus());
+  EXPECT_EQ(core::save_model(a).dump(), core::save_model(b).dump());
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, PipelineProperty,
+                         ::testing::Values("spark", "mapreduce", "tez", "tensorflow"));

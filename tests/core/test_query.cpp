@@ -1,0 +1,112 @@
+#include "core/query.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace intellog::core;
+
+namespace {
+
+IntelMessage msg(int key, std::uint64_t ts, std::string container,
+                 std::vector<IdentifierValue> ids = {},
+                 std::vector<std::pair<std::string, std::string>> values = {},
+                 std::vector<std::string> locs = {}) {
+  IntelMessage m;
+  m.key_id = key;
+  m.timestamp_ms = ts;
+  m.container_id = std::move(container);
+  m.identifiers = std::move(ids);
+  m.values = std::move(values);
+  m.localities = std::move(locs);
+  return m;
+}
+
+}  // namespace
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store.add(msg(10, 1000, "container_01_1", {{"FETCHER", "1"}, {"ATTEMPT", "attempt_05"}},
+                  {{"2264", "bytes"}}, {"host1:13562"}));
+    store.add(msg(10, 2000, "container_01_2", {{"FETCHER", "2"}}, {{"17ms", "ms"}},
+                  {"host2:13562"}));
+    store.add(msg(11, 3000, "container_02_1", {{"TID", "7"}}, {{"512", "bytes"}}));
+    store.add(msg(12, 4000, "container_02_2"));
+  }
+  std::size_t count(const std::string& q) const { return run_query(store, q).size(); }
+  MessageStore store;
+};
+
+TEST_F(QueryTest, KeyEquality) {
+  EXPECT_EQ(count("key=10"), 2u);
+  EXPECT_EQ(count("key!=10"), 2u);
+  EXPECT_EQ(count("key=99"), 0u);
+}
+
+TEST_F(QueryTest, TypedIdentifier) {
+  EXPECT_EQ(count("id.FETCHER=1"), 1u);
+  EXPECT_EQ(count("id.FETCHER~2"), 1u);
+  EXPECT_EQ(count("id.TID=7"), 1u);
+  EXPECT_EQ(count("id.MISSING=1"), 0u);
+}
+
+TEST_F(QueryTest, UntypedIdentifierSearchesAllTypes) {
+  EXPECT_EQ(count("id=7"), 1u);
+  EXPECT_EQ(count("id~attempt"), 1u);
+}
+
+TEST_F(QueryTest, LocalitySubstring) {
+  EXPECT_EQ(count("locality~host1"), 1u);
+  EXPECT_EQ(count("locality~13562"), 2u);
+  EXPECT_EQ(count("locality=host2:13562"), 1u);
+}
+
+TEST_F(QueryTest, ContainerMatching) {
+  EXPECT_EQ(count("container~_01_"), 2u);
+  EXPECT_EQ(count("container=container_02_2"), 1u);
+}
+
+TEST_F(QueryTest, NumericTimeAndValue) {
+  EXPECT_EQ(count("time>1500"), 3u);
+  EXPECT_EQ(count("time<1500"), 1u);
+  EXPECT_EQ(count("value>1000"), 1u);   // 2264 bytes
+  EXPECT_EQ(count("value<100"), 1u);    // 17ms (fused unit parses as 17)
+  EXPECT_EQ(count("unit=bytes"), 2u);
+}
+
+TEST_F(QueryTest, BooleanCombinators) {
+  EXPECT_EQ(count("key=10 AND locality~host1"), 1u);
+  EXPECT_EQ(count("key=11 OR key=12"), 2u);
+  EXPECT_EQ(count("key=10 AND id.FETCHER=1 OR key=12"), 2u);  // AND binds tighter
+  EXPECT_EQ(count("key=10 AND (id.FETCHER=1 OR id.FETCHER=2)"), 2u);
+  EXPECT_EQ(count("NOT key=10"), 2u);
+  EXPECT_EQ(count("NOT (key=10 OR key=11)"), 1u);
+}
+
+TEST_F(QueryTest, QuotedValues) {
+  store.add(msg(13, 5000, "with space"));
+  EXPECT_EQ(count("container=\"with space\""), 1u);
+}
+
+TEST_F(QueryTest, CaseStudyShape) {
+  // Case 1's diagnosis as a query: failing fetchers against one host.
+  const auto hits = run_query(store, "id.FETCHER~\"\" AND locality~host");
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST_F(QueryTest, SyntaxErrors) {
+  EXPECT_THROW(Query::parse(""), std::invalid_argument);
+  EXPECT_THROW(Query::parse("bogusfield=1"), std::invalid_argument);
+  EXPECT_THROW(Query::parse("key"), std::invalid_argument);
+  EXPECT_THROW(Query::parse("key=="), std::invalid_argument);
+  EXPECT_THROW(Query::parse("key=1 AND"), std::invalid_argument);
+  EXPECT_THROW(Query::parse("key=1 extra"), std::invalid_argument);
+  EXPECT_THROW(Query::parse("(key=1"), std::invalid_argument);
+  EXPECT_THROW(Query::parse("container>abc"), std::invalid_argument);
+  EXPECT_THROW(Query::parse("id.=1"), std::invalid_argument);
+  EXPECT_THROW(Query::parse("key=\"unterminated"), std::invalid_argument);
+}
+
+TEST_F(QueryTest, ToStringNormalForm) {
+  EXPECT_EQ(Query::parse("key=1 AND id.T~x OR NOT time<5").to_string(),
+            "((key=\"1\" AND id.T~\"x\") OR (NOT time<\"5\"))");
+}

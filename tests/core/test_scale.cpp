@@ -1,0 +1,49 @@
+// Scale smoke test: the pipeline handles a 100k+-line corpus end to end
+// within a sane wall-clock budget (the paper consumed millions of lines per
+// system; this keeps CI fast while still catching quadratic regressions).
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/intellog.hpp"
+#include "simsys/workload.hpp"
+
+using namespace intellog;
+
+TEST(Scale, HundredThousandLineCorpusTrainsAndDetects) {
+  simsys::ClusterSpec cluster;
+  simsys::WorkloadGenerator gen("mapreduce", 777);
+  std::vector<logparse::Session> sessions;
+  std::size_t lines = 0;
+  while (lines < 100000) {
+    simsys::JobResult job = simsys::run_job(gen.training_job(), cluster);
+    for (auto& s : job.sessions) {
+      lines += s.records.size();
+      sessions.push_back(std::move(s));
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  core::IntelLog il;
+  il.train(sessions);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double train_s = std::chrono::duration<double>(t1 - t0).count();
+
+  std::size_t detected_lines = 0;
+  for (std::size_t i = 0; i < sessions.size(); i += 7) {
+    il.detect(sessions[i]);
+    detected_lines += sessions[i].records.size();
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+  const double detect_s = std::chrono::duration<double>(t2 - t1).count();
+
+  RecordProperty("lines", static_cast<int>(lines));
+  RecordProperty("train_seconds", static_cast<int>(train_s * 1000));
+  std::cout << "trained on " << lines << " lines in " << train_s << "s; detected "
+            << detected_lines << " lines in " << detect_s << "s\n";
+  EXPECT_GE(lines, 100000u);
+  EXPECT_GT(il.intel_keys().size(), 30u);
+  // Generous bounds: catches quadratic blowups, not machine jitter.
+  EXPECT_LT(train_s, 120.0);
+  EXPECT_LT(detect_s, 60.0);
+}

@@ -1,0 +1,73 @@
+#include "logparse/formatter.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace intellog::logparse;
+
+TEST(HadoopFormatter, RenderParseRoundTrip) {
+  const auto fmt = make_hadoop_formatter();
+  LogRecord rec;
+  rec.timestamp_ms = 3 * 86400000ULL + 5 * 3600000ULL + 42 * 60000ULL + 7 * 1000ULL + 123;
+  rec.level = "WARN";
+  rec.source = "mapred.MapTask";
+  rec.content = "Processing split: /data/part-0";
+  const std::string line = fmt->render(rec);
+  EXPECT_EQ(line, "2019-06-04 05:42:07,123 WARN [main] mapred.MapTask: Processing split: "
+                  "/data/part-0");
+  const auto parsed = fmt->parse(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->timestamp_ms, rec.timestamp_ms);
+  EXPECT_EQ(parsed->level, "WARN");
+  EXPECT_EQ(parsed->source, "mapred.MapTask");
+  EXPECT_EQ(parsed->content, rec.content);
+}
+
+TEST(SparkFormatter, RenderParseRoundTrip) {
+  const auto fmt = make_spark_formatter();
+  LogRecord rec;
+  rec.timestamp_ms = 1 * 3600000ULL + 2 * 60000ULL + 3 * 1000ULL;
+  rec.level = "INFO";
+  rec.source = "storage.BlockManager";
+  rec.content = "Registering BlockManager bm_1";
+  const std::string line = fmt->render(rec);
+  EXPECT_EQ(line, "19/06/01 01:02:03 INFO storage.BlockManager: Registering BlockManager bm_1");
+  const auto parsed = fmt->parse(line);
+  ASSERT_TRUE(parsed.has_value());
+  // Spark's format has second granularity.
+  EXPECT_EQ(parsed->timestamp_ms, rec.timestamp_ms);
+  EXPECT_EQ(parsed->content, rec.content);
+}
+
+TEST(Formatter, ParseRejectsGarbage) {
+  const auto hadoop = make_hadoop_formatter();
+  const auto spark = make_spark_formatter();
+  for (const char* line :
+       {"", "not a log line", "java.io.IOException: broken pipe",
+        "\tat org.apache.hadoop.mapred.MapTask.run(MapTask.java:343)"}) {
+    EXPECT_FALSE(hadoop->parse(line).has_value()) << line;
+    EXPECT_FALSE(spark->parse(line).has_value()) << line;
+  }
+}
+
+TEST(Formatter, CrossFormatRejection) {
+  const auto hadoop = make_hadoop_formatter();
+  const auto spark = make_spark_formatter();
+  const std::string spark_line = "19/06/01 01:02:03 INFO x.Y: hello";
+  const std::string hadoop_line = "2019-06-01 01:02:03,000 INFO [main] x.Y: hello";
+  EXPECT_FALSE(hadoop->parse(spark_line).has_value());
+  EXPECT_FALSE(spark->parse(hadoop_line).has_value());
+}
+
+TEST(Formatter, DetectFormat) {
+  EXPECT_EQ(detect_format("19/06/01 01:02:03 INFO x.Y: hello")->name(), "spark");
+  EXPECT_EQ(detect_format("2019-06-01 01:02:03,000 INFO [main] x.Y: hello")->name(), "hadoop");
+  EXPECT_EQ(detect_format("free-form text"), nullptr);
+}
+
+TEST(Formatter, ContentMayContainColons) {
+  const auto fmt = make_spark_formatter();
+  const auto parsed = fmt->parse("19/06/01 01:02:03 INFO x.Y: Connecting to driver at "
+                                 "spark://master:37001");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->content, "Connecting to driver at spark://master:37001");
+}

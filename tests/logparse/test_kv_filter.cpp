@@ -1,0 +1,71 @@
+#include "logparse/kv_filter.hpp"
+
+#include <gtest/gtest.h>
+
+using intellog::logparse::KvFilter;
+
+class KvFilterTest : public ::testing::Test {
+ protected:
+  KvFilter filter;
+};
+
+TEST_F(KvFilterTest, ClausesAreNaturalLanguage) {
+  for (const char* msg : {
+           "Starting MapTask metrics system",
+           "host1:13562 freed by fetcher # 1 in 4ms",
+           "fetcher # 1 about to shuffle output of map attempt_01",
+           "Registered signal handler for TERM",
+           "Block rdd_0_1 stored as values in memory",
+           "Task attempt_01 is done. And is in the process of committing",
+       }) {
+    EXPECT_TRUE(filter.is_natural_language(msg)) << msg;
+  }
+}
+
+TEST_F(KvFilterTest, KeyValueLinesAreNot) {
+  for (const char* msg : {
+           "numCompletedTasks=5 numScheduledMaps=40 numScheduledReduces=2",
+           "headroom memory=4096 vCores=8",
+           "availableResources memory=1024 vCores=2 usedResources memory=512 vCores=1",
+           "Final resource view: phys_ram=131072MB used_ram=2048MB",
+           "taskProgress=55 recordsProcessed=120000",
+       }) {
+    EXPECT_FALSE(filter.is_natural_language(msg)) << msg;
+  }
+}
+
+TEST_F(KvFilterTest, ClauselessProseIsNot) {
+  // Real MapReduce line with no predicate (§5 / Table 1).
+  EXPECT_FALSE(filter.is_natural_language("reduce task executor complete."));
+  EXPECT_FALSE(filter.is_natural_language("Down to the last merge-pass"));
+}
+
+TEST_F(KvFilterTest, KvOnlyIsStricterThanNonNl) {
+  // Pure status lines are omitted from Intel Keys (§5)...
+  EXPECT_TRUE(filter.is_kv_only("numCompletedTasks=5 numScheduledMaps=40"));
+  EXPECT_TRUE(filter.is_kv_only("headroom memory=4096 vCores=8"));
+  EXPECT_TRUE(filter.is_kv_only("Final resource view: phys_ram=131072MB used_ram=2048MB"));
+  // ...but clause-less prose still becomes an Intel Key.
+  EXPECT_FALSE(filter.is_kv_only("reduce task executor complete."));
+  EXPECT_FALSE(filter.is_kv_only("Down to the last merge-pass"));
+  EXPECT_FALSE(filter.is_kv_only("Final merge of 5 segments"));
+  // Natural-language lines are never key-value-only.
+  EXPECT_FALSE(filter.is_kv_only("Starting MapTask metrics system"));
+}
+
+TEST_F(KvFilterTest, ValueSideVerbsDoNotCount) {
+  // 'killed' appears as the value of a key=value pair: not a clause.
+  EXPECT_FALSE(filter.is_natural_language("state=killed reason=preempted"));
+}
+
+TEST_F(KvFilterTest, LearnedKvKeys) {
+  EXPECT_FALSE(filter.is_learned_kv_key(7));
+  filter.learn_kv_key(7);
+  EXPECT_TRUE(filter.is_learned_kv_key(7));
+  EXPECT_FALSE(filter.is_learned_kv_key(8));
+  EXPECT_EQ(filter.learned_count(), 1u);
+}
+
+TEST_F(KvFilterTest, EmptyMessage) {
+  EXPECT_FALSE(filter.is_natural_language(""));
+}

@@ -1,0 +1,142 @@
+#include "logparse/log_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/intellog.hpp"
+#include "simsys/workload.hpp"
+
+using namespace intellog;
+using namespace intellog::logparse;
+
+namespace {
+
+class TempDir {
+ public:
+  TempDir() : path_("/tmp/intellog_logio_" + std::to_string(::getpid()) + "_" +
+                    std::to_string(counter_++)) {}
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  std::string path_;
+};
+
+}  // namespace
+
+TEST(LogIo, SessionRoundTripHadoop) {
+  TempDir dir;
+  const auto fmt = make_hadoop_formatter();
+  Session s;
+  s.container_id = "container_1";
+  for (int i = 0; i < 5; ++i) {
+    LogRecord rec;
+    rec.timestamp_ms = 1000u * static_cast<unsigned>(i);
+    rec.level = i == 3 ? "WARN" : "INFO";
+    rec.source = "mapred.MapTask";
+    rec.content = "Processing split number " + std::to_string(i);
+    rec.container_id = s.container_id;
+    s.records.push_back(rec);
+  }
+  write_log_directory(*fmt, {s}, dir.path());
+  const auto back = read_log_directory(dir.path(), "mapreduce");
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].container_id, "container_1");
+  EXPECT_EQ(back[0].system, "mapreduce");
+  ASSERT_EQ(back[0].records.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(back[0].records[static_cast<std::size_t>(i)].content,
+              s.records[static_cast<std::size_t>(i)].content);
+    EXPECT_EQ(back[0].records[static_cast<std::size_t>(i)].timestamp_ms,
+              s.records[static_cast<std::size_t>(i)].timestamp_ms);
+  }
+  EXPECT_EQ(back[0].records[3].level, "WARN");
+}
+
+TEST(LogIo, MixedFormatsAutoDetected) {
+  TempDir dir;
+  std::filesystem::create_directories(dir.path());
+  const auto hadoop = make_hadoop_formatter();
+  const auto spark = make_spark_formatter();
+  Session a;
+  a.container_id = "c_hadoop";
+  a.records.push_back({0, "INFO", "x.Y", "hadoop message", "c_hadoop", {}});
+  Session b;
+  b.container_id = "c_spark";
+  b.records.push_back({0, "INFO", "x.Y", "spark message", "c_spark", {}});
+  write_session_file(*hadoop, a, dir.path() + "/c_hadoop.log");
+  write_session_file(*spark, b, dir.path() + "/c_spark.log");
+  const auto back = read_log_directory(dir.path());
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].records[0].content, "hadoop message");
+  EXPECT_EQ(back[1].records[0].content, "spark message");
+}
+
+TEST(LogIo, UnparseableFilesSkipped) {
+  TempDir dir;
+  std::filesystem::create_directories(dir.path());
+  {
+    std::ofstream junk(dir.path() + "/junk.log");
+    junk << "this is not a log format\nat all\n";
+    std::ofstream other(dir.path() + "/readme.txt");
+    other << "ignored extension\n";
+  }
+  EXPECT_TRUE(read_log_directory(dir.path()).empty());
+}
+
+TEST(LogIo, MissingDirectoryThrows) {
+  EXPECT_THROW(read_log_directory("/nonexistent/intellog"), std::runtime_error);
+  EXPECT_THROW(read_session_file("/nonexistent/x.log"), std::runtime_error);
+}
+
+TEST(LogIo, SimulatedJobRoundTripsThroughDisk) {
+  TempDir dir;
+  simsys::ClusterSpec cluster;
+  simsys::WorkloadGenerator gen("spark", 12);
+  const simsys::JobResult job = simsys::run_job(gen.training_job(), cluster);
+  const auto fmt = make_spark_formatter();
+  write_log_directory(*fmt, job.sessions, dir.path());
+  const auto back = read_log_directory(dir.path(), "spark");
+  ASSERT_EQ(back.size(), job.sessions.size());
+  std::size_t orig_lines = 0, back_lines = 0;
+  for (const auto& s : job.sessions) orig_lines += s.records.size();
+  for (const auto& s : back) back_lines += s.records.size();
+  EXPECT_EQ(orig_lines, back_lines);
+}
+
+TEST(LogIo, RecursiveDiscovery) {
+  TempDir dir;
+  std::filesystem::create_directories(dir.path() + "/job_0");
+  std::filesystem::create_directories(dir.path() + "/job_1");
+  const auto fmt = make_spark_formatter();
+  Session s;
+  s.container_id = "c1";
+  s.records.push_back({0, "INFO", "x.Y", "nested", "c1", {}});
+  write_session_file(*fmt, s, dir.path() + "/job_0/c1.log");
+  s.container_id = "c2";
+  write_session_file(*fmt, s, dir.path() + "/job_1/c2.log");
+  EXPECT_EQ(read_log_directory(dir.path()).size(), 2u);
+}
+
+TEST(HwGraphDot, ExportShape) {
+  core::IntelLog il;
+  simsys::ClusterSpec cluster;
+  simsys::WorkloadGenerator gen("spark", 3);
+  std::vector<Session> training;
+  for (int i = 0; i < 5; ++i) {
+    simsys::JobResult job = simsys::run_job(gen.training_job(), cluster);
+    for (auto& sess : job.sessions) training.push_back(std::move(sess));
+  }
+  il.train(training);
+  const std::string dot = il.hw_graph().to_dot();
+  EXPECT_NE(dot.find("digraph hwgraph"), std::string::npos);
+  EXPECT_NE(dot.find("g_block"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // BEFORE edges
+  EXPECT_EQ(dot.back(), '\n');
+}

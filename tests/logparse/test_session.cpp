@@ -1,0 +1,63 @@
+#include "logparse/session.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace intellog::logparse;
+
+namespace {
+LogRecord rec(std::string container, std::uint64_t ts, std::string content = "msg") {
+  LogRecord r;
+  r.container_id = std::move(container);
+  r.timestamp_ms = ts;
+  r.content = std::move(content);
+  return r;
+}
+}  // namespace
+
+TEST(SessionSplit, GroupsByContainerPreservingOrder) {
+  std::vector<LogRecord> records = {rec("c1", 10, "a"), rec("c2", 11, "b"), rec("c1", 12, "c"),
+                                    rec("c2", 13, "d")};
+  const auto sessions = split_sessions(records, "spark");
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].container_id, "c1");
+  EXPECT_EQ(sessions[0].system, "spark");
+  ASSERT_EQ(sessions[0].records.size(), 2u);
+  EXPECT_EQ(sessions[0].records[0].content, "a");
+  EXPECT_EQ(sessions[0].records[1].content, "c");
+  EXPECT_EQ(sessions[1].records[1].content, "d");
+}
+
+TEST(SessionSplit, DropsEmptyContainerIds) {
+  std::vector<LogRecord> records = {rec("", 1), rec("c1", 2)};
+  EXPECT_EQ(split_sessions(records).size(), 1u);
+}
+
+TEST(SessionSplit, EmptyInput) {
+  EXPECT_TRUE(split_sessions({}).empty());
+}
+
+TEST(ParseSession, ParsesLinesAndAttachesContinuations) {
+  const auto fmt = make_hadoop_formatter();
+  const std::vector<std::string> lines = {
+      "2019-06-01 01:00:00,000 INFO [main] x.Y: first message",
+      "java.io.IOException: broken pipe",
+      "\tat some.Class.method(Class.java:1)",
+      "2019-06-01 01:00:01,000 ERROR [main] x.Y: second message",
+  };
+  const Session s = parse_session(*fmt, "container_1", lines, "mapreduce");
+  EXPECT_EQ(s.container_id, "container_1");
+  EXPECT_EQ(s.system, "mapreduce");
+  ASSERT_EQ(s.records.size(), 2u);
+  // Stack-trace lines fold into the previous record.
+  EXPECT_NE(s.records[0].content.find("IOException"), std::string::npos);
+  EXPECT_EQ(s.records[0].container_id, "container_1");
+  EXPECT_EQ(s.records[1].level, "ERROR");
+  EXPECT_EQ(s.length(), 2u);
+}
+
+TEST(ParseSession, LeadingGarbageIsDropped) {
+  const auto fmt = make_spark_formatter();
+  const Session s = parse_session(*fmt, "c", {"garbage", "19/06/01 01:02:03 INFO x.Y: ok"});
+  ASSERT_EQ(s.records.size(), 1u);
+  EXPECT_EQ(s.records[0].content, "ok");
+}

@@ -1,0 +1,150 @@
+#include "logparse/spell.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+using intellog::logparse::Spell;
+
+TEST(Spell, FirstMessageFoundsKey) {
+  Spell spell;
+  const int id = spell.consume("Starting MapTask metrics system");
+  EXPECT_EQ(id, 0);
+  EXPECT_EQ(spell.size(), 1u);
+  EXPECT_EQ(spell.key(0).to_string(), "Starting MapTask metrics system");
+}
+
+TEST(Spell, DigitTokensPreMaskedAsVariables) {
+  Spell spell;
+  spell.consume("read 2264 bytes from map-output for attempt_01");
+  EXPECT_EQ(spell.key(0).to_string(), "read * bytes from map-output for *");
+}
+
+TEST(Spell, SameTemplateDifferentValuesSharesKey) {
+  Spell spell;
+  const int a = spell.consume("read 2264 bytes from map-output for attempt_01");
+  const int b = spell.consume("read 512 bytes from map-output for attempt_07");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(spell.size(), 1u);
+  EXPECT_EQ(spell.key(a).match_count, 2u);
+}
+
+TEST(Spell, Fig3StartingStoppingMerge) {
+  // The paper's Fig. 3: "Starting ..." and "Stopping ..." merge into the
+  // log key "* MapTask metrics system".
+  Spell spell;
+  const int a = spell.consume("Starting MapTask metrics system");
+  const int b = spell.consume("Stopping MapTask metrics system");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(spell.key(a).to_string(), "* MapTask metrics system");
+}
+
+TEST(Spell, DistinctTemplatesGetDistinctKeys) {
+  Spell spell;
+  const int a = spell.consume("Registering BlockManager bm_01");
+  const int b = spell.consume("Shutdown hook called");
+  const int c = spell.consume("Created local directory at /tmp/spark-1");
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_EQ(spell.size(), 3u);
+}
+
+TEST(Spell, WordVariableCollapsesOnMerge) {
+  // One variable word out of a long constant context merges and is starred.
+  Spell spell;
+  const int a = spell.consume("Task attempt attempt_1 transitioned from state ASSIGNED today");
+  const int b = spell.consume("Task attempt attempt_1 transitioned from state RUNNING today");
+  EXPECT_EQ(a, b);
+  const std::string key = spell.key(a).to_string();
+  EXPECT_NE(key.find("transitioned from state *"), std::string::npos);
+}
+
+TEST(Spell, TooManyVariableWordsSplitKeys) {
+  // Two of five constant words changing drops LCS below the t=1.7 bar, so
+  // Spell keeps separate keys — each (from, to) pair is its own key.
+  Spell spell;
+  const int a = spell.consume("Job job_01 transitioned from INIT to SETUP");
+  const int b = spell.consume("Job job_01 transitioned from SETUP to RUNNING");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(spell.size(), 2u);
+}
+
+TEST(Spell, MatchIsConstAndFindsTrainedKeys) {
+  Spell spell;
+  const int a = spell.consume("Got assigned task 12");
+  EXPECT_EQ(spell.match("Got assigned task 999"), a);
+  EXPECT_EQ(spell.size(), 1u);  // match never creates
+}
+
+TEST(Spell, MatchReturnsMinusOneForNovelMessage) {
+  Spell spell;
+  spell.consume("Got assigned task 12");
+  spell.consume("Registering BlockManager bm_2");
+  EXPECT_EQ(spell.match("Failed to connect to host9:7337"), -1);
+  EXPECT_EQ(spell.match(""), -1);
+}
+
+TEST(Spell, ThresholdControlsMatching) {
+  // With a strict threshold (t=1), only exact constant matches merge.
+  Spell strict(1.0);
+  const int a = strict.consume("alpha beta gamma delta");
+  const int b = strict.consume("alpha beta gamma epsilon");
+  EXPECT_NE(a, b);
+  // Default 1.7 merges them (LCS 3 >= 4/1.7).
+  Spell loose(1.7);
+  const int c = loose.consume("alpha beta gamma delta");
+  const int d = loose.consume("alpha beta gamma epsilon");
+  EXPECT_EQ(c, d);
+}
+
+TEST(Spell, EmptyMessageIgnored) {
+  Spell spell;
+  EXPECT_EQ(spell.consume(""), -1);
+  EXPECT_EQ(spell.size(), 0u);
+}
+
+TEST(Spell, ConstantsExcludeStars) {
+  Spell spell;
+  spell.consume("freed by fetcher # 1 in 4ms");
+  const auto consts = spell.key(0).constants();
+  for (const auto& c : consts) EXPECT_NE(c, "*");
+  EXPECT_EQ(consts.size(), 5u);  // freed by fetcher # in
+}
+
+TEST(Spell, KeyCountStableUnderRepetition) {
+  Spell spell;
+  intellog::common::Rng rng(3);
+  for (int round = 0; round < 50; ++round) {
+    spell.consume("Got assigned task " + std::to_string(rng.uniform(1000)));
+    spell.consume("Running task " + std::to_string(rng.uniform(10)) + ".0 in stage 0.0 (TID " +
+                  std::to_string(rng.uniform(1000)) + ")");
+    spell.consume("Shutdown hook called");
+  }
+  EXPECT_EQ(spell.size(), 3u);
+}
+
+// Property: consuming the same message stream twice yields identical ids.
+class SpellStability : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpellStability, RepeatedConsumeIsIdempotent) {
+  Spell spell;
+  intellog::common::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<std::string> messages;
+  static const char* kTemplates[] = {
+      "Got assigned task %", "Registering BlockManager bm_%",
+      "read % bytes from map-output for attempt_%", "Shutdown hook called",
+      "Created local directory at /tmp/spark-%"};
+  for (int i = 0; i < 30; ++i) {
+    std::string m = kTemplates[rng.uniform(5)];
+    const auto pos = m.find('%');
+    if (pos != std::string::npos) m.replace(pos, 1, std::to_string(rng.uniform(100000)));
+    messages.push_back(std::move(m));
+  }
+  std::vector<int> first, second;
+  for (const auto& m : messages) first.push_back(spell.consume(m));
+  for (const auto& m : messages) second.push_back(spell.consume(m));
+  EXPECT_EQ(first, second);
+  EXPECT_LE(spell.size(), 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SpellStability, ::testing::Range(0, 10));

@@ -1,0 +1,58 @@
+#include "nlp/camel_case.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace intellog::nlp;
+
+TEST(CamelCase, PaperExample) {
+  EXPECT_EQ(split_camel_case("MapTask"), (std::vector<std::string>{"map", "task"}));
+}
+
+TEST(CamelCase, MultiWordClassNames) {
+  EXPECT_EQ(split_camel_case("BlockManagerEndpoint"),
+            (std::vector<std::string>{"block", "manager", "endpoint"}));
+  EXPECT_EQ(split_camel_case("ShuffleConsumerPlugin"),
+            (std::vector<std::string>{"shuffle", "consumer", "plugin"}));
+}
+
+TEST(CamelCase, AcronymRuns) {
+  EXPECT_EQ(split_camel_case("NMTokenCache"), (std::vector<std::string>{"nm", "token", "cache"}));
+  EXPECT_EQ(split_camel_case("MRAppMaster"), (std::vector<std::string>{"mr", "app", "master"}));
+  EXPECT_EQ(split_camel_case("DAGAppMaster"), (std::vector<std::string>{"dag", "app", "master"}));
+}
+
+TEST(CamelCase, LowerCamel) {
+  EXPECT_EQ(split_camel_case("mapTask"), (std::vector<std::string>{"map", "task"}));
+}
+
+TEST(CamelCase, PlainWordsSinglePart) {
+  EXPECT_EQ(split_camel_case("fetcher"), (std::vector<std::string>{"fetcher"}));
+  EXPECT_EQ(split_camel_case("TERM"), (std::vector<std::string>{"term"}));
+}
+
+TEST(CamelCase, HyphensAreNotCamel) {
+  EXPECT_EQ(split_camel_case("map-output"), (std::vector<std::string>{"map-output"}));
+  EXPECT_EQ(split_camel_case("non-empty"), (std::vector<std::string>{"non-empty"}));
+  EXPECT_FALSE(is_camel_case("merge-pass"));
+}
+
+TEST(CamelCase, DigitsSeparate) {
+  EXPECT_EQ(split_camel_case("Task2"), (std::vector<std::string>{"task", "2"}));
+}
+
+TEST(CamelCase, Predicate) {
+  EXPECT_TRUE(is_camel_case("MapTask"));
+  EXPECT_TRUE(is_camel_case("mapTask"));
+  EXPECT_FALSE(is_camel_case("task"));
+  EXPECT_FALSE(is_camel_case("TERM"));
+  EXPECT_FALSE(is_camel_case(""));
+}
+
+TEST(SnakeCase, Filter) {
+  EXPECT_EQ(split_snake_case("map_task"), (std::vector<std::string>{"map", "task"}));
+  EXPECT_EQ(split_snake_case("resource_tracker_service"),
+            (std::vector<std::string>{"resource", "tracker", "service"}));
+  // Identifier-like tokens with digits are left alone.
+  EXPECT_TRUE(split_snake_case("attempt_01").empty());
+  EXPECT_TRUE(split_snake_case("plain").empty());
+}

@@ -1,0 +1,133 @@
+#include "nlp/dependency_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nlp/pos_tagger.hpp"
+#include "nlp/tokenizer.hpp"
+
+using namespace intellog::nlp;
+
+class DepParserTest : public ::testing::Test {
+ protected:
+  std::vector<ClauseParse> parse(std::string_view msg) {
+    tokens = tagger.tag(tokenize(msg));
+    return parser.parse(tokens);
+  }
+  std::string word_at(std::ptrdiff_t i) const {
+    return i < 0 ? std::string{} : tokens[static_cast<std::size_t>(i)].lower;
+  }
+
+  PosTagger tagger;
+  DependencyParser parser;
+  std::vector<Token> tokens;
+};
+
+TEST_F(DepParserTest, SimpleActiveClause) {
+  const auto clauses = parse("fetcher freed the buffer");
+  ASSERT_EQ(clauses.size(), 1u);
+  const auto& c = clauses[0];
+  ASSERT_GE(c.root, 0);
+  EXPECT_EQ(word_at(c.root), "freed");
+  EXPECT_EQ(word_at(c.dependent_of(static_cast<std::size_t>(c.root), Relation::Nsubj)),
+            "fetcher");
+  EXPECT_EQ(word_at(c.dependent_of(static_cast<std::size_t>(c.root), Relation::Dobj)), "buffer");
+  EXPECT_FALSE(c.passive);
+}
+
+TEST_F(DepParserTest, PassiveWithAgent) {
+  // Fig. 1 line 3: "host1:13562 freed by fetcher # 1 in 4ms"
+  const auto clauses = parse("host1:13562 freed by fetcher # 1 in 4ms");
+  ASSERT_EQ(clauses.size(), 1u);
+  const auto& c = clauses[0];
+  EXPECT_EQ(word_at(c.root), "freed");
+  EXPECT_TRUE(c.passive);
+  const auto subj = c.dependent_of(static_cast<std::size_t>(c.root), Relation::Nsubjpass);
+  EXPECT_EQ(word_at(subj), "host1:13562");
+  const auto agent = c.dependent_of(static_cast<std::size_t>(c.root), Relation::Nmod);
+  EXPECT_EQ(word_at(agent), "fetcher");
+}
+
+TEST_F(DepParserTest, XcompAboutTo) {
+  // Fig. 1 line 1: "fetcher # 1 about to shuffle output of map attempt_01"
+  const auto clauses = parse("fetcher # 1 about to shuffle output of map attempt_01");
+  ASSERT_EQ(clauses.size(), 1u);
+  const auto& c = clauses[0];
+  EXPECT_EQ(word_at(c.root), "shuffle");
+  EXPECT_EQ(word_at(c.dependent_of(static_cast<std::size_t>(c.root), Relation::Nsubj)),
+            "fetcher");
+  // dobj head is the last noun of the NP run "output of map attempt_01"...
+  const auto obj = c.dependent_of(static_cast<std::size_t>(c.root), Relation::Dobj);
+  EXPECT_TRUE(word_at(obj) == "output" || word_at(obj) == "map" ||
+              word_at(obj) == "attempt_01");
+}
+
+TEST_F(DepParserTest, ReadBytesWithNmod) {
+  const auto clauses = parse("[fetcher # 1] read 2264 bytes from map-output for attempt_01");
+  ASSERT_EQ(clauses.size(), 1u);
+  const auto& c = clauses[0];
+  EXPECT_EQ(word_at(c.root), "read");
+  EXPECT_EQ(word_at(c.dependent_of(static_cast<std::size_t>(c.root), Relation::Nsubj)),
+            "fetcher");
+  EXPECT_EQ(word_at(c.dependent_of(static_cast<std::size_t>(c.root), Relation::Dobj)), "bytes");
+  EXPECT_EQ(word_at(c.dependent_of(static_cast<std::size_t>(c.root), Relation::Nmod)),
+            "map-output");
+}
+
+TEST_F(DepParserTest, TwoClausesSplitAtPeriod) {
+  // Fig. 4 sentence.
+  const auto clauses =
+      parse("Finished task 1.0 in stage 0.0 (TID 3). 2578 bytes result sent to driver");
+  ASSERT_EQ(clauses.size(), 2u);
+  EXPECT_EQ(word_at(clauses[0].root), "finished");
+  EXPECT_EQ(word_at(clauses[1].root), "sent");
+  const auto& c2 = clauses[1];
+  EXPECT_EQ(word_at(c2.dependent_of(static_cast<std::size_t>(c2.root), Relation::Nmod)),
+            "driver");
+}
+
+TEST_F(DepParserTest, NominalClauseHasNoPredicate) {
+  // The paper's missed-operation example (§6.2).
+  const auto clauses = parse("Down to the last merge-pass");
+  ASSERT_EQ(clauses.size(), 1u);
+  EXPECT_TRUE(clauses[0].nominal_root);
+}
+
+TEST_F(DepParserTest, ImperativeGerundStart) {
+  const auto clauses = parse("Registering BlockManager bm_1");
+  ASSERT_EQ(clauses.size(), 1u);
+  const auto& c = clauses[0];
+  EXPECT_EQ(word_at(c.root), "registering");
+  EXPECT_FALSE(c.nominal_root);
+  // No subject before a clause-initial gerund.
+  EXPECT_LT(c.dependent_of(static_cast<std::size_t>(c.root), Relation::Nsubj), 0);
+}
+
+TEST_F(DepParserTest, XcompAllowedToCommit) {
+  const auto clauses = parse("Task attempt attempt_01 is allowed to commit now");
+  ASSERT_EQ(clauses.size(), 1u);
+  const auto& c = clauses[0];
+  EXPECT_EQ(word_at(c.root), "allowed");
+  EXPECT_TRUE(c.passive);
+  bool has_xcomp = false;
+  for (const auto& d : c.deps) {
+    if (d.rel == Relation::Xcomp && word_at(static_cast<std::ptrdiff_t>(d.dependent)) == "commit")
+      has_xcomp = true;
+  }
+  EXPECT_TRUE(has_xcomp);
+}
+
+TEST_F(DepParserTest, EmptyInput) {
+  EXPECT_TRUE(parse("").empty());
+}
+
+TEST_F(DepParserTest, ClauseBoundariesSkipEmptyClauses) {
+  const auto clauses = parse("done. . done");
+  // No empty clause objects for consecutive periods.
+  for (const auto& c : clauses) EXPECT_GT(c.end, c.begin);
+}
+
+TEST(RelationNames, ToString) {
+  EXPECT_EQ(to_string(Relation::Root), "ROOT");
+  EXPECT_EQ(to_string(Relation::Nsubjpass), "nsubjpass");
+  EXPECT_EQ(to_string(Relation::Xcomp), "xcomp");
+}

@@ -1,0 +1,117 @@
+#include "nlp/hmm_tagger.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simsys/workload.hpp"
+
+using namespace intellog;
+using namespace intellog::nlp;
+
+namespace {
+
+std::vector<std::string> corpus_messages(const std::string& system, int jobs,
+                                         std::uint64_t seed) {
+  simsys::ClusterSpec cluster;
+  simsys::WorkloadGenerator gen(system, seed);
+  std::vector<std::string> out;
+  for (int i = 0; i < jobs; ++i) {
+    const simsys::JobResult job = simsys::run_job(gen.training_job(), cluster);
+    for (const auto& s : job.sessions) {
+      for (const auto& rec : s.records) out.push_back(rec.content);
+    }
+  }
+  return out;
+}
+
+Token make(std::string text, PosTag tag) {
+  Token t(std::move(text));
+  t.tag = tag;
+  return t;
+}
+
+}  // namespace
+
+TEST(HmmTagger, UntrainedReturnsDefaultTokens) {
+  HmmTagger hmm;
+  EXPECT_FALSE(hmm.trained());
+  const auto toks = hmm.tag({"hello", "world"});
+  ASSERT_EQ(toks.size(), 2u);
+}
+
+TEST(HmmTagger, LearnsToyGrammar) {
+  // DT NN VBZ NN, with unambiguous words.
+  std::vector<std::vector<Token>> data;
+  for (int i = 0; i < 20; ++i) {
+    data.push_back({make("the", PosTag::DT), make("task", PosTag::NN),
+                    make("reads", PosTag::VBZ), make("blocks", PosTag::NNS)});
+    data.push_back({make("the", PosTag::DT), make("driver", PosTag::NN),
+                    make("sends", PosTag::VBZ), make("results", PosTag::NNS)});
+  }
+  HmmTagger hmm;
+  hmm.train(data);
+  const auto toks = hmm.tag({"the", "driver", "reads", "blocks"});
+  EXPECT_EQ(toks[0].tag, PosTag::DT);
+  EXPECT_EQ(toks[1].tag, PosTag::NN);
+  EXPECT_EQ(toks[2].tag, PosTag::VBZ);
+  EXPECT_EQ(toks[3].tag, PosTag::NNS);
+}
+
+TEST(HmmTagger, TransitionsDisambiguateHomonyms) {
+  // "map" is NN after DT but VB after TO in the training signal.
+  std::vector<std::vector<Token>> data;
+  for (int i = 0; i < 30; ++i) {
+    data.push_back({make("the", PosTag::DT), make("map", PosTag::NN)});
+    data.push_back({make("to", PosTag::TO), make("map", PosTag::VB)});
+  }
+  HmmTagger hmm;
+  hmm.train(data);
+  EXPECT_EQ(hmm.tag({"the", "map"})[1].tag, PosTag::NN);
+  EXPECT_EQ(hmm.tag({"to", "map"})[1].tag, PosTag::VB);
+}
+
+TEST(HmmTagger, UnknownWordsUseSuffixBackoff) {
+  std::vector<std::vector<Token>> data;
+  for (int i = 0; i < 30; ++i) {
+    data.push_back({make("starting", PosTag::VBG), make("task", PosTag::NN)});
+    data.push_back({make("stopping", PosTag::VBG), make("system", PosTag::NN)});
+  }
+  HmmTagger hmm;
+  hmm.train(data);
+  // "flushing" is unseen; the -ing suffix row says VBG.
+  EXPECT_EQ(hmm.tag({"flushing", "task"})[0].tag, PosTag::VBG);
+}
+
+TEST(HmmTagger, BootstrapAgreesWithTeacherOnHeldOut) {
+  const PosTagger teacher;
+  HmmTagger hmm;
+  hmm.bootstrap(teacher, corpus_messages("spark", 6, 91));
+  EXPECT_TRUE(hmm.trained());
+  EXPECT_GT(hmm.vocabulary_size(), 50u);
+  // Held-out corpus from different jobs/seed: high (not perfect) agreement.
+  const double agree = hmm.agreement(teacher, corpus_messages("spark", 2, 92));
+  EXPECT_GT(agree, 0.9);
+  EXPECT_LE(agree, 1.0);
+}
+
+TEST(HmmTagger, CrossSystemGeneralization) {
+  const PosTagger teacher;
+  HmmTagger hmm;
+  hmm.bootstrap(teacher, corpus_messages("mapreduce", 3, 93));
+  // Tagging a Spark sentence it never saw still yields sane structure.
+  const auto toks = hmm.tag_message("Registering BlockManager BlockManagerId(2)");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_TRUE(is_verb(toks[0].tag));
+}
+
+TEST(HmmTagger, Fig3SentenceMatchesRuleTagger) {
+  const PosTagger teacher;
+  HmmTagger hmm;
+  hmm.bootstrap(teacher, corpus_messages("mapreduce", 5, 94));
+  const auto hmm_tags = hmm.tag_message("Starting MapTask metrics system");
+  const auto rule_tags = teacher.tag_message("Starting MapTask metrics system");
+  ASSERT_EQ(hmm_tags.size(), rule_tags.size());
+  EXPECT_EQ(hmm_tags[0].tag, PosTag::VBG);
+  for (std::size_t i = 1; i < hmm_tags.size(); ++i) {
+    EXPECT_TRUE(is_noun(hmm_tags[i].tag)) << hmm_tags[i].text;
+  }
+}

@@ -1,0 +1,51 @@
+#include "nlp/lemmatizer.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace intellog::nlp;
+
+class LemmatizerTest : public ::testing::Test {
+ protected:
+  LemmatizerTest() : lemmatizer(&lexicon) {}
+  Lexicon lexicon;
+  Lemmatizer lemmatizer;
+};
+
+TEST_F(LemmatizerTest, LexiconIrregulars) {
+  EXPECT_EQ(lemmatizer.lemma("vertices"), "vertex");
+  EXPECT_EQ(lemmatizer.lemma("children"), "child");
+  EXPECT_EQ(lemmatizer.lemma("sent"), "send");
+  EXPECT_EQ(lemmatizer.lemma("ran"), "run");
+  EXPECT_EQ(lemmatizer.lemma("freed"), "free");
+  EXPECT_EQ(lemmatizer.lemma("shuffling"), "shuffle");
+}
+
+TEST_F(LemmatizerTest, KnownBaseFormsUnchanged) {
+  EXPECT_EQ(lemmatizer.lemma("task"), "task");
+  EXPECT_EQ(lemmatizer.lemma("status"), "status");
+  EXPECT_EQ(lemmatizer.lemma("metrics"), "metrics");  // registered as its own plural
+}
+
+TEST_F(LemmatizerTest, UnknownPluralFallback) {
+  EXPECT_EQ(lemmatizer.lemma("widgets"), "widget");
+  EXPECT_EQ(lemmatizer.lemma("batches"), "batch");
+  EXPECT_EQ(lemmatizer.lemma("factories"), "factory");
+  // -ss, -us, -is words are not plurals.
+  EXPECT_EQ(lemmatizer.lemma("clazz"), "clazz");
+  EXPECT_EQ(lemmatizer.lemma("corpus"), "corpus");
+  EXPECT_EQ(lemmatizer.lemma("analysis"), "analysis");
+}
+
+TEST_F(LemmatizerTest, PhraseLemmatizesHeadOnly) {
+  EXPECT_EQ(lemmatizer.lemmatize_phrase({"map", "completion", "events"}),
+            (std::vector<std::string>{"map", "completion", "event"}));
+  EXPECT_EQ(lemmatizer.lemmatize_phrase({"Remote", "Fetches"}),
+            (std::vector<std::string>{"remote", "fetch"}));
+  EXPECT_TRUE(lemmatizer.lemmatize_phrase({}).empty());
+}
+
+TEST(LemmatizerNoLexicon, FallbackOnly) {
+  Lemmatizer bare;
+  EXPECT_EQ(bare.lemma("tasks"), "task");
+  EXPECT_EQ(bare.lemma("task"), "task");
+}

@@ -1,0 +1,100 @@
+#include "nlp/lexicon.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace intellog::nlp;
+
+class LexiconTest : public ::testing::Test {
+ protected:
+  Lexicon lex;
+};
+
+TEST_F(LexiconTest, ClosedClassWords) {
+  EXPECT_EQ(lex.lookup("the")->primary, PosTag::DT);
+  EXPECT_EQ(lex.lookup("of")->primary, PosTag::IN);
+  EXPECT_EQ(lex.lookup("to")->primary, PosTag::TO);
+  EXPECT_EQ(lex.lookup("and")->primary, PosTag::CC);
+  EXPECT_EQ(lex.lookup("will")->primary, PosTag::MD);
+}
+
+TEST_F(LexiconTest, VerbInflectionsGenerated) {
+  // Regular verb: fetch -> fetches/fetched/fetching.
+  EXPECT_TRUE(lex.lookup("fetches")->can_be(PosTag::VBZ));
+  EXPECT_TRUE(lex.lookup("fetched")->can_be(PosTag::VBD));
+  EXPECT_TRUE(lex.lookup("fetched")->can_be(PosTag::VBN));
+  EXPECT_TRUE(lex.lookup("fetching")->can_be(PosTag::VBG));
+  // e-dropping gerund.
+  EXPECT_TRUE(lex.lookup("storing")->can_be(PosTag::VBG));
+  // y -> ied.
+  EXPECT_TRUE(lex.lookup("retried")->can_be(PosTag::VBD));
+  EXPECT_TRUE(lex.lookup("retries")->can_be(PosTag::VBZ));
+}
+
+TEST_F(LexiconTest, IrregularVerbs) {
+  EXPECT_TRUE(lex.lookup("sent")->can_be(PosTag::VBD));
+  EXPECT_TRUE(lex.lookup("wrote")->can_be(PosTag::VBD));
+  EXPECT_TRUE(lex.lookup("written")->can_be(PosTag::VBN));
+  EXPECT_TRUE(lex.lookup("ran")->can_be(PosTag::VBD));
+  EXPECT_TRUE(lex.lookup("shutting")->can_be(PosTag::VBG));
+  EXPECT_TRUE(lex.lookup("read")->can_be(PosTag::VBD));
+  EXPECT_TRUE(lex.lookup("read")->can_be(PosTag::VB));
+}
+
+TEST_F(LexiconTest, NounVerbHomonymsPreferNoun) {
+  for (const char* w : {"map", "output", "shuffle", "spill", "merge", "sort"}) {
+    const auto e = lex.lookup(w);
+    ASSERT_TRUE(e.has_value()) << w;
+    EXPECT_TRUE(e->can_be_noun()) << w;
+    EXPECT_TRUE(e->can_be_verb()) << w;
+    EXPECT_EQ(e->primary, PosTag::NN) << w;
+  }
+}
+
+TEST_F(LexiconTest, PluralsRegistered) {
+  EXPECT_EQ(lex.lookup("tasks")->noun_reading, PosTag::NNS);
+  EXPECT_EQ(lex.lookup("vertices")->noun_reading, PosTag::NNS);
+  EXPECT_EQ(lex.lookup("processes")->noun_reading, PosTag::NNS);
+  EXPECT_EQ(lex.lookup("queries")->noun_reading, PosTag::NNS);
+}
+
+TEST_F(LexiconTest, LemmasRecorded) {
+  EXPECT_EQ(lex.lemma("retried").value(), "retry");
+  EXPECT_EQ(lex.lemma("vertices").value(), "vertex");
+  EXPECT_EQ(lex.lemma("sent").value(), "send");
+  EXPECT_EQ(lex.lemma("running").value(), "run");
+  EXPECT_EQ(lex.lemma("children").value(), "child");
+  EXPECT_FALSE(lex.lemma("zzzunknown").has_value());
+}
+
+TEST_F(LexiconTest, Adjectives) {
+  EXPECT_EQ(lex.lookup("remote")->primary, PosTag::JJ);
+  EXPECT_EQ(lex.lookup("temporary")->primary, PosTag::JJ);
+  EXPECT_TRUE(lex.lookup("free")->can_be_adjective());
+  EXPECT_TRUE(lex.lookup("free")->can_be_verb());
+}
+
+TEST_F(LexiconTest, UnknownWordReturnsNullopt) {
+  EXPECT_FALSE(lex.lookup("frobnicate").has_value());
+}
+
+TEST_F(LexiconTest, UserExtension) {
+  lex.add("frobnicator", PosTag::NN);
+  EXPECT_TRUE(lex.lookup("frobnicator")->can_be_noun());
+  lex.add_verb("frobnicate");
+  EXPECT_TRUE(lex.lookup("frobnicating")->can_be(PosTag::VBG));
+  lex.add_noun("gizmo");
+  EXPECT_EQ(lex.lemma("gizmos").value(), "gizmo");
+}
+
+TEST(LexiconMorphology, RegularForms) {
+  EXPECT_EQ(regular_s_form("fetch"), "fetches");
+  EXPECT_EQ(regular_s_form("pass"), "passes");
+  EXPECT_EQ(regular_s_form("registry"), "registries");
+  EXPECT_EQ(regular_s_form("task"), "tasks");
+  EXPECT_EQ(regular_past("free"), "freed");
+  EXPECT_EQ(regular_past("retry"), "retried");
+  EXPECT_EQ(regular_past("launch"), "launched");
+  EXPECT_EQ(regular_gerund("store"), "storing");
+  EXPECT_EQ(regular_gerund("read"), "reading");
+  EXPECT_EQ(regular_gerund("free"), "freeing");
+}

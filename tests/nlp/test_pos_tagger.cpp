@@ -1,0 +1,133 @@
+#include "nlp/pos_tagger.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nlp/tokenizer.hpp"
+
+using namespace intellog::nlp;
+
+namespace {
+
+std::vector<PosTag> tags_of(const PosTagger& tagger, std::string_view message) {
+  std::vector<PosTag> out;
+  for (const auto& t : tagger.tag_message(message)) out.push_back(t.tag);
+  return out;
+}
+
+PosTag tag_of_word(const PosTagger& tagger, std::string_view message, std::string_view word) {
+  for (const auto& t : tagger.tag_message(message)) {
+    if (t.text == word) return t.tag;
+  }
+  ADD_FAILURE() << "word '" << word << "' not found in '" << message << "'";
+  return PosTag::FW;
+}
+
+}  // namespace
+
+class PosTaggerTest : public ::testing::Test {
+ protected:
+  PosTagger tagger;
+};
+
+TEST_F(PosTaggerTest, Fig3Example) {
+  // "Starting MapTask metrics system" — the paper's Fig. 3.
+  const auto tags = tags_of(tagger, "Starting MapTask metrics system");
+  EXPECT_EQ(tags[0], PosTag::VBG);       // Starting
+  EXPECT_TRUE(is_noun(tags[1]));          // MapTask (class name)
+  EXPECT_TRUE(is_noun(tags[2]));          // metrics
+  EXPECT_TRUE(is_noun(tags[3]));          // system
+}
+
+TEST_F(PosTaggerTest, NumbersAreCd) {
+  EXPECT_EQ(tag_of_word(tagger, "read 2264 bytes", "2264"), PosTag::CD);
+  EXPECT_EQ(tag_of_word(tagger, "task 1.0 in stage 0.0", "1.0"), PosTag::CD);
+}
+
+TEST_F(PosTaggerTest, IdentifiersAreNnp) {
+  EXPECT_EQ(tag_of_word(tagger, "output of map attempt_01", "attempt_01"), PosTag::NNP);
+  EXPECT_EQ(tag_of_word(tagger, "host1:13562 freed by fetcher", "host1:13562"), PosTag::NNP);
+  EXPECT_EQ(tag_of_word(tagger, "stored in /tmp/spark", "/tmp/spark"), PosTag::NNP);
+}
+
+TEST_F(PosTaggerTest, VerbAfterToIsBase) {
+  // "about to shuffle" — shuffle is a noun/verb homonym.
+  EXPECT_EQ(tag_of_word(tagger, "fetcher about to shuffle output", "shuffle"), PosTag::VB);
+  EXPECT_EQ(tag_of_word(tagger, "allowed to commit now", "commit"), PosTag::VB);
+}
+
+TEST_F(PosTaggerTest, NounAfterPrepositionOrDeterminer) {
+  EXPECT_TRUE(is_noun(tag_of_word(tagger, "output of map attempt_01", "map")));
+  EXPECT_TRUE(is_noun(tag_of_word(tagger, "finished the merge", "merge")));
+  EXPECT_TRUE(is_noun(tag_of_word(tagger, "waiting for fetch", "fetch")));
+}
+
+TEST_F(PosTaggerTest, PassiveParticipleBeforeBy) {
+  // "freed by fetcher" — Fig. 1 line 3.
+  EXPECT_EQ(tag_of_word(tagger, "host1:13562 freed by fetcher # 1 in 4ms", "freed"),
+            PosTag::VBN);
+}
+
+TEST_F(PosTaggerTest, PastAfterBeIsParticiple) {
+  EXPECT_EQ(tag_of_word(tagger, "task was killed by user", "killed"), PosTag::VBN);
+  EXPECT_EQ(tag_of_word(tagger, "block is stored in memory", "stored"), PosTag::VBN);
+}
+
+TEST_F(PosTaggerTest, NounHomonymBeforeNumberIsVerb) {
+  // "[fetcher # 1] read 2264 bytes" — read acts as the predicate.
+  EXPECT_TRUE(is_verb(tag_of_word(tagger, "[fetcher # 1] read 2264 bytes from map-output",
+                                  "read")));
+}
+
+TEST_F(PosTaggerTest, SymbolsAndPunct) {
+  const auto tags = tags_of(tagger, "[fetcher # 1]");
+  EXPECT_EQ(tags[0], PosTag::PUNCT);  // [
+  EXPECT_EQ(tags[2], PosTag::SYM);    // #
+  EXPECT_EQ(tags[3], PosTag::CD);     // 1
+  EXPECT_EQ(tags[4], PosTag::PUNCT);  // ]
+  EXPECT_EQ(tag_of_word(tagger, "log key * here", "*"), PosTag::SYM);
+}
+
+TEST_F(PosTaggerTest, UnknownWordSuffixes) {
+  EXPECT_EQ(tag_of_word(tagger, "frobnicating the queue", "frobnicating"), PosTag::VBG);
+  EXPECT_EQ(tag_of_word(tagger, "task gloriously done", "gloriously"), PosTag::RB);
+  EXPECT_TRUE(is_noun(tag_of_word(tagger, "finished the lobotomization", "lobotomization")));
+}
+
+TEST_F(PosTaggerTest, AcronymsAreProperNouns) {
+  EXPECT_EQ(tag_of_word(tagger, "finished task (TID 3)", "TID"), PosTag::NNP);
+  // "DAG" is a lexicon noun (Tez vocabulary), so it reads as NN, not NNP;
+  // unknown acronyms fall back to NNP.
+  EXPECT_TRUE(is_noun(tag_of_word(tagger, "submitted DAG to cluster", "DAG")));
+  EXPECT_EQ(tag_of_word(tagger, "received SIGKILL from RM", "SIGKILL"), PosTag::NNP);
+}
+
+TEST_F(PosTaggerTest, Fig4Sentence) {
+  // "Finished task 1.0 in stage 0.0 (TID 3). 2578 bytes result sent to driver"
+  const auto toks =
+      tagger.tag_message("Finished task 1.0 in stage 0.0 (TID 3). 2578 bytes result sent to driver");
+  // Spot checks.
+  EXPECT_TRUE(is_verb(toks[0].tag));                   // Finished
+  EXPECT_TRUE(is_noun(tag_of_word(tagger, "2578 bytes result sent to driver", "result")));
+  EXPECT_TRUE(is_verb(tag_of_word(tagger, "2578 bytes result sent to driver", "sent")));
+  EXPECT_TRUE(is_noun(tag_of_word(tagger, "2578 bytes result sent to driver", "driver")));
+}
+
+TEST_F(PosTaggerTest, SentenceRestartAfterPeriod) {
+  // After '.', capitalization does not imply a proper noun.
+  const auto toks = tagger.tag_message("4 finished. Closing");
+  EXPECT_EQ(toks.back().tag, PosTag::VBG);
+}
+
+TEST_F(PosTaggerTest, ModalForcesVerb) {
+  EXPECT_EQ(tag_of_word(tagger, "container will exit now", "exit"), PosTag::VB);
+}
+
+TEST(PosTagNames, RoundTrip) {
+  for (const PosTag t : {PosTag::NN, PosTag::NNS, PosTag::NNP, PosTag::JJ, PosTag::VB,
+                         PosTag::VBD, PosTag::VBG, PosTag::VBN, PosTag::VBZ, PosTag::IN,
+                         PosTag::TO, PosTag::DT, PosTag::CD, PosTag::RB, PosTag::MD}) {
+    EXPECT_EQ(pos_from_string(to_string(t)), t);
+  }
+  EXPECT_EQ(pos_from_string("JJR"), PosTag::JJ);
+  EXPECT_EQ(pos_from_string("???"), PosTag::FW);
+}

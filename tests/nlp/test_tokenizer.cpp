@@ -1,0 +1,88 @@
+#include "nlp/tokenizer.hpp"
+
+#include <gtest/gtest.h>
+
+using intellog::nlp::is_atomic_token;
+using intellog::nlp::tokenize;
+
+TEST(Tokenizer, PlainSentence) {
+  EXPECT_EQ(tokenize("Starting MapTask metrics system"),
+            (std::vector<std::string>{"Starting", "MapTask", "metrics", "system"}));
+}
+
+TEST(Tokenizer, KeepsIdentifiersIntact) {
+  const auto t = tokenize("read 2264 bytes from map-output for attempt_01");
+  EXPECT_EQ(t, (std::vector<std::string>{"read", "2264", "bytes", "from", "map-output", "for",
+                                         "attempt_01"}));
+}
+
+TEST(Tokenizer, HostPortIsAtomic) {
+  const auto t = tokenize("host1:13562 freed by fetcher");
+  EXPECT_EQ(t[0], "host1:13562");
+}
+
+TEST(Tokenizer, SplitsNumberUnitFusion) {
+  EXPECT_EQ(tokenize("in 4ms"), (std::vector<std::string>{"in", "4", "ms"}));
+  EXPECT_EQ(tokenize("took 2.5s"), (std::vector<std::string>{"took", "2.5", "s"}));
+  EXPECT_EQ(tokenize("128MB limit"), (std::vector<std::string>{"128", "MB", "limit"}));
+}
+
+TEST(Tokenizer, HashIsItsOwnToken) {
+  EXPECT_EQ(tokenize("fetcher#1 done"), (std::vector<std::string>{"fetcher", "#", "1", "done"}));
+  EXPECT_EQ(tokenize("fetcher # 1"), (std::vector<std::string>{"fetcher", "#", "1"}));
+}
+
+TEST(Tokenizer, BracketsAndSentencePunct) {
+  const auto t = tokenize("[fetcher] read 1 byte.");
+  EXPECT_EQ(t, (std::vector<std::string>{"[", "fetcher", "]", "read", "1", "byte", "."}));
+}
+
+TEST(Tokenizer, ParensAroundIdentifier) {
+  const auto t = tokenize("(TID 3).");
+  EXPECT_EQ(t, (std::vector<std::string>{"(", "TID", "3", ")", "."}));
+}
+
+TEST(Tokenizer, DecimalNumbersSurvive) {
+  const auto t = tokenize("task 1.0 in stage 0.0");
+  EXPECT_EQ(t, (std::vector<std::string>{"task", "1.0", "in", "stage", "0.0"}));
+}
+
+TEST(Tokenizer, PathsAreAtomic) {
+  const auto t = tokenize("Deleting directory /tmp/spark-abc/blockmgr-1.");
+  EXPECT_EQ(t.back(), ".");
+  EXPECT_EQ(t[t.size() - 2], "/tmp/spark-abc/blockmgr-1");
+}
+
+TEST(Tokenizer, UrisAreAtomic) {
+  const auto t = tokenize("saved to hdfs://master:9000/user/out");
+  EXPECT_EQ(t[2], "hdfs://master:9000/user/out");
+  EXPECT_TRUE(is_atomic_token("hdfs://master:9000/user/out"));
+}
+
+TEST(Tokenizer, TrailingColonStripped) {
+  const auto t = tokenize("Processing split: /data/part-0");
+  EXPECT_EQ(t, (std::vector<std::string>{"Processing", "split", ":", "/data/part-0"}));
+}
+
+TEST(Tokenizer, EqualsSplits) {
+  const auto t = tokenize("memory=4096 used");
+  EXPECT_EQ(t, (std::vector<std::string>{"memory", "=", "4096", "used"}));
+}
+
+TEST(Tokenizer, AsteriskKept) {
+  EXPECT_EQ(tokenize("freed by fetcher # *"),
+            (std::vector<std::string>{"freed", "by", "fetcher", "#", "*"}));
+}
+
+TEST(Tokenizer, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(tokenize("").empty());
+  EXPECT_TRUE(tokenize("   \t  ").empty());
+}
+
+TEST(Tokenizer, AtomicPredicate) {
+  EXPECT_TRUE(is_atomic_token("attempt_01"));
+  EXPECT_TRUE(is_atomic_token("host1:13562"));
+  EXPECT_TRUE(is_atomic_token("/var/log/app.log"));
+  EXPECT_FALSE(is_atomic_token("fetcher"));
+  EXPECT_FALSE(is_atomic_token("4ms"));
+}

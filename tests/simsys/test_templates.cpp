@@ -1,0 +1,118 @@
+#include "simsys/template_corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simsys/mapreduce_system.hpp"
+#include "simsys/spark_system.hpp"
+#include "simsys/tensorflow_system.hpp"
+#include "simsys/tez_system.hpp"
+#include "simsys/yarn_system.hpp"
+
+using namespace intellog::simsys;
+using intellog::logparse::FieldCategory;
+using intellog::logparse::GroundTruth;
+
+TEST(TemplateText, PlaceholderParsing) {
+  std::vector<std::string> parts;
+  std::vector<FieldSpec> fields;
+  parse_template_text("fetcher # {I:FETCHER} about to shuffle output of map {I:ATTEMPT}", parts,
+                      fields);
+  ASSERT_EQ(fields.size(), 2u);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "fetcher # ");
+  EXPECT_EQ(parts[1], " about to shuffle output of map ");
+  EXPECT_EQ(fields[0].category, FieldCategory::Identifier);
+  EXPECT_EQ(fields[0].id_type, "FETCHER");
+  EXPECT_EQ(fields[1].id_type, "ATTEMPT");
+}
+
+TEST(TemplateText, AllPlaceholderKinds) {
+  std::vector<std::string> parts;
+  std::vector<FieldSpec> fields;
+  parse_template_text("{L} freed by fetcher # {I:F} in {V} ms for {W}", parts, fields);
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0].category, FieldCategory::Locality);
+  EXPECT_EQ(fields[1].category, FieldCategory::Identifier);
+  EXPECT_EQ(fields[2].category, FieldCategory::Value);
+  EXPECT_EQ(fields[3].category, FieldCategory::Other);
+}
+
+TEST(TemplateText, NoPlaceholders) {
+  std::vector<std::string> parts;
+  std::vector<FieldSpec> fields;
+  parse_template_text("Shutdown hook called", parts, fields);
+  EXPECT_TRUE(fields.empty());
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "Shutdown hook called");
+}
+
+TEST(TemplateText, UnrecognizedBracesKeptVerbatim) {
+  std::vector<std::string> parts;
+  std::vector<FieldSpec> fields;
+  parse_template_text("literal {braces} here {V}", parts, fields);
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(parts[0], "literal {braces} here ");
+}
+
+TEST(Template, RenderFillsValuesAndTruth) {
+  TemplateCorpus c("test");
+  c.add("t", "INFO", "a.B", "read {V} bytes for {I:ATTEMPT}", {"byte"}, {"read"});
+  GroundTruth truth;
+  const std::string msg = c.by_name("t").render({"2264", "attempt_01"}, &truth);
+  EXPECT_EQ(msg, "read 2264 bytes for attempt_01");
+  ASSERT_EQ(truth.fields.size(), 2u);
+  EXPECT_EQ(truth.fields[0].text, "2264");
+  EXPECT_EQ(truth.fields[0].category, FieldCategory::Value);
+  EXPECT_EQ(truth.fields[1].id_type, "ATTEMPT");
+  EXPECT_EQ(truth.operations, (std::vector<std::string>{"read"}));
+  EXPECT_TRUE(truth.natural_language);
+}
+
+TEST(Template, KeyString) {
+  TemplateCorpus c("test");
+  c.add("t", "INFO", "a.B", "read {V} bytes for {I:A}");
+  EXPECT_EQ(c.by_name("t").key_string(), "read * bytes for *");
+}
+
+TEST(Template, UnknownNameThrows) {
+  TemplateCorpus c("test");
+  EXPECT_THROW(c.by_name("nope"), std::out_of_range);
+  EXPECT_FALSE(c.has("nope"));
+}
+
+// --- corpora sanity ---------------------------------------------------------
+
+namespace {
+
+void check_corpus(const TemplateCorpus& corpus, std::size_t min_templates) {
+  EXPECT_GE(corpus.size(), min_templates) << corpus.system();
+  std::size_t nl = 0;
+  for (const auto& t : corpus.all()) {
+    EXPECT_EQ(t.parts.size(), t.fields.size() + 1) << corpus.system() << " template " << t.id;
+    EXPECT_FALSE(t.source.empty());
+    if (t.natural_language) {
+      ++nl;
+      EXPECT_FALSE(t.key_string().empty());
+    }
+    for (const auto& f : t.fields) {
+      if (f.category == FieldCategory::Identifier) EXPECT_FALSE(f.id_type.empty());
+    }
+  }
+  // Most templates of every system are natural language (Table 1).
+  EXPECT_GT(nl * 10, corpus.size() * 7) << corpus.system();
+}
+
+}  // namespace
+
+TEST(Corpora, SparkSanity) { check_corpus(spark_corpus(), 30); }
+TEST(Corpora, MapReduceSanity) { check_corpus(mapreduce_corpus(), 28); }
+TEST(Corpora, TezSanity) { check_corpus(tez_corpus(), 20); }
+TEST(Corpora, YarnSanity) { check_corpus(yarn_corpus(), 10); }
+TEST(Corpora, NovaSanity) { check_corpus(nova_corpus(), 10); }
+TEST(Corpora, TensorFlowSanity) { check_corpus(tensorflow_corpus(), 18); }
+
+TEST(Corpora, SystemsNamed) {
+  EXPECT_EQ(spark_corpus().system(), "spark");
+  EXPECT_EQ(mapreduce_corpus().system(), "mapreduce");
+  EXPECT_EQ(tez_corpus().system(), "tez");
+}

@@ -1,0 +1,232 @@
+// intellog — command-line front end for the pipeline.
+//
+//   intellog train  <logdir> -o model.json            build a model from
+//                                                     fault-free log files
+//   intellog detect <logdir> -m model.json [--json]   analyze new sessions
+//   intellog graph  -m model.json [--dot|--json]      inspect the HW-graph
+//   intellog keys   -m model.json                     list Intel Keys
+//
+// Log directories hold one `<container_id>.log` file per session (any mix
+// of the supported formats; auto-detected per file). `tools/loggen`
+// produces compatible datasets from the simulators.
+#include <iostream>
+#include <string>
+
+#include "core/message_store.hpp"
+#include "core/model_io.hpp"
+#include "core/query.hpp"
+#include "logparse/log_io.hpp"
+
+using namespace intellog;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage:\n"
+               "  intellog train  <logdir> -o <model.json>\n"
+               "  intellog detect <logdir> -m <model.json> [--json]\n"
+               "  intellog graph  -m <model.json> [--dot|--json|--critical]\n"
+               "  intellog keys   -m <model.json>\n"
+               "  intellog query  <logdir> -m <model.json> -q '<expr>' [--json]\n"
+               "      expr: e.g. 'id.FETCHER=1 AND locality~host1', 'key=12 OR value>1000'\n";
+  return 2;
+}
+
+struct Args {
+  std::string command, logdir, model_path, output_path, query_text;
+  bool json = false, dot = false, critical_only = false;
+};
+
+bool parse_args(int argc, char** argv, Args& args) {
+  if (argc < 2) return false;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (a == "-m") {
+      const char* v = next();
+      if (!v) return false;
+      args.model_path = v;
+    } else if (a == "-o") {
+      const char* v = next();
+      if (!v) return false;
+      args.output_path = v;
+    } else if (a == "-q") {
+      const char* v = next();
+      if (!v) return false;
+      args.query_text = v;
+    } else if (a == "--json") {
+      args.json = true;
+    } else if (a == "--dot") {
+      args.dot = true;
+    } else if (a == "--critical") {
+      args.critical_only = true;
+    } else if (!a.empty() && a[0] != '-' && args.logdir.empty()) {
+      args.logdir = a;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+int cmd_train(const Args& args) {
+  if (args.logdir.empty() || args.output_path.empty()) return usage();
+  std::cerr << "reading " << args.logdir << "...\n";
+  const auto sessions = logparse::read_log_directory(args.logdir);
+  if (sessions.empty()) {
+    std::cerr << "no parseable .log files found\n";
+    return 1;
+  }
+  std::size_t lines = 0;
+  for (const auto& s : sessions) lines += s.records.size();
+  std::cerr << "training on " << sessions.size() << " sessions (" << lines << " lines)...\n";
+  core::IntelLog il;
+  il.train(sessions);
+  core::save_model_file(il, args.output_path);
+  std::cerr << "model: " << il.spell().size() << " log keys, " << il.intel_keys().size()
+            << " Intel Keys, " << il.entity_groups().groups.size() << " entity groups ("
+            << il.hw_graph().critical_group_count() << " critical) -> " << args.output_path
+            << "\n";
+  return 0;
+}
+
+int cmd_detect(const Args& args) {
+  if (args.logdir.empty() || args.model_path.empty()) return usage();
+  const core::IntelLog il = core::load_model_file(args.model_path);
+  const auto sessions = logparse::read_log_directory(args.logdir);
+  std::size_t anomalous = 0;
+  common::Json reports = common::Json::array();
+  for (const auto& s : sessions) {
+    const core::AnomalyReport report = il.detect(s);
+    if (!report.anomalous()) continue;
+    ++anomalous;
+    if (args.json) {
+      reports.push_back(report.to_json());
+      continue;
+    }
+    std::cout << "ANOMALY " << s.container_id << " (" << s.records.size() << " lines)\n";
+    for (const auto& u : report.unexpected) {
+      std::cout << "  unexpected: " << u.content << "\n";
+      for (const auto& iv : u.message.identifiers) {
+        std::cout << "      id " << iv.type << "=" << iv.value << "\n";
+      }
+      for (const auto& loc : u.message.localities) {
+        std::cout << "      locality " << loc << "\n";
+      }
+    }
+    for (const auto& i : report.issues) {
+      std::cout << "  " << to_string(i.kind) << " in group '" << i.group << "'";
+      if (!i.missing_keys.empty()) {
+        std::cout << " missing keys:";
+        for (const int k : i.missing_keys) std::cout << " " << k;
+      }
+      std::cout << "\n";
+    }
+  }
+  if (args.json) {
+    std::cout << reports.dump(2) << "\n";
+  } else {
+    std::cout << anomalous << " / " << sessions.size() << " sessions anomalous\n";
+  }
+  return anomalous > 0 ? 3 : 0;  // nonzero exit when anomalies found
+}
+
+int cmd_graph(const Args& args) {
+  if (args.model_path.empty()) return usage();
+  const core::IntelLog il = core::load_model_file(args.model_path);
+  if (args.dot) {
+    std::cout << il.hw_graph().to_dot();
+    return 0;
+  }
+  if (args.json) {
+    std::cout << il.hw_graph_json().dump(2) << "\n";
+    return 0;
+  }
+  // §6.3: the critical view keeps only groups with multiple Intel Keys or
+  // repeated keys; "users can also choose to obtain a comprehensive
+  // HW-graph" — the default.
+  const std::function<bool(const std::string&)> subtree_has_critical =
+      [&](const std::string& g) {
+        if (il.hw_graph().groups().at(g).is_critical()) return true;
+        for (const auto& c : il.hw_graph().children_of(g)) {
+          if (subtree_has_critical(c)) return true;
+        }
+        return false;
+      };
+  const std::function<void(const std::string&, int)> print = [&](const std::string& g,
+                                                                 int depth) {
+    const auto& node = il.hw_graph().groups().at(g);
+    if (args.critical_only && !subtree_has_critical(g)) return;
+    std::cout << std::string(static_cast<std::size_t>(depth) * 2, ' ') << "- " << g
+              << (node.is_critical() ? " [critical]" : "") << "\n";
+    for (const auto& c : il.hw_graph().children_of(g)) print(c, depth + 1);
+  };
+  for (const auto& root : il.hw_graph().roots()) print(root, 0);
+  return 0;
+}
+
+int cmd_keys(const Args& args) {
+  if (args.model_path.empty()) return usage();
+  const core::IntelLog il = core::load_model_file(args.model_path);
+  for (const auto& [id, ik] : il.intel_keys()) {
+    std::cout << "[" << id << "] " << ik.key_text << "\n";
+    if (!ik.entities.empty()) {
+      std::cout << "    entities:";
+      for (const auto& e : ik.entities) std::cout << " '" << e << "'";
+      std::cout << "\n";
+    }
+    for (const auto& op : ik.operations) {
+      std::cout << "    op {" << (op.subj.empty() ? "_" : op.subj) << ", " << op.predicate
+                << ", " << (op.obj.empty() ? "_" : op.obj) << "}\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_query(const Args& args) {
+  if (args.logdir.empty() || args.model_path.empty() || args.query_text.empty()) return usage();
+  const core::IntelLog il = core::load_model_file(args.model_path);
+  const core::Query query = core::Query::parse(args.query_text);
+
+  core::MessageStore store;
+  for (const auto& session : logparse::read_log_directory(args.logdir)) {
+    store.add_all(il.to_intel_messages(session));
+    // Unexpected messages are structured on the fly (§4.2) so the
+    // case-study GroupBy/query workflow covers them too.
+    for (auto& u : il.detect(session).unexpected) store.add(std::move(u.message));
+  }
+  const auto hits = store.query([&](const core::IntelMessage& m) { return query.matches(m); });
+  if (args.json) {
+    common::Json arr = common::Json::array();
+    for (const auto* m : hits) arr.push_back(m->to_json());
+    std::cout << arr.dump(2) << "\n";
+  } else {
+    for (const auto* m : hits) {
+      std::cout << m->container_id << " t=" << m->timestamp_ms << " key=" << m->key_id;
+      for (const auto& iv : m->identifiers) std::cout << " " << iv.type << "=" << iv.value;
+      for (const auto& loc : m->localities) std::cout << " @" << loc;
+      std::cout << "\n";
+    }
+    std::cout << hits.size() << " / " << store.size() << " messages matched\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) return usage();
+  try {
+    if (args.command == "train") return cmd_train(args);
+    if (args.command == "detect") return cmd_detect(args);
+    if (args.command == "graph") return cmd_graph(args);
+    if (args.command == "keys") return cmd_keys(args);
+    if (args.command == "query") return cmd_query(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

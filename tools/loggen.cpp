@@ -1,0 +1,118 @@
+// loggen — generate an on-disk log dataset from the simulated systems.
+//
+//   loggen <outdir> [--system spark|mapreduce|tez|tensorflow]
+//          [--jobs N] [--seed S]
+//          [--fault none|abort|network|node] [--fault-node K]
+//          [--low-memory]
+//
+// Writes <outdir>/job_<n>/<container_id>.log in the system's native log
+// format, plus <outdir>/manifest.json recording the job specs and fault
+// ground truth (for scoring; the IntelLog CLI never reads it).
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/json.hpp"
+#include "logparse/log_io.hpp"
+#include "simsys/workload.hpp"
+
+using namespace intellog;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: loggen <outdir> [--system S] [--jobs N] [--seed S]\n"
+               "              [--fault none|abort|network|node] [--fault-node K]\n"
+               "              [--low-memory]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string outdir = argv[1];
+  std::string system = "spark";
+  int jobs = 5;
+  std::uint64_t seed = 1;
+  std::string fault_name = "none";
+  int fault_node = -1;
+  bool low_memory = false;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::exit(usage());
+      }
+      return argv[++i];
+    };
+    if (arg == "--system") system = next();
+    else if (arg == "--jobs") jobs = std::stoi(next());
+    else if (arg == "--seed") seed = std::stoull(next());
+    else if (arg == "--fault") fault_name = next();
+    else if (arg == "--fault-node") fault_node = std::stoi(next());
+    else if (arg == "--low-memory") low_memory = true;
+    else return usage();
+  }
+
+  simsys::ProblemKind kind = simsys::ProblemKind::None;
+  if (fault_name == "abort") kind = simsys::ProblemKind::SessionAbort;
+  else if (fault_name == "network") kind = simsys::ProblemKind::NetworkFailure;
+  else if (fault_name == "node") kind = simsys::ProblemKind::NodeFailure;
+  else if (fault_name != "none") return usage();
+
+  const simsys::ClusterSpec cluster;
+  simsys::WorkloadGenerator gen(system, seed);
+  const auto fmt = system == "spark" || system == "tensorflow"
+                       ? logparse::make_spark_formatter()
+                       : logparse::make_hadoop_formatter();
+
+  common::Json manifest = common::Json::object();
+  manifest["system"] = system;
+  manifest["seed"] = seed;
+  common::Json jobs_json = common::Json::array();
+
+  std::size_t total_lines = 0, total_sessions = 0;
+  for (int j = 0; j < jobs; ++j) {
+    simsys::JobSpec spec = gen.training_job();
+    if (low_memory) {
+      spec.container_memory_mb = static_cast<int>(spec.required_memory_mb() * 0.7);
+    }
+    simsys::FaultPlan plan;
+    if (kind != simsys::ProblemKind::None) {
+      plan = gen.make_fault(kind, cluster);
+      if (fault_node >= 0) plan.target_node = fault_node;
+    }
+    const simsys::JobResult result = simsys::run_job(spec, cluster, plan);
+
+    const std::string job_dir =
+        (std::filesystem::path(outdir) / ("job_" + std::to_string(j))).string();
+    logparse::write_log_directory(*fmt, result.sessions, job_dir);
+
+    common::Json job = common::Json::object();
+    job["name"] = spec.name;
+    job["input_gb"] = spec.input_gb;
+    job["container_memory_mb"] = spec.container_memory_mb;
+    job["fault"] = std::string(simsys::to_string(plan.kind));
+    job["dir"] = job_dir;
+    common::Json affected = common::Json::array();
+    for (const auto& c : result.affected_containers) affected.push_back(c);
+    job["affected_containers"] = std::move(affected);
+    common::Json perf = common::Json::array();
+    for (const auto& c : result.perf_affected_containers) perf.push_back(c);
+    job["perf_affected_containers"] = std::move(perf);
+    jobs_json.push_back(std::move(job));
+
+    total_sessions += result.sessions.size();
+    for (const auto& s : result.sessions) total_lines += s.records.size();
+  }
+  manifest["jobs"] = std::move(jobs_json);
+  std::ofstream mf(std::filesystem::path(outdir) / "manifest.json");
+  mf << manifest.dump(2) << "\n";
+
+  std::cout << "wrote " << jobs << " " << system << " jobs (" << total_sessions
+            << " sessions, " << total_lines << " log lines) under " << outdir << "\n";
+  return 0;
+}
