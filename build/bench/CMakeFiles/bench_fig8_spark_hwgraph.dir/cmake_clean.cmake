@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_spark_hwgraph.dir/bench_fig8_spark_hwgraph.cpp.o"
+  "CMakeFiles/bench_fig8_spark_hwgraph.dir/bench_fig8_spark_hwgraph.cpp.o.d"
+  "bench_fig8_spark_hwgraph"
+  "bench_fig8_spark_hwgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_spark_hwgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_anomaly.dir/bench_table6_anomaly.cpp.o"
+  "CMakeFiles/bench_table6_anomaly.dir/bench_table6_anomaly.cpp.o.d"
+  "bench_table6_anomaly"
+  "bench_table6_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

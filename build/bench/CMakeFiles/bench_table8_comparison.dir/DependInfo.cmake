@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table8_comparison.cpp" "bench/CMakeFiles/bench_table8_comparison.dir/bench_table8_comparison.cpp.o" "gcc" "bench/CMakeFiles/bench_table8_comparison.dir/bench_table8_comparison.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/intellog_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/intellog_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/logparse/CMakeFiles/intellog_logparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/simsys/CMakeFiles/intellog_simsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/intellog_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/intellog_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlsys_extension.dir/mlsys_extension.cpp.o"
+  "CMakeFiles/mlsys_extension.dir/mlsys_extension.cpp.o.d"
+  "mlsys_extension"
+  "mlsys_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlsys_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

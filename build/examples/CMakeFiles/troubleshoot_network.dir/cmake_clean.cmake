@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/troubleshoot_network.dir/troubleshoot_network.cpp.o"
+  "CMakeFiles/troubleshoot_network.dir/troubleshoot_network.cpp.o.d"
+  "troubleshoot_network"
+  "troubleshoot_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/troubleshoot_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

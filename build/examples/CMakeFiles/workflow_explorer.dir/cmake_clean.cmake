@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_explorer.dir/workflow_explorer.cpp.o"
+  "CMakeFiles/workflow_explorer.dir/workflow_explorer.cpp.o.d"
+  "workflow_explorer"
+  "workflow_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/deeplog.cpp" "src/baselines/CMakeFiles/intellog_baselines.dir/deeplog.cpp.o" "gcc" "src/baselines/CMakeFiles/intellog_baselines.dir/deeplog.cpp.o.d"
+  "/root/repo/src/baselines/logcluster.cpp" "src/baselines/CMakeFiles/intellog_baselines.dir/logcluster.cpp.o" "gcc" "src/baselines/CMakeFiles/intellog_baselines.dir/logcluster.cpp.o.d"
+  "/root/repo/src/baselines/lstm.cpp" "src/baselines/CMakeFiles/intellog_baselines.dir/lstm.cpp.o" "gcc" "src/baselines/CMakeFiles/intellog_baselines.dir/lstm.cpp.o.d"
+  "/root/repo/src/baselines/stitch.cpp" "src/baselines/CMakeFiles/intellog_baselines.dir/stitch.cpp.o" "gcc" "src/baselines/CMakeFiles/intellog_baselines.dir/stitch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/intellog_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/intellog_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/logparse/CMakeFiles/intellog_logparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/intellog_nlp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intellog_baselines.dir/deeplog.cpp.o"
+  "CMakeFiles/intellog_baselines.dir/deeplog.cpp.o.d"
+  "CMakeFiles/intellog_baselines.dir/logcluster.cpp.o"
+  "CMakeFiles/intellog_baselines.dir/logcluster.cpp.o.d"
+  "CMakeFiles/intellog_baselines.dir/lstm.cpp.o"
+  "CMakeFiles/intellog_baselines.dir/lstm.cpp.o.d"
+  "CMakeFiles/intellog_baselines.dir/stitch.cpp.o"
+  "CMakeFiles/intellog_baselines.dir/stitch.cpp.o.d"
+  "libintellog_baselines.a"
+  "libintellog_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intellog_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

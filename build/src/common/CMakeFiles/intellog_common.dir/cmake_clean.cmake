@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intellog_common.dir/json.cpp.o"
+  "CMakeFiles/intellog_common.dir/json.cpp.o.d"
+  "CMakeFiles/intellog_common.dir/matrix.cpp.o"
+  "CMakeFiles/intellog_common.dir/matrix.cpp.o.d"
+  "CMakeFiles/intellog_common.dir/rng.cpp.o"
+  "CMakeFiles/intellog_common.dir/rng.cpp.o.d"
+  "CMakeFiles/intellog_common.dir/strings.cpp.o"
+  "CMakeFiles/intellog_common.dir/strings.cpp.o.d"
+  "CMakeFiles/intellog_common.dir/table.cpp.o"
+  "CMakeFiles/intellog_common.dir/table.cpp.o.d"
+  "CMakeFiles/intellog_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/intellog_common.dir/thread_pool.cpp.o.d"
+  "libintellog_common.a"
+  "libintellog_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intellog_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

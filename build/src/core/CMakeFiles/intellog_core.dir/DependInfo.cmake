@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anomaly.cpp" "src/core/CMakeFiles/intellog_core.dir/anomaly.cpp.o" "gcc" "src/core/CMakeFiles/intellog_core.dir/anomaly.cpp.o.d"
+  "/root/repo/src/core/entity_grouping.cpp" "src/core/CMakeFiles/intellog_core.dir/entity_grouping.cpp.o" "gcc" "src/core/CMakeFiles/intellog_core.dir/entity_grouping.cpp.o.d"
+  "/root/repo/src/core/extraction.cpp" "src/core/CMakeFiles/intellog_core.dir/extraction.cpp.o" "gcc" "src/core/CMakeFiles/intellog_core.dir/extraction.cpp.o.d"
+  "/root/repo/src/core/hw_graph.cpp" "src/core/CMakeFiles/intellog_core.dir/hw_graph.cpp.o" "gcc" "src/core/CMakeFiles/intellog_core.dir/hw_graph.cpp.o.d"
+  "/root/repo/src/core/intel_key.cpp" "src/core/CMakeFiles/intellog_core.dir/intel_key.cpp.o" "gcc" "src/core/CMakeFiles/intellog_core.dir/intel_key.cpp.o.d"
+  "/root/repo/src/core/intellog.cpp" "src/core/CMakeFiles/intellog_core.dir/intellog.cpp.o" "gcc" "src/core/CMakeFiles/intellog_core.dir/intellog.cpp.o.d"
+  "/root/repo/src/core/locality.cpp" "src/core/CMakeFiles/intellog_core.dir/locality.cpp.o" "gcc" "src/core/CMakeFiles/intellog_core.dir/locality.cpp.o.d"
+  "/root/repo/src/core/message_store.cpp" "src/core/CMakeFiles/intellog_core.dir/message_store.cpp.o" "gcc" "src/core/CMakeFiles/intellog_core.dir/message_store.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "src/core/CMakeFiles/intellog_core.dir/model_io.cpp.o" "gcc" "src/core/CMakeFiles/intellog_core.dir/model_io.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/core/CMakeFiles/intellog_core.dir/online.cpp.o" "gcc" "src/core/CMakeFiles/intellog_core.dir/online.cpp.o.d"
+  "/root/repo/src/core/query.cpp" "src/core/CMakeFiles/intellog_core.dir/query.cpp.o" "gcc" "src/core/CMakeFiles/intellog_core.dir/query.cpp.o.d"
+  "/root/repo/src/core/subroutine.cpp" "src/core/CMakeFiles/intellog_core.dir/subroutine.cpp.o" "gcc" "src/core/CMakeFiles/intellog_core.dir/subroutine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/intellog_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/intellog_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/logparse/CMakeFiles/intellog_logparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

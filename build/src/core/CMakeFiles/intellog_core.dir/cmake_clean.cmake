@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intellog_core.dir/anomaly.cpp.o"
+  "CMakeFiles/intellog_core.dir/anomaly.cpp.o.d"
+  "CMakeFiles/intellog_core.dir/entity_grouping.cpp.o"
+  "CMakeFiles/intellog_core.dir/entity_grouping.cpp.o.d"
+  "CMakeFiles/intellog_core.dir/extraction.cpp.o"
+  "CMakeFiles/intellog_core.dir/extraction.cpp.o.d"
+  "CMakeFiles/intellog_core.dir/hw_graph.cpp.o"
+  "CMakeFiles/intellog_core.dir/hw_graph.cpp.o.d"
+  "CMakeFiles/intellog_core.dir/intel_key.cpp.o"
+  "CMakeFiles/intellog_core.dir/intel_key.cpp.o.d"
+  "CMakeFiles/intellog_core.dir/intellog.cpp.o"
+  "CMakeFiles/intellog_core.dir/intellog.cpp.o.d"
+  "CMakeFiles/intellog_core.dir/locality.cpp.o"
+  "CMakeFiles/intellog_core.dir/locality.cpp.o.d"
+  "CMakeFiles/intellog_core.dir/message_store.cpp.o"
+  "CMakeFiles/intellog_core.dir/message_store.cpp.o.d"
+  "CMakeFiles/intellog_core.dir/model_io.cpp.o"
+  "CMakeFiles/intellog_core.dir/model_io.cpp.o.d"
+  "CMakeFiles/intellog_core.dir/online.cpp.o"
+  "CMakeFiles/intellog_core.dir/online.cpp.o.d"
+  "CMakeFiles/intellog_core.dir/query.cpp.o"
+  "CMakeFiles/intellog_core.dir/query.cpp.o.d"
+  "CMakeFiles/intellog_core.dir/subroutine.cpp.o"
+  "CMakeFiles/intellog_core.dir/subroutine.cpp.o.d"
+  "libintellog_core.a"
+  "libintellog_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intellog_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

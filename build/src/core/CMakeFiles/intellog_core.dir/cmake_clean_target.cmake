@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libintellog_core.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logparse/formatter.cpp" "src/logparse/CMakeFiles/intellog_logparse.dir/formatter.cpp.o" "gcc" "src/logparse/CMakeFiles/intellog_logparse.dir/formatter.cpp.o.d"
+  "/root/repo/src/logparse/kv_filter.cpp" "src/logparse/CMakeFiles/intellog_logparse.dir/kv_filter.cpp.o" "gcc" "src/logparse/CMakeFiles/intellog_logparse.dir/kv_filter.cpp.o.d"
+  "/root/repo/src/logparse/log_io.cpp" "src/logparse/CMakeFiles/intellog_logparse.dir/log_io.cpp.o" "gcc" "src/logparse/CMakeFiles/intellog_logparse.dir/log_io.cpp.o.d"
+  "/root/repo/src/logparse/session.cpp" "src/logparse/CMakeFiles/intellog_logparse.dir/session.cpp.o" "gcc" "src/logparse/CMakeFiles/intellog_logparse.dir/session.cpp.o.d"
+  "/root/repo/src/logparse/spell.cpp" "src/logparse/CMakeFiles/intellog_logparse.dir/spell.cpp.o" "gcc" "src/logparse/CMakeFiles/intellog_logparse.dir/spell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/intellog_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/intellog_nlp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intellog_logparse.dir/formatter.cpp.o"
+  "CMakeFiles/intellog_logparse.dir/formatter.cpp.o.d"
+  "CMakeFiles/intellog_logparse.dir/kv_filter.cpp.o"
+  "CMakeFiles/intellog_logparse.dir/kv_filter.cpp.o.d"
+  "CMakeFiles/intellog_logparse.dir/log_io.cpp.o"
+  "CMakeFiles/intellog_logparse.dir/log_io.cpp.o.d"
+  "CMakeFiles/intellog_logparse.dir/session.cpp.o"
+  "CMakeFiles/intellog_logparse.dir/session.cpp.o.d"
+  "CMakeFiles/intellog_logparse.dir/spell.cpp.o"
+  "CMakeFiles/intellog_logparse.dir/spell.cpp.o.d"
+  "libintellog_logparse.a"
+  "libintellog_logparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intellog_logparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

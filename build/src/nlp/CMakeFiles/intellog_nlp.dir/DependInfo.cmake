@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nlp/camel_case.cpp" "src/nlp/CMakeFiles/intellog_nlp.dir/camel_case.cpp.o" "gcc" "src/nlp/CMakeFiles/intellog_nlp.dir/camel_case.cpp.o.d"
+  "/root/repo/src/nlp/dependency_parser.cpp" "src/nlp/CMakeFiles/intellog_nlp.dir/dependency_parser.cpp.o" "gcc" "src/nlp/CMakeFiles/intellog_nlp.dir/dependency_parser.cpp.o.d"
+  "/root/repo/src/nlp/hmm_tagger.cpp" "src/nlp/CMakeFiles/intellog_nlp.dir/hmm_tagger.cpp.o" "gcc" "src/nlp/CMakeFiles/intellog_nlp.dir/hmm_tagger.cpp.o.d"
+  "/root/repo/src/nlp/lemmatizer.cpp" "src/nlp/CMakeFiles/intellog_nlp.dir/lemmatizer.cpp.o" "gcc" "src/nlp/CMakeFiles/intellog_nlp.dir/lemmatizer.cpp.o.d"
+  "/root/repo/src/nlp/lexicon.cpp" "src/nlp/CMakeFiles/intellog_nlp.dir/lexicon.cpp.o" "gcc" "src/nlp/CMakeFiles/intellog_nlp.dir/lexicon.cpp.o.d"
+  "/root/repo/src/nlp/pos_tagger.cpp" "src/nlp/CMakeFiles/intellog_nlp.dir/pos_tagger.cpp.o" "gcc" "src/nlp/CMakeFiles/intellog_nlp.dir/pos_tagger.cpp.o.d"
+  "/root/repo/src/nlp/token.cpp" "src/nlp/CMakeFiles/intellog_nlp.dir/token.cpp.o" "gcc" "src/nlp/CMakeFiles/intellog_nlp.dir/token.cpp.o.d"
+  "/root/repo/src/nlp/tokenizer.cpp" "src/nlp/CMakeFiles/intellog_nlp.dir/tokenizer.cpp.o" "gcc" "src/nlp/CMakeFiles/intellog_nlp.dir/tokenizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/intellog_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intellog_nlp.dir/camel_case.cpp.o"
+  "CMakeFiles/intellog_nlp.dir/camel_case.cpp.o.d"
+  "CMakeFiles/intellog_nlp.dir/dependency_parser.cpp.o"
+  "CMakeFiles/intellog_nlp.dir/dependency_parser.cpp.o.d"
+  "CMakeFiles/intellog_nlp.dir/hmm_tagger.cpp.o"
+  "CMakeFiles/intellog_nlp.dir/hmm_tagger.cpp.o.d"
+  "CMakeFiles/intellog_nlp.dir/lemmatizer.cpp.o"
+  "CMakeFiles/intellog_nlp.dir/lemmatizer.cpp.o.d"
+  "CMakeFiles/intellog_nlp.dir/lexicon.cpp.o"
+  "CMakeFiles/intellog_nlp.dir/lexicon.cpp.o.d"
+  "CMakeFiles/intellog_nlp.dir/pos_tagger.cpp.o"
+  "CMakeFiles/intellog_nlp.dir/pos_tagger.cpp.o.d"
+  "CMakeFiles/intellog_nlp.dir/token.cpp.o"
+  "CMakeFiles/intellog_nlp.dir/token.cpp.o.d"
+  "CMakeFiles/intellog_nlp.dir/tokenizer.cpp.o"
+  "CMakeFiles/intellog_nlp.dir/tokenizer.cpp.o.d"
+  "libintellog_nlp.a"
+  "libintellog_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intellog_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

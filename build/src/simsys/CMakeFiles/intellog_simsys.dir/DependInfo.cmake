@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simsys/event_sim.cpp" "src/simsys/CMakeFiles/intellog_simsys.dir/event_sim.cpp.o" "gcc" "src/simsys/CMakeFiles/intellog_simsys.dir/event_sim.cpp.o.d"
+  "/root/repo/src/simsys/mapreduce_system.cpp" "src/simsys/CMakeFiles/intellog_simsys.dir/mapreduce_system.cpp.o" "gcc" "src/simsys/CMakeFiles/intellog_simsys.dir/mapreduce_system.cpp.o.d"
+  "/root/repo/src/simsys/spark_system.cpp" "src/simsys/CMakeFiles/intellog_simsys.dir/spark_system.cpp.o" "gcc" "src/simsys/CMakeFiles/intellog_simsys.dir/spark_system.cpp.o.d"
+  "/root/repo/src/simsys/template_corpus.cpp" "src/simsys/CMakeFiles/intellog_simsys.dir/template_corpus.cpp.o" "gcc" "src/simsys/CMakeFiles/intellog_simsys.dir/template_corpus.cpp.o.d"
+  "/root/repo/src/simsys/tensorflow_system.cpp" "src/simsys/CMakeFiles/intellog_simsys.dir/tensorflow_system.cpp.o" "gcc" "src/simsys/CMakeFiles/intellog_simsys.dir/tensorflow_system.cpp.o.d"
+  "/root/repo/src/simsys/tez_system.cpp" "src/simsys/CMakeFiles/intellog_simsys.dir/tez_system.cpp.o" "gcc" "src/simsys/CMakeFiles/intellog_simsys.dir/tez_system.cpp.o.d"
+  "/root/repo/src/simsys/workload.cpp" "src/simsys/CMakeFiles/intellog_simsys.dir/workload.cpp.o" "gcc" "src/simsys/CMakeFiles/intellog_simsys.dir/workload.cpp.o.d"
+  "/root/repo/src/simsys/yarn_system.cpp" "src/simsys/CMakeFiles/intellog_simsys.dir/yarn_system.cpp.o" "gcc" "src/simsys/CMakeFiles/intellog_simsys.dir/yarn_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/intellog_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/logparse/CMakeFiles/intellog_logparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/intellog_nlp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

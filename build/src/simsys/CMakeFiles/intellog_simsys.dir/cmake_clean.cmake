@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intellog_simsys.dir/event_sim.cpp.o"
+  "CMakeFiles/intellog_simsys.dir/event_sim.cpp.o.d"
+  "CMakeFiles/intellog_simsys.dir/mapreduce_system.cpp.o"
+  "CMakeFiles/intellog_simsys.dir/mapreduce_system.cpp.o.d"
+  "CMakeFiles/intellog_simsys.dir/spark_system.cpp.o"
+  "CMakeFiles/intellog_simsys.dir/spark_system.cpp.o.d"
+  "CMakeFiles/intellog_simsys.dir/template_corpus.cpp.o"
+  "CMakeFiles/intellog_simsys.dir/template_corpus.cpp.o.d"
+  "CMakeFiles/intellog_simsys.dir/tensorflow_system.cpp.o"
+  "CMakeFiles/intellog_simsys.dir/tensorflow_system.cpp.o.d"
+  "CMakeFiles/intellog_simsys.dir/tez_system.cpp.o"
+  "CMakeFiles/intellog_simsys.dir/tez_system.cpp.o.d"
+  "CMakeFiles/intellog_simsys.dir/workload.cpp.o"
+  "CMakeFiles/intellog_simsys.dir/workload.cpp.o.d"
+  "CMakeFiles/intellog_simsys.dir/yarn_system.cpp.o"
+  "CMakeFiles/intellog_simsys.dir/yarn_system.cpp.o.d"
+  "libintellog_simsys.a"
+  "libintellog_simsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intellog_simsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for intellog_simsys.
+# This may be replaced when dependencies are built.

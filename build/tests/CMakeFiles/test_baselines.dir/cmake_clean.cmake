@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines.dir/baselines/test_deeplog.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_deeplog.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/test_logcluster.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_logcluster.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/test_lstm.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_lstm.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/test_stitch.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_stitch.cpp.o.d"
+  "test_baselines"
+  "test_baselines.pdb"
+  "test_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_entity_grouping.cpp" "tests/CMakeFiles/test_core.dir/core/test_entity_grouping.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_entity_grouping.cpp.o.d"
+  "/root/repo/tests/core/test_extraction.cpp" "tests/CMakeFiles/test_core.dir/core/test_extraction.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_extraction.cpp.o.d"
+  "/root/repo/tests/core/test_hw_graph.cpp" "tests/CMakeFiles/test_core.dir/core/test_hw_graph.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_hw_graph.cpp.o.d"
+  "/root/repo/tests/core/test_intellog.cpp" "tests/CMakeFiles/test_core.dir/core/test_intellog.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_intellog.cpp.o.d"
+  "/root/repo/tests/core/test_locality.cpp" "tests/CMakeFiles/test_core.dir/core/test_locality.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_locality.cpp.o.d"
+  "/root/repo/tests/core/test_message_store.cpp" "tests/CMakeFiles/test_core.dir/core/test_message_store.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_message_store.cpp.o.d"
+  "/root/repo/tests/core/test_model_io.cpp" "tests/CMakeFiles/test_core.dir/core/test_model_io.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_model_io.cpp.o.d"
+  "/root/repo/tests/core/test_online.cpp" "tests/CMakeFiles/test_core.dir/core/test_online.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_online.cpp.o.d"
+  "/root/repo/tests/core/test_pipeline_properties.cpp" "tests/CMakeFiles/test_core.dir/core/test_pipeline_properties.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_pipeline_properties.cpp.o.d"
+  "/root/repo/tests/core/test_query.cpp" "tests/CMakeFiles/test_core.dir/core/test_query.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_query.cpp.o.d"
+  "/root/repo/tests/core/test_robustness.cpp" "tests/CMakeFiles/test_core.dir/core/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_robustness.cpp.o.d"
+  "/root/repo/tests/core/test_scale.cpp" "tests/CMakeFiles/test_core.dir/core/test_scale.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_scale.cpp.o.d"
+  "/root/repo/tests/core/test_subroutine.cpp" "tests/CMakeFiles/test_core.dir/core/test_subroutine.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_subroutine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/intellog_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/intellog_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/logparse/CMakeFiles/intellog_logparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/simsys/CMakeFiles/intellog_simsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/intellog_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/intellog_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

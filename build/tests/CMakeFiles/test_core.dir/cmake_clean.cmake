@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_entity_grouping.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_entity_grouping.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_extraction.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_extraction.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_hw_graph.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_hw_graph.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_intellog.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_intellog.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_locality.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_locality.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_message_store.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_message_store.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_model_io.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_model_io.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_online.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_online.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_pipeline_properties.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_pipeline_properties.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_query.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_query.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_robustness.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_robustness.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_scale.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_scale.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_subroutine.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_subroutine.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logparse.dir/logparse/test_formatter.cpp.o"
+  "CMakeFiles/test_logparse.dir/logparse/test_formatter.cpp.o.d"
+  "CMakeFiles/test_logparse.dir/logparse/test_kv_filter.cpp.o"
+  "CMakeFiles/test_logparse.dir/logparse/test_kv_filter.cpp.o.d"
+  "CMakeFiles/test_logparse.dir/logparse/test_log_io.cpp.o"
+  "CMakeFiles/test_logparse.dir/logparse/test_log_io.cpp.o.d"
+  "CMakeFiles/test_logparse.dir/logparse/test_session.cpp.o"
+  "CMakeFiles/test_logparse.dir/logparse/test_session.cpp.o.d"
+  "CMakeFiles/test_logparse.dir/logparse/test_spell.cpp.o"
+  "CMakeFiles/test_logparse.dir/logparse/test_spell.cpp.o.d"
+  "test_logparse"
+  "test_logparse.pdb"
+  "test_logparse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nlp/test_camel_case.cpp" "tests/CMakeFiles/test_nlp.dir/nlp/test_camel_case.cpp.o" "gcc" "tests/CMakeFiles/test_nlp.dir/nlp/test_camel_case.cpp.o.d"
+  "/root/repo/tests/nlp/test_dependency_parser.cpp" "tests/CMakeFiles/test_nlp.dir/nlp/test_dependency_parser.cpp.o" "gcc" "tests/CMakeFiles/test_nlp.dir/nlp/test_dependency_parser.cpp.o.d"
+  "/root/repo/tests/nlp/test_hmm_tagger.cpp" "tests/CMakeFiles/test_nlp.dir/nlp/test_hmm_tagger.cpp.o" "gcc" "tests/CMakeFiles/test_nlp.dir/nlp/test_hmm_tagger.cpp.o.d"
+  "/root/repo/tests/nlp/test_lemmatizer.cpp" "tests/CMakeFiles/test_nlp.dir/nlp/test_lemmatizer.cpp.o" "gcc" "tests/CMakeFiles/test_nlp.dir/nlp/test_lemmatizer.cpp.o.d"
+  "/root/repo/tests/nlp/test_lexicon.cpp" "tests/CMakeFiles/test_nlp.dir/nlp/test_lexicon.cpp.o" "gcc" "tests/CMakeFiles/test_nlp.dir/nlp/test_lexicon.cpp.o.d"
+  "/root/repo/tests/nlp/test_pos_tagger.cpp" "tests/CMakeFiles/test_nlp.dir/nlp/test_pos_tagger.cpp.o" "gcc" "tests/CMakeFiles/test_nlp.dir/nlp/test_pos_tagger.cpp.o.d"
+  "/root/repo/tests/nlp/test_tokenizer.cpp" "tests/CMakeFiles/test_nlp.dir/nlp/test_tokenizer.cpp.o" "gcc" "tests/CMakeFiles/test_nlp.dir/nlp/test_tokenizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/intellog_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/intellog_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/logparse/CMakeFiles/intellog_logparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/simsys/CMakeFiles/intellog_simsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/intellog_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/intellog_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

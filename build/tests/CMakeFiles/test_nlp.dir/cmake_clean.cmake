@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nlp.dir/nlp/test_camel_case.cpp.o"
+  "CMakeFiles/test_nlp.dir/nlp/test_camel_case.cpp.o.d"
+  "CMakeFiles/test_nlp.dir/nlp/test_dependency_parser.cpp.o"
+  "CMakeFiles/test_nlp.dir/nlp/test_dependency_parser.cpp.o.d"
+  "CMakeFiles/test_nlp.dir/nlp/test_hmm_tagger.cpp.o"
+  "CMakeFiles/test_nlp.dir/nlp/test_hmm_tagger.cpp.o.d"
+  "CMakeFiles/test_nlp.dir/nlp/test_lemmatizer.cpp.o"
+  "CMakeFiles/test_nlp.dir/nlp/test_lemmatizer.cpp.o.d"
+  "CMakeFiles/test_nlp.dir/nlp/test_lexicon.cpp.o"
+  "CMakeFiles/test_nlp.dir/nlp/test_lexicon.cpp.o.d"
+  "CMakeFiles/test_nlp.dir/nlp/test_pos_tagger.cpp.o"
+  "CMakeFiles/test_nlp.dir/nlp/test_pos_tagger.cpp.o.d"
+  "CMakeFiles/test_nlp.dir/nlp/test_tokenizer.cpp.o"
+  "CMakeFiles/test_nlp.dir/nlp/test_tokenizer.cpp.o.d"
+  "test_nlp"
+  "test_nlp.pdb"
+  "test_nlp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simsys.dir/simsys/test_simulators.cpp.o"
+  "CMakeFiles/test_simsys.dir/simsys/test_simulators.cpp.o.d"
+  "CMakeFiles/test_simsys.dir/simsys/test_templates.cpp.o"
+  "CMakeFiles/test_simsys.dir/simsys/test_templates.cpp.o.d"
+  "test_simsys"
+  "test_simsys.pdb"
+  "test_simsys[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

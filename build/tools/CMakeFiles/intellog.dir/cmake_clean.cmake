@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intellog.dir/intellog_cli.cpp.o"
+  "CMakeFiles/intellog.dir/intellog_cli.cpp.o.d"
+  "intellog"
+  "intellog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intellog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loggen.dir/loggen.cpp.o"
+  "CMakeFiles/loggen.dir/loggen.cpp.o.d"
+  "loggen"
+  "loggen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loggen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
