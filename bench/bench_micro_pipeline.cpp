@@ -6,6 +6,7 @@
 
 #include "bench/harness.hpp"
 #include "core/extraction.hpp"
+#include "obs/metrics.hpp"
 
 using namespace intellog;
 
@@ -72,6 +73,23 @@ void BM_DetectSession(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * session.records.size()));
 }
 BENCHMARK(BM_DetectSession);
+
+// Same workload as BM_DetectSession but with a metrics registry installed:
+// the delta against BM_DetectSession is the full (enabled) metrics cost;
+// BM_DetectSession itself runs with the registry null, i.e. the no-op path.
+void BM_DetectSessionMetricsEnabled(benchmark::State& state) {
+  const auto& il = shared_model();
+  const auto& session = shared_session();
+  obs::MetricsRegistry reg;
+  obs::set_registry(&reg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(il.detect(session));
+  }
+  obs::set_registry(nullptr);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * session.records.size()));
+}
+BENCHMARK(BM_DetectSessionMetricsEnabled);
 
 void BM_TrainSmallCorpus(benchmark::State& state) {
   const auto sessions = bench::training_corpus("spark", 3, 5);

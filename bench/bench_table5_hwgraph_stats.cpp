@@ -21,6 +21,21 @@ int main() {
     core::IntelLog il;
     il.train(sessions);
 
+    // Perf trajectory: full training-pipeline wall time on the same corpus.
+    std::size_t corpus_records = 0;
+    for (const auto& s : sessions) corpus_records += s.records.size();
+    const bench::Timing timing = bench::run_timed(
+        [&] {
+          core::IntelLog fresh;
+          fresh.train(sessions);
+        },
+        /*repeats=*/3, /*warmup=*/1);
+    common::Json extra = common::Json::object();
+    extra["system"] = system;
+    extra["sessions"] = sessions.size();
+    bench::emit_bench_json("table5_train_" + system, timing,
+                           static_cast<double>(corpus_records), std::move(extra));
+
     std::size_t total_records = 0;
     for (const auto& s : sessions) total_records += s.records.size();
     const double avg_len = static_cast<double>(total_records) / sessions.size();

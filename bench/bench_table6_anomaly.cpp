@@ -44,6 +44,29 @@ int main() {
     detected_all += detected;
     fp_all += fp;
     injected_all += 15;
+
+    // Perf trajectory: end-to-end detection throughput over the Table-6
+    // workload (records/s), min/median over repeated passes.
+    std::size_t workload_records = 0;
+    for (const auto& dj : jobs) {
+      for (const auto& s : dj.result.sessions) workload_records += s.records.size();
+    }
+    const bench::Timing timing = bench::run_timed(
+        [&] {
+          for (const auto& dj : jobs) {
+            for (const auto& s : dj.result.sessions) (void)il.detect(s);
+          }
+        },
+        /*repeats=*/3, /*warmup=*/1);
+    common::Json extra = common::Json::object();
+    extra["system"] = system;
+    extra["sessions"] = [&] {
+      std::size_t n = 0;
+      for (const auto& dj : jobs) n += dj.result.sessions.size();
+      return n;
+    }();
+    bench::emit_bench_json("table6_detect_" + system, timing,
+                           static_cast<double>(workload_records), std::move(extra));
     table.add_row({system,
                    std::to_string(min_sessions) + "~" + std::to_string(max_sessions),
                    std::to_string(min_len) + "~" + std::to_string(max_len),

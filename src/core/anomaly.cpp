@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.hpp"
+#include "obs/trace.hpp"
 
 namespace intellog::core {
 
@@ -77,6 +78,8 @@ AnomalyReport AnomalyDetector::detect(const logparse::Session& session) const {
   std::map<std::string, std::vector<GroupMessage>> group_messages;
   std::set<std::string> groups_seen;
 
+  // Per-record Spell matching, on-the-fly extraction and entity grouping.
+  obs::Span extract_span("detect/extract+group", "detect");
   for (std::size_t ri = 0; ri < session.records.size(); ++ri) {
     const logparse::LogRecord& rec = session.records[ri];
     const int key_id = spell_.match(rec.content);
@@ -124,6 +127,10 @@ AnomalyReport AnomalyDetector::detect(const logparse::Session& session) const {
     }
   }
 
+  extract_span.close();
+
+  // HW-graph instance checks: missing groups, then subroutine structure.
+  obs::Span check_span("detect/hwgraph_check", "detect");
   // Expected groups that never appeared -> erroneous HW-graph instance.
   for (const auto& g : expected_groups_) {
     if (!groups_seen.count(g)) {

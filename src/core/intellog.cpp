@@ -4,8 +4,20 @@
 #include <stdexcept>
 
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace intellog::core {
+
+namespace {
+
+/// Per-stage training latency histogram, or nullptr when metrics are off.
+obs::Histogram* stage_hist(const char* stage) {
+  obs::MetricsRegistry* reg = obs::registry();
+  return reg ? &reg->histogram("intellog_train_stage_ms", {{"stage", stage}}) : nullptr;
+}
+
+}  // namespace
 
 IntelLog::IntelLog(Config config)
     : config_(config),
@@ -72,15 +84,20 @@ std::set<std::string> IntelLog::groups_of_key(int key_id) const {
 
 void IntelLog::train(const std::vector<logparse::Session>& sessions) {
   if (trained_) throw std::logic_error("IntelLog::train called twice");
+  obs::Span train_span("train");
 
   // --- Stage 1 (Fig. 2): Spell log-key extraction --------------------------
   std::vector<std::vector<int>> session_keys(sessions.size());
-  for (std::size_t si = 0; si < sessions.size(); ++si) {
-    session_keys[si].reserve(sessions[si].records.size());
-    for (const auto& rec : sessions[si].records) {
-      const int id = spell_.consume(rec.content);
-      if (id >= 0) samples_.try_emplace(id, rec.content);
-      session_keys[si].push_back(id);
+  {
+    obs::Span span("train/spell");
+    obs::ScopedTimerMs timer(stage_hist("spell"));
+    for (std::size_t si = 0; si < sessions.size(); ++si) {
+      session_keys[si].reserve(sessions[si].records.size());
+      for (const auto& rec : sessions[si].records) {
+        const int id = spell_.consume(rec.content);
+        if (id >= 0) samples_.try_emplace(id, rec.content);
+        session_keys[si].push_back(id);
+      }
     }
   }
 
@@ -88,6 +105,8 @@ void IntelLog::train(const std::vector<logparse::Session>& sessions) {
   // skipped, §5). Extraction is independent per key -> parallel.
   common::ThreadPool pool(config_.num_threads);
   {
+    obs::Span span("train/extract");
+    obs::ScopedTimerMs timer(stage_hist("extract"));
     std::vector<int> nl_keys;
     for (const auto& key : spell_.keys()) {
       const std::string& sample = samples_[key.id];
@@ -109,6 +128,8 @@ void IntelLog::train(const std::vector<logparse::Session>& sessions) {
 
   // --- Stage 3: entity grouping (Algorithm 1) ------------------------------
   {
+    obs::Span span("train/group");
+    obs::ScopedTimerMs timer(stage_hist("group"));
     std::vector<std::string> all_entities;
     for (const auto& [id, ik] : intel_keys_) {
       (void)id;
@@ -128,57 +149,102 @@ void IntelLog::train(const std::vector<logparse::Session>& sessions) {
     std::map<std::string, std::vector<GroupMessage>> group_messages;
   };
   std::vector<SessionView> views(sessions.size());
-  pool.parallel_for(sessions.size(), [&](std::size_t si) {
-    SessionView& view = views[si];
-    const auto& session = sessions[si];
-    for (std::size_t ri = 0; ri < session.records.size(); ++ri) {
-      const int id = session_keys[si][ri];
-      if (id < 0 || kv_filter_.is_learned_kv_key(id)) continue;
-      const auto kg = key_groups.find(id);
-      if (kg == key_groups.end() || kg->second.empty()) continue;
-      const IntelMessage msg =
-          extractor_.instantiate(intel_keys_.at(id), spell_.key(id), session.records[ri]);
-      GroupMessage gm;
-      gm.key_id = id;
-      gm.ids = msg.identifiers;
-      gm.record_index = ri;
-      gm.timestamp_ms = session.records[ri].timestamp_ms;
-      for (const auto& g : kg->second) {
-        view.group_messages[g].push_back(gm);
-        auto [it, fresh] = view.spans.emplace(g, Lifespan{gm.timestamp_ms, gm.timestamp_ms, 1});
-        if (!fresh) {
-          it->second.first_ms = std::min(it->second.first_ms, gm.timestamp_ms);
-          it->second.last_ms = std::max(it->second.last_ms, gm.timestamp_ms);
-          it->second.message_count++;
+  {
+    obs::Span span("train/subroutines");
+    obs::ScopedTimerMs timer(stage_hist("subroutines"));
+    pool.parallel_for(sessions.size(), [&](std::size_t si) {
+      obs::Span view_span("train/session_view");
+      SessionView& view = views[si];
+      const auto& session = sessions[si];
+      for (std::size_t ri = 0; ri < session.records.size(); ++ri) {
+        const int id = session_keys[si][ri];
+        if (id < 0 || kv_filter_.is_learned_kv_key(id)) continue;
+        const auto kg = key_groups.find(id);
+        if (kg == key_groups.end() || kg->second.empty()) continue;
+        const IntelMessage msg =
+            extractor_.instantiate(intel_keys_.at(id), spell_.key(id), session.records[ri]);
+        GroupMessage gm;
+        gm.key_id = id;
+        gm.ids = msg.identifiers;
+        gm.record_index = ri;
+        gm.timestamp_ms = session.records[ri].timestamp_ms;
+        for (const auto& g : kg->second) {
+          view.group_messages[g].push_back(gm);
+          auto [it, fresh] = view.spans.emplace(g, Lifespan{gm.timestamp_ms, gm.timestamp_ms, 1});
+          if (!fresh) {
+            it->second.first_ms = std::min(it->second.first_ms, gm.timestamp_ms);
+            it->second.last_ms = std::max(it->second.last_ms, gm.timestamp_ms);
+            it->second.message_count++;
+          }
         }
       }
-    }
-  });
-
-  HwGraphBuilder builder;
-  for (const SessionView& view : views) {
-    builder.add_session(view.spans);
-    for (const auto& [gname, messages] : view.group_messages) {
-      GroupNode& node = graph_.group(gname);
-      std::map<int, int> key_counts;
-      for (const auto& m : messages) {
-        node.keys.insert(m.key_id);
-        if (++key_counts[m.key_id] >= 2) node.repeated_key_in_session = true;
-      }
-      node.subroutines.update(partition_instances(messages));
-    }
+    });
   }
-  builder.finalize(graph_);
+
+  {
+    obs::Span span("train/hwgraph");
+    obs::ScopedTimerMs timer(stage_hist("hwgraph"));
+    HwGraphBuilder builder;
+    for (const SessionView& view : views) {
+      builder.add_session(view.spans);
+      for (const auto& [gname, messages] : view.group_messages) {
+        GroupNode& node = graph_.group(gname);
+        std::map<int, int> key_counts;
+        for (const auto& m : messages) {
+          node.keys.insert(m.key_id);
+          if (++key_counts[m.key_id] >= 2) node.repeated_key_in_session = true;
+        }
+        node.subroutines.update(partition_instances(messages));
+      }
+    }
+    builder.finalize(graph_);
+  }
 
   detector_ = std::make_unique<AnomalyDetector>(spell_, kv_filter_, extractor_, intel_keys_,
                                                 groups_, graph_,
                                                 config_.expected_group_fraction);
   trained_ = true;
+
+  if (obs::MetricsRegistry* reg = obs::registry()) {
+    std::size_t records = 0;
+    for (const auto& s : sessions) records += s.records.size();
+    reg->counter("intellog_train_sessions_total").add(sessions.size());
+    reg->counter("intellog_train_records_total").add(records);
+    record_model_metrics(*reg);
+  }
+}
+
+void IntelLog::record_model_metrics(obs::MetricsRegistry& reg) const {
+  std::size_t subroutines = 0;
+  for (const auto& [name, node] : graph_.groups()) {
+    (void)name;
+    subroutines += node.subroutines.subroutines().size();
+  }
+  reg.gauge("intellog_model_log_keys").set(static_cast<std::int64_t>(spell_.size()));
+  reg.gauge("intellog_model_intel_keys").set(static_cast<std::int64_t>(intel_keys_.size()));
+  reg.gauge("intellog_model_entity_groups").set(static_cast<std::int64_t>(groups_.groups.size()));
+  reg.gauge("intellog_model_graph_nodes").set(static_cast<std::int64_t>(graph_.groups().size()));
+  reg.gauge("intellog_model_graph_edges")
+      .set(static_cast<std::int64_t>(graph_.relations().size()));
+  reg.gauge("intellog_model_critical_groups")
+      .set(static_cast<std::int64_t>(graph_.critical_group_count()));
+  reg.gauge("intellog_model_subroutines").set(static_cast<std::int64_t>(subroutines));
 }
 
 AnomalyReport IntelLog::detect(const logparse::Session& session) const {
   if (!trained_) throw std::logic_error("IntelLog::detect before train");
-  return detector_->detect(session);
+  obs::Span span("detect");
+  obs::MetricsRegistry* reg = obs::registry();
+  obs::ScopedTimerMs timer(reg ? &reg->histogram("intellog_detect_session_ms") : nullptr);
+  AnomalyReport report = detector_->detect(session);
+  if (reg) {
+    reg->counter("intellog_detect_sessions_total").add(1);
+    reg->counter("intellog_detect_records_total").add(session.records.size());
+    reg->counter("intellog_detect_unexpected_total").add(report.unexpected.size());
+    reg->counter("intellog_detect_issues_total").add(report.issues.size());
+    if (report.anomalous()) reg->counter("intellog_detect_anomalous_total").add(1);
+  }
+  return report;
 }
 
 std::vector<IntelMessage> IntelLog::to_intel_messages(const logparse::Session& session) const {

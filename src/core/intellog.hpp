@@ -26,6 +26,10 @@
 #include "logparse/session.hpp"
 #include "logparse/spell.hpp"
 
+namespace intellog::obs {
+class MetricsRegistry;
+}
+
 namespace intellog::core {
 
 class IntelLog {
@@ -74,6 +78,11 @@ class IntelLog {
 
   /// First sample message recorded for a log key during training.
   const std::string& sample_message(int key_id) const;
+
+  /// Records the model-size gauges (`intellog_model_*`) into `reg`.
+  /// train() does this automatically on the installed global registry;
+  /// call it explicitly after load_model() to re-export a loaded model.
+  void record_model_metrics(obs::MetricsRegistry& reg) const;
 
  private:
   friend common::Json save_model(const IntelLog&);

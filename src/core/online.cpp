@@ -3,22 +3,43 @@
 #include <stdexcept>
 
 #include "common/strings.hpp"
+#include "obs/trace.hpp"
 
 namespace intellog::core {
 
 OnlineDetector::OnlineDetector(const IntelLog& model) : model_(model) {
   if (!model.trained()) throw std::logic_error("OnlineDetector: model is untrained");
+  if (obs::MetricsRegistry* reg = obs::registry()) {
+    tel_.records = &reg->counter("intellog_online_records_total");
+    tel_.unexpected = &reg->counter("intellog_online_unexpected_total");
+    tel_.closed_explicit =
+        &reg->counter("intellog_online_sessions_closed_total", {{"reason", "explicit"}});
+    tel_.closed_idle =
+        &reg->counter("intellog_online_sessions_closed_total", {{"reason", "idle"}});
+    tel_.open_sessions = &reg->gauge("intellog_online_open_sessions");
+    tel_.consume_us = &reg->histogram("intellog_online_consume_us", {},
+                                      obs::Histogram::default_us_buckets());
+  }
 }
 
 std::optional<OnlineDetector::Event> OnlineDetector::consume(const logparse::LogRecord& record) {
   if (record.container_id.empty()) return std::nullopt;
+  const std::uint64_t t0 = tel_.consume_us ? obs::monotonic_ns() : 0;
+  if (tel_.records) tel_.records->add(1);
+
   SessionState& state = open_[record.container_id];
   if (state.session.container_id.empty()) state.session.container_id = record.container_id;
   state.session.records.push_back(record);
   state.last_seen_ms = std::max(state.last_seen_ms, record.timestamp_ms);
+  if (tel_.open_sessions) tel_.open_sessions->set(static_cast<std::int64_t>(open_.size()));
 
   const int key_id = model_.spell().match(record.content);
-  if (key_id >= 0) return std::nullopt;
+  if (key_id >= 0) {
+    if (tel_.consume_us) {
+      tel_.consume_us->observe(static_cast<double>(obs::monotonic_ns() - t0) / 1e3);
+    }
+    return std::nullopt;
+  }
 
   // Unexpected message: surface immediately with on-the-fly extraction.
   Event event;
@@ -38,19 +59,27 @@ std::optional<OnlineDetector::Event> OnlineDetector::consume(const logparse::Log
   }
   event.unexpected.message =
       model_.extractor().instantiate(event.unexpected.extracted, pseudo, record);
+  if (tel_.unexpected) tel_.unexpected->add(1);
+  if (tel_.consume_us) {
+    tel_.consume_us->observe(static_cast<double>(obs::monotonic_ns() - t0) / 1e3);
+  }
   return event;
 }
 
 std::optional<AnomalyReport> OnlineDetector::close_session(const std::string& container_id) {
   const auto it = open_.find(container_id);
   if (it == open_.end()) return std::nullopt;
+  obs::Span span("online/close_session", "online");
   AnomalyReport report = model_.detect(it->second.session);
   open_.erase(it);
+  if (tel_.closed_explicit) tel_.closed_explicit->add(1);
+  if (tel_.open_sessions) tel_.open_sessions->set(static_cast<std::int64_t>(open_.size()));
   return report;
 }
 
 std::vector<AnomalyReport> OnlineDetector::close_idle(std::uint64_t now_ms,
                                                       std::uint64_t idle_ms) {
+  obs::Span span("online/close_idle", "online");
   std::vector<AnomalyReport> out;
   for (auto it = open_.begin(); it != open_.end();) {
     if (it->second.last_seen_ms + idle_ms <= now_ms) {
@@ -60,16 +89,21 @@ std::vector<AnomalyReport> OnlineDetector::close_idle(std::uint64_t now_ms,
       ++it;
     }
   }
+  if (tel_.closed_idle) tel_.closed_idle->add(out.size());
+  if (tel_.open_sessions) tel_.open_sessions->set(static_cast<std::int64_t>(open_.size()));
   return out;
 }
 
 std::vector<AnomalyReport> OnlineDetector::close_all() {
+  obs::Span span("online/close_all", "online");
   std::vector<AnomalyReport> out;
   for (const auto& [id, state] : open_) {
     (void)id;
     out.push_back(model_.detect(state.session));
   }
+  if (tel_.closed_explicit) tel_.closed_explicit->add(open_.size());
   open_.clear();
+  if (tel_.open_sessions) tel_.open_sessions->set(0);
   return out;
 }
 

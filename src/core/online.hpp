@@ -17,12 +17,16 @@
 #include <vector>
 
 #include "core/intellog.hpp"
+#include "obs/metrics.hpp"
 
 namespace intellog::core {
 
 class OnlineDetector {
  public:
-  /// `model` must outlive the detector and be trained.
+  /// `model` must outlive the detector and be trained. Streaming telemetry
+  /// handles are captured here: install the obs registry (and keep it
+  /// alive past the detector) *before* constructing to collect
+  /// per-record latency, open-session and unexpected-rate metrics.
   explicit OnlineDetector(const IntelLog& model);
 
   /// An immediately-reportable event from one consumed record.
@@ -57,8 +61,24 @@ class OnlineDetector {
     std::uint64_t last_seen_ms = 0;
   };
 
+  /// Registry handles (nullptr each when metrics were disabled at
+  /// construction). Counters: `intellog_online_records_total`,
+  /// `intellog_online_unexpected_total`,
+  /// `intellog_online_sessions_closed_total{reason="explicit"|"idle"}`;
+  /// gauge `intellog_online_open_sessions`; histogram
+  /// `intellog_online_consume_us`.
+  struct Telemetry {
+    obs::Counter* records = nullptr;
+    obs::Counter* unexpected = nullptr;
+    obs::Counter* closed_explicit = nullptr;
+    obs::Counter* closed_idle = nullptr;
+    obs::Gauge* open_sessions = nullptr;
+    obs::Histogram* consume_us = nullptr;
+  };
+
   const IntelLog& model_;
   std::map<std::string, SessionState> open_;
+  Telemetry tel_;
 };
 
 }  // namespace intellog::core

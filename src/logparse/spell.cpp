@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.hpp"
+#include "obs/trace.hpp"
 
 namespace intellog::logparse {
 
@@ -119,6 +120,7 @@ void Spell::refine_key(LogKey& key, const std::vector<std::string>& tokens) {
 }
 
 int Spell::consume(std::string_view message) {
+  obs::Span span("spell/consume", "logparse");
   const std::vector<std::string> tokens = split_tokens(message);
   if (tokens.empty()) return -1;
   const std::string shape = shape_of(tokens);
@@ -155,6 +157,7 @@ int Spell::consume(std::string_view message) {
 }
 
 int Spell::match(std::string_view message) const {
+  obs::Span span("spell/match", "logparse");
   const std::vector<std::string> tokens = split_tokens(message);
   if (tokens.empty()) return -1;
   if (const auto it = shape_cache_.find(shape_of(tokens)); it != shape_cache_.end())

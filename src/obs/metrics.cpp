@@ -1,0 +1,268 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+namespace intellog::obs {
+
+namespace {
+
+std::atomic<MetricsRegistry*> g_registry{nullptr};
+
+Labels canonical(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+/// Registry map key: `name{k1="v1",k2="v2"}` over canonical labels.
+std::string entry_key(const std::string& name, const Labels& labels) {
+  std::string out = name;
+  out += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    out += labels[i].second;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+/// Prometheus sample name: drop the braces entirely when label-free.
+std::string prom_series(const std::string& name, const Labels& labels,
+                        const std::string& extra_label = {}, const std::string& extra_value = {}) {
+  std::string out = name;
+  if (labels.empty() && extra_label.empty()) return out;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=\"" + common::json_escape(v) + "\"";
+  }
+  if (!extra_label.empty()) {
+    if (!first) out += ',';
+    out += extra_label + "=\"" + extra_value + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+std::string fmt_number(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+void atomic_add_double(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+// --- Histogram -------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, v);
+}
+
+std::uint64_t Histogram::cumulative_count(std::size_t i) const {
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b <= i && b <= bounds_.size(); ++b) {
+    total += buckets_[b].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+const std::vector<double>& Histogram::default_ms_buckets() {
+  static const std::vector<double> kBuckets = {0.01, 0.05, 0.1, 0.5,  1,    5,    10,
+                                               50,   100,  500, 1000, 5000, 10000};
+  return kBuckets;
+}
+
+const std::vector<double>& Histogram::default_us_buckets() {
+  static const std::vector<double> kBuckets = {0.5, 1,   2,    5,    10,   20,    50,
+                                               100, 500, 1000, 5000, 10000, 100000};
+  return kBuckets;
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+MetricsRegistry::Entry& MetricsRegistry::get_or_create(const std::string& name,
+                                                       const Labels& labels) {
+  const Labels canon = canonical(labels);
+  auto [it, fresh] = entries_.try_emplace(entry_key(name, canon));
+  if (fresh) {
+    it->second.name = name;
+    it->second.labels = canon;
+  }
+  return it->second;
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::find(const std::string& name,
+                                                    const Labels& labels) const {
+  const auto it = entries_.find(entry_key(name, canonical(labels)));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels) {
+  std::lock_guard lock(mu_);
+  Entry& e = get_or_create(name, labels);
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  std::lock_guard lock(mu_);
+  Entry& e = get_or_create(name, labels);
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, const Labels& labels,
+                                      const std::vector<double>& bounds) {
+  std::lock_guard lock(mu_);
+  Entry& e = get_or_create(name, labels);
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>(bounds);
+  return *e.histogram;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name, const Labels& labels) const {
+  std::lock_guard lock(mu_);
+  const Entry* e = find(name, labels);
+  return e ? e->counter.get() : nullptr;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name, const Labels& labels) const {
+  std::lock_guard lock(mu_);
+  const Entry* e = find(name, labels);
+  return e ? e->gauge.get() : nullptr;
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name,
+                                                 const Labels& labels) const {
+  std::lock_guard lock(mu_);
+  const Entry* e = find(name, labels);
+  return e ? e->histogram.get() : nullptr;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+common::Json MetricsRegistry::to_json() const {
+  std::lock_guard lock(mu_);
+  common::Json out = common::Json::object();
+  for (const auto& [key, e] : entries_) {
+    common::Json m = common::Json::object();
+    common::Json labels = common::Json::object();
+    for (const auto& [k, v] : e.labels) labels[k] = v;
+    m["name"] = e.name;
+    m["labels"] = std::move(labels);
+    if (e.counter) {
+      m["type"] = "counter";
+      m["value"] = e.counter->value();
+    } else if (e.gauge) {
+      m["type"] = "gauge";
+      m["value"] = e.gauge->value();
+    } else if (e.histogram) {
+      m["type"] = "histogram";
+      m["count"] = e.histogram->count();
+      m["sum"] = e.histogram->sum();
+      common::Json buckets = common::Json::array();
+      for (std::size_t i = 0; i <= e.histogram->bounds().size(); ++i) {
+        common::Json b = common::Json::object();
+        b["le"] = i < e.histogram->bounds().size() ? common::Json(e.histogram->bounds()[i])
+                                                   : common::Json("+Inf");
+        b["count"] = e.histogram->bucket_count(i);
+        buckets.push_back(std::move(b));
+      }
+      m["buckets"] = std::move(buckets);
+    } else {
+      continue;  // declared but never materialized; nothing to export
+    }
+    out[key] = std::move(m);
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard lock(mu_);
+  std::string out;
+  std::string last_typed;  // emit one # TYPE line per metric family
+  for (const auto& [key, e] : entries_) {
+    (void)key;
+    const auto type_line = [&](const char* type) {
+      if (last_typed != e.name) {
+        out += "# TYPE " + e.name + " " + type + "\n";
+        last_typed = e.name;
+      }
+    };
+    if (e.counter) {
+      type_line("counter");
+      out += prom_series(e.name, e.labels) + " " + std::to_string(e.counter->value()) + "\n";
+    } else if (e.gauge) {
+      type_line("gauge");
+      out += prom_series(e.name, e.labels) + " " + std::to_string(e.gauge->value()) + "\n";
+    } else if (e.histogram) {
+      type_line("histogram");
+      const Histogram& h = *e.histogram;
+      for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+        const std::string le =
+            i < h.bounds().size() ? fmt_number(h.bounds()[i]) : std::string("+Inf");
+        out += prom_series(e.name + "_bucket", e.labels, "le", le) + " " +
+               std::to_string(h.cumulative_count(i)) + "\n";
+      }
+      out += prom_series(e.name + "_sum", e.labels) + " " + fmt_number(h.sum()) + "\n";
+      out += prom_series(e.name + "_count", e.labels) + " " + std::to_string(h.count()) + "\n";
+    }
+  }
+  return out;
+}
+
+// --- global install --------------------------------------------------------
+
+void set_registry(MetricsRegistry* registry) {
+  g_registry.store(registry, std::memory_order_release);
+}
+
+MetricsRegistry* registry() { return g_registry.load(std::memory_order_acquire); }
+
+// --- timers ----------------------------------------------------------------
+
+std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+ScopedTimerMs::ScopedTimerMs(Histogram* hist) : hist_(hist) {
+  if (hist_) start_ns_ = monotonic_ns();
+}
+
+double ScopedTimerMs::elapsed_ms() const {
+  if (!hist_) return 0.0;
+  return static_cast<double>(monotonic_ns() - start_ns_) / 1e6;
+}
+
+ScopedTimerMs::~ScopedTimerMs() {
+  if (hist_) hist_->observe(elapsed_ms());
+}
+
+}  // namespace intellog::obs

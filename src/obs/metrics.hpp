@@ -1,0 +1,161 @@
+// Pipeline metrics: counters, gauges and fixed-bucket histograms.
+//
+// The registry is the only coordination point: instrumentation sites ask it
+// once for a metric handle (`counter("intellog_online_records_total")`) and
+// then mutate the handle with a single relaxed atomic op — cheap enough for
+// per-record hot paths. When no registry is installed (the default), the
+// process-global accessor returns nullptr and instrumented code degrades to
+// one relaxed atomic load plus a predictable branch.
+//
+// Naming scheme (Prometheus conventions): `intellog_<area>_<what>[_<unit>]`,
+// `_total` suffix for monotonic counters, `_ms`/`_us` for durations.
+// Labels distinguish instances of one logical metric (`{stage="spell"}`).
+//
+// Snapshots export to JSON (machine-readable, BENCH trajectories) and to
+// the Prometheus text exposition format (scrapeable).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace intellog::obs {
+
+/// Metric labels as ordered key/value pairs. Order-insensitive equality:
+/// the registry canonicalizes by sorting on key.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous signed value (e.g. currently-open streaming sessions).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void sub(std::int64_t n = 1) { v_.fetch_sub(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket latency histogram. Bucket i counts observations
+/// <= bounds[i]; one implicit +Inf bucket catches the rest. Concurrent
+/// observe() is safe (per-bucket relaxed atomics; sum via CAS loop).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket i (i == bounds().size() is the +Inf bucket).
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Cumulative count of observations <= bounds()[i] (Prometheus `le`).
+  std::uint64_t cumulative_count(std::size_t i) const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Default duration buckets in milliseconds: 0.01 .. 10000, roughly
+  /// geometric. Shared by all pipeline latency histograms.
+  static const std::vector<double>& default_ms_buckets();
+  /// Finer buckets for per-record streaming latencies, in microseconds.
+  static const std::vector<double>& default_us_buckets();
+
+ private:
+  std::vector<double> bounds_;                          // sorted upper bounds
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Name+label keyed metric registry. get-or-create accessors hand out
+/// stable pointers (metrics are never removed while the registry lives),
+/// so callers may cache handles across calls/threads.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  /// `bounds` is consulted only on first creation of this name+labels.
+  Histogram& histogram(const std::string& name, const Labels& labels = {},
+                       const std::vector<double>& bounds = Histogram::default_ms_buckets());
+
+  /// Lookup without creation (introspection/tests). nullptr when absent.
+  const Counter* find_counter(const std::string& name, const Labels& labels = {}) const;
+  const Gauge* find_gauge(const std::string& name, const Labels& labels = {}) const;
+  const Histogram* find_histogram(const std::string& name, const Labels& labels = {}) const;
+
+  std::size_t size() const;
+
+  /// JSON snapshot: {"name{labels}": {"type": ..., "value"/"buckets": ...}}.
+  common::Json to_json() const;
+  /// Prometheus text exposition format snapshot.
+  std::string to_prometheus() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Labels labels;  // canonical (sorted by key)
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& get_or_create(const std::string& name, const Labels& labels);
+  const Entry* find(const std::string& name, const Labels& labels) const;
+
+  mutable std::mutex mu_;
+  // Keyed by "name" + canonical label serialization; std::map keeps the
+  // exports deterministically ordered.
+  std::map<std::string, Entry> entries_;
+};
+
+/// Installs the process-global registry (nullptr disables metrics; the
+/// default). The registry must outlive all instrumented calls made while
+/// installed; callers that cache handles must not outlive it either.
+void set_registry(MetricsRegistry* registry);
+/// The installed registry, or nullptr. One relaxed atomic load.
+MetricsRegistry* registry();
+
+/// RAII wall-time probe: observes elapsed milliseconds into `hist` on
+/// destruction. A null histogram makes it a no-op (and skips the clock
+/// reads entirely).
+class ScopedTimerMs {
+ public:
+  explicit ScopedTimerMs(Histogram* hist);
+  ~ScopedTimerMs();
+  ScopedTimerMs(const ScopedTimerMs&) = delete;
+  ScopedTimerMs& operator=(const ScopedTimerMs&) = delete;
+  /// Elapsed so far, in ms (0 when disabled).
+  double elapsed_ms() const;
+
+ private:
+  Histogram* hist_;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// Monotonic nanoseconds (steady_clock); shared by timers and tracing.
+std::uint64_t monotonic_ns();
+
+}  // namespace intellog::obs

@@ -1,0 +1,107 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"  // monotonic_ns
+
+namespace intellog::obs {
+
+namespace {
+
+std::atomic<TraceCollector*> g_tracer{nullptr};
+std::atomic<std::uint32_t> g_next_tid{0};
+
+thread_local std::uint32_t t_tid = UINT32_MAX;
+thread_local std::uint32_t t_depth = 0;
+
+}  // namespace
+
+TraceCollector::TraceCollector(std::size_t max_events)
+    : epoch_ns_(monotonic_ns()), max_events_(max_events) {
+  events_.reserve(std::min<std::size_t>(max_events_, 4096));
+}
+
+void TraceCollector::record(const TraceEvent& ev) {
+  std::lock_guard lock(mu_);
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(ev);
+}
+
+std::size_t TraceCollector::size() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+std::size_t TraceCollector::dropped() const {
+  std::lock_guard lock(mu_);
+  return dropped_;
+}
+
+std::uint64_t TraceCollector::now_us() const { return (monotonic_ns() - epoch_ns_) / 1000; }
+
+common::Json TraceCollector::to_chrome_json() const {
+  std::lock_guard lock(mu_);
+  common::Json events = common::Json::array();
+  for (const TraceEvent& ev : events_) {
+    common::Json e = common::Json::object();
+    e["name"] = std::string(ev.name);
+    e["cat"] = std::string(ev.category);
+    e["ph"] = "X";
+    e["ts"] = static_cast<std::int64_t>(ev.ts_us);
+    e["dur"] = static_cast<std::int64_t>(ev.dur_us);
+    e["pid"] = 1;
+    e["tid"] = static_cast<std::int64_t>(ev.tid);
+    common::Json args = common::Json::object();
+    args["depth"] = static_cast<std::int64_t>(ev.depth);
+    e["args"] = std::move(args);
+    events.push_back(std::move(e));
+  }
+  common::Json out = common::Json::object();
+  out["traceEvents"] = std::move(events);
+  out["displayTimeUnit"] = "ms";
+  if (dropped_ > 0) {
+    common::Json meta = common::Json::object();
+    meta["dropped_events"] = dropped_;
+    out["metadata"] = std::move(meta);
+  }
+  return out;
+}
+
+void set_tracer(TraceCollector* collector) {
+  g_tracer.store(collector, std::memory_order_release);
+}
+
+TraceCollector* tracer() { return g_tracer.load(std::memory_order_acquire); }
+
+std::uint32_t trace_thread_id() {
+  if (t_tid == UINT32_MAX) t_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return t_tid;
+}
+
+Span::Span(const char* name, const char* category)
+    : collector_(tracer()), name_(name), category_(category) {
+  if (!collector_) return;
+  start_us_ = collector_->now_us();
+  depth_ = t_depth++;
+}
+
+void Span::close() {
+  if (!collector_) return;
+  --t_depth;
+  TraceEvent ev;
+  ev.name = name_;
+  ev.category = category_;
+  ev.ts_us = start_us_;
+  ev.dur_us = collector_->now_us() - start_us_;
+  ev.tid = trace_thread_id();
+  ev.depth = depth_;
+  collector_->record(ev);
+  collector_ = nullptr;
+}
+
+Span::~Span() { close(); }
+
+}  // namespace intellog::obs

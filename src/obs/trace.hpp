@@ -1,0 +1,88 @@
+// Scoped tracing: RAII spans exported as Chrome trace-event JSON.
+//
+// A Span records wall time (steady_clock) from construction to destruction
+// on a thread-local span stack, so nested pipeline stages ("train" >
+// "train/extract") come out properly nested per thread. The resulting file
+// loads directly in Perfetto (https://ui.perfetto.dev) or Chrome's
+// about://tracing.
+//
+// Like metrics, tracing is opt-in: with no collector installed a Span is
+// one relaxed atomic load and a branch. Span names must be string literals
+// (or otherwise outlive the collector) — spans store the pointer, not a
+// copy, to keep hot-path construction allocation-free.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace intellog::obs {
+
+/// One completed span ("ph":"X" complete event in the Chrome format).
+struct TraceEvent {
+  const char* name = "";
+  const char* category = "";
+  std::uint64_t ts_us = 0;   ///< start, microseconds since collector epoch
+  std::uint64_t dur_us = 0;  ///< duration in microseconds
+  std::uint32_t tid = 0;     ///< small per-process thread id
+  std::uint32_t depth = 0;   ///< nesting depth on that thread at start
+};
+
+/// Thread-safe bounded collector of completed spans. Events past
+/// `max_events` are counted as dropped rather than grown without bound —
+/// per-record spans (Spell matching) can reach millions per run.
+class TraceCollector {
+ public:
+  explicit TraceCollector(std::size_t max_events = 1 << 20);
+
+  void record(const TraceEvent& ev);
+
+  std::size_t size() const;
+  std::size_t dropped() const;
+  /// Microseconds since this collector's construction (span timestamps).
+  std::uint64_t now_us() const;
+
+  /// Chrome trace-event JSON: {"traceEvents": [...], "displayTimeUnit": "ms"}.
+  common::Json to_chrome_json() const;
+
+ private:
+  std::uint64_t epoch_ns_;
+  std::size_t max_events_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::size_t dropped_ = 0;
+};
+
+/// Installs the process-global collector (nullptr disables tracing; the
+/// default). Must outlive any span opened while installed.
+void set_tracer(TraceCollector* collector);
+/// The installed collector, or nullptr. One relaxed atomic load.
+TraceCollector* tracer();
+
+/// Small dense id for the calling thread (assigned on first use).
+std::uint32_t trace_thread_id();
+
+/// RAII span. `name`/`category` must be string literals (see file header).
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "pipeline");
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Ends the span now (instead of at scope exit). Idempotent.
+  void close();
+
+ private:
+  TraceCollector* collector_;  // captured at construction; null -> no-op
+  const char* name_;
+  const char* category_;
+  std::uint64_t start_us_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+}  // namespace intellog::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace intellog::simsys {
 
 SessionBuilder::SessionBuilder(const TemplateCorpus& corpus, std::string container_id,
@@ -51,6 +53,7 @@ void SessionBuilder::truncate_after(std::uint64_t cutoff_ms) {
 }
 
 logparse::Session SessionBuilder::finish() {
+  obs::Span span("simsys/session_finish", "simsys");
   std::stable_sort(records_.begin(), records_.end(),
                    [](const logparse::LogRecord& a, const logparse::LogRecord& b) {
                      return a.timestamp_ms < b.timestamp_ms;

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "simsys/workload.hpp"
 
 using namespace intellog;
@@ -136,6 +137,109 @@ TEST_F(OnlineDetectorTest, IdleTimeoutClosesStaleSessions) {
   ASSERT_EQ(closed.size(), 1u);
   EXPECT_EQ(closed[0].container_id, "c_old");
   EXPECT_EQ(online.open_sessions(), (std::vector<std::string>{"c_new"}));
+}
+
+TEST_F(OnlineDetectorTest, CloseIdleExactBoundaryTimestamps) {
+  core::OnlineDetector online(*model);
+  logparse::LogRecord rec;
+  rec.container_id = "c_boundary";
+  rec.timestamp_ms = 1000;
+  rec.content = "Shutdown hook called";
+  online.consume(rec);
+  // now < last_seen + idle: stays open.
+  EXPECT_TRUE(online.close_idle(/*now=*/1999, /*idle=*/1000).empty());
+  EXPECT_EQ(online.open_sessions().size(), 1u);
+  // now == last_seen + idle: exactly at the deadline -> closed.
+  EXPECT_EQ(online.close_idle(/*now=*/2000, /*idle=*/1000).size(), 1u);
+  EXPECT_TRUE(online.open_sessions().empty());
+}
+
+TEST_F(OnlineDetectorTest, CloseIdleUsesLatestRecordPerContainer) {
+  core::OnlineDetector online(*model);
+  logparse::LogRecord rec;
+  rec.content = "Shutdown hook called";
+  // Interleaved containers; c_b keeps logging after c_a stops.
+  rec.container_id = "c_a";
+  rec.timestamp_ms = 1000;
+  online.consume(rec);
+  rec.container_id = "c_b";
+  rec.timestamp_ms = 1500;
+  online.consume(rec);
+  rec.container_id = "c_a";
+  rec.timestamp_ms = 2000;
+  online.consume(rec);
+  rec.container_id = "c_b";
+  rec.timestamp_ms = 9000;
+  online.consume(rec);
+  // Out-of-order arrival must not rewind c_a's idle clock.
+  rec.container_id = "c_a";
+  rec.timestamp_ms = 500;
+  online.consume(rec);
+
+  const auto closed = online.close_idle(/*now=*/8000, /*idle=*/6000);
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].container_id, "c_a");
+  EXPECT_EQ(closed[0].session_length, 3u);
+  EXPECT_EQ(online.open_sessions(), (std::vector<std::string>{"c_b"}));
+}
+
+TEST_F(OnlineDetectorTest, RecordsAfterIdleCloseStartAFreshSession) {
+  core::OnlineDetector online(*model);
+  logparse::LogRecord rec;
+  rec.container_id = "c_restart";
+  rec.timestamp_ms = 1000;
+  rec.content = "Shutdown hook called";
+  online.consume(rec);
+  ASSERT_EQ(online.close_idle(/*now=*/10000, /*idle=*/1000).size(), 1u);
+  EXPECT_EQ(online.buffered_records("c_restart"), 0u);
+  // The same container id reappearing opens a new, empty-history session.
+  rec.timestamp_ms = 20000;
+  online.consume(rec);
+  EXPECT_EQ(online.buffered_records("c_restart"), 1u);
+  const auto report = online.close_session("c_restart");
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->session_length, 1u);
+}
+
+TEST_F(OnlineDetectorTest, StreamingTelemetryCountsRecordsSessionsAndCloses) {
+  obs::MetricsRegistry reg;
+  obs::set_registry(&reg);
+  {
+    // Handles are captured at construction, while the registry is installed.
+    core::OnlineDetector online(*model);
+    logparse::LogRecord rec;
+    rec.content = "Shutdown hook called";
+    rec.container_id = "c1";
+    rec.timestamp_ms = 1000;
+    online.consume(rec);
+    online.consume(rec);
+    rec.container_id = "c2";
+    rec.timestamp_ms = 50000;
+    online.consume(rec);
+    rec.container_id = "";  // dropped: no container id, not counted
+    online.consume(rec);
+    rec.container_id = "c2";
+    rec.content = "utterly unparseable gibberish xz-9q";
+    online.consume(rec);
+
+    EXPECT_EQ(reg.find_counter("intellog_online_records_total")->value(), 4u);
+    EXPECT_EQ(reg.find_counter("intellog_online_unexpected_total")->value(), 1u);
+    EXPECT_EQ(reg.find_gauge("intellog_online_open_sessions")->value(), 2);
+    EXPECT_EQ(reg.find_histogram("intellog_online_consume_us")->count(), 4u);
+
+    online.close_idle(/*now=*/100000, /*idle=*/60000);  // closes c1 only
+    EXPECT_EQ(
+        reg.find_counter("intellog_online_sessions_closed_total", {{"reason", "idle"}})->value(),
+        1u);
+    EXPECT_EQ(reg.find_gauge("intellog_online_open_sessions")->value(), 1);
+    online.close_all();
+    EXPECT_EQ(reg.find_counter("intellog_online_sessions_closed_total",
+                               {{"reason", "explicit"}})
+                  ->value(),
+              1u);
+    EXPECT_EQ(reg.find_gauge("intellog_online_open_sessions")->value(), 0);
+  }
+  obs::set_registry(nullptr);
 }
 
 TEST_F(OnlineDetectorTest, BufferedRecordCounts) {

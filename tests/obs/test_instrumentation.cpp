@@ -1,0 +1,108 @@
+// Integration: the real pipeline populates the observability layer.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/intellog.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "simsys/workload.hpp"
+
+using namespace intellog;
+
+namespace {
+
+std::vector<logparse::Session> corpus(int jobs, std::uint64_t seed) {
+  simsys::ClusterSpec cluster;
+  simsys::WorkloadGenerator gen("spark", seed);
+  std::vector<logparse::Session> out;
+  for (int i = 0; i < jobs; ++i) {
+    simsys::JobResult job = simsys::run_job(gen.training_job(), cluster);
+    for (auto& s : job.sessions) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+struct ObsGuard {
+  obs::MetricsRegistry reg;
+  obs::TraceCollector trace;
+  ObsGuard() {
+    obs::set_registry(&reg);
+    obs::set_tracer(&trace);
+  }
+  ~ObsGuard() {
+    obs::set_registry(nullptr);
+    obs::set_tracer(nullptr);
+  }
+};
+
+TEST(Instrumentation, TrainPopulatesStageMetricsAndSpans) {
+  ObsGuard guard;
+  const auto sessions = corpus(3, 11);
+  std::size_t records = 0;
+  for (const auto& s : sessions) records += s.records.size();
+
+  core::IntelLog il;
+  il.train(sessions);
+
+  // Stage latency histogram: one observation per training stage.
+  for (const char* stage : {"spell", "extract", "group", "subroutines", "hwgraph"}) {
+    const obs::Histogram* h =
+        guard.reg.find_histogram("intellog_train_stage_ms", {{"stage", stage}});
+    ASSERT_NE(h, nullptr) << stage;
+    EXPECT_EQ(h->count(), 1u) << stage;
+  }
+
+  // Volume counters match the corpus.
+  EXPECT_EQ(guard.reg.find_counter("intellog_train_sessions_total")->value(), sessions.size());
+  EXPECT_EQ(guard.reg.find_counter("intellog_train_records_total")->value(), records);
+
+  // Model-size gauges agree with the trained model.
+  const auto gauge = [&](const char* name) {
+    const obs::Gauge* g = guard.reg.find_gauge(name);
+    return g ? g->value() : -1;
+  };
+  EXPECT_EQ(gauge("intellog_model_log_keys"), static_cast<std::int64_t>(il.spell().size()));
+  EXPECT_EQ(gauge("intellog_model_intel_keys"),
+            static_cast<std::int64_t>(il.intel_keys().size()));
+  EXPECT_EQ(gauge("intellog_model_entity_groups"),
+            static_cast<std::int64_t>(il.entity_groups().groups.size()));
+  EXPECT_EQ(gauge("intellog_model_graph_nodes"),
+            static_cast<std::int64_t>(il.hw_graph().groups().size()));
+  EXPECT_GT(gauge("intellog_model_graph_edges"), 0);
+  EXPECT_EQ(gauge("intellog_model_critical_groups"),
+            static_cast<std::int64_t>(il.hw_graph().critical_group_count()));
+
+  // The trace saw every stage plus per-record Spell spans.
+  std::map<std::string, int> names;
+  const common::Json trace_json = guard.trace.to_chrome_json();
+  for (const auto& e : trace_json["traceEvents"].as_array()) {
+    names[e["name"].as_string()]++;
+  }
+  for (const char* span : {"train", "train/spell", "train/extract", "train/group",
+                           "train/subroutines", "train/hwgraph"}) {
+    EXPECT_EQ(names[span], 1) << span;
+  }
+  EXPECT_EQ(names["spell/consume"], static_cast<int>(records));
+  EXPECT_EQ(names["train/session_view"], static_cast<int>(sessions.size()));
+
+  // Detection path: counters advance per session.
+  const auto report = il.detect(sessions.front());
+  EXPECT_EQ(guard.reg.find_counter("intellog_detect_sessions_total")->value(), 1u);
+  EXPECT_EQ(guard.reg.find_counter("intellog_detect_records_total")->value(),
+            sessions.front().records.size());
+  EXPECT_EQ(guard.reg.find_histogram("intellog_detect_session_ms")->count(), 1u);
+  (void)report;
+}
+
+TEST(Instrumentation, PipelineIsSilentWithoutRegistry) {
+  ASSERT_EQ(obs::registry(), nullptr);
+  ASSERT_EQ(obs::tracer(), nullptr);
+  const auto sessions = corpus(2, 13);
+  core::IntelLog il;
+  il.train(sessions);  // must not touch any registry or collector
+  const auto report = il.detect(sessions.front());
+  EXPECT_EQ(report.session_length, sessions.front().records.size());
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+
+using namespace intellog;
+
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAddSub) {
+  obs::Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.set(10);
+  g.add(5);
+  g.sub(2);
+  EXPECT_EQ(g.value(), 13);
+  g.set(-3);
+  EXPECT_EQ(g.value(), -3);
+}
+
+TEST(Histogram, BucketsObservationsByUpperBound) {
+  obs::Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // <= 1 (boundary lands in its bound's bucket)
+  h.observe(5.0);    // <= 10
+  h.observe(1000.0); // +Inf
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1006.5);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // +Inf
+  // Cumulative (Prometheus `le`) counts.
+  EXPECT_EQ(h.cumulative_count(0), 2u);
+  EXPECT_EQ(h.cumulative_count(1), 3u);
+  EXPECT_EQ(h.cumulative_count(2), 3u);
+  EXPECT_EQ(h.cumulative_count(3), 4u);
+}
+
+TEST(MetricsRegistry, SameNameAndLabelsReturnsSameMetric) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("hits", {{"stage", "spell"}});
+  obs::Counter& b = reg.counter("hits", {{"stage", "spell"}});
+  obs::Counter& c = reg.counter("hits", {{"stage", "extract"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  a.add(3);
+  EXPECT_EQ(reg.find_counter("hits", {{"stage", "spell"}})->value(), 3u);
+  EXPECT_EQ(reg.find_counter("hits", {{"stage", "extract"}})->value(), 0u);
+  EXPECT_EQ(reg.find_counter("hits", {{"stage", "nope"}}), nullptr);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricsRegistry, LabelLookupIsOrderInsensitive) {
+  obs::MetricsRegistry reg;
+  obs::Gauge& a = reg.gauge("g", {{"x", "1"}, {"y", "2"}});
+  obs::Gauge& b = reg.gauge("g", {{"y", "2"}, {"x", "1"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsFromThreadPool) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("work_total");
+  obs::Histogram& h = reg.histogram("work_ms");
+  common::ThreadPool pool(4);
+  constexpr std::size_t kTasks = 64, kAddsPerTask = 1000;
+  pool.parallel_for(kTasks, [&](std::size_t i) {
+    for (std::size_t k = 0; k < kAddsPerTask; ++k) {
+      // Exercise both the cached-handle path and registry lookup under
+      // contention.
+      c.add(1);
+      reg.counter("work_total", {{"worker", std::to_string(i % 4)}}).add(1);
+      h.observe(static_cast<double>(k % 7));
+    }
+  });
+  EXPECT_EQ(c.value(), kTasks * kAddsPerTask);
+  std::uint64_t labeled = 0;
+  for (int w = 0; w < 4; ++w) {
+    labeled += reg.find_counter("work_total", {{"worker", std::to_string(w)}})->value();
+  }
+  EXPECT_EQ(labeled, kTasks * kAddsPerTask);
+  EXPECT_EQ(h.count(), kTasks * kAddsPerTask);
+}
+
+TEST(MetricsRegistry, JsonSnapshotShape) {
+  obs::MetricsRegistry reg;
+  reg.counter("c_total", {{"k", "v"}}).add(7);
+  reg.gauge("g").set(-2);
+  reg.histogram("h", {}, {1.0, 2.0}).observe(1.5);
+  const common::Json j = reg.to_json();
+  ASSERT_TRUE(j.is_object());
+  const common::Json& c = j["c_total{k=\"v\"}"];
+  EXPECT_EQ(c["type"].as_string(), "counter");
+  EXPECT_EQ(c["value"].as_int(), 7);
+  EXPECT_EQ(c["labels"]["k"].as_string(), "v");
+  EXPECT_EQ(j["g{}"]["type"].as_string(), "gauge");
+  EXPECT_EQ(j["g{}"]["value"].as_int(), -2);
+  const common::Json& h = j["h{}"];
+  EXPECT_EQ(h["type"].as_string(), "histogram");
+  EXPECT_EQ(h["count"].as_int(), 1);
+  ASSERT_EQ(h["buckets"].size(), 3u);  // two bounds + Inf
+  EXPECT_EQ(h["buckets"][2]["le"].as_string(), "+Inf");
+  // Round-trips through the serializer.
+  EXPECT_NO_THROW(common::Json::parse(j.dump(2)));
+}
+
+TEST(MetricsRegistry, PrometheusTextFormat) {
+  obs::MetricsRegistry reg;
+  reg.counter("requests_total", {{"system", "spark"}}).add(5);
+  reg.counter("requests_total", {{"system", "tez"}}).add(2);
+  reg.gauge("open_sessions").set(3);
+  obs::Histogram& h = reg.histogram("latency_ms", {}, {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(20.0);
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("# TYPE requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("requests_total{system=\"spark\"} 5"), std::string::npos);
+  EXPECT_NE(text.find("requests_total{system=\"tez\"} 2"), std::string::npos);
+  // One TYPE line per family, not per labeled series.
+  const auto first = text.find("# TYPE requests_total");
+  EXPECT_EQ(text.find("# TYPE requests_total", first + 1), std::string::npos);
+  EXPECT_NE(text.find("# TYPE open_sessions gauge"), std::string::npos);
+  EXPECT_NE(text.find("open_sessions 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE latency_ms histogram"), std::string::npos);
+  EXPECT_NE(text.find("latency_ms_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("latency_ms_bucket{le=\"10\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("latency_ms_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("latency_ms_count 2"), std::string::npos);
+}
+
+TEST(GlobalRegistry, NullByDefaultAndInstallable) {
+  EXPECT_EQ(obs::registry(), nullptr);
+  obs::MetricsRegistry reg;
+  obs::set_registry(&reg);
+  EXPECT_EQ(obs::registry(), &reg);
+  obs::set_registry(nullptr);
+  EXPECT_EQ(obs::registry(), nullptr);
+}
+
+TEST(ScopedTimerMs, ObservesOnDestructionAndNoopsWhenNull) {
+  obs::Histogram h({1000.0});
+  {
+    obs::ScopedTimerMs t(&h);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_GT(t.elapsed_ms(), 0.0);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.sum(), 0.0);
+  {
+    obs::ScopedTimerMs t(nullptr);  // must not crash, records nothing
+    EXPECT_EQ(t.elapsed_ms(), 0.0);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,103 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+using namespace intellog;
+
+namespace {
+
+/// Installs a collector for the test body and uninstalls on exit.
+struct TracerGuard {
+  explicit TracerGuard(obs::TraceCollector& c) { obs::set_tracer(&c); }
+  ~TracerGuard() { obs::set_tracer(nullptr); }
+};
+
+TEST(Trace, SpanIsNoopWithoutCollector) {
+  ASSERT_EQ(obs::tracer(), nullptr);
+  obs::Span span("orphan");  // must not crash or record anywhere
+}
+
+TEST(Trace, RecordsNestedSpansWithDepth) {
+  obs::TraceCollector collector;
+  {
+    TracerGuard guard(collector);
+    obs::Span outer("outer");
+    {
+      obs::Span inner("inner", "test");
+    }
+  }
+  ASSERT_EQ(collector.size(), 2u);
+  const common::Json j = collector.to_chrome_json();
+  const auto& events = j["traceEvents"].as_array();
+  // Spans close inner-first.
+  EXPECT_EQ(events[0]["name"].as_string(), "inner");
+  EXPECT_EQ(events[0]["cat"].as_string(), "test");
+  EXPECT_EQ(events[0]["args"]["depth"].as_int(), 1);
+  EXPECT_EQ(events[1]["name"].as_string(), "outer");
+  EXPECT_EQ(events[1]["args"]["depth"].as_int(), 0);
+  for (const auto& e : events) {
+    EXPECT_EQ(e["ph"].as_string(), "X");
+    EXPECT_TRUE(e["ts"].is_int());
+    EXPECT_TRUE(e["dur"].is_int());
+    EXPECT_TRUE(e["tid"].is_int());
+    EXPECT_EQ(e["pid"].as_int(), 1);
+  }
+  // The outer span encloses the inner one.
+  EXPECT_LE(events[1]["ts"].as_int(), events[0]["ts"].as_int());
+  EXPECT_GE(events[1]["ts"].as_int() + events[1]["dur"].as_int(),
+            events[0]["ts"].as_int() + events[0]["dur"].as_int());
+}
+
+TEST(Trace, ExplicitCloseIsIdempotent) {
+  obs::TraceCollector collector;
+  TracerGuard guard(collector);
+  obs::Span span("once");
+  span.close();
+  span.close();  // second close records nothing
+  EXPECT_EQ(collector.size(), 1u);
+}
+
+TEST(Trace, DistinctThreadsGetDistinctIds) {
+  obs::TraceCollector collector;
+  {
+    TracerGuard guard(collector);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 3; ++i) {
+      threads.emplace_back([] { obs::Span span("thread_work"); });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const common::Json j = collector.to_chrome_json();
+  std::set<std::int64_t> tids;
+  for (const auto& e : j["traceEvents"].as_array()) tids.insert(e["tid"].as_int());
+  EXPECT_EQ(tids.size(), 3u);
+}
+
+TEST(Trace, BoundedCollectorCountsDrops) {
+  obs::TraceCollector collector(/*max_events=*/2);
+  TracerGuard guard(collector);
+  for (int i = 0; i < 5; ++i) {
+    obs::Span span("burst");
+  }
+  EXPECT_EQ(collector.size(), 2u);
+  EXPECT_EQ(collector.dropped(), 3u);
+  const common::Json j = collector.to_chrome_json();
+  EXPECT_EQ(j["metadata"]["dropped_events"].as_int(), 3);
+}
+
+TEST(Trace, ChromeJsonParsesAndHasDisplayUnit) {
+  obs::TraceCollector collector;
+  {
+    TracerGuard guard(collector);
+    obs::Span span("solo");
+  }
+  const std::string dumped = collector.to_chrome_json().dump();
+  const common::Json parsed = common::Json::parse(dumped);
+  EXPECT_EQ(parsed["displayTimeUnit"].as_string(), "ms");
+  EXPECT_EQ(parsed["traceEvents"].size(), 1u);
+}
+
+}  // namespace

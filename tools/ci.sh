@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build + run the full test suite in Release, then
+# again under ASan/UBSan. Run from anywhere; builds land in build-ci-*.
+#
+#   tools/ci.sh            # both configurations
+#   tools/ci.sh release    # Release only
+#   tools/ci.sh asan       # sanitizers only
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+mode="${1:-all}"
+
+generator=()
+command -v ninja >/dev/null 2>&1 && generator=(-G Ninja)
+
+run_config() {
+  local name="$1"; shift
+  local dir="$repo/build-ci-$name"
+  echo "==> [$name] configure"
+  cmake -B "$dir" -S "$repo" "${generator[@]}" "$@"
+  echo "==> [$name] build"
+  cmake --build "$dir" -j "$jobs"
+  echo "==> [$name] ctest"
+  ctest --test-dir "$dir" -j "$jobs" --output-on-failure
+}
+
+case "$mode" in
+  release|all)
+    run_config release -DCMAKE_BUILD_TYPE=Release
+    ;;&
+  asan|all)
+    run_config asan \
+      -DCMAKE_BUILD_TYPE=Debug \
+      -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+    ;;&
+  release|asan|all) ;;
+  *)
+    echo "usage: $0 [release|asan|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "==> ci.sh OK ($mode)"

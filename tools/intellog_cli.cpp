@@ -5,17 +5,27 @@
 //   intellog detect <logdir> -m model.json [--json]   analyze new sessions
 //   intellog graph  -m model.json [--dot|--json]      inspect the HW-graph
 //   intellog keys   -m model.json                     list Intel Keys
+//   intellog stats  <logdir> -m model.json [--json]   pipeline metrics
+//
+// `train`, `detect` and `stats` accept `--metrics <file>` (snapshot of the
+// pipeline metrics registry; `.prom`/`.txt` -> Prometheus text, otherwise
+// JSON) and `--trace <file>` (Chrome trace-event JSON — load it in
+// https://ui.perfetto.dev or about://tracing).
 //
 // Log directories hold one `<container_id>.log` file per session (any mix
 // of the supported formats; auto-detected per file). `tools/loggen`
 // produces compatible datasets from the simulators.
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "core/message_store.hpp"
 #include "core/model_io.hpp"
+#include "core/online.hpp"
 #include "core/query.hpp"
 #include "logparse/log_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace intellog;
 
@@ -23,18 +33,73 @@ namespace {
 
 int usage() {
   std::cerr << "usage:\n"
-               "  intellog train  <logdir> -o <model.json>\n"
-               "  intellog detect <logdir> -m <model.json> [--json]\n"
+               "  intellog train  <logdir> -o <model.json> [--metrics <f>] [--trace <f>]\n"
+               "  intellog detect <logdir> -m <model.json> [--json] [--metrics <f>] [--trace <f>]\n"
+               "  intellog stats  <logdir> -m <model.json> [--json] [--metrics <f>] [--trace <f>]\n"
                "  intellog graph  -m <model.json> [--dot|--json|--critical]\n"
                "  intellog keys   -m <model.json>\n"
                "  intellog query  <logdir> -m <model.json> -q '<expr>' [--json]\n"
-               "      expr: e.g. 'id.FETCHER=1 AND locality~host1', 'key=12 OR value>1000'\n";
+               "      expr: e.g. 'id.FETCHER=1 AND locality~host1', 'key=12 OR value>1000'\n"
+               "  --metrics: write a metrics snapshot (.prom/.txt -> Prometheus text, else JSON)\n"
+               "  --trace:   write Chrome trace-event JSON (open in Perfetto)\n";
   return 2;
 }
 
 struct Args {
   std::string command, logdir, model_path, output_path, query_text;
+  std::string metrics_path, trace_path;
   bool json = false, dot = false, critical_only = false;
+};
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Installs a metrics registry and/or trace collector for the duration of a
+/// command and writes the requested output files on destruction. The
+/// registry is installed whenever metrics output is wanted OR the command
+/// itself consumes the snapshot (`stats`).
+class ObsScope {
+ public:
+  ObsScope(const Args& args, bool force_metrics)
+      : metrics_path_(args.metrics_path), trace_path_(args.trace_path) {
+    if (!metrics_path_.empty() || force_metrics) obs::set_registry(&registry_);
+    if (!trace_path_.empty()) obs::set_tracer(&trace_);
+  }
+
+  ~ObsScope() {
+    obs::set_registry(nullptr);
+    obs::set_tracer(nullptr);
+    if (!metrics_path_.empty()) {
+      std::ofstream f(metrics_path_);
+      if (ends_with(metrics_path_, ".prom") || ends_with(metrics_path_, ".txt")) {
+        f << registry_.to_prometheus();
+      } else {
+        f << registry_.to_json().dump(2) << "\n";
+      }
+      if (f.flush(); f) {
+        std::cerr << "metrics (" << registry_.size() << " series) -> " << metrics_path_ << "\n";
+      } else {
+        std::cerr << "error: cannot write metrics to " << metrics_path_ << "\n";
+      }
+    }
+    if (!trace_path_.empty()) {
+      std::ofstream f(trace_path_);
+      f << trace_.to_chrome_json().dump() << "\n";
+      if (f.flush(); f) {
+        std::cerr << "trace (" << trace_.size() << " spans) -> " << trace_path_ << "\n";
+      } else {
+        std::cerr << "error: cannot write trace to " << trace_path_ << "\n";
+      }
+    }
+  }
+
+  obs::MetricsRegistry& registry() { return registry_; }
+
+ private:
+  obs::MetricsRegistry registry_;
+  obs::TraceCollector trace_;
+  std::string metrics_path_, trace_path_;
 };
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -55,6 +120,14 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.query_text = v;
+    } else if (a == "--metrics") {
+      const char* v = next();
+      if (!v) return false;
+      args.metrics_path = v;
+    } else if (a == "--trace") {
+      const char* v = next();
+      if (!v) return false;
+      args.trace_path = v;
     } else if (a == "--json") {
       args.json = true;
     } else if (a == "--dot") {
@@ -72,6 +145,7 @@ bool parse_args(int argc, char** argv, Args& args) {
 
 int cmd_train(const Args& args) {
   if (args.logdir.empty() || args.output_path.empty()) return usage();
+  ObsScope obs_scope(args, /*force_metrics=*/false);
   std::cerr << "reading " << args.logdir << "...\n";
   const auto sessions = logparse::read_log_directory(args.logdir);
   if (sessions.empty()) {
@@ -93,7 +167,9 @@ int cmd_train(const Args& args) {
 
 int cmd_detect(const Args& args) {
   if (args.logdir.empty() || args.model_path.empty()) return usage();
+  ObsScope obs_scope(args, /*force_metrics=*/false);
   const core::IntelLog il = core::load_model_file(args.model_path);
+  if (obs::MetricsRegistry* reg = obs::registry()) il.record_model_metrics(*reg);
   const auto sessions = logparse::read_log_directory(args.logdir);
   std::size_t anomalous = 0;
   common::Json reports = common::Json::array();
@@ -184,6 +260,68 @@ int cmd_keys(const Args& args) {
   return 0;
 }
 
+// Runs the streaming pipeline over a log directory with the full
+// observability stack enabled and reports the metric snapshot — the
+// operator's "where does time go / what is the detector seeing" view.
+int cmd_stats(const Args& args) {
+  if (args.logdir.empty() || args.model_path.empty()) return usage();
+  ObsScope obs_scope(args, /*force_metrics=*/true);
+  obs::MetricsRegistry& reg = obs_scope.registry();
+
+  const core::IntelLog il = core::load_model_file(args.model_path);
+  il.record_model_metrics(reg);
+  const auto sessions = logparse::read_log_directory(args.logdir);
+
+  // Route every record through the streaming detector so the per-record
+  // consume-latency histogram and session gauges are populated too.
+  const obs::ScopedTimerMs wall(&reg.histogram("intellog_stats_wall_ms"));
+  core::OnlineDetector online(il);
+  for (const auto& s : sessions) {
+    for (const auto& rec : s.records) online.consume(rec);
+  }
+  std::size_t anomalous = 0;
+  for (const auto& report : online.close_all()) anomalous += report.anomalous();
+  const double wall_ms = wall.elapsed_ms();
+
+  if (args.json) {
+    std::cout << reg.to_json().dump(2) << "\n";
+    return 0;
+  }
+
+  const auto counter = [&](const char* name, const obs::Labels& labels = {}) -> std::uint64_t {
+    const obs::Counter* c = reg.find_counter(name, labels);
+    return c ? c->value() : 0;
+  };
+  const auto gauge = [&](const char* name) -> std::int64_t {
+    const obs::Gauge* g = reg.find_gauge(name);
+    return g ? g->value() : 0;
+  };
+  const std::uint64_t records = counter("intellog_online_records_total");
+  std::cout << "model:   " << gauge("intellog_model_log_keys") << " log keys, "
+            << gauge("intellog_model_intel_keys") << " Intel Keys, "
+            << gauge("intellog_model_entity_groups") << " entity groups, HW-graph "
+            << gauge("intellog_model_graph_nodes") << " nodes / "
+            << gauge("intellog_model_graph_edges") << " edges ("
+            << gauge("intellog_model_critical_groups") << " critical, "
+            << gauge("intellog_model_subroutines") << " subroutines)\n";
+  std::cout << "stream:  " << records << " records in " << sessions.size() << " sessions; "
+            << anomalous << " anomalous\n";
+  std::cout << "         " << counter("intellog_online_unexpected_total")
+            << " unexpected messages, " << counter("intellog_detect_issues_total")
+            << " structural issues\n";
+  if (const obs::Histogram* h = reg.find_histogram("intellog_online_consume_us");
+      h && h->count() > 0) {
+    std::cout << "latency: consume avg " << h->sum() / static_cast<double>(h->count())
+              << " us/record over " << h->count() << " records\n";
+  }
+  if (wall_ms > 0 && records > 0) {
+    std::cout << "rate:    " << static_cast<std::uint64_t>(
+                                    static_cast<double>(records) / (wall_ms / 1000.0))
+              << " records/s (" << wall_ms << " ms wall)\n";
+  }
+  return 0;
+}
+
 int cmd_query(const Args& args) {
   if (args.logdir.empty() || args.model_path.empty() || args.query_text.empty()) return usage();
   const core::IntelLog il = core::load_model_file(args.model_path);
@@ -221,6 +359,7 @@ int main(int argc, char** argv) {
   try {
     if (args.command == "train") return cmd_train(args);
     if (args.command == "detect") return cmd_detect(args);
+    if (args.command == "stats") return cmd_stats(args);
     if (args.command == "graph") return cmd_graph(args);
     if (args.command == "keys") return cmd_keys(args);
     if (args.command == "query") return cmd_query(args);

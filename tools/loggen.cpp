@@ -8,6 +8,7 @@
 // Writes <outdir>/job_<n>/<container_id>.log in the system's native log
 // format, plus <outdir>/manifest.json recording the job specs and fault
 // ground truth (for scoring; the IntelLog CLI never reads it).
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -75,6 +76,7 @@ int main(int argc, char** argv) {
   common::Json jobs_json = common::Json::array();
 
   std::size_t total_lines = 0, total_sessions = 0;
+  const auto t0 = std::chrono::steady_clock::now();
   for (int j = 0; j < jobs; ++j) {
     simsys::JobSpec spec = gen.training_job();
     if (low_memory) {
@@ -108,11 +110,19 @@ int main(int argc, char** argv) {
     total_sessions += result.sessions.size();
     for (const auto& s : result.sessions) total_lines += s.records.size();
   }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
   manifest["jobs"] = std::move(jobs_json);
+  manifest["generation_wall_ms"] = wall_ms;
+  manifest["generation_lines_per_s"] =
+      wall_ms > 0 ? static_cast<double>(total_lines) / (wall_ms / 1000.0) : 0.0;
   std::ofstream mf(std::filesystem::path(outdir) / "manifest.json");
   mf << manifest.dump(2) << "\n";
 
   std::cout << "wrote " << jobs << " " << system << " jobs (" << total_sessions
             << " sessions, " << total_lines << " log lines) under " << outdir << "\n";
+  std::cout << "generated in " << wall_ms << " ms ("
+            << static_cast<std::uint64_t>(manifest["generation_lines_per_s"].as_double())
+            << " lines/s)\n";
   return 0;
 }
