@@ -2,7 +2,17 @@
 // Spell key matching, POS tagging + extraction, Intel-Message
 // instantiation, and end-to-end session detection. These are not paper
 // tables; they document the throughput envelope of the implementation.
+//
+// After the google benchmarks, main() measures the detection path with the
+// repo harness (steady_clock, warm-up + repeats) and writes
+// BENCH_micro_pipeline.json — the committed baseline that tools/ci.sh's
+// bench smoke stage regresses against. Headline throughput_per_s is Spell
+// match records/s; `extra` carries detect records/s and detect_batch
+// 1/2/4-thread scaling. Pass --benchmark_filter to trim the google part
+// (the harness part always runs).
 #include <benchmark/benchmark.h>
+
+#include <thread>
 
 #include "bench/harness.hpp"
 #include "core/extraction.hpp"
@@ -25,6 +35,20 @@ const logparse::Session& shared_session() {
     return job.sessions.front();
   }();
   return session;
+}
+
+const std::vector<logparse::Session>& shared_batch() {
+  static const std::vector<logparse::Session> sessions = [] {
+    simsys::ClusterSpec cluster;
+    simsys::WorkloadGenerator gen("spark", 29);
+    std::vector<logparse::Session> out;
+    for (int j = 0; j < 6; ++j) {
+      simsys::JobResult job = simsys::run_job(gen.detection_job(j % 3), cluster);
+      for (auto& s : job.sessions) out.push_back(std::move(s));
+    }
+    return out;
+  }();
+  return sessions;
 }
 
 void BM_SpellMatch(benchmark::State& state) {
@@ -104,6 +128,84 @@ void BM_TrainSmallCorpus(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainSmallCorpus);
 
+void BM_DetectBatch4Threads(benchmark::State& state) {
+  const auto& il = shared_model();
+  const auto& sessions = shared_batch();
+  std::size_t records = 0;
+  for (const auto& s : sessions) records += s.records.size();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(il.detect_batch(sessions, 4));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * records));
+}
+BENCHMARK(BM_DetectBatch4Threads);
+
+/// Harness-timed (steady_clock, warm-up + repeats) measurements emitted to
+/// BENCH_micro_pipeline.json for the perf trajectory + CI regression gate.
+void emit_harness_bench() {
+  const auto& il = shared_model();
+  const auto& session = shared_session();
+  const auto& sessions = shared_batch();
+  const std::size_t session_records = session.records.size();
+  std::size_t batch_records = 0;
+  for (const auto& s : sessions) batch_records += s.records.size();
+
+  // Spell match throughput (the headline number ci.sh gates on).
+  constexpr int kMatchPasses = 50;
+  const bench::Timing match_timing = bench::run_timed(
+      [&] {
+        for (int p = 0; p < kMatchPasses; ++p) {
+          for (const auto& rec : session.records) {
+            benchmark::DoNotOptimize(il.spell().match(rec.content));
+          }
+        }
+      },
+      /*repeats=*/5, /*warmup=*/1);
+
+  // End-to-end serial detection over one session.
+  constexpr int kDetectPasses = 10;
+  const bench::Timing detect_timing = bench::run_timed(
+      [&] {
+        for (int p = 0; p < kDetectPasses; ++p) benchmark::DoNotOptimize(il.detect(session));
+      },
+      /*repeats=*/5, /*warmup=*/1);
+
+  // Sharded batch detection at 1/2/4 workers over a multi-job workload.
+  common::Json extra = common::Json::object();
+  double batch_1t_ms = 0;
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    const bench::Timing t = bench::run_timed(
+        [&] { benchmark::DoNotOptimize(il.detect_batch(sessions, jobs)); },
+        /*repeats=*/3, /*warmup=*/1);
+    const std::string tag = "batch_" + std::to_string(jobs) + "t";
+    extra[tag + "_ms_min"] = t.min_ms();
+    if (jobs == 1) {
+      batch_1t_ms = t.min_ms();
+    } else if (t.min_ms() > 0) {
+      extra[tag + "_speedup"] = batch_1t_ms / t.min_ms();
+    }
+  }
+  extra["detect_records_per_s"] =
+      detect_timing.min_ms() > 0
+          ? static_cast<double>(kDetectPasses * session_records) /
+                (detect_timing.min_ms() / 1000.0)
+          : 0.0;
+  extra["batch_records"] = batch_records;
+  extra["batch_sessions"] = sessions.size();
+  extra["hardware_concurrency"] = static_cast<std::size_t>(std::thread::hardware_concurrency());
+
+  bench::emit_bench_json("micro_pipeline", match_timing,
+                         static_cast<double>(kMatchPasses * session_records),
+                         std::move(extra));
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_harness_bench();
+  return 0;
+}

@@ -7,6 +7,7 @@
 // detections. Paper: Spark 13/2/2/(2), MapReduce 15/1/0/(0),
 // Tez 13/3/2/(3); overall 41/45 detected, 87.23% precision, 91.11% recall.
 #include <algorithm>
+#include <thread>
 
 #include "bench/harness.hpp"
 #include "common/table.hpp"
@@ -67,6 +68,34 @@ int main() {
     }();
     bench::emit_bench_json("table6_detect_" + system, timing,
                            static_cast<double>(workload_records), std::move(extra));
+
+    // Batch-detect scaling over the same workload: all sessions flattened
+    // into one detect_batch call at 1/2/4 workers. Speedups are whatever
+    // the host delivers (see extra.hardware_concurrency — a 1-core runner
+    // cannot scale, by construction).
+    std::vector<logparse::Session> flat;
+    for (const auto& dj : jobs) {
+      for (const auto& s : dj.result.sessions) flat.push_back(s);
+    }
+    common::Json batch_extra = common::Json::object();
+    batch_extra["system"] = system;
+    batch_extra["sessions"] = flat.size();
+    batch_extra["hardware_concurrency"] =
+        static_cast<std::size_t>(std::thread::hardware_concurrency());
+    bench::Timing batch_1t;
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      const bench::Timing t = bench::run_timed(
+          [&] { (void)il.detect_batch(flat, workers); }, /*repeats=*/3, /*warmup=*/1);
+      const std::string tag = "batch_" + std::to_string(workers) + "t";
+      batch_extra[tag + "_ms_min"] = t.min_ms();
+      if (workers == 1) {
+        batch_1t = t;
+      } else if (t.min_ms() > 0) {
+        batch_extra[tag + "_speedup"] = batch_1t.min_ms() / t.min_ms();
+      }
+    }
+    bench::emit_bench_json("table6_batch_" + system, batch_1t,
+                           static_cast<double>(workload_records), std::move(batch_extra));
     table.add_row({system,
                    std::to_string(min_sessions) + "~" + std::to_string(max_sessions),
                    std::to_string(min_len) + "~" + std::to_string(max_len),

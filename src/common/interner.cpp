@@ -1,0 +1,15 @@
+#include "common/interner.hpp"
+
+namespace intellog::common {
+
+int TokenInterner::intern(std::string_view token) {
+  const auto it = map_.find(token);
+  if (it != map_.end()) return it->second;
+  const int id = static_cast<int>(texts_.size());
+  const auto [inserted, fresh] = map_.emplace(std::string(token), id);
+  (void)fresh;
+  texts_.push_back(&inserted->first);
+  return id;
+}
+
+}  // namespace intellog::common

@@ -1,0 +1,64 @@
+// Token interner: string -> dense int id.
+//
+// The detection hot path (Spell matching, shape-cache lookups, LCS) used to
+// compare heap-allocated std::strings token by token. Interning maps every
+// distinct token to a small dense id once, so the hot path compares and
+// hashes plain ints and — via the heterogeneous string_view lookup — never
+// materializes a std::string per incoming token.
+//
+// Lookup (`find`) is const and safe to call concurrently with other
+// lookups; `intern` mutates and must be externally serialized against both
+// (Spell interns only on the single-threaded training path).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace intellog::common {
+
+/// Transparent string hash: lets unordered_map<std::string, ...> look up
+/// string_view keys without materializing a std::string (C++20
+/// heterogeneous lookup).
+struct StringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+class TokenInterner {
+ public:
+  /// Id of an absent token (`find` miss). Never returned by `intern`.
+  static constexpr int kAbsent = -1;
+
+  /// Returns the id of `token`, inserting it if new. Ids are dense and
+  /// assigned in first-seen order starting at 0.
+  int intern(std::string_view token);
+
+  /// Returns the id of `token`, or kAbsent. Read-only; no allocation.
+  int find(std::string_view token) const {
+    const auto it = map_.find(token);
+    return it == map_.end() ? kAbsent : it->second;
+  }
+
+  /// The token text for a valid id (stable across rehashes).
+  std::string_view text(int id) const { return *texts_[static_cast<std::size_t>(id)]; }
+
+  std::size_t size() const { return texts_.size(); }
+  bool empty() const { return texts_.empty(); }
+
+  void clear() {
+    map_.clear();
+    texts_.clear();
+  }
+
+ private:
+  // std::unordered_map nodes are stable, so texts_ can point into the keys.
+  std::unordered_map<std::string, int, StringHash, std::equal_to<>> map_;
+  std::vector<const std::string*> texts_;
+};
+
+}  // namespace intellog::common

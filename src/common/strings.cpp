@@ -19,6 +19,18 @@ std::vector<std::string> split(std::string_view s, std::string_view delims) {
 
 std::vector<std::string> split_ws(std::string_view s) { return split(s, " \t\r\n"); }
 
+void split_ws_views(std::string_view s, std::vector<std::string_view>& out) {
+  out.clear();
+  constexpr std::string_view kWs = " \t\r\n";
+  std::size_t start = 0;
+  while (start < s.size()) {
+    const std::size_t pos = s.find_first_of(kWs, start);
+    const std::size_t end = (pos == std::string_view::npos) ? s.size() : pos;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+}
+
 std::string join(const std::vector<std::string>& parts, std::string_view sep) {
   std::string out;
   for (std::size_t i = 0; i < parts.size(); ++i) {
@@ -99,6 +111,21 @@ std::size_t lcs_length(const std::vector<std::string>& a, const std::vector<std:
   if (n == 0 || m == 0) return 0;
   // Two-row DP keeps memory O(min side); rows over `b`.
   std::vector<std::size_t> prev(m + 1, 0), cur(m + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      cur[j] = (a[i - 1] == b[j - 1]) ? prev[j - 1] + 1 : std::max(prev[j], cur[j - 1]);
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+std::size_t lcs_length_ids(const std::vector<int>& a, const std::vector<int>& b) {
+  const std::size_t n = a.size(), m = b.size();
+  if (n == 0 || m == 0) return 0;
+  thread_local std::vector<std::size_t> prev, cur;
+  prev.assign(m + 1, 0);
+  cur.assign(m + 1, 0);
   for (std::size_t i = 1; i <= n; ++i) {
     for (std::size_t j = 1; j <= m; ++j) {
       cur[j] = (a[i - 1] == b[j - 1]) ? prev[j - 1] + 1 : std::max(prev[j], cur[j - 1]);

@@ -18,6 +18,11 @@ std::vector<std::string> split(std::string_view s, std::string_view delims = " \
 /// Splits `s` on whitespace, keeping the original token text.
 std::vector<std::string> split_ws(std::string_view s);
 
+/// Zero-allocation whitespace split: clears `out` and fills it with views
+/// into `s` (valid only while `s`'s storage lives). Reusing one `out`
+/// across calls keeps the detection hot path allocation-free.
+void split_ws_views(std::string_view s, std::vector<std::string_view>& out);
+
 /// Joins `parts` with `sep`.
 std::string join(const std::vector<std::string>& parts, std::string_view sep = " ");
 
@@ -48,6 +53,13 @@ std::string replace_all(std::string s, std::string_view from, std::string_view t
 /// Length of the longest common subsequence of two token sequences.
 /// O(|a| * |b|) dynamic program; used by Spell's log-key matching.
 std::size_t lcs_length(const std::vector<std::string>& a, const std::vector<std::string>& b);
+
+/// LCS length over interned token ids — the detection-path variant: int
+/// compares instead of string compares, thread-local DP rows instead of
+/// per-call allocations. Safe to call concurrently. (Named distinctly from
+/// lcs_length: a braced list of string literals is a valid iterator-pair
+/// init for std::vector<int>, so an overload would be ambiguous.)
+std::size_t lcs_length_ids(const std::vector<int>& a, const std::vector<int>& b);
 
 /// One longest common subsequence (the DP backtrace) of two token sequences.
 std::vector<std::string> lcs(const std::vector<std::string>& a, const std::vector<std::string>& b);

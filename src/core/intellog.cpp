@@ -1,7 +1,9 @@
 #include "core/intellog.hpp"
 
+#include <algorithm>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
@@ -107,9 +109,14 @@ void IntelLog::train(const std::vector<logparse::Session>& sessions) {
   {
     obs::Span span("train/extract");
     obs::ScopedTimerMs timer(stage_hist("extract"));
+    // Snapshot a const view of the sample map before the parallel region:
+    // std::map::operator[] can insert, and concurrent inserts from pool
+    // workers would race. Every key id returned by consume() has a sample
+    // (stage 1 try_emplaces one per id), so .at() lookups cannot throw.
+    const std::map<int, std::string>& samples = samples_;
     std::vector<int> nl_keys;
     for (const auto& key : spell_.keys()) {
-      const std::string& sample = samples_[key.id];
+      const std::string& sample = samples.at(key.id);
       // §5: only pure key-value status lines are omitted; clause-less prose
       // still gets an Intel Key.
       if (kv_filter_.is_kv_only(sample)) {
@@ -121,7 +128,7 @@ void IntelLog::train(const std::vector<logparse::Session>& sessions) {
     std::vector<IntelKey> extracted(nl_keys.size());
     pool.parallel_for(nl_keys.size(), [&](std::size_t i) {
       const int id = nl_keys[i];
-      extracted[i] = extractor_.extract(spell_.key(id), samples_[id]);
+      extracted[i] = extractor_.extract(spell_.key(id), samples.at(id));
     });
     for (auto& ik : extracted) intel_keys_.emplace(ik.key_id, std::move(ik));
   }
@@ -245,6 +252,55 @@ AnomalyReport IntelLog::detect(const logparse::Session& session) const {
     if (report.anomalous()) reg->counter("intellog_detect_anomalous_total").add(1);
   }
   return report;
+}
+
+std::vector<AnomalyReport> IntelLog::detect_batch(std::span<const logparse::Session> sessions,
+                                                  std::size_t jobs) const {
+  if (!trained_) throw std::logic_error("IntelLog::detect_batch before train");
+  obs::Span span("detect_batch");
+  std::vector<AnomalyReport> reports(sessions.size());
+  if (sessions.empty()) return reports;
+
+  if (jobs == 0) jobs = config_.num_threads;
+  if (jobs == 0) jobs = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t shards = std::min(jobs, sessions.size());
+
+  obs::MetricsRegistry* reg = obs::registry();
+  obs::ScopedTimerMs timer(reg ? &reg->histogram("intellog_detect_batch_ms") : nullptr);
+
+  // Contiguous shards, one pool task each: reports land at their input
+  // index, so the output order (and content — detect() is pure) is
+  // identical no matter how many workers run or how they interleave.
+  const auto run_shard = [&](std::size_t shard) {
+    const std::size_t begin = sessions.size() * shard / shards;
+    const std::size_t end = sessions.size() * (shard + 1) / shards;
+    obs::ScopedTimerMs shard_timer(
+        reg ? &reg->histogram("intellog_detect_batch_shard_ms",
+                              {{"shard", std::to_string(shard)}})
+            : nullptr);
+    if (reg) {
+      reg->counter("intellog_detect_batch_shard_sessions_total",
+                   {{"shard", std::to_string(shard)}})
+          .add(end - begin);
+    }
+    for (std::size_t i = begin; i < end; ++i) reports[i] = detect(sessions[i]);
+  };
+  if (shards == 1) {
+    run_shard(0);
+  } else {
+    common::ThreadPool pool(shards);
+    pool.parallel_for(shards, run_shard);
+  }
+
+  if (reg) {
+    std::size_t records = 0;
+    for (const auto& s : sessions) records += s.records.size();
+    reg->counter("intellog_detect_batch_total").add(1);
+    reg->counter("intellog_detect_batch_sessions_total").add(sessions.size());
+    reg->counter("intellog_detect_batch_records_total").add(records);
+    reg->gauge("intellog_detect_batch_shards").set(static_cast<std::int64_t>(shards));
+  }
+  return reports;
 }
 
 std::vector<IntelMessage> IntelLog::to_intel_messages(const logparse::Session& session) const {

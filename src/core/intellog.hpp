@@ -13,6 +13,7 @@
 
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,16 @@ class IntelLog {
 
   /// Detects anomalies in one session against the trained model.
   AnomalyReport detect(const logparse::Session& session) const;
+
+  /// Batch detection: fans `sessions` across `jobs` worker threads in
+  /// contiguous shards. Reports are returned in input order and are
+  /// identical to calling detect() serially on each session (the whole
+  /// detect path is const + thread-safe). `jobs` == 0 uses
+  /// config().num_threads (which itself defaults to hardware
+  /// concurrency); `jobs` == 1 runs inline with no pool. Records
+  /// `intellog_detect_batch_*` metrics when a registry is installed.
+  std::vector<AnomalyReport> detect_batch(std::span<const logparse::Session> sessions,
+                                          std::size_t jobs = 0) const;
 
   /// Converts a session's records into Intel Messages (for MessageStore
   /// queries and exports).

@@ -7,7 +7,8 @@
 
 namespace intellog::core {
 
-OnlineDetector::OnlineDetector(const IntelLog& model) : model_(model) {
+OnlineDetector::OnlineDetector(const IntelLog& model, std::size_t jobs)
+    : model_(model), jobs_(jobs) {
   if (!model.trained()) throw std::logic_error("OnlineDetector: model is untrained");
   if (obs::MetricsRegistry* reg = obs::registry()) {
     tel_.records = &reg->counter("intellog_online_records_total");
@@ -80,15 +81,18 @@ std::optional<AnomalyReport> OnlineDetector::close_session(const std::string& co
 std::vector<AnomalyReport> OnlineDetector::close_idle(std::uint64_t now_ms,
                                                       std::uint64_t idle_ms) {
   obs::Span span("online/close_idle", "online");
-  std::vector<AnomalyReport> out;
+  // Drain expired sessions first, then run the structural checks as one
+  // sharded batch: reports stay in container-id (map) order.
+  std::vector<logparse::Session> expired;
   for (auto it = open_.begin(); it != open_.end();) {
     if (it->second.last_seen_ms + idle_ms <= now_ms) {
-      out.push_back(model_.detect(it->second.session));
+      expired.push_back(std::move(it->second.session));
       it = open_.erase(it);
     } else {
       ++it;
     }
   }
+  std::vector<AnomalyReport> out = model_.detect_batch(expired, jobs_);
   if (tel_.closed_idle) tel_.closed_idle->add(out.size());
   if (tel_.open_sessions) tel_.open_sessions->set(static_cast<std::int64_t>(open_.size()));
   return out;
@@ -96,12 +100,14 @@ std::vector<AnomalyReport> OnlineDetector::close_idle(std::uint64_t now_ms,
 
 std::vector<AnomalyReport> OnlineDetector::close_all() {
   obs::Span span("online/close_all", "online");
-  std::vector<AnomalyReport> out;
-  for (const auto& [id, state] : open_) {
+  std::vector<logparse::Session> sessions;
+  sessions.reserve(open_.size());
+  for (auto& [id, state] : open_) {
     (void)id;
-    out.push_back(model_.detect(state.session));
+    sessions.push_back(std::move(state.session));
   }
-  if (tel_.closed_explicit) tel_.closed_explicit->add(open_.size());
+  std::vector<AnomalyReport> out = model_.detect_batch(sessions, jobs_);
+  if (tel_.closed_explicit) tel_.closed_explicit->add(sessions.size());
   open_.clear();
   if (tel_.open_sessions) tel_.open_sessions->set(0);
   return out;

@@ -27,7 +27,11 @@ class OnlineDetector {
   /// handles are captured here: install the obs registry (and keep it
   /// alive past the detector) *before* constructing to collect
   /// per-record latency, open-session and unexpected-rate metrics.
-  explicit OnlineDetector(const IntelLog& model);
+  /// `jobs` controls session draining: close_idle()/close_all() run their
+  /// structural checks through IntelLog::detect_batch with this many
+  /// workers (1 = serial, 0 = the model's configured thread count).
+  /// Reports are identical either way; only wall-clock changes.
+  explicit OnlineDetector(const IntelLog& model, std::size_t jobs = 1);
 
   /// An immediately-reportable event from one consumed record.
   struct Event {
@@ -77,6 +81,7 @@ class OnlineDetector {
   };
 
   const IntelLog& model_;
+  std::size_t jobs_;
   std::map<std::string, SessionState> open_;
   Telemetry tel_;
 };

@@ -7,6 +7,23 @@
 
 namespace intellog::logparse {
 
+namespace {
+
+/// Thread-local scratch for the zero-allocation tokenize/shape/id steps.
+/// One set per thread: match() runs concurrently under detect_batch.
+struct Scratch {
+  std::vector<std::string_view> tokens;
+  std::string shape;
+  std::vector<int> token_ids;
+};
+
+Scratch& scratch() {
+  thread_local Scratch s;
+  return s;
+}
+
+}  // namespace
+
 std::string LogKey::to_string() const { return common::join(tokens, " "); }
 
 std::vector<std::string> LogKey::constants() const {
@@ -19,11 +36,43 @@ std::vector<std::string> LogKey::constants() const {
 
 Spell::Spell(double t) : t_(t) {}
 
+Spell::Spell(Spell&& other) noexcept
+    : t_(other.t_),
+      keys_(std::move(other.keys_)),
+      interner_(std::move(other.interner_)),
+      key_const_ids_(std::move(other.key_const_ids_)),
+      token_index_(std::move(other.token_index_)),
+      shape_cache_(std::move(other.shape_cache_)),
+      match_cache_(std::move(other.match_cache_)),
+      match_mu_(std::move(other.match_mu_)) {
+  other.match_mu_ = std::make_unique<std::mutex>();
+}
+
+Spell& Spell::operator=(Spell&& other) noexcept {
+  if (this == &other) return *this;
+  t_ = other.t_;
+  keys_ = std::move(other.keys_);
+  interner_ = std::move(other.interner_);
+  key_const_ids_ = std::move(other.key_const_ids_);
+  token_index_ = std::move(other.token_index_);
+  shape_cache_ = std::move(other.shape_cache_);
+  match_cache_ = std::move(other.match_cache_);
+  match_mu_ = std::move(other.match_mu_);
+  other.match_mu_ = std::make_unique<std::mutex>();
+  return *this;
+}
+
 void Spell::restore_keys(std::vector<LogKey> keys) {
   keys_ = std::move(keys);
   shape_cache_.clear();
   token_index_.clear();
-  for (const LogKey& key : keys_) index_key(key);
+  interner_.clear();
+  key_const_ids_.clear();
+  {
+    std::lock_guard lock(*match_mu_);
+    match_cache_.clear();
+  }
+  for (const LogKey& key : keys_) cache_key_constants(key);
   // Seed the cache with each key's own shape: messages whose variables are
   // all digit-bearing produce exactly this shape, and keys dominated by
   // variable fields ("headroom * *") would otherwise fail the LCS bar.
@@ -32,56 +81,65 @@ void Spell::restore_keys(std::vector<LogKey> keys) {
   }
 }
 
-std::vector<std::string> Spell::split_tokens(std::string_view message) {
-  return common::split_ws(message);
-}
-
-std::string Spell::shape_of(const std::vector<std::string>& tokens) {
-  std::string out;
+void Spell::shape_of(const std::vector<std::string_view>& tokens, std::string& out) {
+  out.clear();
   for (const auto& t : tokens) {
     if (!out.empty()) out += ' ';
-    out += common::has_digit(t) ? std::string("*") : t;
+    if (common::has_digit(t)) {
+      out += '*';
+    } else {
+      out += t;
+    }
   }
-  return out;
 }
 
-void Spell::index_key(const LogKey& key) {
+void Spell::cache_key_constants(const LogKey& key) {
+  const auto id = static_cast<std::size_t>(key.id);
+  if (key_const_ids_.size() <= id) key_const_ids_.resize(id + 1);
+  std::vector<int>& const_ids = key_const_ids_[id];
+  const_ids.clear();
   for (const auto& tok : key.tokens) {
     if (tok == "*") continue;
-    auto& ids = token_index_[tok];
-    if (ids.empty() || ids.back() != key.id) ids.push_back(key.id);
+    const int tid = interner_.intern(tok);
+    const_ids.push_back(tid);
+    if (token_index_.size() <= static_cast<std::size_t>(tid)) {
+      token_index_.resize(static_cast<std::size_t>(tid) + 1);
+    }
+    std::vector<int>& ids = token_index_[static_cast<std::size_t>(tid)];
+    if (std::find(ids.begin(), ids.end(), key.id) == ids.end()) ids.push_back(key.id);
   }
 }
 
-std::vector<int> Spell::candidates(const std::vector<std::string>& tokens) const {
-  std::vector<int> out;
-  for (const auto& tok : tokens) {
-    const auto it = token_index_.find(tok);
-    if (it == token_index_.end()) continue;
-    out.insert(out.end(), it->second.begin(), it->second.end());
+const std::vector<int>& Spell::candidates(const std::vector<int>& token_ids) const {
+  thread_local std::vector<int> out;
+  out.clear();
+  for (const int tid : token_ids) {
+    if (tid < 0 || static_cast<std::size_t>(tid) >= token_index_.size()) continue;
+    const std::vector<int>& ids = token_index_[static_cast<std::size_t>(tid)];
+    out.insert(out.end(), ids.begin(), ids.end());
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 
-int Spell::best_match(const std::vector<std::string>& tokens, bool& exact) const {
+int Spell::best_match(const std::vector<int>& token_ids, std::size_t num_tokens,
+                      bool& exact) const {
   exact = false;
   int best_id = -1;
   std::size_t best_lcs = 0;
-  for (const int id : candidates(tokens)) {
-    const LogKey& key = keys_[static_cast<std::size_t>(id)];
-    const std::vector<std::string> consts = key.constants();
+  for (const int id : candidates(token_ids)) {
+    const std::vector<int>& consts = key_const_ids_[static_cast<std::size_t>(id)];
     // Upper bound check first: even a perfect overlap of the smaller
     // sequence cannot pass the threshold if sizes diverge too far.
-    const std::size_t longer = std::max(tokens.size(), consts.size());
+    const std::size_t longer = std::max(num_tokens, consts.size());
     const double needed = static_cast<double>(longer) / t_;
-    if (static_cast<double>(std::min(tokens.size(), consts.size())) < needed) continue;
-    const std::size_t l = common::lcs_length(tokens, consts);
+    if (static_cast<double>(std::min(num_tokens, consts.size())) < needed) continue;
+    const std::size_t l = common::lcs_length_ids(token_ids, consts);
     if (static_cast<double>(l) >= needed && l > best_lcs) {
       best_lcs = l;
-      best_id = key.id;
-      if (l == tokens.size() && l == consts.size()) exact = true;
+      best_id = id;
+      if (l == num_tokens && l == consts.size()) exact = true;
     }
   }
   return best_id;
@@ -121,21 +179,39 @@ void Spell::refine_key(LogKey& key, const std::vector<std::string>& tokens) {
 
 int Spell::consume(std::string_view message) {
   obs::Span span("spell/consume", "logparse");
-  const std::vector<std::string> tokens = split_tokens(message);
-  if (tokens.empty()) return -1;
-  const std::string shape = shape_of(tokens);
-  if (const auto it = shape_cache_.find(shape); it != shape_cache_.end()) {
+  Scratch& s = scratch();
+  common::split_ws_views(message, s.tokens);
+  if (s.tokens.empty()) return -1;
+  shape_of(s.tokens, s.shape);
+  if (const auto it = shape_cache_.find(s.shape); it != shape_cache_.end()) {
     keys_[static_cast<std::size_t>(it->second)].match_count++;
     return it->second;
   }
 
+  // Interned-id view of the message. Unknown tokens (not a constant of any
+  // key) map to kAbsent and can never equal a key constant id, which is
+  // exactly the behaviour of the old string LCS: they matched nothing.
+  s.token_ids.clear();
+  for (const std::string_view tok : s.tokens) s.token_ids.push_back(interner_.find(tok));
+
   bool exact = false;
-  const int matched = best_match(tokens, exact);
+  const int matched = best_match(s.token_ids, s.tokens.size(), exact);
   if (matched >= 0) {
     LogKey& key = keys_[static_cast<std::size_t>(matched)];
     key.match_count++;
-    if (!exact) refine_key(key, tokens);
-    shape_cache_.emplace(shape, matched);
+    if (!exact) {
+      std::vector<std::string> tokens(s.tokens.begin(), s.tokens.end());
+      refine_key(key, tokens);
+      // Refinement changed the key's constants: rebuild its cached ids and
+      // re-seed its (new) canonical shape so post-refine traffic that
+      // produces exactly the refined template still short-circuits. Old
+      // shape entries keep pointing at the same id, which stays valid.
+      cache_key_constants(key);
+      shape_cache_.emplace(common::join(key.tokens, " "), key.id);
+      std::lock_guard lock(*match_mu_);
+      match_cache_.clear();  // memoized verdicts may predate the refine
+    }
+    shape_cache_.emplace(s.shape, matched);
     return matched;
   }
 
@@ -146,24 +222,50 @@ int Spell::consume(std::string_view message) {
   // ("(TID 3). 2578 bytes" has two fields, not one).
   LogKey key;
   key.id = static_cast<int>(keys_.size());
-  for (const auto& tok : tokens) {
-    key.tokens.push_back(common::has_digit(tok) ? std::string("*") : tok);
+  for (const std::string_view tok : s.tokens) {
+    key.tokens.push_back(common::has_digit(tok) ? std::string("*") : std::string(tok));
   }
   key.match_count = 1;
   keys_.push_back(std::move(key));
-  index_key(keys_.back());
-  shape_cache_.emplace(shape, keys_.back().id);
+  cache_key_constants(keys_.back());
+  shape_cache_.emplace(s.shape, keys_.back().id);
+  {
+    std::lock_guard lock(*match_mu_);
+    match_cache_.clear();  // a new key can turn memoized misses into hits
+  }
   return keys_.back().id;
 }
 
 int Spell::match(std::string_view message) const {
   obs::Span span("spell/match", "logparse");
-  const std::vector<std::string> tokens = split_tokens(message);
-  if (tokens.empty()) return -1;
-  if (const auto it = shape_cache_.find(shape_of(tokens)); it != shape_cache_.end())
-    return it->second;
+  Scratch& s = scratch();
+  common::split_ws_views(message, s.tokens);
+  if (s.tokens.empty()) return -1;
+  shape_of(s.tokens, s.shape);
+  if (const auto it = shape_cache_.find(s.shape); it != shape_cache_.end()) return it->second;
+  {
+    std::lock_guard lock(*match_mu_);
+    if (const auto it = match_cache_.find(s.shape); it != match_cache_.end()) {
+      return it->second;
+    }
+  }
+
+  s.token_ids.clear();
+  for (const std::string_view tok : s.tokens) s.token_ids.push_back(interner_.find(tok));
   bool exact = false;
-  return best_match(tokens, exact);
+  const int verdict = best_match(s.token_ids, s.tokens.size(), exact);
+
+  // Memoize hits *and* misses: repeated detection traffic for shapes never
+  // seen in training is the common case under fault injection.
+  std::lock_guard lock(*match_mu_);
+  if (match_cache_.size() >= kMatchCacheCapacity) match_cache_.clear();
+  match_cache_.emplace(s.shape, verdict);
+  return verdict;
+}
+
+std::size_t Spell::match_cache_size() const {
+  std::lock_guard lock(*match_mu_);
+  return match_cache_.size();
 }
 
 }  // namespace intellog::logparse

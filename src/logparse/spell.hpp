@@ -9,19 +9,34 @@
 // is refined to the LCS, with '*' marking positions where the sequences
 // diverge; on a miss the message founds a new key.
 //
-// Two optimizations stand in for the original's prefix tree:
+// Optimizations standing in for the original's prefix tree:
 //  - a shape cache (digit-bearing tokens masked to '*') short-circuits the
-//    LCS search for the common case of repeated templates, and
+//    LCS search for the common case of repeated templates,
 //  - an inverted token index prunes LCS candidates to keys sharing at least
-//    one constant token with the message, keeping million-line corpora and
-//    large key sets fast even on cache misses.
+//    one constant token with the message,
+//  - every token is interned to a dense int id (common::TokenInterner), so
+//    candidate pruning and LCS run over int ids with zero per-record string
+//    allocation; each key's constant-id sequence is cached and invalidated
+//    only on refinement, and
+//  - match() memoizes its verdict (including misses) per shape in a
+//    bounded cache, so repeated detection traffic — even for shapes never
+//    seen in training — resolves in one hash lookup.
+//
+// Thread-safety: consume() and restore_keys() mutate and must be
+// serialized. match() is const and safe to call from many threads
+// concurrently (the memo cache takes a lock; everything else is
+// read-only + thread_local scratch).
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "common/interner.hpp"
 
 namespace intellog::logparse {
 
@@ -42,16 +57,23 @@ class Spell {
   /// t is the paper's empirical matching threshold (1.7, §5).
   explicit Spell(double t = 1.7);
 
+  // Moves leave the source with a fresh (empty-cache) mutex so it stays
+  // safely destructible and usable.
+  Spell(Spell&& other) noexcept;
+  Spell& operator=(Spell&& other) noexcept;
+  Spell(const Spell&) = delete;
+  Spell& operator=(const Spell&) = delete;
+
   /// Consumes a message in training mode: matches or creates a key.
   /// Returns the key id.
   int consume(std::string_view message);
 
   /// Detection-mode matching: returns the best matching key id or -1.
-  /// Never creates or refines keys.
+  /// Never creates or refines keys. Thread-safe.
   int match(std::string_view message) const;
 
   /// Replaces the key set (model deserialization). The shape cache starts
-  /// cold and refills on consume; match() falls back to LCS search.
+  /// seeded with each key's own shape; match() memoizes everything else.
   void restore_keys(std::vector<LogKey> keys);
 
   const std::vector<LogKey>& keys() const { return keys_; }
@@ -59,19 +81,42 @@ class Spell {
   std::size_t size() const { return keys_.size(); }
   double threshold() const { return t_; }
 
+  /// Cached constant-token ids of a key (same order as constants()).
+  const std::vector<int>& key_constant_ids(int id) const {
+    return key_const_ids_[static_cast<std::size_t>(id)];
+  }
+
+  /// Entries currently held by the bounded match()-verdict memo.
+  std::size_t match_cache_size() const;
+  /// Memo capacity; at capacity the cache is reset before inserting
+  /// (simple epoch eviction — repeated traffic refills it immediately).
+  static constexpr std::size_t kMatchCacheCapacity = 1 << 16;
+
  private:
-  static std::vector<std::string> split_tokens(std::string_view message);
-  static std::string shape_of(const std::vector<std::string>& tokens);
-  int best_match(const std::vector<std::string>& tokens, bool& exact) const;
+  static void shape_of(const std::vector<std::string_view>& tokens, std::string& out);
+  int best_match(const std::vector<int>& token_ids, std::size_t num_tokens, bool& exact) const;
   void refine_key(LogKey& key, const std::vector<std::string>& tokens);
-  void index_key(const LogKey& key);
-  /// Key ids sharing >= 1 constant token with `tokens`, deduplicated.
-  std::vector<int> candidates(const std::vector<std::string>& tokens) const;
+  /// (Re)builds a key's cached constant ids and inverted-index entries.
+  void cache_key_constants(const LogKey& key);
+  /// Key ids sharing >= 1 constant token with `token_ids`, deduplicated
+  /// into thread-local scratch (the returned reference is valid until the
+  /// calling thread's next candidates() call).
+  const std::vector<int>& candidates(const std::vector<int>& token_ids) const;
 
   double t_;
   std::vector<LogKey> keys_;
-  std::unordered_map<std::string, int> shape_cache_;
-  std::unordered_map<std::string, std::vector<int>> token_index_;
+  common::TokenInterner interner_;
+  /// Per-key cached constants() as interned ids; rebuilt on refine_key.
+  std::vector<std::vector<int>> key_const_ids_;
+  /// Constant token id -> key ids containing it (superset after refines).
+  std::vector<std::vector<int>> token_index_;
+  std::unordered_map<std::string, int, common::StringHash, std::equal_to<>> shape_cache_;
+
+  /// Bounded shape -> match() verdict memo (satellite: repeated detect
+  /// traffic with unseen shapes). Mutated under match_mu_ from const match().
+  mutable std::unordered_map<std::string, int, common::StringHash, std::equal_to<>>
+      match_cache_;
+  mutable std::unique_ptr<std::mutex> match_mu_ = std::make_unique<std::mutex>();
 };
 
 }  // namespace intellog::logparse

@@ -1,0 +1,50 @@
+#include "common/interner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using intellog::common::TokenInterner;
+
+TEST(TokenInterner, AssignsDenseIdsInFirstSeenOrder) {
+  TokenInterner in;
+  EXPECT_EQ(in.intern("read"), 0);
+  EXPECT_EQ(in.intern("bytes"), 1);
+  EXPECT_EQ(in.intern("read"), 0);  // idempotent
+  EXPECT_EQ(in.intern("from"), 2);
+  EXPECT_EQ(in.size(), 3u);
+}
+
+TEST(TokenInterner, FindIsReadOnly) {
+  TokenInterner in;
+  in.intern("shuffle");
+  EXPECT_EQ(in.find("shuffle"), 0);
+  EXPECT_EQ(in.find("missing"), TokenInterner::kAbsent);
+  EXPECT_EQ(in.size(), 1u);  // find never inserts
+}
+
+TEST(TokenInterner, HeterogeneousLookupNeedsNoAllocation) {
+  TokenInterner in;
+  in.intern("map-output");
+  const std::string msg = "read map-output done";
+  // Lookup through substrings of a larger buffer (the detect-path shape).
+  EXPECT_EQ(in.find(std::string_view(msg).substr(5, 10)), 0);
+}
+
+TEST(TokenInterner, TextSurvivesRehash) {
+  TokenInterner in;
+  for (int i = 0; i < 1000; ++i) in.intern("tok" + std::to_string(i));
+  // Pointers into the map keys must stay valid across growth.
+  EXPECT_EQ(in.text(0), "tok0");
+  EXPECT_EQ(in.text(999), "tok999");
+  EXPECT_EQ(in.size(), 1000u);
+}
+
+TEST(TokenInterner, ClearResets) {
+  TokenInterner in;
+  in.intern("a");
+  in.clear();
+  EXPECT_TRUE(in.empty());
+  EXPECT_EQ(in.find("a"), TokenInterner::kAbsent);
+  EXPECT_EQ(in.intern("b"), 0);
+}

@@ -77,6 +77,30 @@ TEST(Strings, LcsLengthBasic) {
   EXPECT_EQ(sc::lcs_length({"x", "y", "z"}, {"x", "y", "z"}), 3u);
 }
 
+TEST(Strings, LcsLengthOverIdsMatchesStringVariant) {
+  // The interned-id variant must agree with the string DP on equivalent
+  // sequences (ids standing in for distinct tokens).
+  EXPECT_EQ(sc::lcs_length_ids({1, 2, 3}, {1, 3}), 2u);
+  EXPECT_EQ(sc::lcs_length_ids({1, 2}, {3, 4}), 0u);
+  EXPECT_EQ(sc::lcs_length_ids({}, {1}), 0u);
+  EXPECT_EQ(sc::lcs_length_ids({7, 8, 9}, {7, 8, 9}), 3u);
+  // kAbsent (-1) message tokens never match non-negative constant ids.
+  EXPECT_EQ(sc::lcs_length_ids({-1, -1, 5}, {0, 5}), 1u);
+}
+
+TEST(Strings, SplitWsViewsMatchesSplitWs) {
+  const std::string s = "  read 2264\tbytes\r\nfrom map-output  ";
+  std::vector<std::string_view> views;
+  sc::split_ws_views(s, views);
+  const auto strings = sc::split_ws(s);
+  ASSERT_EQ(views.size(), strings.size());
+  for (std::size_t i = 0; i < views.size(); ++i) EXPECT_EQ(views[i], strings[i]);
+  sc::split_ws_views("", views);
+  EXPECT_TRUE(views.empty());
+  sc::split_ws_views("   \t ", views);
+  EXPECT_TRUE(views.empty());
+}
+
 TEST(Strings, LcsBacktraceMatchesLength) {
   const std::vector<std::string> a = {"read", "2264", "bytes", "from", "map-output"};
   const std::vector<std::string> b = {"read", "99", "bytes", "from", "map-output"};

@@ -123,6 +123,55 @@ TEST(Spell, KeyCountStableUnderRepetition) {
   EXPECT_EQ(spell.size(), 3u);
 }
 
+TEST(Spell, RefineThenMatchStaysConsistent) {
+  // Regression: refine_key changes a key's tokens; previously-cached shapes
+  // and the rebuilt constants cache must keep routing to the same key id.
+  Spell spell;
+  const int a = spell.consume("Starting MapTask metrics system");
+  // Seen again -> shape cache now holds the original shape.
+  EXPECT_EQ(spell.consume("Starting MapTask metrics system"), a);
+  // Refines the key to "* MapTask metrics system".
+  const int b = spell.consume("Stopping MapTask metrics system");
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(spell.key(a).to_string(), "* MapTask metrics system");
+  // Both pre-refine shapes and the refined canonical form must match.
+  EXPECT_EQ(spell.match("Starting MapTask metrics system"), a);
+  EXPECT_EQ(spell.match("Stopping MapTask metrics system"), a);
+  EXPECT_EQ(spell.match("Restarted MapTask metrics system"), a);
+  // The cached constant ids were rebuilt to the refined constants.
+  EXPECT_EQ(spell.key_constant_ids(a).size(), 3u);  // MapTask metrics system
+}
+
+TEST(Spell, MatchMemoizesUnseenShapesOfKnownKeys) {
+  Spell spell;
+  const int a = spell.consume("Task attempt attempt_1 transitioned from state ASSIGNED now");
+  spell.consume("Task attempt attempt_1 transitioned from state RUNNING now");
+  // "KILLED" produces a shape never consumed -> first match runs the LCS
+  // search, then the verdict is memoized.
+  EXPECT_EQ(spell.match_cache_size(), 0u);
+  const int m1 = spell.match("Task attempt attempt_9 transitioned from state KILLED now");
+  EXPECT_EQ(m1, a);
+  EXPECT_EQ(spell.match_cache_size(), 1u);
+  const int m2 = spell.match("Task attempt attempt_7 transitioned from state KILLED now");
+  EXPECT_EQ(m2, m1);
+  EXPECT_EQ(spell.match_cache_size(), 1u);  // same shape -> memo hit
+  // Misses are memoized too.
+  EXPECT_EQ(spell.match("completely unrelated gibberish line"), -1);
+  EXPECT_EQ(spell.match("completely unrelated gibberish line"), -1);
+  EXPECT_EQ(spell.match_cache_size(), 2u);
+  EXPECT_EQ(spell.size(), 1u);  // match never creates keys
+}
+
+TEST(Spell, ConsumeInvalidatesMatchMemo) {
+  Spell spell;
+  spell.consume("alpha beta gamma delta epsilon");
+  EXPECT_EQ(spell.match("zeta eta theta iota kappa"), -1);
+  EXPECT_EQ(spell.match_cache_size(), 1u);
+  // A new key that matches the previously-missed shape must flush the memo.
+  const int k = spell.consume("zeta eta theta iota kappa");
+  EXPECT_EQ(spell.match("zeta eta theta iota kappa"), k);
+}
+
 // Property: consuming the same message stream twice yields identical ids.
 class SpellStability : public ::testing::TestWithParam<int> {};
 

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build + run the full test suite in Release, then
-# again under ASan/UBSan. Run from anywhere; builds land in build-ci-*.
+# again under ASan/UBSan, then a bench smoke run that guards the detection
+# path's throughput. Run from anywhere; builds land in build-ci-*.
 #
-#   tools/ci.sh            # both configurations
-#   tools/ci.sh release    # Release only
+#   tools/ci.sh            # all stages
+#   tools/ci.sh release    # Release build + tests + bench smoke
 #   tools/ci.sh asan       # sanitizers only
+#   tools/ci.sh bench      # bench smoke only (builds Release if needed)
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -25,6 +27,39 @@ run_config() {
   ctest --test-dir "$dir" -j "$jobs" --output-on-failure
 }
 
+# Bench smoke: run bench_micro_pipeline's harness section (the google
+# micro loops are filtered out for speed) and fail on a >30% drop in the
+# headline Spell-match throughput vs the committed BENCH_micro_pipeline.json
+# baseline. Regenerate the baseline by copying the fresh JSON over the
+# committed one when a change legitimately moves the number.
+bench_smoke() {
+  local dir="$repo/build-ci-release"
+  [[ -x "$dir/bench/bench_micro_pipeline" ]] || run_config release -DCMAKE_BUILD_TYPE=Release
+  local out
+  out="$(mktemp -d)"
+  echo "==> [bench] smoke run (bench_micro_pipeline harness section)"
+  INTELLOG_BENCH_DIR="$out" "$dir/bench/bench_micro_pipeline" \
+    --benchmark_filter='DISABLED_none' >/dev/null 2>&1 || {
+      echo "bench smoke: bench_micro_pipeline failed to run" >&2; exit 1; }
+  local baseline="$repo/BENCH_micro_pipeline.json"
+  if [[ ! -f "$baseline" ]]; then
+    echo "bench smoke: no committed baseline at $baseline; skipping comparison"
+    return 0
+  fi
+  python3 - "$baseline" "$out/BENCH_micro_pipeline.json" <<'PY'
+import json, sys
+base = json.load(open(sys.argv[1]))
+fresh = json.load(open(sys.argv[2]))
+old, new = base["throughput_per_s"], fresh["throughput_per_s"]
+ratio = new / old if old else float("inf")
+print(f"bench smoke: spell match {new:,.0f} rec/s vs baseline {old:,.0f} rec/s "
+      f"({ratio:.2f}x)")
+if ratio < 0.70:
+    print("bench smoke: FAIL — >30% throughput regression", file=sys.stderr)
+    sys.exit(1)
+PY
+}
+
 case "$mode" in
   release|all)
     run_config release -DCMAKE_BUILD_TYPE=Release
@@ -35,9 +70,12 @@ case "$mode" in
       -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
       -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
     ;;&
-  release|asan|all) ;;
+  release|bench|all)
+    bench_smoke
+    ;;&
+  release|asan|bench|all) ;;
   *)
-    echo "usage: $0 [release|asan|all]" >&2
+    echo "usage: $0 [release|asan|bench|all]" >&2
     exit 2
     ;;
 esac

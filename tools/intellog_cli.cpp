@@ -34,12 +34,15 @@ namespace {
 int usage() {
   std::cerr << "usage:\n"
                "  intellog train  <logdir> -o <model.json> [--metrics <f>] [--trace <f>]\n"
-               "  intellog detect <logdir> -m <model.json> [--json] [--metrics <f>] [--trace <f>]\n"
-               "  intellog stats  <logdir> -m <model.json> [--json] [--metrics <f>] [--trace <f>]\n"
+               "  intellog detect <logdir> -m <model.json> [--json] [--jobs N] [--metrics <f>]"
+               " [--trace <f>]\n"
+               "  intellog stats  <logdir> -m <model.json> [--json] [--jobs N] [--metrics <f>]"
+               " [--trace <f>]\n"
                "  intellog graph  -m <model.json> [--dot|--json|--critical]\n"
                "  intellog keys   -m <model.json>\n"
                "  intellog query  <logdir> -m <model.json> -q '<expr>' [--json]\n"
                "      expr: e.g. 'id.FETCHER=1 AND locality~host1', 'key=12 OR value>1000'\n"
+               "  --jobs:    worker threads for batch detection (0 = hardware concurrency)\n"
                "  --metrics: write a metrics snapshot (.prom/.txt -> Prometheus text, else JSON)\n"
                "  --trace:   write Chrome trace-event JSON (open in Perfetto)\n";
   return 2;
@@ -48,6 +51,7 @@ int usage() {
 struct Args {
   std::string command, logdir, model_path, output_path, query_text;
   std::string metrics_path, trace_path;
+  std::size_t jobs = 1;  ///< batch-detect workers; 0 = hardware concurrency
   bool json = false, dot = false, critical_only = false;
 };
 
@@ -128,6 +132,14 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.trace_path = v;
+    } else if (a == "--jobs") {
+      const char* v = next();
+      if (!v) return false;
+      try {
+        args.jobs = static_cast<std::size_t>(std::stoul(v));
+      } catch (const std::exception&) {
+        return false;
+      }
     } else if (a == "--json") {
       args.json = true;
     } else if (a == "--dot") {
@@ -171,10 +183,14 @@ int cmd_detect(const Args& args) {
   const core::IntelLog il = core::load_model_file(args.model_path);
   if (obs::MetricsRegistry* reg = obs::registry()) il.record_model_metrics(*reg);
   const auto sessions = logparse::read_log_directory(args.logdir);
+  // Sharded batch detection (--jobs N; default 1 = serial). Reports come
+  // back input-ordered, so the printed output is identical at any width.
+  const std::vector<core::AnomalyReport> batch = il.detect_batch(sessions, args.jobs);
   std::size_t anomalous = 0;
   common::Json reports = common::Json::array();
-  for (const auto& s : sessions) {
-    const core::AnomalyReport report = il.detect(s);
+  for (std::size_t si = 0; si < sessions.size(); ++si) {
+    const auto& s = sessions[si];
+    const core::AnomalyReport& report = batch[si];
     if (!report.anomalous()) continue;
     ++anomalous;
     if (args.json) {
@@ -275,7 +291,7 @@ int cmd_stats(const Args& args) {
   // Route every record through the streaming detector so the per-record
   // consume-latency histogram and session gauges are populated too.
   const obs::ScopedTimerMs wall(&reg.histogram("intellog_stats_wall_ms"));
-  core::OnlineDetector online(il);
+  core::OnlineDetector online(il, args.jobs);
   for (const auto& s : sessions) {
     for (const auto& rec : s.records) online.consume(rec);
   }
