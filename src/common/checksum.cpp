@@ -1,0 +1,51 @@
+#include "common/checksum.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace intellog::common {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> kTable = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const char ch : data) {
+    c = kTable[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string crc32_hex(std::string_view data) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "crc32:%08x", crc32(data));
+  return std::string(buf);
+}
+
+void stamp_checksum(Json& doc) {
+  doc.as_object().erase("checksum");
+  doc["checksum"] = crc32_hex(doc.dump());
+}
+
+bool verify_checksum(const Json& doc) {
+  if (!doc.is_object() || !doc.contains("checksum")) return true;
+  const Json& stored = doc["checksum"];
+  if (!stored.is_string()) return false;
+  Json stripped = doc;
+  stripped.as_object().erase("checksum");
+  return stored.as_string() == crc32_hex(stripped.dump());
+}
+
+}  // namespace intellog::common

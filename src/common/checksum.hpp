@@ -1,0 +1,37 @@
+// CRC32 (IEEE 802.3 polynomial) for durability-layer integrity checks.
+//
+// Model documents and online-detector checkpoints are JSON files that may
+// be truncated or bit-flipped by the very failures the detector is meant to
+// survive (torn writes, disk faults). Every durable artifact therefore
+// carries a `checksum` field computed over its canonical (compact) dump so
+// loads can reject corruption with one clear error instead of surfacing a
+// deep accessor failure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/json.hpp"
+
+namespace intellog::common {
+
+/// CRC32 of `data` (IEEE polynomial, standard init/final xor — matches
+/// zlib's crc32()). `seed` allows incremental computation: pass a previous
+/// result to continue over concatenated chunks.
+std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0);
+
+/// The checksum as it is stored in JSON documents: "crc32:xxxxxxxx"
+/// (lower-case hex, zero-padded).
+std::string crc32_hex(std::string_view data);
+
+/// Stamps `doc["checksum"]` with the CRC of the document's compact dump
+/// (computed with the checksum field absent). `doc` must be an object.
+void stamp_checksum(Json& doc);
+
+/// Verifies a document stamped by stamp_checksum. Returns true when the
+/// document has no "checksum" field (legacy artifacts) or the stored value
+/// matches; false on mismatch.
+bool verify_checksum(const Json& doc);
+
+}  // namespace intellog::common

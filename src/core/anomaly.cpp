@@ -22,6 +22,9 @@ common::Json AnomalyReport::to_json() const {
   j["container"] = container_id;
   j["session_length"] = session_length;
   j["anomalous"] = anomalous();
+  // Only emitted for degraded-mode reports: normal reports keep their
+  // pre-existing byte layout (checkpoint parity tests compare dumps).
+  if (degraded()) j["degraded"] = degraded_reason;
   common::Json unexp = common::Json::array();
   for (const auto& u : unexpected) {
     common::Json uj = common::Json::object();

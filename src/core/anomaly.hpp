@@ -48,8 +48,14 @@ struct AnomalyReport {
   std::size_t session_length = 0;
   std::vector<UnexpectedMessage> unexpected;
   std::vector<GroupIssue> issues;
+  /// Set when the session was force-closed before its natural end (memory
+  /// cap eviction or watchdog timeout): the structural checks ran over a
+  /// possibly-incomplete record buffer, so missing-group/subroutine issues
+  /// are best-effort. Why it was degraded ("lru" / "watchdog").
+  std::string degraded_reason;
 
   bool anomalous() const { return !unexpected.empty() || !issues.empty(); }
+  bool degraded() const { return !degraded_reason.empty(); }
   common::Json to_json() const;
 };
 

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/checksum.hpp"
+
 namespace intellog::core {
 
 namespace {
@@ -174,6 +176,10 @@ Json save_model(const IntelLog& model) {
   }
   graph["parents"] = std::move(parents);
   doc["hw_graph"] = std::move(graph);
+  // Integrity stamp over the canonical (compact) dump: disk corruption or a
+  // torn write is rejected at load with one clear error instead of a deep
+  // accessor failure.
+  common::stamp_checksum(doc);
   return doc;
 }
 
@@ -181,9 +187,14 @@ IntelLog load_model(const Json& doc) {
   if (!doc.is_object() || !doc.contains("format_version")) {
     throw std::runtime_error("load_model: not an IntelLog model document");
   }
-  if (doc["format_version"].as_int() != kFormatVersion) {
-    throw std::runtime_error("load_model: unsupported format version");
+  if (!doc["format_version"].is_int() || doc["format_version"].as_int() != kFormatVersion) {
+    throw std::runtime_error("load_model: unsupported format version (want " +
+                             std::to_string(kFormatVersion) + ")");
   }
+  if (!common::verify_checksum(doc)) {
+    throw std::runtime_error("load_model: checksum mismatch (corrupted model document)");
+  }
+  try {
   IntelLog::Config cfg;
   cfg.spell_threshold = doc["config"]["spell_threshold"].as_double();
   cfg.expected_group_fraction = doc["config"]["expected_group_fraction"].as_double();
@@ -278,6 +289,13 @@ IntelLog load_model(const Json& doc) {
       model.graph_, cfg.expected_group_fraction);
   model.trained_ = true;
   return model;
+  } catch (const std::runtime_error&) {
+    throw;  // already a clear "load_model:" error
+  } catch (const std::exception& e) {
+    // Deep JSON accessor failures (wrong types, missing fields) surface as
+    // one clear ingestion error instead of a bare std::bad_variant_access.
+    throw std::runtime_error(std::string("load_model: malformed model document: ") + e.what());
+  }
 }
 
 void save_model_file(const IntelLog& model, const std::string& path) {
@@ -291,7 +309,14 @@ IntelLog load_model_file(const std::string& path) {
   if (!in) throw std::runtime_error("load_model_file: cannot open " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return load_model(Json::parse(buf.str()));
+  Json doc;
+  try {
+    doc = Json::parse(buf.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error("load_model_file: " + path +
+                             " is not valid JSON (truncated or corrupted?): " + e.what());
+  }
+  return load_model(doc);
 }
 
 }  // namespace intellog::core

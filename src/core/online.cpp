@@ -1,14 +1,18 @@
 #include "core/online.hpp"
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
+#include "common/checksum.hpp"
 #include "common/strings.hpp"
 #include "obs/trace.hpp"
 
 namespace intellog::core {
 
-OnlineDetector::OnlineDetector(const IntelLog& model, std::size_t jobs)
-    : model_(model), jobs_(jobs) {
+OnlineDetector::OnlineDetector(const IntelLog& model, std::size_t jobs, Limits limits)
+    : model_(model), jobs_(jobs), limits_(limits) {
   if (!model.trained()) throw std::logic_error("OnlineDetector: model is untrained");
   if (obs::MetricsRegistry* reg = obs::registry()) {
     tel_.records = &reg->counter("intellog_online_records_total");
@@ -17,10 +21,58 @@ OnlineDetector::OnlineDetector(const IntelLog& model, std::size_t jobs)
         &reg->counter("intellog_online_sessions_closed_total", {{"reason", "explicit"}});
     tel_.closed_idle =
         &reg->counter("intellog_online_sessions_closed_total", {{"reason", "idle"}});
+    tel_.closed_evicted =
+        &reg->counter("intellog_online_sessions_closed_total", {{"reason", "evicted"}});
+    tel_.closed_watchdog =
+        &reg->counter("intellog_online_sessions_closed_total", {{"reason", "watchdog"}});
+    tel_.degraded = &reg->counter("intellog_online_degraded_reports_total");
     tel_.open_sessions = &reg->gauge("intellog_online_open_sessions");
+    tel_.buffered_records = &reg->gauge("intellog_online_buffered_records");
     tel_.consume_us = &reg->histogram("intellog_online_consume_us", {},
                                       obs::Histogram::default_us_buckets());
   }
+}
+
+void OnlineDetector::update_gauges() {
+  if (tel_.open_sessions) tel_.open_sessions->set(static_cast<std::int64_t>(open_.size()));
+  if (tel_.buffered_records) {
+    tel_.buffered_records->set(static_cast<std::int64_t>(total_records_));
+  }
+}
+
+void OnlineDetector::touch(const std::string& container_id, SessionState& state) {
+  if (state.lru_seq != 0) lru_.erase(state.lru_seq);
+  state.lru_seq = ++seq_;
+  lru_.emplace(state.lru_seq, container_id);
+}
+
+logparse::Session OnlineDetector::detach(std::map<std::string, SessionState>::iterator it) {
+  SessionState& state = it->second;
+  total_records_ -= state.session.records.size();
+  if (state.lru_seq != 0) lru_.erase(state.lru_seq);
+  logparse::Session session = std::move(state.session);
+  open_.erase(it);
+  return session;
+}
+
+void OnlineDetector::enforce_caps() {
+  const auto over = [&] {
+    return (limits_.max_sessions != 0 && open_.size() > limits_.max_sessions) ||
+           (limits_.max_buffered_records != 0 &&
+            total_records_ > limits_.max_buffered_records);
+  };
+  while (over() && !lru_.empty()) {
+    // Least-recently-active session flushes through the structural checks
+    // in degraded mode rather than letting the buffer grow without bound.
+    const auto it = open_.find(lru_.begin()->second);
+    logparse::Session victim = detach(it);
+    AnomalyReport report = model_.detect(victim);
+    report.degraded_reason = "lru";
+    evicted_.push_back(std::move(report));
+    if (tel_.closed_evicted) tel_.closed_evicted->add(1);
+    if (tel_.degraded) tel_.degraded->add(1);
+  }
+  update_gauges();
 }
 
 std::optional<OnlineDetector::Event> OnlineDetector::consume(const logparse::LogRecord& record) {
@@ -29,53 +81,78 @@ std::optional<OnlineDetector::Event> OnlineDetector::consume(const logparse::Log
   if (tel_.records) tel_.records->add(1);
 
   SessionState& state = open_[record.container_id];
-  if (state.session.container_id.empty()) state.session.container_id = record.container_id;
+  if (state.session.container_id.empty()) {
+    state.session.container_id = record.container_id;
+    state.first_seen_ms = record.timestamp_ms;
+  }
   state.session.records.push_back(record);
+  ++total_records_;
   state.last_seen_ms = std::max(state.last_seen_ms, record.timestamp_ms);
-  if (tel_.open_sessions) tel_.open_sessions->set(static_cast<std::int64_t>(open_.size()));
+  touch(record.container_id, state);
 
+  std::optional<Event> out;
   const int key_id = model_.spell().match(record.content);
-  if (key_id >= 0) {
-    if (tel_.consume_us) {
-      tel_.consume_us->observe(static_cast<double>(obs::monotonic_ns() - t0) / 1e3);
+  if (key_id < 0) {
+    // Unexpected message: surface immediately with on-the-fly extraction.
+    Event event;
+    event.container_id = record.container_id;
+    event.record_index = state.session.records.size() - 1;
+    event.unexpected.record_index = event.record_index;
+    event.unexpected.content = record.content;
+    event.unexpected.extracted = model_.extractor().extract_from_message(record.content);
+    logparse::LogKey pseudo;
+    pseudo.id = -1;
+    for (const auto& tok : common::split_ws(record.content)) {
+      if (common::has_digit(tok)) {
+        if (pseudo.tokens.empty() || pseudo.tokens.back() != "*") pseudo.tokens.emplace_back("*");
+      } else {
+        pseudo.tokens.push_back(tok);
+      }
     }
-    return std::nullopt;
+    event.unexpected.message =
+        model_.extractor().instantiate(event.unexpected.extracted, pseudo, record);
+    if (tel_.unexpected) tel_.unexpected->add(1);
+    out = std::move(event);
   }
 
-  // Unexpected message: surface immediately with on-the-fly extraction.
-  Event event;
-  event.container_id = record.container_id;
-  event.record_index = state.session.records.size() - 1;
-  event.unexpected.record_index = event.record_index;
-  event.unexpected.content = record.content;
-  event.unexpected.extracted = model_.extractor().extract_from_message(record.content);
-  logparse::LogKey pseudo;
-  pseudo.id = -1;
-  for (const auto& tok : common::split_ws(record.content)) {
-    if (common::has_digit(tok)) {
-      if (pseudo.tokens.empty() || pseudo.tokens.back() != "*") pseudo.tokens.emplace_back("*");
-    } else {
-      pseudo.tokens.push_back(tok);
-    }
-  }
-  event.unexpected.message =
-      model_.extractor().instantiate(event.unexpected.extracted, pseudo, record);
-  if (tel_.unexpected) tel_.unexpected->add(1);
+  // Caps last: `state` may dangle afterwards (the current session itself
+  // can be flushed when it alone exceeds the record cap).
+  enforce_caps();
   if (tel_.consume_us) {
     tel_.consume_us->observe(static_cast<double>(obs::monotonic_ns() - t0) / 1e3);
   }
-  return event;
+  return out;
 }
 
 std::optional<AnomalyReport> OnlineDetector::close_session(const std::string& container_id) {
   const auto it = open_.find(container_id);
   if (it == open_.end()) return std::nullopt;
   obs::Span span("online/close_session", "online");
-  AnomalyReport report = model_.detect(it->second.session);
-  open_.erase(it);
+  logparse::Session session = detach(it);
+  AnomalyReport report = model_.detect(session);
   if (tel_.closed_explicit) tel_.closed_explicit->add(1);
-  if (tel_.open_sessions) tel_.open_sessions->set(static_cast<std::int64_t>(open_.size()));
+  update_gauges();
   return report;
+}
+
+std::vector<AnomalyReport> OnlineDetector::watchdog(std::uint64_t now_ms) {
+  if (limits_.max_session_age_ms == 0) return {};
+  obs::Span span("online/watchdog", "online");
+  std::vector<logparse::Session> stuck;
+  for (auto it = open_.begin(); it != open_.end();) {
+    if (it->second.first_seen_ms + limits_.max_session_age_ms <= now_ms) {
+      auto victim = it++;
+      stuck.push_back(detach(victim));
+    } else {
+      ++it;
+    }
+  }
+  std::vector<AnomalyReport> out = model_.detect_batch(stuck, jobs_);
+  for (auto& report : out) report.degraded_reason = "watchdog";
+  if (tel_.closed_watchdog) tel_.closed_watchdog->add(out.size());
+  if (tel_.degraded) tel_.degraded->add(out.size());
+  update_gauges();
+  return out;
 }
 
 std::vector<AnomalyReport> OnlineDetector::close_idle(std::uint64_t now_ms,
@@ -86,15 +163,18 @@ std::vector<AnomalyReport> OnlineDetector::close_idle(std::uint64_t now_ms,
   std::vector<logparse::Session> expired;
   for (auto it = open_.begin(); it != open_.end();) {
     if (it->second.last_seen_ms + idle_ms <= now_ms) {
-      expired.push_back(std::move(it->second.session));
-      it = open_.erase(it);
+      auto victim = it++;
+      expired.push_back(detach(victim));
     } else {
       ++it;
     }
   }
   std::vector<AnomalyReport> out = model_.detect_batch(expired, jobs_);
   if (tel_.closed_idle) tel_.closed_idle->add(out.size());
-  if (tel_.open_sessions) tel_.open_sessions->set(static_cast<std::int64_t>(open_.size()));
+  // Sessions that dodge the idle close by trickling records still fall to
+  // the stream-time watchdog.
+  for (auto& report : watchdog(now_ms)) out.push_back(std::move(report));
+  update_gauges();
   return out;
 }
 
@@ -109,7 +189,15 @@ std::vector<AnomalyReport> OnlineDetector::close_all() {
   std::vector<AnomalyReport> out = model_.detect_batch(sessions, jobs_);
   if (tel_.closed_explicit) tel_.closed_explicit->add(sessions.size());
   open_.clear();
-  if (tel_.open_sessions) tel_.open_sessions->set(0);
+  lru_.clear();
+  total_records_ = 0;
+  update_gauges();
+  return out;
+}
+
+std::vector<AnomalyReport> OnlineDetector::take_evicted() {
+  std::vector<AnomalyReport> out;
+  out.swap(evicted_);
   return out;
 }
 
@@ -125,6 +213,119 @@ std::vector<std::string> OnlineDetector::open_sessions() const {
 std::size_t OnlineDetector::buffered_records(const std::string& container_id) const {
   const auto it = open_.find(container_id);
   return it == open_.end() ? 0 : it->second.session.records.size();
+}
+
+// --- checkpoint / restore ----------------------------------------------------
+
+common::Json OnlineDetector::checkpoint() const {
+  common::Json doc = common::Json::object();
+  doc["kind"] = "intellog_online_checkpoint";
+  doc["format_version"] = kCheckpointVersion;
+  doc["seq"] = seq_;
+  common::Json sessions = common::Json::array();
+  for (const auto& [id, state] : open_) {
+    (void)id;
+    common::Json s = common::Json::object();
+    s["container"] = state.session.container_id;
+    s["system"] = state.session.system;
+    s["first_seen_ms"] = state.first_seen_ms;
+    s["last_seen_ms"] = state.last_seen_ms;
+    s["lru_seq"] = state.lru_seq;
+    common::Json records = common::Json::array();
+    for (const auto& rec : state.session.records) {
+      common::Json r = common::Json::object();
+      r["t"] = rec.timestamp_ms;
+      r["l"] = rec.level;
+      r["s"] = rec.source;
+      r["c"] = rec.content;
+      records.push_back(std::move(r));
+    }
+    s["records"] = std::move(records);
+    sessions.push_back(std::move(s));
+  }
+  doc["sessions"] = std::move(sessions);
+  common::stamp_checksum(doc);
+  return doc;
+}
+
+void OnlineDetector::checkpoint_file(const std::string& path) const {
+  obs::Span span("online/checkpoint", "online");
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) throw std::runtime_error("checkpoint_file: cannot open " + tmp);
+    out << checkpoint().dump(2) << "\n";
+    out.flush();
+    if (!out) throw std::runtime_error("checkpoint_file: write failed: " + tmp);
+  }
+  // Atomic publish: readers see either the previous checkpoint or the new
+  // one, never a torn file.
+  std::filesystem::rename(tmp, path);
+}
+
+OnlineDetector OnlineDetector::restore(const IntelLog& model, const common::Json& doc,
+                                       std::size_t jobs, Limits limits) {
+  if (!doc.is_object() || !doc.contains("kind") || !doc["kind"].is_string() ||
+      doc["kind"].as_string() != "intellog_online_checkpoint") {
+    throw std::runtime_error("OnlineDetector::restore: not a checkpoint document");
+  }
+  if (!doc.contains("format_version") || !doc["format_version"].is_int() ||
+      doc["format_version"].as_int() != kCheckpointVersion) {
+    throw std::runtime_error(
+        "OnlineDetector::restore: unsupported checkpoint format version (want " +
+        std::to_string(kCheckpointVersion) + ")");
+  }
+  if (!common::verify_checksum(doc)) {
+    throw std::runtime_error(
+        "OnlineDetector::restore: checksum mismatch (corrupted checkpoint)");
+  }
+
+  OnlineDetector det(model, jobs, limits);
+  try {
+    det.seq_ = static_cast<std::uint64_t>(doc["seq"].as_int());
+    for (const auto& s : doc["sessions"].as_array()) {
+      SessionState state;
+      state.session.container_id = s["container"].as_string();
+      state.session.system = s["system"].as_string();
+      state.first_seen_ms = static_cast<std::uint64_t>(s["first_seen_ms"].as_int());
+      state.last_seen_ms = static_cast<std::uint64_t>(s["last_seen_ms"].as_int());
+      state.lru_seq = static_cast<std::uint64_t>(s["lru_seq"].as_int());
+      for (const auto& r : s["records"].as_array()) {
+        logparse::LogRecord rec;
+        rec.timestamp_ms = static_cast<std::uint64_t>(r["t"].as_int());
+        rec.level = r["l"].as_string();
+        rec.source = r["s"].as_string();
+        rec.content = r["c"].as_string();
+        rec.container_id = state.session.container_id;
+        state.session.records.push_back(std::move(rec));
+      }
+      det.total_records_ += state.session.records.size();
+      if (state.lru_seq != 0) det.lru_.emplace(state.lru_seq, state.session.container_id);
+      det.seq_ = std::max(det.seq_, state.lru_seq);
+      det.open_.emplace(state.session.container_id, std::move(state));
+    }
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("OnlineDetector::restore: malformed checkpoint: ") +
+                             e.what());
+  }
+  det.update_gauges();
+  return det;
+}
+
+OnlineDetector OnlineDetector::restore_file(const IntelLog& model, const std::string& path,
+                                            std::size_t jobs, Limits limits) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("OnlineDetector::restore_file: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  common::Json doc;
+  try {
+    doc = common::Json::parse(buf.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error("OnlineDetector::restore_file: " + path +
+                             " is not valid JSON (torn checkpoint?): " + e.what());
+  }
+  return restore(model, doc, jobs, limits);
 }
 
 }  // namespace intellog::core

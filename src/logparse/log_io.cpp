@@ -3,11 +3,49 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <stdexcept>
+
+#include "obs/metrics.hpp"
 
 namespace intellog::logparse {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+void count_skipped_file(const std::string& path) {
+  std::cerr << "log_io: warning: skipping " << path << ": no known log format\n";
+  if (obs::MetricsRegistry* reg = obs::registry()) {
+    reg->counter("intellog_ingest_skipped_files_total").add(1);
+  }
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+bool all_lines_empty(const std::vector<std::string>& lines) {
+  return std::all_of(lines.begin(), lines.end(),
+                     [](const std::string& l) { return l.empty(); });
+}
+
+std::vector<std::string> sorted_log_paths(const std::string& dir) {
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".log") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());  // deterministic order
+  return paths;
+}
+
+}  // namespace
 
 void write_session_file(const Formatter& fmt, const Session& session,
                         const std::string& path) {
@@ -38,25 +76,95 @@ Session read_session_file(const std::string& path, std::string_view system) {
     if (fmt) break;
   }
   const std::string container = fs::path(path).stem().string();
-  if (!fmt) return Session{container, std::string(system), {}};
+  if (!fmt) {
+    if (!all_lines_empty(lines)) count_skipped_file(path);
+    return Session{container, std::string(system), {}};
+  }
   return parse_session(*fmt, container, lines, system);
 }
 
 std::vector<Session> read_log_directory(const std::string& dir, std::string_view system) {
   if (!fs::exists(dir)) throw std::runtime_error("read_log_directory: no such dir " + dir);
-  std::vector<std::string> paths;
-  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
-    if (entry.is_regular_file() && entry.path().extension() == ".log") {
-      paths.push_back(entry.path().string());
-    }
-  }
-  std::sort(paths.begin(), paths.end());  // deterministic order
   std::vector<Session> sessions;
-  for (const auto& p : paths) {
+  for (const auto& p : sorted_log_paths(dir)) {
     Session s = read_session_file(p, system);
     if (!s.records.empty()) sessions.push_back(std::move(s));
   }
   return sessions;
+}
+
+// --- resilient ingestion -----------------------------------------------------
+
+SessionIngest read_session_file_resilient(const std::string& path, std::string_view system,
+                                          const IngestOptions& options) {
+  SessionIngest out;
+  out.session.container_id = fs::path(path).stem().string();
+  out.session.system = std::string(system);
+  std::error_code ec;
+  if (!fs::exists(path, ec) || ec) {
+    std::cerr << "log_io: warning: cannot read " << path << "\n";
+    return out;
+  }
+  const std::vector<std::string> lines = read_lines(path);
+
+  const Formatter* fmt = nullptr;
+  for (const auto& l : lines) {
+    fmt = detect_format(l);
+    if (fmt) break;
+  }
+  if (!fmt) {
+    if (all_lines_empty(lines)) return out;
+    count_skipped_file(path);
+    ++out.stats.skipped_files;
+    out.stats.lines_total = lines.size();
+    for (const auto& l : lines) {
+      if (l.empty()) continue;
+      ++out.stats.quarantined;
+      ++out.stats.quarantined_by_reason["no-known-format"];
+      QuarantinedLine q;
+      q.file = path;
+      q.line_no = 1 + static_cast<std::size_t>(&l - lines.data());
+      q.raw_bytes = l.size();
+      q.text = l.substr(0, options.quarantine_text_bytes);
+      q.reason = "no-known-format";
+      for (std::size_t i = 0; i + 1 < q.line_no; ++i) q.byte_offset += lines[i].size() + 1;
+      out.quarantined.push_back(std::move(q));
+      break;  // one forensic sample per skipped file is enough
+    }
+    return out;
+  }
+  return parse_session_resilient(*fmt, out.session.container_id, lines, system, options, path);
+}
+
+IngestReport read_log_directory_resilient(const std::string& dir, std::string_view system,
+                                          const IngestOptions& options) {
+  IngestReport report;
+  std::error_code ec;
+  if (!fs::exists(dir, ec) || ec) {
+    std::cerr << "log_io: warning: no such log directory: " << dir << "\n";
+    return report;
+  }
+  for (const auto& p : sorted_log_paths(dir)) {
+    SessionIngest one = read_session_file_resilient(p, system, options);
+    report.stats.merge(one.stats);
+    for (auto& q : one.quarantined) {
+      if (report.quarantined.size() >= options.max_quarantined) break;
+      report.quarantined.push_back(std::move(q));
+    }
+    if (!one.session.records.empty()) report.sessions.push_back(std::move(one.session));
+  }
+
+  if (obs::MetricsRegistry* reg = obs::registry()) {
+    reg->counter("intellog_ingest_lines_total").add(report.stats.lines_total);
+    reg->counter("intellog_ingest_records_total").add(report.stats.records);
+    reg->counter("intellog_ingest_duplicates_dropped_total")
+        .add(report.stats.duplicates_dropped);
+    reg->counter("intellog_ingest_reordered_total").add(report.stats.reordered);
+    for (const auto& [reason, n] : report.stats.quarantined_by_reason) {
+      reg->counter("intellog_ingest_quarantined_total", {{"reason", reason}}).add(n);
+    }
+  }
+  return report;
 }
 
 }  // namespace intellog::logparse

@@ -25,10 +25,40 @@ void write_log_directory(const Formatter& fmt, const std::vector<Session>& sessi
 /// Reads every `*.log` file under `dir` (recursively); each file becomes a
 /// session whose container id is the file's stem. The format is detected
 /// per file from its first parseable line. Files in no known format are
-/// skipped.
+/// skipped with a warning on stderr (counted in
+/// `intellog_ingest_skipped_files_total` when a metrics registry is
+/// installed).
 std::vector<Session> read_log_directory(const std::string& dir, std::string_view system = {});
 
 /// Reads a single log file as one session.
 Session read_session_file(const std::string& path, std::string_view system = {});
+
+// --- resilient ingestion (chaos-hardened path) ------------------------------
+
+/// Everything read_log_directory_resilient learned about a directory:
+/// sessions built from the surviving records, the quarantine channel
+/// (capped at options.max_quarantined entries across all files), and the
+/// merged ingest statistics.
+struct IngestReport {
+  std::vector<Session> sessions;
+  std::vector<QuarantinedLine> quarantined;
+  IngestStats stats;
+};
+
+/// Hardened read_log_directory: never throws on input (a missing or
+/// unreadable directory yields an empty report with a stderr warning).
+/// Every suspicious line lands in the quarantine channel with its byte
+/// offset; exact duplicates are dropped and out-of-order timestamps are
+/// reinserted per `options`. Exports `intellog_ingest_*` metrics when a
+/// registry is installed: `lines_total`, `records_total`,
+/// `quarantined_total{reason=…}`, `duplicates_dropped_total`,
+/// `reordered_total`, `skipped_files_total`.
+IngestReport read_log_directory_resilient(const std::string& dir, std::string_view system = {},
+                                          const IngestOptions& options = {});
+
+/// Hardened single-file read. Files in no known format quarantine their
+/// first non-empty line with reason "no-known-format".
+SessionIngest read_session_file_resilient(const std::string& path, std::string_view system = {},
+                                          const IngestOptions& options = {});
 
 }  // namespace intellog::logparse

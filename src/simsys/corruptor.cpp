@@ -1,0 +1,196 @@
+#include "simsys/corruptor.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "logparse/formatter.hpp"
+
+namespace intellog::simsys {
+
+namespace fs = std::filesystem;
+
+CorruptionSpec CorruptionSpec::all(double intensity) {
+  CorruptionSpec spec;
+  spec.torn_p = intensity;
+  spec.duplicate_p = intensity;
+  spec.reorder_p = intensity;
+  spec.garbage_p = intensity;
+  spec.rotation_p = 0.5;  // about half the streams rotate mid-run
+  spec.drop_p = intensity;
+  spec.skew_p = intensity;
+  return spec;
+}
+
+common::Json CorruptionStats::to_json() const {
+  common::Json j = common::Json::object();
+  j["input_lines"] = input_lines;
+  j["emitted_lines"] = emitted_lines;
+  j["torn"] = torn;
+  j["duplicated"] = duplicated;
+  j["reordered"] = reordered;
+  j["garbage"] = garbage;
+  j["rotations"] = rotations;
+  j["dropped"] = dropped;
+  j["skewed"] = skewed;
+  return j;
+}
+
+LogStreamCorruptor::LogStreamCorruptor(CorruptionSpec spec, std::uint64_t seed)
+    : spec_(spec), rng_(seed) {}
+
+void LogStreamCorruptor::push_garbage(Result& out) {
+  const std::size_t n = 1 + rng_.uniform(std::max<std::size_t>(spec_.garbage_max_bytes, 1));
+  std::string junk(n, '\0');
+  for (auto& c : junk) {
+    // Full byte range except '\n' (this is one stream line): NULs, invalid
+    // UTF-8 continuation bytes, control characters — everything a failing
+    // disk or a binary write splices into a text log.
+    unsigned char b = static_cast<unsigned char>(rng_.uniform(256));
+    if (b == '\n') b = 0;
+    c = static_cast<char>(b);
+  }
+  out.lines.push_back(std::move(junk));
+  out.origin.push_back(-1);
+  ++stats_.garbage;
+}
+
+std::string LogStreamCorruptor::skew_line(const std::string& line, bool& changed) {
+  changed = false;
+  const logparse::Formatter* fmt = logparse::detect_format(line);
+  if (!fmt) return line;
+  auto rec = fmt->parse(line);
+  if (!rec) return line;
+  const std::int64_t delta = rng_.uniform_int(-spec_.skew_max_ms, spec_.skew_max_ms);
+  const std::int64_t shifted = static_cast<std::int64_t>(rec->timestamp_ms) + delta;
+  rec->timestamp_ms = shifted < 0 ? 0 : static_cast<std::uint64_t>(shifted);
+  std::string rendered = fmt->render(*rec);
+  changed = rendered != line;
+  return rendered;
+}
+
+LogStreamCorruptor::Result LogStreamCorruptor::corrupt(const std::vector<std::string>& lines) {
+  stats_.input_lines += lines.size();
+
+  struct Pending {
+    const std::string* line;
+    std::size_t index;
+  };
+
+  // Pass 1: drop bursts.
+  std::vector<Pending> work;
+  work.reserve(lines.size());
+  Result out;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (spec_.drop_p > 0 && rng_.chance(spec_.drop_p)) {
+      const std::size_t burst =
+          1 + rng_.uniform(std::max<std::size_t>(spec_.drop_burst_max, 1));
+      for (std::size_t k = 0; k < burst && i < lines.size(); ++k, ++i) {
+        out.dropped.push_back(i);
+        ++stats_.dropped;
+      }
+      if (i >= lines.size()) break;
+    }
+    work.push_back({&lines[i], i});
+  }
+
+  // Pass 2: bounded reorder — delay a line by 1..reorder_window positions.
+  if (spec_.reorder_p > 0 && spec_.reorder_window > 0) {
+    for (std::size_t i = 0; i + 1 < work.size(); ++i) {
+      if (!rng_.chance(spec_.reorder_p)) continue;
+      const std::size_t delay = 1 + rng_.uniform(spec_.reorder_window);
+      const std::size_t j = std::min(i + delay, work.size() - 1);
+      if (j == i) continue;
+      std::rotate(work.begin() + static_cast<std::ptrdiff_t>(i),
+                  work.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                  work.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+      ++stats_.reordered;
+    }
+  }
+
+  // Rotation point: where copytruncate rotation re-reads the tail.
+  std::size_t rotation_at = work.size() + 1;
+  if (work.size() >= 3 && spec_.rotation_p > 0 && rng_.chance(spec_.rotation_p)) {
+    rotation_at = 1 + rng_.uniform(work.size() - 2);
+  }
+
+  // Pass 3: emit, applying per-line mutations and injections.
+  out.lines.reserve(work.size());
+  out.origin.reserve(work.size());
+  for (std::size_t w = 0; w < work.size(); ++w) {
+    const std::string& line = *work[w].line;
+    const std::int64_t orig = static_cast<std::int64_t>(work[w].index);
+
+    if (w == rotation_at) {
+      // Copytruncate artifact: the tailer re-emits a torn prefix of the
+      // line it was mid-way through, then re-reads the previous line.
+      if (line.size() >= 2) {
+        out.lines.push_back(line.substr(0, 1 + rng_.uniform(line.size() - 1)));
+        out.origin.push_back(-1);
+      }
+      if (w > 0 && !out.lines.empty()) {
+        const std::string& prev = *work[w - 1].line;
+        out.lines.push_back(prev);
+        out.origin.push_back(static_cast<std::int64_t>(work[w - 1].index));
+      }
+      ++stats_.rotations;
+    }
+
+    if (spec_.torn_p > 0 && line.size() >= 2 && rng_.chance(spec_.torn_p)) {
+      out.lines.push_back(line.substr(0, 1 + rng_.uniform(line.size() - 1)));
+      out.origin.push_back(-1);
+      ++stats_.torn;
+    } else if (spec_.skew_p > 0 && rng_.chance(spec_.skew_p)) {
+      bool changed = false;
+      std::string skewed = skew_line(line, changed);
+      out.lines.push_back(std::move(skewed));
+      out.origin.push_back(changed ? -1 : orig);
+      if (changed) ++stats_.skewed;
+    } else {
+      out.lines.push_back(line);
+      out.origin.push_back(orig);
+    }
+
+    if (spec_.duplicate_p > 0 && !out.lines.empty() && rng_.chance(spec_.duplicate_p)) {
+      // Re-deliver one of the last few emitted lines verbatim.
+      const std::size_t back = rng_.uniform(std::min<std::size_t>(out.lines.size(), 4));
+      const std::size_t at = out.lines.size() - 1 - back;
+      out.lines.push_back(out.lines[at]);
+      out.origin.push_back(out.origin[at]);
+      ++stats_.duplicated;
+    }
+
+    if (spec_.garbage_p > 0 && rng_.chance(spec_.garbage_p)) push_garbage(out);
+  }
+
+  stats_.emitted_lines += out.lines.size();
+  return out;
+}
+
+std::vector<std::pair<std::string, LogStreamCorruptor::Result>>
+LogStreamCorruptor::corrupt_directory(const std::string& src_dir, const std::string& dst_dir) {
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(src_dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".log") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());  // deterministic fault assignment
+  fs::create_directories(dst_dir);
+
+  std::vector<std::pair<std::string, Result>> results;
+  for (const auto& p : paths) {
+    std::ifstream in(p, std::ios::binary);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    Result r = corrupt(lines);
+    const std::string stem = fs::path(p).stem().string();
+    std::ofstream outf(fs::path(dst_dir) / (stem + ".log"), std::ios::binary);
+    for (const auto& l : r.lines) outf << l << "\n";
+    results.emplace_back(stem, std::move(r));
+  }
+  return results;
+}
+
+}  // namespace intellog::simsys

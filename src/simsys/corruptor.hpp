@@ -1,0 +1,116 @@
+// LogStreamCorruptor — a seeded adversary for the ingestion layer (§6.4).
+//
+// The paper's detection phase consumes logs from live, *failing* clusters:
+// exactly when detection matters most, the log stream itself degrades —
+// writers die mid-line, shippers re-deliver and reorder, files rotate under
+// the tail, disks interleave garbage. The corruptor reproduces those
+// conditions deterministically: given a rendered log stream (one
+// container's file as raw lines) and a seed, it emits a mutated stream plus
+// a per-line provenance map, so every robustness claim ("no clean record is
+// lost, no crash, classification parity") is checkable and reproducible
+// from the seed alone.
+//
+// Fault kinds (each independently enabled/weighted via CorruptionSpec):
+//  - torn lines:        a line truncated at a random byte (writer killed or
+//                       torn 4k page at rotation),
+//  - duplicates:        a recent line re-delivered verbatim (at-least-once
+//                       shipping),
+//  - reorder:           a line delayed up to `reorder_window` positions
+//                       (multi-threaded appenders / shipper races),
+//  - rotation artifact: copytruncate rotation mid-stream — a torn re-emit
+//                       of the current line followed by a duplicated tail,
+//  - garbage:           a burst of random bytes (NULs, invalid UTF-8,
+//                       control characters) spliced between lines,
+//  - drop bursts:       1..`drop_burst_max` consecutive lines lost,
+//  - timestamp skew:    a line re-rendered with its timestamp shifted by up
+//                       to ±`skew_max_ms` (clock drift across writers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+
+namespace intellog::simsys {
+
+/// Per-kind probabilities (evaluated per input line; `rotation_p` per call)
+/// plus the structural bounds. All-zero = identity transform.
+struct CorruptionSpec {
+  double torn_p = 0;
+  double duplicate_p = 0;
+  double reorder_p = 0;
+  double garbage_p = 0;
+  double rotation_p = 0;  ///< probability that this stream rotates at all
+  double drop_p = 0;
+  double skew_p = 0;
+  std::size_t reorder_window = 4;    ///< max positions a line is delayed
+  std::size_t drop_burst_max = 4;    ///< max consecutive lines per drop
+  std::size_t garbage_max_bytes = 256;
+  std::int64_t skew_max_ms = 5000;
+
+  /// Every fault kind enabled at probability `intensity` (the chaos-soak
+  /// default; 0.02 disturbs a few percent of lines, like a bad but live
+  /// node).
+  static CorruptionSpec all(double intensity = 0.02);
+};
+
+/// What the corruptor did, summed across corrupt() calls.
+struct CorruptionStats {
+  std::size_t input_lines = 0;
+  std::size_t emitted_lines = 0;
+  std::size_t torn = 0;
+  std::size_t duplicated = 0;
+  std::size_t reordered = 0;
+  std::size_t garbage = 0;
+  std::size_t rotations = 0;
+  std::size_t dropped = 0;
+  std::size_t skewed = 0;
+
+  /// Lines disturbed in any way (for reporting).
+  std::size_t total_faults() const {
+    return torn + duplicated + reordered + garbage + rotations + dropped + skewed;
+  }
+  common::Json to_json() const;
+};
+
+class LogStreamCorruptor {
+ public:
+  LogStreamCorruptor(CorruptionSpec spec, std::uint64_t seed);
+
+  /// One corrupted stream plus provenance. `origin[i]` is the index of the
+  /// input line that output line `i` reproduces *byte-identically*, or -1
+  /// for anything mutated or injected (torn copies, garbage, skewed
+  /// re-renders). Duplicate re-deliveries keep their origin (they are
+  /// intact content — the dedupe layer is expected to collapse them).
+  /// `dropped` lists input indices that never reach the output.
+  struct Result {
+    std::vector<std::string> lines;
+    std::vector<std::int64_t> origin;
+    std::vector<std::size_t> dropped;
+  };
+
+  /// Corrupts one stream (one session's rendered lines). Deterministic in
+  /// (spec, seed, call sequence).
+  Result corrupt(const std::vector<std::string>& lines);
+
+  /// Reads every `*.log` file under `src_dir` (sorted, recursively),
+  /// corrupts each stream independently, and writes the mutated files to
+  /// `dst_dir` (flattened, created if needed). Returns per-file results
+  /// keyed by file stem, in sorted order.
+  std::vector<std::pair<std::string, Result>> corrupt_directory(const std::string& src_dir,
+                                                                const std::string& dst_dir);
+
+  const CorruptionStats& stats() const { return stats_; }
+
+ private:
+  void push_garbage(Result& out);
+  std::string skew_line(const std::string& line, bool& changed);
+
+  CorruptionSpec spec_;
+  common::Rng rng_;
+  CorruptionStats stats_;
+};
+
+}  // namespace intellog::simsys

@@ -1,0 +1,227 @@
+// OnlineDetector checkpoint/restore: versioned, checksummed, written with
+// atomic rename — and a restored detector must finish the stream with a
+// byte-identical final report (the kill-and-resume guarantee).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/checksum.hpp"
+#include "core/online.hpp"
+#include "simsys/workload.hpp"
+
+using namespace intellog;
+
+namespace {
+
+std::vector<logparse::Session> corpus(int jobs, std::uint64_t seed) {
+  simsys::ClusterSpec cluster;
+  simsys::WorkloadGenerator gen("spark", seed);
+  std::vector<logparse::Session> out;
+  for (int i = 0; i < jobs; ++i) {
+    simsys::JobResult job = simsys::run_job(gen.training_job(), cluster);
+    for (auto& s : job.sessions) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string dump_reports(const std::vector<core::AnomalyReport>& reports) {
+  std::string out;
+  for (const auto& r : reports) out += r.to_json().dump() + "\n";
+  return out;
+}
+
+}  // namespace
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    model = new core::IntelLog();
+    model->train(corpus(6, 31));
+    stream = new std::vector<logparse::Session>(corpus(2, 99));
+  }
+  static void TearDownTestSuite() {
+    delete model;
+    delete stream;
+    model = nullptr;
+    stream = nullptr;
+  }
+
+  /// Streams every record through a detector, closing sessions at their
+  /// boundaries; kills + restores from `path` after `kill_at` records when
+  /// kill_at > 0.
+  static std::vector<core::AnomalyReport> run_stream(std::size_t kill_at,
+                                                     const std::string& path) {
+    std::vector<core::AnomalyReport> reports;
+    auto online = std::make_unique<core::OnlineDetector>(*model);
+    std::size_t idx = 0;
+    for (const auto& s : *stream) {
+      for (const auto& r : s.records) {
+        online->consume(r);
+        if (++idx == kill_at) {
+          online->checkpoint_file(path);
+          online.reset();  // the crash
+          online = std::make_unique<core::OnlineDetector>(
+              core::OnlineDetector::restore_file(*model, path));
+        }
+      }
+      if (auto rep = online->close_session(s.container_id)) reports.push_back(std::move(*rep));
+    }
+    for (auto& rep : online->close_all()) reports.push_back(std::move(rep));
+    return reports;
+  }
+
+  static core::IntelLog* model;
+  static std::vector<logparse::Session>* stream;
+};
+
+core::IntelLog* CheckpointTest::model = nullptr;
+std::vector<logparse::Session>* CheckpointTest::stream = nullptr;
+
+TEST_F(CheckpointTest, KillAndResumeIsByteIdentical) {
+  const std::string path = "/tmp/intellog_ckpt_resume.json";
+  std::size_t total = 0;
+  for (const auto& s : *stream) total += s.records.size();
+  ASSERT_GT(total, 10u);
+  const auto baseline = run_stream(0, path);
+  // Kill mid-stream (mid-session for any realistic corpus), and also right
+  // after the first record — both must replay to the same bytes.
+  for (const std::size_t kill_at : {total / 2, std::size_t{1}, total - 1}) {
+    EXPECT_EQ(dump_reports(baseline), dump_reports(run_stream(kill_at, path)))
+        << "kill_at=" << kill_at;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(CheckpointTest, CheckpointRoundTripPreservesState) {
+  core::OnlineDetector online(*model);
+  std::size_t fed = 0;
+  for (const auto& s : *stream) {
+    for (const auto& r : s.records) {
+      online.consume(r);
+      if (++fed >= 100) break;
+    }
+    if (fed >= 100) break;
+  }
+  const auto doc = online.checkpoint();
+  const auto restored = core::OnlineDetector::restore(*model, doc);
+  EXPECT_EQ(restored.open_sessions(), online.open_sessions());
+  EXPECT_EQ(restored.total_buffered_records(), online.total_buffered_records());
+  for (const auto& id : online.open_sessions()) {
+    EXPECT_EQ(restored.buffered_records(id), online.buffered_records(id)) << id;
+  }
+}
+
+TEST_F(CheckpointTest, CheckpointFileIsAtomicRename) {
+  const std::string path = "/tmp/intellog_ckpt_atomic.json";
+  core::OnlineDetector online(*model);
+  online.consume((*stream)[0].records[0]);
+  online.checkpoint_file(path);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));  // nothing torn left behind
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto doc = common::Json::parse(buf.str());
+  EXPECT_EQ(doc["kind"].as_string(), "intellog_online_checkpoint");
+  EXPECT_EQ(doc["format_version"].as_int(), core::OnlineDetector::kCheckpointVersion);
+  EXPECT_TRUE(doc.contains("checksum"));
+  EXPECT_TRUE(common::verify_checksum(doc));
+  std::filesystem::remove(path);
+}
+
+TEST_F(CheckpointTest, RestoreRejectsWrongKind) {
+  auto doc = common::Json::object();
+  doc["kind"] = "something_else";
+  EXPECT_THROW(core::OnlineDetector::restore(*model, doc), std::runtime_error);
+  EXPECT_THROW(core::OnlineDetector::restore(*model, common::Json(42)), std::runtime_error);
+}
+
+TEST_F(CheckpointTest, RestoreRejectsWrongVersion) {
+  core::OnlineDetector online(*model);
+  online.consume((*stream)[0].records[0]);
+  auto doc = online.checkpoint();
+  doc["format_version"] = core::OnlineDetector::kCheckpointVersion + 1;
+  common::stamp_checksum(doc);  // valid checksum: the version check must fire
+  try {
+    core::OnlineDetector::restore(*model, doc);
+    FAIL() << "wrong version accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST_F(CheckpointTest, RestoreRejectsTamperedPayload) {
+  core::OnlineDetector online(*model);
+  online.consume((*stream)[0].records[0]);
+  std::string text = online.checkpoint().dump();
+  // Flip the seq value without restamping the checksum.
+  const auto pos = text.find("\"seq\":");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 6] = text[pos + 6] == '9' ? '8' : '9';
+  const auto tampered = common::Json::parse(text);
+  try {
+    core::OnlineDetector::restore(*model, tampered);
+    FAIL() << "tampered checkpoint accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+}
+
+TEST_F(CheckpointTest, RestoreRejectsMalformedSessions) {
+  core::OnlineDetector online(*model);
+  online.consume((*stream)[0].records[0]);
+  auto doc = online.checkpoint();
+  doc["sessions"] = 42;  // right kind/version, wrong shape
+  common::stamp_checksum(doc);
+  try {
+    core::OnlineDetector::restore(*model, doc);
+    FAIL() << "malformed checkpoint accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("malformed"), std::string::npos);
+  }
+}
+
+TEST_F(CheckpointTest, RestoreFileRejectsTornFile) {
+  const std::string path = "/tmp/intellog_ckpt_torn.json";
+  core::OnlineDetector online(*model);
+  online.consume((*stream)[0].records[0]);
+  online.checkpoint_file(path);
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string full = buf.str();
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << full.substr(0, full.size() / 2);  // a torn write
+  }
+  EXPECT_THROW(core::OnlineDetector::restore_file(*model, path), std::runtime_error);
+  EXPECT_THROW(core::OnlineDetector::restore_file(*model, "/nonexistent/ckpt.json"),
+               std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST_F(CheckpointTest, RestoredDetectorKeepsLruOrder) {
+  core::OnlineDetector::Limits limits;
+  limits.max_sessions = 2;
+  core::OnlineDetector online(*model, 1, limits);
+  logparse::LogRecord r;
+  r.content = "Running task 0";
+  for (const char* id : {"a", "b"}) {
+    r.container_id = id;
+    online.consume(r);
+  }
+  const auto restored_doc = online.checkpoint();
+  auto restored = core::OnlineDetector::restore(*model, restored_doc, 1, limits);
+  // "a" is least recently active; the next new session must evict it.
+  r.container_id = "c";
+  restored.consume(r);
+  const auto evicted = restored.take_evicted();
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].container_id, "a");
+  restored.close_all();
+  online.close_all();
+}

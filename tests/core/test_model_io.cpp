@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <string>
 
+#include "common/checksum.hpp"
 #include "simsys/workload.hpp"
 
 using namespace intellog;
@@ -112,6 +115,63 @@ TEST_F(ModelIoTest, LoadRejectsGarbage) {
   EXPECT_THROW(core::load_model(common::Json::parse("{}")), std::runtime_error);
   EXPECT_THROW(core::load_model(common::Json(42)), std::runtime_error);
   EXPECT_THROW(core::load_model_file("/nonexistent/path.json"), std::runtime_error);
+}
+
+TEST_F(ModelIoTest, SaveStampsVerifiableChecksum) {
+  const auto doc = core::save_model(*trained);
+  ASSERT_TRUE(doc.contains("checksum"));
+  EXPECT_TRUE(common::verify_checksum(doc));
+}
+
+TEST_F(ModelIoTest, LoadRejectsTamperedDocument) {
+  auto doc = core::save_model(*trained);
+  doc["config"]["spell_threshold"] = 9.9;  // mutate without restamping
+  try {
+    core::load_model(doc);
+    FAIL() << "tampered model accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+}
+
+TEST_F(ModelIoTest, LoadRejectsWrongFormatVersion) {
+  auto doc = core::save_model(*trained);
+  doc["format_version"] = 99;
+  common::stamp_checksum(doc);  // checksum valid: the version check must fire
+  try {
+    core::load_model(doc);
+    FAIL() << "wrong format version accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST_F(ModelIoTest, LoadRejectsMalformedPayloadWithOneClearError) {
+  auto doc = core::save_model(*trained);
+  doc["log_keys"] = 42;  // right version + checksum, wrong payload shape
+  common::stamp_checksum(doc);
+  try {
+    core::load_model(doc);
+    FAIL() << "malformed payload accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("load_model"), std::string::npos);
+  }
+}
+
+TEST_F(ModelIoTest, LoadModelFileRejectsInvalidJson) {
+  const std::string path = "/tmp/intellog_model_torn.json";
+  {
+    std::ofstream f(path);
+    f << "{\"format_version\": 1, \"trunc";  // a torn write
+  }
+  try {
+    core::load_model_file(path);
+    FAIL() << "torn model file accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("not valid JSON"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+  std::remove(path.c_str());
 }
 
 TEST_F(ModelIoTest, MovedModelStillDetects) {

@@ -1,0 +1,180 @@
+// Bounded-memory OnlineDetector: session/record caps with LRU eviction,
+// the stuck-session watchdog, and the degraded-mode flags + telemetry that
+// make force-closes visible to operators.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/online.hpp"
+#include "obs/metrics.hpp"
+#include "simsys/workload.hpp"
+
+using namespace intellog;
+
+namespace {
+
+std::vector<logparse::Session> corpus(int jobs, std::uint64_t seed) {
+  simsys::ClusterSpec cluster;
+  simsys::WorkloadGenerator gen("spark", seed);
+  std::vector<logparse::Session> out;
+  for (int i = 0; i < jobs; ++i) {
+    simsys::JobResult job = simsys::run_job(gen.training_job(), cluster);
+    for (auto& s : job.sessions) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+logparse::LogRecord rec(const std::string& container, std::uint64_t ts,
+                        const std::string& content = "Running task 0") {
+  logparse::LogRecord r;
+  r.container_id = container;
+  r.timestamp_ms = ts;
+  r.content = content;
+  return r;
+}
+
+}  // namespace
+
+class OnlineLimitsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    model = new core::IntelLog();
+    model->train(corpus(6, 31));
+  }
+  static void TearDownTestSuite() {
+    delete model;
+    model = nullptr;
+  }
+  static core::IntelLog* model;
+};
+
+core::IntelLog* OnlineLimitsTest::model = nullptr;
+
+TEST_F(OnlineLimitsTest, SessionCapHoldsUnderTenTimesOverload) {
+  obs::MetricsRegistry registry;
+  obs::set_registry(&registry);
+  core::OnlineDetector::Limits limits;
+  limits.max_sessions = 8;
+  core::OnlineDetector online(*model, 1, limits);
+
+  // 10x overload: 80 distinct containers, never closed explicitly.
+  const std::size_t containers = 80;
+  for (std::size_t c = 0; c < containers; ++c) {
+    for (int k = 0; k < 3; ++k) {
+      online.consume(rec("c" + std::to_string(c), c * 10 + static_cast<std::uint64_t>(k)));
+      ASSERT_LE(online.open_sessions().size(), limits.max_sessions);
+    }
+  }
+  const auto evicted = online.take_evicted();
+  EXPECT_EQ(evicted.size(), containers - limits.max_sessions);
+  for (const auto& r : evicted) {
+    EXPECT_EQ(r.degraded_reason, "lru");
+    EXPECT_TRUE(r.degraded());
+    // Degraded-mode reports still run the structural checks.
+    EXPECT_EQ(r.session_length, 3u);
+  }
+  // Eviction order is least-recently-active first.
+  EXPECT_EQ(evicted.front().container_id, "c0");
+
+  // Evictions are visible in the registry and its Prometheus export.
+  const obs::Counter* closed = registry.find_counter("intellog_online_sessions_closed_total",
+                                                     {{"reason", "evicted"}});
+  ASSERT_NE(closed, nullptr);
+  EXPECT_EQ(closed->value(), containers - limits.max_sessions);
+  const obs::Counter* degraded = registry.find_counter("intellog_online_degraded_reports_total");
+  ASSERT_NE(degraded, nullptr);
+  EXPECT_EQ(degraded->value(), containers - limits.max_sessions);
+  const std::string prom = registry.to_prometheus();
+  EXPECT_NE(prom.find("intellog_online_sessions_closed_total"), std::string::npos);
+  EXPECT_NE(prom.find("reason=\"evicted\""), std::string::npos);
+  online.close_all();
+  obs::set_registry(nullptr);
+}
+
+TEST_F(OnlineLimitsTest, BufferedRecordCapEvictsThroughChecks) {
+  core::OnlineDetector::Limits limits;
+  limits.max_buffered_records = 50;
+  core::OnlineDetector online(*model, 1, limits);
+  for (int i = 0; i < 200; ++i) {
+    online.consume(rec("hog", static_cast<std::uint64_t>(i)));
+    ASSERT_LE(online.total_buffered_records(), limits.max_buffered_records);
+  }
+  const auto evicted = online.take_evicted();
+  ASSERT_GE(evicted.size(), 1u);
+  for (const auto& r : evicted) EXPECT_EQ(r.degraded_reason, "lru");
+  online.close_all();
+}
+
+TEST_F(OnlineLimitsTest, UnboundedByDefault) {
+  core::OnlineDetector online(*model);
+  for (std::size_t c = 0; c < 64; ++c) {
+    online.consume(rec("c" + std::to_string(c), c));
+  }
+  EXPECT_EQ(online.open_sessions().size(), 64u);
+  EXPECT_EQ(online.pending_evicted(), 0u);
+  online.close_all();
+}
+
+TEST_F(OnlineLimitsTest, WatchdogForceClosesStuckSessions) {
+  obs::MetricsRegistry registry;
+  obs::set_registry(&registry);
+  core::OnlineDetector::Limits limits;
+  limits.max_session_age_ms = 1000;
+  core::OnlineDetector online(*model, 1, limits);
+  online.consume(rec("stuck", 100));
+  online.consume(rec("fresh", 1500));
+
+  // At t=1600 only "stuck" (first seen 100) is past the 1000 ms age cap.
+  auto reports = online.watchdog(1600);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].container_id, "stuck");
+  EXPECT_EQ(reports[0].degraded_reason, "watchdog");
+  EXPECT_EQ(online.open_sessions(), std::vector<std::string>{"fresh"});
+
+  const obs::Counter* closed = registry.find_counter("intellog_online_sessions_closed_total",
+                                                     {{"reason", "watchdog"}});
+  ASSERT_NE(closed, nullptr);
+  EXPECT_EQ(closed->value(), 1u);
+  online.close_all();
+  obs::set_registry(nullptr);
+}
+
+TEST_F(OnlineLimitsTest, WatchdogDisabledIsNoOp) {
+  core::OnlineDetector online(*model);
+  online.consume(rec("old", 1));
+  EXPECT_TRUE(online.watchdog(1u << 30).empty());
+  EXPECT_EQ(online.open_sessions().size(), 1u);
+  online.close_all();
+}
+
+TEST_F(OnlineLimitsTest, CloseIdleRunsWatchdogToo) {
+  core::OnlineDetector::Limits limits;
+  limits.max_session_age_ms = 1000;
+  core::OnlineDetector online(*model, 1, limits);
+  // "chatty" keeps logging (never idle) but is long past the age cap.
+  for (int i = 0; i < 20; ++i) {
+    online.consume(rec("chatty", static_cast<std::uint64_t>(i * 200)));
+  }
+  const auto reports = online.close_idle(/*now_ms=*/4000, /*idle_ms=*/10000);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].degraded_reason, "watchdog");
+  EXPECT_TRUE(online.open_sessions().empty());
+}
+
+TEST_F(OnlineLimitsTest, DegradedFlagSurfacesInReportJson) {
+  core::OnlineDetector::Limits limits;
+  limits.max_sessions = 1;
+  core::OnlineDetector online(*model, 1, limits);
+  online.consume(rec("a", 1));
+  online.consume(rec("b", 2));  // evicts "a"
+  const auto evicted = online.take_evicted();
+  ASSERT_EQ(evicted.size(), 1u);
+  const std::string dump = evicted[0].to_json().dump();
+  EXPECT_NE(dump.find("\"degraded\""), std::string::npos);
+  EXPECT_NE(dump.find("lru"), std::string::npos);
+  // Normal reports must NOT carry the field (byte-layout parity).
+  if (const auto normal = online.close_session("b")) {
+    EXPECT_EQ(normal->to_json().dump().find("\"degraded\""), std::string::npos);
+  }
+}

@@ -1,0 +1,127 @@
+// Seeded fuzz: the parsing surface (Spell::match, tokenizer, formatters,
+// resilient session ingest) must survive arbitrary bytes — NULs, invalid
+// UTF-8, pathological token counts — without throwing. Memory safety is
+// covered by running this suite under ASan/UBSan (tools/ci.sh asan/chaos).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "logparse/formatter.hpp"
+#include "logparse/session.hpp"
+#include "logparse/spell.hpp"
+#include "nlp/tokenizer.hpp"
+
+using namespace intellog;
+
+namespace {
+
+std::string random_bytes(common::Rng& rng, std::size_t max_len) {
+  const std::size_t len = rng.uniform(max_len + 1);
+  std::string s(len, '\0');
+  for (auto& c : s) c = static_cast<char>(rng.uniform(256));
+  return s;
+}
+
+std::string random_printable(common::Rng& rng, std::size_t max_len) {
+  const std::size_t len = rng.uniform(max_len + 1);
+  std::string s(len, ' ');
+  for (auto& c : s) c = static_cast<char>(0x20 + rng.uniform(0x5f));
+  return s;
+}
+
+}  // namespace
+
+TEST(FuzzParse, SpellMatchOnRandomBytes) {
+  logparse::Spell spell;
+  // A few realistic keys so match() has something to compare against.
+  spell.consume("Running task 0 in stage 0.0");
+  spell.consume("Registering block manager host1:1234");
+  spell.consume("Finished task 3 in 250 ms");
+  common::Rng rng(0xF00D);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_NO_THROW(spell.match(random_bytes(rng, 300))) << "iteration " << i;
+    EXPECT_NO_THROW(spell.match(random_printable(rng, 300))) << "iteration " << i;
+  }
+  // Targeted nasties: NULs, invalid UTF-8, empty, all-whitespace.
+  for (const auto& s : {std::string("\0\0\0", 3), std::string("\xff\xfe\xc0\xaf"),
+                        std::string(), std::string(64, ' '), std::string(64, '*')}) {
+    EXPECT_NO_THROW(spell.match(s));
+  }
+}
+
+TEST(FuzzParse, SpellMatchOnTenThousandTokens) {
+  logparse::Spell spell;
+  spell.consume("Running task 0");
+  std::string huge;
+  huge.reserve(80000);
+  for (int i = 0; i < 10000; ++i) {
+    huge += "tok";
+    huge += std::to_string(i);
+    huge += ' ';
+  }
+  EXPECT_NO_THROW(spell.match(huge));
+  EXPECT_NO_THROW(spell.consume(huge));
+}
+
+TEST(FuzzParse, TokenizerOnRandomBytes) {
+  common::Rng rng(0xBEEF);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_NO_THROW(nlp::tokenize(random_bytes(rng, 200))) << "iteration " << i;
+  }
+  EXPECT_NO_THROW(nlp::tokenize(std::string("nul\0inside", 10)));
+  EXPECT_NO_THROW(nlp::tokenize("\xc3\x28 invalid utf8 \xe2\x82"));
+}
+
+TEST(FuzzParse, FormattersNeverThrowOnRandomLines) {
+  const auto spark = logparse::make_spark_formatter();
+  const auto hadoop = logparse::make_hadoop_formatter();
+  common::Rng rng(0xCAFE);
+  for (int i = 0; i < 1000; ++i) {
+    const std::string line = i % 2 ? random_bytes(rng, 400) : random_printable(rng, 400);
+    EXPECT_NO_THROW(spark->parse(line)) << "iteration " << i;
+    EXPECT_NO_THROW(hadoop->parse(line)) << "iteration " << i;
+    EXPECT_NO_THROW(logparse::detect_format(line)) << "iteration " << i;
+  }
+  // Near-miss prefixes of the real formats (the torn-line shape).
+  const std::string full = "19/06/01 06:00:01 INFO executor.Executor: Running task 0";
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    EXPECT_NO_THROW(spark->parse(full.substr(0, cut)));
+  }
+  const std::string hfull = "2019-06-01 06:00:01,123 INFO [main] org.x.Y: starting";
+  for (std::size_t cut = 0; cut <= hfull.size(); ++cut) {
+    EXPECT_NO_THROW(hadoop->parse(hfull.substr(0, cut)));
+  }
+}
+
+TEST(FuzzParse, ResilientIngestOnRandomStreams) {
+  const auto fmt = logparse::make_spark_formatter();
+  common::Rng rng(0xD15EA5E);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::string> lines;
+    const std::size_t n = 20 + rng.uniform(80);
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (rng.uniform(4)) {
+        case 0: lines.push_back(random_bytes(rng, 200)); break;
+        case 1: lines.push_back(random_printable(rng, 200)); break;
+        case 2:
+          lines.push_back("19/06/01 06:00:" + std::to_string(10 + i % 50) +
+                          " INFO executor.Executor: Running task " + std::to_string(i));
+          break;
+        default:
+          lines.push_back("19/06/01 06:0");  // torn
+          break;
+      }
+    }
+    logparse::SessionIngest out;
+    ASSERT_NO_THROW(
+        out = logparse::parse_session_resilient(*fmt, "fuzz", lines, "spark", {}, "fuzz.log"))
+        << "round " << round;
+    // Whatever happened, the accounting must balance.
+    EXPECT_EQ(out.stats.records + out.stats.continuations + out.stats.quarantined +
+                  out.stats.duplicates_dropped,
+              out.stats.lines_total)
+        << "round " << round;
+  }
+}

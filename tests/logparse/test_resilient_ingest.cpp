@@ -1,0 +1,229 @@
+// Hardened ingestion: parse_session_resilient / read_*_resilient must never
+// throw on input, quarantine with accurate provenance, and undo redelivery
+// and bounded reordering without disturbing clean streams.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "logparse/formatter.hpp"
+#include "logparse/log_io.hpp"
+#include "logparse/session.hpp"
+#include "obs/metrics.hpp"
+
+using namespace intellog;
+
+namespace {
+
+std::string spark(const std::string& sec, const std::string& msg,
+                  const std::string& cls = "executor.Executor") {
+  return "19/06/01 06:00:" + sec + " INFO " + cls + ": " + msg;
+}
+
+logparse::SessionIngest ingest(const std::vector<std::string>& lines,
+                               const logparse::IngestOptions& opt = {}) {
+  const auto fmt = logparse::make_spark_formatter();
+  return logparse::parse_session_resilient(*fmt, "c1", lines, "spark", opt, "c1.log");
+}
+
+}  // namespace
+
+TEST(ResilientIngest, CleanStreamPassesUnchanged) {
+  std::vector<std::string> lines;
+  for (int i = 10; i < 40; ++i) {
+    lines.push_back(spark(std::to_string(i), "Running task " + std::to_string(i)));
+  }
+  const auto fmt = logparse::make_spark_formatter();
+  const auto baseline = logparse::parse_session(*fmt, "c1", lines, "spark");
+  const auto hardened = ingest(lines);
+  ASSERT_EQ(hardened.session.records.size(), baseline.records.size());
+  for (std::size_t i = 0; i < baseline.records.size(); ++i) {
+    EXPECT_EQ(hardened.session.records[i].content, baseline.records[i].content);
+    EXPECT_EQ(hardened.session.records[i].timestamp_ms, baseline.records[i].timestamp_ms);
+  }
+  EXPECT_TRUE(hardened.quarantined.empty());
+  EXPECT_EQ(hardened.stats.duplicates_dropped, 0u);
+  EXPECT_EQ(hardened.stats.reordered, 0u);
+}
+
+TEST(ResilientIngest, BinaryGarbageIsQuarantinedWithByteOffset) {
+  const std::string first = spark("10", "Starting");
+  std::vector<std::string> lines = {first, std::string("\x01\x02") + '\0' + "\xff\xfe garbage",
+                                    spark("11", "Done")};
+  const auto out = ingest(lines);
+  EXPECT_EQ(out.session.records.size(), 2u);
+  ASSERT_EQ(out.quarantined.size(), 1u);
+  const auto& q = out.quarantined[0];
+  EXPECT_EQ(q.reason, "binary");
+  EXPECT_EQ(q.line_no, 2u);
+  EXPECT_EQ(q.byte_offset, first.size() + 1);  // first line + '\n'
+  EXPECT_EQ(q.file, "c1.log");
+  EXPECT_EQ(out.stats.quarantined_by_reason.at("binary"), 1u);
+}
+
+TEST(ResilientIngest, TornDigitLedLineIsQuarantinedNotFolded) {
+  std::vector<std::string> lines = {spark("10", "Starting"),
+                                    "19/06/01 06:0",  // torn mid-timestamp
+                                    spark("11", "Done")};
+  const auto out = ingest(lines);
+  ASSERT_EQ(out.session.records.size(), 2u);
+  // The torn prefix must NOT be glued onto "Starting".
+  EXPECT_EQ(out.session.records[0].content, "Starting");
+  ASSERT_EQ(out.quarantined.size(), 1u);
+  EXPECT_EQ(out.quarantined[0].reason, "torn");
+}
+
+TEST(ResilientIngest, StackTraceContinuationsStillFold) {
+  std::vector<std::string> lines = {spark("10", "Exception in task 0"),
+                                    "\tat org.apache.spark.Executor.run(Executor.scala:42)",
+                                    "Caused by: java.io.IOException: no space"};
+  const auto out = ingest(lines);
+  ASSERT_EQ(out.session.records.size(), 1u);
+  EXPECT_NE(out.session.records[0].content.find("Executor.scala:42"), std::string::npos);
+  EXPECT_NE(out.session.records[0].content.find("Caused by"), std::string::npos);
+  EXPECT_TRUE(out.quarantined.empty());
+  EXPECT_EQ(out.stats.continuations, 2u);
+}
+
+TEST(ResilientIngest, ExactDuplicatesWithinWindowAreDropped) {
+  const std::string line = spark("10", "Registering block manager");
+  std::vector<std::string> lines = {line, spark("11", "Running task 1"), line};
+  const auto out = ingest(lines);
+  EXPECT_EQ(out.session.records.size(), 2u);
+  EXPECT_EQ(out.stats.duplicates_dropped, 1u);
+  // Dedupe disabled -> the duplicate stays.
+  logparse::IngestOptions opt;
+  opt.dedupe_window = 0;
+  EXPECT_EQ(ingest(lines, opt).session.records.size(), 3u);
+}
+
+TEST(ResilientIngest, OutOfOrderTimestampsAreReinserted) {
+  std::vector<std::string> lines = {
+      spark("10", "step one"), spark("12", "step three"), spark("11", "step two"),
+      spark("13", "step four")};
+  const auto out = ingest(lines);
+  ASSERT_EQ(out.session.records.size(), 4u);
+  EXPECT_EQ(out.stats.reordered, 1u);
+  for (std::size_t i = 1; i < out.session.records.size(); ++i) {
+    EXPECT_LE(out.session.records[i - 1].timestamp_ms, out.session.records[i].timestamp_ms);
+  }
+  EXPECT_EQ(out.session.records[1].content, "step two");
+}
+
+TEST(ResilientIngest, OversizedLineIsQuarantined) {
+  logparse::IngestOptions opt;
+  opt.max_line_bytes = 256;
+  std::vector<std::string> lines = {spark("10", "ok"),
+                                    spark("11", std::string(1000, 'x'))};
+  const auto out = ingest(lines, opt);
+  EXPECT_EQ(out.session.records.size(), 1u);
+  ASSERT_EQ(out.quarantined.size(), 1u);
+  EXPECT_EQ(out.quarantined[0].reason, "oversized");
+  // Stored text is truncated to quarantine_text_bytes, raw size kept.
+  EXPECT_LE(out.quarantined[0].text.size(), opt.quarantine_text_bytes);
+  EXPECT_GT(out.quarantined[0].raw_bytes, 1000u);
+}
+
+TEST(ResilientIngest, AccountingAlwaysBalances) {
+  std::vector<std::string> lines = {
+      spark("10", "a"), "19/06/01 06:0", spark("11", "b"), spark("11", "b"),
+      std::string(1, '\0'), "\tat continuation.frame(X.java:1)", spark("12", "c")};
+  const auto out = ingest(lines);
+  const auto& st = out.stats;
+  EXPECT_EQ(st.lines_total, lines.size());
+  EXPECT_EQ(st.records + st.continuations + st.quarantined + st.duplicates_dropped,
+            st.lines_total);
+}
+
+TEST(ResilientIngest, QuarantineListIsCappedButCountersKeepCounting) {
+  logparse::IngestOptions opt;
+  opt.max_quarantined = 3;
+  std::vector<std::string> lines;
+  for (int i = 0; i < 10; ++i) lines.push_back(std::string("\x01\x02\x03\x04\x05\x06"));
+  const auto out = ingest(lines, opt);
+  EXPECT_EQ(out.quarantined.size(), 3u);
+  EXPECT_EQ(out.stats.quarantined, 10u);
+}
+
+TEST(ResilientIngest, LooksBinaryHeuristics) {
+  EXPECT_TRUE(logparse::looks_binary(std::string_view("has\0nul", 7)));
+  EXPECT_TRUE(logparse::looks_binary("\xff\xfe\x01\x02"));      // invalid UTF-8
+  EXPECT_FALSE(logparse::looks_binary("plain log text"));
+  EXPECT_FALSE(logparse::looks_binary("tabs\tare\tfine"));
+  EXPECT_FALSE(logparse::looks_binary("ünïcödé is valid UTF-8"));
+}
+
+TEST(ResilientIngest, UnknownFormatFileQuarantinesSample) {
+  const std::string path = "/tmp/intellog_resilient_nofmt.log";
+  {
+    std::ofstream f(path);
+    f << "completely freeform text\nno timestamps anywhere\n";
+  }
+  const auto out = logparse::read_session_file_resilient(path);
+  EXPECT_TRUE(out.session.records.empty());
+  ASSERT_EQ(out.quarantined.size(), 1u);
+  EXPECT_EQ(out.quarantined[0].reason, "no-known-format");
+  EXPECT_EQ(out.stats.skipped_files, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ResilientIngest, MissingDirectoryYieldsEmptyReportNotThrow) {
+  logparse::IngestReport report;
+  EXPECT_NO_THROW(report = logparse::read_log_directory_resilient("/nonexistent/intellog"));
+  EXPECT_TRUE(report.sessions.empty());
+  EXPECT_TRUE(report.quarantined.empty());
+}
+
+TEST(ResilientIngest, DirectoryReadExportsMetrics) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "intellog_resilient_metrics";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  {
+    std::ofstream f(dir / "c1.log");
+    f << spark("10", "Running task 0") << "\n"
+      << "\x01\x02\x03\x04\x05\x06\n"
+      << spark("11", "Finished task 0") << "\n";
+  }
+  obs::MetricsRegistry registry;
+  obs::set_registry(&registry);
+  const auto report = logparse::read_log_directory_resilient(dir.string());
+  obs::set_registry(nullptr);
+  ASSERT_EQ(report.sessions.size(), 1u);
+  const obs::Counter* lines = registry.find_counter("intellog_ingest_lines_total");
+  ASSERT_NE(lines, nullptr);
+  EXPECT_EQ(lines->value(), 3u);
+  const obs::Counter* quarantined =
+      registry.find_counter("intellog_ingest_quarantined_total", {{"reason", "binary"}});
+  ASSERT_NE(quarantined, nullptr);
+  EXPECT_EQ(quarantined->value(), 1u);
+  // The Prometheus export carries the series (overload-visibility criterion).
+  EXPECT_NE(registry.to_prometheus().find("intellog_ingest_quarantined_total"),
+            std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(ResilientIngest, SkippedFileCounterOnSeedPathToo) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "intellog_skipped_seed";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  {
+    std::ofstream good(dir / "good.log");
+    good << spark("10", "Running task 0") << "\n";
+    std::ofstream bad(dir / "bad.log");
+    bad << "freeform, no known format\n";
+  }
+  obs::MetricsRegistry registry;
+  obs::set_registry(&registry);
+  const auto sessions = logparse::read_log_directory(dir.string());
+  obs::set_registry(nullptr);
+  EXPECT_EQ(sessions.size(), 1u);
+  const obs::Counter* skipped = registry.find_counter("intellog_ingest_skipped_files_total");
+  ASSERT_NE(skipped, nullptr);
+  EXPECT_EQ(skipped->value(), 1u);
+  fs::remove_all(dir);
+}

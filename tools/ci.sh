@@ -7,6 +7,7 @@
 #   tools/ci.sh release    # Release build + tests + bench smoke
 #   tools/ci.sh asan       # sanitizers only
 #   tools/ci.sh bench      # bench smoke only (builds Release if needed)
+#   tools/ci.sh chaos      # corrupted-stream soak under ASan (3 seeds)
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -57,7 +58,43 @@ print(f"bench smoke: spell match {new:,.0f} rec/s vs baseline {old:,.0f} rec/s "
 if ratio < 0.70:
     print("bench smoke: FAIL — >30% throughput regression", file=sys.stderr)
     sys.exit(1)
+# Hardened-ingestion guard: the resilient parser targets ~10% overhead vs
+# the plain parser on clean input (order-alternated interleaved pairs,
+# median of per-pair ratios, so clock drift cancels out); the gate sits at
+# 20% to stay deterministic on small/shared CI runners where run-to-run
+# scheduling noise alone moves the ratio a few percent.
+ingest = fresh.get("extra", {}).get("ingest_resilient_ratio")
+if ingest is not None:
+    print(f"bench smoke: resilient ingest at {ingest:.2f}x of plain parse on clean input")
+    if ingest < 0.80:
+        print("bench smoke: FAIL — hardened ingestion costs >20% on clean input",
+              file=sys.stderr)
+        sys.exit(1)
 PY
+}
+
+# Chaos smoke: the seeded log-stream corruptor + hardened-ingestion soak
+# (tools/chaos_soak), run under the ASan/UBSan build. Fails on any crash,
+# leak, sanitizer report, or invariant violation — intact lines quarantined,
+# kill-and-resume report divergence, duplicates-only parity break, or a
+# session/record cap overrun.
+chaos_smoke() {
+  local dir="$repo/build-ci-asan"
+  [[ -x "$dir/tools/chaos_soak" ]] || run_config asan \
+      -DCMAKE_BUILD_TYPE=Debug \
+      -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  echo "==> [chaos] corrupted-stream soak (3 seeds, ASan/UBSan)"
+  local tmp seed
+  tmp="$(mktemp -d)"
+  for seed in 1 2 3; do
+    ASAN_OPTIONS=detect_leaks=1 "$dir/tools/chaos_soak" \
+        --seed "$seed" --workdir "$tmp/soak_$seed" || {
+      echo "chaos smoke: FAIL — seed $seed (see CHAOS VIOLATION lines above)" >&2
+      exit 1
+    }
+  done
+  rm -rf "$tmp"
 }
 
 case "$mode" in
@@ -70,12 +107,15 @@ case "$mode" in
       -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
       -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
     ;;&
+  chaos|all)
+    chaos_smoke
+    ;;&
   release|bench|all)
     bench_smoke
     ;;&
-  release|asan|bench|all) ;;
+  release|asan|bench|chaos|all) ;;
   *)
-    echo "usage: $0 [release|asan|bench|all]" >&2
+    echo "usage: $0 [release|asan|bench|chaos|all]" >&2
     exit 2
     ;;
 esac

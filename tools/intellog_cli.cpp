@@ -6,6 +6,14 @@
 //   intellog graph  -m model.json [--dot|--json]      inspect the HW-graph
 //   intellog keys   -m model.json                     list Intel Keys
 //   intellog stats  <logdir> -m model.json [--json]   pipeline metrics
+//   intellog quarantine <logdir> [--json]             lines the hardened
+//                                                     ingester refused
+//
+// `detect --checkpoint <file>` switches to streaming mode: records feed an
+// OnlineDetector one by one, the detector state plus a stream cursor is
+// written to <file> every --checkpoint-every records (atomic rename), and
+// a restarted run resumes from the checkpoint instead of re-reporting
+// sessions it already finished. The checkpoint is removed on completion.
 //
 // `train`, `detect` and `stats` accept `--metrics <file>` (snapshot of the
 // pipeline metrics registry; `.prom`/`.txt` -> Prometheus text, otherwise
@@ -15,8 +23,10 @@
 // Log directories hold one `<container_id>.log` file per session (any mix
 // of the supported formats; auto-detected per file). `tools/loggen`
 // produces compatible datasets from the simulators.
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "core/message_store.hpp"
@@ -36,21 +46,28 @@ int usage() {
                "  intellog train  <logdir> -o <model.json> [--metrics <f>] [--trace <f>]\n"
                "  intellog detect <logdir> -m <model.json> [--json] [--jobs N] [--metrics <f>]"
                " [--trace <f>]\n"
+               "                  [--checkpoint <f> [--checkpoint-every N]]\n"
                "  intellog stats  <logdir> -m <model.json> [--json] [--jobs N] [--metrics <f>]"
                " [--trace <f>]\n"
                "  intellog graph  -m <model.json> [--dot|--json|--critical]\n"
                "  intellog keys   -m <model.json>\n"
                "  intellog query  <logdir> -m <model.json> -q '<expr>' [--json]\n"
                "      expr: e.g. 'id.FETCHER=1 AND locality~host1', 'key=12 OR value>1000'\n"
+               "  intellog quarantine <logdir> [--json] [--metrics <f>]\n"
+               "      list lines the hardened ingester quarantined (exit 3 when any)\n"
                "  --jobs:    worker threads for batch detection (0 = hardware concurrency)\n"
                "  --metrics: write a metrics snapshot (.prom/.txt -> Prometheus text, else JSON)\n"
-               "  --trace:   write Chrome trace-event JSON (open in Perfetto)\n";
+               "  --trace:   write Chrome trace-event JSON (open in Perfetto)\n"
+               "  --checkpoint: stream records through the online detector, checkpointing\n"
+               "      state to <f> every N records (default 1000); resumes if <f> exists\n";
   return 2;
 }
 
 struct Args {
   std::string command, logdir, model_path, output_path, query_text;
   std::string metrics_path, trace_path;
+  std::string checkpoint_path;          ///< detect: streaming checkpoint file
+  std::size_t checkpoint_every = 1000;  ///< records between checkpoints
   std::size_t jobs = 1;  ///< batch-detect workers; 0 = hardware concurrency
   bool json = false, dot = false, critical_only = false;
 };
@@ -140,6 +157,19 @@ bool parse_args(int argc, char** argv, Args& args) {
       } catch (const std::exception&) {
         return false;
       }
+    } else if (a == "--checkpoint") {
+      const char* v = next();
+      if (!v) return false;
+      args.checkpoint_path = v;
+    } else if (a == "--checkpoint-every") {
+      const char* v = next();
+      if (!v) return false;
+      try {
+        args.checkpoint_every = static_cast<std::size_t>(std::stoul(v));
+      } catch (const std::exception&) {
+        return false;
+      }
+      if (args.checkpoint_every == 0) return false;
     } else if (a == "--json") {
       args.json = true;
     } else if (a == "--dot") {
@@ -177,8 +207,123 @@ int cmd_train(const Args& args) {
   return 0;
 }
 
+void print_report_text(const core::AnomalyReport& report) {
+  std::cout << "ANOMALY " << report.container_id << " (" << report.session_length << " lines)";
+  if (report.degraded()) std::cout << " [degraded: " << report.degraded_reason << "]";
+  std::cout << "\n";
+  for (const auto& u : report.unexpected) {
+    std::cout << "  unexpected: " << u.content << "\n";
+    for (const auto& iv : u.message.identifiers) {
+      std::cout << "      id " << iv.type << "=" << iv.value << "\n";
+    }
+    for (const auto& loc : u.message.localities) {
+      std::cout << "      locality " << loc << "\n";
+    }
+  }
+  for (const auto& i : report.issues) {
+    std::cout << "  " << to_string(i.kind) << " in group '" << i.group << "'";
+    if (!i.missing_keys.empty()) {
+      std::cout << " missing keys:";
+      for (const int k : i.missing_keys) std::cout << " " << k;
+    }
+    std::cout << "\n";
+  }
+}
+
+// Streaming detect with durable progress (--checkpoint): hardened ingestion
+// feeds an OnlineDetector record by record; every --checkpoint-every records
+// the detector state plus a stream cursor is persisted (atomic rename via
+// checkpoint_file semantics), so a killed run resumes from the last
+// checkpoint instead of starting over or double-reporting.
+int cmd_detect_stream(const Args& args) {
+  ObsScope obs_scope(args, /*force_metrics=*/false);
+  const core::IntelLog il = core::load_model_file(args.model_path);
+  if (obs::MetricsRegistry* reg = obs::registry()) il.record_model_metrics(*reg);
+  const auto ingest = logparse::read_log_directory_resilient(args.logdir);
+  if (ingest.stats.quarantined > 0) {
+    std::cerr << "warning: " << ingest.stats.quarantined
+              << " lines quarantined (see `intellog quarantine " << args.logdir << "`)\n";
+  }
+
+  std::uint64_t cursor = 0;
+  std::unique_ptr<core::OnlineDetector> online;
+  if (std::filesystem::exists(args.checkpoint_path)) {
+    std::ifstream in(args.checkpoint_path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    common::Json wrapper;
+    try {
+      wrapper = common::Json::parse(buf.str());
+    } catch (const std::exception& e) {
+      throw std::runtime_error("checkpoint " + args.checkpoint_path +
+                               " is not valid JSON (torn write?): " + e.what());
+    }
+    if (!wrapper.is_object() || !wrapper.contains("cursor") || !wrapper.contains("detector")) {
+      throw std::runtime_error("checkpoint " + args.checkpoint_path +
+                               ": not an intellog stream checkpoint");
+    }
+    cursor = static_cast<std::uint64_t>(wrapper["cursor"].as_int());
+    online = std::make_unique<core::OnlineDetector>(
+        core::OnlineDetector::restore(il, wrapper["detector"], args.jobs));
+    std::cerr << "resumed from " << args.checkpoint_path << " at record " << cursor << "\n";
+  } else {
+    online = std::make_unique<core::OnlineDetector>(il, args.jobs);
+  }
+
+  const auto write_checkpoint = [&](std::uint64_t at) {
+    common::Json wrapper = common::Json::object();
+    wrapper["kind"] = "intellog_cli_checkpoint";
+    wrapper["cursor"] = static_cast<std::int64_t>(at);
+    wrapper["detector"] = online->checkpoint();
+    const std::string tmp = args.checkpoint_path + ".tmp";
+    std::ofstream out(tmp);
+    if (!out) throw std::runtime_error("cannot write checkpoint " + tmp);
+    out << wrapper.dump() << "\n";
+    out.flush();
+    if (!out) throw std::runtime_error("short write on checkpoint " + tmp);
+    out.close();
+    std::filesystem::rename(tmp, args.checkpoint_path);
+  };
+
+  std::size_t anomalous = 0;
+  common::Json reports = common::Json::array();
+  const auto handle = [&](const core::AnomalyReport& report) {
+    if (!report.anomalous()) return;
+    ++anomalous;
+    if (args.json) {
+      reports.push_back(report.to_json());
+    } else {
+      print_report_text(report);
+    }
+  };
+
+  std::uint64_t idx = 0;
+  for (const auto& s : ingest.sessions) {
+    for (const auto& rec : s.records) {
+      if (idx++ < cursor) continue;  // consumed by a previous (killed) run
+      online->consume(rec);
+      if (idx % args.checkpoint_every == 0) write_checkpoint(idx);
+    }
+    // Session boundary: close if still open. A session finished AND closed
+    // before the checkpoint was taken is absent from the restored state, so
+    // close_session returns nullopt and it is not re-reported.
+    if (const auto report = online->close_session(s.container_id)) handle(*report);
+  }
+  for (const auto& report : online->close_all()) handle(report);
+
+  if (args.json) {
+    std::cout << reports.dump(2) << "\n";
+  } else {
+    std::cout << anomalous << " / " << ingest.sessions.size() << " sessions anomalous\n";
+  }
+  std::error_code ec;
+  std::filesystem::remove(args.checkpoint_path, ec);  // complete: nothing to resume
+  return anomalous > 0 ? 3 : 0;
+}
+
 int cmd_detect(const Args& args) {
   if (args.logdir.empty() || args.model_path.empty()) return usage();
+  if (!args.checkpoint_path.empty()) return cmd_detect_stream(args);
   ObsScope obs_scope(args, /*force_metrics=*/false);
   const core::IntelLog il = core::load_model_file(args.model_path);
   if (obs::MetricsRegistry* reg = obs::registry()) il.record_model_metrics(*reg);
@@ -189,7 +334,6 @@ int cmd_detect(const Args& args) {
   std::size_t anomalous = 0;
   common::Json reports = common::Json::array();
   for (std::size_t si = 0; si < sessions.size(); ++si) {
-    const auto& s = sessions[si];
     const core::AnomalyReport& report = batch[si];
     if (!report.anomalous()) continue;
     ++anomalous;
@@ -197,24 +341,7 @@ int cmd_detect(const Args& args) {
       reports.push_back(report.to_json());
       continue;
     }
-    std::cout << "ANOMALY " << s.container_id << " (" << s.records.size() << " lines)\n";
-    for (const auto& u : report.unexpected) {
-      std::cout << "  unexpected: " << u.content << "\n";
-      for (const auto& iv : u.message.identifiers) {
-        std::cout << "      id " << iv.type << "=" << iv.value << "\n";
-      }
-      for (const auto& loc : u.message.localities) {
-        std::cout << "      locality " << loc << "\n";
-      }
-    }
-    for (const auto& i : report.issues) {
-      std::cout << "  " << to_string(i.kind) << " in group '" << i.group << "'";
-      if (!i.missing_keys.empty()) {
-        std::cout << " missing keys:";
-        for (const int k : i.missing_keys) std::cout << " " << k;
-      }
-      std::cout << "\n";
-    }
+    print_report_text(report);
   }
   if (args.json) {
     std::cout << reports.dump(2) << "\n";
@@ -222,6 +349,76 @@ int cmd_detect(const Args& args) {
     std::cout << anomalous << " / " << sessions.size() << " sessions anomalous\n";
   }
   return anomalous > 0 ? 3 : 0;  // nonzero exit when anomalies found
+}
+
+// Shows every line the hardened ingester refused (with provenance: file,
+// line number, byte offset, reason) plus the ingest summary — the operator's
+// "what did chaos do to my logs" view.
+int cmd_quarantine(const Args& args) {
+  if (args.logdir.empty()) return usage();
+  ObsScope obs_scope(args, /*force_metrics=*/false);
+  const auto report = logparse::read_log_directory_resilient(args.logdir);
+  const logparse::IngestStats& st = report.stats;
+
+  // Quarantined text is raw input (that is often why it was quarantined);
+  // keep terminals and the JSON encoder safe from control bytes.
+  const auto printable = [](const std::string& s) {
+    std::string out = s;
+    for (char& c : out) {
+      const unsigned char u = static_cast<unsigned char>(c);
+      if (u < 0x20 || u >= 0x7f) c = '.';
+    }
+    return out;
+  };
+
+  if (args.json) {
+    common::Json j = common::Json::object();
+    common::Json arr = common::Json::array();
+    for (const auto& q : report.quarantined) {
+      common::Json qj = common::Json::object();
+      qj["file"] = q.file;
+      qj["line"] = q.line_no;
+      qj["byte_offset"] = q.byte_offset;
+      qj["bytes"] = q.raw_bytes;
+      qj["reason"] = q.reason;
+      qj["text"] = printable(q.text);
+      arr.push_back(std::move(qj));
+    }
+    j["quarantined"] = std::move(arr);
+    common::Json sj = common::Json::object();
+    sj["lines_total"] = st.lines_total;
+    sj["records"] = st.records;
+    sj["continuations"] = st.continuations;
+    sj["quarantined"] = st.quarantined;
+    sj["duplicates_dropped"] = st.duplicates_dropped;
+    sj["reordered"] = st.reordered;
+    sj["skipped_files"] = st.skipped_files;
+    common::Json by = common::Json::object();
+    for (const auto& [reason, n] : st.quarantined_by_reason) by[reason] = n;
+    sj["quarantined_by_reason"] = std::move(by);
+    j["stats"] = std::move(sj);
+    std::cout << j.dump(2) << "\n";
+  } else {
+    for (const auto& q : report.quarantined) {
+      std::cout << q.file << ":" << q.line_no << " (byte " << q.byte_offset << ", "
+                << q.raw_bytes << " bytes) [" << q.reason << "] " << printable(q.text) << "\n";
+    }
+    std::cout << st.lines_total << " lines -> " << st.records << " records ("
+              << st.continuations << " continuations); " << st.quarantined << " quarantined";
+    if (!st.quarantined_by_reason.empty()) {
+      std::cout << " (";
+      bool first = true;
+      for (const auto& [reason, n] : st.quarantined_by_reason) {
+        if (!first) std::cout << ", ";
+        first = false;
+        std::cout << reason << "=" << n;
+      }
+      std::cout << ")";
+    }
+    std::cout << ", " << st.duplicates_dropped << " duplicates dropped, " << st.reordered
+              << " reordered, " << st.skipped_files << " files skipped\n";
+  }
+  return st.quarantined > 0 ? 3 : 0;  // nonzero exit when anything was refused
 }
 
 int cmd_graph(const Args& args) {
@@ -379,6 +576,7 @@ int main(int argc, char** argv) {
     if (args.command == "graph") return cmd_graph(args);
     if (args.command == "keys") return cmd_keys(args);
     if (args.command == "query") return cmd_query(args);
+    if (args.command == "quarantine") return cmd_quarantine(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
