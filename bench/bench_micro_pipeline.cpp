@@ -21,6 +21,7 @@
 #include "core/extraction.hpp"
 #include "logparse/formatter.hpp"
 #include "logparse/session.hpp"
+#include "obs/export/trace_export.hpp"
 #include "obs/metrics.hpp"
 #include "simsys/corruptor.hpp"
 
@@ -294,6 +295,67 @@ void emit_harness_bench() {
     extra["ingest_corrupted_lines_per_s"] = lines_per_s(corrupted_lines, chaos);
     extra["ingest_resilient_ratio"] =
         pair_ratios.empty() ? 0.0 : pair_ratios[pair_ratios.size() / 2];
+  }
+
+  // Workflow Observatory cost: evidence construction on the detect path
+  // (on by default) and the trace exporters. The evidence ratio uses the
+  // same interleaved median-of-pair-ratios scheme as the ingest ratio —
+  // ci.sh gates it at <= 1.05 (evidence must stay within 5% of bare
+  // detection), so it must not be fooled by clock drift between two
+  // back-to-back series.
+  {
+    constexpr int kEvidencePasses = 3;
+    const auto detect_all = [&] {
+      for (int p = 0; p < kEvidencePasses; ++p) {
+        for (const auto& s : sessions) benchmark::DoNotOptimize(il.detect(s));
+      }
+    };
+    const auto timed_ms = [](const auto& fn) {
+      const auto t0 = std::chrono::steady_clock::now();
+      fn();
+      return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+          .count();
+    };
+    il.set_evidence_enabled(false);
+    detect_all();
+    il.set_evidence_enabled(true);
+    detect_all();  // warmup both modes
+    std::vector<double> evidence_ratios;
+    for (int r = 0; r < 9; ++r) {
+      double on_ms = 0;
+      double off_ms = 0;
+      if (r % 2 == 0) {
+        il.set_evidence_enabled(true);
+        on_ms = timed_ms(detect_all);
+        il.set_evidence_enabled(false);
+        off_ms = timed_ms(detect_all);
+      } else {
+        il.set_evidence_enabled(false);
+        off_ms = timed_ms(detect_all);
+        il.set_evidence_enabled(true);
+        on_ms = timed_ms(detect_all);
+      }
+      if (off_ms > 0) evidence_ratios.push_back(on_ms / off_ms);
+    }
+    il.set_evidence_enabled(true);  // restore the default
+    std::sort(evidence_ratios.begin(), evidence_ratios.end());
+    extra["evidence_overhead_ratio"] =
+        evidence_ratios.empty() ? 0.0 : evidence_ratios[evidence_ratios.size() / 2];
+
+    // Exporter wall time over the whole batch (one-shot artifact cost, not
+    // a per-record tax: exports run after detection, never inside it).
+    const bench::Timing chrome = bench::run_timed(
+        [&] { benchmark::DoNotOptimize(obs::hwgraph_chrome_trace(il, sessions)); },
+        /*repeats=*/3, /*warmup=*/1);
+    const bench::Timing otlp = bench::run_timed(
+        [&] { benchmark::DoNotOptimize(obs::hwgraph_otlp_json(il, sessions)); },
+        /*repeats=*/3, /*warmup=*/1);
+    extra["export_chrome_ms_min"] = chrome.min_ms();
+    extra["export_otlp_ms_min"] = otlp.min_ms();
+    extra["export_chrome_records_per_s"] =
+        chrome.min_ms() > 0
+            ? static_cast<double>(batch_records) / (chrome.min_ms() / 1000.0)
+            : 0.0;
   }
 
   bench::emit_bench_json("micro_pipeline", match_timing,

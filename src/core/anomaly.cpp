@@ -3,9 +3,40 @@
 #include <algorithm>
 
 #include "common/strings.hpp"
+#include "core/explain.hpp"
 #include "obs/trace.hpp"
 
 namespace intellog::core {
+
+common::Json EvidenceLine::to_json() const {
+  common::Json j = common::Json::object();
+  j["record_index"] = record_index;
+  j["timestamp_ms"] = static_cast<std::int64_t>(timestamp_ms);
+  j["key"] = key_id;
+  j["content"] = content;
+  j["file"] = file;
+  j["line"] = line_no;
+  j["byte_offset"] = static_cast<std::int64_t>(byte_offset);
+  return j;
+}
+
+common::Json Evidence::to_json() const {
+  const auto keys_json = [](const std::vector<int>& keys) {
+    common::Json arr = common::Json::array();
+    for (const int k : keys) arr.push_back(k);
+    return arr;
+  };
+  common::Json j = common::Json::object();
+  j["expected_keys"] = keys_json(expected_keys);
+  j["observed_keys"] = keys_json(observed_keys);
+  j["matched_keys"] = keys_json(matched_keys);
+  j["missing_keys"] = keys_json(missing_keys);
+  j["deviation"] = deviation;
+  common::Json lj = common::Json::array();
+  for (const EvidenceLine& line : lines) lj.push_back(line.to_json());
+  j["lines"] = std::move(lj);
+  return j;
+}
 
 std::string_view to_string(GroupIssue::Kind kind) {
   switch (kind) {
@@ -32,6 +63,9 @@ common::Json AnomalyReport::to_json() const {
     uj["content"] = u.content;
     uj["intel_key"] = u.extracted.to_json();
     uj["intel_message"] = u.message.to_json();
+    // Omitted when evidence construction is disabled: the key's absence is
+    // the documented signal, not an empty object.
+    if (!u.evidence.empty()) uj["evidence"] = u.evidence.to_json();
     unexp.push_back(std::move(uj));
   }
   j["unexpected_messages"] = std::move(unexp);
@@ -54,6 +88,7 @@ common::Json AnomalyReport::to_json() const {
       ov.push_back(std::move(pair));
     }
     ij["violated_orders"] = std::move(ov);
+    if (!i.evidence.empty()) ij["evidence"] = i.evidence.to_json();
     iss.push_back(std::move(ij));
   }
   j["group_issues"] = std::move(iss);
@@ -80,12 +115,17 @@ AnomalyReport AnomalyDetector::detect(const logparse::Session& session) const {
 
   std::map<std::string, std::vector<GroupMessage>> group_messages;
   std::set<std::string> groups_seen;
+  const bool with_evidence = evidence_enabled();
+  // Spell key per record (-1: no match); labels the boundary records cited
+  // as missing-group evidence. Filled from matches already computed.
+  std::vector<int> record_keys(with_evidence ? session.records.size() : 0, -1);
 
   // Per-record Spell matching, on-the-fly extraction and entity grouping.
   obs::Span extract_span("detect/extract+group", "detect");
   for (std::size_t ri = 0; ri < session.records.size(); ++ri) {
     const logparse::LogRecord& rec = session.records[ri];
     const int key_id = spell_.match(rec.content);
+    if (with_evidence) record_keys[ri] = key_id;
     if (key_id < 0) {
       // Unexpected log message: run extraction on the fly (§4.2).
       UnexpectedMessage u;
@@ -104,6 +144,7 @@ AnomalyReport AnomalyDetector::detect(const logparse::Session& session) const {
         }
       }
       u.message = extractor_.instantiate(u.extracted, pseudo, rec);
+      if (with_evidence) u.evidence = build_unexpected_evidence(session, ri);
       report.unexpected.push_back(std::move(u));
       continue;
     }
@@ -140,6 +181,12 @@ AnomalyReport AnomalyDetector::detect(const logparse::Session& session) const {
       GroupIssue issue;
       issue.kind = GroupIssue::Kind::MissingGroup;
       issue.group = g;
+      if (with_evidence) {
+        const auto git = graph_.groups().find(g);
+        if (git != graph_.groups().end()) {
+          issue.evidence = build_missing_group_evidence(session, git->second, record_keys);
+        }
+      }
       report.issues.push_back(std::move(issue));
     }
   }
@@ -152,27 +199,26 @@ AnomalyReport AnomalyDetector::detect(const logparse::Session& session) const {
     if (model.empty()) continue;
     for (const auto& inst : partition_instances(messages)) {
       const auto check = model.check(inst);
+      if (check.ok()) continue;
+      GroupIssue issue;
+      issue.group = gname;
+      issue.signature = inst.signature;
       if (!check.known_signature) {
-        GroupIssue issue;
         issue.kind = GroupIssue::Kind::UnknownSignature;
-        issue.group = gname;
-        issue.signature = inst.signature;
-        report.issues.push_back(std::move(issue));
       } else if (!check.missing_critical.empty()) {
-        GroupIssue issue;
         issue.kind = GroupIssue::Kind::IncompleteSubroutine;
-        issue.group = gname;
-        issue.signature = inst.signature;
         issue.missing_keys = check.missing_critical;
-        report.issues.push_back(std::move(issue));
-      } else if (!check.order_violations.empty()) {
-        GroupIssue issue;
+      } else {
         issue.kind = GroupIssue::Kind::OrderViolation;
-        issue.group = gname;
-        issue.signature = inst.signature;
         issue.violated_orders = check.order_violations;
-        report.issues.push_back(std::move(issue));
       }
+      if (with_evidence) {
+        const auto sit = model.subroutines().find(inst.signature);
+        const Subroutine* trained =
+            sit == model.subroutines().end() ? nullptr : &sit->second;
+        issue.evidence = build_instance_evidence(session, trained, inst, check);
+      }
+      report.issues.push_back(std::move(issue));
     }
   }
   return report;

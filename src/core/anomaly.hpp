@@ -10,6 +10,7 @@
 //     instance has an identifier-type signature never seen in training.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <set>
 #include <string>
@@ -25,11 +26,47 @@
 
 namespace intellog::core {
 
+/// One raw log line backing a finding, with ingest provenance: the file,
+/// 1-based line number and byte offset threaded through LogRecord by the
+/// (resilient) ingest path. line_no/byte_offset are 0 when the session
+/// never touched disk (in-memory simulator streams); `file` falls back to
+/// the container id so the line is still addressable.
+struct EvidenceLine {
+  std::size_t record_index = 0;  ///< index into the session's records
+  std::uint64_t timestamp_ms = 0;
+  int key_id = -1;               ///< Intel Key the line matched (-1: none)
+  std::string content;
+  std::string file;
+  std::size_t line_no = 0;
+  std::uint64_t byte_offset = 0;
+
+  common::Json to_json() const;
+};
+
+/// Structured explanation attached to each finding: what the trained model
+/// expected, what the session actually did, where they diverge, and the
+/// raw log lines (with provenance) that prove it. Rendered by `intellog
+/// explain` as an expected-vs-observed diff.
+struct Evidence {
+  std::vector<int> expected_keys;   ///< trained subroutine key sequence
+  std::vector<int> observed_keys;   ///< keys seen in the instance, in order
+  std::vector<int> matched_keys;    ///< expected keys that did appear
+  std::vector<int> missing_keys;    ///< expected keys that never appeared
+  std::string deviation;            ///< human-readable deviation point
+  std::vector<EvidenceLine> lines;  ///< raw-line provenance (capped)
+
+  bool empty() const {
+    return expected_keys.empty() && observed_keys.empty() && deviation.empty() && lines.empty();
+  }
+  common::Json to_json() const;
+};
+
 struct UnexpectedMessage {
   std::size_t record_index = 0;
   std::string content;
   IntelKey extracted;    ///< on-the-fly §3 extraction result
   IntelMessage message;  ///< structured fields for queries
+  Evidence evidence;     ///< raw-line provenance for the finding
 };
 
 struct GroupIssue {
@@ -39,6 +76,7 @@ struct GroupIssue {
   std::set<std::string> signature;   ///< subroutine signature (if relevant)
   std::vector<int> missing_keys;     ///< critical keys never seen
   std::vector<std::pair<int, int>> violated_orders;  ///< BEFORE pairs inverted
+  Evidence evidence;                 ///< expected-vs-observed + raw lines
 };
 
 std::string_view to_string(GroupIssue::Kind kind);
@@ -68,6 +106,14 @@ class AnomalyDetector {
 
   AnomalyReport detect(const logparse::Session& session) const;
 
+  /// Evidence construction can be switched off (overhead measurement /
+  /// minimal reports); the verdicts themselves are unchanged either way.
+  /// Thread-safe with concurrent detect() calls.
+  void set_evidence_enabled(bool enabled) {
+    evidence_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool evidence_enabled() const { return evidence_enabled_.load(std::memory_order_relaxed); }
+
  private:
   const logparse::Spell& spell_;
   const logparse::KvFilter& kv_;
@@ -76,6 +122,7 @@ class AnomalyDetector {
   const EntityGroups& groups_;
   const HwGraph& graph_;
   std::vector<std::string> expected_groups_;
+  std::atomic<bool> evidence_enabled_{true};
 };
 
 }  // namespace intellog::core

@@ -1,0 +1,121 @@
+// Workflow Observatory support: evidence construction, report round-trip
+// and the per-session HW-graph instance view.
+//
+// The paper's value is that IntelLog *explains* executions, so findings
+// must be inspectable artifacts, not flat text:
+//  - Evidence builders turn a finding (unexpected message, group issue)
+//    into an expected-vs-observed key diff plus the raw log lines — with
+//    file/line/byte-offset provenance — that prove it.
+//  - report_from_json() parses `intellog detect --json` output back into
+//    AnomalyReports so `intellog explain` can render any saved report.
+//  - build_workflow_view() reconstructs one session's HW-graph instance
+//    (entity-group lifespans, subroutine executions, Intel-Key hits) — the
+//    structure the trace exporters map onto span trees.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/anomaly.hpp"
+#include "core/intellog.hpp"
+#include "core/subroutine.hpp"
+#include "logparse/session.hpp"
+
+namespace intellog::core {
+
+/// Raw lines attached per finding are capped: a finding's proof needs the
+/// deviation neighbourhood, not the whole session.
+inline constexpr std::size_t kMaxEvidenceLines = 8;
+
+/// One evidence line for `session.records[record_index]`; `key_id` is the
+/// Intel Key the record matched (-1 for none). The file falls back to the
+/// container id when the session never touched disk.
+EvidenceLine make_evidence_line(const logparse::Session& session, std::size_t record_index,
+                                int key_id);
+
+/// Evidence for an unexpected-message finding: the offending line itself.
+Evidence build_unexpected_evidence(const logparse::Session& session, std::size_t record_index);
+
+/// Evidence for a subroutine-instance finding (incomplete subroutine,
+/// unknown signature, order violation). `trained` is the learned
+/// subroutine for the instance's signature, or nullptr when the signature
+/// was never seen in training.
+Evidence build_instance_evidence(const logparse::Session& session, const Subroutine* trained,
+                                 const SubroutineInstance& instance,
+                                 const SubroutineModel::InstanceCheck& check);
+
+/// Evidence for a missing expected group: the trained group's keys plus
+/// the session's boundary records (the observed span in which the group
+/// never appeared). `record_keys[i]` is the Spell key of record i (-1 for
+/// no match); may be empty when unavailable.
+Evidence build_missing_group_evidence(const logparse::Session& session, const GroupNode& node,
+                                      const std::vector<int>& record_keys);
+
+/// Linearizes a trained subroutine's keys into the expected execution
+/// sequence: a stable topological order over the learned BEFORE relations
+/// (ties broken by key id).
+std::vector<int> expected_key_sequence(const Subroutine& sub);
+
+// --- report round-trip -------------------------------------------------------
+
+/// Parses one report back from AnomalyReport::to_json(). Unknown fields
+/// are ignored; missing evidence yields empty Evidence (pre-observatory
+/// reports still parse). Throws std::runtime_error on a document that is
+/// not a report object.
+AnomalyReport report_from_json(const common::Json& j);
+Evidence evidence_from_json(const common::Json& j);
+EvidenceLine evidence_line_from_json(const common::Json& j);
+
+/// Renders the expected-vs-observed explanation for one report (the
+/// `intellog explain` text view). Non-anomalous reports render to "".
+std::string render_explanation(const AnomalyReport& report);
+
+// --- HW-graph instance view --------------------------------------------------
+
+/// One Intel-Key hit inside a group (a span-tree instant event).
+struct KeyHitView {
+  int key_id = -1;
+  std::size_t record_index = 0;
+  std::uint64_t timestamp_ms = 0;
+};
+
+/// One subroutine execution (a child span): the messages bound together by
+/// shared identifier values, from first to last hit.
+struct SubroutineView {
+  std::set<std::string> signature;  ///< identifier types ("NONE" when empty)
+  std::set<std::string> id_values;  ///< concrete "TYPE:value" bindings
+  std::uint64_t first_ms = 0, last_ms = 0;
+  std::vector<KeyHitView> hits;
+
+  std::string name() const;  ///< "sub {ATTEMPT,TASK}" / "sub NONE"
+};
+
+/// One entity-group lifespan (a parent span) with its subroutine
+/// executions and raw key hits.
+struct GroupSpanView {
+  std::string group;
+  std::uint64_t first_ms = 0, last_ms = 0;
+  std::size_t message_count = 0;
+  std::vector<SubroutineView> subroutines;
+  std::vector<KeyHitView> hits;
+};
+
+/// One session's reconstructed HW-graph instance. Groups are ordered by a
+/// DFS over the trained graph's containment tree (parents before
+/// children), so exporters get a stable, hierarchy-shaped track order.
+struct WorkflowView {
+  std::string container_id;
+  std::string system;
+  std::string source_file;
+  std::uint64_t first_ms = 0, last_ms = 0;  ///< session record span
+  std::vector<GroupSpanView> groups;
+};
+
+/// Reconstructs the HW-graph instance for one session against a trained
+/// model (the same per-record routing detection uses; timestamps are the
+/// session's own log-record timestamps).
+WorkflowView build_workflow_view(const IntelLog& model, const logparse::Session& session);
+
+}  // namespace intellog::core

@@ -19,6 +19,35 @@ obs::Histogram* stage_hist(const char* stage) {
   return reg ? &reg->histogram("intellog_train_stage_ms", {{"stage", stage}}) : nullptr;
 }
 
+/// Help text for every IntelLog metric family, so Prometheus exposition
+/// carries # HELP alongside # TYPE. Safe to call repeatedly.
+void describe_families(obs::MetricsRegistry& reg) {
+  reg.describe("intellog_train_stage_ms", "Per-stage training latency in milliseconds");
+  reg.describe("intellog_train_sessions_total", "Sessions consumed during training");
+  reg.describe("intellog_train_records_total", "Log records consumed during training");
+  reg.describe("intellog_model_log_keys", "Spell log keys in the trained model");
+  reg.describe("intellog_model_intel_keys", "NLP Intel Keys in the trained model");
+  reg.describe("intellog_model_entity_groups", "Entity groups in the trained model");
+  reg.describe("intellog_model_graph_nodes", "HW-graph group nodes in the trained model");
+  reg.describe("intellog_model_graph_edges", "HW-graph relations in the trained model");
+  reg.describe("intellog_model_critical_groups",
+               "Entity groups flagged critical in the trained model");
+  reg.describe("intellog_model_subroutines", "Mined subroutines across all group nodes");
+  reg.describe("intellog_detect_session_ms", "Per-session detection latency in milliseconds");
+  reg.describe("intellog_detect_sessions_total", "Sessions run through detection");
+  reg.describe("intellog_detect_records_total", "Log records run through detection");
+  reg.describe("intellog_detect_unexpected_total", "Unexpected-message findings emitted");
+  reg.describe("intellog_detect_issues_total", "Group-issue findings emitted");
+  reg.describe("intellog_detect_anomalous_total", "Sessions judged anomalous");
+  reg.describe("intellog_detect_batch_ms", "Batch detection wall time in milliseconds");
+  reg.describe("intellog_detect_batch_shard_ms", "Per-shard batch detection latency");
+  reg.describe("intellog_detect_batch_shard_sessions_total", "Sessions handled per shard");
+  reg.describe("intellog_detect_batch_total", "Batch detection invocations");
+  reg.describe("intellog_detect_batch_sessions_total", "Sessions across all batch runs");
+  reg.describe("intellog_detect_batch_records_total", "Records across all batch runs");
+  reg.describe("intellog_detect_batch_shards", "Shard count of the latest batch run");
+}
+
 }  // namespace
 
 IntelLog::IntelLog(Config config)
@@ -222,6 +251,7 @@ void IntelLog::train(const std::vector<logparse::Session>& sessions) {
 }
 
 void IntelLog::record_model_metrics(obs::MetricsRegistry& reg) const {
+  describe_families(reg);
   std::size_t subroutines = 0;
   for (const auto& [name, node] : graph_.groups()) {
     (void)name;

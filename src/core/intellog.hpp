@@ -71,6 +71,15 @@ class IntelLog {
   std::vector<AnomalyReport> detect_batch(std::span<const logparse::Session> sessions,
                                           std::size_t jobs = 0) const;
 
+  /// Toggles Evidence construction on anomaly findings (on by default).
+  /// Verdicts are unchanged either way; thread-safe with concurrent
+  /// detect() calls, hence usable on a const (shared) model. No-op before
+  /// train().
+  void set_evidence_enabled(bool enabled) const {
+    if (detector_) detector_->set_evidence_enabled(enabled);
+  }
+  bool evidence_enabled() const { return detector_ && detector_->evidence_enabled(); }
+
   /// Converts a session's records into Intel Messages (for MessageStore
   /// queries and exports).
   std::vector<IntelMessage> to_intel_messages(const logparse::Session& session) const;

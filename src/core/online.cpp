@@ -15,6 +15,16 @@ OnlineDetector::OnlineDetector(const IntelLog& model, std::size_t jobs, Limits l
     : model_(model), jobs_(jobs), limits_(limits) {
   if (!model.trained()) throw std::logic_error("OnlineDetector: model is untrained");
   if (obs::MetricsRegistry* reg = obs::registry()) {
+    reg->describe("intellog_online_records_total", "Log records consumed by the streaming detector");
+    reg->describe("intellog_online_unexpected_total", "Records that matched no trained log key");
+    reg->describe("intellog_online_sessions_closed_total",
+                  "Sessions closed, by reason (explicit/idle/evicted/watchdog)");
+    reg->describe("intellog_online_degraded_reports_total",
+                  "Reports from force-closed (possibly incomplete) sessions");
+    reg->describe("intellog_online_open_sessions", "Currently open streaming sessions");
+    reg->describe("intellog_online_buffered_records", "Records buffered across open sessions");
+    reg->describe("intellog_online_consume_us",
+                  "Per-record consume latency in microseconds (exemplars carry container ids)");
     tel_.records = &reg->counter("intellog_online_records_total");
     tel_.unexpected = &reg->counter("intellog_online_unexpected_total");
     tel_.closed_explicit =
@@ -119,7 +129,10 @@ std::optional<OnlineDetector::Event> OnlineDetector::consume(const logparse::Log
   // can be flushed when it alone exceeds the record cap).
   enforce_caps();
   if (tel_.consume_us) {
-    tel_.consume_us->observe(static_cast<double>(obs::monotonic_ns() - t0) / 1e3);
+    // Exemplar-labeled: a slow bucket in the status snapshot points back at
+    // the session that landed there.
+    tel_.consume_us->observe(static_cast<double>(obs::monotonic_ns() - t0) / 1e3,
+                             record.container_id);
   }
   return out;
 }
@@ -210,6 +223,15 @@ std::vector<std::string> OnlineDetector::open_sessions() const {
   return out;
 }
 
+std::vector<OnlineDetector::OpenSessionInfo> OnlineDetector::open_session_info() const {
+  std::vector<OpenSessionInfo> out;
+  out.reserve(open_.size());
+  for (const auto& [id, state] : open_) {
+    out.push_back({id, state.session.records.size(), state.first_seen_ms, state.last_seen_ms});
+  }
+  return out;
+}
+
 std::size_t OnlineDetector::buffered_records(const std::string& container_id) const {
   const auto it = open_.find(container_id);
   return it == open_.end() ? 0 : it->second.session.records.size();
@@ -228,6 +250,10 @@ common::Json OnlineDetector::checkpoint() const {
     common::Json s = common::Json::object();
     s["container"] = state.session.container_id;
     s["system"] = state.session.system;
+    // Provenance rides along (same format version: the keys are optional
+    // and absent in pre-observatory checkpoints) so evidence in reports
+    // produced after a resume is byte-identical to an uninterrupted run.
+    if (!state.session.source_file.empty()) s["file"] = state.session.source_file;
     s["first_seen_ms"] = state.first_seen_ms;
     s["last_seen_ms"] = state.last_seen_ms;
     s["lru_seq"] = state.lru_seq;
@@ -238,6 +264,8 @@ common::Json OnlineDetector::checkpoint() const {
       r["l"] = rec.level;
       r["s"] = rec.source;
       r["c"] = rec.content;
+      if (rec.line_no != 0) r["n"] = static_cast<std::size_t>(rec.line_no);
+      if (rec.byte_offset != 0) r["b"] = static_cast<std::int64_t>(rec.byte_offset);
       records.push_back(std::move(r));
     }
     s["records"] = std::move(records);
@@ -287,6 +315,7 @@ OnlineDetector OnlineDetector::restore(const IntelLog& model, const common::Json
       SessionState state;
       state.session.container_id = s["container"].as_string();
       state.session.system = s["system"].as_string();
+      if (s.contains("file")) state.session.source_file = s["file"].as_string();
       state.first_seen_ms = static_cast<std::uint64_t>(s["first_seen_ms"].as_int());
       state.last_seen_ms = static_cast<std::uint64_t>(s["last_seen_ms"].as_int());
       state.lru_seq = static_cast<std::uint64_t>(s["lru_seq"].as_int());
@@ -296,6 +325,8 @@ OnlineDetector OnlineDetector::restore(const IntelLog& model, const common::Json
         rec.level = r["l"].as_string();
         rec.source = r["s"].as_string();
         rec.content = r["c"].as_string();
+        if (r.contains("n")) rec.line_no = static_cast<std::uint32_t>(r["n"].as_int());
+        if (r.contains("b")) rec.byte_offset = static_cast<std::uint64_t>(r["b"].as_int());
         rec.container_id = state.session.container_id;
         state.session.records.push_back(std::move(rec));
       }

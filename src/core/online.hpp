@@ -97,6 +97,17 @@ class OnlineDetector {
   std::vector<AnomalyReport> take_evicted();
 
   std::vector<std::string> open_sessions() const;
+
+  /// Live-session introspection for status snapshots (`intellog top`).
+  struct OpenSessionInfo {
+    std::string container_id;
+    std::size_t buffered_records = 0;
+    std::uint64_t first_seen_ms = 0;  ///< stream time of the first record
+    std::uint64_t last_seen_ms = 0;   ///< stream time of the latest record
+  };
+  /// All open sessions, container-id ordered.
+  std::vector<OpenSessionInfo> open_session_info() const;
+
   std::size_t buffered_records(const std::string& container_id) const;
   std::size_t total_buffered_records() const { return total_records_; }
   std::size_t pending_evicted() const { return evicted_.size(); }

@@ -78,9 +78,11 @@ Session read_session_file(const std::string& path, std::string_view system) {
   const std::string container = fs::path(path).stem().string();
   if (!fmt) {
     if (!all_lines_empty(lines)) count_skipped_file(path);
-    return Session{container, std::string(system), {}};
+    return Session{container, std::string(system), path, {}};
   }
-  return parse_session(*fmt, container, lines, system);
+  Session s = parse_session(*fmt, container, lines, system);
+  s.source_file = path;
+  return s;
 }
 
 std::vector<Session> read_log_directory(const std::string& dir, std::string_view system) {
@@ -100,6 +102,7 @@ SessionIngest read_session_file_resilient(const std::string& path, std::string_v
   SessionIngest out;
   out.session.container_id = fs::path(path).stem().string();
   out.session.system = std::string(system);
+  out.session.source_file = path;
   std::error_code ec;
   if (!fs::exists(path, ec) || ec) {
     std::cerr << "log_io: warning: cannot read " << path << "\n";
@@ -155,6 +158,16 @@ IngestReport read_log_directory_resilient(const std::string& dir, std::string_vi
   }
 
   if (obs::MetricsRegistry* reg = obs::registry()) {
+    reg->describe("intellog_ingest_skipped_files_total",
+                  "Files skipped because no known log format matched");
+    reg->describe("intellog_ingest_lines_total", "Raw lines seen by resilient ingest");
+    reg->describe("intellog_ingest_records_total", "Records produced by resilient ingest");
+    reg->describe("intellog_ingest_duplicates_dropped_total",
+                  "Duplicate records dropped during ingest");
+    reg->describe("intellog_ingest_reordered_total",
+                  "Records reordered into timestamp order during ingest");
+    reg->describe("intellog_ingest_quarantined_total",
+                  "Lines quarantined during ingest, by reason");
     reg->counter("intellog_ingest_lines_total").add(report.stats.lines_total);
     reg->counter("intellog_ingest_records_total").add(report.stats.records);
     reg->counter("intellog_ingest_duplicates_dropped_total")

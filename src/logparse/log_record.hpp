@@ -49,6 +49,14 @@ struct LogRecord {
   std::string source;        ///< logging class, e.g. "storage.BlockManager"
   std::string content;       ///< the message text
   std::string container_id;  ///< session key (one YARN container = session)
+  /// Ingest provenance (the quarantine channel's byte-offset discipline,
+  /// threaded through accepted records too): 1-based line number within the
+  /// source file and the offset of the line's first byte. 0/0 when the
+  /// record did not come from a file (simulator sessions, checkpoints
+  /// written before provenance existed). The source file itself lives on
+  /// the Session (one file per container).
+  std::uint32_t line_no = 0;
+  std::uint64_t byte_offset = 0;
   std::optional<GroundTruth> truth;  ///< simulator side channel (benches only)
 };
 

@@ -31,9 +31,13 @@ Session parse_session(const Formatter& fmt, std::string_view container_id,
   Session s;
   s.container_id = std::string(container_id);
   s.system = std::string(system);
-  for (const std::string& line : lines) {
+  std::uint64_t offset = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i, offset += lines[i - 1].size() + 1) {
+    const std::string& line = lines[i];
     if (auto rec = fmt.parse(line)) {
       rec->container_id = s.container_id;
+      rec->line_no = static_cast<std::uint32_t>(i + 1);
+      rec->byte_offset = offset;
       s.records.push_back(std::move(*rec));
     } else if (!s.records.empty()) {
       s.records.back().content += "\n" + line;  // continuation (stack trace)
@@ -102,6 +106,7 @@ SessionIngest parse_session_resilient(const Formatter& fmt, std::string_view con
   SessionIngest out;
   out.session.container_id = std::string(container_id);
   out.session.system = std::string(system);
+  out.session.source_file = std::string(file);
   const std::string source = file.empty() ? std::string(container_id) : std::string(file);
 
   const auto quarantine = [&](std::size_t line_no, std::uint64_t offset,
@@ -196,6 +201,8 @@ SessionIngest parse_session_resilient(const Formatter& fmt, std::string_view con
       continue;
     }
     rec->container_id = out.session.container_id;
+    rec->line_no = static_cast<std::uint32_t>(line_no);
+    rec->byte_offset = offset;
 
     // Exact-duplicate suppression: at-least-once shippers re-deliver
     // verbatim copies close to the original.

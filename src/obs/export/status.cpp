@@ -1,0 +1,176 @@
+#include "obs/export/status.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace intellog::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+common::Json build_status(const StatusContext& ctx) {
+  common::Json doc = common::Json::object();
+  doc["kind"] = "intellog_status";
+
+  common::Json sessions = common::Json::array();
+  if (ctx.detector) {
+    for (const auto& info : ctx.detector->open_session_info()) {
+      common::Json s = common::Json::object();
+      s["container"] = info.container_id;
+      s["buffered_records"] = info.buffered_records;
+      s["first_seen_ms"] = static_cast<std::int64_t>(info.first_seen_ms);
+      s["last_seen_ms"] = static_cast<std::int64_t>(info.last_seen_ms);
+      sessions.push_back(std::move(s));
+    }
+
+    const auto& limits = ctx.detector->limits();
+    common::Json occ = common::Json::object();
+    occ["open_sessions"] = ctx.detector->open_sessions().size();
+    occ["max_sessions"] = limits.max_sessions;  // 0: unbounded
+    occ["buffered_records"] = ctx.detector->total_buffered_records();
+    occ["max_buffered_records"] = limits.max_buffered_records;
+    occ["max_session_age_ms"] = static_cast<std::int64_t>(limits.max_session_age_ms);
+    occ["pending_evicted"] = ctx.detector->pending_evicted();
+    doc["occupancy"] = std::move(occ);
+  }
+  doc["sessions"] = std::move(sessions);
+
+  if (ctx.registry) {
+    // Flat counter/gauge views (quarantine reasons, eviction counts, ...):
+    // series key -> value, lifted out of the full metrics snapshot.
+    common::Json counters = common::Json::object();
+    common::Json gauges = common::Json::object();
+    const common::Json all = ctx.registry->to_json();
+    for (const auto& [key, m] : all.as_object()) {
+      if (!m.is_object() || !m["type"].is_string()) continue;
+      if (m["type"].as_string() == "counter") {
+        counters[key] = m["value"];
+      } else if (m["type"].as_string() == "gauge") {
+        gauges[key] = m["value"];
+      }
+    }
+    doc["counters"] = std::move(counters);
+    doc["gauges"] = std::move(gauges);
+
+    // Consume-latency histogram with exemplars: each occupied bucket can
+    // name the session that most recently landed in it.
+    if (const Histogram* h = ctx.registry->find_histogram("intellog_online_consume_us")) {
+      common::Json hist = common::Json::object();
+      hist["count"] = h->count();
+      hist["sum"] = h->sum();
+      common::Json buckets = common::Json::array();
+      for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
+        common::Json b = common::Json::object();
+        b["le"] = i < h->bounds().size() ? common::Json(h->bounds()[i]) : common::Json("+Inf");
+        b["count"] = h->bucket_count(i);
+        if (const auto ex = h->exemplar(i)) {
+          common::Json ej = common::Json::object();
+          ej["value"] = ex->value;
+          ej["session"] = ex->label;
+          b["exemplar"] = std::move(ej);
+        }
+        buckets.push_back(std::move(b));
+      }
+      hist["buckets"] = std::move(buckets);
+      doc["consume_latency_us"] = std::move(hist);
+    }
+  }
+
+  if (!ctx.checkpoint_path.empty()) {
+    common::Json cp = common::Json::object();
+    cp["path"] = ctx.checkpoint_path;
+    cp["age_s"] = ctx.checkpoint_age_s < 0 ? common::Json(nullptr)
+                                           : common::Json(ctx.checkpoint_age_s);
+    doc["checkpoint"] = std::move(cp);
+  }
+  if (!ctx.cursor.is_null()) doc["cursor"] = ctx.cursor;
+  return doc;
+}
+
+void write_json_atomic(const common::Json& doc, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) throw std::runtime_error("write_json_atomic: cannot open " + tmp);
+    out << doc.dump(2) << "\n";
+    out.flush();
+    if (!out) throw std::runtime_error("write_json_atomic: write failed: " + tmp);
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+std::string render_top(const common::Json& status) {
+  if (!status.is_object() || !status["kind"].is_string() ||
+      status["kind"].as_string() != "intellog_status") {
+    throw std::runtime_error("render_top: not an intellog_status document");
+  }
+  std::string out;
+
+  const common::Json& occ = status["occupancy"];
+  const auto occ_int = [&occ](const char* key) {
+    return occ.is_object() && occ[key].is_number() ? occ[key].as_int() : 0;
+  };
+  out += "intellog status — " + std::to_string(occ_int("open_sessions")) + " open session(s), " +
+         std::to_string(occ_int("buffered_records")) + " buffered record(s)";
+  if (occ_int("pending_evicted") > 0) {
+    out += ", " + std::to_string(occ_int("pending_evicted")) + " pending evicted";
+  }
+  out += "\n";
+  if (occ_int("max_sessions") > 0 || occ_int("max_buffered_records") > 0) {
+    out += "limits: " + std::to_string(occ_int("max_sessions")) + " sessions, " +
+           std::to_string(occ_int("max_buffered_records")) + " records (0 = unbounded)\n";
+  }
+
+  if (status["checkpoint"].is_object()) {
+    const common::Json& cp = status["checkpoint"];
+    out += "checkpoint: " + cp["path"].as_string();
+    if (cp["age_s"].is_number()) out += " (age " + fmt_double(cp["age_s"].as_double()) + "s)";
+    out += "\n";
+  }
+
+  if (status["sessions"].is_array() && !status["sessions"].as_array().empty()) {
+    out += "sessions:\n";
+    for (const common::Json& s : status["sessions"].as_array()) {
+      out += "  " + s["container"].as_string() + "  " +
+             std::to_string(s["buffered_records"].as_int()) + " records  active " +
+             std::to_string(s["first_seen_ms"].as_int()) + ".." +
+             std::to_string(s["last_seen_ms"].as_int()) + " ms\n";
+    }
+  }
+
+  if (status["counters"].is_object() && !status["counters"].as_object().empty()) {
+    out += "counters:\n";
+    for (const auto& [key, v] : status["counters"].as_object()) {
+      out += "  " + key + " = " + std::to_string(v.as_int()) + "\n";
+    }
+  }
+
+  if (status["consume_latency_us"].is_object()) {
+    const common::Json& h = status["consume_latency_us"];
+    out += "consume latency (us) — count " + std::to_string(h["count"].as_int()) + ", sum " +
+           fmt_double(h["sum"].as_double()) + ":\n";
+    for (const common::Json& b : h["buckets"].as_array()) {
+      if (b["count"].as_int() == 0) continue;  // only occupied buckets
+      const std::string le = b["le"].is_string() ? b["le"].as_string()
+                                                 : fmt_double(b["le"].as_double());
+      out += "  le " + le + "  " + std::to_string(b["count"].as_int());
+      if (b["exemplar"].is_object()) {
+        out += "  <- " + b["exemplar"]["session"].as_string() + " @ " +
+               fmt_double(b["exemplar"]["value"].as_double()) + "us";
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace intellog::obs

@@ -1,0 +1,44 @@
+// Live introspection snapshots (the Workflow Observatory's third pillar).
+//
+// A long-running `intellog detect` periodically publishes one JSON
+// document describing its internal state: open sessions, occupancy
+// against the configured limits, quarantine/eviction counters, checkpoint
+// freshness, and the consume-latency histogram with exemplars linking
+// slow buckets back to the sessions that landed there. The document is
+// published with the same atomic-rename discipline as checkpoints, so a
+// reader (`intellog top`, a scraper, a human with jq) never sees a torn
+// file.
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+#include "core/online.hpp"
+#include "obs/metrics.hpp"
+
+namespace intellog::obs {
+
+/// Everything a status snapshot draws from. All pointers optional: a null
+/// detector yields an empty sessions list, a null registry omits the
+/// metric sections.
+struct StatusContext {
+  const core::OnlineDetector* detector = nullptr;
+  const MetricsRegistry* registry = nullptr;
+  std::string checkpoint_path;     ///< empty: checkpointing disabled
+  double checkpoint_age_s = -1.0;  ///< seconds since last write (<0: none yet)
+  common::Json cursor;             ///< opaque stream cursor (null when n/a)
+};
+
+/// One status document ({"kind": "intellog_status", ...}).
+common::Json build_status(const StatusContext& ctx);
+
+/// Writes `doc` to `path` durably: `path.tmp` first, then an atomic rename
+/// over `path` — a reader sees the previous snapshot or the new one, never
+/// a torn file. Throws std::runtime_error on I/O failure.
+void write_json_atomic(const common::Json& doc, const std::string& path);
+
+/// Renders a status document as the `intellog top` text view. Throws
+/// std::runtime_error when `status` is not a status document.
+std::string render_top(const common::Json& status);
+
+}  // namespace intellog::obs

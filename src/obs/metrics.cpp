@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <set>
 #include <sstream>
 
 namespace intellog::obs {
@@ -40,13 +41,26 @@ std::string prom_series(const std::string& name, const Labels& labels,
   for (const auto& [k, v] : labels) {
     if (!first) out += ',';
     first = false;
-    out += k + "=\"" + common::json_escape(v) + "\"";
+    out += k + "=\"" + prom_escape(v) + "\"";
   }
   if (!extra_label.empty()) {
     if (!first) out += ',';
     out += extra_label + "=\"" + extra_value + "\"";
   }
   out += '}';
+  return out;
+}
+
+/// Prometheus HELP text: same escaping minus the quote (HELP lines are not
+/// quoted, so only backslash and newline are special).
+std::string prom_help_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
   return out;
 }
 
@@ -64,6 +78,18 @@ void atomic_add_double(std::atomic<double>& a, double v) {
 
 }  // namespace
 
+std::string prom_escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
 // --- Histogram -------------------------------------------------------------
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
@@ -71,6 +97,8 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
   buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
   for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+  exemplars_.resize(bounds_.size() + 1);
+  exemplar_present_.assign(bounds_.size() + 1, 0);
 }
 
 void Histogram::observe(double v) {
@@ -79,6 +107,25 @@ void Histogram::observe(double v) {
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   atomic_add_double(sum_, v);
+}
+
+void Histogram::observe(double v, std::string_view exemplar_label) {
+  observe(v);
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  // Best effort: an exemplar lost to contention is just replaced by the
+  // next observation landing in the same bucket.
+  std::unique_lock lock(exemplar_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  exemplars_[idx].value = v;
+  exemplars_[idx].label.assign(exemplar_label.data(), exemplar_label.size());
+  exemplar_present_[idx] = 1;
+}
+
+std::optional<Exemplar> Histogram::exemplar(std::size_t i) const {
+  std::lock_guard lock(exemplar_mu_);
+  if (i >= exemplars_.size() || !exemplar_present_[i]) return std::nullopt;
+  return exemplars_[i];
 }
 
 std::uint64_t Histogram::cumulative_count(std::size_t i) const {
@@ -161,6 +208,11 @@ const Histogram* MetricsRegistry::find_histogram(const std::string& name,
   return e ? e->histogram.get() : nullptr;
 }
 
+void MetricsRegistry::describe(const std::string& name, const std::string& help) {
+  std::lock_guard lock(mu_);
+  help_[name] = help;
+}
+
 std::size_t MetricsRegistry::size() const {
   std::lock_guard lock(mu_);
   return entries_.size();
@@ -194,6 +246,20 @@ common::Json MetricsRegistry::to_json() const {
         buckets.push_back(std::move(b));
       }
       m["buckets"] = std::move(buckets);
+      common::Json exemplars = common::Json::array();
+      for (std::size_t i = 0; i <= e.histogram->bounds().size(); ++i) {
+        if (const auto ex = e.histogram->exemplar(i)) {
+          common::Json ej = common::Json::object();
+          ej["bucket"] = i;
+          ej["le"] = i < e.histogram->bounds().size()
+                         ? common::Json(e.histogram->bounds()[i])
+                         : common::Json("+Inf");
+          ej["value"] = ex->value;
+          ej["label"] = ex->label;
+          exemplars.push_back(std::move(ej));
+        }
+      }
+      if (!exemplars.as_array().empty()) m["exemplars"] = std::move(exemplars);
     } else {
       continue;  // declared but never materialized; nothing to export
     }
@@ -205,14 +271,15 @@ common::Json MetricsRegistry::to_json() const {
 std::string MetricsRegistry::to_prometheus() const {
   std::lock_guard lock(mu_);
   std::string out;
-  std::string last_typed;  // emit one # TYPE line per metric family
+  std::set<std::string> described;  // one # HELP/# TYPE pair per family
   for (const auto& [key, e] : entries_) {
     (void)key;
     const auto type_line = [&](const char* type) {
-      if (last_typed != e.name) {
-        out += "# TYPE " + e.name + " " + type + "\n";
-        last_typed = e.name;
+      if (!described.insert(e.name).second) return;
+      if (const auto h = help_.find(e.name); h != help_.end()) {
+        out += "# HELP " + e.name + " " + prom_help_escape(h->second) + "\n";
       }
+      out += "# TYPE " + e.name + " " + type + "\n";
     };
     if (e.counter) {
       type_line("counter");

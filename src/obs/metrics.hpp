@@ -20,7 +20,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -54,6 +56,14 @@ class Gauge {
   std::atomic<std::int64_t> v_{0};
 };
 
+/// One exemplar: a concrete observation pinned to a histogram bucket so a
+/// latency bucket can be traced back to the thing that caused it (the
+/// OpenMetrics exemplar concept — here, consume latencies -> session ids).
+struct Exemplar {
+  double value = 0.0;
+  std::string label;  ///< e.g. the container id of the observed session
+};
+
 /// Fixed-bucket latency histogram. Bucket i counts observations
 /// <= bounds[i]; one implicit +Inf bucket catches the rest. Concurrent
 /// observe() is safe (per-bucket relaxed atomics; sum via CAS loop).
@@ -62,6 +72,13 @@ class Histogram {
   explicit Histogram(std::vector<double> bounds);
 
   void observe(double v);
+  /// observe() plus exemplar capture: remembers (v, label) as the bucket's
+  /// latest exemplar. Exemplar storage is best-effort under contention
+  /// (try_lock; a skipped update costs nothing on the hot path).
+  void observe(double v, std::string_view exemplar_label);
+
+  /// Latest exemplar of bucket i, or nullopt when none was captured.
+  std::optional<Exemplar> exemplar(std::size_t i) const;
 
   const std::vector<double>& bounds() const { return bounds_; }
   /// Count in bucket i (i == bounds().size() is the +Inf bucket).
@@ -84,6 +101,11 @@ class Histogram {
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_.size() + 1
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  // Exemplars are cold-path (status snapshots), so a plain mutex +
+  // try_lock on write keeps observe() wait-free when contended.
+  mutable std::mutex exemplar_mu_;
+  std::vector<Exemplar> exemplars_;      // bounds_.size() + 1
+  std::vector<char> exemplar_present_;   // parallel flags
 };
 
 /// Name+label keyed metric registry. get-or-create accessors hand out
@@ -100,6 +122,11 @@ class MetricsRegistry {
   /// `bounds` is consulted only on first creation of this name+labels.
   Histogram& histogram(const std::string& name, const Labels& labels = {},
                        const std::vector<double>& bounds = Histogram::default_ms_buckets());
+
+  /// Registers the `# HELP` text for a metric family. One string per
+  /// family name (labels excluded); the last call wins. Families without
+  /// help text export without a HELP line.
+  void describe(const std::string& name, const std::string& help);
 
   /// Lookup without creation (introspection/tests). nullptr when absent.
   const Counter* find_counter(const std::string& name, const Labels& labels = {}) const;
@@ -129,7 +156,12 @@ class MetricsRegistry {
   // Keyed by "name" + canonical label serialization; std::map keeps the
   // exports deterministically ordered.
   std::map<std::string, Entry> entries_;
+  std::map<std::string, std::string> help_;  ///< family name -> HELP text
 };
+
+/// Escapes a Prometheus label *value* per the text exposition format:
+/// backslash, double-quote and newline (only those three).
+std::string prom_escape(std::string_view value);
 
 /// Installs the process-global registry (nullptr disables metrics; the
 /// default). The registry must outlive all instrumented calls made while

@@ -1,0 +1,302 @@
+// Workflow Observatory: evidence construction, report round-trip, the
+// explain renderer, and the per-session HW-graph instance view.
+#include "core/explain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "simsys/workload.hpp"
+
+using namespace intellog;
+using simsys::ClusterSpec;
+using simsys::FaultPlan;
+using simsys::JobResult;
+using simsys::ProblemKind;
+
+namespace {
+
+std::vector<logparse::Session> training_corpus(const std::string& system, int jobs,
+                                               std::uint64_t seed) {
+  ClusterSpec cluster;
+  simsys::WorkloadGenerator gen(system, seed);
+  std::vector<logparse::Session> out;
+  for (int i = 0; i < jobs; ++i) {
+    JobResult job = simsys::run_job(gen.training_job(), cluster);
+    for (auto& s : job.sessions) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+logparse::Session tiny_session() {
+  logparse::Session s;
+  s.container_id = "container_42";
+  s.system = "spark";
+  for (int i = 0; i < 4; ++i) {
+    logparse::LogRecord r;
+    r.container_id = s.container_id;
+    r.timestamp_ms = 1000 + 10 * static_cast<std::uint64_t>(i);
+    r.content = "message " + std::to_string(i);
+    r.line_no = static_cast<std::uint32_t>(i + 1);
+    r.byte_offset = static_cast<std::uint64_t>(100 * i);
+    s.records.push_back(std::move(r));
+  }
+  return s;
+}
+
+}  // namespace
+
+TEST(ExpectedKeySequence, TopologicalOverBeforeRelations) {
+  core::Subroutine sub;
+  sub.keys = {1, 2, 3};
+  sub.before = {{3, 1}, {1, 2}};  // 3 BEFORE 1 BEFORE 2
+  EXPECT_EQ(core::expected_key_sequence(sub), (std::vector<int>{3, 1, 2}));
+}
+
+TEST(ExpectedKeySequence, TiesBreakByKeyIdAndCyclesFallBack) {
+  core::Subroutine sub;
+  sub.keys = {5, 2, 9};
+  sub.before = {};  // no orders: plain id order
+  EXPECT_EQ(core::expected_key_sequence(sub), (std::vector<int>{2, 5, 9}));
+  sub.before = {{5, 2}, {2, 5}};  // cycle: leftover keys appended in id order
+  const auto seq = core::expected_key_sequence(sub);
+  EXPECT_EQ(seq.size(), 3u);
+  EXPECT_TRUE(std::is_permutation(seq.begin(), seq.end(), std::vector<int>{2, 5, 9}.begin()));
+}
+
+TEST(EvidenceLine, CarriesProvenanceAndFallsBackToContainerId) {
+  logparse::Session s = tiny_session();
+  core::EvidenceLine line = core::make_evidence_line(s, 2, 7);
+  EXPECT_EQ(line.record_index, 2u);
+  EXPECT_EQ(line.timestamp_ms, 1020u);
+  EXPECT_EQ(line.key_id, 7);
+  EXPECT_EQ(line.content, "message 2");
+  EXPECT_EQ(line.line_no, 3u);
+  EXPECT_EQ(line.byte_offset, 200u);
+  // No source file on record: the container id keeps the line addressable.
+  EXPECT_EQ(line.file, "container_42");
+  s.source_file = "/logs/c42.log";
+  EXPECT_EQ(core::make_evidence_line(s, 2, 7).file, "/logs/c42.log");
+}
+
+TEST(EvidenceLine, LongContentIsTruncated) {
+  logparse::Session s = tiny_session();
+  s.records[0].content = std::string(4096, 'x');
+  const core::EvidenceLine line = core::make_evidence_line(s, 0, -1);
+  EXPECT_LT(line.content.size(), 1024u);
+  EXPECT_EQ(line.content.substr(0, 8), "xxxxxxxx");
+}
+
+TEST(EvidenceLine, JsonRoundTrip) {
+  const core::EvidenceLine line = core::make_evidence_line(tiny_session(), 1, 3);
+  const core::EvidenceLine back = core::evidence_line_from_json(line.to_json());
+  EXPECT_EQ(back.record_index, line.record_index);
+  EXPECT_EQ(back.timestamp_ms, line.timestamp_ms);
+  EXPECT_EQ(back.key_id, line.key_id);
+  EXPECT_EQ(back.content, line.content);
+  EXPECT_EQ(back.file, line.file);
+  EXPECT_EQ(back.line_no, line.line_no);
+  EXPECT_EQ(back.byte_offset, line.byte_offset);
+  EXPECT_EQ(back.to_json().dump(), line.to_json().dump());
+}
+
+TEST(Evidence, UnexpectedMessagePointsAtTheOffendingLine) {
+  const core::Evidence ev = core::build_unexpected_evidence(tiny_session(), 3);
+  ASSERT_EQ(ev.lines.size(), 1u);
+  EXPECT_EQ(ev.lines[0].record_index, 3u);
+  EXPECT_FALSE(ev.deviation.empty());
+  EXPECT_FALSE(ev.empty());
+  EXPECT_EQ(core::evidence_from_json(ev.to_json()).to_json().dump(), ev.to_json().dump());
+}
+
+TEST(Evidence, MissingGroupNamesExpectedKeysAndSessionSpan) {
+  core::GroupNode node;
+  node.name = "shuffle";
+  node.keys = {4, 9};
+  const logparse::Session s = tiny_session();
+  const core::Evidence ev =
+      core::build_missing_group_evidence(s, node, std::vector<int>(s.records.size(), -1));
+  EXPECT_EQ(ev.expected_keys, (std::vector<int>{4, 9}));
+  EXPECT_EQ(ev.missing_keys, (std::vector<int>{4, 9}));
+  EXPECT_NE(ev.deviation.find("shuffle"), std::string::npos);
+  EXPECT_FALSE(ev.lines.empty());
+  EXPECT_LE(ev.lines.size(), core::kMaxEvidenceLines);
+}
+
+TEST(ReportFromJson, ThrowsOnNonReportDocuments) {
+  EXPECT_THROW(core::report_from_json(common::Json("nope")), std::runtime_error);
+  EXPECT_THROW(core::report_from_json(common::Json::array()), std::runtime_error);
+  EXPECT_THROW(core::report_from_json(common::Json::object()), std::runtime_error);
+}
+
+TEST(RenderExplanation, NonAnomalousRendersEmpty) {
+  core::AnomalyReport clean;
+  clean.container_id = "c";
+  clean.session_length = 10;
+  EXPECT_EQ(core::render_explanation(clean), "");
+}
+
+// Full-pipeline fixture: a trained model shared by the detection-side tests.
+class ExplainPipeline : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    il = new core::IntelLog();
+    il->train(training_corpus("spark", 20, 4242));
+  }
+  static void TearDownTestSuite() {
+    delete il;
+    il = nullptr;
+  }
+
+  /// Collects anomalous reports from faulty runs (several attempts so the
+  /// fault actually lands on a session).
+  static std::vector<core::AnomalyReport> faulty_reports(ProblemKind kind, std::uint64_t seed) {
+    ClusterSpec cluster;
+    simsys::WorkloadGenerator gen("spark", seed);
+    std::vector<core::AnomalyReport> out;
+    for (std::uint64_t attempt = 0; attempt < 6 && out.empty(); ++attempt) {
+      FaultPlan fault = gen.make_fault(kind, cluster);
+      fault.at_fraction = 0.3;
+      const JobResult job = simsys::run_job(gen.detection_job(2), cluster, fault);
+      for (const auto& s : job.sessions) {
+        auto report = il->detect(s);
+        if (report.anomalous()) out.push_back(std::move(report));
+      }
+    }
+    return out;
+  }
+
+  static core::IntelLog* il;
+};
+
+core::IntelLog* ExplainPipeline::il = nullptr;
+
+TEST_F(ExplainPipeline, EveryFindingCarriesEvidence) {
+  const auto reports = faulty_reports(ProblemKind::NetworkFailure, 911);
+  ASSERT_FALSE(reports.empty());
+  for (const auto& report : reports) {
+    for (const auto& u : report.unexpected) {
+      EXPECT_FALSE(u.evidence.empty());
+      ASSERT_FALSE(u.evidence.lines.empty());
+      EXPECT_EQ(u.evidence.lines[0].record_index, u.record_index);
+      EXPECT_EQ(u.evidence.lines[0].content.substr(0, 32), u.content.substr(0, 32));
+    }
+    for (const auto& issue : report.issues) {
+      EXPECT_FALSE(issue.evidence.empty());
+      EXPECT_FALSE(issue.evidence.deviation.empty());
+      EXPECT_LE(issue.evidence.lines.size(), core::kMaxEvidenceLines);
+    }
+  }
+}
+
+TEST_F(ExplainPipeline, ReportRoundTripsThroughJson) {
+  const auto reports = faulty_reports(ProblemKind::SessionAbort, 912);
+  ASSERT_FALSE(reports.empty());
+  for (const auto& report : reports) {
+    const core::AnomalyReport back = core::report_from_json(report.to_json());
+    EXPECT_EQ(back.container_id, report.container_id);
+    EXPECT_EQ(back.session_length, report.session_length);
+    EXPECT_EQ(back.degraded_reason, report.degraded_reason);
+    ASSERT_EQ(back.unexpected.size(), report.unexpected.size());
+    ASSERT_EQ(back.issues.size(), report.issues.size());
+    for (std::size_t i = 0; i < report.unexpected.size(); ++i) {
+      EXPECT_EQ(back.unexpected[i].record_index, report.unexpected[i].record_index);
+      EXPECT_EQ(back.unexpected[i].content, report.unexpected[i].content);
+      EXPECT_EQ(back.unexpected[i].evidence.to_json().dump(),
+                report.unexpected[i].evidence.to_json().dump());
+    }
+    for (std::size_t i = 0; i < report.issues.size(); ++i) {
+      EXPECT_EQ(back.issues[i].kind, report.issues[i].kind);
+      EXPECT_EQ(back.issues[i].group, report.issues[i].group);
+      EXPECT_EQ(back.issues[i].signature, report.issues[i].signature);
+      EXPECT_EQ(back.issues[i].missing_keys, report.issues[i].missing_keys);
+      EXPECT_EQ(back.issues[i].violated_orders, report.issues[i].violated_orders);
+      EXPECT_EQ(back.issues[i].evidence.to_json().dump(),
+                report.issues[i].evidence.to_json().dump());
+    }
+    // The round-tripped report renders the same explanation.
+    EXPECT_EQ(core::render_explanation(back), core::render_explanation(report));
+  }
+}
+
+TEST_F(ExplainPipeline, RenderExplanationShowsDiffAndProvenance) {
+  const auto reports = faulty_reports(ProblemKind::NetworkFailure, 913);
+  ASSERT_FALSE(reports.empty());
+  const std::string text = core::render_explanation(reports.front());
+  EXPECT_NE(text.find("ANOMALOUS"), std::string::npos);
+  EXPECT_NE(text.find(reports.front().container_id), std::string::npos);
+  // Every evidence-carrying finding shows its raw lines with provenance.
+  bool any_line = false;
+  for (const auto& u : reports.front().unexpected) any_line |= !u.evidence.lines.empty();
+  for (const auto& i : reports.front().issues) any_line |= !i.evidence.lines.empty();
+  if (any_line) {
+    EXPECT_NE(text.find(":"), std::string::npos);
+  }
+}
+
+TEST_F(ExplainPipeline, EvidenceToggleKeepsVerdictsDropsEvidence) {
+  ClusterSpec cluster;
+  simsys::WorkloadGenerator gen("spark", 914);
+  FaultPlan fault = gen.make_fault(ProblemKind::NetworkFailure, cluster);
+  fault.at_fraction = 0.3;
+  const JobResult job = simsys::run_job(gen.detection_job(2), cluster, fault);
+
+  ASSERT_TRUE(il->evidence_enabled());
+  il->set_evidence_enabled(false);
+  EXPECT_FALSE(il->evidence_enabled());
+  std::vector<core::AnomalyReport> bare;
+  for (const auto& s : job.sessions) bare.push_back(il->detect(s));
+  il->set_evidence_enabled(true);
+  std::vector<core::AnomalyReport> full;
+  for (const auto& s : job.sessions) full.push_back(il->detect(s));
+
+  for (std::size_t i = 0; i < bare.size(); ++i) {
+    // Identical verdicts either way...
+    EXPECT_EQ(bare[i].anomalous(), full[i].anomalous());
+    EXPECT_EQ(bare[i].unexpected.size(), full[i].unexpected.size());
+    EXPECT_EQ(bare[i].issues.size(), full[i].issues.size());
+    // ...but no evidence when disabled.
+    for (const auto& u : bare[i].unexpected) EXPECT_TRUE(u.evidence.empty());
+    for (const auto& issue : bare[i].issues) EXPECT_TRUE(issue.evidence.empty());
+  }
+}
+
+TEST_F(ExplainPipeline, WorkflowViewMirrorsTheSession) {
+  ClusterSpec cluster;
+  simsys::WorkloadGenerator gen("spark", 915);
+  const JobResult job = simsys::run_job(gen.detection_job(1), cluster);
+  ASSERT_FALSE(job.sessions.empty());
+  // Pick the longest session: richest HW-graph instance.
+  const auto& session = *std::max_element(
+      job.sessions.begin(), job.sessions.end(),
+      [](const auto& a, const auto& b) { return a.records.size() < b.records.size(); });
+
+  const core::WorkflowView view = core::build_workflow_view(*il, session);
+  EXPECT_EQ(view.container_id, session.container_id);
+  EXPECT_EQ(view.system, session.system);
+  EXPECT_FALSE(view.groups.empty());
+  EXPECT_LE(view.first_ms, view.last_ms);
+  for (const auto& gv : view.groups) {
+    EXPECT_FALSE(gv.group.empty());
+    EXPECT_GE(gv.first_ms, view.first_ms);
+    EXPECT_LE(gv.last_ms, view.last_ms);
+    EXPECT_LE(gv.first_ms, gv.last_ms);
+    EXPECT_EQ(gv.message_count, gv.hits.size());
+    for (const auto& hit : gv.hits) {
+      EXPECT_GE(hit.key_id, 0);
+      EXPECT_LT(hit.record_index, session.records.size());
+      EXPECT_EQ(hit.timestamp_ms, session.records[hit.record_index].timestamp_ms);
+    }
+    std::size_t sub_hits = 0;
+    for (const auto& sv : gv.subroutines) {
+      EXPECT_FALSE(sv.name().empty());
+      EXPECT_GE(sv.first_ms, gv.first_ms);
+      EXPECT_LE(sv.last_ms, gv.last_ms);
+      sub_hits += sv.hits.size();
+    }
+    // Subroutine instances partition the group's messages.
+    EXPECT_EQ(sub_hits, gv.hits.size());
+  }
+}

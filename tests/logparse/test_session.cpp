@@ -55,6 +55,27 @@ TEST(ParseSession, ParsesLinesAndAttachesContinuations) {
   EXPECT_EQ(s.length(), 2u);
 }
 
+TEST(ParseSession, StampsLineAndByteOffsetProvenance) {
+  const auto fmt = make_hadoop_formatter();
+  const std::vector<std::string> lines = {
+      "2019-06-01 01:00:00,000 INFO [main] x.Y: first message",
+      "java.io.IOException: broken pipe",
+      "2019-06-01 01:00:01,000 ERROR [main] x.Y: second message",
+  };
+  const Session s = parse_session(*fmt, "c", lines, "mapreduce");
+  ASSERT_EQ(s.records.size(), 2u);
+  // 1-based line of each record's header line; byte offset counts every
+  // preceding line plus its newline (what a `dd skip=` or editor goto
+  // needs to land on the line).
+  EXPECT_EQ(s.records[0].line_no, 1u);
+  EXPECT_EQ(s.records[0].byte_offset, 0u);
+  EXPECT_EQ(s.records[1].line_no, 3u);
+  EXPECT_EQ(s.records[1].byte_offset, lines[0].size() + 1 + lines[1].size() + 1);
+  // A continuation folds into the previous record without moving its
+  // provenance off the header line.
+  EXPECT_NE(s.records[0].content.find("IOException"), std::string::npos);
+}
+
 TEST(ParseSession, LeadingGarbageIsDropped) {
   const auto fmt = make_spark_formatter();
   const Session s = parse_session(*fmt, "c", {"garbage", "19/06/01 01:02:03 INFO x.Y: ok"});

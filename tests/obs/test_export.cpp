@@ -1,0 +1,273 @@
+// Workflow Observatory exporters: HW-graph instances as Chrome/OTLP span
+// trees, plus status snapshots and their atomic publication.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/intellog.hpp"
+#include "core/online.hpp"
+#include "obs/export/status.hpp"
+#include "obs/export/trace_export.hpp"
+#include "obs/metrics.hpp"
+#include "simsys/workload.hpp"
+
+using namespace intellog;
+
+namespace {
+
+std::vector<logparse::Session> training_corpus(int jobs, std::uint64_t seed) {
+  simsys::ClusterSpec cluster;
+  simsys::WorkloadGenerator gen("spark", seed);
+  std::vector<logparse::Session> out;
+  for (int i = 0; i < jobs; ++i) {
+    simsys::JobResult job = simsys::run_job(gen.training_job(), cluster);
+    for (auto& s : job.sessions) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+bool is_hex(const std::string& s) {
+  return std::all_of(s.begin(), s.end(),
+                     [](unsigned char c) { return std::isxdigit(c) != 0; });
+}
+
+}  // namespace
+
+class TraceExportTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    il = new core::IntelLog();
+    il->train(training_corpus(20, 321));
+    simsys::ClusterSpec cluster;
+    simsys::WorkloadGenerator gen("spark", 654);
+    sessions = new std::vector<logparse::Session>(
+        simsys::run_job(gen.detection_job(1), cluster).sessions);
+  }
+  static void TearDownTestSuite() {
+    delete il;
+    delete sessions;
+    il = nullptr;
+    sessions = nullptr;
+  }
+  static core::IntelLog* il;
+  static std::vector<logparse::Session>* sessions;
+};
+
+core::IntelLog* TraceExportTest::il = nullptr;
+std::vector<logparse::Session>* TraceExportTest::sessions = nullptr;
+
+TEST_F(TraceExportTest, ChromeTraceIsValidAndSpansEveryGroup) {
+  const common::Json doc = obs::hwgraph_chrome_trace(*il, *sessions);
+  // The dump round-trips through the strict parser.
+  const common::Json parsed = common::Json::parse(doc.dump(2));
+  EXPECT_EQ(parsed["displayTimeUnit"].as_string(), "ms");
+  const auto& events = parsed["traceEvents"].as_array();
+  ASSERT_FALSE(events.empty());
+
+  std::set<std::int64_t> pids;
+  std::map<std::pair<std::int64_t, std::int64_t>, std::string> track_names;
+  // (pid, tid) -> entity-group complete spans on that track.
+  std::map<std::pair<std::int64_t, std::int64_t>, int> group_spans;
+  std::int64_t min_ts = -1;
+  bool saw_instant = false, saw_subroutine = false;
+  for (const auto& e : events) {
+    const std::string ph = e["ph"].as_string();
+    const auto pid = e["pid"].as_int();
+    const auto tid = e["tid"].as_int();
+    pids.insert(pid);
+    if (ph == "M") {
+      if (e["name"].as_string() == "thread_name") {
+        track_names[{pid, tid}] = e["args"]["name"].as_string();
+      }
+      continue;
+    }
+    ASSERT_TRUE(e["ts"].is_number());
+    const auto ts = e["ts"].as_int();
+    if (min_ts < 0 || ts < min_ts) min_ts = ts;
+    if (ph == "X") {
+      EXPECT_TRUE(e["dur"].is_number());
+      EXPECT_GE(e["dur"].as_int(), 1);  // Perfetto hides zero-width spans
+      const std::string name = e["name"].as_string();
+      if (name.rfind("sub ", 0) == 0) {
+        saw_subroutine = true;
+      } else {
+        ++group_spans[{pid, tid}];
+      }
+    } else if (ph == "i") {
+      saw_instant = true;
+    } else {
+      FAIL() << "unexpected phase " << ph;
+    }
+  }
+  // One process per session, timestamps rebased to the earliest record.
+  EXPECT_EQ(pids.size(), sessions->size());
+  EXPECT_EQ(min_ts, 0);
+  EXPECT_TRUE(saw_instant);
+  EXPECT_TRUE(saw_subroutine);
+  // Every named entity-group track carries at least one lifespan span.
+  ASSERT_FALSE(track_names.empty());
+  for (const auto& [track, name] : track_names) {
+    EXPECT_GE(group_spans[track], 1) << "no lifespan span on track " << name;
+  }
+}
+
+TEST_F(TraceExportTest, ChromeSubroutineSpansNestInsideTheirGroupSpan) {
+  const common::Json doc = obs::hwgraph_chrome_trace(*il, *sessions);
+  // Per (pid, tid): the group lifespan must enclose every subroutine span.
+  struct SpanRange {
+    std::int64_t lo = 0, hi = 0;
+    bool set = false;
+  };
+  std::map<std::pair<std::int64_t, std::int64_t>, SpanRange> group_range;
+  const auto& events = doc["traceEvents"].as_array();
+  for (const auto& e : events) {
+    if (e["ph"].as_string() != "X") continue;
+    if (e["name"].as_string().rfind("sub ", 0) == 0) continue;
+    auto& r = group_range[{e["pid"].as_int(), e["tid"].as_int()}];
+    const auto lo = e["ts"].as_int(), hi = lo + e["dur"].as_int();
+    r.lo = r.set ? std::min(r.lo, lo) : lo;
+    r.hi = r.set ? std::max(r.hi, hi) : hi;
+    r.set = true;
+  }
+  std::size_t checked = 0;
+  for (const auto& e : events) {
+    if (e["ph"].as_string() != "X" || e["name"].as_string().rfind("sub ", 0) != 0) continue;
+    const auto& r = group_range[{e["pid"].as_int(), e["tid"].as_int()}];
+    ASSERT_TRUE(r.set);
+    EXPECT_GE(e["ts"].as_int(), r.lo);
+    // Sub-ms spans are widened to the 1µs minimum, so allow that slack.
+    EXPECT_LE(e["ts"].as_int() + e["dur"].as_int(), r.hi + 1);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_F(TraceExportTest, OtlpDocumentHasWellFormedIdsAndParents) {
+  const common::Json doc = obs::hwgraph_otlp_json(*il, *sessions);
+  const auto& resource_spans = doc["resourceSpans"].as_array();
+  ASSERT_EQ(resource_spans.size(), sessions->size());
+  for (const auto& rs : resource_spans) {
+    std::set<std::string> span_ids, trace_ids;
+    std::vector<std::string> parent_ids;
+    for (const auto& ss : rs["scopeSpans"].as_array()) {
+      for (const auto& sp : ss["spans"].as_array()) {
+        const std::string trace_id = sp["traceId"].as_string();
+        const std::string span_id = sp["spanId"].as_string();
+        EXPECT_EQ(trace_id.size(), 32u);
+        EXPECT_TRUE(is_hex(trace_id));
+        EXPECT_EQ(span_id.size(), 16u);
+        EXPECT_TRUE(is_hex(span_id));
+        EXPECT_TRUE(span_ids.insert(span_id).second) << "duplicate spanId " << span_id;
+        trace_ids.insert(trace_id);
+        if (sp["parentSpanId"].is_string()) {
+          parent_ids.push_back(sp["parentSpanId"].as_string());
+        }
+        // Nanosecond timestamps are strings (OTLP JSON encoding of int64).
+        EXPECT_TRUE(sp["startTimeUnixNano"].is_string());
+        EXPECT_TRUE(sp["endTimeUnixNano"].is_string());
+        EXPECT_LT(std::stoull(sp["startTimeUnixNano"].as_string()),
+                  std::stoull(sp["endTimeUnixNano"].as_string()));
+      }
+    }
+    // One trace per session; every parent reference resolves in-session.
+    EXPECT_EQ(trace_ids.size(), 1u);
+    EXPECT_FALSE(parent_ids.empty());
+    for (const auto& pid : parent_ids) EXPECT_TRUE(span_ids.count(pid)) << pid;
+  }
+}
+
+TEST_F(TraceExportTest, ExportsAreDeterministic) {
+  EXPECT_EQ(obs::hwgraph_chrome_trace(*il, *sessions).dump(),
+            obs::hwgraph_chrome_trace(*il, *sessions).dump());
+  EXPECT_EQ(obs::hwgraph_otlp_json(*il, *sessions).dump(),
+            obs::hwgraph_otlp_json(*il, *sessions).dump());
+}
+
+TEST_F(TraceExportTest, EmptySessionListYieldsEmptyDocuments) {
+  const std::vector<logparse::Session> none;
+  const common::Json chrome = obs::hwgraph_chrome_trace(*il, none);
+  EXPECT_TRUE(chrome["traceEvents"].as_array().empty());
+  const common::Json otlp = obs::hwgraph_otlp_json(*il, none);
+  EXPECT_TRUE(otlp["resourceSpans"].as_array().empty());
+}
+
+TEST_F(TraceExportTest, StatusSnapshotReflectsDetectorAndRegistry) {
+  obs::MetricsRegistry reg;
+  obs::set_registry(&reg);
+  core::OnlineDetector online(*il);
+  for (const auto& s : *sessions) {
+    for (const auto& rec : s.records) online.consume(rec);
+  }
+  obs::set_registry(nullptr);
+
+  obs::StatusContext ctx;
+  ctx.detector = &online;
+  ctx.registry = &reg;
+  ctx.checkpoint_path = "/tmp/cp.json";
+  ctx.checkpoint_age_s = 1.5;
+  const common::Json status = obs::build_status(ctx);
+  EXPECT_EQ(status["kind"].as_string(), "intellog_status");
+  EXPECT_EQ(status["sessions"].size(), sessions->size());
+  EXPECT_EQ(static_cast<std::size_t>(status["occupancy"]["open_sessions"].as_int()),
+            sessions->size());
+  EXPECT_GT(status["occupancy"]["buffered_records"].as_int(), 0);
+  EXPECT_EQ(status["checkpoint"]["path"].as_string(), "/tmp/cp.json");
+  EXPECT_DOUBLE_EQ(status["checkpoint"]["age_s"].as_double(), 1.5);
+  // The consume histogram made it in, with at least one exemplar naming a
+  // live session.
+  ASSERT_TRUE(status["consume_latency_us"].is_object());
+  EXPECT_GT(status["consume_latency_us"]["count"].as_int(), 0);
+  bool exemplar_found = false;
+  std::set<std::string> live;
+  for (const auto& s : status["sessions"].as_array()) live.insert(s["container"].as_string());
+  for (const auto& b : status["consume_latency_us"]["buckets"].as_array()) {
+    if (!b["exemplar"].is_object()) continue;
+    exemplar_found = true;
+    EXPECT_TRUE(live.count(b["exemplar"]["session"].as_string()));
+  }
+  EXPECT_TRUE(exemplar_found);
+
+  // The top renderer accepts it and shows the occupancy headline.
+  const std::string top = obs::render_top(status);
+  EXPECT_NE(top.find("open session"), std::string::npos);
+  EXPECT_NE(top.find("checkpoint: /tmp/cp.json"), std::string::npos);
+  online.close_all();
+}
+
+TEST(StatusExport, BuildStatusWithNullSourcesIsMinimal) {
+  const common::Json status = obs::build_status(obs::StatusContext{});
+  EXPECT_EQ(status["kind"].as_string(), "intellog_status");
+  EXPECT_TRUE(status["sessions"].as_array().empty());
+  EXPECT_TRUE(status["occupancy"].is_null());
+  EXPECT_TRUE(status["checkpoint"].is_null());
+}
+
+TEST(StatusExport, RenderTopRejectsNonStatusDocuments) {
+  EXPECT_THROW(obs::render_top(common::Json::object()), std::runtime_error);
+  EXPECT_THROW(obs::render_top(common::Json("x")), std::runtime_error);
+}
+
+TEST(StatusExport, WriteJsonAtomicLeavesNoTempFile) {
+  const auto dir = std::filesystem::temp_directory_path() / "intellog_status_test";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "status.json").string();
+  common::Json doc = common::Json::object();
+  doc["kind"] = "intellog_status";
+  obs::write_json_atomic(doc, path);
+  // Overwrite: the reader sees old-or-new, and no .tmp survives.
+  doc["generation"] = 2;
+  obs::write_json_atomic(doc, path);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  const common::Json back = common::Json::parse(text);
+  EXPECT_EQ(back["generation"].as_int(), 2);
+  std::filesystem::remove_all(dir);
+}

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <map>
+#include <string>
 #include <thread>
 
 #include "common/thread_pool.hpp"
@@ -139,6 +141,129 @@ TEST(MetricsRegistry, PrometheusTextFormat) {
   EXPECT_NE(text.find("latency_ms_bucket{le=\"10\"} 1"), std::string::npos);
   EXPECT_NE(text.find("latency_ms_bucket{le=\"+Inf\"} 2"), std::string::npos);
   EXPECT_NE(text.find("latency_ms_count 2"), std::string::npos);
+}
+
+TEST(PromEscape, EscapesExactlyBackslashQuoteNewline) {
+  EXPECT_EQ(obs::prom_escape("plain value"), "plain value");
+  EXPECT_EQ(obs::prom_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::prom_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(obs::prom_escape("two\nlines"), "two\\nlines");
+  // Other control-ish characters pass through untouched (the format only
+  // defines the three escapes).
+  EXPECT_EQ(obs::prom_escape("tab\there"), "tab\there");
+}
+
+namespace {
+
+/// Minimal exposition-format reader for round-trip checks: sample lines
+/// back into (name, labels, value). Mirrors the label-value unescaping a
+/// real scraper performs.
+std::map<std::string, std::string> parse_prom_samples(const std::string& text) {
+  std::map<std::string, std::string> samples;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t sp = line.rfind(' ');
+    EXPECT_NE(sp, std::string::npos) << line;
+    std::string series = line.substr(0, sp);
+    // Unescape label values back to raw strings.
+    std::string raw;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      if (series[i] == '\\' && i + 1 < series.size()) {
+        const char next = series[++i];
+        raw += next == 'n' ? '\n' : next;
+      } else {
+        raw += series[i];
+      }
+    }
+    samples[raw] = line.substr(sp + 1);
+  }
+  return samples;
+}
+
+}  // namespace
+
+TEST(MetricsRegistry, PrometheusLabelValuesRoundTrip) {
+  obs::MetricsRegistry reg;
+  const std::string hostile = "path\\to \"x\"\nend";
+  reg.counter("quarantine_total", {{"reason", hostile}}).add(3);
+  reg.gauge("g", {{"file", "a\\b.log"}}).set(1);
+  const std::string text = reg.to_prometheus();
+  // Escaped on the wire: no raw newline may survive inside a label value
+  // (every line must still be a well-formed sample or comment).
+  EXPECT_NE(text.find("reason=\"path\\\\to \\\"x\\\"\\nend\""), std::string::npos);
+  const auto samples = parse_prom_samples(text);
+  const auto hit = samples.find("quarantine_total{reason=\"" + hostile + "\"}");
+  ASSERT_NE(hit, samples.end());
+  EXPECT_EQ(hit->second, "3");
+  EXPECT_TRUE(samples.count("g{file=\"a\\b.log\"}"));
+}
+
+TEST(MetricsRegistry, HelpAndTypeEmittedOncePerFamily) {
+  obs::MetricsRegistry reg;
+  reg.describe("requests_total", "Requests by system; beware \\ and\nnewlines");
+  reg.counter("requests_total", {{"system", "spark"}}).add(1);
+  reg.counter("requests_total", {{"system", "tez"}}).add(1);
+  reg.counter("requests_total", {{"system", "mapreduce"}}).add(1);
+  const std::string text = reg.to_prometheus();
+  const auto count_of = [&text](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t at = text.find(needle); at != std::string::npos;
+         at = text.find(needle, at + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count_of("# HELP requests_total"), 1u);
+  EXPECT_EQ(count_of("# TYPE requests_total"), 1u);
+  // HELP precedes TYPE, which precedes the first sample.
+  EXPECT_LT(text.find("# HELP requests_total"), text.find("# TYPE requests_total"));
+  EXPECT_LT(text.find("# TYPE requests_total"), text.find("requests_total{"));
+  // HELP text escapes backslash and newline (never quoted, no quote escape).
+  EXPECT_NE(text.find("beware \\\\ and\\nnewlines"), std::string::npos);
+  // An undescribed family still gets its TYPE line, just no HELP.
+  reg.gauge("undocumented").set(1);
+  const std::string more = reg.to_prometheus();
+  EXPECT_NE(more.find("# TYPE undocumented gauge"), std::string::npos);
+  EXPECT_EQ(more.find("# HELP undocumented"), std::string::npos);
+}
+
+TEST(Histogram, ExemplarsTrackLatestObservationPerBucket) {
+  obs::Histogram h({1.0, 10.0});
+  EXPECT_FALSE(h.exemplar(0).has_value());
+  h.observe(0.5, "container_a");
+  h.observe(0.7, "container_b");  // same bucket: latest wins
+  h.observe(50.0, "container_slow");
+  ASSERT_TRUE(h.exemplar(0).has_value());
+  EXPECT_EQ(h.exemplar(0)->label, "container_b");
+  EXPECT_DOUBLE_EQ(h.exemplar(0)->value, 0.7);
+  EXPECT_FALSE(h.exemplar(1).has_value());
+  ASSERT_TRUE(h.exemplar(2).has_value());  // +Inf bucket
+  EXPECT_EQ(h.exemplar(2)->label, "container_slow");
+  // Exemplars never change the distribution itself.
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 51.2);
+  // Out-of-range index is a soft miss, not UB.
+  EXPECT_FALSE(h.exemplar(99).has_value());
+}
+
+TEST(MetricsRegistry, JsonSnapshotCarriesExemplars) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("consume_us", {}, {100.0});
+  h.observe(42.0, "container_7");
+  const common::Json j = reg.to_json();
+  const common::Json& hist = j["consume_us{}"];
+  ASSERT_TRUE(hist["exemplars"].is_array());
+  ASSERT_EQ(hist["exemplars"].size(), 1u);
+  EXPECT_EQ(hist["exemplars"][0]["label"].as_string(), "container_7");
+  EXPECT_DOUBLE_EQ(hist["exemplars"][0]["value"].as_double(), 42.0);
+  // A histogram without exemplars omits the key entirely.
+  reg.histogram("plain", {}, {1.0}).observe(0.5);
+  EXPECT_TRUE(reg.to_json()["plain{}"]["exemplars"].is_null());
 }
 
 TEST(GlobalRegistry, NullByDefaultAndInstallable) {

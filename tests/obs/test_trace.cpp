@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <memory>
 #include <set>
 #include <thread>
+#include <vector>
 
 using namespace intellog;
 
@@ -86,6 +89,59 @@ TEST(Trace, BoundedCollectorCountsDrops) {
   EXPECT_EQ(collector.dropped(), 3u);
   const common::Json j = collector.to_chrome_json();
   EXPECT_EQ(j["metadata"]["dropped_events"].as_int(), 3);
+}
+
+TEST(Trace, ConcurrentNestedSpansStayWellFormedPerThread) {
+  constexpr int kThreads = 8;
+  constexpr int kDepth = 5;
+  constexpr int kRepeats = 4;
+  obs::TraceCollector collector;
+  {
+    TracerGuard guard(collector);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([] {
+        // kRepeats chains of kDepth nested spans, closing inner-first.
+        for (int r = 0; r < kRepeats; ++r) {
+          std::vector<std::unique_ptr<obs::Span>> chain;
+          for (int d = 0; d < kDepth; ++d) {
+            chain.push_back(std::make_unique<obs::Span>("nested", "concurrency"));
+          }
+          while (!chain.empty()) chain.pop_back();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  ASSERT_EQ(collector.size(),
+            static_cast<std::size_t>(kThreads) * kDepth * kRepeats);
+  EXPECT_EQ(collector.dropped(), 0u);
+
+  // The concurrent writes still serialize to one valid JSON document.
+  const common::Json doc = common::Json::parse(collector.to_chrome_json().dump());
+  std::map<std::int64_t, std::vector<const common::Json*>> by_tid;
+  for (const auto& e : doc["traceEvents"].as_array()) {
+    EXPECT_EQ(e["ph"].as_string(), "X");
+    by_tid[e["tid"].as_int()].push_back(&e);
+  }
+  ASSERT_EQ(by_tid.size(), static_cast<std::size_t>(kThreads));
+  for (const auto& [tid, events] : by_tid) {
+    EXPECT_EQ(events.size(), static_cast<std::size_t>(kDepth) * kRepeats) << "tid " << tid;
+    // Per thread, events are appended in close order: depths cycle
+    // kDepth-1 .. 0 per chain (inner spans close first), and each span's
+    // begin/end pair encloses every deeper span of its chain.
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const auto depth = (*events[i])["args"]["depth"].as_int();
+      EXPECT_EQ(depth, kDepth - 1 - static_cast<std::int64_t>(i) % kDepth);
+      if (depth == 0) continue;
+      const auto ts = (*events[i])["ts"].as_int();
+      const auto end = ts + (*events[i])["dur"].as_int();
+      const auto& parent = *events[i + 1];  // next close is the enclosing span
+      EXPECT_EQ(parent["args"]["depth"].as_int(), depth - 1);
+      EXPECT_LE(parent["ts"].as_int(), ts);
+      EXPECT_GE(parent["ts"].as_int() + parent["dur"].as_int(), end);
+    }
+  }
 }
 
 TEST(Trace, ChromeJsonParsesAndHasDisplayUnit) {

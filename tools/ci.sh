@@ -8,6 +8,7 @@
 #   tools/ci.sh asan       # sanitizers only
 #   tools/ci.sh bench      # bench smoke only (builds Release if needed)
 #   tools/ci.sh chaos      # corrupted-stream soak under ASan (3 seeds)
+#   tools/ci.sh observatory # end-to-end trace-export/explain/status checks
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -70,7 +71,69 @@ if ingest is not None:
         print("bench smoke: FAIL — hardened ingestion costs >20% on clean input",
               file=sys.stderr)
         sys.exit(1)
+# Workflow Observatory guard: evidence construction (on by default) must
+# stay within 5% of bare detection. Same order-alternated interleaved-pair
+# median as the ingest ratio, so the gate is stable against clock drift.
+evidence = fresh.get("extra", {}).get("evidence_overhead_ratio")
+if evidence is not None:
+    print(f"bench smoke: evidence-enabled detect at {evidence:.3f}x of evidence-disabled")
+    if evidence > 1.05:
+        print("bench smoke: FAIL — evidence construction costs >5% on the detect path",
+              file=sys.stderr)
+        sys.exit(1)
 PY
+}
+
+# Observatory smoke: a seeded end-to-end run through the CLI per system —
+# train on clean jobs, export the HW-graph span trees and validate them
+# with a strict parser (whole-file json.loads: trailing garbage is a
+# failure), require >= 1 lifespan span per entity-group track, detect a
+# faulty run and require every finding to carry evidence lines with
+# file/line/byte-offset provenance, round-trip the report through
+# `intellog explain`, and validate the --status-file snapshot schema.
+observatory_smoke() {
+  local dir="$repo/build-ci-release"
+  [[ -x "$dir/tools/intellog" ]] || run_config release -DCMAKE_BUILD_TYPE=Release
+  echo "==> [observatory] seeded export/explain/status validation"
+  local tmp sys rc
+  tmp="$(mktemp -d)"
+  for sys in spark mapreduce tez; do
+    "$dir/tools/loggen" "$tmp/$sys/train" --system "$sys" --jobs 3 --seed 7 >/dev/null
+    "$dir/tools/loggen" "$tmp/$sys/clean" --system "$sys" --jobs 1 --seed 99 >/dev/null
+    "$dir/tools/loggen" "$tmp/$sys/faulty" --system "$sys" --jobs 2 --seed 99 \
+        --fault network >/dev/null
+    "$dir/tools/intellog" train "$tmp/$sys/train" -o "$tmp/$sys/model.json" >/dev/null
+
+    "$dir/tools/intellog" export-trace "$tmp/$sys/clean" -m "$tmp/$sys/model.json" \
+        -o "$tmp/$sys/trace.json" --otlp "$tmp/$sys/otlp.json"
+
+    rc=0
+    "$dir/tools/intellog" detect "$tmp/$sys/faulty" -m "$tmp/$sys/model.json" --json \
+        > "$tmp/$sys/report.json" || rc=$?
+    [[ $rc -eq 0 || $rc -eq 3 ]] || {
+      echo "observatory smoke: FAIL — detect exited $rc for $sys" >&2; exit 1; }
+
+    # The explain round-trip re-renders the saved JSON report (exit 3 =
+    # anomalies explained; anything else is a failure).
+    rc=0
+    "$dir/tools/intellog" explain "$tmp/$sys/report.json" \
+        > "$tmp/$sys/explain.txt" || rc=$?
+    [[ $rc -eq 0 || $rc -eq 3 ]] || {
+      echo "observatory smoke: FAIL — explain exited $rc for $sys" >&2; exit 1; }
+
+    # Streaming run publishing a live status snapshot.
+    rc=0
+    "$dir/tools/intellog" detect "$tmp/$sys/clean" -m "$tmp/$sys/model.json" \
+        --status-file "$tmp/$sys/status.json" >/dev/null || rc=$?
+    [[ $rc -eq 0 || $rc -eq 3 ]] || {
+      echo "observatory smoke: FAIL — streaming detect exited $rc for $sys" >&2; exit 1; }
+    "$dir/tools/intellog" top "$tmp/$sys/status.json" >/dev/null
+
+    python3 "$repo/tools/validate_observatory.py" "$tmp/$sys" "$sys" || {
+      echo "observatory smoke: FAIL — schema validation for $sys" >&2; exit 1; }
+  done
+  rm -rf "$tmp"
+  echo "observatory smoke: OK (spark, mapreduce, tez)"
 }
 
 # Chaos smoke: the seeded log-stream corruptor + hardened-ingestion soak
@@ -113,9 +176,12 @@ case "$mode" in
   release|bench|all)
     bench_smoke
     ;;&
-  release|asan|bench|chaos|all) ;;
+  release|observatory|all)
+    observatory_smoke
+    ;;&
+  release|asan|bench|chaos|observatory|all) ;;
   *)
-    echo "usage: $0 [release|asan|bench|chaos|all]" >&2
+    echo "usage: $0 [release|asan|bench|chaos|observatory|all]" >&2
     exit 2
     ;;
 esac

@@ -9,11 +9,24 @@
 //   intellog quarantine <logdir> [--json]             lines the hardened
 //                                                     ingester refused
 //
+// Workflow Observatory commands:
+//   intellog export-trace <logdir> -m model [-o trace.json] [--otlp f]
+//       reconstructed HW-graph instances as span trees (Chrome trace /
+//       OTLP-style JSON) — load the trace in https://ui.perfetto.dev
+//   intellog explain <report.json|logdir> -m model [--json]
+//       expected-vs-observed diffs with raw-line provenance for every
+//       finding; accepts a saved `detect --json` report or a log dir
+//   intellog top <status.json>
+//       renders a --status-file snapshot (live streaming introspection)
+//
 // `detect --checkpoint <file>` switches to streaming mode: records feed an
 // OnlineDetector one by one, the detector state plus a stream cursor is
 // written to <file> every --checkpoint-every records (atomic rename), and
 // a restarted run resumes from the checkpoint instead of re-reporting
 // sessions it already finished. The checkpoint is removed on completion.
+// `--status-file <f>` and `--metrics-interval <sec>` also stream: the
+// detector publishes a status snapshot / metrics file periodically with
+// the same atomic-rename discipline as checkpoints.
 //
 // `train`, `detect` and `stats` accept `--metrics <file>` (snapshot of the
 // pipeline metrics registry; `.prom`/`.txt` -> Prometheus text, otherwise
@@ -29,11 +42,14 @@
 #include <memory>
 #include <string>
 
+#include "core/explain.hpp"
 #include "core/message_store.hpp"
 #include "core/model_io.hpp"
 #include "core/online.hpp"
 #include "core/query.hpp"
 #include "logparse/log_io.hpp"
+#include "obs/export/status.hpp"
+#include "obs/export/trace_export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -55,11 +71,20 @@ int usage() {
                "      expr: e.g. 'id.FETCHER=1 AND locality~host1', 'key=12 OR value>1000'\n"
                "  intellog quarantine <logdir> [--json] [--metrics <f>]\n"
                "      list lines the hardened ingester quarantined (exit 3 when any)\n"
+               "  intellog export-trace <logdir> -m <model.json> [-o <trace.json>] [--otlp <f>]\n"
+               "      export HW-graph instances as span trees (Chrome trace / OTLP JSON)\n"
+               "  intellog explain <report.json|logdir> -m <model.json> [--json]\n"
+               "      expected-vs-observed explanation with raw-line provenance per finding\n"
+               "  intellog top <status.json>\n"
+               "      render a --status-file snapshot\n"
                "  --jobs:    worker threads for batch detection (0 = hardware concurrency)\n"
                "  --metrics: write a metrics snapshot (.prom/.txt -> Prometheus text, else JSON)\n"
                "  --trace:   write Chrome trace-event JSON (open in Perfetto)\n"
                "  --checkpoint: stream records through the online detector, checkpointing\n"
-               "      state to <f> every N records (default 1000); resumes if <f> exists\n";
+               "      state to <f> every N records (default 1000); resumes if <f> exists\n"
+               "  --status-file <f>: (detect) publish a live status snapshot (atomic rename)\n"
+               "  --metrics-interval <sec>: (detect) flush --metrics/--status-file every\n"
+               "      <sec> seconds while streaming\n";
   return 2;
 }
 
@@ -67,6 +92,9 @@ struct Args {
   std::string command, logdir, model_path, output_path, query_text;
   std::string metrics_path, trace_path;
   std::string checkpoint_path;          ///< detect: streaming checkpoint file
+  std::string status_path;              ///< detect: live status snapshot file
+  std::string otlp_path;                ///< export-trace: OTLP JSON output
+  double metrics_interval_s = 0;        ///< detect: periodic flush period (0: off)
   std::size_t checkpoint_every = 1000;  ///< records between checkpoints
   std::size_t jobs = 1;  ///< batch-detect workers; 0 = hardware concurrency
   bool json = false, dot = false, critical_only = false;
@@ -161,6 +189,23 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.checkpoint_path = v;
+    } else if (a == "--status-file") {
+      const char* v = next();
+      if (!v) return false;
+      args.status_path = v;
+    } else if (a == "--otlp") {
+      const char* v = next();
+      if (!v) return false;
+      args.otlp_path = v;
+    } else if (a == "--metrics-interval") {
+      const char* v = next();
+      if (!v) return false;
+      try {
+        args.metrics_interval_s = std::stod(v);
+      } catch (const std::exception&) {
+        return false;
+      }
+      if (args.metrics_interval_s <= 0) return false;
     } else if (a == "--checkpoint-every") {
       const char* v = next();
       if (!v) return false;
@@ -236,7 +281,11 @@ void print_report_text(const core::AnomalyReport& report) {
 // checkpoint_file semantics), so a killed run resumes from the last
 // checkpoint instead of starting over or double-reporting.
 int cmd_detect_stream(const Args& args) {
-  ObsScope obs_scope(args, /*force_metrics=*/false);
+  // Status snapshots read the metrics registry, so streaming with
+  // introspection enabled forces one even without --metrics.
+  ObsScope obs_scope(args,
+                     /*force_metrics=*/!args.status_path.empty() || args.metrics_interval_s > 0);
+  const bool use_checkpoint = !args.checkpoint_path.empty();
   const core::IntelLog il = core::load_model_file(args.model_path);
   if (obs::MetricsRegistry* reg = obs::registry()) il.record_model_metrics(*reg);
   const auto ingest = logparse::read_log_directory_resilient(args.logdir);
@@ -247,7 +296,7 @@ int cmd_detect_stream(const Args& args) {
 
   std::uint64_t cursor = 0;
   std::unique_ptr<core::OnlineDetector> online;
-  if (std::filesystem::exists(args.checkpoint_path)) {
+  if (use_checkpoint && std::filesystem::exists(args.checkpoint_path)) {
     std::ifstream in(args.checkpoint_path);
     std::ostringstream buf;
     buf << in.rdbuf();
@@ -270,6 +319,7 @@ int cmd_detect_stream(const Args& args) {
     online = std::make_unique<core::OnlineDetector>(il, args.jobs);
   }
 
+  std::uint64_t last_checkpoint_ns = 0;
   const auto write_checkpoint = [&](std::uint64_t at) {
     common::Json wrapper = common::Json::object();
     wrapper["kind"] = "intellog_cli_checkpoint";
@@ -283,6 +333,38 @@ int cmd_detect_stream(const Args& args) {
     if (!out) throw std::runtime_error("short write on checkpoint " + tmp);
     out.close();
     std::filesystem::rename(tmp, args.checkpoint_path);
+    last_checkpoint_ns = obs::monotonic_ns();
+  };
+
+  // Live introspection (--status-file) and periodic metrics flushes
+  // (--metrics-interval): both publish with the checkpoint's atomic-rename
+  // discipline so a concurrent reader never sees a torn file.
+  const auto flush_status = [&](std::uint64_t at) {
+    if (args.status_path.empty()) return;
+    obs::StatusContext ctx;
+    ctx.detector = online.get();
+    ctx.registry = obs::registry();
+    ctx.checkpoint_path = args.checkpoint_path;
+    ctx.checkpoint_age_s =
+        last_checkpoint_ns == 0
+            ? -1.0
+            : static_cast<double>(obs::monotonic_ns() - last_checkpoint_ns) / 1e9;
+    ctx.cursor = static_cast<std::int64_t>(at);
+    obs::write_json_atomic(obs::build_status(ctx), args.status_path);
+  };
+  const auto flush_metrics = [&] {
+    if (args.metrics_path.empty()) return;
+    const obs::MetricsRegistry* reg = obs::registry();
+    if (!reg) return;
+    if (ends_with(args.metrics_path, ".prom") || ends_with(args.metrics_path, ".txt")) {
+      const std::string tmp = args.metrics_path + ".tmp";
+      std::ofstream out(tmp);
+      out << reg->to_prometheus();
+      out.flush();
+      if (out) std::filesystem::rename(tmp, args.metrics_path);
+    } else {
+      obs::write_json_atomic(reg->to_json(), args.metrics_path);
+    }
   };
 
   std::size_t anomalous = 0;
@@ -297,12 +379,26 @@ int cmd_detect_stream(const Args& args) {
     }
   };
 
+  const std::uint64_t interval_ns =
+      static_cast<std::uint64_t>(args.metrics_interval_s * 1e9);
+  std::uint64_t last_flush_ns = obs::monotonic_ns();
+
   std::uint64_t idx = 0;
   for (const auto& s : ingest.sessions) {
     for (const auto& rec : s.records) {
       if (idx++ < cursor) continue;  // consumed by a previous (killed) run
       online->consume(rec);
-      if (idx % args.checkpoint_every == 0) write_checkpoint(idx);
+      if (use_checkpoint && idx % args.checkpoint_every == 0) write_checkpoint(idx);
+      // Clock reads are amortized: the interval check runs every 256
+      // records, which at any realistic rate is far below the interval.
+      if (interval_ns != 0 && (idx & 0xFF) == 0) {
+        const std::uint64_t now = obs::monotonic_ns();
+        if (now - last_flush_ns >= interval_ns) {
+          flush_metrics();
+          flush_status(idx);
+          last_flush_ns = now;
+        }
+      }
     }
     // Session boundary: close if still open. A session finished AND closed
     // before the checkpoint was taken is absent from the restored state, so
@@ -310,20 +406,27 @@ int cmd_detect_stream(const Args& args) {
     if (const auto report = online->close_session(s.container_id)) handle(*report);
   }
   for (const auto& report : online->close_all()) handle(report);
+  flush_status(idx);  // final snapshot: zero open sessions, final counters
 
   if (args.json) {
     std::cout << reports.dump(2) << "\n";
   } else {
     std::cout << anomalous << " / " << ingest.sessions.size() << " sessions anomalous\n";
   }
-  std::error_code ec;
-  std::filesystem::remove(args.checkpoint_path, ec);  // complete: nothing to resume
+  if (use_checkpoint) {
+    std::error_code ec;
+    std::filesystem::remove(args.checkpoint_path, ec);  // complete: nothing to resume
+  }
   return anomalous > 0 ? 3 : 0;
 }
 
 int cmd_detect(const Args& args) {
   if (args.logdir.empty() || args.model_path.empty()) return usage();
-  if (!args.checkpoint_path.empty()) return cmd_detect_stream(args);
+  // Any of the streaming features routes through the online detector.
+  if (!args.checkpoint_path.empty() || !args.status_path.empty() ||
+      args.metrics_interval_s > 0) {
+    return cmd_detect_stream(args);
+  }
   ObsScope obs_scope(args, /*force_metrics=*/false);
   const core::IntelLog il = core::load_model_file(args.model_path);
   if (obs::MetricsRegistry* reg = obs::registry()) il.record_model_metrics(*reg);
@@ -535,6 +638,98 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
+// Workflow Observatory: HW-graph instances as span trees. The Chrome trace
+// goes to -o (stdout when omitted); --otlp adds the OTLP-style document.
+int cmd_export_trace(const Args& args) {
+  if (args.logdir.empty() || args.model_path.empty()) return usage();
+  const core::IntelLog il = core::load_model_file(args.model_path);
+  const auto sessions = logparse::read_log_directory(args.logdir);
+  if (sessions.empty()) {
+    std::cerr << "no parseable .log files found in " << args.logdir << "\n";
+    return 1;
+  }
+
+  const common::Json chrome = obs::hwgraph_chrome_trace(il, sessions);
+  if (args.output_path.empty()) {
+    std::cout << chrome.dump(2) << "\n";
+  } else {
+    obs::write_json_atomic(chrome, args.output_path);
+    std::cerr << "chrome trace (" << chrome["traceEvents"].size() << " events, "
+              << sessions.size() << " sessions) -> " << args.output_path << "\n";
+  }
+  if (!args.otlp_path.empty()) {
+    const common::Json otlp = obs::hwgraph_otlp_json(il, sessions);
+    obs::write_json_atomic(otlp, args.otlp_path);
+    std::cerr << "otlp trace -> " << args.otlp_path << "\n";
+  }
+  return 0;
+}
+
+// Workflow Observatory: renders every finding as an expected-vs-observed
+// diff backed by raw log lines with provenance. The positional argument is
+// either a saved `detect --json` report (round-trips without the logs) or
+// a log directory (detect runs first).
+int cmd_explain(const Args& args) {
+  if (args.logdir.empty()) return usage();
+
+  std::vector<core::AnomalyReport> reports;
+  if (std::filesystem::is_regular_file(args.logdir)) {
+    std::ifstream in(args.logdir);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const common::Json doc = common::Json::parse(buf.str());
+    if (doc.is_array()) {
+      for (const auto& j : doc.as_array()) reports.push_back(core::report_from_json(j));
+    } else {
+      reports.push_back(core::report_from_json(doc));
+    }
+  } else {
+    if (args.model_path.empty()) return usage();
+    const core::IntelLog il = core::load_model_file(args.model_path);
+    const auto sessions = logparse::read_log_directory(args.logdir);
+    for (auto& report : il.detect_batch(sessions, args.jobs)) {
+      if (report.anomalous()) reports.push_back(std::move(report));
+    }
+  }
+
+  std::size_t anomalous = 0;
+  if (args.json) {
+    common::Json arr = common::Json::array();
+    for (const auto& report : reports) {
+      if (!report.anomalous()) continue;
+      ++anomalous;
+      arr.push_back(report.to_json());
+    }
+    std::cout << arr.dump(2) << "\n";
+  } else {
+    bool first = true;
+    for (const auto& report : reports) {
+      const std::string text = core::render_explanation(report);
+      if (text.empty()) continue;
+      ++anomalous;
+      if (!first) std::cout << "\n";
+      first = false;
+      std::cout << text;
+    }
+    if (anomalous == 0) std::cout << "no anomalies to explain\n";
+  }
+  return anomalous > 0 ? 3 : 0;
+}
+
+// Workflow Observatory: one-shot renderer for a --status-file snapshot.
+int cmd_top(const Args& args) {
+  if (args.logdir.empty()) return usage();  // positional: the status file
+  std::ifstream in(args.logdir);
+  if (!in) {
+    std::cerr << "error: cannot read " << args.logdir << "\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::cout << obs::render_top(common::Json::parse(buf.str()));
+  return 0;
+}
+
 int cmd_query(const Args& args) {
   if (args.logdir.empty() || args.model_path.empty() || args.query_text.empty()) return usage();
   const core::IntelLog il = core::load_model_file(args.model_path);
@@ -577,6 +772,9 @@ int main(int argc, char** argv) {
     if (args.command == "keys") return cmd_keys(args);
     if (args.command == "query") return cmd_query(args);
     if (args.command == "quarantine") return cmd_quarantine(args);
+    if (args.command == "export-trace") return cmd_export_trace(args);
+    if (args.command == "explain") return cmd_explain(args);
+    if (args.command == "top") return cmd_top(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Strict schema validation for the Workflow Observatory CI stage.
+
+Validates the artifacts one observatory_smoke iteration produced in <dir>:
+  trace.json   Chrome trace-event export of the clean run
+  otlp.json    OTLP-style export of the same run
+  report.json  `intellog detect --json` output for the faulty run
+  status.json  `--status-file` snapshot from the streaming run
+
+"Strict" means: the whole file must be one JSON document (json.loads over
+the full text rejects trailing garbage), every entity-group track must
+carry at least one lifespan span, and every finding must prove itself with
+file/line/byte-offset evidence. Exits nonzero with a message on the first
+schema drift, so ci.sh fails loudly instead of shipping a broken exporter.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"validate_observatory: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_strict(path):
+    # read-then-loads: a concatenated or truncated document is an error,
+    # unlike stream parsers that stop at the first complete value.
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as e:
+        fail(f"{path}: not a single valid JSON document: {e}")
+
+
+def check_chrome_trace(path):
+    doc = load_strict(path)
+    if doc.get("displayTimeUnit") != "ms":
+        fail(f"{path}: missing displayTimeUnit")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: empty or missing traceEvents")
+    tracks = {}       # (pid, tid) -> thread_name
+    group_spans = {}  # (pid, tid) -> lifespan span count
+    sub_spans = 0
+    for e in events:
+        ph = e.get("ph")
+        if ph not in ("X", "i", "M"):
+            fail(f"{path}: unexpected phase {ph!r}")
+        key = (e.get("pid"), e.get("tid"))
+        if ph == "M":
+            if e.get("name") == "thread_name":
+                tracks[key] = e["args"]["name"]
+            continue
+        if not isinstance(e.get("ts"), (int, float)) or e["ts"] < 0:
+            fail(f"{path}: event without a valid ts: {e}")
+        if ph == "X":
+            if not isinstance(e.get("dur"), (int, float)) or e["dur"] < 1:
+                fail(f"{path}: complete event with dur < 1us: {e}")
+            if e.get("name", "").startswith("sub "):
+                sub_spans += 1
+            else:
+                group_spans[key] = group_spans.get(key, 0) + 1
+    if not tracks:
+        fail(f"{path}: no entity-group thread_name tracks")
+    for key, name in tracks.items():
+        if group_spans.get(key, 0) < 1:
+            fail(f"{path}: track {name!r} has no entity-group lifespan span")
+    if sub_spans == 0:
+        fail(f"{path}: no subroutine spans")
+    return len(tracks), sub_spans
+
+
+def check_otlp(path):
+    doc = load_strict(path)
+    resource_spans = doc.get("resourceSpans")
+    if not isinstance(resource_spans, list) or not resource_spans:
+        fail(f"{path}: empty or missing resourceSpans")
+    for rs in resource_spans:
+        span_ids, parents = set(), []
+        for ss in rs.get("scopeSpans", []):
+            for sp in ss.get("spans", []):
+                tid, sid = sp.get("traceId", ""), sp.get("spanId", "")
+                if len(tid) != 32 or len(sid) != 16:
+                    fail(f"{path}: malformed span ids {tid!r}/{sid!r}")
+                int(tid, 16), int(sid, 16)  # must be hex
+                span_ids.add(sid)
+                if "parentSpanId" in sp:
+                    parents.append(sp["parentSpanId"])
+                if int(sp["endTimeUnixNano"]) <= int(sp["startTimeUnixNano"]):
+                    fail(f"{path}: span {sp.get('name')!r} ends before it starts")
+        if not span_ids:
+            fail(f"{path}: resourceSpans entry with no spans")
+        for p in parents:
+            if p not in span_ids:
+                fail(f"{path}: dangling parentSpanId {p!r}")
+
+
+def check_report(path):
+    reports = load_strict(path)
+    if not isinstance(reports, list):
+        fail(f"{path}: detect --json must emit an array")
+    findings = 0
+    for report in reports:
+        for u in report.get("unexpected_messages", []):
+            findings += 1
+            check_evidence(path, u, f"unexpected@{u.get('record_index')}")
+        for issue in report.get("group_issues", []):
+            findings += 1
+            check_evidence(path, issue, f"{issue.get('kind')}:{issue.get('group')}")
+    return len(reports), findings
+
+
+def check_evidence(path, finding, label):
+    ev = finding.get("evidence")
+    if not isinstance(ev, dict):
+        fail(f"{path}: finding {label} has no evidence block")
+    lines = ev.get("lines")
+    if not isinstance(lines, list) or not lines:
+        fail(f"{path}: finding {label} has no evidence lines")
+    for line in lines:
+        for key in ("file", "line", "byte_offset", "content", "record_index"):
+            if key not in line:
+                fail(f"{path}: evidence line of {label} lacks {key!r}")
+        if not line["file"]:
+            fail(f"{path}: evidence line of {label} has an empty file")
+        # Sessions came off disk, so real provenance is required — a zero
+        # line number would mean the ingest path dropped it.
+        if line["line"] < 1:
+            fail(f"{path}: evidence line of {label} has line {line['line']}")
+        if line["byte_offset"] < 0:
+            fail(f"{path}: negative byte offset in {label}")
+
+
+def check_status(path):
+    doc = load_strict(path)
+    if doc.get("kind") != "intellog_status":
+        fail(f"{path}: kind != intellog_status")
+    for key, typ in (("sessions", list), ("occupancy", dict),
+                     ("counters", dict), ("gauges", dict)):
+        if not isinstance(doc.get(key), typ):
+            fail(f"{path}: missing or mistyped {key!r}")
+    occ = doc["occupancy"]
+    for key in ("open_sessions", "buffered_records", "pending_evicted"):
+        if not isinstance(occ.get(key), int):
+            fail(f"{path}: occupancy lacks {key!r}")
+    hist = doc.get("consume_latency_us")
+    if hist is not None:
+        if not isinstance(hist.get("buckets"), list) or not hist["buckets"]:
+            fail(f"{path}: consume_latency_us without buckets")
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail("usage: validate_observatory.py <artifact-dir> <system>")
+    d, system = sys.argv[1], sys.argv[2]
+    tracks, subs = check_chrome_trace(f"{d}/trace.json")
+    check_otlp(f"{d}/otlp.json")
+    reports, findings = check_report(f"{d}/report.json")
+    check_status(f"{d}/status.json")
+    if reports == 0:
+        fail(f"{d}: faulty {system} run produced no anomalous reports — "
+             "the evidence path was never exercised")
+    print(f"validate_observatory: {system} OK — {tracks} group tracks, "
+          f"{subs} subroutine spans, {reports} anomalous reports, "
+          f"{findings} evidence-backed findings")
+
+
+if __name__ == "__main__":
+    main()
