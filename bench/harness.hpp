@@ -17,6 +17,7 @@
 
 #include "core/intellog.hpp"
 #include "obs/metrics.hpp"
+#include "simsys/eval_workload.hpp"
 #include "simsys/workload.hpp"
 
 namespace intellog::bench {
@@ -46,13 +47,9 @@ inline core::IntelLog train_model(const std::string& system, int jobs, std::uint
   return il;
 }
 
-/// One detection-phase job with its ground truth.
-struct DetectionJob {
-  simsys::JobResult result;
-  bool injected = false;     ///< one of the three §6.4 problems was injected
-  bool borderline = false;   ///< borderline memory: a real perf issue (P/B)
-  simsys::ProblemKind kind = simsys::ProblemKind::None;
-};
+/// One detection-phase job with its ground truth (lives in simsys so that
+/// loggen --table6 and the scoring tests see the identical workload).
+using DetectionJob = simsys::DetectionJob;
 
 /// The Table-6 workload: per system, 5 configuration sets; per set, 3 jobs
 /// with injected problems (abort / network / node) and 3 without. Two of
@@ -60,45 +57,7 @@ struct DetectionJob {
 /// "(P/B)" unexpected-problem detections.
 inline std::vector<DetectionJob> detection_workload(const std::string& system,
                                                     std::uint64_t seed) {
-  simsys::ClusterSpec cluster;
-  simsys::WorkloadGenerator gen(system, seed);
-  std::vector<DetectionJob> out;
-  int clean_counter = 0;
-  for (int config = 0; config < 5; ++config) {
-    using simsys::ProblemKind;
-    for (const ProblemKind kind :
-         {ProblemKind::SessionAbort, ProblemKind::NetworkFailure, ProblemKind::NodeFailure}) {
-      DetectionJob dj;
-      dj.injected = true;
-      dj.kind = kind;
-      // The paper's injection tool triggers the problem *during* job
-      // execution; re-draw the trigger point / victim node until the fault
-      // actually disturbs at least one session (a node failing after the
-      // job finished is not an injected problem).
-      const simsys::JobSpec spec = gen.detection_job(config);
-      for (int attempt = 0; attempt < 8; ++attempt) {
-        const simsys::FaultPlan fault = gen.make_fault(kind, cluster);
-        dj.result = simsys::run_job(spec, cluster, fault);
-        if (!dj.result.affected_containers.empty()) break;
-      }
-      out.push_back(std::move(dj));
-    }
-    for (int clean = 0; clean < 3; ++clean) {
-      DetectionJob dj;
-      simsys::JobSpec spec = gen.detection_job(config);
-      // Two borderline-memory jobs across the 15 clean ones (§6.4's
-      // unexpected performance problems).
-      if (clean == 2 && (config == 1 || config == 3)) {
-        spec.container_memory_mb = static_cast<int>(spec.required_memory_mb() * 0.85);
-        dj.borderline = true;
-        ++clean_counter;
-      }
-      dj.result = simsys::run_job(spec, cluster);
-      out.push_back(std::move(dj));
-    }
-  }
-  (void)clean_counter;
-  return out;
+  return simsys::detection_workload(system, seed);
 }
 
 /// True if any session of the job raises an IntelLog anomaly report.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.hpp"
+#include "core/coverage.hpp"
 #include "core/explain.hpp"
 #include "obs/trace.hpp"
 
@@ -116,6 +117,7 @@ AnomalyReport AnomalyDetector::detect(const logparse::Session& session) const {
   std::map<std::string, std::vector<GroupMessage>> group_messages;
   std::set<std::string> groups_seen;
   const bool with_evidence = evidence_enabled();
+  CoverageLedger* const cov = coverage();
   // Spell key per record (-1: no match); labels the boundary records cited
   // as missing-group evidence. Filled from matches already computed.
   std::vector<int> record_keys(with_evidence ? session.records.size() : 0, -1);
@@ -126,6 +128,7 @@ AnomalyReport AnomalyDetector::detect(const logparse::Session& session) const {
     const logparse::LogRecord& rec = session.records[ri];
     const int key_id = spell_.match(rec.content);
     if (with_evidence) record_keys[ri] = key_id;
+    if (cov && key_id >= 0) cov->stamp_log_key(key_id);
     if (key_id < 0) {
       // Unexpected log message: run extraction on the fly (§4.2).
       UnexpectedMessage u;
@@ -173,6 +176,9 @@ AnomalyReport AnomalyDetector::detect(const logparse::Session& session) const {
 
   extract_span.close();
 
+  // An edge is exercised when both endpoint groups appeared this session.
+  if (cov) cov->stamp_edges(groups_seen);
+
   // HW-graph instance checks: missing groups, then subroutine structure.
   obs::Span check_span("detect/hwgraph_check", "detect");
   // Expected groups that never appeared -> erroneous HW-graph instance.
@@ -199,6 +205,7 @@ AnomalyReport AnomalyDetector::detect(const logparse::Session& session) const {
     if (model.empty()) continue;
     for (const auto& inst : partition_instances(messages)) {
       const auto check = model.check(inst);
+      if (cov) cov->stamp_subroutine(check.matched);
       if (check.ok()) continue;
       GroupIssue issue;
       issue.group = gname;

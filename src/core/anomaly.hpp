@@ -26,6 +26,8 @@
 
 namespace intellog::core {
 
+class CoverageLedger;
+
 /// One raw log line backing a finding, with ingest provenance: the file,
 /// 1-based line number and byte offset threaded through LogRecord by the
 /// (resilient) ingest path. line_no/byte_offset are 0 when the session
@@ -114,6 +116,17 @@ class AnomalyDetector {
   }
   bool evidence_enabled() const { return evidence_enabled_.load(std::memory_order_relaxed); }
 
+  /// Attaches a coverage ledger (Quality Observatory): detect() then
+  /// stamps every model component the session exercises — log keys it
+  /// matches, subroutines whose signature is checked, relations whose
+  /// endpoint groups both appear. nullptr detaches. Verdicts are unchanged
+  /// either way; thread-safe with concurrent detect() calls, but attach
+  /// before launching them (release/acquire pairing, not a full fence).
+  void set_coverage(CoverageLedger* ledger) {
+    coverage_.store(ledger, std::memory_order_release);
+  }
+  CoverageLedger* coverage() const { return coverage_.load(std::memory_order_acquire); }
+
  private:
   const logparse::Spell& spell_;
   const logparse::KvFilter& kv_;
@@ -123,6 +136,7 @@ class AnomalyDetector {
   const HwGraph& graph_;
   std::vector<std::string> expected_groups_;
   std::atomic<bool> evidence_enabled_{true};
+  std::atomic<CoverageLedger*> coverage_{nullptr};
 };
 
 }  // namespace intellog::core

@@ -65,17 +65,21 @@ IntelLog::IntelLog(IntelLog&& other) noexcept
       groups_(std::move(other.groups_)),
       graph_(std::move(other.graph_)),
       trained_(other.trained_) {
+  const bool coverage_attached = other.coverage_enabled();
+  coverage_ = std::move(other.coverage_);
   other.detector_.reset();
   other.trained_ = false;
   if (trained_) {
     detector_ = std::make_unique<AnomalyDetector>(spell_, kv_filter_, extractor_, intel_keys_,
                                                   groups_, graph_,
                                                   config_.expected_group_fraction);
+    if (coverage_attached) detector_->set_coverage(coverage_.get());
   }
 }
 
 IntelLog& IntelLog::operator=(IntelLog&& other) noexcept {
   if (this == &other) return *this;
+  const bool coverage_attached = other.coverage_enabled();
   detector_.reset();
   config_ = other.config_;
   extractor_ = std::move(other.extractor_);
@@ -85,6 +89,7 @@ IntelLog& IntelLog::operator=(IntelLog&& other) noexcept {
   samples_ = std::move(other.samples_);
   groups_ = std::move(other.groups_);
   graph_ = std::move(other.graph_);
+  coverage_ = std::move(other.coverage_);
   trained_ = other.trained_;
   other.detector_.reset();
   other.trained_ = false;
@@ -92,8 +97,19 @@ IntelLog& IntelLog::operator=(IntelLog&& other) noexcept {
     detector_ = std::make_unique<AnomalyDetector>(spell_, kv_filter_, extractor_, intel_keys_,
                                                   groups_, graph_,
                                                   config_.expected_group_fraction);
+    if (coverage_attached) detector_->set_coverage(coverage_.get());
   }
   return *this;
+}
+
+void IntelLog::set_coverage_enabled(bool enabled) const {
+  if (!detector_) return;
+  if (enabled) {
+    if (!coverage_) coverage_ = std::make_unique<CoverageLedger>(spell_, graph_);
+    detector_->set_coverage(coverage_.get());
+  } else {
+    detector_->set_coverage(nullptr);
+  }
 }
 
 const std::string& IntelLog::sample_message(int key_id) const {
@@ -329,6 +345,7 @@ std::vector<AnomalyReport> IntelLog::detect_batch(std::span<const logparse::Sess
     reg->counter("intellog_detect_batch_sessions_total").add(sessions.size());
     reg->counter("intellog_detect_batch_records_total").add(records);
     reg->gauge("intellog_detect_batch_shards").set(static_cast<std::int64_t>(shards));
+    if (coverage_enabled()) coverage_->record_metrics(*reg);
   }
   return reports;
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/anomaly.hpp"
+#include "core/coverage.hpp"
 #include "core/entity_grouping.hpp"
 #include "core/extraction.hpp"
 #include "core/hw_graph.hpp"
@@ -80,6 +81,18 @@ class IntelLog {
   }
   bool evidence_enabled() const { return detector_ && detector_->evidence_enabled(); }
 
+  /// Toggles the model coverage ledger (Quality Observatory). When on,
+  /// detect()/detect_batch() stamp per-component hit counters (log keys,
+  /// subroutines, HW-graph edges); totals are deterministic at any batch
+  /// width. Like the evidence flag, usable on a const (shared) model —
+  /// but attach before launching concurrent detects. The ledger is built
+  /// lazily from the trained model and keeps its counts across toggles;
+  /// no-op before train().
+  void set_coverage_enabled(bool enabled) const;
+  bool coverage_enabled() const { return detector_ && detector_->coverage() != nullptr; }
+  /// The ledger (nullptr until first enabled). Counts survive disabling.
+  const CoverageLedger* coverage() const { return coverage_.get(); }
+
   /// Converts a session's records into Intel Messages (for MessageStore
   /// queries and exports).
   std::vector<IntelMessage> to_intel_messages(const logparse::Session& session) const;
@@ -119,6 +132,10 @@ class IntelLog {
   EntityGroups groups_;
   HwGraph graph_;
   std::unique_ptr<AnomalyDetector> detector_;
+  /// Owned by the model, attached to the detector while enabled; mutable
+  /// for the same reason set_evidence_enabled is const — observability
+  /// toggles on a shared, logically-const model.
+  mutable std::unique_ptr<CoverageLedger> coverage_;
   bool trained_ = false;
 };
 

@@ -1,0 +1,178 @@
+#include "core/model_diff.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "core/coverage.hpp"
+
+namespace intellog::core {
+
+namespace {
+
+ClassDiff diff_sets(std::string name, const std::set<std::string>& a,
+                    const std::set<std::string>& b) {
+  ClassDiff diff;
+  diff.name = std::move(name);
+  std::set_difference(b.begin(), b.end(), a.begin(), a.end(), std::back_inserter(diff.added));
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(diff.removed));
+  std::vector<std::string> common;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(common));
+  diff.common = common.size();
+  return diff;
+}
+
+std::set<std::string> log_key_templates(const IntelLog& il) {
+  std::set<std::string> out;
+  for (const auto& key : il.spell().keys()) out.insert(common::join(key.tokens));
+  return out;
+}
+
+/// Constant tokens only — the de-wildcarded skeleton that survives Spell
+/// refinement (a token flipping to '*' changes the template, not this).
+std::string skeleton_of(const std::string& tmpl) {
+  std::string out;
+  for (const auto& tok : common::split_ws(tmpl)) {
+    if (tok == "*") continue;
+    if (!out.empty()) out += ' ';
+    out += tok;
+  }
+  return out;
+}
+
+std::set<std::string> intel_key_texts(const IntelLog& il) {
+  std::set<std::string> out;
+  for (const auto& [id, ik] : il.intel_keys()) {
+    (void)id;
+    out.insert(ik.key_text);
+  }
+  return out;
+}
+
+std::set<std::string> group_member_pairs(const IntelLog& il) {
+  std::set<std::string> out;
+  for (const auto& [gname, members] : il.entity_groups().groups) {
+    for (const auto& m : members) out.insert(gname + "/" + m);
+  }
+  return out;
+}
+
+std::set<std::string> subroutine_keys(const IntelLog& il) {
+  std::set<std::string> out;
+  for (const auto& [gname, node] : il.hw_graph().groups()) {
+    for (const auto& [sig, sub] : node.subroutines.subroutines()) {
+      (void)sub;
+      out.insert(subroutine_component_key(gname, sig));
+    }
+  }
+  return out;
+}
+
+std::set<std::string> edge_keys(const IntelLog& il) {
+  std::set<std::string> out;
+  for (const auto& [pair, rel] : il.hw_graph().relations()) {
+    out.insert(pair.first + " -" + std::string(to_string(rel)) + "-> " + pair.second);
+  }
+  return out;
+}
+
+common::Json string_array(const std::vector<std::string>& items) {
+  common::Json arr = common::Json::array();
+  for (const auto& s : items) arr.push_back(s);
+  return arr;
+}
+
+}  // namespace
+
+double ClassDiff::jaccard() const {
+  const std::size_t u = union_size();
+  return u == 0 ? 1.0 : static_cast<double>(common) / static_cast<double>(u);
+}
+
+common::Json ClassDiff::to_json() const {
+  common::Json j = common::Json::object();
+  j["added"] = string_array(added);
+  j["removed"] = string_array(removed);
+  j["common"] = common;
+  j["jaccard"] = jaccard();
+  j["drift"] = drift();
+  return j;
+}
+
+double ModelDiff::drift_score() const {
+  double weighted = 0.0;
+  std::size_t total = 0;
+  for (const ClassDiff* cls : {&log_keys, &intel_keys, &group_members, &subroutines, &edges}) {
+    weighted += static_cast<double>(cls->union_size()) * cls->drift();
+    total += cls->union_size();
+  }
+  return total == 0 ? 0.0 : weighted / static_cast<double>(total);
+}
+
+common::Json ModelDiff::to_json() const {
+  common::Json doc = common::Json::object();
+  doc["kind"] = "intellog_model_diff";
+  doc["schema_version"] = 1;
+  doc["drift_score"] = drift_score();
+  common::Json classes = common::Json::object();
+  for (const ClassDiff* cls : {&log_keys, &intel_keys, &group_members, &subroutines, &edges}) {
+    classes[cls->name] = cls->to_json();
+  }
+  doc["classes"] = std::move(classes);
+  common::Json refined = common::Json::array();
+  for (const auto& [a, b] : refined_keys) {
+    common::Json pair = common::Json::array();
+    pair.push_back(a);
+    pair.push_back(b);
+    refined.push_back(std::move(pair));
+  }
+  doc["refined_keys"] = std::move(refined);
+  return doc;
+}
+
+std::string ModelDiff::render_text() const {
+  std::ostringstream out;
+  out << "drift score: " << drift_score() << "\n";
+  for (const ClassDiff* cls : {&log_keys, &intel_keys, &group_members, &subroutines, &edges}) {
+    out << cls->name << ": " << cls->common << " common, " << cls->added.size() << " added, "
+        << cls->removed.size() << " removed (drift " << cls->drift() << ")\n";
+    for (const auto& s : cls->added) out << "  + " << s << "\n";
+    for (const auto& s : cls->removed) out << "  - " << s << "\n";
+  }
+  if (!refined_keys.empty()) {
+    out << "refined log keys (same skeleton, different wildcards):\n";
+    for (const auto& [a, b] : refined_keys) out << "  ~ " << a << " -> " << b << "\n";
+  }
+  return out.str();
+}
+
+ModelDiff diff_models(const IntelLog& a, const IntelLog& b) {
+  ModelDiff diff;
+  diff.log_keys = diff_sets("log_keys", log_key_templates(a), log_key_templates(b));
+  diff.intel_keys = diff_sets("intel_keys", intel_key_texts(a), intel_key_texts(b));
+  diff.group_members = diff_sets("group_members", group_member_pairs(a), group_member_pairs(b));
+  diff.subroutines = diff_sets("subroutines", subroutine_keys(a), subroutine_keys(b));
+  diff.edges = diff_sets("edges", edge_keys(a), edge_keys(b));
+
+  // Refined keys: a removed and an added template sharing a de-wildcarded
+  // skeleton are the same statement under different masking. Pair them in
+  // sorted order (both lists are sorted) for determinism.
+  std::map<std::string, std::vector<std::string>> removed_by_skeleton;
+  for (const auto& tmpl : diff.log_keys.removed) {
+    removed_by_skeleton[skeleton_of(tmpl)].push_back(tmpl);
+  }
+  std::map<std::string, std::size_t> used;
+  for (const auto& tmpl : diff.log_keys.added) {
+    const auto it = removed_by_skeleton.find(skeleton_of(tmpl));
+    if (it == removed_by_skeleton.end()) continue;
+    std::size_t& next = used[it->first];
+    if (next >= it->second.size()) continue;
+    diff.refined_keys.emplace_back(it->second[next++], tmpl);
+  }
+  return diff;
+}
+
+}  // namespace intellog::core

@@ -1,0 +1,67 @@
+// Structural model diffing (Quality Observatory).
+//
+// Two trained models — say, last week's and today's — differ in their
+// components: log keys appear, vanish, or get refined (same constant
+// skeleton, more/fewer wildcards), entity groups gain or lose members,
+// subroutines and HW-graph relations churn. `diff_models` compares
+// everything model_io persists, class by class, and condenses the churn
+// into one scalar drift score:
+//
+//   drift = sum_c |union_c| * (1 - Jaccard_c) / sum_c |union_c|
+//
+// i.e. the union-weighted average per-class Jaccard distance. Identical
+// models score exactly 0; disjoint models score 1. Weighting by union size
+// keeps a one-member class from swinging the score as hard as the
+// 800-edge relation set.
+//
+// Output (text and JSON) is deterministic: all component lists are sorted.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.hpp"
+#include "core/intellog.hpp"
+
+namespace intellog::core {
+
+/// Added/removed/common components of one class, by stable display name.
+struct ClassDiff {
+  std::string name;                 ///< "log_keys", "edges", ...
+  std::vector<std::string> added;   ///< in B only (sorted)
+  std::vector<std::string> removed; ///< in A only (sorted)
+  std::size_t common = 0;
+
+  std::size_t union_size() const { return added.size() + removed.size() + common; }
+  /// |A∩B| / |A∪B|; 1.0 for two empty sets (no churn in nothing).
+  double jaccard() const;
+  double drift() const { return 1.0 - jaccard(); }
+  common::Json to_json() const;
+};
+
+struct ModelDiff {
+  ClassDiff log_keys;       ///< identity: full template string
+  ClassDiff intel_keys;     ///< identity: key_text
+  ClassDiff group_members;  ///< identity: "group/member"
+  ClassDiff subroutines;    ///< identity: "group[sig,...]"
+  ClassDiff edges;          ///< identity: "a -rel-> b"
+  /// Log keys whose de-wildcarded skeleton matches across the two models
+  /// but whose template differs: (A's template, B's template) pairs. These
+  /// are the same underlying log statement seen with different variable
+  /// masking — refinement, not appearance/disappearance (they still count
+  /// in added/removed, and therefore in the drift score).
+  std::vector<std::pair<std::string, std::string>> refined_keys;
+
+  double drift_score() const;
+  /// {"kind": "intellog_model_diff", "drift_score": ..., "classes": {...},
+  ///  "refined_keys": [[a, b], ...]} — deterministic.
+  common::Json to_json() const;
+  /// Human-readable report (+ added, - removed, ~ refined).
+  std::string render_text() const;
+};
+
+/// Structural diff of two trained (or loaded) models.
+ModelDiff diff_models(const IntelLog& a, const IntelLog& b);
+
+}  // namespace intellog::core

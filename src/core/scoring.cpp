@@ -1,0 +1,259 @@
+#include "core/scoring.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace intellog::core {
+
+namespace {
+
+common::Json string_set(const std::set<std::string>& items) {
+  common::Json arr = common::Json::array();
+  for (const auto& s : items) arr.push_back(s);
+  return arr;
+}
+
+std::set<std::string> read_string_set(const common::Json& arr) {
+  std::set<std::string> out;
+  for (const auto& s : arr.as_array()) out.insert(s.as_string());
+  return out;
+}
+
+std::int64_t permille(double ratio) {
+  return static_cast<std::int64_t>(ratio * 1000.0 + 0.5);
+}
+
+double f_measure(double precision, double recall) {
+  const double sum = precision + recall;
+  return sum > 0 ? 2.0 * precision * recall / sum : 0.0;
+}
+
+}  // namespace
+
+common::Json Labels::to_json() const {
+  common::Json doc = common::Json::object();
+  doc["kind"] = "intellog_labels";
+  doc["schema_version"] = kLabelsSchemaVersion;
+  doc["system"] = system;
+  doc["seed"] = seed;
+  common::Json arr = common::Json::array();
+  for (const auto& job : jobs) {
+    common::Json j = common::Json::object();
+    j["name"] = job.name;
+    j["dir"] = job.dir;
+    j["fault"] = job.fault;
+    j["injected"] = job.injected;
+    j["borderline"] = job.borderline;
+    j["containers"] = string_set(job.containers);
+    j["affected"] = string_set(job.affected);
+    j["perf_affected"] = string_set(job.perf_affected);
+    arr.push_back(std::move(j));
+  }
+  doc["jobs"] = std::move(arr);
+  return doc;
+}
+
+Labels Labels::from_json(const common::Json& doc) {
+  if (!doc.is_object() || !doc.contains("kind") ||
+      doc["kind"].as_string() != "intellog_labels") {
+    throw std::runtime_error("not an intellog_labels document");
+  }
+  if (doc.contains("schema_version") &&
+      doc["schema_version"].as_int() > kLabelsSchemaVersion) {
+    throw std::runtime_error("unsupported labels schema_version " +
+                             std::to_string(doc["schema_version"].as_int()));
+  }
+  Labels labels;
+  labels.system = doc["system"].as_string();
+  labels.seed = static_cast<std::uint64_t>(doc["seed"].as_int());
+  for (const auto& j : doc["jobs"].as_array()) {
+    LabeledJob job;
+    job.name = j["name"].as_string();
+    job.dir = j["dir"].as_string();
+    job.fault = j["fault"].as_string();
+    job.injected = j["injected"].as_bool();
+    job.borderline = j["borderline"].as_bool();
+    job.containers = read_string_set(j["containers"]);
+    job.affected = read_string_set(j["affected"]);
+    job.perf_affected = read_string_set(j["perf_affected"]);
+    labels.jobs.push_back(std::move(job));
+  }
+  return labels;
+}
+
+double SystemScore::precision() const {
+  const std::size_t positives = detected + fp;
+  return positives == 0 ? 1.0
+                        : static_cast<double>(detected) / static_cast<double>(positives);
+}
+
+double SystemScore::recall() const {
+  return injected == 0 ? 1.0
+                       : static_cast<double>(detected) / static_cast<double>(injected);
+}
+
+double SystemScore::f1() const { return f_measure(precision(), recall()); }
+
+common::Json SystemScore::to_json() const {
+  common::Json j = common::Json::object();
+  j["system"] = system;
+  j["detected"] = detected;
+  j["false_positives"] = fp;
+  j["false_negatives"] = fn;
+  j["detected_borderline"] = pb;
+  j["injected_jobs"] = injected;
+  j["clean_jobs"] = clean;
+  j["borderline_jobs"] = borderline;
+  j["unmatched_containers"] = unmatched;
+  j["precision"] = precision();
+  j["recall"] = recall();
+  j["f1"] = f1();
+  return j;
+}
+
+SystemScore score_report(const Labels& labels, const common::Json& report) {
+  if (!report.is_array()) {
+    throw std::runtime_error("score expects a detect --json report (an array)");
+  }
+  SystemScore score;
+  score.system = labels.system;
+
+  // Every anomalous container, resolved to the job that owns it. Container
+  // ids are unique across jobs within one loggen run, so the first owner
+  // wins deterministically even if labels were hand-edited.
+  std::vector<bool> flagged(labels.jobs.size(), false);
+  for (const auto& r : report.as_array()) {
+    if (!r.is_object() || !r.contains("container")) continue;
+    const std::string& container = r["container"].as_string();
+    bool matched = false;
+    for (std::size_t i = 0; i < labels.jobs.size(); ++i) {
+      if (labels.jobs[i].containers.count(container)) {
+        flagged[i] = true;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) ++score.unmatched;
+  }
+
+  for (std::size_t i = 0; i < labels.jobs.size(); ++i) {
+    const LabeledJob& job = labels.jobs[i];
+    if (job.injected) {
+      ++score.injected;
+      (flagged[i] ? score.detected : score.fn)++;
+    } else if (job.borderline) {
+      ++score.borderline;
+      score.pb += flagged[i];  // a real (performance) problem, not a false alarm
+    } else {
+      ++score.clean;
+      score.fp += flagged[i];
+    }
+  }
+  return score;
+}
+
+std::size_t ScoreCard::detected() const {
+  std::size_t n = 0;
+  for (const auto& s : systems) n += s.detected;
+  return n;
+}
+
+std::size_t ScoreCard::fp() const {
+  std::size_t n = 0;
+  for (const auto& s : systems) n += s.fp;
+  return n;
+}
+
+std::size_t ScoreCard::fn() const {
+  std::size_t n = 0;
+  for (const auto& s : systems) n += s.fn;
+  return n;
+}
+
+std::size_t ScoreCard::injected() const {
+  std::size_t n = 0;
+  for (const auto& s : systems) n += s.injected;
+  return n;
+}
+
+double ScoreCard::precision() const {
+  const std::size_t positives = detected() + fp();
+  return positives == 0 ? 1.0
+                        : static_cast<double>(detected()) / static_cast<double>(positives);
+}
+
+double ScoreCard::recall() const {
+  return injected() == 0 ? 1.0
+                         : static_cast<double>(detected()) / static_cast<double>(injected());
+}
+
+double ScoreCard::f1() const { return f_measure(precision(), recall()); }
+
+common::Json ScoreCard::to_json() const {
+  common::Json doc = common::Json::object();
+  doc["kind"] = "intellog_score";
+  doc["schema_version"] = 1;
+  common::Json arr = common::Json::array();
+  for (const auto& s : systems) arr.push_back(s.to_json());
+  doc["systems"] = std::move(arr);
+  common::Json overall = common::Json::object();
+  overall["detected"] = detected();
+  overall["false_positives"] = fp();
+  overall["false_negatives"] = fn();
+  overall["injected_jobs"] = injected();
+  overall["precision"] = precision();
+  overall["recall"] = recall();
+  overall["f1"] = f1();
+  doc["overall"] = std::move(overall);
+  return doc;
+}
+
+std::string ScoreCard::render_text() const {
+  std::ostringstream out;
+  for (const auto& s : systems) {
+    out << s.system << ": " << s.detected << " / " << s.fp << " / " << s.fn << " / ("
+        << s.pb << ")  [D / FP / FN / (P,B)]  precision " << s.precision() << " recall "
+        << s.recall() << " f1 " << s.f1() << "\n";
+    if (s.unmatched > 0) {
+      out << "  warning: " << s.unmatched
+          << " anomalous container(s) matched no labeled job\n";
+    }
+  }
+  out << "overall: detected " << detected() << " / " << injected()
+      << " injected problems, precision " << precision() << ", recall " << recall()
+      << ", f1 " << f1() << "\n";
+  return out.str();
+}
+
+void ScoreCard::record_metrics(obs::MetricsRegistry& reg) const {
+  const auto set = [&reg](const std::string& name, const obs::Labels& labels,
+                          std::int64_t value, const std::string& help) {
+    reg.describe(name, help);
+    reg.gauge(name, labels).set(value);
+  };
+  for (const auto& s : systems) {
+    const obs::Labels labels = {{"system", s.system}};
+    set("intellog_score_detected", labels, static_cast<std::int64_t>(s.detected),
+        "Injected-problem jobs the report flagged (Table-6 D).");
+    set("intellog_score_false_positives", labels, static_cast<std::int64_t>(s.fp),
+        "Clean jobs the report flagged (Table-6 FP).");
+    set("intellog_score_false_negatives", labels, static_cast<std::int64_t>(s.fn),
+        "Injected-problem jobs the report missed (Table-6 FN).");
+    set("intellog_score_detected_borderline", labels, static_cast<std::int64_t>(s.pb),
+        "Borderline-memory jobs flagged — real perf problems, Table-6 (P/B).");
+    set("intellog_score_precision_permille", labels, permille(s.precision()),
+        "Scored precision, in permille (integer gauge).");
+    set("intellog_score_recall_permille", labels, permille(s.recall()),
+        "Scored recall, in permille (integer gauge).");
+    set("intellog_score_f1_permille", labels, permille(s.f1()),
+        "Scored F1, in permille (integer gauge).");
+  }
+  set("intellog_score_precision_permille", {}, permille(precision()),
+      "Overall scored precision across systems, in permille.");
+  set("intellog_score_recall_permille", {}, permille(recall()),
+      "Overall scored recall across systems, in permille.");
+  set("intellog_score_f1_permille", {}, permille(f1()),
+      "Overall scored F1 across systems, in permille.");
+}
+
+}  // namespace intellog::core

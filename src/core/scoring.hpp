@@ -1,0 +1,109 @@
+// Ground-truth scoring (Quality Observatory).
+//
+// Table 6 of the paper reports detection accuracy as jobs detected / false
+// positives / false negatives against *injected* problems, with borderline
+// -memory jobs counted separately as real (performance) problems, not
+// false alarms. Until now that accounting lived only inside the
+// bench_table6_anomaly binary. This module promotes it to a library:
+//
+//   - `Labels` is the ground-truth sidecar `loggen --labels` emits — per
+//     job, whether a problem was injected and which containers belong to
+//     (and were disturbed by) it, straight from the simsys JobResult.
+//   - `score_report` replays the bench accounting over a `detect --json`
+//     report: a job counts as flagged when any anomalous session's
+//     container belongs to it.
+//
+// Scores are exact integer tallies; precision = D/(D+FP), recall = D/I,
+// F1 their harmonic mean. `record_metrics` exports the tallies as gauges
+// plus permille ratios (the registry's Gauge is integer-valued).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace intellog::core {
+
+/// Ground truth for one generated job.
+struct LabeledJob {
+  std::string name;   ///< job spec name (e.g. "wordcount")
+  std::string dir;    ///< directory its session logs were written to
+  std::string fault;  ///< injected problem kind ("none" when clean)
+  bool injected = false;    ///< one of the §6.4 problems was injected
+  bool borderline = false;  ///< borderline memory: a real perf issue (P/B)
+  std::set<std::string> containers;     ///< every container id of the job
+  std::set<std::string> affected;       ///< containers the fault disturbed
+  std::set<std::string> perf_affected;  ///< disturbed by perf issues/bugs
+};
+
+/// The `loggen --labels` sidecar: one system's generated workload with
+/// per-job ground truth.
+struct Labels {
+  std::string system;
+  std::uint64_t seed = 0;
+  std::vector<LabeledJob> jobs;
+
+  /// {"kind": "intellog_labels", "schema_version": 1, ...} — deterministic.
+  common::Json to_json() const;
+  /// Throws std::runtime_error on wrong kind / unsupported schema_version.
+  static Labels from_json(const common::Json& doc);
+};
+
+inline constexpr std::int64_t kLabelsSchemaVersion = 1;
+
+/// Table-6 accounting for one system: job-level tallies plus the derived
+/// ratios. Denominators come from the labels, numerators from the report.
+struct SystemScore {
+  std::string system;
+  std::size_t detected = 0;  ///< injected jobs flagged (D)
+  std::size_t fp = 0;        ///< clean jobs flagged (FP)
+  std::size_t fn = 0;        ///< injected jobs missed (FN)
+  std::size_t pb = 0;        ///< borderline jobs flagged — (P/B), not FP
+  std::size_t injected = 0;    ///< injected jobs in the workload
+  std::size_t clean = 0;       ///< clean (non-borderline) jobs
+  std::size_t borderline = 0;  ///< borderline-memory jobs
+  /// Anomalous containers in the report that belong to no labeled job —
+  /// a labels/report mismatch worth surfacing, but not an FP.
+  std::size_t unmatched = 0;
+
+  /// D / (D + FP); 1.0 when the report flags nothing at all.
+  double precision() const;
+  /// D / injected; 1.0 when nothing was injected.
+  double recall() const;
+  double f1() const;
+  common::Json to_json() const;
+};
+
+/// Scores a `detect --json` report (array of anomaly reports, each with a
+/// "container" field) against the ground truth. A job is flagged when any
+/// of its containers appears in the report — the same job-level rule
+/// bench_table6_anomaly applies with in-memory sessions.
+SystemScore score_report(const Labels& labels, const common::Json& report);
+
+/// Aggregation over systems (one `SystemScore` per scored report). With a
+/// single system the overall numbers equal that system's.
+struct ScoreCard {
+  std::vector<SystemScore> systems;
+
+  std::size_t detected() const;
+  std::size_t fp() const;
+  std::size_t fn() const;
+  std::size_t injected() const;
+  double precision() const;
+  double recall() const;
+  double f1() const;
+
+  /// {"kind": "intellog_score", "systems": [...], "overall": {...}}.
+  common::Json to_json() const;
+  std::string render_text() const;
+  /// Gauges: intellog_score_{detected,false_positives,false_negatives,
+  /// detected_borderline}{system=...} plus permille precision/recall/f1
+  /// per system and label-free overall.
+  void record_metrics(obs::MetricsRegistry& reg) const;
+};
+
+}  // namespace intellog::core

@@ -118,6 +118,7 @@ SubroutineModel::InstanceCheck SubroutineModel::check(
     return out;
   }
   const Subroutine& sub = it->second;
+  out.matched = &sub;
   const std::set<int> keys = inst.key_set();
   for (const int k : sub.critical) {
     if (!keys.count(k)) out.missing_critical.push_back(k);

@@ -64,6 +64,11 @@ class SubroutineModel {
   /// Detection: issues found in one instance against the learned model.
   struct InstanceCheck {
     bool known_signature = true;
+    /// The trained subroutine the instance matched (null when the
+    /// signature is unknown). Points into subroutines(); stable for the
+    /// model's lifetime — lets callers reuse the lookup check() already
+    /// paid for (e.g. coverage stamping) instead of repeating it.
+    const Subroutine* matched = nullptr;
     std::vector<int> missing_critical;  ///< critical keys absent
     std::vector<int> unknown_keys;      ///< keys never seen in this signature
     /// Learned BEFORE orders observed inverted (only reported for

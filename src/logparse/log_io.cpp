@@ -90,7 +90,13 @@ std::vector<Session> read_log_directory(const std::string& dir, std::string_view
   std::vector<Session> sessions;
   for (const auto& p : sorted_log_paths(dir)) {
     Session s = read_session_file(p, system);
-    if (!s.records.empty()) sessions.push_back(std::move(s));
+    // A zero-byte .log file is a real observation — a container that died
+    // before emitting a single line (e.g. a session abort at startup) —
+    // and detection must see it as an empty session. Files with content
+    // that parsed to nothing are junk and stay skipped.
+    std::error_code ec;
+    const bool empty_file = fs::file_size(p, ec) == 0 && !ec;
+    if (!s.records.empty() || empty_file) sessions.push_back(std::move(s));
   }
   return sessions;
 }
@@ -154,7 +160,13 @@ IngestReport read_log_directory_resilient(const std::string& dir, std::string_vi
       if (report.quarantined.size() >= options.max_quarantined) break;
       report.quarantined.push_back(std::move(q));
     }
-    if (!one.session.records.empty()) report.sessions.push_back(std::move(one.session));
+    // Zero-byte files surface as empty sessions (see read_log_directory):
+    // a container that never logged is detection signal, not junk.
+    std::error_code fec;
+    const bool empty_file = fs::file_size(p, fec) == 0 && !fec;
+    if (!one.session.records.empty() || empty_file) {
+      report.sessions.push_back(std::move(one.session));
+    }
   }
 
   if (obs::MetricsRegistry* reg = obs::registry()) {

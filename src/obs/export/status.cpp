@@ -20,6 +20,7 @@ std::string fmt_double(double v) {
 common::Json build_status(const StatusContext& ctx) {
   common::Json doc = common::Json::object();
   doc["kind"] = "intellog_status";
+  doc["schema_version"] = kStatusSchemaVersion;
 
   common::Json sessions = common::Json::array();
   if (ctx.detector) {
@@ -93,6 +94,7 @@ common::Json build_status(const StatusContext& ctx) {
     doc["checkpoint"] = std::move(cp);
   }
   if (!ctx.cursor.is_null()) doc["cursor"] = ctx.cursor;
+  if (ctx.alerts) doc["alerts"] = ctx.alerts->to_json();
   return doc;
 }
 
@@ -114,6 +116,15 @@ std::string render_top(const common::Json& status) {
     throw std::runtime_error("render_top: not an intellog_status document");
   }
   std::string out;
+
+  // Unknown schema versions are a warning, not an error: an old `top`
+  // pointed at a newer writer still renders the fields it understands.
+  if (status["schema_version"].is_number() &&
+      status["schema_version"].as_int() != kStatusSchemaVersion) {
+    out += "warning: status schema_version " +
+           std::to_string(status["schema_version"].as_int()) + " (this reader expects " +
+           std::to_string(kStatusSchemaVersion) + "); rendering known fields only\n";
+  }
 
   const common::Json& occ = status["occupancy"];
   const auto occ_int = [&occ](const char* key) {
@@ -144,6 +155,25 @@ std::string render_top(const common::Json& status) {
              std::to_string(s["buffered_records"].as_int()) + " records  active " +
              std::to_string(s["first_seen_ms"].as_int()) + ".." +
              std::to_string(s["last_seen_ms"].as_int()) + " ms\n";
+    }
+  }
+
+  if (status["alerts"].is_array() && !status["alerts"].as_array().empty()) {
+    std::size_t firing = 0, pending = 0;
+    for (const common::Json& a : status["alerts"].as_array()) {
+      firing += a["firing"].is_bool() && a["firing"].as_bool();
+      pending += a["pending"].is_bool() && a["pending"].as_bool();
+    }
+    out += "alerts: " + std::to_string(firing) + " firing, " + std::to_string(pending) +
+           " pending, " + std::to_string(status["alerts"].as_array().size()) + " rule(s)\n";
+    for (const common::Json& a : status["alerts"].as_array()) {
+      const bool is_firing = a["firing"].is_bool() && a["firing"].as_bool();
+      const bool is_pending = a["pending"].is_bool() && a["pending"].as_bool();
+      if (!is_firing && !is_pending) continue;
+      out += std::string("  ") + (is_firing ? "FIRING " : "pending ") +
+             a["rule"].as_string();
+      if (a["description"].is_string()) out += "  " + a["description"].as_string();
+      out += "\n";
     }
   }
 

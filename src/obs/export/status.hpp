@@ -15,8 +15,14 @@
 #include "common/json.hpp"
 #include "core/online.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries/alerts.hpp"
 
 namespace intellog::obs {
+
+/// Version of the status-document layout. Bump when a field changes
+/// meaning or moves; readers (`intellog top`) warn on versions they do
+/// not recognise but still render what they can.
+inline constexpr std::int64_t kStatusSchemaVersion = 1;
 
 /// Everything a status snapshot draws from. All pointers optional: a null
 /// detector yields an empty sessions list, a null registry omits the
@@ -24,6 +30,7 @@ namespace intellog::obs {
 struct StatusContext {
   const core::OnlineDetector* detector = nullptr;
   const MetricsRegistry* registry = nullptr;
+  const ts::AlertEngine* alerts = nullptr;  ///< last evaluation, if alerting is on
   std::string checkpoint_path;     ///< empty: checkpointing disabled
   double checkpoint_age_s = -1.0;  ///< seconds since last write (<0: none yet)
   common::Json cursor;             ///< opaque stream cursor (null when n/a)

@@ -1,0 +1,263 @@
+#include "obs/timeseries/alerts.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace intellog::obs::ts {
+
+namespace {
+
+AlertRule::Kind kind_from(const std::string& s) {
+  if (s == "gauge_above") return AlertRule::Kind::GaugeAbove;
+  if (s == "gauge_below") return AlertRule::Kind::GaugeBelow;
+  if (s == "rate_above") return AlertRule::Kind::RateAbove;
+  if (s == "burn_rate") return AlertRule::Kind::BurnRate;
+  throw std::runtime_error("alert rule: unknown kind '" + s + "'");
+}
+
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string_view to_string(AlertRule::Kind kind) {
+  switch (kind) {
+    case AlertRule::Kind::GaugeAbove: return "gauge_above";
+    case AlertRule::Kind::GaugeBelow: return "gauge_below";
+    case AlertRule::Kind::RateAbove: return "rate_above";
+    case AlertRule::Kind::BurnRate: return "burn_rate";
+  }
+  return "unknown";
+}
+
+AlertRule AlertRule::from_json(const common::Json& j) {
+  if (!j.is_object()) throw std::runtime_error("alert rule: not a JSON object");
+  AlertRule rule;
+  if (!j["name"].is_string() || j["name"].as_string().empty()) {
+    throw std::runtime_error("alert rule: missing 'name'");
+  }
+  rule.name = j["name"].as_string();
+  if (!j["series"].is_string() || j["series"].as_string().empty()) {
+    throw std::runtime_error("alert rule '" + rule.name + "': missing 'series'");
+  }
+  rule.series = j["series"].as_string();
+  if (!j["kind"].is_string()) {
+    throw std::runtime_error("alert rule '" + rule.name + "': missing 'kind'");
+  }
+  rule.kind = kind_from(j["kind"].as_string());
+  if (!j["threshold"].is_number()) {
+    throw std::runtime_error("alert rule '" + rule.name + "': missing 'threshold'");
+  }
+  rule.threshold = j["threshold"].as_double();
+  if (j.contains("window_ms")) {
+    if (!j["window_ms"].is_number() || j["window_ms"].as_int() <= 0) {
+      throw std::runtime_error("alert rule '" + rule.name + "': bad 'window_ms'");
+    }
+    rule.window_ms = static_cast<std::uint64_t>(j["window_ms"].as_int());
+  }
+  if (j.contains("long_window_ms")) {
+    if (!j["long_window_ms"].is_number() || j["long_window_ms"].as_int() <= 0) {
+      throw std::runtime_error("alert rule '" + rule.name + "': bad 'long_window_ms'");
+    }
+    rule.long_window_ms = static_cast<std::uint64_t>(j["long_window_ms"].as_int());
+  }
+  if (rule.kind == Kind::BurnRate) {
+    if (rule.long_window_ms == 0) rule.long_window_ms = rule.window_ms * 10;
+    if (rule.long_window_ms <= rule.window_ms) {
+      throw std::runtime_error("alert rule '" + rule.name +
+                               "': burn_rate needs long_window_ms > window_ms");
+    }
+  }
+  if (j.contains("for_ms")) {
+    if (!j["for_ms"].is_number() || j["for_ms"].as_int() < 0) {
+      throw std::runtime_error("alert rule '" + rule.name + "': bad 'for_ms'");
+    }
+    rule.for_ms = static_cast<std::uint64_t>(j["for_ms"].as_int());
+  }
+  return rule;
+}
+
+common::Json AlertRule::to_json() const {
+  common::Json j = common::Json::object();
+  j["name"] = name;
+  j["series"] = series;
+  j["kind"] = std::string(to_string(kind));
+  j["threshold"] = threshold;
+  j["window_ms"] = static_cast<std::int64_t>(window_ms);
+  if (kind == Kind::BurnRate) j["long_window_ms"] = static_cast<std::int64_t>(long_window_ms);
+  j["for_ms"] = static_cast<std::int64_t>(for_ms);
+  return j;
+}
+
+common::Json Alert::to_json() const {
+  common::Json j = common::Json::object();
+  j["rule"] = rule;
+  j["series"] = series;
+  j["firing"] = firing;
+  j["pending"] = pending;
+  j["value"] = value;
+  j["threshold"] = threshold;
+  if (firing || pending) j["since_ms"] = static_cast<std::int64_t>(since_ms);
+  j["description"] = description;
+  return j;
+}
+
+void AlertEngine::add_rule(AlertRule rule) {
+  rules_.push_back(std::move(rule));
+  held_since_.clear();  // state is positional; re-seeded on next evaluate()
+  last_.clear();
+}
+
+std::vector<AlertRule> AlertEngine::default_rules() {
+  // Thresholds are deliberately conservative: these fire on clearly
+  // pathological streams (a quarantine burst, cap-triggered evictions,
+  // model drift showing up as unmatched keys), not on routine noise.
+  std::vector<AlertRule> rules;
+  {
+    AlertRule r;
+    r.name = "quarantine-burst";
+    r.series = "intellog_ingest_quarantined_total{}";
+    r.kind = AlertRule::Kind::RateAbove;
+    r.threshold = 5.0;  // > 5 quarantined lines/s sustained
+    r.window_ms = 30'000;
+    rules.push_back(std::move(r));
+  }
+  {
+    AlertRule r;
+    r.name = "session-evictions";
+    r.series = "intellog_online_sessions_closed_total{reason=\"evicted\"}";
+    r.kind = AlertRule::Kind::RateAbove;
+    r.threshold = 0.0;  // any cap-triggered eviction is an incident
+    r.window_ms = 60'000;
+    rules.push_back(std::move(r));
+  }
+  {
+    AlertRule r;
+    r.name = "unexpected-key-rate";
+    r.series = "intellog_online_unexpected_total{}";
+    r.kind = AlertRule::Kind::RateAbove;
+    r.threshold = 10.0;  // > 10 unmatched records/s: model no longer fits
+    r.window_ms = 30'000;
+    rules.push_back(std::move(r));
+  }
+  {
+    // Burn-rate style: unexpected findings accelerating vs their own
+    // recent baseline — drift that absolute thresholds miss on quiet
+    // streams.
+    AlertRule r;
+    r.name = "unexpected-key-burn";
+    r.series = "intellog_online_unexpected_total{}";
+    r.kind = AlertRule::Kind::BurnRate;
+    r.threshold = 4.0;  // short-window rate > 4x the long-window rate
+    r.window_ms = 30'000;
+    r.long_window_ms = 300'000;
+    rules.push_back(std::move(r));
+  }
+  {
+    AlertRule r;
+    r.name = "degraded-reports";
+    r.series = "intellog_online_degraded_reports_total{}";
+    r.kind = AlertRule::Kind::RateAbove;
+    r.threshold = 0.0;  // any degraded report means limits are biting
+    r.window_ms = 60'000;
+    rules.push_back(std::move(r));
+  }
+  return rules;
+}
+
+std::vector<AlertRule> AlertEngine::rules_from_json(const common::Json& doc) {
+  const common::Json* arr = &doc;
+  if (doc.is_object()) {
+    if (!doc["rules"].is_array()) {
+      throw std::runtime_error("alert rules: expected an array or {\"rules\": [...]}");
+    }
+    arr = &doc["rules"];
+  } else if (!doc.is_array()) {
+    throw std::runtime_error("alert rules: expected an array or {\"rules\": [...]}");
+  }
+  std::vector<AlertRule> rules;
+  for (const common::Json& j : arr->as_array()) rules.push_back(AlertRule::from_json(j));
+  return rules;
+}
+
+const std::vector<Alert>& AlertEngine::evaluate(const TimeSeriesStore& store,
+                                                std::uint64_t now_ms) {
+  if (held_since_.size() != rules_.size()) {
+    held_since_.assign(rules_.size(), std::nullopt);
+  }
+  last_.clear();
+  last_.reserve(rules_.size());
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const AlertRule& rule = rules_[i];
+    Alert alert;
+    alert.rule = rule.name;
+    alert.series = rule.series;
+    alert.threshold = rule.threshold;
+
+    std::optional<double> stat;
+    std::string stat_name;
+    switch (rule.kind) {
+      case AlertRule::Kind::GaugeAbove:
+      case AlertRule::Kind::GaugeBelow:
+        stat = store.avg(rule.series, now_ms, rule.window_ms);
+        stat_name = "avg";
+        break;
+      case AlertRule::Kind::RateAbove:
+        stat = store.rate_per_s(rule.series, now_ms, rule.window_ms);
+        stat_name = "rate/s";
+        break;
+      case AlertRule::Kind::BurnRate: {
+        const auto short_rate = store.rate_per_s(rule.series, now_ms, rule.window_ms);
+        const auto long_rate = store.rate_per_s(rule.series, now_ms, rule.long_window_ms);
+        // A zero long-run baseline makes any short-run activity an
+        // infinite burn; report the short rate against the threshold
+        // directly in that case (still "accelerating from nothing").
+        if (short_rate && long_rate) {
+          stat = *long_rate > 0 ? *short_rate / *long_rate
+                                : (*short_rate > 0 ? rule.threshold + 1.0 : 0.0);
+        }
+        stat_name = "burn";
+        break;
+      }
+    }
+
+    bool holds = false;
+    if (stat) {
+      alert.value = *stat;
+      holds = rule.kind == AlertRule::Kind::GaugeBelow ? *stat < rule.threshold
+                                                       : *stat > rule.threshold;
+    }
+    alert.description = stat_name + " " + fmt_double(alert.value) +
+                        (rule.kind == AlertRule::Kind::GaugeBelow ? " < " : " > ") +
+                        fmt_double(rule.threshold) + " on " + rule.series;
+
+    if (holds) {
+      if (!held_since_[i]) held_since_[i] = now_ms;
+      alert.since_ms = *held_since_[i];
+      const std::uint64_t held_for = now_ms - *held_since_[i];
+      alert.firing = held_for >= rule.for_ms;
+      alert.pending = !alert.firing;
+    } else {
+      held_since_[i] = std::nullopt;
+    }
+    last_.push_back(std::move(alert));
+  }
+  return last_;
+}
+
+std::size_t AlertEngine::firing_count() const {
+  std::size_t n = 0;
+  for (const Alert& a : last_) n += a.firing;
+  return n;
+}
+
+common::Json AlertEngine::to_json() const {
+  common::Json arr = common::Json::array();
+  for (const Alert& a : last_) arr.push_back(a.to_json());
+  return arr;
+}
+
+}  // namespace intellog::obs::ts

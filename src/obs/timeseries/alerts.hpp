@@ -1,0 +1,109 @@
+// Alert rules over windowed time-series telemetry.
+//
+// A rule names one series and a windowed condition; the engine evaluates
+// all rules against a TimeSeriesStore and keeps per-rule state so a
+// condition must hold for `for_ms` of stream time before the alert fires
+// (Prometheus' `for:` semantics — one noisy sample is not an incident).
+// Firing alerts land in the --status-file snapshot and the `intellog top`
+// view; they are observability, not control flow — nothing is throttled
+// or killed by an alert.
+//
+// Rule grammar (JSON, one object per rule; see DESIGN.md):
+//   {"name": "quarantine-burst",
+//    "series": "intellog_ingest_quarantined_total",
+//    "kind": "rate_above",            // gauge_above | gauge_below |
+//                                     // rate_above  | burn_rate
+//    "threshold": 5.0,                // units: value (gauge_*), value/s
+//                                     // (rate_above), short/long ratio
+//                                     // (burn_rate)
+//    "window_ms": 30000,              // evaluation window (short window
+//                                     // for burn_rate)
+//    "long_window_ms": 300000,        // burn_rate only
+//    "for_ms": 0}                     // condition must hold this long
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "obs/timeseries/timeseries.hpp"
+
+namespace intellog::obs::ts {
+
+struct AlertRule {
+  enum class Kind { GaugeAbove, GaugeBelow, RateAbove, BurnRate };
+
+  std::string name;    ///< stable rule id (shows up in status/top)
+  std::string series;  ///< registry JSON key ("name{label=\"v\"}")
+  Kind kind = Kind::GaugeAbove;
+  double threshold = 0.0;
+  std::uint64_t window_ms = 30'000;      ///< evaluation (short) window
+  std::uint64_t long_window_ms = 0;      ///< burn_rate baseline window
+  std::uint64_t for_ms = 0;              ///< hold time before firing
+
+  /// Parses one rule object; throws std::runtime_error naming the missing
+  /// or malformed field.
+  static AlertRule from_json(const common::Json& j);
+  common::Json to_json() const;
+};
+
+std::string_view to_string(AlertRule::Kind kind);
+
+/// One rule's evaluation result at a point in time.
+struct Alert {
+  std::string rule;
+  std::string series;
+  bool firing = false;
+  bool pending = false;       ///< condition holds, for_ms not yet elapsed
+  double value = 0.0;         ///< the observed statistic (0 when no data)
+  double threshold = 0.0;
+  std::uint64_t since_ms = 0; ///< when the condition started holding
+  std::string description;    ///< human-readable "<stat> <op> <threshold>"
+
+  common::Json to_json() const;
+};
+
+/// Evaluates rules against a store; stateful across evaluate() calls for
+/// `for_ms` tracking. Not thread-safe (one owner, the status-flush loop).
+class AlertEngine {
+ public:
+  AlertEngine() = default;
+  explicit AlertEngine(std::vector<AlertRule> rules) : rules_(std::move(rules)) {}
+
+  void add_rule(AlertRule rule);
+  const std::vector<AlertRule>& rules() const { return rules_; }
+
+  /// The stock self-monitoring rules wired into `intellog detect`
+  /// streaming mode: quarantine growth, cap-triggered session eviction,
+  /// unexpected-key (no-Intel-Key-match) rate, and degraded reports.
+  static std::vector<AlertRule> default_rules();
+
+  /// Parses a rules file: either a JSON array of rule objects or
+  /// {"rules": [...]}. Throws std::runtime_error on malformed input.
+  static std::vector<AlertRule> rules_from_json(const common::Json& doc);
+
+  /// Evaluates every rule at `now_ms`. Rules whose series has no data in
+  /// the window report not-firing with value 0 (absence of telemetry is
+  /// not an incident). Results are in rule order; the last evaluation is
+  /// retained for to_json().
+  const std::vector<Alert>& evaluate(const TimeSeriesStore& store, std::uint64_t now_ms);
+
+  /// Last evaluation's alerts (empty array before the first evaluate()).
+  const std::vector<Alert>& alerts() const { return last_; }
+  std::size_t firing_count() const;
+
+  /// JSON array of the last evaluation, every rule included (firing or
+  /// not) so a dashboard can show rule health, not just incidents.
+  common::Json to_json() const;
+
+ private:
+  std::vector<AlertRule> rules_;
+  std::vector<Alert> last_;
+  /// rule index -> stream time the condition started holding (nullopt:
+  /// condition currently false).
+  std::vector<std::optional<std::uint64_t>> held_since_;
+};
+
+}  // namespace intellog::obs::ts

@@ -1,0 +1,185 @@
+#include "obs/timeseries/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace intellog::obs::ts {
+
+RingSeries::RingSeries(std::size_t capacity) : buf_(std::max<std::size_t>(1, capacity)) {}
+
+void RingSeries::push(std::uint64_t t_ms, double value) {
+  buf_[head_] = Sample{t_ms, value};
+  head_ = (head_ + 1) % buf_.size();
+  if (size_ < buf_.size()) ++size_;
+}
+
+std::optional<Sample> RingSeries::latest() const {
+  if (size_ == 0) return std::nullopt;
+  return buf_[(head_ + buf_.size() - 1) % buf_.size()];
+}
+
+std::vector<Sample> RingSeries::window(std::uint64_t now_ms, std::uint64_t window_ms) const {
+  std::vector<Sample> out;
+  out.reserve(size_);
+  const std::uint64_t cutoff = window_ms == 0 || window_ms > now_ms ? 0 : now_ms - window_ms;
+  const std::size_t start = (head_ + buf_.size() - size_) % buf_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    const Sample& s = buf_[(start + i) % buf_.size()];
+    if (s.t_ms >= cutoff && s.t_ms <= now_ms) out.push_back(s);
+  }
+  return out;
+}
+
+std::optional<double> window_avg(const std::vector<Sample>& samples) {
+  if (samples.empty()) return std::nullopt;
+  double sum = 0;
+  for (const Sample& s : samples) sum += s.value;
+  return sum / static_cast<double>(samples.size());
+}
+
+std::optional<double> window_min(const std::vector<Sample>& samples) {
+  if (samples.empty()) return std::nullopt;
+  double m = samples.front().value;
+  for (const Sample& s : samples) m = std::min(m, s.value);
+  return m;
+}
+
+std::optional<double> window_max(const std::vector<Sample>& samples) {
+  if (samples.empty()) return std::nullopt;
+  double m = samples.front().value;
+  for (const Sample& s : samples) m = std::max(m, s.value);
+  return m;
+}
+
+std::optional<double> window_quantile(const std::vector<Sample>& samples, double q) {
+  if (samples.empty() || q < 0.0 || q > 1.0) return std::nullopt;
+  std::vector<double> values;
+  values.reserve(samples.size());
+  for (const Sample& s : samples) values.push_back(s.value);
+  std::sort(values.begin(), values.end());
+  // Nearest-rank: ceil(q * n), 1-based; q=0 -> first.
+  const std::size_t rank =
+      q == 0.0 ? 1
+               : static_cast<std::size_t>(
+                     std::ceil(q * static_cast<double>(values.size())));
+  return values[std::min(rank, values.size()) - 1];
+}
+
+std::optional<double> window_rate_per_s(const std::vector<Sample>& samples) {
+  if (samples.size() < 2) return std::nullopt;
+  const Sample& first = samples.front();
+  const Sample& last = samples.back();
+  if (last.t_ms <= first.t_ms) return std::nullopt;
+  const double delta = last.value - first.value;
+  const double dt_s = static_cast<double>(last.t_ms - first.t_ms) / 1000.0;
+  return delta < 0 ? 0.0 : delta / dt_s;  // negative = counter reset
+}
+
+TimeSeriesStore::TimeSeriesStore(std::size_t capacity_per_series)
+    : capacity_(std::max<std::size_t>(2, capacity_per_series)) {}
+
+void TimeSeriesStore::push(const std::string& series, std::uint64_t t_ms, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(series);
+  if (it == series_.end()) it = series_.emplace(series, RingSeries(capacity_)).first;
+  it->second.push(t_ms, value);
+}
+
+void TimeSeriesStore::observe_registry(const MetricsRegistry& reg, std::uint64_t t_ms) {
+  // The registry's JSON export is the canonical series naming (counter and
+  // gauge values are plain numbers; histograms expose their sample count
+  // as "<key>_count" so rate rules can watch observation volume).
+  const common::Json snapshot = reg.to_json();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, m] : snapshot.as_object()) {
+    if (!m.is_object() || !m["type"].is_string()) continue;
+    const std::string& type = m["type"].as_string();
+    std::string name = key;
+    double value = 0;
+    if (type == "counter" || type == "gauge") {
+      if (!m["value"].is_number()) continue;
+      value = m["value"].as_double();
+    } else if (type == "histogram") {
+      if (!m["count"].is_number()) continue;
+      name += "_count";
+      value = m["count"].as_double();
+    } else {
+      continue;
+    }
+    auto it = series_.find(name);
+    if (it == series_.end()) it = series_.emplace(name, RingSeries(capacity_)).first;
+    it->second.push(t_ms, value);
+  }
+}
+
+std::size_t TimeSeriesStore::series_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+std::vector<std::string> TimeSeriesStore::series_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, s] : series_) {
+    (void)s;
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::optional<Sample> TimeSeriesStore::latest(const std::string& series) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = series_.find(series);
+  return it == series_.end() ? std::nullopt : it->second.latest();
+}
+
+std::vector<Sample> TimeSeriesStore::window_locked(const std::string& series,
+                                                   std::uint64_t now_ms,
+                                                   std::uint64_t window_ms) const {
+  const auto it = series_.find(series);
+  if (it == series_.end()) return {};
+  return it->second.window(now_ms, window_ms);
+}
+
+std::optional<double> TimeSeriesStore::rate_per_s(const std::string& series,
+                                                  std::uint64_t now_ms,
+                                                  std::uint64_t window_ms) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return window_rate_per_s(window_locked(series, now_ms, window_ms));
+}
+
+std::optional<double> TimeSeriesStore::avg(const std::string& series, std::uint64_t now_ms,
+                                           std::uint64_t window_ms) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return window_avg(window_locked(series, now_ms, window_ms));
+}
+
+std::optional<double> TimeSeriesStore::quantile(const std::string& series, double q,
+                                                std::uint64_t now_ms,
+                                                std::uint64_t window_ms) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return window_quantile(window_locked(series, now_ms, window_ms), q);
+}
+
+common::Json TimeSeriesStore::to_json(std::uint64_t now_ms, std::uint64_t window_ms) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  common::Json doc = common::Json::object();
+  common::Json series = common::Json::object();
+  for (const auto& [name, ring] : series_) {
+    const std::vector<Sample> samples =
+        now_ms == 0 ? ring.window(UINT64_MAX, 0) : ring.window(now_ms, window_ms);
+    common::Json arr = common::Json::array();
+    for (const Sample& s : samples) {
+      common::Json pair = common::Json::array();
+      pair.push_back(static_cast<std::int64_t>(s.t_ms));
+      pair.push_back(s.value);
+      arr.push_back(std::move(pair));
+    }
+    series[name] = std::move(arr);
+  }
+  doc["series"] = std::move(series);
+  return doc;
+}
+
+}  // namespace intellog::obs::ts

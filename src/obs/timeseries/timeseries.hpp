@@ -1,0 +1,114 @@
+// Time-series telemetry: bounded ring-buffer series with windowed
+// aggregation (the Quality Observatory's memory of recent behaviour).
+//
+// The MetricsRegistry holds *current* values; alerting and drift analysis
+// need *recent history* — "how fast is the quarantine counter growing over
+// the last 30 s", "what was the p95 open-session count this minute". A
+// TimeSeriesStore keeps a fixed-capacity ring of (timestamp, value)
+// samples per series, fed by periodic observe_registry() snapshots of the
+// installed counters and gauges. Ingestion is O(1) per sample and never
+// allocates after a series' ring exists; memory is strictly bounded by
+// series_count * capacity.
+//
+// Series are keyed by the same "name{label=\"v\",...}" strings the
+// registry's JSON export uses, so a rule written against the JSON snapshot
+// addresses the same series here.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace intellog::obs::ts {
+
+/// One (time, value) observation.
+struct Sample {
+  std::uint64_t t_ms = 0;
+  double value = 0.0;
+};
+
+/// Fixed-capacity ring of samples in arrival order. Push is O(1); the
+/// oldest sample is overwritten once the ring is full.
+class RingSeries {
+ public:
+  explicit RingSeries(std::size_t capacity);
+
+  void push(std::uint64_t t_ms, double value);
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buf_.size(); }
+  bool empty() const { return size_ == 0; }
+
+  /// Latest sample (nullopt when empty).
+  std::optional<Sample> latest() const;
+
+  /// Samples with t_ms in [now_ms - window_ms, now_ms], oldest first.
+  /// window_ms == 0 returns every retained sample.
+  std::vector<Sample> window(std::uint64_t now_ms, std::uint64_t window_ms) const;
+
+ private:
+  std::vector<Sample> buf_;
+  std::size_t head_ = 0;  ///< next write position
+  std::size_t size_ = 0;
+};
+
+/// Windowed aggregates over a sample vector (shared by store queries and
+/// the alert engine). All return nullopt when the input cannot support the
+/// statistic (empty window; rate needs two samples spanning time).
+std::optional<double> window_avg(const std::vector<Sample>& samples);
+std::optional<double> window_min(const std::vector<Sample>& samples);
+std::optional<double> window_max(const std::vector<Sample>& samples);
+/// q in [0,1]; nearest-rank quantile over the window's values.
+std::optional<double> window_quantile(const std::vector<Sample>& samples, double q);
+/// Per-second growth between the first and last sample of the window —
+/// the counter-rate statistic. A negative delta (counter reset, e.g. a
+/// fresh registry) clamps to 0 rather than reporting a negative rate.
+std::optional<double> window_rate_per_s(const std::vector<Sample>& samples);
+
+/// Named ring-buffer series with windowed queries. Thread-safe: one mutex
+/// guards the map; snapshots happen at status-flush cadence (seconds), so
+/// the lock is cold — hot paths never touch the store.
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(std::size_t capacity_per_series = 512);
+
+  /// Appends one sample to `series` (created on first use).
+  void push(const std::string& series, std::uint64_t t_ms, double value);
+
+  /// Samples every counter and gauge of `reg` at time `t_ms`, keyed
+  /// exactly as the registry's JSON export keys them. Histograms
+  /// contribute their _count (as a counter-like series) so rate rules can
+  /// target them too.
+  void observe_registry(const MetricsRegistry& reg, std::uint64_t t_ms);
+
+  std::size_t series_count() const;
+  std::vector<std::string> series_names() const;
+  std::optional<Sample> latest(const std::string& series) const;
+
+  std::optional<double> rate_per_s(const std::string& series, std::uint64_t now_ms,
+                                   std::uint64_t window_ms) const;
+  std::optional<double> avg(const std::string& series, std::uint64_t now_ms,
+                            std::uint64_t window_ms) const;
+  std::optional<double> quantile(const std::string& series, double q, std::uint64_t now_ms,
+                                 std::uint64_t window_ms) const;
+
+  /// {"series": {name: [[t_ms, v], ...]}, ...} — oldest first, capped by
+  /// each ring's capacity. Deterministic (map order).
+  common::Json to_json(std::uint64_t now_ms = 0, std::uint64_t window_ms = 0) const;
+
+ private:
+  std::vector<Sample> window_locked(const std::string& series, std::uint64_t now_ms,
+                                    std::uint64_t window_ms) const;
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::map<std::string, RingSeries> series_;
+};
+
+}  // namespace intellog::obs::ts

@@ -1,0 +1,33 @@
+// The §6.4 evaluation workload (Table 6), shared between the bench
+// harness, loggen's --table6 mode, and the scoring tests.
+//
+// Per system: 5 configuration sets x 6 jobs — per set, one job per
+// injected problem kind (session abortion / network failure / node
+// failure) plus three fault-free jobs, two of which overall run with
+// borderline memory (the paper's "(P/B)" unexpected performance
+// problems). The workload is deterministic in (system, seed), so a
+// bench binary and a loggen-produced on-disk dataset built from the same
+// seed describe the same ground truth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simsys/workload.hpp"
+
+namespace intellog::simsys {
+
+/// One detection-phase job with its ground truth.
+struct DetectionJob {
+  JobResult result;
+  bool injected = false;    ///< one of the three §6.4 problems was injected
+  bool borderline = false;  ///< borderline memory: a real perf issue (P/B)
+  ProblemKind kind = ProblemKind::None;
+};
+
+/// The Table-6 workload for one system: 15 injected + 15 clean jobs.
+std::vector<DetectionJob> detection_workload(const std::string& system,
+                                             std::uint64_t seed);
+
+}  // namespace intellog::simsys

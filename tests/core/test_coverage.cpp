@@ -1,0 +1,158 @@
+// Model coverage ledger (Quality Observatory): component universe, hit
+// stamping, dead/stale reporting, and metrics export.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/coverage.hpp"
+#include "core/intellog.hpp"
+#include "obs/metrics.hpp"
+#include "simsys/workload.hpp"
+
+using namespace intellog;
+
+namespace {
+
+std::vector<logparse::Session> training_corpus(int jobs, std::uint64_t seed) {
+  simsys::ClusterSpec cluster;
+  simsys::WorkloadGenerator gen("spark", seed);
+  std::vector<logparse::Session> out;
+  for (int i = 0; i < jobs; ++i) {
+    simsys::JobResult job = simsys::run_job(gen.training_job(), cluster);
+    for (auto& s : job.sessions) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+class CoverageTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    il = new core::IntelLog();
+    il->train(training_corpus(6, 99));
+  }
+  static void TearDownTestSuite() {
+    delete il;
+    il = nullptr;
+  }
+  static core::IntelLog* il;
+};
+
+core::IntelLog* CoverageTest::il = nullptr;
+
+}  // namespace
+
+TEST_F(CoverageTest, UniverseMatchesTheModel) {
+  core::CoverageLedger ledger(il->spell(), il->hw_graph());
+  std::size_t subroutines = 0;
+  for (const auto& [name, node] : il->hw_graph().groups()) {
+    (void)name;
+    subroutines += node.subroutines.subroutines().size();
+  }
+  EXPECT_EQ(ledger.total_components(),
+            il->spell().size() + subroutines + il->hw_graph().relations().size());
+  EXPECT_EQ(ledger.hit_components(), 0u);
+  EXPECT_DOUBLE_EQ(ledger.coverage_ratio(), 0.0);
+}
+
+TEST_F(CoverageTest, StampsCountAndUnknownComponentsAreIgnored) {
+  core::CoverageLedger ledger(il->spell(), il->hw_graph());
+  const int key_id = il->spell().keys().front().id;
+  ledger.stamp_log_key(key_id);
+  ledger.stamp_log_key(key_id);
+  EXPECT_EQ(ledger.hit_components(), 1u);
+
+  // Unknown components (unseen key id, unlearned signature, absent edge)
+  // are silent no-ops, not new entries.
+  const std::size_t before = ledger.total_components();
+  ledger.stamp_log_key(123456);
+  ledger.stamp_subroutine("no-such-group", {"X"});
+  ledger.stamp_edge("nope", "also-nope");
+  EXPECT_EQ(ledger.total_components(), before);
+  EXPECT_EQ(ledger.hit_components(), 1u);
+
+  ledger.reset();
+  EXPECT_EQ(ledger.hit_components(), 0u);
+  EXPECT_EQ(ledger.total_components(), before);  // universe unchanged
+}
+
+TEST_F(CoverageTest, ReportNamesDeadComponentsAndCountsHits) {
+  core::CoverageLedger ledger(il->spell(), il->hw_graph());
+  const int key_id = il->spell().keys().front().id;
+  for (int i = 0; i < 3; ++i) ledger.stamp_log_key(key_id);
+
+  const common::Json report = ledger.to_json();
+  EXPECT_EQ(report["kind"].as_string(), "intellog_coverage");
+  const common::Json& keys = report["classes"]["log_keys"];
+  EXPECT_EQ(static_cast<std::size_t>(keys["total"].as_int()), il->spell().size());
+  EXPECT_EQ(keys["hit"].as_int(), 1);
+  EXPECT_EQ(keys["dead"].as_array().size(), il->spell().size() - 1);
+  // The hit component reports its count; everything in "dead" has zero.
+  bool found = false;
+  for (const auto& c : keys["components"].as_array()) {
+    if (c["hits"].as_int() == 3) found = true;
+  }
+  EXPECT_TRUE(found);
+  // Untouched classes are fully dead.
+  EXPECT_EQ(report["classes"]["edges"]["hit"].as_int(), 0);
+  EXPECT_EQ(report["classes"]["subroutines"]["hit"].as_int(), 0);
+}
+
+TEST_F(CoverageTest, StaleMeansFarBelowTheBusiestPeer) {
+  core::CoverageLedger ledger(il->spell(), il->hw_graph());
+  const auto& keys = il->spell().keys();
+  ASSERT_GE(keys.size(), 2u);
+  for (int i = 0; i < 1000; ++i) ledger.stamp_log_key(keys[0].id);
+  ledger.stamp_log_key(keys[1].id);  // 1 hit vs 1000: under the 5% bar
+
+  const common::Json report = ledger.to_json();
+  const common::Json& cls = report["classes"]["log_keys"];
+  ASSERT_EQ(cls["stale"].as_array().size(), 1u);
+  EXPECT_NE(cls["stale"].as_array()[0].as_string().find(std::to_string(keys[1].id)),
+            std::string::npos);
+}
+
+TEST_F(CoverageTest, DetectionStampsThroughTheFacadeToggle) {
+  il->set_coverage_enabled(true);
+  simsys::ClusterSpec cluster;
+  simsys::WorkloadGenerator gen("spark", 500);
+  const auto sessions = simsys::run_job(gen.detection_job(0), cluster).sessions;
+  (void)il->detect_batch(sessions, 2);
+  ASSERT_NE(il->coverage(), nullptr);
+  EXPECT_GT(il->coverage()->hit_components(), 0u);
+  EXPECT_GT(il->coverage()->coverage_ratio(), 0.0);
+
+  // Disabling stops stamping but keeps the counts readable.
+  il->set_coverage_enabled(false);
+  const std::size_t frozen = il->coverage()->hit_components();
+  (void)il->detect_batch(sessions, 1);
+  EXPECT_EQ(il->coverage()->hit_components(), frozen);
+}
+
+TEST_F(CoverageTest, MetricsExportIncludesPermilleRatio) {
+  core::CoverageLedger ledger(il->spell(), il->hw_graph());
+  const int key_id = il->spell().keys().front().id;
+  ledger.stamp_log_key(key_id);
+
+  obs::MetricsRegistry reg;
+  ledger.record_metrics(reg);
+  const obs::Gauge* ratio = reg.find_gauge("intellog_model_coverage_ratio");
+  ASSERT_NE(ratio, nullptr);
+  EXPECT_EQ(ratio->value(),
+            static_cast<std::int64_t>(ledger.coverage_ratio() * 1000.0 + 0.5));
+  const obs::Gauge* hit = reg.find_gauge("intellog_model_coverage_hit", {{"class", "log_keys"}});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->value(), 1);
+  const obs::Gauge* total =
+      reg.find_gauge("intellog_model_coverage_components", {{"class", "edges"}});
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->value(), static_cast<std::int64_t>(il->hw_graph().relations().size()));
+}
+
+TEST(CoverageLedgerEmpty, EmptyUniverseIsFullyCovered) {
+  logparse::Spell spell(1.7);
+  core::HwGraph graph;
+  core::CoverageLedger ledger(spell, graph);
+  EXPECT_EQ(ledger.total_components(), 0u);
+  EXPECT_DOUBLE_EQ(ledger.coverage_ratio(), 1.0);  // nothing to cover
+}

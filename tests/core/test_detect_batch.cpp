@@ -117,6 +117,42 @@ TEST_F(DetectBatch, RecordsShardMetrics) {
   EXPECT_EQ(sharded, sessions->size());
 }
 
+TEST_F(DetectBatch, CoverageLedgerOffKeepsReportsByteIdentical) {
+  // The ledger toggle must be observability-only: with it off (the
+  // default), reports match the seed behaviour byte for byte; with it on,
+  // verdict bytes are STILL identical — only the side ledger changes.
+  const auto baseline = serialize(il->detect_batch(*sessions, 2));
+  ASSERT_FALSE(il->coverage_enabled());
+
+  il->set_coverage_enabled(true);
+  const auto with_ledger = serialize(il->detect_batch(*sessions, 2));
+  il->set_coverage_enabled(false);
+  const auto after_disable = serialize(il->detect_batch(*sessions, 2));
+
+  EXPECT_EQ(with_ledger, baseline);
+  EXPECT_EQ(after_disable, baseline);
+}
+
+TEST_F(DetectBatch, CoverageTotalsAreDeterministicAcrossJobWidths) {
+  // Relaxed-atomic increments commute, so the ledger's totals (and its
+  // serialized report) must be identical at --jobs 1/2/8.
+  std::string want;
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    core::IntelLog fresh;
+    fresh.train(training_corpus("spark", 8, 71));
+    fresh.set_coverage_enabled(true);
+    (void)fresh.detect_batch(*sessions, jobs);
+    ASSERT_NE(fresh.coverage(), nullptr);
+    const std::string got = fresh.coverage()->to_json().dump();
+    if (want.empty()) {
+      want = got;
+      EXPECT_GT(fresh.coverage()->hit_components(), 0u);
+    } else {
+      EXPECT_EQ(got, want) << "jobs=" << jobs;
+    }
+  }
+}
+
 TEST_F(DetectBatch, OnlineDrainMatchesSerialDetector) {
   // The streaming detector's batched draining must report exactly what the
   // serial per-session path reports, in the same (container-id) order.

@@ -1,0 +1,112 @@
+// Structural model diffing: per-class churn, refined-key pairing, and the
+// scalar drift score (0 = identical, deterministic output).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/intellog.hpp"
+#include "core/model_diff.hpp"
+#include "core/model_io.hpp"
+#include "simsys/workload.hpp"
+
+using namespace intellog;
+
+namespace {
+
+std::vector<logparse::Session> training_corpus(const std::string& system, int jobs,
+                                               std::uint64_t seed) {
+  simsys::ClusterSpec cluster;
+  simsys::WorkloadGenerator gen(system, seed);
+  std::vector<logparse::Session> out;
+  for (int i = 0; i < jobs; ++i) {
+    simsys::JobResult job = simsys::run_job(gen.training_job(), cluster);
+    for (auto& s : job.sessions) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(ClassDiffTest, JaccardAndDrift) {
+  core::ClassDiff diff;
+  diff.name = "t";
+  diff.common = 3;
+  diff.added = {"x"};
+  diff.removed = {"y", "z"};
+  EXPECT_EQ(diff.union_size(), 6u);
+  EXPECT_DOUBLE_EQ(diff.jaccard(), 0.5);
+  EXPECT_DOUBLE_EQ(diff.drift(), 0.5);
+  // Two empty sets: no churn in nothing.
+  core::ClassDiff empty;
+  EXPECT_DOUBLE_EQ(empty.jaccard(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.drift(), 0.0);
+}
+
+TEST(ModelDiffTest, IdenticalTrainingsDriftExactlyZero) {
+  core::IntelLog a, b;
+  a.train(training_corpus("spark", 6, 42));
+  b.train(training_corpus("spark", 6, 42));
+  const core::ModelDiff diff = core::diff_models(a, b);
+  EXPECT_EQ(diff.drift_score(), 0.0);  // exactly, not approximately
+  for (const core::ClassDiff* cls : {&diff.log_keys, &diff.intel_keys, &diff.group_members,
+                                     &diff.subroutines, &diff.edges}) {
+    EXPECT_TRUE(cls->added.empty()) << cls->name;
+    EXPECT_TRUE(cls->removed.empty()) << cls->name;
+    EXPECT_GT(cls->common, 0u) << cls->name;
+  }
+  EXPECT_TRUE(diff.refined_keys.empty());
+  EXPECT_DOUBLE_EQ(diff.to_json()["drift_score"].as_double(), 0.0);
+}
+
+TEST(ModelDiffTest, SurvivesModelIoRoundTrip) {
+  // diff-model operates on persisted models: save -> load must still
+  // compare equal to the in-memory original.
+  core::IntelLog a;
+  a.train(training_corpus("spark", 6, 42));
+  core::IntelLog b = core::load_model(core::save_model(a));
+  EXPECT_EQ(core::diff_models(a, b).drift_score(), 0.0);
+}
+
+TEST(ModelDiffTest, DifferentSystemsDriftHard) {
+  core::IntelLog spark, tez;
+  spark.train(training_corpus("spark", 6, 42));
+  tez.train(training_corpus("tez", 6, 42));
+  const core::ModelDiff diff = core::diff_models(spark, tez);
+  EXPECT_GT(diff.drift_score(), 0.5);
+  EXPECT_LE(diff.drift_score(), 1.0);
+  EXPECT_FALSE(diff.log_keys.added.empty());
+  EXPECT_FALSE(diff.log_keys.removed.empty());
+}
+
+TEST(ModelDiffTest, DiffIsDirectionSensitiveButSymmetricInScore) {
+  core::IntelLog spark, tez;
+  spark.train(training_corpus("spark", 5, 7));
+  tez.train(training_corpus("tez", 5, 7));
+  const core::ModelDiff ab = core::diff_models(spark, tez);
+  const core::ModelDiff ba = core::diff_models(tez, spark);
+  EXPECT_DOUBLE_EQ(ab.drift_score(), ba.drift_score());
+  EXPECT_EQ(ab.log_keys.added, ba.log_keys.removed);
+  EXPECT_EQ(ab.log_keys.removed, ba.log_keys.added);
+}
+
+TEST(ModelDiffTest, OutputIsDeterministic) {
+  core::IntelLog spark, tez;
+  spark.train(training_corpus("spark", 5, 7));
+  tez.train(training_corpus("tez", 5, 7));
+  const core::ModelDiff first = core::diff_models(spark, tez);
+  const core::ModelDiff second = core::diff_models(spark, tez);
+  EXPECT_EQ(first.to_json().dump(), second.to_json().dump());
+  EXPECT_EQ(first.render_text(), second.render_text());
+}
+
+TEST(ModelDiffTest, MoreTrainingDataGrowsTheModelNotDisjointly) {
+  // 5 jobs vs the same 5 + 5 more: the larger model should mostly contain
+  // the smaller one — drift present but far from total.
+  core::IntelLog small, large;
+  small.train(training_corpus("spark", 5, 11));
+  large.train(training_corpus("spark", 10, 11));
+  const core::ModelDiff diff = core::diff_models(small, large);
+  EXPECT_GT(diff.log_keys.common, 0u);
+  EXPECT_LT(diff.drift_score(), 0.5);
+}

@@ -1,0 +1,232 @@
+// Ground-truth scoring (Quality Observatory): labels sidecar round trip,
+// Table-6 accounting semantics, and parity with the bench accounting.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/intellog.hpp"
+#include "core/scoring.hpp"
+#include "obs/metrics.hpp"
+#include "simsys/eval_workload.hpp"
+#include "simsys/workload.hpp"
+
+using namespace intellog;
+
+namespace {
+
+core::Labels two_job_labels() {
+  core::Labels labels;
+  labels.system = "spark";
+  labels.seed = 7;
+  core::LabeledJob faulty;
+  faulty.name = "wordcount";
+  faulty.dir = "job_0";
+  faulty.fault = "session-abort";
+  faulty.injected = true;
+  faulty.containers = {"c1", "c2"};
+  faulty.affected = {"c2"};
+  labels.jobs.push_back(faulty);
+  core::LabeledJob clean;
+  clean.name = "sort";
+  clean.dir = "job_1";
+  clean.fault = "none";
+  clean.containers = {"c3", "c4"};
+  labels.jobs.push_back(clean);
+  return labels;
+}
+
+common::Json report_flagging(const std::vector<std::string>& containers) {
+  common::Json arr = common::Json::array();
+  for (const auto& c : containers) {
+    common::Json r = common::Json::object();
+    r["container"] = c;
+    r["anomalous"] = true;
+    arr.push_back(std::move(r));
+  }
+  return arr;
+}
+
+}  // namespace
+
+TEST(LabelsTest, JsonRoundTrip) {
+  const core::Labels labels = two_job_labels();
+  const common::Json doc = labels.to_json();
+  EXPECT_EQ(doc["kind"].as_string(), "intellog_labels");
+  EXPECT_EQ(doc["schema_version"].as_int(), core::kLabelsSchemaVersion);
+  const core::Labels back = core::Labels::from_json(doc);
+  EXPECT_EQ(back.system, labels.system);
+  EXPECT_EQ(back.seed, labels.seed);
+  ASSERT_EQ(back.jobs.size(), 2u);
+  EXPECT_EQ(back.jobs[0].name, "wordcount");
+  EXPECT_TRUE(back.jobs[0].injected);
+  EXPECT_EQ(back.jobs[0].containers, (std::set<std::string>{"c1", "c2"}));
+  EXPECT_EQ(back.jobs[0].affected, (std::set<std::string>{"c2"}));
+  EXPECT_FALSE(back.jobs[1].injected);
+  // Serialization is deterministic.
+  EXPECT_EQ(doc.dump(), back.to_json().dump());
+}
+
+TEST(LabelsTest, RejectsForeignDocuments) {
+  common::Json doc = common::Json::object();
+  doc["kind"] = "something_else";
+  EXPECT_THROW(core::Labels::from_json(doc), std::runtime_error);
+  common::Json future = two_job_labels().to_json();
+  future["schema_version"] = core::kLabelsSchemaVersion + 1;
+  EXPECT_THROW(core::Labels::from_json(future), std::runtime_error);
+}
+
+TEST(ScoreReportTest, Table6Accounting) {
+  const core::Labels labels = two_job_labels();
+  // Injected job flagged via either of its containers -> detected.
+  core::SystemScore s = core::score_report(labels, report_flagging({"c2"}));
+  EXPECT_EQ(s.detected, 1u);
+  EXPECT_EQ(s.fp, 0u);
+  EXPECT_EQ(s.fn, 0u);
+  EXPECT_DOUBLE_EQ(s.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(s.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(s.f1(), 1.0);
+
+  // Nothing flagged: the injected job is a false negative; precision of an
+  // empty positive set is defined as 1.
+  s = core::score_report(labels, report_flagging({}));
+  EXPECT_EQ(s.detected, 0u);
+  EXPECT_EQ(s.fn, 1u);
+  EXPECT_DOUBLE_EQ(s.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(s.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(s.f1(), 0.0);
+
+  // Clean job flagged -> false positive; unknown container -> unmatched,
+  // never a false positive.
+  s = core::score_report(labels, report_flagging({"c3", "ghost"}));
+  EXPECT_EQ(s.detected, 0u);
+  EXPECT_EQ(s.fp, 1u);
+  EXPECT_EQ(s.unmatched, 1u);
+  EXPECT_DOUBLE_EQ(s.precision(), 0.0);
+}
+
+TEST(ScoreReportTest, BorderlineJobsAreNotFalseAlarms) {
+  core::Labels labels = two_job_labels();
+  labels.jobs[1].borderline = true;  // the clean job now ran borderline memory
+  const core::SystemScore s = core::score_report(labels, report_flagging({"c3"}));
+  EXPECT_EQ(s.fp, 0u);
+  EXPECT_EQ(s.pb, 1u);
+  EXPECT_EQ(s.borderline, 1u);
+  EXPECT_DOUBLE_EQ(s.precision(), 1.0);  // no positives counted against it
+}
+
+TEST(ScoreReportTest, RejectsNonArrayReports) {
+  EXPECT_THROW(core::score_report(two_job_labels(), common::Json::object()),
+               std::runtime_error);
+}
+
+TEST(ScoreCardTest, AggregatesAcrossSystemsLikeTheBench) {
+  core::ScoreCard card;
+  core::SystemScore a;
+  a.system = "spark";
+  a.detected = 13;
+  a.fp = 2;
+  a.fn = 2;
+  a.injected = 15;
+  core::SystemScore b;
+  b.system = "tez";
+  b.detected = 15;
+  b.fp = 1;
+  b.fn = 0;
+  b.injected = 15;
+  card.systems = {a, b};
+  EXPECT_EQ(card.detected(), 28u);
+  EXPECT_EQ(card.injected(), 30u);
+  // Summed numerators/denominators, exactly like bench_table6_anomaly's
+  // overall line — NOT an average of per-system ratios.
+  EXPECT_DOUBLE_EQ(card.precision(), 28.0 / 31.0);
+  EXPECT_DOUBLE_EQ(card.recall(), 28.0 / 30.0);
+  const common::Json doc = card.to_json();
+  EXPECT_EQ(doc["kind"].as_string(), "intellog_score");
+  EXPECT_EQ(doc["systems"].as_array().size(), 2u);
+  EXPECT_EQ(doc["overall"]["detected"].as_int(), 28);
+}
+
+TEST(ScoreCardTest, RecordMetricsExportsTalliesAndPermilleRatios) {
+  core::ScoreCard card;
+  core::SystemScore s;
+  s.system = "spark";
+  s.detected = 3;
+  s.fp = 1;
+  s.fn = 1;
+  s.injected = 4;
+  card.systems = {s};
+  obs::MetricsRegistry reg;
+  card.record_metrics(reg);
+  EXPECT_EQ(reg.find_gauge("intellog_score_detected", {{"system", "spark"}})->value(), 3);
+  EXPECT_EQ(reg.find_gauge("intellog_score_false_positives", {{"system", "spark"}})->value(),
+            1);
+  // precision 0.75 -> 750 permille, both per-system and overall (label-free).
+  EXPECT_EQ(
+      reg.find_gauge("intellog_score_precision_permille", {{"system", "spark"}})->value(),
+      750);
+  EXPECT_EQ(reg.find_gauge("intellog_score_precision_permille")->value(), 750);
+  EXPECT_EQ(reg.find_gauge("intellog_score_recall_permille")->value(), 750);
+}
+
+// The acceptance gate: score_report over a detect report of the Table-6
+// workload must reproduce the bench_table6_anomaly accounting — same
+// numerators, same denominators — for the same seed.
+TEST(ScoreParityTest, ReproducesBenchTable6Accounting) {
+  core::IntelLog il;
+  {
+    simsys::ClusterSpec cluster;
+    simsys::WorkloadGenerator gen("spark", 2024);
+    std::vector<logparse::Session> corpus;
+    for (int i = 0; i < 8; ++i) {
+      simsys::JobResult job = simsys::run_job(gen.training_job(), cluster);
+      for (auto& sess : job.sessions) corpus.push_back(std::move(sess));
+    }
+    il.train(corpus);
+  }
+  const auto workload = simsys::detection_workload("spark", 3030);
+  ASSERT_EQ(workload.size(), 30u);
+
+  // Bench-style accounting: a job is flagged when any session is anomalous.
+  std::size_t detected = 0, fp = 0, fn = 0, pb = 0;
+  common::Json report = common::Json::array();
+  core::Labels labels;
+  labels.system = "spark";
+  labels.seed = 3030;
+  for (const auto& dj : workload) {
+    bool flagged = false;
+    core::LabeledJob label;
+    label.name = dj.result.spec.name;
+    label.fault = simsys::to_string(dj.result.fault.kind);
+    label.injected = dj.injected;
+    label.borderline = dj.borderline;
+    for (const auto& sess : dj.result.sessions) {
+      label.containers.insert(sess.container_id);
+      const core::AnomalyReport r = il.detect(sess);
+      if (!r.anomalous()) continue;
+      flagged = true;
+      report.push_back(r.to_json());
+    }
+    label.affected = dj.result.affected_containers;
+    label.perf_affected = dj.result.perf_affected_containers;
+    labels.jobs.push_back(std::move(label));
+    if (dj.injected) {
+      (flagged ? detected : fn)++;
+    } else if (dj.borderline) {
+      pb += flagged;
+    } else {
+      fp += flagged;
+    }
+  }
+
+  const core::SystemScore score = core::score_report(labels, report);
+  EXPECT_EQ(score.detected, detected);
+  EXPECT_EQ(score.fp, fp);
+  EXPECT_EQ(score.fn, fn);
+  EXPECT_EQ(score.pb, pb);
+  EXPECT_EQ(score.injected, 15u);
+  EXPECT_EQ(score.unmatched, 0u);
+  EXPECT_DOUBLE_EQ(score.precision(),
+                   static_cast<double>(detected) / static_cast<double>(detected + fp));
+  EXPECT_DOUBLE_EQ(score.recall(), static_cast<double>(detected) / 15.0);
+}

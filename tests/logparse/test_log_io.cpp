@@ -91,6 +91,28 @@ TEST(LogIo, MixedFormatsAutoDetected) {
   EXPECT_EQ(back[1].records[0].content, "spark message");
 }
 
+TEST(LogIo, EmptyFilesSurfaceAsEmptySessions) {
+  // A zero-byte .log file is a container that died before logging a single
+  // line — real detection signal (the session-abort signature), not junk.
+  TempDir dir;
+  std::filesystem::create_directories(dir.path());
+  { std::ofstream empty(dir.path() + "/container_dead_01.log"); }
+  {
+    std::ofstream ok(dir.path() + "/container_live_02.log");
+    ok << "2019-06-01 01:02:03,000 INFO [main] x.Y: hadoop message\n";
+  }
+  const auto sessions = read_log_directory(dir.path());
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].container_id, "container_dead_01");
+  EXPECT_TRUE(sessions[0].records.empty());
+  EXPECT_EQ(sessions[1].container_id, "container_live_02");
+  EXPECT_EQ(sessions[1].records.size(), 1u);
+
+  const auto resilient = read_log_directory_resilient(dir.path());
+  ASSERT_EQ(resilient.sessions.size(), 2u);
+  EXPECT_TRUE(resilient.sessions[0].records.empty());
+}
+
 TEST(LogIo, UnparseableFilesSkipped) {
   TempDir dir;
   std::filesystem::create_directories(dir.path());

@@ -254,6 +254,53 @@ TEST(StatusExport, RenderTopRejectsNonStatusDocuments) {
   EXPECT_THROW(obs::render_top(common::Json("x")), std::runtime_error);
 }
 
+TEST(StatusExport, SnapshotsCarryTheSchemaVersion) {
+  const common::Json status = obs::build_status(obs::StatusContext{});
+  ASSERT_TRUE(status["schema_version"].is_number());
+  EXPECT_EQ(status["schema_version"].as_int(), obs::kStatusSchemaVersion);
+}
+
+TEST(StatusExport, RenderTopWarnsButRendersUnknownSchemaVersions) {
+  common::Json status = obs::build_status(obs::StatusContext{});
+  status["schema_version"] = obs::kStatusSchemaVersion + 41;
+  std::string top;
+  ASSERT_NO_THROW(top = obs::render_top(status));  // warn, never crash
+  EXPECT_NE(top.find("warning"), std::string::npos);
+  EXPECT_NE(top.find(std::to_string(obs::kStatusSchemaVersion + 41)), std::string::npos);
+  EXPECT_NE(top.find("open session"), std::string::npos);  // still rendered
+
+  // Current version (and legacy documents without the field): no warning.
+  EXPECT_EQ(obs::render_top(obs::build_status(obs::StatusContext{})).find("warning"),
+            std::string::npos);
+  common::Json legacy = obs::build_status(obs::StatusContext{});
+  legacy.as_object().erase("schema_version");
+  EXPECT_EQ(obs::render_top(legacy).find("warning"), std::string::npos);
+}
+
+TEST(StatusExport, AlertsLandInStatusAndTop) {
+  obs::ts::AlertRule rule;
+  rule.name = "test-rule";
+  rule.series = "c{}";
+  rule.kind = obs::ts::AlertRule::Kind::RateAbove;
+  rule.threshold = 1.0;
+  obs::ts::AlertEngine engine({rule});
+  obs::ts::TimeSeriesStore store;
+  store.push("c{}", 1000, 0);
+  store.push("c{}", 2000, 100);
+  engine.evaluate(store, 2000);
+
+  obs::StatusContext ctx;
+  ctx.alerts = &engine;
+  const common::Json status = obs::build_status(ctx);
+  ASSERT_TRUE(status["alerts"].is_array());
+  ASSERT_EQ(status["alerts"].as_array().size(), 1u);
+  EXPECT_TRUE(status["alerts"].as_array()[0]["firing"].as_bool());
+
+  const std::string top = obs::render_top(status);
+  EXPECT_NE(top.find("alerts: 1 firing"), std::string::npos);
+  EXPECT_NE(top.find("FIRING test-rule"), std::string::npos);
+}
+
 TEST(StatusExport, WriteJsonAtomicLeavesNoTempFile) {
   const auto dir = std::filesystem::temp_directory_path() / "intellog_status_test";
   std::filesystem::create_directories(dir);

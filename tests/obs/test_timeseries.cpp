@@ -1,0 +1,314 @@
+// Quality Observatory telemetry: ring-buffer time series, windowed
+// aggregates, registry sampling, and the alert-rules engine.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/timeseries/alerts.hpp"
+#include "obs/timeseries/timeseries.hpp"
+
+using namespace intellog;
+using obs::ts::Alert;
+using obs::ts::AlertEngine;
+using obs::ts::AlertRule;
+using obs::ts::RingSeries;
+using obs::ts::Sample;
+using obs::ts::TimeSeriesStore;
+
+TEST(RingSeriesTest, PushAndLatest) {
+  RingSeries ring(4);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.latest().has_value());
+  ring.push(100, 1.0);
+  ring.push(200, 2.0);
+  ASSERT_TRUE(ring.latest().has_value());
+  EXPECT_EQ(ring.latest()->t_ms, 200u);
+  EXPECT_DOUBLE_EQ(ring.latest()->value, 2.0);
+  EXPECT_EQ(ring.size(), 2u);
+}
+
+TEST(RingSeriesTest, OverwritesOldestAtCapacity) {
+  RingSeries ring(3);
+  for (int i = 0; i < 5; ++i) ring.push(100 * (i + 1), i);
+  EXPECT_EQ(ring.size(), 3u);
+  const auto all = ring.window(1000, 0);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all.front().t_ms, 300u);  // 100 and 200 were overwritten
+  EXPECT_EQ(all.back().t_ms, 500u);
+  EXPECT_DOUBLE_EQ(all.back().value, 4.0);
+}
+
+TEST(RingSeriesTest, WindowFiltersByTime) {
+  RingSeries ring(16);
+  for (int i = 1; i <= 10; ++i) ring.push(1000 * i, i);
+  const auto recent = ring.window(10'000, 3000);  // [7000, 10000]
+  ASSERT_EQ(recent.size(), 4u);
+  EXPECT_EQ(recent.front().t_ms, 7000u);
+  EXPECT_EQ(recent.back().t_ms, 10'000u);
+}
+
+TEST(WindowAggregateTest, AvgMinMax) {
+  const std::vector<Sample> s = {{1, 2.0}, {2, 8.0}, {3, 5.0}};
+  EXPECT_DOUBLE_EQ(*obs::ts::window_avg(s), 5.0);
+  EXPECT_DOUBLE_EQ(*obs::ts::window_min(s), 2.0);
+  EXPECT_DOUBLE_EQ(*obs::ts::window_max(s), 8.0);
+  EXPECT_FALSE(obs::ts::window_avg({}).has_value());
+}
+
+TEST(WindowAggregateTest, NearestRankQuantile) {
+  std::vector<Sample> s;
+  for (int i = 1; i <= 100; ++i) s.push_back({static_cast<std::uint64_t>(i), double(i)});
+  EXPECT_DOUBLE_EQ(*obs::ts::window_quantile(s, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(*obs::ts::window_quantile(s, 0.5), 50.0);
+  EXPECT_DOUBLE_EQ(*obs::ts::window_quantile(s, 0.95), 95.0);
+  EXPECT_DOUBLE_EQ(*obs::ts::window_quantile(s, 1.0), 100.0);
+  EXPECT_FALSE(obs::ts::window_quantile(s, 1.5).has_value());
+}
+
+TEST(WindowAggregateTest, RatePerSecond) {
+  // Counter grows by 30 over 3 s -> 10/s.
+  const std::vector<Sample> s = {{1000, 10.0}, {2000, 20.0}, {4000, 40.0}};
+  EXPECT_DOUBLE_EQ(*obs::ts::window_rate_per_s(s), 10.0);
+  // One sample cannot support a rate.
+  EXPECT_FALSE(obs::ts::window_rate_per_s({{1000, 10.0}}).has_value());
+  // Counter reset (fresh registry) clamps to zero, not negative.
+  EXPECT_DOUBLE_EQ(*obs::ts::window_rate_per_s({{1000, 50.0}, {2000, 3.0}}), 0.0);
+}
+
+TEST(TimeSeriesStoreTest, PushAndQuery) {
+  TimeSeriesStore store(8);
+  for (int i = 1; i <= 5; ++i) store.push("a{}", 1000 * i, 10.0 * i);
+  EXPECT_EQ(store.series_count(), 1u);
+  EXPECT_DOUBLE_EQ(*store.avg("a{}", 5000, 0), 30.0);
+  EXPECT_DOUBLE_EQ(*store.rate_per_s("a{}", 5000, 0), 10.0 / 1.0);
+  EXPECT_FALSE(store.avg("missing{}", 5000, 0).has_value());
+}
+
+TEST(TimeSeriesStoreTest, ObserveRegistryUsesJsonKeys) {
+  obs::MetricsRegistry reg;
+  reg.counter("demo_total").add(7);
+  reg.counter("demo_labeled_total", {{"reason", "idle"}}).add(3);
+  reg.gauge("demo_gauge").set(42);
+  reg.histogram("demo_us", {}, {1, 10, 100}).observe(5);
+
+  TimeSeriesStore store;
+  store.observe_registry(reg, 1000);
+  reg.counter("demo_total").add(5);
+  store.observe_registry(reg, 2000);
+
+  // Series keys match the registry's JSON export exactly.
+  EXPECT_DOUBLE_EQ(store.latest("demo_total{}")->value, 12.0);
+  EXPECT_DOUBLE_EQ(store.latest("demo_labeled_total{reason=\"idle\"}")->value, 3.0);
+  EXPECT_DOUBLE_EQ(store.latest("demo_gauge{}")->value, 42.0);
+  EXPECT_DOUBLE_EQ(store.latest("demo_us{}_count")->value, 1.0);
+  EXPECT_DOUBLE_EQ(*store.rate_per_s("demo_total{}", 2000, 0), 5.0);
+}
+
+TEST(TimeSeriesStoreTest, JsonDumpIsDeterministic) {
+  TimeSeriesStore store;
+  store.push("b{}", 2, 2.0);
+  store.push("a{}", 1, 1.0);
+  const common::Json doc = store.to_json();
+  ASSERT_TRUE(doc["series"].is_object());
+  const auto& obj = doc["series"].as_object();
+  ASSERT_EQ(obj.size(), 2u);
+  EXPECT_EQ(obj.begin()->first, "a{}");  // map-ordered
+  EXPECT_EQ(store.to_json().dump(), doc.dump());
+}
+
+TEST(AlertRuleTest, JsonRoundTrip) {
+  AlertRule rule;
+  rule.name = "r";
+  rule.series = "s{}";
+  rule.kind = AlertRule::Kind::BurnRate;
+  rule.threshold = 4.0;
+  rule.window_ms = 10'000;
+  rule.long_window_ms = 60'000;
+  rule.for_ms = 5000;
+  const AlertRule back = AlertRule::from_json(rule.to_json());
+  EXPECT_EQ(back.name, rule.name);
+  EXPECT_EQ(back.series, rule.series);
+  EXPECT_EQ(back.kind, rule.kind);
+  EXPECT_DOUBLE_EQ(back.threshold, rule.threshold);
+  EXPECT_EQ(back.window_ms, rule.window_ms);
+  EXPECT_EQ(back.long_window_ms, rule.long_window_ms);
+  EXPECT_EQ(back.for_ms, rule.for_ms);
+}
+
+TEST(AlertRuleTest, RejectsMalformedRules) {
+  EXPECT_THROW(AlertRule::from_json(common::Json::parse("[]")), std::runtime_error);
+  EXPECT_THROW(AlertRule::from_json(common::Json::parse(R"({"name":"x"})")),
+               std::runtime_error);
+  EXPECT_THROW(AlertRule::from_json(common::Json::parse(
+                   R"({"name":"x","series":"s{}","kind":"nope","threshold":1})")),
+               std::runtime_error);
+  // burn_rate with long window <= short window is contradictory.
+  EXPECT_THROW(
+      AlertRule::from_json(common::Json::parse(
+          R"({"name":"x","series":"s{}","kind":"burn_rate","threshold":1,)"
+          R"("window_ms":1000,"long_window_ms":1000})")),
+      std::runtime_error);
+}
+
+TEST(AlertRuleTest, RulesFromJsonAcceptsArrayOrWrapper) {
+  const char* rule = R"({"name":"x","series":"s{}","kind":"rate_above","threshold":1})";
+  EXPECT_EQ(AlertEngine::rules_from_json(
+                common::Json::parse(std::string("[") + rule + "]"))
+                .size(),
+            1u);
+  EXPECT_EQ(AlertEngine::rules_from_json(
+                common::Json::parse(std::string(R"({"rules":[)") + rule + "]}"))
+                .size(),
+            1u);
+  EXPECT_THROW(AlertEngine::rules_from_json(common::Json::parse("42")), std::runtime_error);
+}
+
+TEST(AlertEngineTest, RateAboveFiresAndClears) {
+  AlertRule rule;
+  rule.name = "hot";
+  rule.series = "c{}";
+  rule.kind = AlertRule::Kind::RateAbove;
+  rule.threshold = 5.0;  // fires above 5/s
+  rule.window_ms = 10'000;
+  AlertEngine engine({rule});
+
+  TimeSeriesStore store;
+  store.push("c{}", 1000, 0);
+  store.push("c{}", 2000, 100);  // 100/s
+  auto alerts = engine.evaluate(store, 2000);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_TRUE(alerts[0].firing);
+  EXPECT_FALSE(alerts[0].pending);
+  EXPECT_DOUBLE_EQ(alerts[0].value, 100.0);
+  EXPECT_EQ(engine.firing_count(), 1u);
+
+  // Counter goes quiet: rate inside the window drops to 0 -> clears.
+  store.push("c{}", 20'000, 100);
+  store.push("c{}", 25'000, 100);
+  alerts = engine.evaluate(store, 25'000);
+  EXPECT_FALSE(alerts[0].firing);
+  EXPECT_EQ(engine.firing_count(), 0u);
+}
+
+TEST(AlertEngineTest, NoDataMeansNotFiring) {
+  AlertRule rule;
+  rule.name = "quiet";
+  rule.series = "never_written{}";
+  rule.kind = AlertRule::Kind::GaugeAbove;
+  rule.threshold = 1.0;
+  AlertEngine engine({rule});
+  TimeSeriesStore store;
+  const auto& alerts = engine.evaluate(store, 1000);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_FALSE(alerts[0].firing);
+  EXPECT_FALSE(alerts[0].pending);
+  EXPECT_DOUBLE_EQ(alerts[0].value, 0.0);
+}
+
+TEST(AlertEngineTest, ForMsRequiresSustainedCondition) {
+  AlertRule rule;
+  rule.name = "sustained";
+  rule.series = "g{}";
+  rule.kind = AlertRule::Kind::GaugeAbove;
+  rule.threshold = 10.0;
+  rule.window_ms = 5000;
+  rule.for_ms = 3000;
+  AlertEngine engine({rule});
+
+  TimeSeriesStore store;
+  store.push("g{}", 1000, 50.0);
+  auto alerts = engine.evaluate(store, 1000);
+  EXPECT_TRUE(alerts[0].pending);  // condition holds, hold time not elapsed
+  EXPECT_FALSE(alerts[0].firing);
+
+  store.push("g{}", 4500, 50.0);
+  alerts = engine.evaluate(store, 4500);
+  EXPECT_TRUE(alerts[0].firing);  // held since 1000, 3500 >= for_ms
+  EXPECT_EQ(alerts[0].since_ms, 1000u);
+
+  // Condition breaks -> hold timer resets; re-raising starts pending again.
+  // (Evaluate at t=11000 so the 5 s window holds only the zero samples.)
+  store.push("g{}", 6000, 0.0);
+  store.push("g{}", 7000, 0.0);
+  alerts = engine.evaluate(store, 11'000);
+  EXPECT_FALSE(alerts[0].firing);
+  store.push("g{}", 20'000, 50.0);
+  alerts = engine.evaluate(store, 20'000);
+  EXPECT_TRUE(alerts[0].pending);
+  EXPECT_FALSE(alerts[0].firing);
+}
+
+TEST(AlertEngineTest, GaugeBelowFires) {
+  AlertRule rule;
+  rule.name = "low";
+  rule.series = "g{}";
+  rule.kind = AlertRule::Kind::GaugeBelow;
+  rule.threshold = 5.0;
+  AlertEngine engine({rule});
+  TimeSeriesStore store;
+  store.push("g{}", 1000, 2.0);
+  EXPECT_TRUE(engine.evaluate(store, 1000)[0].firing);
+  store.push("g{}", 40'000, 9.0);
+  EXPECT_FALSE(engine.evaluate(store, 40'000)[0].firing);
+}
+
+TEST(AlertEngineTest, BurnRateComparesShortToLongWindow) {
+  AlertRule rule;
+  rule.name = "burn";
+  rule.series = "c{}";
+  rule.kind = AlertRule::Kind::BurnRate;
+  rule.threshold = 3.0;  // short-window rate > 3x long-window rate
+  rule.window_ms = 10'000;
+  rule.long_window_ms = 100'000;
+  AlertEngine engine({rule});
+
+  TimeSeriesStore store;
+  // 90 s of slow growth (1/s), then a 10 s burst at 10/s.
+  double v = 0;
+  for (std::uint64_t t = 0; t <= 90'000; t += 10'000) {
+    store.push("c{}", t, v);
+    v += 10;  // 10 per 10 s = 1/s
+  }
+  v -= 10;
+  store.push("c{}", 95'000, v + 50);   // burst begins
+  store.push("c{}", 100'000, v + 100); // 100 over 10 s = 10/s short rate
+  const auto& alerts = engine.evaluate(store, 100'000);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_TRUE(alerts[0].firing);
+  EXPECT_GT(alerts[0].value, 3.0);
+}
+
+TEST(AlertEngineTest, DefaultRulesTargetRealSeries) {
+  const auto rules = AlertEngine::default_rules();
+  ASSERT_GE(rules.size(), 4u);
+  // Rules must address series by registry JSON key (always brace-suffixed).
+  for (const auto& r : rules) {
+    EXPECT_NE(r.series.find('{'), std::string::npos) << r.name;
+    EXPECT_FALSE(r.name.empty());
+  }
+  // The engine over an empty store evaluates them without firing.
+  AlertEngine engine(rules);
+  TimeSeriesStore store;
+  engine.evaluate(store, 1000);
+  EXPECT_EQ(engine.firing_count(), 0u);
+  EXPECT_EQ(engine.to_json().as_array().size(), rules.size());
+}
+
+TEST(AlertEngineTest, JsonIncludesEveryRule) {
+  AlertRule rule;
+  rule.name = "r";
+  rule.series = "s{}";
+  rule.kind = AlertRule::Kind::RateAbove;
+  rule.threshold = 1.0;
+  AlertEngine engine({rule});
+  TimeSeriesStore store;
+  engine.evaluate(store, 500);
+  const common::Json arr = engine.to_json();
+  ASSERT_TRUE(arr.is_array());
+  ASSERT_EQ(arr.as_array().size(), 1u);
+  EXPECT_EQ(arr.as_array()[0]["rule"].as_string(), "r");
+  EXPECT_FALSE(arr.as_array()[0]["firing"].as_bool());
+  EXPECT_TRUE(arr.as_array()[0]["description"].is_string());
+}

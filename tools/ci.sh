@@ -9,6 +9,7 @@
 #   tools/ci.sh bench      # bench smoke only (builds Release if needed)
 #   tools/ci.sh chaos      # corrupted-stream soak under ASan (3 seeds)
 #   tools/ci.sh observatory # end-to-end trace-export/explain/status checks
+#   tools/ci.sh quality    # seeded score round-trip, coverage + drift gates
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -30,10 +31,19 @@ run_config() {
 }
 
 # Bench smoke: run bench_micro_pipeline's harness section (the google
-# micro loops are filtered out for speed) and fail on a >30% drop in the
-# headline Spell-match throughput vs the committed BENCH_micro_pipeline.json
+# micro loops are filtered out for speed) and gate the fresh snapshot with
+# tools/compare_bench.py against the committed BENCH_micro_pipeline.json
 # baseline. Regenerate the baseline by copying the fresh JSON over the
-# committed one when a change legitimately moves the number.
+# committed one when a change legitimately moves the numbers.
+#
+# Gates (tolerances chosen for small/shared CI runners, where scheduling
+# noise alone moves ratios a few percent):
+#   throughput_per_s >= 0.70x baseline  headline Spell-match throughput
+#   ingest_resilient_ratio >= 0.80      hardened ingest vs plain parse
+#   evidence_overhead_ratio <= 1.05     evidence construction on detect
+#   coverage_overhead_ratio <= 1.05     coverage ledger stamping on detect
+# The overhead ratios are order-alternated interleaved-pair medians, so
+# they are self-relative and need no baseline entry to be meaningful.
 bench_smoke() {
   local dir="$repo/build-ci-release"
   [[ -x "$dir/bench/bench_micro_pipeline" ]] || run_config release -DCMAKE_BUILD_TYPE=Release
@@ -48,40 +58,11 @@ bench_smoke() {
     echo "bench smoke: no committed baseline at $baseline; skipping comparison"
     return 0
   fi
-  python3 - "$baseline" "$out/BENCH_micro_pipeline.json" <<'PY'
-import json, sys
-base = json.load(open(sys.argv[1]))
-fresh = json.load(open(sys.argv[2]))
-old, new = base["throughput_per_s"], fresh["throughput_per_s"]
-ratio = new / old if old else float("inf")
-print(f"bench smoke: spell match {new:,.0f} rec/s vs baseline {old:,.0f} rec/s "
-      f"({ratio:.2f}x)")
-if ratio < 0.70:
-    print("bench smoke: FAIL — >30% throughput regression", file=sys.stderr)
-    sys.exit(1)
-# Hardened-ingestion guard: the resilient parser targets ~10% overhead vs
-# the plain parser on clean input (order-alternated interleaved pairs,
-# median of per-pair ratios, so clock drift cancels out); the gate sits at
-# 20% to stay deterministic on small/shared CI runners where run-to-run
-# scheduling noise alone moves the ratio a few percent.
-ingest = fresh.get("extra", {}).get("ingest_resilient_ratio")
-if ingest is not None:
-    print(f"bench smoke: resilient ingest at {ingest:.2f}x of plain parse on clean input")
-    if ingest < 0.80:
-        print("bench smoke: FAIL — hardened ingestion costs >20% on clean input",
-              file=sys.stderr)
-        sys.exit(1)
-# Workflow Observatory guard: evidence construction (on by default) must
-# stay within 5% of bare detection. Same order-alternated interleaved-pair
-# median as the ingest ratio, so the gate is stable against clock drift.
-evidence = fresh.get("extra", {}).get("evidence_overhead_ratio")
-if evidence is not None:
-    print(f"bench smoke: evidence-enabled detect at {evidence:.3f}x of evidence-disabled")
-    if evidence > 1.05:
-        print("bench smoke: FAIL — evidence construction costs >5% on the detect path",
-              file=sys.stderr)
-        sys.exit(1)
-PY
+  python3 "$repo/tools/compare_bench.py" "$baseline" "$out/BENCH_micro_pipeline.json" \
+    --ratio-min throughput_per_s=0.70 \
+    --extra-min ingest_resilient_ratio=0.80 \
+    --extra-max evidence_overhead_ratio=1.05 \
+    --extra-max coverage_overhead_ratio=1.05
 }
 
 # Observatory smoke: a seeded end-to-end run through the CLI per system —
@@ -136,6 +117,48 @@ observatory_smoke() {
   echo "observatory smoke: OK (spark, mapreduce, tez)"
 }
 
+# Quality smoke: the Quality Observatory loop, end to end through the CLI
+# with the bench_table6 seeds. loggen emits the Table-6 evaluation workload
+# for spark with its ground-truth labels sidecar; detect runs with the
+# coverage ledger attached; `intellog score` replays the Table-6
+# accounting and must land exactly on the committed bench envelope for
+# these seeds (15 detected / 1 FP / 0 FN — same numerators and
+# denominators as bench_table6_anomaly's spark row). Two trainings of the
+# same corpus must diff-model at drift exactly 0, and the coverage report
+# must pass strict schema validation.
+quality_smoke() {
+  local dir="$repo/build-ci-release"
+  [[ -x "$dir/tools/intellog" ]] || run_config release -DCMAKE_BUILD_TYPE=Release
+  echo "==> [quality] seeded score round-trip + coverage/drift gates"
+  local tmp rc
+  tmp="$(mktemp -d)"
+  "$dir/tools/loggen" "$tmp/train" --system spark --jobs 30 --seed 2024 >/dev/null
+  "$dir/tools/intellog" train "$tmp/train" -o "$tmp/model.json" >/dev/null
+
+  # Identical corpus, second training: any nonzero structural drift means
+  # training is nondeterministic or model IO lost a component class.
+  "$dir/tools/intellog" train "$tmp/train" -o "$tmp/model2.json" >/dev/null
+  "$dir/tools/intellog" diff-model "$tmp/model.json" "$tmp/model2.json" --json \
+      > "$tmp/drift.json"
+
+  # Table-6 evaluation workload + labels sidecar, detection with the
+  # coverage ledger stamping, then the scorer over report + labels.
+  "$dir/tools/loggen" "$tmp/eval" --system spark --table6 --seed 3030 \
+      --labels "$tmp/labels.json" >/dev/null
+  rc=0
+  "$dir/tools/intellog" detect "$tmp/eval" -m "$tmp/model.json" --json \
+      --coverage "$tmp/coverage.json" > "$tmp/report.json" 2>/dev/null || rc=$?
+  [[ $rc -eq 3 ]] || {
+    echo "quality smoke: FAIL — detect exited $rc (want 3: workload has injected faults)" >&2
+    exit 1; }
+  "$dir/tools/intellog" score "$tmp/report.json" --labels "$tmp/labels.json" --json \
+      > "$tmp/score.json"
+
+  python3 "$repo/tools/validate_observatory.py" quality "$tmp" 15 1 0 || {
+    echo "quality smoke: FAIL — score/coverage/drift validation" >&2; exit 1; }
+  rm -rf "$tmp"
+}
+
 # Chaos smoke: the seeded log-stream corruptor + hardened-ingestion soak
 # (tools/chaos_soak), run under the ASan/UBSan build. Fails on any crash,
 # leak, sanitizer report, or invariant violation — intact lines quarantined,
@@ -179,9 +202,12 @@ case "$mode" in
   release|observatory|all)
     observatory_smoke
     ;;&
-  release|asan|bench|chaos|observatory|all) ;;
+  release|quality|all)
+    quality_smoke
+    ;;&
+  release|asan|bench|chaos|observatory|quality|all) ;;
   *)
-    echo "usage: $0 [release|asan|bench|chaos|observatory|all]" >&2
+    echo "usage: $0 [release|asan|bench|chaos|observatory|quality|all]" >&2
     exit 2
     ;;
 esac

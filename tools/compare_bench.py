@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json harness snapshots and gate on tolerances.
+
+The bench harness writes one JSON document per bench binary: a few
+top-level numbers (throughput_per_s, median_ms, ...) plus an "extra"
+object of named scalars. This tool prints every numeric metric the two
+snapshots share — baseline, fresh, and the fresh/baseline ratio — then
+applies the gates given on the command line:
+
+  --ratio-min KEY=BOUND   fresh[KEY] / baseline[KEY] >= BOUND
+                          (top-level key; regression gate, e.g.
+                           throughput_per_s=0.70 allows a 30% drop)
+  --extra-min KEY=BOUND   fresh.extra[KEY] >= BOUND
+  --extra-max KEY=BOUND   fresh.extra[KEY] <= BOUND
+                          (absolute gates on self-relative measurements
+                           such as the interleaved overhead ratios, which
+                           need no baseline to be meaningful)
+
+A gated --extra-* key absent from the fresh snapshot is skipped with a
+note: older bench binaries simply don't emit newer ratios, and the gate
+should not fail a bisect through them. A --ratio-min key missing from
+either file is an error — the headline numbers are load-bearing.
+
+Exit 0 when every applicable gate holds, 1 on the first violation,
+2 on usage errors.
+"""
+
+import argparse
+import json
+import sys
+
+
+def numeric_items(doc, prefix=""):
+    """Flatten one level: top-level numbers plus extra.* numbers."""
+    out = {}
+    for key, value in doc.items():
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[prefix + key] = float(value)
+        elif key == "extra" and isinstance(value, dict):
+            out.update(numeric_items(value, "extra."))
+    return out
+
+
+def parse_gate(spec):
+    key, sep, bound = spec.partition("=")
+    if not sep or not key:
+        print(f"compare_bench: bad gate spec {spec!r} (want KEY=BOUND)", file=sys.stderr)
+        sys.exit(2)
+    try:
+        return key, float(bound)
+    except ValueError:
+        print(f"compare_bench: non-numeric bound in {spec!r}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--ratio-min", action="append", default=[], metavar="KEY=BOUND")
+    ap.add_argument("--extra-min", action="append", default=[], metavar="KEY=BOUND")
+    ap.add_argument("--extra-max", action="append", default=[], metavar="KEY=BOUND")
+    args = ap.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as f:
+        base_doc = json.load(f)
+    with open(args.fresh, encoding="utf-8") as f:
+        fresh_doc = json.load(f)
+    base = numeric_items(base_doc)
+    fresh = numeric_items(fresh_doc)
+
+    name = base_doc.get("bench") or fresh_doc.get("bench") or "bench"
+    print(f"compare_bench: {name}")
+    for key in sorted(set(base) | set(fresh)):
+        b, f = base.get(key), fresh.get(key)
+        if b is None or f is None:
+            side = "fresh" if b is None else "baseline"
+            value = f if b is None else b
+            print(f"  {key:<34} only in {side}: {value:.6g}")
+        elif b != 0:
+            print(f"  {key:<34} {b:>14.6g} -> {f:>14.6g}  ({f / b:.3f}x)")
+        else:
+            print(f"  {key:<34} {b:>14.6g} -> {f:>14.6g}")
+
+    failures = []
+    for spec in args.ratio_min:
+        key, bound = parse_gate(spec)
+        if key not in base or key not in fresh:
+            failures.append(f"{key}: missing from "
+                            f"{'baseline' if key not in base else 'fresh'} snapshot")
+            continue
+        if base[key] == 0:
+            failures.append(f"{key}: baseline is zero, ratio undefined")
+            continue
+        ratio = fresh[key] / base[key]
+        ok = ratio >= bound
+        print(f"  gate {key}: {ratio:.3f}x of baseline (need >= {bound:g}) "
+              f"{'OK' if ok else 'FAIL'}")
+        if not ok:
+            failures.append(f"{key}: {ratio:.3f}x of baseline, below {bound:g}")
+
+    for specs, op in ((args.extra_min, ">="), (args.extra_max, "<=")):
+        for spec in specs:
+            key, bound = parse_gate(spec)
+            value = fresh.get(f"extra.{key}")
+            if value is None:
+                print(f"  gate {key}: not emitted by this bench build, skipped")
+                continue
+            ok = value >= bound if op == ">=" else value <= bound
+            print(f"  gate {key}: {value:.3f} (need {op} {bound:g}) "
+                  f"{'OK' if ok else 'FAIL'}")
+            if not ok:
+                failures.append(f"{key}: {value:.3f} violates {op} {bound:g}")
+
+    if failures:
+        for f in failures:
+            print(f"compare_bench: FAIL — {f}", file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -40,17 +40,23 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/explain.hpp"
 #include "core/message_store.hpp"
+#include "core/model_diff.hpp"
 #include "core/model_io.hpp"
 #include "core/online.hpp"
 #include "core/query.hpp"
+#include "core/scoring.hpp"
 #include "logparse/log_io.hpp"
 #include "obs/export/status.hpp"
 #include "obs/export/trace_export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries/alerts.hpp"
+#include "obs/timeseries/timeseries.hpp"
 #include "obs/trace.hpp"
 
 using namespace intellog;
@@ -77,6 +83,13 @@ int usage() {
                "      expected-vs-observed explanation with raw-line provenance per finding\n"
                "  intellog top <status.json>\n"
                "      render a --status-file snapshot\n"
+               "  intellog coverage <logdir> -m <model.json> [--json] [--jobs N]\n"
+               "      which model components this workload exercises (dead/stale report)\n"
+               "  intellog diff-model <modelA.json> <modelB.json> [--json]\n"
+               "      structural model diff with a scalar drift score (0 = identical)\n"
+               "  intellog score <report.json>... --labels <labels.json>... [--json]\n"
+               "      precision/recall/F1 of detect --json report(s) vs loggen ground\n"
+               "      truth; pass one --labels per report (pairs match in order)\n"
                "  --jobs:    worker threads for batch detection (0 = hardware concurrency)\n"
                "  --metrics: write a metrics snapshot (.prom/.txt -> Prometheus text, else JSON)\n"
                "  --trace:   write Chrome trace-event JSON (open in Perfetto)\n"
@@ -84,15 +97,25 @@ int usage() {
                "      state to <f> every N records (default 1000); resumes if <f> exists\n"
                "  --status-file <f>: (detect) publish a live status snapshot (atomic rename)\n"
                "  --metrics-interval <sec>: (detect) flush --metrics/--status-file every\n"
-               "      <sec> seconds while streaming\n";
+               "      <sec> seconds while streaming\n"
+               "  --alert-rules <f>: (detect, streaming) JSON alert rules evaluated over\n"
+               "      windowed telemetry at each flush; default: built-in self-monitoring\n"
+               "      rules (quarantine burst, evictions, unexpected-key rate, degraded)\n"
+               "  --coverage <f>: (detect) stamp the model coverage ledger during the run\n"
+               "      and write the coverage report JSON to <f>\n";
   return 2;
 }
 
 struct Args {
   std::string command, logdir, model_path, output_path, query_text;
+  std::string logdir2;                  ///< second positional (diff-model)
+  std::vector<std::string> positionals; ///< third and later (score reports)
+  std::vector<std::string> labels_paths; ///< score: loggen ground-truth sidecars
+  std::string coverage_path;            ///< detect: write coverage report here
   std::string metrics_path, trace_path;
   std::string checkpoint_path;          ///< detect: streaming checkpoint file
   std::string status_path;              ///< detect: live status snapshot file
+  std::string alert_rules_path;         ///< detect: custom alert rules (JSON)
   std::string otlp_path;                ///< export-trace: OTLP JSON output
   double metrics_interval_s = 0;        ///< detect: periodic flush period (0: off)
   std::size_t checkpoint_every = 1000;  ///< records between checkpoints
@@ -193,6 +216,18 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.status_path = v;
+    } else if (a == "--alert-rules") {
+      const char* v = next();
+      if (!v) return false;
+      args.alert_rules_path = v;
+    } else if (a == "--labels") {
+      const char* v = next();
+      if (!v) return false;
+      args.labels_paths.emplace_back(v);
+    } else if (a == "--coverage") {
+      const char* v = next();
+      if (!v) return false;
+      args.coverage_path = v;
     } else if (a == "--otlp") {
       const char* v = next();
       if (!v) return false;
@@ -223,6 +258,10 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.critical_only = true;
     } else if (!a.empty() && a[0] != '-' && args.logdir.empty()) {
       args.logdir = a;
+    } else if (!a.empty() && a[0] != '-' && args.logdir2.empty()) {
+      args.logdir2 = a;  // second positional (diff-model B)
+    } else if (!a.empty() && a[0] != '-') {
+      args.positionals.push_back(a);  // third+ (score: more reports)
     } else {
       return false;
     }
@@ -288,6 +327,7 @@ int cmd_detect_stream(const Args& args) {
   const bool use_checkpoint = !args.checkpoint_path.empty();
   const core::IntelLog il = core::load_model_file(args.model_path);
   if (obs::MetricsRegistry* reg = obs::registry()) il.record_model_metrics(*reg);
+  if (!args.coverage_path.empty()) il.set_coverage_enabled(true);
   const auto ingest = logparse::read_log_directory_resilient(args.logdir);
   if (ingest.stats.quarantined > 0) {
     std::cerr << "warning: " << ingest.stats.quarantined
@@ -336,6 +376,30 @@ int cmd_detect_stream(const Args& args) {
     last_checkpoint_ns = obs::monotonic_ns();
   };
 
+  // Windowed telemetry + self-monitoring alerts: every flush samples the
+  // registry into a bounded ring-buffer store and evaluates the alert
+  // rules over it; firing alerts land in the status snapshot (and `top`).
+  obs::ts::TimeSeriesStore tseries;
+  obs::ts::AlertEngine alert_engine(
+      args.alert_rules_path.empty()
+          ? obs::ts::AlertEngine::default_rules()
+          : obs::ts::AlertEngine::rules_from_json(common::Json::parse([&] {
+              std::ifstream in(args.alert_rules_path);
+              if (!in) {
+                throw std::runtime_error("cannot read alert rules: " + args.alert_rules_path);
+              }
+              std::ostringstream buf;
+              buf << in.rdbuf();
+              return buf.str();
+            }())));
+  const auto observe_telemetry = [&] {
+    const obs::MetricsRegistry* reg = obs::registry();
+    if (!reg) return;
+    const std::uint64_t now_ms = obs::monotonic_ns() / 1'000'000;
+    tseries.observe_registry(*reg, now_ms);
+    alert_engine.evaluate(tseries, now_ms);
+  };
+
   // Live introspection (--status-file) and periodic metrics flushes
   // (--metrics-interval): both publish with the checkpoint's atomic-rename
   // discipline so a concurrent reader never sees a torn file.
@@ -344,6 +408,7 @@ int cmd_detect_stream(const Args& args) {
     obs::StatusContext ctx;
     ctx.detector = online.get();
     ctx.registry = obs::registry();
+    ctx.alerts = &alert_engine;
     ctx.checkpoint_path = args.checkpoint_path;
     ctx.checkpoint_age_s =
         last_checkpoint_ns == 0
@@ -394,6 +459,7 @@ int cmd_detect_stream(const Args& args) {
       if (interval_ns != 0 && (idx & 0xFF) == 0) {
         const std::uint64_t now = obs::monotonic_ns();
         if (now - last_flush_ns >= interval_ns) {
+          observe_telemetry();
           flush_metrics();
           flush_status(idx);
           last_flush_ns = now;
@@ -406,6 +472,15 @@ int cmd_detect_stream(const Args& args) {
     if (const auto report = online->close_session(s.container_id)) handle(*report);
   }
   for (const auto& report : online->close_all()) handle(report);
+  // Empty sessions (zero-byte log files) carry no records, so the online
+  // detector never sees them — but a container that died before logging a
+  // single line is exactly the session-abort signature. Run their
+  // structural check directly; a killed run never got this far, so a
+  // resumed one cannot double-report them.
+  for (const auto& s : ingest.sessions) {
+    if (s.records.empty()) handle(il.detect(s));
+  }
+  observe_telemetry();
   flush_status(idx);  // final snapshot: zero open sessions, final counters
 
   if (args.json) {
@@ -416,6 +491,10 @@ int cmd_detect_stream(const Args& args) {
   if (use_checkpoint) {
     std::error_code ec;
     std::filesystem::remove(args.checkpoint_path, ec);  // complete: nothing to resume
+  }
+  if (!args.coverage_path.empty() && il.coverage()) {
+    obs::write_json_atomic(il.coverage()->to_json(), args.coverage_path);
+    std::cerr << "coverage report -> " << args.coverage_path << "\n";
   }
   return anomalous > 0 ? 3 : 0;
 }
@@ -430,6 +509,7 @@ int cmd_detect(const Args& args) {
   ObsScope obs_scope(args, /*force_metrics=*/false);
   const core::IntelLog il = core::load_model_file(args.model_path);
   if (obs::MetricsRegistry* reg = obs::registry()) il.record_model_metrics(*reg);
+  if (!args.coverage_path.empty()) il.set_coverage_enabled(true);
   const auto sessions = logparse::read_log_directory(args.logdir);
   // Sharded batch detection (--jobs N; default 1 = serial). Reports come
   // back input-ordered, so the printed output is identical at any width.
@@ -451,7 +531,114 @@ int cmd_detect(const Args& args) {
   } else {
     std::cout << anomalous << " / " << sessions.size() << " sessions anomalous\n";
   }
+  if (!args.coverage_path.empty() && il.coverage()) {
+    obs::write_json_atomic(il.coverage()->to_json(), args.coverage_path);
+    std::cerr << "coverage report -> " << args.coverage_path << "\n";
+  }
   return anomalous > 0 ? 3 : 0;  // nonzero exit when anomalies found
+}
+
+// Quality Observatory: structural diff of two persisted models. Compares
+// everything model_io round-trips — log-key templates, Intel Keys, group
+// membership, subroutines, HW-graph relations — and reports per-class
+// churn plus the union-weighted drift score (0 = structurally identical).
+int cmd_diff_model(const Args& args) {
+  if (args.logdir.empty() || args.logdir2.empty()) return usage();
+  const core::IntelLog a = core::load_model_file(args.logdir);
+  const core::IntelLog b = core::load_model_file(args.logdir2);
+  const core::ModelDiff diff = core::diff_models(a, b);
+  if (args.json) {
+    std::cout << diff.to_json().dump(2) << "\n";
+  } else {
+    std::cout << diff.render_text();
+  }
+  return 0;
+}
+
+// Quality Observatory: Table-6 accounting over a saved `detect --json`
+// report and a `loggen --labels` ground-truth sidecar. Pass more
+// report/--labels pairs (in order) to score several systems at once; the
+// overall row aggregates them the way bench_table6_anomaly sums systems.
+int cmd_score(const Args& args) {
+  std::vector<std::string> report_paths;
+  if (!args.logdir.empty()) report_paths.push_back(args.logdir);
+  if (!args.logdir2.empty()) report_paths.push_back(args.logdir2);
+  report_paths.insert(report_paths.end(), args.positionals.begin(), args.positionals.end());
+  if (report_paths.empty() || args.labels_paths.empty()) return usage();
+  if (report_paths.size() != args.labels_paths.size()) {
+    std::cerr << "error: " << report_paths.size() << " report(s) but "
+              << args.labels_paths.size() << " --labels file(s); pass one per report\n";
+    return 2;
+  }
+  const auto read_json = [](const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot read " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return common::Json::parse(buf.str());
+  };
+
+  ObsScope obs_scope(args, /*force_metrics=*/false);
+  core::ScoreCard card;
+  for (std::size_t i = 0; i < report_paths.size(); ++i) {
+    const core::Labels labels = core::Labels::from_json(read_json(args.labels_paths[i]));
+    card.systems.push_back(score_report(labels, read_json(report_paths[i])));
+  }
+  if (obs::MetricsRegistry* reg = obs::registry()) card.record_metrics(*reg);
+  if (args.json) {
+    std::cout << card.to_json().dump(2) << "\n";
+  } else {
+    std::cout << card.render_text();
+  }
+  return 0;
+}
+
+// Quality Observatory: which model components does this workload actually
+// exercise? Runs detection with the coverage ledger attached and reports,
+// per component class (log keys, subroutines, HW-graph edges), the dead
+// components (never hit — the first symptom of model drift) and the stale
+// ones (hit, but far below their peers), plus the overall coverage ratio.
+int cmd_coverage(const Args& args) {
+  if (args.logdir.empty() || args.model_path.empty()) return usage();
+  ObsScope obs_scope(args, /*force_metrics=*/false);
+  const core::IntelLog il = core::load_model_file(args.model_path);
+  if (obs::MetricsRegistry* reg = obs::registry()) il.record_model_metrics(*reg);
+  il.set_coverage_enabled(true);
+  const auto sessions = logparse::read_log_directory(args.logdir);
+  il.detect_batch(sessions, args.jobs);
+  const core::CoverageLedger* cov = il.coverage();
+  if (obs::MetricsRegistry* reg = obs::registry()) cov->record_metrics(*reg);
+
+  const common::Json report = cov->to_json();
+  if (args.json) {
+    std::cout << report.dump(2) << "\n";
+    return 0;
+  }
+  std::cout << "model coverage: " << cov->hit_components() << " / " << cov->total_components()
+            << " components exercised over " << sessions.size() << " session(s) (ratio "
+            << cov->coverage_ratio() << ")\n";
+  for (const char* cls : {"log_keys", "subroutines", "edges"}) {
+    const common::Json& c = report["classes"][cls];
+    std::cout << "  " << cls << ": " << c["hit"].as_int() << " / " << c["total"].as_int()
+              << " hit";
+    const auto& dead = c["dead"].as_array();
+    const auto& stale = c["stale"].as_array();
+    if (!dead.empty()) std::cout << ", " << dead.size() << " dead";
+    if (!stale.empty()) std::cout << ", " << stale.size() << " stale";
+    std::cout << "\n";
+    const auto list = [](const char* tag, const std::vector<common::Json>& names) {
+      constexpr std::size_t kMax = 20;  // keep the terminal report skimmable
+      for (std::size_t i = 0; i < names.size() && i < kMax; ++i) {
+        std::cout << "    " << tag << " " << names[i].as_string() << "\n";
+      }
+      if (names.size() > kMax) {
+        std::cout << "    ... " << names.size() - kMax << " more (use --json)\n";
+      }
+    };
+    list("dead:", dead);
+    list("stale:", stale);
+  }
+  return 0;
 }
 
 // Shows every line the hardened ingester refused (with provenance: file,
@@ -772,6 +959,9 @@ int main(int argc, char** argv) {
     if (args.command == "keys") return cmd_keys(args);
     if (args.command == "query") return cmd_query(args);
     if (args.command == "quarantine") return cmd_quarantine(args);
+    if (args.command == "coverage") return cmd_coverage(args);
+    if (args.command == "diff-model") return cmd_diff_model(args);
+    if (args.command == "score") return cmd_score(args);
     if (args.command == "export-trace") return cmd_export_trace(args);
     if (args.command == "explain") return cmd_explain(args);
     if (args.command == "top") return cmd_top(args);

@@ -3,11 +3,22 @@
 //   loggen <outdir> [--system spark|mapreduce|tez|tensorflow]
 //          [--jobs N] [--seed S]
 //          [--fault none|abort|network|node] [--fault-node K]
-//          [--low-memory]
+//          [--low-memory] [--labels <file>] [--table6]
 //
 // Writes <outdir>/job_<n>/<container_id>.log in the system's native log
 // format, plus <outdir>/manifest.json recording the job specs and fault
 // ground truth (for scoring; the IntelLog CLI never reads it).
+//
+// `--labels <file>` additionally writes an intellog_labels sidecar — the
+// per-job ground truth (injected problem, container sets) in the schema
+// `intellog score` consumes.
+//
+// `--table6` replaces the uniform job loop with the paper's §6.4
+// evaluation workload (5 configuration sets x 6 jobs, 15 injected + 15
+// clean, two borderline-memory): the exact workload bench_table6_anomaly
+// runs in-memory for the same seed, so scoring a detect run over the
+// generated dataset reproduces the bench's numerators. Ignores --jobs,
+// --fault and --low-memory.
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -15,7 +26,9 @@
 #include <string>
 
 #include "common/json.hpp"
+#include "core/scoring.hpp"
 #include "logparse/log_io.hpp"
+#include "simsys/eval_workload.hpp"
 #include "simsys/workload.hpp"
 
 using namespace intellog;
@@ -25,7 +38,7 @@ namespace {
 int usage() {
   std::cerr << "usage: loggen <outdir> [--system S] [--jobs N] [--seed S]\n"
                "              [--fault none|abort|network|node] [--fault-node K]\n"
-               "              [--low-memory]\n";
+               "              [--low-memory] [--labels <file>] [--table6]\n";
   return 2;
 }
 
@@ -38,8 +51,10 @@ int main(int argc, char** argv) {
   int jobs = 5;
   std::uint64_t seed = 1;
   std::string fault_name = "none";
+  std::string labels_path;
   int fault_node = -1;
   bool low_memory = false;
+  bool table6 = false;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -55,6 +70,8 @@ int main(int argc, char** argv) {
     else if (arg == "--fault") fault_name = next();
     else if (arg == "--fault-node") fault_node = std::stoi(next());
     else if (arg == "--low-memory") low_memory = true;
+    else if (arg == "--labels") labels_path = next();
+    else if (arg == "--table6") table6 = true;
     else return usage();
   }
 
@@ -74,30 +91,25 @@ int main(int argc, char** argv) {
   manifest["system"] = system;
   manifest["seed"] = seed;
   common::Json jobs_json = common::Json::array();
+  core::Labels labels;
+  labels.system = system;
+  labels.seed = seed;
 
+  // One generated job, already run: write its logs, record manifest +
+  // label ground truth. Shared between the uniform loop and --table6.
   std::size_t total_lines = 0, total_sessions = 0;
-  const auto t0 = std::chrono::steady_clock::now();
-  for (int j = 0; j < jobs; ++j) {
-    simsys::JobSpec spec = gen.training_job();
-    if (low_memory) {
-      spec.container_memory_mb = static_cast<int>(spec.required_memory_mb() * 0.7);
-    }
-    simsys::FaultPlan plan;
-    if (kind != simsys::ProblemKind::None) {
-      plan = gen.make_fault(kind, cluster);
-      if (fault_node >= 0) plan.target_node = fault_node;
-    }
-    const simsys::JobResult result = simsys::run_job(spec, cluster, plan);
-
+  int job_index = 0;
+  const auto emit_job = [&](const simsys::JobResult& result, bool injected,
+                            bool borderline) {
     const std::string job_dir =
-        (std::filesystem::path(outdir) / ("job_" + std::to_string(j))).string();
+        (std::filesystem::path(outdir) / ("job_" + std::to_string(job_index++))).string();
     logparse::write_log_directory(*fmt, result.sessions, job_dir);
 
     common::Json job = common::Json::object();
-    job["name"] = spec.name;
-    job["input_gb"] = spec.input_gb;
-    job["container_memory_mb"] = spec.container_memory_mb;
-    job["fault"] = std::string(simsys::to_string(plan.kind));
+    job["name"] = result.spec.name;
+    job["input_gb"] = result.spec.input_gb;
+    job["container_memory_mb"] = result.spec.container_memory_mb;
+    job["fault"] = std::string(simsys::to_string(result.fault.kind));
     job["dir"] = job_dir;
     common::Json affected = common::Json::array();
     for (const auto& c : result.affected_containers) affected.push_back(c);
@@ -107,8 +119,41 @@ int main(int argc, char** argv) {
     job["perf_affected_containers"] = std::move(perf);
     jobs_json.push_back(std::move(job));
 
+    core::LabeledJob label;
+    label.name = result.spec.name;
+    label.dir = job_dir;
+    label.fault = simsys::to_string(result.fault.kind);
+    label.injected = injected;
+    label.borderline = borderline;
+    for (const auto& s : result.sessions) label.containers.insert(s.container_id);
+    label.affected = result.affected_containers;
+    label.perf_affected = result.perf_affected_containers;
+    labels.jobs.push_back(std::move(label));
+
     total_sessions += result.sessions.size();
     for (const auto& s : result.sessions) total_lines += s.records.size();
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (table6) {
+    const auto workload = simsys::detection_workload(system, seed);
+    for (const auto& dj : workload) emit_job(dj.result, dj.injected, dj.borderline);
+    jobs = static_cast<int>(workload.size());
+  } else {
+    for (int j = 0; j < jobs; ++j) {
+      simsys::JobSpec spec = gen.training_job();
+      if (low_memory) {
+        spec.container_memory_mb = static_cast<int>(spec.required_memory_mb() * 0.7);
+      }
+      simsys::FaultPlan plan;
+      if (kind != simsys::ProblemKind::None) {
+        plan = gen.make_fault(kind, cluster);
+        if (fault_node >= 0) plan.target_node = fault_node;
+      }
+      const simsys::JobResult result = simsys::run_job(spec, cluster, plan);
+      emit_job(result, /*injected=*/kind != simsys::ProblemKind::None,
+               /*borderline=*/low_memory);
+    }
   }
   const double wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
@@ -118,6 +163,17 @@ int main(int argc, char** argv) {
       wall_ms > 0 ? static_cast<double>(total_lines) / (wall_ms / 1000.0) : 0.0;
   std::ofstream mf(std::filesystem::path(outdir) / "manifest.json");
   mf << manifest.dump(2) << "\n";
+
+  if (!labels_path.empty()) {
+    std::ofstream lf(labels_path);
+    lf << labels.to_json().dump(2) << "\n";
+    if (lf.flush(); lf) {
+      std::cerr << "labels (" << labels.jobs.size() << " jobs) -> " << labels_path << "\n";
+    } else {
+      std::cerr << "error: cannot write labels to " << labels_path << "\n";
+      return 1;
+    }
+  }
 
   std::cout << "wrote " << jobs << " " << system << " jobs (" << total_sessions
             << " sessions, " << total_lines << " log lines) under " << outdir << "\n";

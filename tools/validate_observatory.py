@@ -1,11 +1,22 @@
 #!/usr/bin/env python3
-"""Strict schema validation for the Workflow Observatory CI stage.
+"""Strict schema validation for the observatory and quality CI stages.
 
-Validates the artifacts one observatory_smoke iteration produced in <dir>:
+Default mode validates the artifacts one observatory_smoke iteration
+produced in <dir>:
   trace.json   Chrome trace-event export of the clean run
   otlp.json    OTLP-style export of the same run
   report.json  `intellog detect --json` output for the faulty run
   status.json  `--status-file` snapshot from the streaming run
+
+`quality <dir> <detected> <fp> <fn>` mode validates the Quality
+Observatory artifacts quality_smoke produced in <dir>:
+  score.json     `intellog score --json` — Table-6 tallies must equal the
+                 expected detected/fp/fn exactly, and the emitted
+                 precision/recall must be internally consistent
+  coverage.json  coverage-ledger report — per-class hit/dead/stale
+                 bookkeeping must add up
+  drift.json     `intellog diff-model --json` of two identical-seed
+                 trainings — drift_score must be exactly 0
 
 "Strict" means: the whole file must be one JSON document (json.loads over
 the full text rejects trailing garbage), every entity-group track must
@@ -137,6 +148,10 @@ def check_status(path):
     doc = load_strict(path)
     if doc.get("kind") != "intellog_status":
         fail(f"{path}: kind != intellog_status")
+    # Versioned since the Quality Observatory: `intellog top` warns on a
+    # version it doesn't know, so the writer must always stamp one.
+    if not isinstance(doc.get("schema_version"), int) or doc["schema_version"] < 1:
+        fail(f"{path}: missing or non-positive schema_version")
     for key, typ in (("sessions", list), ("occupancy", dict),
                      ("counters", dict), ("gauges", dict)):
         if not isinstance(doc.get(key), typ):
@@ -151,9 +166,114 @@ def check_status(path):
             fail(f"{path}: consume_latency_us without buckets")
 
 
+def check_score(path, expect_detected, expect_fp, expect_fn):
+    doc = load_strict(path)
+    if doc.get("kind") != "intellog_score":
+        fail(f"{path}: kind != intellog_score")
+    if doc.get("schema_version") != 1:
+        fail(f"{path}: unexpected schema_version {doc.get('schema_version')!r}")
+    systems = doc.get("systems")
+    if not isinstance(systems, list) or not systems:
+        fail(f"{path}: empty or missing systems")
+    overall = doc.get("overall")
+    if not isinstance(overall, dict):
+        fail(f"{path}: missing overall block")
+    for row in systems + [overall]:
+        label = row.get("system", "overall")
+        for key in ("detected", "false_positives", "false_negatives",
+                    "injected_jobs"):
+            if not isinstance(row.get(key), int) or row[key] < 0:
+                fail(f"{path}: {label} lacks non-negative integer {key!r}")
+        # The ratios must be recomputable from the tallies they ship with —
+        # a mismatch means the scorer and its JSON writer disagree.
+        d, fp = row["detected"], row["false_positives"]
+        injected = row["injected_jobs"]
+        if d + row["false_negatives"] != injected:
+            fail(f"{path}: {label}: detected+false_negatives != injected_jobs")
+        want_p = d / (d + fp) if d + fp else 1.0
+        want_r = d / injected if injected else 1.0
+        if abs(row.get("precision", -1) - want_p) > 1e-9:
+            fail(f"{path}: {label} precision {row.get('precision')} != {want_p}")
+        if abs(row.get("recall", -1) - want_r) > 1e-9:
+            fail(f"{path}: {label} recall {row.get('recall')} != {want_r}")
+    got = (overall["detected"], overall["false_positives"], overall["false_negatives"])
+    want = (expect_detected, expect_fp, expect_fn)
+    if got != want:
+        fail(f"{path}: D/FP/FN {got} != expected {want} — the seeded run no "
+             "longer reproduces the committed bench_table6 envelope")
+    return got
+
+
+def check_coverage(path):
+    doc = load_strict(path)
+    if doc.get("kind") != "intellog_coverage":
+        fail(f"{path}: kind != intellog_coverage")
+    classes = doc.get("classes")
+    if not isinstance(classes, dict):
+        fail(f"{path}: missing classes")
+    total = hit = 0
+    for name in ("log_keys", "subroutines", "edges"):
+        cls = classes.get(name)
+        if not isinstance(cls, dict):
+            fail(f"{path}: missing class {name!r}")
+        components = cls.get("components")
+        if not isinstance(components, list) or len(components) != cls.get("total"):
+            fail(f"{path}: class {name}: components don't match total")
+        nonzero = sum(1 for c in components if c.get("hits", 0) > 0)
+        if nonzero != cls.get("hit"):
+            fail(f"{path}: class {name}: hit={cls.get('hit')} but "
+                 f"{nonzero} components have nonzero hits")
+        by_name = {c["name"] for c in components}
+        for bucket in ("dead", "stale"):
+            for comp in cls.get(bucket, []):
+                if comp not in by_name:
+                    fail(f"{path}: class {name}: {bucket} lists unknown {comp!r}")
+        total += cls["total"]
+        hit += cls["hit"]
+    if doc.get("total") != total or doc.get("hit") != hit:
+        fail(f"{path}: top-level total/hit don't match the class sums")
+    if total and abs(doc.get("coverage_ratio", -1) - hit / total) > 1e-9:
+        fail(f"{path}: coverage_ratio != hit/total")
+    if hit == 0:
+        fail(f"{path}: detection exercised no model components — the "
+             "ledger was never stamped")
+    return hit, total
+
+
+def check_drift(path):
+    doc = load_strict(path)
+    if doc.get("kind") != "intellog_model_diff":
+        fail(f"{path}: kind != intellog_model_diff")
+    if doc.get("drift_score") != 0:
+        fail(f"{path}: identical-seed trainings drifted "
+             f"(drift_score={doc.get('drift_score')}) — training is "
+             "nondeterministic or model IO dropped a component class")
+    for name, cls in doc.get("classes", {}).items():
+        if cls.get("added") or cls.get("removed"):
+            fail(f"{path}: class {name} has churn despite drift 0")
+        if cls.get("common", 0) <= 0:
+            fail(f"{path}: class {name} is empty — nothing was compared")
+
+
+def quality_main(argv):
+    if len(argv) != 5:
+        fail("usage: validate_observatory.py quality <dir> <detected> <fp> <fn>")
+    d = argv[1]
+    expect = [int(x) for x in argv[2:5]]
+    got = check_score(f"{d}/score.json", *expect)
+    hit, total = check_coverage(f"{d}/coverage.json")
+    check_drift(f"{d}/drift.json")
+    print(f"validate_observatory: quality OK — score D/FP/FN {got}, "
+          f"coverage {hit}/{total} components, drift 0")
+
+
 def main():
+    if len(sys.argv) >= 2 and sys.argv[1] == "quality":
+        quality_main(sys.argv[1:])
+        return
     if len(sys.argv) != 3:
-        fail("usage: validate_observatory.py <artifact-dir> <system>")
+        fail("usage: validate_observatory.py <artifact-dir> <system> | "
+             "quality <dir> <detected> <fp> <fn>")
     d, system = sys.argv[1], sys.argv[2]
     tracks, subs = check_chrome_trace(f"{d}/trace.json")
     check_otlp(f"{d}/otlp.json")
