@@ -1,16 +1,42 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace intellog::common {
+
+namespace {
+
+std::atomic<PoolObserver*> g_pool_observer{nullptr};
+
+}  // namespace
+
+void set_pool_observer(PoolObserver* observer) {
+  g_pool_observer.store(observer, std::memory_order_release);
+}
+
+PoolObserver* pool_observer() {
+  return g_pool_observer.load(std::memory_order_acquire);
+}
+
+std::uint64_t ThreadPool::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
   workers_.reserve(num_threads);
+  counters_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    counters_.push_back(std::make_unique<WorkerCounters>());
+  }
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -21,20 +47,84 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+  if (PoolObserver* obs = pool_observer()) {
+    const Stats s = stats();
+    std::uint64_t busy_us = 0, idle_us = 0, tasks = 0;
+    for (const WorkerStats& w : s.workers) {
+      busy_us += w.busy_us;
+      idle_us += w.idle_us;
+      tasks += w.tasks;
+    }
+    obs->on_retire(busy_us, idle_us, tasks);
+  }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::note_enqueue(std::size_t depth) {
+  enqueued_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t seen = max_depth_.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !max_depth_.compare_exchange_weak(seen, depth,
+                                           std::memory_order_relaxed)) {
+  }
+  if (PoolObserver* obs = pool_observer()) obs->on_enqueue(depth);
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  WorkerCounters& wc = *counters_[worker_index];
+  std::uint64_t idle_start = now_ns();
   while (true) {
-    std::function<void()> task;
+    Task task;
+    std::size_t depth_left;
     {
       std::unique_lock lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop();
+      depth_left = queue_.size();
     }
-    task();
+    const std::uint64_t picked_ns = now_ns();
+    wc.idle_ns.fetch_add(picked_ns - idle_start, std::memory_order_relaxed);
+
+    const std::uint64_t delay_ns = picked_ns - task.enqueue_ns;
+    delay_total_ns_.fetch_add(delay_ns, std::memory_order_relaxed);
+    std::uint64_t seen = delay_max_ns_.load(std::memory_order_relaxed);
+    while (delay_ns > seen &&
+           !delay_max_ns_.compare_exchange_weak(seen, delay_ns,
+                                                std::memory_order_relaxed)) {
+    }
+    if (PoolObserver* obs = pool_observer()) {
+      obs->on_dequeue(static_cast<double>(delay_ns) / 1e6, depth_left);
+    }
+
+    task.fn();
+
+    const std::uint64_t done_ns = now_ns();
+    wc.busy_ns.fetch_add(done_ns - picked_ns, std::memory_order_relaxed);
+    wc.tasks.fetch_add(1, std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    idle_start = done_ns;
   }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.tasks_enqueued = enqueued_.load(std::memory_order_relaxed);
+  s.tasks_completed = completed_.load(std::memory_order_relaxed);
+  s.queue_delay_total_ms =
+      static_cast<double>(delay_total_ns_.load(std::memory_order_relaxed)) / 1e6;
+  s.queue_delay_max_ms =
+      static_cast<double>(delay_max_ns_.load(std::memory_order_relaxed)) / 1e6;
+  s.max_queue_depth = max_depth_.load(std::memory_order_relaxed);
+  s.workers.reserve(counters_.size());
+  for (const auto& wc : counters_) {
+    WorkerStats w;
+    w.busy_us = wc->busy_ns.load(std::memory_order_relaxed) / 1000;
+    w.idle_us = wc->idle_ns.load(std::memory_order_relaxed) / 1000;
+    w.tasks = wc->tasks.load(std::memory_order_relaxed);
+    s.workers.push_back(w);
+  }
+  return s;
 }
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {

@@ -4,18 +4,51 @@
 // run to hundreds of sessions with millions of log lines), so the pipeline
 // and the benches fan session work out across cores. Plain mutex+condvar
 // pool: predictable, no lock-free cleverness needed at this queue rate.
+//
+// Every task carries its enqueue timestamp, so the pool accounts
+// enqueue→dequeue latency, per-worker busy/idle time and queue depth
+// (ThreadPool::stats()). A process-global PoolObserver — installed by the
+// observability layer, which common cannot depend on — additionally
+// receives per-task queue events; with none installed the hot path pays one
+// relaxed atomic load and a branch per enqueue/dequeue.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 namespace intellog::common {
+
+/// Receives queue events from every ThreadPool in the process. Implemented
+/// by the observability layer (obs installs a metrics bridge); methods must
+/// be thread-safe and cheap.
+class PoolObserver {
+ public:
+  virtual ~PoolObserver() = default;
+  /// A task entered a pool queue; `queue_depth` includes it.
+  virtual void on_enqueue(std::size_t queue_depth) = 0;
+  /// A worker picked a task up after `delay_ms` in the queue;
+  /// `queue_depth` is the depth left behind.
+  virtual void on_dequeue(double delay_ms, std::size_t queue_depth) = 0;
+  /// A pool shut down; `busy_us`/`idle_us`/`tasks` are its lifetime totals
+  /// summed over workers.
+  virtual void on_retire(std::uint64_t busy_us, std::uint64_t idle_us,
+                         std::uint64_t tasks) = 0;
+};
+
+/// Installs the process-global observer (nullptr disables; the default).
+/// Must outlive all pool activity while installed.
+void set_pool_observer(PoolObserver* observer);
+/// The installed observer, or nullptr. One relaxed atomic load.
+PoolObserver* pool_observer();
 
 class ThreadPool {
  public:
@@ -32,12 +65,15 @@ class ThreadPool {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
+    std::size_t depth;
     {
       std::lock_guard lock(mu_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
-      queue_.emplace([task] { (*task)(); });
+      queue_.push(Task{[task] { (*task)(); }, now_ns()});
+      depth = queue_.size();
     }
     cv_.notify_one();
+    note_enqueue(depth);
     return fut;
   }
 
@@ -46,14 +82,50 @@ class ThreadPool {
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  struct WorkerStats {
+    std::uint64_t busy_us = 0;  ///< time spent running tasks
+    std::uint64_t idle_us = 0;  ///< time spent waiting for work
+    std::uint64_t tasks = 0;
+  };
+  struct Stats {
+    std::uint64_t tasks_enqueued = 0;
+    std::uint64_t tasks_completed = 0;
+    double queue_delay_total_ms = 0.0;  ///< summed enqueue->dequeue latency
+    double queue_delay_max_ms = 0.0;
+    std::size_t max_queue_depth = 0;
+    std::vector<WorkerStats> workers;
+  };
+  /// Lifetime totals so far. Safe to call concurrently with pool activity
+  /// (counters are relaxed atomics; a snapshot mid-flight is approximate).
+  Stats stats() const;
+
  private:
-  void worker_loop();
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns = 0;
+  };
+  struct WorkerCounters {
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> idle_ns{0};
+    std::atomic<std::uint64_t> tasks{0};
+  };
+
+  static std::uint64_t now_ns();
+  void note_enqueue(std::size_t depth);
+  void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
+  std::vector<std::unique_ptr<WorkerCounters>> counters_;
+  std::queue<Task> queue_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   bool stopping_ = false;
+
+  std::atomic<std::uint64_t> enqueued_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> delay_total_ns_{0};
+  std::atomic<std::uint64_t> delay_max_ns_{0};
+  std::atomic<std::size_t> max_depth_{0};
 };
 
 }  // namespace intellog::common

@@ -5,6 +5,7 @@
 #include "common/strings.hpp"
 #include "core/coverage.hpp"
 #include "core/explain.hpp"
+#include "obs/profile/profile.hpp"
 #include "obs/trace.hpp"
 
 namespace intellog::core {
@@ -110,6 +111,7 @@ AnomalyDetector::AnomalyDetector(const logparse::Spell& spell, const logparse::K
       expected_groups_(graph.expected_groups(expected_group_fraction)) {}
 
 AnomalyReport AnomalyDetector::detect(const logparse::Session& session) const {
+  PROF_FRAME("detect.session");
   AnomalyReport report;
   report.container_id = session.container_id;
   report.session_length = session.records.size();
@@ -124,6 +126,7 @@ AnomalyReport AnomalyDetector::detect(const logparse::Session& session) const {
 
   // Per-record Spell matching, on-the-fly extraction and entity grouping.
   obs::Span extract_span("detect/extract+group", "detect");
+  obs::ProfFrame scan_frame("detect.scan");
   for (std::size_t ri = 0; ri < session.records.size(); ++ri) {
     const logparse::LogRecord& rec = session.records[ri];
     const int key_id = spell_.match(rec.content);
@@ -175,12 +178,14 @@ AnomalyReport AnomalyDetector::detect(const logparse::Session& session) const {
   }
 
   extract_span.close();
+  scan_frame.close();
 
   // An edge is exercised when both endpoint groups appeared this session.
   if (cov) cov->stamp_edges(groups_seen);
 
   // HW-graph instance checks: missing groups, then subroutine structure.
   obs::Span check_span("detect/hwgraph_check", "detect");
+  PROF_FRAME("detect.hwgraph_check");
   // Expected groups that never appeared -> erroneous HW-graph instance.
   for (const auto& g : expected_groups_) {
     if (!groups_seen.count(g)) {

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/strings.hpp"
+#include "obs/profile/profile.hpp"
 #include "nlp/camel_case.hpp"
 #include "nlp/tokenizer.hpp"
 
@@ -384,6 +385,7 @@ InfoExtractor::Analysis InfoExtractor::analyze(const std::vector<std::string>& k
 
 IntelKey InfoExtractor::extract(const logparse::LogKey& key,
                                 std::string_view sample_message) const {
+  PROF_FRAME("extract.key");
   Analysis a = analyze(key.tokens, sample_message);
 
   IntelKey ik;
@@ -457,6 +459,7 @@ IntelKey InfoExtractor::extract(const logparse::LogKey& key,
 }
 
 IntelKey InfoExtractor::extract_from_message(std::string_view message) const {
+  PROF_FRAME("extract.unexpected");
   // Build a pseudo log key by masking digit-bearing tokens, then reuse the
   // regular pipeline. Used for unexpected messages in detection (§4.2).
   logparse::LogKey key;
@@ -473,6 +476,7 @@ IntelKey InfoExtractor::extract_from_message(std::string_view message) const {
 
 IntelMessage InfoExtractor::instantiate(const IntelKey& ikey, const logparse::LogKey& key,
                                         const logparse::LogRecord& record) const {
+  PROF_FRAME("extract.instantiate");
   IntelMessage msg;
   msg.key_id = ikey.key_id;
   msg.timestamp_ms = record.timestamp_ms;

@@ -7,6 +7,7 @@
 
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile/profile.hpp"
 #include "obs/trace.hpp"
 
 namespace intellog::core {
@@ -132,11 +133,13 @@ std::set<std::string> IntelLog::groups_of_key(int key_id) const {
 void IntelLog::train(const std::vector<logparse::Session>& sessions) {
   if (trained_) throw std::logic_error("IntelLog::train called twice");
   obs::Span train_span("train");
+  PROF_FRAME("train.pipeline");
 
   // --- Stage 1 (Fig. 2): Spell log-key extraction --------------------------
   std::vector<std::vector<int>> session_keys(sessions.size());
   {
     obs::Span span("train/spell");
+    PROF_FRAME("train.spell");
     obs::ScopedTimerMs timer(stage_hist("spell"));
     for (std::size_t si = 0; si < sessions.size(); ++si) {
       session_keys[si].reserve(sessions[si].records.size());
@@ -153,6 +156,7 @@ void IntelLog::train(const std::vector<logparse::Session>& sessions) {
   common::ThreadPool pool(config_.num_threads);
   {
     obs::Span span("train/extract");
+    PROF_FRAME("train.extract");
     obs::ScopedTimerMs timer(stage_hist("extract"));
     // Snapshot a const view of the sample map before the parallel region:
     // std::map::operator[] can insert, and concurrent inserts from pool
@@ -203,6 +207,7 @@ void IntelLog::train(const std::vector<logparse::Session>& sessions) {
   std::vector<SessionView> views(sessions.size());
   {
     obs::Span span("train/subroutines");
+    PROF_FRAME("train.subroutines");
     obs::ScopedTimerMs timer(stage_hist("subroutines"));
     pool.parallel_for(sessions.size(), [&](std::size_t si) {
       obs::Span view_span("train/session_view");
@@ -235,6 +240,7 @@ void IntelLog::train(const std::vector<logparse::Session>& sessions) {
 
   {
     obs::Span span("train/hwgraph");
+    PROF_FRAME("train.hwgraph");
     obs::ScopedTimerMs timer(stage_hist("hwgraph"));
     HwGraphBuilder builder;
     for (const SessionView& view : views) {
@@ -318,6 +324,7 @@ std::vector<AnomalyReport> IntelLog::detect_batch(std::span<const logparse::Sess
   // index, so the output order (and content — detect() is pure) is
   // identical no matter how many workers run or how they interleave.
   const auto run_shard = [&](std::size_t shard) {
+    PROF_FRAME("detect.batch_shard");
     const std::size_t begin = sessions.size() * shard / shards;
     const std::size_t end = sessions.size() * (shard + 1) / shards;
     obs::ScopedTimerMs shard_timer(

@@ -7,6 +7,7 @@
 
 #include "common/checksum.hpp"
 #include "common/strings.hpp"
+#include "obs/profile/profile.hpp"
 #include "obs/trace.hpp"
 
 namespace intellog::core {
@@ -86,6 +87,7 @@ void OnlineDetector::enforce_caps() {
 }
 
 std::optional<OnlineDetector::Event> OnlineDetector::consume(const logparse::LogRecord& record) {
+  PROF_FRAME("online.consume");
   if (record.container_id.empty()) return std::nullopt;
   const std::uint64_t t0 = tel_.consume_us ? obs::monotonic_ns() : 0;
   if (tel_.records) tel_.records->add(1);
@@ -141,6 +143,7 @@ std::optional<AnomalyReport> OnlineDetector::close_session(const std::string& co
   const auto it = open_.find(container_id);
   if (it == open_.end()) return std::nullopt;
   obs::Span span("online/close_session", "online");
+  PROF_FRAME("online.drain");
   logparse::Session session = detach(it);
   AnomalyReport report = model_.detect(session);
   if (tel_.closed_explicit) tel_.closed_explicit->add(1);
@@ -151,6 +154,7 @@ std::optional<AnomalyReport> OnlineDetector::close_session(const std::string& co
 std::vector<AnomalyReport> OnlineDetector::watchdog(std::uint64_t now_ms) {
   if (limits_.max_session_age_ms == 0) return {};
   obs::Span span("online/watchdog", "online");
+  PROF_FRAME("online.drain");
   std::vector<logparse::Session> stuck;
   for (auto it = open_.begin(); it != open_.end();) {
     if (it->second.first_seen_ms + limits_.max_session_age_ms <= now_ms) {
@@ -171,6 +175,7 @@ std::vector<AnomalyReport> OnlineDetector::watchdog(std::uint64_t now_ms) {
 std::vector<AnomalyReport> OnlineDetector::close_idle(std::uint64_t now_ms,
                                                       std::uint64_t idle_ms) {
   obs::Span span("online/close_idle", "online");
+  PROF_FRAME("online.drain");
   // Drain expired sessions first, then run the structural checks as one
   // sharded batch: reports stay in container-id (map) order.
   std::vector<logparse::Session> expired;
@@ -193,6 +198,7 @@ std::vector<AnomalyReport> OnlineDetector::close_idle(std::uint64_t now_ms,
 
 std::vector<AnomalyReport> OnlineDetector::close_all() {
   obs::Span span("online/close_all", "online");
+  PROF_FRAME("online.drain");
   std::vector<logparse::Session> sessions;
   sessions.reserve(open_.size());
   for (auto& [id, state] : open_) {

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/profile/profile.hpp"
 
 namespace intellog::logparse {
 
@@ -63,6 +64,7 @@ void write_log_directory(const Formatter& fmt, const std::vector<Session>& sessi
 }
 
 Session read_session_file(const std::string& path, std::string_view system) {
+  PROF_FRAME("ingest.read_file");
   std::ifstream in(path);
   if (!in) throw std::runtime_error("read_session_file: cannot open " + path);
   std::vector<std::string> lines;
@@ -86,6 +88,7 @@ Session read_session_file(const std::string& path, std::string_view system) {
 }
 
 std::vector<Session> read_log_directory(const std::string& dir, std::string_view system) {
+  PROF_FRAME("ingest.read_dir");
   if (!fs::exists(dir)) throw std::runtime_error("read_log_directory: no such dir " + dir);
   std::vector<Session> sessions;
   for (const auto& p : sorted_log_paths(dir)) {
@@ -105,6 +108,7 @@ std::vector<Session> read_log_directory(const std::string& dir, std::string_view
 
 SessionIngest read_session_file_resilient(const std::string& path, std::string_view system,
                                           const IngestOptions& options) {
+  PROF_FRAME("ingest.read_file_resilient");
   SessionIngest out;
   out.session.container_id = fs::path(path).stem().string();
   out.session.system = std::string(system);
@@ -147,6 +151,7 @@ SessionIngest read_session_file_resilient(const std::string& path, std::string_v
 
 IngestReport read_log_directory_resilient(const std::string& dir, std::string_view system,
                                           const IngestOptions& options) {
+  PROF_FRAME("ingest.read_dir_resilient");
   IngestReport report;
   std::error_code ec;
   if (!fs::exists(dir, ec) || ec) {

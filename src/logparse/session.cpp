@@ -5,6 +5,8 @@
 #include <cctype>
 #include <cstring>
 
+#include "obs/profile/profile.hpp"
+
 namespace intellog::logparse {
 
 std::vector<Session> split_sessions(const std::vector<LogRecord>& records,
@@ -28,6 +30,7 @@ std::vector<Session> split_sessions(const std::vector<LogRecord>& records,
 
 Session parse_session(const Formatter& fmt, std::string_view container_id,
                       const std::vector<std::string>& lines, std::string_view system) {
+  PROF_FRAME("ingest.parse");
   Session s;
   s.container_id = std::string(container_id);
   s.system = std::string(system);
@@ -103,6 +106,7 @@ SessionIngest parse_session_resilient(const Formatter& fmt, std::string_view con
                                       const std::vector<std::string>& lines,
                                       std::string_view system, const IngestOptions& options,
                                       std::string_view file) {
+  PROF_FRAME("ingest.parse_resilient");
   SessionIngest out;
   out.session.container_id = std::string(container_id);
   out.session.system = std::string(system);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.hpp"
+#include "obs/profile/profile.hpp"
 #include "obs/trace.hpp"
 
 namespace intellog::logparse {
@@ -45,7 +46,7 @@ Spell::Spell(Spell&& other) noexcept
       shape_cache_(std::move(other.shape_cache_)),
       match_cache_(std::move(other.match_cache_)),
       match_mu_(std::move(other.match_mu_)) {
-  other.match_mu_ = std::make_unique<std::mutex>();
+  other.match_mu_ = std::make_unique<obs::ProfiledMutex>("spell.match_memo");
 }
 
 Spell& Spell::operator=(Spell&& other) noexcept {
@@ -58,7 +59,7 @@ Spell& Spell::operator=(Spell&& other) noexcept {
   shape_cache_ = std::move(other.shape_cache_);
   match_cache_ = std::move(other.match_cache_);
   match_mu_ = std::move(other.match_mu_);
-  other.match_mu_ = std::make_unique<std::mutex>();
+  other.match_mu_ = std::make_unique<obs::ProfiledMutex>("spell.match_memo");
   return *this;
 }
 
@@ -146,6 +147,7 @@ int Spell::best_match(const std::vector<int>& token_ids, std::size_t num_tokens,
 }
 
 void Spell::refine_key(LogKey& key, const std::vector<std::string>& tokens) {
+  PROF_FRAME("spell.refine");
   // Align the key's constant tokens with the message; keep common tokens,
   // collapse every divergent run (including pre-existing '*') to one '*'.
   const std::vector<std::string> consts = key.constants();
@@ -179,6 +181,7 @@ void Spell::refine_key(LogKey& key, const std::vector<std::string>& tokens) {
 
 int Spell::consume(std::string_view message) {
   obs::Span span("spell/consume", "logparse");
+  PROF_FRAME("spell.consume");
   Scratch& s = scratch();
   common::split_ws_views(message, s.tokens);
   if (s.tokens.empty()) return -1;
@@ -238,6 +241,7 @@ int Spell::consume(std::string_view message) {
 
 int Spell::match(std::string_view message) const {
   obs::Span span("spell/match", "logparse");
+  PROF_FRAME("spell.match");
   Scratch& s = scratch();
   common::split_ws_views(message, s.tokens);
   if (s.tokens.empty()) return -1;

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/interner.hpp"
+#include "obs/profile/profiled_mutex.hpp"
 
 namespace intellog::logparse {
 
@@ -114,9 +115,12 @@ class Spell {
 
   /// Bounded shape -> match() verdict memo (satellite: repeated detect
   /// traffic with unseen shapes). Mutated under match_mu_ from const match().
+  /// Profiled: the memo lock is the one lock on the per-record detect path,
+  /// so the Performance Observatory reports its contention by name.
   mutable std::unordered_map<std::string, int, common::StringHash, std::equal_to<>>
       match_cache_;
-  mutable std::unique_ptr<std::mutex> match_mu_ = std::make_unique<std::mutex>();
+  mutable std::unique_ptr<obs::ProfiledMutex> match_mu_ =
+      std::make_unique<obs::ProfiledMutex>("spell.match_memo");
 };
 
 }  // namespace intellog::logparse

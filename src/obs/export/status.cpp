@@ -95,6 +95,26 @@ common::Json build_status(const StatusContext& ctx) {
   }
   if (!ctx.cursor.is_null()) doc["cursor"] = ctx.cursor;
   if (ctx.alerts) doc["alerts"] = ctx.alerts->to_json();
+
+  if (ctx.profiler) {
+    // Hot-frame attribution from the live profiling session, so `top`
+    // shows where cycles and allocations go while the run is in flight.
+    common::Json prof = common::Json::object();
+    prof["sample_period_us"] = ctx.profiler->options().sample_period_us;
+    prof["total_samples"] = ctx.profiler->total_samples();
+    prof["total_alloc_bytes"] = ctx.profiler->total_alloc_bytes();
+    common::Json hot = common::Json::array();
+    for (const HotFrame& h : ctx.profiler->hot_frames(8)) {
+      common::Json f = common::Json::object();
+      f["path"] = h.path;
+      f["self_samples"] = h.self_samples;
+      f["self_pct"] = h.self_pct;
+      f["alloc_bytes"] = h.alloc_bytes;
+      hot.push_back(std::move(f));
+    }
+    prof["hot_frames"] = std::move(hot);
+    doc["profile"] = std::move(prof);
+  }
   return doc;
 }
 
@@ -181,6 +201,24 @@ std::string render_top(const common::Json& status) {
     out += "counters:\n";
     for (const auto& [key, v] : status["counters"].as_object()) {
       out += "  " + key + " = " + std::to_string(v.as_int()) + "\n";
+    }
+  }
+
+  if (status["profile"].is_object()) {
+    const common::Json& prof = status["profile"];
+    out += "hot frames — " + std::to_string(prof["total_samples"].as_int()) +
+           " samples, " + std::to_string(prof["total_alloc_bytes"].as_int()) +
+           " alloc bytes:\n";
+    if (prof["hot_frames"].is_array()) {
+      for (const common::Json& f : prof["hot_frames"].as_array()) {
+        char pct[16];
+        std::snprintf(pct, sizeof(pct), "%5.1f%%",
+                      f["self_pct"].is_number() ? f["self_pct"].as_double() : 0.0);
+        out += std::string("  ") + pct + "  " +
+               std::to_string(f["self_samples"].as_int()) + " samples  " +
+               std::to_string(f["alloc_bytes"].as_int()) + " B  " +
+               f["path"].as_string() + "\n";
+      }
     }
   }
 

@@ -15,6 +15,7 @@
 #include "common/json.hpp"
 #include "core/online.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile/profile.hpp"
 #include "obs/timeseries/alerts.hpp"
 
 namespace intellog::obs {
@@ -31,6 +32,7 @@ struct StatusContext {
   const core::OnlineDetector* detector = nullptr;
   const MetricsRegistry* registry = nullptr;
   const ts::AlertEngine* alerts = nullptr;  ///< last evaluation, if alerting is on
+  const Profiler* profiler = nullptr;       ///< live profiling session, if any
   std::string checkpoint_path;     ///< empty: checkpointing disabled
   double checkpoint_age_s = -1.0;  ///< seconds since last write (<0: none yet)
   common::Json cursor;             ///< opaque stream cursor (null when n/a)

@@ -5,6 +5,8 @@
 #include <set>
 #include <sstream>
 
+#include "obs/pool_metrics.hpp"
+
 namespace intellog::obs {
 
 namespace {
@@ -307,6 +309,9 @@ std::string MetricsRegistry::to_prometheus() const {
 
 void set_registry(MetricsRegistry* registry) {
   g_registry.store(registry, std::memory_order_release);
+  // Thread pools publish queue metrics through the same registry via the
+  // process PoolObserver hook; keep the bridge in lockstep.
+  sync_pool_metrics_bridge(registry);
 }
 
 MetricsRegistry* registry() { return g_registry.load(std::memory_order_acquire); }

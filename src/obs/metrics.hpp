@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "obs/profile/profiled_mutex.hpp"
 
 namespace intellog::obs {
 
@@ -152,7 +153,9 @@ class MetricsRegistry {
   Entry& get_or_create(const std::string& name, const Labels& labels);
   const Entry* find(const std::string& name, const Labels& labels) const;
 
-  mutable std::mutex mu_;
+  // Profiled so the Performance Observatory can surface registry-lock
+  // contention (every get-or-create and snapshot goes through it).
+  mutable ProfiledMutex mu_{"metrics.registry"};
   // Keyed by "name" + canonical label serialization; std::map keeps the
   // exports deterministically ordered.
   std::map<std::string, Entry> entries_;

@@ -1,0 +1,56 @@
+#include "obs/pool_metrics.hpp"
+
+#include <memory>
+
+namespace intellog::obs {
+
+PoolMetricsBridge::PoolMetricsBridge(MetricsRegistry& registry)
+    : depth_(&registry.gauge("intellog_pool_queue_depth")),
+      delay_ms_(&registry.histogram("intellog_pool_queue_delay_ms")),
+      tasks_(&registry.counter("intellog_pool_tasks_total")),
+      busy_us_(&registry.counter("intellog_pool_busy_us_total")),
+      idle_us_(&registry.counter("intellog_pool_idle_us_total")),
+      pools_retired_(&registry.counter("intellog_pool_retired_total")) {
+  registry.describe("intellog_pool_queue_depth",
+                    "Tasks currently queued across all thread pools.");
+  registry.describe("intellog_pool_queue_delay_ms",
+                    "Enqueue-to-dequeue latency of thread-pool tasks.");
+  registry.describe("intellog_pool_tasks_total",
+                    "Thread-pool tasks picked up by workers.");
+  registry.describe("intellog_pool_busy_us_total",
+                    "Worker time spent running tasks, summed over retired pools.");
+  registry.describe("intellog_pool_idle_us_total",
+                    "Worker time spent waiting for work, summed over retired pools.");
+  registry.describe("intellog_pool_retired_total",
+                    "Thread pools shut down since the registry was installed.");
+}
+
+void PoolMetricsBridge::on_enqueue(std::size_t) { depth_->add(1); }
+
+void PoolMetricsBridge::on_dequeue(double delay_ms, std::size_t) {
+  depth_->sub(1);
+  delay_ms_->observe(delay_ms);
+  tasks_->add(1);
+}
+
+void PoolMetricsBridge::on_retire(std::uint64_t busy_us, std::uint64_t idle_us,
+                                  std::uint64_t tasks) {
+  (void)tasks;  // already counted per-dequeue
+  busy_us_->add(busy_us);
+  idle_us_->add(idle_us);
+  pools_retired_->add(1);
+}
+
+void sync_pool_metrics_bridge(MetricsRegistry* registry) {
+  static std::unique_ptr<PoolMetricsBridge> bridge;
+  if (registry == nullptr) {
+    common::set_pool_observer(nullptr);
+    bridge.reset();
+    return;
+  }
+  auto fresh = std::make_unique<PoolMetricsBridge>(*registry);
+  common::set_pool_observer(fresh.get());
+  bridge = std::move(fresh);  // frees any bridge for the previous registry
+}
+
+}  // namespace intellog::obs

@@ -1,0 +1,39 @@
+// Bridges common::ThreadPool queue events into the metrics registry.
+//
+// common cannot depend on obs, so the pool exposes a PoolObserver hook and
+// this bridge implements it: queue depth as a process-wide gauge, the
+// enqueue→dequeue latency as a histogram, and per-pool lifetime busy/idle
+// totals as counters on pool retirement. set_registry() keeps exactly one
+// bridge installed while a registry is installed, so `intellog stats`,
+// `--metrics` and the profiler report all see pool behavior for free.
+#pragma once
+
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+
+namespace intellog::obs {
+
+class PoolMetricsBridge final : public common::PoolObserver {
+ public:
+  explicit PoolMetricsBridge(MetricsRegistry& registry);
+
+  void on_enqueue(std::size_t queue_depth) override;
+  void on_dequeue(double delay_ms, std::size_t queue_depth) override;
+  void on_retire(std::uint64_t busy_us, std::uint64_t idle_us,
+                 std::uint64_t tasks) override;
+
+ private:
+  Gauge* depth_;
+  Histogram* delay_ms_;
+  Counter* tasks_;
+  Counter* busy_us_;
+  Counter* idle_us_;
+  Counter* pools_retired_;
+};
+
+/// Installs (registry != nullptr) or uninstalls (nullptr) the process
+/// PoolObserver bridge. Called by set_registry; the same lifetime contract
+/// applies — no pool activity may race an uninstall.
+void sync_pool_metrics_bridge(MetricsRegistry* registry);
+
+}  // namespace intellog::obs

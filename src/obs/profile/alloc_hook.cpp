@@ -1,0 +1,131 @@
+// Global operator new/delete replacement for the Performance Observatory's
+// allocation accounting.
+//
+// Replacement (not wrapping): the C++ standard reserves these signatures
+// for exactly this purpose ([replacement.functions]). All allocation is
+// routed through malloc/free.
+//
+// Because this object file lives in the intellog_obs static archive and
+// defines symbols (operator new) that every C++ TU references, the linker
+// pulls it into every binary that links the archive; the hook is therefore
+// process-wide but costs one relaxed atomic load and a branch while no
+// profiling session is active (prof_detail::note_alloc). Attribution goes
+// to the calling thread's innermost active PROF_FRAME; allocations outside
+// any frame are counted as unattributed session totals.
+//
+// Under -fsanitize builds this TU is intentionally ABSENT: the compiler
+// driver links the sanitizer runtime ahead of user archives, so operator
+// new resolves against libasan's interceptor and this member is never
+// extracted — which is exactly what keeps poisoning, leak detection and
+// use-after-free checks intact. operator_new_replaced() (strong here,
+// weak-false in profile.cpp) tells the rest of the profiler which case it
+// is in; when absent, profile.cpp routes attribution through the
+// sanitizer's own __sanitizer_install_malloc_and_free_hooks instead.
+#include <cstdlib>
+#include <new>
+
+#include "obs/profile/profile.hpp"
+
+namespace intellog::obs::prof_detail {
+
+// Strong definition: linked exactly when this TU's operator new is the one
+// in effect. The weak-false fallback lives in profile.cpp.
+bool operator_new_replaced() noexcept { return true; }
+
+}  // namespace intellog::obs::prof_detail
+
+namespace {
+
+using intellog::obs::prof_detail::note_alloc;
+
+void* checked_alloc(std::size_t size) {
+  // Per [new.delete.single]: retry via the installed new-handler until the
+  // allocation succeeds or no handler is left.
+  void* p = nullptr;
+  while ((p = std::malloc(size != 0 ? size : 1)) == nullptr) {
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+  note_alloc(size);
+  return p;
+}
+
+void* checked_alloc_aligned(std::size_t size, std::align_val_t align) {
+  const std::size_t a = static_cast<std::size_t>(align);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + a - 1) / a * a;
+  void* p = nullptr;
+  while ((p = std::aligned_alloc(a, rounded != 0 ? rounded : a)) == nullptr) {
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+  note_alloc(size);
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return checked_alloc(size); }
+void* operator new[](std::size_t size) { return checked_alloc(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return checked_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return checked_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  return checked_alloc_aligned(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return checked_alloc_aligned(size, align);
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  try {
+    return checked_alloc_aligned(size, align);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  try {
+    return checked_alloc_aligned(size, align);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,78 @@
+#include "obs/profile/profiled_mutex.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "obs/metrics.hpp"  // monotonic_ns
+
+namespace intellog::obs {
+
+namespace {
+
+// Leaked on purpose: ProfiledMutex members of static-lifetime objects
+// (e.g. a process-global MetricsRegistry) deregister during static
+// destruction, which must not race a destroyed registry.
+struct MutexRegistry {
+  std::mutex mu;
+  std::vector<ProfiledMutex*> entries;
+};
+
+MutexRegistry& mutex_registry() {
+  static MutexRegistry* reg = new MutexRegistry();
+  return *reg;
+}
+
+}  // namespace
+
+ProfiledMutex::ProfiledMutex(const char* name) : name_(name) {
+  MutexRegistry& reg = mutex_registry();
+  std::lock_guard lock(reg.mu);
+  reg.entries.push_back(this);
+}
+
+ProfiledMutex::~ProfiledMutex() {
+  MutexRegistry& reg = mutex_registry();
+  std::lock_guard lock(reg.mu);
+  std::erase(reg.entries, this);
+}
+
+void ProfiledMutex::lock() {
+  if (mu_.try_lock()) {
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  contended_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t t0 = monotonic_ns();
+  mu_.lock();
+  wait_ns_.fetch_add(monotonic_ns() - t0, std::memory_order_relaxed);
+  acquisitions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool ProfiledMutex::try_lock() {
+  if (!mu_.try_lock()) return false;
+  acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+double ProfiledMutex::wait_ms() const {
+  return static_cast<double>(wait_ns_.load(std::memory_order_relaxed)) / 1e6;
+}
+
+std::vector<ProfiledMutex::Snapshot> ProfiledMutex::snapshot_all() {
+  std::map<std::string, Snapshot> by_name;
+  MutexRegistry& reg = mutex_registry();
+  std::lock_guard lock(reg.mu);
+  for (const ProfiledMutex* m : reg.entries) {
+    Snapshot& s = by_name[m->name()];
+    s.name = m->name();
+    s.acquisitions += m->acquisitions();
+    s.contended += m->contended();
+    s.wait_ms += m->wait_ms();
+  }
+  std::vector<Snapshot> out;
+  out.reserve(by_name.size());
+  for (auto& [name, s] : by_name) out.push_back(std::move(s));
+  return out;
+}
+
+}  // namespace intellog::obs

@@ -1,0 +1,62 @@
+// ProfiledMutex: a std::mutex wrapper that counts acquisitions, contended
+// acquisitions and contended wait time, so the Performance Observatory can
+// name the locks a workload actually fights over.
+//
+// The fast path is `try_lock` first: an uncontended acquisition costs one
+// extra relaxed increment and never reads a clock. Only a failed try_lock
+// (real contention) pays two steady_clock reads to time the wait. Named
+// instances self-register in a process-global list (leaked intentionally,
+// sidestepping static destruction order) that Profiler::to_json() and the
+// tests snapshot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace intellog::obs {
+
+class ProfiledMutex {
+ public:
+  /// `name` must outlive the mutex (string literal by convention),
+  /// e.g. "spell.match_memo".
+  explicit ProfiledMutex(const char* name);
+  ~ProfiledMutex();
+  ProfiledMutex(const ProfiledMutex&) = delete;
+  ProfiledMutex& operator=(const ProfiledMutex&) = delete;
+
+  void lock();
+  bool try_lock();
+  void unlock() { mu_.unlock(); }
+
+  const char* name() const { return name_; }
+  std::uint64_t acquisitions() const {
+    return acquisitions_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t contended() const {
+    return contended_.load(std::memory_order_relaxed);
+  }
+  /// Total time spent blocked in contended lock() calls, milliseconds.
+  double wait_ms() const;
+
+  struct Snapshot {
+    std::string name;
+    std::uint64_t acquisitions = 0;
+    std::uint64_t contended = 0;
+    double wait_ms = 0.0;
+  };
+  /// Stats of every live ProfiledMutex, aggregated by name (several
+  /// registries/models may deploy the same logical lock).
+  static std::vector<Snapshot> snapshot_all();
+
+ private:
+  const char* name_;
+  std::mutex mu_;
+  std::atomic<std::uint64_t> acquisitions_{0};
+  std::atomic<std::uint64_t> contended_{0};
+  std::atomic<std::uint64_t> wait_ns_{0};
+};
+
+}  // namespace intellog::obs

@@ -51,7 +51,10 @@ common::Json TraceCollector::to_chrome_json() const {
     e["cat"] = std::string(ev.category);
     e["ph"] = "X";
     e["ts"] = static_cast<std::int64_t>(ev.ts_us);
-    e["dur"] = static_cast<std::int64_t>(ev.dur_us);
+    // Clamp to 1us: per-record spans routinely complete inside one
+    // microsecond tick, and Perfetto renders dur=0 as an unselectable
+    // zero-width sliver (same clamp as the hwgraph exporter).
+    e["dur"] = static_cast<std::int64_t>(ev.dur_us == 0 ? 1 : ev.dur_us);
     e["pid"] = 1;
     e["tid"] = static_cast<std::int64_t>(ev.tid);
     common::Json args = common::Json::object();

@@ -1,0 +1,150 @@
+// --status-file publication contract: a concurrent reader of the snapshot
+// file never observes a torn document (write_json_atomic's rename
+// discipline), and the schema version round-trips through disk into
+// `intellog top` without a version warning.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "common/json.hpp"
+#include "obs/export/status.hpp"
+
+using namespace intellog;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string read_whole(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+fs::path temp_file(const char* name) {
+  return fs::temp_directory_path() / (std::string(name) + "." + std::to_string(::getpid()));
+}
+
+/// A status-shaped document whose payload identifies revision `rev` and
+/// pads out to a few kilobytes, so a non-atomic writer would be very likely
+/// to expose partial content to the reader loop below.
+common::Json status_doc(int rev) {
+  common::Json doc = common::Json::object();
+  doc["kind"] = "intellog_status";
+  doc["schema_version"] = obs::kStatusSchemaVersion;
+  doc["rev"] = rev;
+  common::Json sessions = common::Json::array();
+  for (int i = 0; i < 64; ++i) {
+    common::Json s = common::Json::object();
+    s["container"] = "container_" + std::to_string(rev) + "_" + std::to_string(i);
+    s["buffered_records"] = rev;  // every row carries the revision
+    sessions.push_back(std::move(s));
+  }
+  doc["sessions"] = std::move(sessions);
+  return doc;
+}
+
+}  // namespace
+
+TEST(StatusAtomic, ConcurrentReaderNeverSeesATornSnapshot) {
+  const fs::path path = temp_file("intellog_status_atomic");
+  fs::remove(path);
+  obs::write_json_atomic(status_doc(0), path.string());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> reads{0};
+  std::string failure;
+  std::thread reader([&] {
+    int last_rev = 0;
+    while (!stop.load()) {
+      const std::string text = read_whole(path);
+      common::Json doc;
+      try {
+        doc = common::Json::parse(text);
+      } catch (const std::exception& e) {
+        failure = std::string("torn JSON: ") + e.what();
+        stop.store(true);
+        return;
+      }
+      // Whole-document consistency: every row must carry the same revision
+      // (a torn write would mix revisions or truncate the array).
+      const int rev = static_cast<int>(doc["rev"].as_int());
+      if (rev < last_rev) {
+        failure = "snapshot went backwards";
+        stop.store(true);
+        return;
+      }
+      last_rev = rev;
+      if (doc["sessions"].as_array().size() != 64) {
+        failure = "truncated sessions array";
+        stop.store(true);
+        return;
+      }
+      for (const common::Json& s : doc["sessions"].as_array()) {
+        if (s["buffered_records"].as_int() != rev) {
+          failure = "mixed revisions in one snapshot";
+          stop.store(true);
+          return;
+        }
+      }
+      ++reads;
+    }
+  });
+
+  for (int rev = 1; rev <= 200 && !stop.load(); ++rev) {
+    obs::write_json_atomic(status_doc(rev), path.string());
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_TRUE(failure.empty()) << failure;
+  EXPECT_GT(reads.load(), 0);
+  EXPECT_FALSE(fs::exists(path.string() + ".tmp"));  // no stray temp file
+  fs::remove(path);
+}
+
+TEST(StatusAtomic, SchemaVersionRoundTripsThroughDiskIntoTop) {
+  const fs::path path = temp_file("intellog_status_roundtrip");
+  const common::Json doc = obs::build_status(obs::StatusContext{});
+  ASSERT_EQ(doc["schema_version"].as_int(), obs::kStatusSchemaVersion);
+  obs::write_json_atomic(doc, path.string());
+
+  const common::Json reread = common::Json::parse(read_whole(path));
+  EXPECT_EQ(reread["schema_version"].as_int(), obs::kStatusSchemaVersion);
+  // A same-version snapshot renders without the version-mismatch warning.
+  EXPECT_EQ(obs::render_top(reread).find("warning"), std::string::npos);
+  fs::remove(path);
+}
+
+TEST(StatusAtomic, ProfileSectionRendersHotFramesInTop) {
+  obs::ProfilerOptions opts;
+  opts.sample_period_us = 50;
+  obs::Profiler prof(opts);
+  {
+    PROF_FRAME("test.status_hot");
+    std::string s(1 << 15, 'q');
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(20);
+    volatile std::uint64_t sink = 0;
+    while (std::chrono::steady_clock::now() < until) sink += 1;
+  }
+  prof.stop();
+
+  obs::StatusContext ctx;
+  ctx.profiler = &prof;
+  const common::Json status = obs::build_status(ctx);
+  ASSERT_TRUE(status["profile"].is_object());
+  EXPECT_GT(status["profile"]["total_alloc_bytes"].as_int(), 0);
+  ASSERT_TRUE(status["profile"]["hot_frames"].is_array());
+  EXPECT_FALSE(status["profile"]["hot_frames"].as_array().empty());
+
+  const std::string top = obs::render_top(status);
+  EXPECT_NE(top.find("hot frames"), std::string::npos);
+  EXPECT_NE(top.find("test.status_hot"), std::string::npos);
+}

@@ -10,6 +10,7 @@
 #   tools/ci.sh chaos      # corrupted-stream soak under ASan (3 seeds)
 #   tools/ci.sh observatory # end-to-end trace-export/explain/status checks
 #   tools/ci.sh quality    # seeded score round-trip, coverage + drift gates
+#   tools/ci.sh profile    # sampling-profiler smoke (Release + ASan/UBSan)
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -42,6 +43,9 @@ run_config() {
 #   ingest_resilient_ratio >= 0.80      hardened ingest vs plain parse
 #   evidence_overhead_ratio <= 1.05     evidence construction on detect
 #   coverage_overhead_ratio <= 1.05     coverage ledger stamping on detect
+#   profiler_overhead_ratio <= 1.10     detect under a live sampling profiler
+#   profiler_disabled_ratio in 0.90..1.10  noise floor: uninstalled PROF_FRAME
+#                                       annotations must cost ~nothing
 # The overhead ratios are order-alternated interleaved-pair medians, so
 # they are self-relative and need no baseline entry to be meaningful.
 bench_smoke() {
@@ -62,7 +66,60 @@ bench_smoke() {
     --ratio-min throughput_per_s=0.70 \
     --extra-min ingest_resilient_ratio=0.80 \
     --extra-max evidence_overhead_ratio=1.05 \
-    --extra-max coverage_overhead_ratio=1.05
+    --extra-max coverage_overhead_ratio=1.05 \
+    --extra-max profiler_overhead_ratio=1.10 \
+    --extra-range profiler_disabled_ratio=0.90:1.10
+}
+
+# Profile smoke: the Performance Observatory end to end through the CLI.
+# A seeded spark workload is trained and then detected with `--profile`
+# (and once through the `intellog profile` wrapper); the collapsed-stack /
+# pprof artifacts must pass the strict profile validator — well-formed
+# frame paths spanning ingest/spell/extract/detect, self counters summing
+# exactly to the totals, and alloc bytes attributed across >= 5 frames.
+# Runs in both the Release and the ASan/UBSan build: under sanitizers the
+# operator-new replacement is not linked (the runtime owns operator new)
+# and attribution must flow through the sanitizer's malloc hooks instead —
+# this stage pins that both paths produce valid, balanced artifacts.
+profile_smoke() {
+  local name="$1"
+  local dir="$repo/build-ci-$name"
+  if [[ ! -x "$dir/tools/intellog" ]]; then
+    if [[ "$name" == asan ]]; then
+      run_config asan \
+        -DCMAKE_BUILD_TYPE=Debug \
+        -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+        -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+    else
+      run_config release -DCMAKE_BUILD_TYPE=Release
+    fi
+  fi
+  echo "==> [profile:$name] seeded profiler smoke"
+  local tmp rc
+  tmp="$(mktemp -d)"
+  "$dir/tools/loggen" "$tmp/jobs" --system spark --jobs 20 --seed 11 >/dev/null
+  mkdir -p "$tmp/logs"
+  cp "$tmp"/jobs/job_*/*.log "$tmp/logs/"
+  "$dir/tools/intellog" train "$tmp/logs" -o "$tmp/model.json" >/dev/null 2>&1
+
+  # A 50us sample period keeps the short seeded run statistically useful
+  # (thousands of sampler ticks) while staying far from sampler saturation.
+  rc=0
+  INTELLOG_PROF_PERIOD_US=50 "$dir/tools/intellog" detect "$tmp/logs" \
+      -m "$tmp/model.json" --jobs 2 --profile "$tmp/prof" >/dev/null 2>&1 || rc=$?
+  [[ $rc -eq 0 || $rc -eq 3 ]] || {
+    echo "profile smoke: FAIL — detect --profile exited $rc" >&2; exit 1; }
+  python3 "$repo/tools/validate_observatory.py" profile "$tmp/prof" || {
+    echo "profile smoke: FAIL — artifact validation ($name)" >&2; exit 1; }
+
+  # The wrapper spelling must produce the same artifact set.
+  INTELLOG_PROF_PERIOD_US=50 "$dir/tools/intellog" profile -o "$tmp/wrap" \
+      train "$tmp/logs" -o "$tmp/model2.json" >/dev/null 2>&1 || {
+    echo "profile smoke: FAIL — intellog profile wrapper" >&2; exit 1; }
+  [[ -s "$tmp/wrap" && -s "$tmp/wrap.alloc" && -s "$tmp/wrap.pprof.json" ]] || {
+    echo "profile smoke: FAIL — wrapper artifacts missing" >&2; exit 1; }
+  rm -rf "$tmp"
+  echo "profile smoke: OK ($name)"
 }
 
 # Observatory smoke: a seeded end-to-end run through the CLI per system —
@@ -205,9 +262,15 @@ case "$mode" in
   release|quality|all)
     quality_smoke
     ;;&
-  release|asan|bench|chaos|observatory|quality|all) ;;
+  release|profile|all)
+    profile_smoke release
+    ;;&
+  asan|profile|all)
+    profile_smoke asan
+    ;;&
+  release|asan|bench|chaos|observatory|quality|profile|all) ;;
   *)
-    echo "usage: $0 [release|asan|bench|chaos|observatory|quality|all]" >&2
+    echo "usage: $0 [release|asan|bench|chaos|observatory|quality|profile|all]" >&2
     exit 2
     ;;
 esac

@@ -15,6 +15,11 @@ applies the gates given on the command line:
                           (absolute gates on self-relative measurements
                            such as the interleaved overhead ratios, which
                            need no baseline to be meaningful)
+  --extra-range KEY=LO:HI LO <= fresh.extra[KEY] <= HI
+                          (two-sided gate for noise-floor measurements
+                           such as profiler_disabled_ratio, which must
+                           straddle 1.00 for the one-sided overhead
+                           gates to be trustworthy)
 
 A gated --extra-* key absent from the fresh snapshot is skipped with a
 note: older bench binaries simply don't emit newer ratios, and the gate
@@ -43,16 +48,38 @@ def numeric_items(doc, prefix=""):
     return out
 
 
-def parse_gate(spec):
+def parse_gate_raw(spec):
     key, sep, bound = spec.partition("=")
     if not sep or not key:
         print(f"compare_bench: bad gate spec {spec!r} (want KEY=BOUND)", file=sys.stderr)
         sys.exit(2)
+    return key, bound
+
+
+def parse_gate(spec):
+    key, bound = parse_gate_raw(spec)
     try:
         return key, float(bound)
     except ValueError:
         print(f"compare_bench: non-numeric bound in {spec!r}", file=sys.stderr)
         sys.exit(2)
+
+
+def parse_range_gate(spec):
+    key, bounds = parse_gate_raw(spec)
+    lo, sep, hi = bounds.partition(":")
+    if not sep:
+        print(f"compare_bench: bad range spec {spec!r} (want KEY=LO:HI)", file=sys.stderr)
+        sys.exit(2)
+    try:
+        lo, hi = float(lo), float(hi)
+    except ValueError:
+        print(f"compare_bench: non-numeric bound in {spec!r}", file=sys.stderr)
+        sys.exit(2)
+    if lo > hi:
+        print(f"compare_bench: empty range in {spec!r} (LO > HI)", file=sys.stderr)
+        sys.exit(2)
+    return key, lo, hi
 
 
 def main():
@@ -62,6 +89,7 @@ def main():
     ap.add_argument("--ratio-min", action="append", default=[], metavar="KEY=BOUND")
     ap.add_argument("--extra-min", action="append", default=[], metavar="KEY=BOUND")
     ap.add_argument("--extra-max", action="append", default=[], metavar="KEY=BOUND")
+    ap.add_argument("--extra-range", action="append", default=[], metavar="KEY=LO:HI")
     args = ap.parse_args()
 
     with open(args.baseline, encoding="utf-8") as f:
@@ -113,6 +141,18 @@ def main():
                   f"{'OK' if ok else 'FAIL'}")
             if not ok:
                 failures.append(f"{key}: {value:.3f} violates {op} {bound:g}")
+
+    for spec in args.extra_range:
+        key, lo, hi = parse_range_gate(spec)
+        value = fresh.get(f"extra.{key}")
+        if value is None:
+            print(f"  gate {key}: not emitted by this bench build, skipped")
+            continue
+        ok = lo <= value <= hi
+        print(f"  gate {key}: {value:.3f} (need {lo:g}..{hi:g}) "
+              f"{'OK' if ok else 'FAIL'}")
+        if not ok:
+            failures.append(f"{key}: {value:.3f} outside [{lo:g}, {hi:g}]")
 
     if failures:
         for f in failures:

@@ -19,6 +19,13 @@
 //   intellog top <status.json>
 //       renders a --status-file snapshot (live streaming introspection)
 //
+// Performance Observatory:
+//   intellog profile [-o <prefix>] <cmd> [args...]
+//       runs any subcommand under the in-process sampling profiler;
+//       `--profile <out>` on the subcommand itself is equivalent. Writes
+//       collapsed stacks (<out>, CPU samples; <out>.alloc, allocation
+//       bytes) for flamegraph.pl / speedscope, plus <out>.pprof.json.
+//
 // `detect --checkpoint <file>` switches to streaming mode: records feed an
 // OnlineDetector one by one, the detector state plus a stream cursor is
 // written to <file> every --checkpoint-every records (atomic rename), and
@@ -46,6 +53,7 @@
 
 #include "core/explain.hpp"
 #include "core/message_store.hpp"
+#include "obs/profile/profile.hpp"
 #include "core/model_diff.hpp"
 #include "core/model_io.hpp"
 #include "core/online.hpp"
@@ -83,6 +91,11 @@ int usage() {
                "      expected-vs-observed explanation with raw-line provenance per finding\n"
                "  intellog top <status.json>\n"
                "      render a --status-file snapshot\n"
+               "  intellog profile [-o <prefix>] <cmd> [args...]\n"
+               "      run any subcommand under the sampling profiler; writes <prefix>\n"
+               "      (collapsed stacks for flamegraph.pl/speedscope), <prefix>.alloc\n"
+               "      (same, weighted by alloc bytes) and <prefix>.pprof.json\n"
+               "      (default prefix: intellog.prof)\n"
                "  intellog coverage <logdir> -m <model.json> [--json] [--jobs N]\n"
                "      which model components this workload exercises (dead/stale report)\n"
                "  intellog diff-model <modelA.json> <modelB.json> [--json]\n"
@@ -102,7 +115,9 @@ int usage() {
                "      windowed telemetry at each flush; default: built-in self-monitoring\n"
                "      rules (quarantine burst, evictions, unexpected-key rate, degraded)\n"
                "  --coverage <f>: (detect) stamp the model coverage ledger during the run\n"
-               "      and write the coverage report JSON to <f>\n";
+               "      and write the coverage report JSON to <f>\n"
+               "  --profile <out>: profile this command (same outputs as `intellog\n"
+               "      profile`); INTELLOG_PROF_PERIOD_US overrides the sample period\n";
   return 2;
 }
 
@@ -117,6 +132,7 @@ struct Args {
   std::string status_path;              ///< detect: live status snapshot file
   std::string alert_rules_path;         ///< detect: custom alert rules (JSON)
   std::string otlp_path;                ///< export-trace: OTLP JSON output
+  std::string profile_path;             ///< profiler output prefix (empty: off)
   double metrics_interval_s = 0;        ///< detect: periodic flush period (0: off)
   std::size_t checkpoint_every = 1000;  ///< records between checkpoints
   std::size_t jobs = 1;  ///< batch-detect workers; 0 = hardware concurrency
@@ -172,6 +188,55 @@ class ObsScope {
   obs::MetricsRegistry registry_;
   obs::TraceCollector trace_;
   std::string metrics_path_, trace_path_;
+};
+
+/// Performance Observatory session for one CLI command (`--profile <out>` or
+/// the `intellog profile` wrapper). Installs the in-process sampling profiler
+/// for the command's duration; finish() stops it and writes three artifacts:
+///   <out>             collapsed stacks, weight = CPU samples (flamegraph.pl,
+///                     speedscope)
+///   <out>.alloc       collapsed stacks, weight = attributed alloc bytes
+///   <out>.pprof.json  pprof-style JSON (totals, per-path rows, lock table)
+/// plus a hot-frame table on stderr. Must be destroyed only after profiled
+/// threads have quiesced — command functions join their pools before
+/// returning, and finish() runs after the command.
+class ProfileSession {
+ public:
+  explicit ProfileSession(std::string out_prefix)
+      : out_(std::move(out_prefix)), profiler_(obs::ProfilerOptions::from_env()) {}
+
+  ~ProfileSession() {
+    try {
+      finish();
+    } catch (const std::exception& e) {
+      std::cerr << "error: profile output failed: " << e.what() << "\n";
+    }
+  }
+
+  void finish() {
+    if (done_) return;
+    done_ = true;
+    profiler_.stop();
+    write_text(out_, profiler_.collapsed());
+    write_text(out_ + ".alloc", profiler_.collapsed_alloc());
+    obs::write_json_atomic(profiler_.to_json(), out_ + ".pprof.json");
+    std::cerr << "profile: " << profiler_.total_samples() << " samples over "
+              << profiler_.duration_ms() << " ms, " << profiler_.total_alloc_bytes()
+              << " bytes / " << profiler_.total_allocs() << " allocs attributed -> " << out_
+              << "{,.alloc,.pprof.json}\n"
+              << profiler_.hot_table(10);
+  }
+
+ private:
+  static void write_text(const std::string& path, const std::string& text) {
+    std::ofstream f(path);
+    f << text;
+    if (f.flush(); !f) throw std::runtime_error("cannot write " + path);
+  }
+
+  std::string out_;
+  obs::Profiler profiler_;
+  bool done_ = false;
 };
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -232,6 +297,10 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.otlp_path = v;
+    } else if (a == "--profile") {
+      const char* v = next();
+      if (!v) return false;
+      args.profile_path = v;
     } else if (a == "--metrics-interval") {
       const char* v = next();
       if (!v) return false;
@@ -409,6 +478,7 @@ int cmd_detect_stream(const Args& args) {
     ctx.detector = online.get();
     ctx.registry = obs::registry();
     ctx.alerts = &alert_engine;
+    ctx.profiler = obs::profiler();  // hot-frame table in `top`, if profiling
     ctx.checkpoint_path = args.checkpoint_path;
     ctx.checkpoint_age_s =
         last_checkpoint_ns == 0
@@ -946,28 +1016,63 @@ int cmd_query(const Args& args) {
   return 0;
 }
 
+int run_command(const Args& args) {
+  // The profiler brackets the whole command; ProfileSession is declared
+  // first so it is destroyed last, after every command-local thread pool
+  // has been joined (the shadow-stack quiescence invariant).
+  std::unique_ptr<ProfileSession> prof;
+  if (!args.profile_path.empty()) prof = std::make_unique<ProfileSession>(args.profile_path);
+
+  int rc = 2;
+  if (args.command == "train") rc = cmd_train(args);
+  else if (args.command == "detect") rc = cmd_detect(args);
+  else if (args.command == "stats") rc = cmd_stats(args);
+  else if (args.command == "graph") rc = cmd_graph(args);
+  else if (args.command == "keys") rc = cmd_keys(args);
+  else if (args.command == "query") rc = cmd_query(args);
+  else if (args.command == "quarantine") rc = cmd_quarantine(args);
+  else if (args.command == "coverage") rc = cmd_coverage(args);
+  else if (args.command == "diff-model") rc = cmd_diff_model(args);
+  else if (args.command == "score") rc = cmd_score(args);
+  else if (args.command == "export-trace") rc = cmd_export_trace(args);
+  else if (args.command == "explain") rc = cmd_explain(args);
+  else if (args.command == "top") rc = cmd_top(args);
+  else return usage();
+
+  if (prof) prof->finish();
+  return rc;
+}
+
+// `intellog profile [-o <prefix>] <cmd> [args...]` — runs any subcommand
+// under the sampling profiler, equivalent to adding `--profile <prefix>`.
+int cmd_profile_wrapper(int argc, char** argv) {
+  std::string prefix = "intellog.prof";
+  int start = 2;
+  if (start + 1 < argc && std::string(argv[start]) == "-o") {
+    prefix = argv[start + 1];
+    start += 2;
+  }
+  if (start >= argc) return usage();
+  std::vector<char*> shifted;
+  shifted.push_back(argv[0]);
+  for (int i = start; i < argc; ++i) shifted.push_back(argv[i]);
+  Args args;
+  if (!parse_args(static_cast<int>(shifted.size()), shifted.data(), args)) return usage();
+  if (args.command == "profile") return usage();  // one session at a time
+  args.profile_path = prefix;
+  return run_command(args);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  Args args;
-  if (!parse_args(argc, argv, args)) return usage();
   try {
-    if (args.command == "train") return cmd_train(args);
-    if (args.command == "detect") return cmd_detect(args);
-    if (args.command == "stats") return cmd_stats(args);
-    if (args.command == "graph") return cmd_graph(args);
-    if (args.command == "keys") return cmd_keys(args);
-    if (args.command == "query") return cmd_query(args);
-    if (args.command == "quarantine") return cmd_quarantine(args);
-    if (args.command == "coverage") return cmd_coverage(args);
-    if (args.command == "diff-model") return cmd_diff_model(args);
-    if (args.command == "score") return cmd_score(args);
-    if (args.command == "export-trace") return cmd_export_trace(args);
-    if (args.command == "explain") return cmd_explain(args);
-    if (args.command == "top") return cmd_top(args);
+    if (argc >= 2 && std::string(argv[1]) == "profile") return cmd_profile_wrapper(argc, argv);
+    Args args;
+    if (!parse_args(argc, argv, args)) return usage();
+    return run_command(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
-  return usage();
 }

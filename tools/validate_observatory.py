@@ -18,6 +18,17 @@ Observatory artifacts quality_smoke produced in <dir>:
   drift.json     `intellog diff-model --json` of two identical-seed
                  trainings — drift_score must be exactly 0
 
+`profile <prefix>` mode validates the Performance Observatory artifacts
+profile_smoke produced (`intellog detect --profile <prefix>`):
+  <prefix>             collapsed stacks, CPU-sample weights — every line
+                       must match "frame[;frame]* COUNT"
+  <prefix>.alloc       collapsed stacks, allocation-byte weights
+  <prefix>.pprof.json  pprof-style JSON whose per-frame self counters must
+                       sum exactly to the document totals (and match the
+                       collapsed weights); the union of frame paths must
+                       span ingest/spell/extract/detect with >= 8 distinct
+                       paths and alloc bytes attributed to >= 5 frames
+
 "Strict" means: the whole file must be one JSON document (json.loads over
 the full text rejects trailing garbage), every entity-group track must
 carry at least one lifespan span, and every finding must prove itself with
@@ -255,6 +266,108 @@ def check_drift(path):
             fail(f"{path}: class {name} is empty — nothing was compared")
 
 
+def check_collapsed(path, min_paths=0):
+    """Collapsed-stack format (flamegraph.pl / speedscope): every line is
+    "frame[;frame]* COUNT" with non-empty frames and a positive integer
+    weight. Returns {path: weight}."""
+    import re
+    pattern = re.compile(r"^([^; ]+(?:;[^; ]+)*) (\d+)$")
+    weights = {}
+    with open(path, encoding="utf-8") as f:
+        for i, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                fail(f"{path}:{i}: blank line in collapsed-stack output")
+            m = pattern.match(line)
+            if not m:
+                fail(f"{path}:{i}: not a collapsed-stack line: {line!r}")
+            stack, weight = m.group(1), int(m.group(2))
+            if weight <= 0:
+                fail(f"{path}:{i}: non-positive weight")
+            if stack in weights:
+                fail(f"{path}:{i}: duplicate frame path {stack!r}")
+            weights[stack] = weight
+    if len(weights) < min_paths:
+        fail(f"{path}: only {len(weights)} distinct frame paths "
+             f"(need >= {min_paths})")
+    return weights
+
+
+def check_pprof(path):
+    doc = load_strict(path)
+    if doc.get("kind") != "intellog_profile":
+        fail(f"{path}: kind != intellog_profile")
+    if not isinstance(doc.get("schema_version"), int) or doc["schema_version"] < 1:
+        fail(f"{path}: bad schema_version")
+    frames = doc.get("frames")
+    if not isinstance(frames, list) or not frames:
+        fail(f"{path}: empty or missing frames")
+    samples = allocs = alloc_bytes = 0
+    alloc_frames = 0
+    for fr in frames:
+        for key in ("path", "name", "self_samples", "cum_samples",
+                    "alloc_bytes", "cum_alloc_bytes", "allocs", "enters"):
+            if key not in fr:
+                fail(f"{path}: frame missing {key}: {fr.get('path')}")
+        if fr["cum_samples"] < fr["self_samples"]:
+            fail(f"{path}: {fr['path']}: cumulative < self samples")
+        if fr["cum_alloc_bytes"] < fr["alloc_bytes"]:
+            fail(f"{path}: {fr['path']}: cumulative < self alloc bytes")
+        samples += fr["self_samples"]
+        alloc_bytes += fr["alloc_bytes"]
+        allocs += fr["allocs"]
+        if fr["alloc_bytes"] > 0:
+            alloc_frames += 1
+    # The balancing invariant: per-frame self counters partition the totals.
+    if samples != doc.get("total_samples"):
+        fail(f"{path}: sum(self_samples)={samples} != "
+             f"total_samples={doc.get('total_samples')}")
+    if alloc_bytes != doc.get("total_alloc_bytes"):
+        fail(f"{path}: sum(alloc_bytes)={alloc_bytes} != "
+             f"total_alloc_bytes={doc.get('total_alloc_bytes')}")
+    if allocs != doc.get("total_allocs"):
+        fail(f"{path}: sum(allocs)={allocs} != "
+             f"total_allocs={doc.get('total_allocs')}")
+    return samples, alloc_bytes, alloc_frames
+
+
+def profile_main(argv):
+    if len(argv) != 2:
+        fail("usage: validate_observatory.py profile <prefix>")
+    prefix = argv[1]
+    cpu = check_collapsed(prefix)
+    alloc = check_collapsed(f"{prefix}.alloc")
+    samples, alloc_bytes, alloc_frames = check_pprof(f"{prefix}.pprof.json")
+
+    if not cpu:
+        fail(f"{prefix}: no CPU samples collected — workload too short or "
+             "the sampler never ran")
+    if sum(cpu.values()) != samples:
+        fail(f"{prefix}: collapsed CPU weight {sum(cpu.values())} != "
+             f"pprof total_samples {samples}")
+    if sum(alloc.values()) != alloc_bytes:
+        fail(f"{prefix}.alloc: collapsed weight {sum(alloc.values())} != "
+             f"pprof total_alloc_bytes {alloc_bytes}")
+
+    # Coverage of the pipeline: the profiled run must span ingestion,
+    # Spell matching, extraction and anomaly detection. Allocation paths
+    # are deterministic, CPU paths are sampled — check the union.
+    paths = set(cpu) | set(alloc)
+    if len(paths) < 8:
+        fail(f"{prefix}: only {len(paths)} distinct frame paths across "
+             "CPU+alloc collapsed stacks (need >= 8)")
+    for family in ("ingest.", "spell.", "extract.", "detect."):
+        if not any(family in p for p in paths):
+            fail(f"{prefix}: no frame path mentions {family}* — the "
+                 "pipeline stage is unannotated or never ran")
+    if alloc_frames < 5:
+        fail(f"{prefix}: allocation bytes attributed to only {alloc_frames} "
+             "frames (need >= 5)")
+    print(f"validate_observatory: profile OK — {len(cpu)} CPU paths "
+          f"({samples} samples), {len(alloc)} alloc paths "
+          f"({alloc_bytes} bytes over {alloc_frames} frames)")
+
+
 def quality_main(argv):
     if len(argv) != 5:
         fail("usage: validate_observatory.py quality <dir> <detected> <fp> <fn>")
@@ -271,9 +384,12 @@ def main():
     if len(sys.argv) >= 2 and sys.argv[1] == "quality":
         quality_main(sys.argv[1:])
         return
+    if len(sys.argv) >= 2 and sys.argv[1] == "profile":
+        profile_main(sys.argv[1:])
+        return
     if len(sys.argv) != 3:
         fail("usage: validate_observatory.py <artifact-dir> <system> | "
-             "quality <dir> <detected> <fp> <fn>")
+             "quality <dir> <detected> <fp> <fn> | profile <prefix>")
     d, system = sys.argv[1], sys.argv[2]
     tracks, subs = check_chrome_trace(f"{d}/trace.json")
     check_otlp(f"{d}/otlp.json")
