@@ -204,14 +204,14 @@ int main() {
     // Bootstrap on one system's logs, evaluate agreement per system.
     std::vector<std::string> boot;
     for (const auto& s : bench::training_corpus("spark", 10, 408)) {
-      for (const auto& rec : s.records) boot.push_back(rec.content);
+      for (const auto& rec : s.records) boot.push_back(rec.content.str());
     }
     hmm.bootstrap(rules, boot);
     common::TextTable table({"held-out system", "token agreement with rule tagger"});
     for (const auto& system : bench::systems()) {
       std::vector<std::string> eval;
       for (const auto& s : bench::training_corpus(system, 2, 409)) {
-        for (const auto& rec : s.records) eval.push_back(rec.content);
+        for (const auto& rec : s.records) eval.push_back(rec.content.str());
       }
       table.add_row({system, common::fmt_percent(hmm.agreement(rules, eval), 1)});
     }

@@ -16,12 +16,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <thread>
 #include <vector>
 
 #include "bench/harness.hpp"
+#include "core/detect_scratch.hpp"
 #include "core/extraction.hpp"
 #include "logparse/formatter.hpp"
+#include "logparse/log_io.hpp"
 #include "logparse/session.hpp"
 #include "obs/export/trace_export.hpp"
 #include "obs/metrics.hpp"
@@ -192,7 +196,11 @@ void emit_harness_bench() {
     if (jobs == 1) {
       batch_1t_ms = t.min_ms();
     } else if (t.min_ms() > 0) {
-      extra[tag + "_speedup"] = batch_1t_ms / t.min_ms();
+      // On a single-core host the multi-thread shards cannot beat serial;
+      // the number is still worth recording but must not trip speedup
+      // gates, so it lands under an _advisory name those gates skip.
+      const bool advisory = std::thread::hardware_concurrency() <= 1;
+      extra[tag + (advisory ? "_speedup_advisory" : "_speedup")] = batch_1t_ms / t.min_ms();
     }
   }
   extra["detect_records_per_s"] =
@@ -298,6 +306,60 @@ void emit_harness_bench() {
     extra["ingest_corrupted_lines_per_s"] = lines_per_s(corrupted_lines, chaos);
     extra["ingest_resilient_ratio"] =
         pair_ratios.empty() ? 0.0 : pair_ratios[pair_ratios.size() / 2];
+
+    // Zero-copy file ingest: the same sessions written to .log files once,
+    // then read end-to-end through the mmap + SWAR + borrowed-record
+    // reader, against the pre-arena pipeline it replaced (ifstream getline
+    // into strings, then the owning parse). ci.sh gates the ratio of the
+    // two — the mmap path must stay decisively ahead.
+    {
+      namespace fs = std::filesystem;
+      const fs::path dir = fs::temp_directory_path() / "intellog_bench_mmap";
+      fs::create_directories(dir);
+      // Each file carries the session's lines several times over:
+      // production log files run to megabytes, and the per-file
+      // open/mmap/munmap cost is noise at that size — tiny one-session
+      // files would instead make syscall overhead the thing measured.
+      constexpr int kFileRepeat = 8;
+      const std::size_t file_lines = clean_lines * kFileRepeat;
+      std::vector<std::string> paths;
+      for (std::size_t i = 0; i < rendered.size(); ++i) {
+        const fs::path p = dir / (sessions[i].container_id + ".log");
+        std::ofstream out(p);
+        for (int r = 0; r < kFileRepeat; ++r) {
+          for (const auto& line : rendered[i]) out << line << "\n";
+        }
+        paths.push_back(p.string());
+      }
+      const bench::Timing mmap_t = bench::run_timed(
+          [&] {
+            for (int p = 0; p < kIngestPasses; ++p) {
+              for (const auto& path : paths) {
+                benchmark::DoNotOptimize(logparse::read_session_file(path, "spark"));
+              }
+            }
+          },
+          /*repeats=*/5, /*warmup=*/1);
+      const bench::Timing getline_t = bench::run_timed(
+          [&] {
+            for (int p = 0; p < kIngestPasses; ++p) {
+              for (std::size_t i = 0; i < paths.size(); ++i) {
+                std::ifstream in(paths[i]);
+                std::vector<std::string> lines;
+                std::string line;
+                while (std::getline(in, line)) lines.push_back(line);
+                benchmark::DoNotOptimize(
+                    logparse::parse_session(*fmt, sessions[i].container_id, lines, "spark"));
+              }
+            }
+          },
+          /*repeats=*/5, /*warmup=*/1);
+      extra["ingest_mmap_lines_per_s"] = lines_per_s(file_lines, mmap_t);
+      extra["ingest_getline_lines_per_s"] = lines_per_s(file_lines, getline_t);
+      for (const auto& path : paths) fs::remove(path);
+      std::error_code ec;
+      fs::remove(dir, ec);
+    }
   }
 
   // Workflow Observatory cost: evidence construction on the detect path
@@ -472,6 +534,14 @@ void emit_harness_bench() {
       extra["profiler_samples"] = static_cast<std::int64_t>(prof.total_samples());
       extra["profiler_alloc_bytes"] = static_cast<std::int64_t>(prof.total_alloc_bytes());
       extra["profiler_allocs"] = static_cast<std::int64_t>(prof.total_allocs());
+      // Allocation discipline of the arena-backed detect path, gated in
+      // ci.sh: heap allocations per record across the fully profiled batch.
+      extra["detect_allocs_per_record"] =
+          static_cast<double>(prof.total_allocs()) /
+          static_cast<double>(kProfPasses * batch_records);
+      // High-water mark of the per-shard detect arenas over everything run
+      // so far (report-only context for the alloc gate).
+      extra["arena_bytes_peak"] = static_cast<std::int64_t>(core::detect_arena_bytes_peak());
       common::Json hotspots = common::Json::array();
       for (const obs::HotFrame& h : prof.hot_frames(10)) {
         common::Json row = common::Json::object();
@@ -479,6 +549,7 @@ void emit_harness_bench() {
         row["self_samples"] = static_cast<std::int64_t>(h.self_samples);
         row["self_pct"] = h.self_pct;
         row["alloc_bytes"] = static_cast<std::int64_t>(h.alloc_bytes);
+        row["allocs"] = static_cast<std::int64_t>(h.allocs);
         hotspots.push_back(std::move(row));
       }
       extra["profiler_hotspots"] = std::move(hotspots);

@@ -1,0 +1,252 @@
+#pragma once
+
+// Page-pool backed bump arenas for the zero-copy hot path.
+//
+// PagePool hands out fixed 64 KiB pages from a process-wide freelist so
+// arenas that are reset every session stop round-tripping through the
+// global allocator. Arena bump-allocates inside those pages, spilling
+// allocations larger than a page into dedicated geometrically-sized heap
+// blocks, and resets in O(1) by rewinding to its first held page (pages
+// are kept, not returned, so a shard reusing one arena across thousands
+// of sessions performs zero allocator calls after warm-up).
+//
+// Poison-on-reset (INTELLOG_ARENA_POISON=1, or per-arena) fills dead
+// bytes with 0xCD and — under AddressSanitizer — marks them as poisoned
+// shadow so any use-after-reset of a borrowed string_view faults loudly.
+//
+// ArenaString is the interop type that lets LogRecord fields be either
+// owning std::strings (every existing producer, simulators, checkpoints)
+// or borrowed string_views into an mmap'd file / session arena whose
+// lifetime the Session controls. Borrowing is always explicit via
+// ArenaString::borrowed(); every implicit construction copies.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace intellog::common {
+
+class PagePool {
+ public:
+  static constexpr std::size_t kPageSize = 64 * 1024;
+
+  PagePool() = default;
+  ~PagePool();
+  PagePool(const PagePool&) = delete;
+  PagePool& operator=(const PagePool&) = delete;
+
+  // Process-wide pool shared by all arenas that don't bring their own.
+  static PagePool& global();
+
+  // Returns a kPageSize-byte page; reuses a freed page when available.
+  std::byte* acquire();
+  // Returns a page to the freelist for reuse. Never frees to the OS
+  // until the pool itself is destroyed.
+  void release(std::byte* page);
+
+  struct Stats {
+    std::size_t pages_created = 0;  // lifetime total handed to arenas
+    std::size_t pages_free = 0;     // currently parked on the freelist
+  };
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::byte*> free_;
+  std::size_t created_ = 0;
+};
+
+class Arena {
+ public:
+  explicit Arena(PagePool* pool = &PagePool::global());
+  Arena(PagePool* pool, bool poison_on_reset);
+  ~Arena();
+  Arena(Arena&& other) noexcept;
+  Arena& operator=(Arena&& other) noexcept;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Bump-allocates n bytes with the given alignment. Allocations larger
+  // than a page get a dedicated heap block sized geometrically (each new
+  // block at least twice the last) so pathological inputs don't defeat
+  // the pool; those blocks are freed on reset.
+  void* allocate(std::size_t n, std::size_t align = alignof(std::max_align_t));
+
+  // Copies s into the arena and returns a view of the copy. The view is
+  // valid until the next reset() or the arena's destruction.
+  std::string_view copy(std::string_view s);
+  // Copies a then b contiguously; returns a view of the joined bytes.
+  std::string_view concat(std::string_view a, std::string_view b);
+
+  // O(1): rewinds to the first held page. Pool pages stay held by this
+  // arena for reuse; oversized heap blocks are freed. With poisoning on,
+  // previously used bytes are filled with 0xCD and (under ASan) marked
+  // poisoned, which costs O(bytes used) — only enabled on sanitizer tiers.
+  void reset();
+
+  std::size_t bytes_used() const { return bytes_used_; }
+  std::size_t bytes_peak() const { return bytes_peak_; }
+  std::size_t pages_held() const { return pages_.size(); }
+  bool poison_on_reset() const { return poison_; }
+
+  // True when INTELLOG_ARENA_POISON is set to a non-empty value other
+  // than "0"; the default for arenas constructed without an explicit flag.
+  static bool poison_default();
+
+ private:
+  struct BigBlock {
+    std::byte* ptr;
+    std::size_t size;
+  };
+
+  void start_page(std::size_t index);
+
+  PagePool* pool_;
+  std::vector<std::byte*> pages_;  // held pool pages, reused in order
+  std::size_t page_index_ = 0;     // page the cursor currently sits in
+  std::byte* cur_ = nullptr;
+  std::size_t cur_used_ = 0;
+  std::vector<BigBlock> big_;
+  std::size_t last_big_ = 0;
+  std::size_t bytes_used_ = 0;
+  std::size_t bytes_peak_ = 0;
+  bool poison_;
+};
+
+// A string that either owns its bytes (default: safe everywhere, exactly
+// a std::string) or borrows them from storage somebody else keeps alive
+// (an mmap'd file or a session arena). All implicit constructors copy;
+// only the named factory borrows, so a borrowed view never appears by
+// accident. Borrowed copies stay borrowed — Session pins the backing via
+// shared_ptr, so copies within a session's lifetime are safe; call
+// materialize() before letting a record outlive its session's storage.
+class ArenaString {
+ public:
+  ArenaString() = default;
+  ArenaString(const char* s) : owned_(s) {}
+  ArenaString(std::string s) : owned_(std::move(s)) {}
+  ArenaString(std::string_view s) : owned_(s) {}
+
+  static ArenaString borrowed(std::string_view s) {
+    ArenaString a;
+    a.ext_ = s;
+    a.borrowed_ = true;
+    return a;
+  }
+
+  ArenaString& operator=(const char* s) { owned_ = s; ext_ = {}; borrowed_ = false; return *this; }
+  ArenaString& operator=(std::string s) { owned_ = std::move(s); ext_ = {}; borrowed_ = false; return *this; }
+  ArenaString& operator=(std::string_view s) { owned_.assign(s); ext_ = {}; borrowed_ = false; return *this; }
+
+  operator std::string_view() const noexcept { return view(); }
+  std::string_view view() const noexcept {
+    return borrowed_ ? ext_ : std::string_view(owned_);
+  }
+  std::string str() const { return std::string(view()); }
+
+  const char* data() const noexcept { return view().data(); }
+  std::size_t size() const noexcept { return view().size(); }
+  bool empty() const noexcept { return view().empty(); }
+  char operator[](std::size_t i) const noexcept { return view()[i]; }
+  std::size_t find(char c, std::size_t pos = 0) const noexcept { return view().find(c, pos); }
+  std::size_t find(std::string_view s, std::size_t pos = 0) const noexcept { return view().find(s, pos); }
+  std::string_view substr(std::size_t pos, std::size_t n = std::string_view::npos) const {
+    return view().substr(pos, n);
+  }
+  bool is_borrowed() const noexcept { return borrowed_; }
+
+  // Converts a borrowed string into an owning one (no-op when already
+  // owned). Required before the backing storage goes away.
+  void materialize() {
+    if (borrowed_) {
+      owned_.assign(ext_);
+      ext_ = {};
+      borrowed_ = false;
+    }
+  }
+
+  ArenaString& operator+=(std::string_view s) {
+    materialize();
+    owned_.append(s);
+    return *this;
+  }
+  ArenaString& operator+=(char c) {
+    materialize();
+    owned_.push_back(c);
+    return *this;
+  }
+
+  friend bool operator==(const ArenaString& a, const ArenaString& b) noexcept {
+    return a.view() == b.view();
+  }
+  friend bool operator==(const ArenaString& a, std::string_view b) noexcept {
+    return a.view() == b;
+  }
+  // Exact-match overloads: without them, `s == "lit"` is ambiguous
+  // between the string_view friend and the implicit ArenaString ctor.
+  friend bool operator==(const ArenaString& a, const char* b) noexcept {
+    return a.view() == std::string_view(b);
+  }
+  friend bool operator==(const ArenaString& a, const std::string& b) noexcept {
+    return a.view() == std::string_view(b);
+  }
+  friend bool operator!=(const ArenaString& a, const ArenaString& b) noexcept {
+    return a.view() != b.view();
+  }
+  friend bool operator!=(const ArenaString& a, std::string_view b) noexcept {
+    return a.view() != b;
+  }
+  friend bool operator!=(const ArenaString& a, const char* b) noexcept {
+    return a.view() != std::string_view(b);
+  }
+  friend bool operator!=(const ArenaString& a, const std::string& b) noexcept {
+    return a.view() != std::string_view(b);
+  }
+  friend bool operator<(const ArenaString& a, const ArenaString& b) noexcept {
+    return a.view() < b.view();
+  }
+  friend std::ostream& operator<<(std::ostream& os, const ArenaString& s) {
+    return os << s.view();
+  }
+
+ private:
+  std::string owned_;
+  std::string_view ext_{};
+  bool borrowed_ = false;
+};
+
+inline std::string operator+(const std::string& a, const ArenaString& b) {
+  std::string out;
+  out.reserve(a.size() + b.size());
+  out.append(a).append(b.view());
+  return out;
+}
+inline std::string operator+(const ArenaString& a, const std::string& b) {
+  std::string out;
+  out.reserve(a.size() + b.size());
+  out.append(a.view()).append(b);
+  return out;
+}
+inline std::string operator+(const char* a, const ArenaString& b) {
+  std::string out(a);
+  out.append(b.view());
+  return out;
+}
+inline std::string operator+(const ArenaString& a, const char* b) {
+  std::string out(a.view());
+  out.append(b);
+  return out;
+}
+
+}  // namespace intellog::common
+
+template <>
+struct std::hash<intellog::common::ArenaString> {
+  std::size_t operator()(const intellog::common::ArenaString& s) const noexcept {
+    return std::hash<std::string_view>{}(s.view());
+  }
+};

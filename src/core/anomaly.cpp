@@ -4,6 +4,7 @@
 
 #include "common/strings.hpp"
 #include "core/coverage.hpp"
+#include "core/detect_scratch.hpp"
 #include "core/explain.hpp"
 #include "obs/profile/profile.hpp"
 #include "obs/trace.hpp"
@@ -111,7 +112,14 @@ AnomalyDetector::AnomalyDetector(const logparse::Spell& spell, const logparse::K
       expected_groups_(graph.expected_groups(expected_group_fraction)) {}
 
 AnomalyReport AnomalyDetector::detect(const logparse::Session& session) const {
+  thread_local DetectScratch scratch;
+  return detect(session, scratch);
+}
+
+AnomalyReport AnomalyDetector::detect(const logparse::Session& session,
+                                      DetectScratch& scratch) const {
   PROF_FRAME("detect.session");
+  scratch.reset_session();
   AnomalyReport report;
   report.container_id = session.container_id;
   report.session_length = session.records.size();
@@ -149,7 +157,7 @@ AnomalyReport AnomalyDetector::detect(const logparse::Session& session) const {
           pseudo.tokens.push_back(tok);
         }
       }
-      u.message = extractor_.instantiate(u.extracted, pseudo, rec);
+      u.message = extractor_.instantiate(u.extracted, pseudo, rec, scratch);
       if (with_evidence) u.evidence = build_unexpected_evidence(session, ri);
       report.unexpected.push_back(std::move(u));
       continue;
@@ -159,20 +167,36 @@ AnomalyReport AnomalyDetector::detect(const logparse::Session& session) const {
     if (ik_it == intel_keys_.end()) continue;
     const IntelKey& ik = ik_it->second;
 
-    const IntelMessage msg =
-        extractor_.instantiate(ik, spell_.key(key_id), rec);
+    // Target groups as sorted-unique pointers into EntityGroups' stable
+    // strings: same visit order a std::set<std::string> gave, none of its
+    // node/string allocations. Resolved before extraction so records whose
+    // entities map to no group skip identifier extraction entirely — their
+    // GroupMessage would be discarded unread.
+    scratch.target_groups.clear();
+    for (const auto& entity : ik.entities) {
+      for (const auto& g : groups_.groups_of(entity)) scratch.target_groups.push_back(&g);
+    }
+    if (scratch.target_groups.empty()) continue;
+    std::sort(scratch.target_groups.begin(), scratch.target_groups.end(),
+              [](const std::string* a, const std::string* b) { return *a < *b; });
+    scratch.target_groups.erase(
+        std::unique(scratch.target_groups.begin(), scratch.target_groups.end(),
+                    [](const std::string* a, const std::string* b) { return *a == *b; }),
+        scratch.target_groups.end());
+
     GroupMessage gm;
     gm.key_id = key_id;
-    gm.ids = msg.identifiers;
+    extractor_.instantiate_identifiers(ik, spell_.key(key_id), rec, scratch, gm.ids);
     gm.record_index = ri;
     gm.timestamp_ms = rec.timestamp_ms;
-    std::set<std::string> target_groups;
-    for (const auto& entity : ik.entities) {
-      const auto& gs = groups_.groups_of(entity);
-      target_groups.insert(gs.begin(), gs.end());
-    }
-    for (const auto& g : target_groups) {
-      group_messages[g].push_back(gm);
+    for (std::size_t gi = 0; gi < scratch.target_groups.size(); ++gi) {
+      const std::string& g = *scratch.target_groups[gi];
+      auto& bucket = group_messages[g];
+      if (gi + 1 == scratch.target_groups.size()) {
+        bucket.push_back(std::move(gm));
+      } else {
+        bucket.push_back(gm);
+      }
       groups_seen.insert(g);
     }
   }
@@ -202,14 +226,18 @@ AnomalyReport AnomalyDetector::detect(const logparse::Session& session) const {
     }
   }
 
-  // Subroutine instances checked against the trained model.
-  for (const auto& [gname, messages] : group_messages) {
+  // Subroutine instances checked against the trained model. The map is
+  // dead after this loop, so each bucket's messages move into their
+  // instances instead of being copied.
+  for (auto& [gname, messages] : group_messages) {
     const auto git = graph_.groups().find(gname);
     if (git == graph_.groups().end()) continue;
     const SubroutineModel& model = git->second.subroutines;
     if (model.empty()) continue;
-    for (const auto& inst : partition_instances(messages)) {
-      const auto check = model.check(inst);
+    const std::size_t n_instances = partition_instances(std::move(messages), scratch);
+    for (std::size_t ii = 0; ii < n_instances; ++ii) {
+      const SubroutineInstance& inst = scratch.instances[ii];
+      const auto check = model.check(inst, scratch);
       if (cov) cov->stamp_subroutine(check.matched);
       if (check.ok()) continue;
       GroupIssue issue;

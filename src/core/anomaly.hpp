@@ -27,6 +27,7 @@
 namespace intellog::core {
 
 class CoverageLedger;
+struct DetectScratch;
 
 /// One raw log line backing a finding, with ingest provenance: the file,
 /// 1-based line number and byte offset threaded through LogRecord by the
@@ -106,7 +107,15 @@ class AnomalyDetector {
                   const EntityGroups& groups, const HwGraph& graph,
                   double expected_group_fraction);
 
+  /// Delegates to the scratch overload via a thread-local DetectScratch.
   AnomalyReport detect(const logparse::Session& session) const;
+
+  /// Scratch-threaded detect for batch shards: the caller owns the scratch
+  /// and reuses it across sessions (its arena is rewound here on entry, so
+  /// a shard's pages are acquired once and recycled). Verdicts are
+  /// byte-identical to the thread-local overload. Not safe to share one
+  /// scratch between concurrent calls.
+  AnomalyReport detect(const logparse::Session& session, DetectScratch& scratch) const;
 
   /// Evidence construction can be switched off (overhead measurement /
   /// minimal reports); the verdicts themselves are unchanged either way.

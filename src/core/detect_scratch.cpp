@@ -1,0 +1,26 @@
+#include "core/detect_scratch.hpp"
+
+#include <atomic>
+
+namespace intellog::core {
+
+namespace {
+
+std::atomic<std::size_t> g_arena_bytes_peak{0};
+
+}  // namespace
+
+void DetectScratch::reset_session() {
+  const std::size_t peak = arena.bytes_peak();
+  std::size_t cur = g_arena_bytes_peak.load(std::memory_order_relaxed);
+  while (peak > cur &&
+         !g_arena_bytes_peak.compare_exchange_weak(cur, peak, std::memory_order_relaxed)) {
+  }
+  arena.reset();
+}
+
+std::size_t detect_arena_bytes_peak() {
+  return g_arena_bytes_peak.load(std::memory_order_relaxed);
+}
+
+}  // namespace intellog::core

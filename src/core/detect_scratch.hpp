@@ -1,0 +1,76 @@
+// Per-shard scratch for the detection hot path.
+//
+// detect() runs once per session over every record; before this existed
+// each record paid ~50 heap allocations (LCS DP rows, whitespace token
+// vectors, field-text strings, per-group std::set churn). A DetectScratch
+// holds all of that working state — an arena for assembled field bytes
+// plus reusable vectors — so a shard allocates once and bumps thereafter.
+//
+// Ownership / lifetime contract:
+//  - One DetectScratch per thread (detect_batch: one per shard; the
+//    single-session entry points fall back to a thread_local). Never
+//    share one across concurrent detect() calls.
+//  - detect() calls reset_session() on entry: the arena rewinds in O(1)
+//    and its pages are reused for the next session. Nothing handed out
+//    of detect() points into the scratch — field text is copied into the
+//    IntelMessage strings before the report escapes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "core/subroutine.hpp"
+
+namespace intellog::core {
+
+struct DetectScratch {
+  /// Backing for assembled field texts (align_fields_views output).
+  common::Arena arena;
+
+  // align_fields_views working set, reused record to record.
+  std::vector<std::string_view> ws;        ///< whitespace tokens of the message
+  std::vector<std::string_view> consts;    ///< the key's constant tokens
+  std::vector<std::string_view> lcs_seq;   ///< LCS backtrace output
+  std::vector<std::size_t> dp;             ///< flat (n+1)x(m+1) LCS table
+  std::vector<unsigned char> matched;      ///< per message token: LCS-matched?
+  std::vector<std::pair<std::size_t, std::size_t>> star_groups;  ///< {first_field, stars}
+  std::vector<std::size_t> field_len;      ///< pass-1 byte length per field
+  std::vector<char*> field_ptr;            ///< pass-2 write cursor per field
+  std::vector<std::string_view> fields;    ///< assembled fields (arena bytes)
+
+  /// Detection's per-record entity-group set, as sorted-unique pointers
+  /// into EntityGroups' stable strings (replaces a std::set<std::string>).
+  std::vector<const std::string*> target_groups;
+
+  // partition_instances working set: per-message "TYPE:value" strings
+  // assembled into reused buffers (capacity survives across messages),
+  // probed through sorted-unique views.
+  std::vector<std::string> id_concat;
+  std::vector<std::string_view> id_views;
+
+  // SubroutineModel::check working set, reused instance to instance.
+  std::vector<int> check_keys;
+  std::vector<std::pair<int, std::size_t>> check_first_pos;
+
+  /// Instance pool for the scratch partition_instances overload: elements
+  /// are reused bucket to bucket so their messages/id_values buffers keep
+  /// their capacity. Only the first `n` returned by that overload are
+  /// meaningful; later elements are stale previous-bucket state.
+  std::vector<SubroutineInstance> instances;
+  std::vector<GroupMessage> none_messages;  ///< NONE-sequence accumulator
+
+  /// Rewinds the arena (pages are kept for reuse) and records its
+  /// high-water mark in the process-wide peak reported by
+  /// detect_arena_bytes_peak(). Call at session boundaries.
+  void reset_session();
+};
+
+/// Largest bytes_peak() any DetectScratch arena has reached so far
+/// (observed at reset_session() time). Bench/diagnostics metric.
+std::size_t detect_arena_bytes_peak();
+
+}  // namespace intellog::core

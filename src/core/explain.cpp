@@ -4,6 +4,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "obs/profile/profile.hpp"
+
 namespace intellog::core {
 
 namespace {
@@ -69,6 +71,7 @@ EvidenceLine make_evidence_line(const logparse::Session& session, std::size_t re
 
 Evidence build_unexpected_evidence(const logparse::Session& session,
                                    std::size_t record_index) {
+  PROF_FRAME("detect.evidence");
   Evidence ev;
   ev.deviation = "message matched no trained log key";
   ev.lines.push_back(make_evidence_line(session, record_index, -1));
@@ -115,6 +118,7 @@ std::vector<int> expected_key_sequence(const Subroutine& sub) {
 Evidence build_instance_evidence(const logparse::Session& session, const Subroutine* trained,
                                  const SubroutineInstance& instance,
                                  const SubroutineModel::InstanceCheck& check) {
+  PROF_FRAME("detect.evidence");
   Evidence ev;
   std::set<int> observed_set;
   for (const GroupMessage& m : instance.messages) {
@@ -178,6 +182,7 @@ Evidence build_instance_evidence(const logparse::Session& session, const Subrout
 
 Evidence build_missing_group_evidence(const logparse::Session& session, const GroupNode& node,
                                       const std::vector<int>& record_keys) {
+  PROF_FRAME("detect.evidence");
   Evidence ev;
   ev.expected_keys.assign(node.keys.begin(), node.keys.end());
   ev.missing_keys = ev.expected_keys;
@@ -402,7 +407,7 @@ WorkflowView build_workflow_view(const IntelLog& model, const logparse::Session&
     for (const SubroutineInstance& inst : partition_instances(messages)) {
       SubroutineView sv;
       sv.signature = inst.signature;
-      sv.id_values = inst.id_values;
+      sv.id_values.insert(inst.id_values.begin(), inst.id_values.end());
       if (!inst.messages.empty()) {
         sv.first_ms = inst.messages.front().timestamp_ms;
         sv.last_ms = sv.first_ms;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstring>
 #include <set>
 
 #include "common/strings.hpp"
+#include "core/detect_scratch.hpp"
 #include "obs/profile/profile.hpp"
 #include "nlp/camel_case.hpp"
 #include "nlp/tokenizer.hpp"
@@ -45,6 +47,34 @@ std::string clean_field_text(std::string text) {
     if ((c == '(' && text.find(')') == std::string::npos) ||
         (c == '[' && text.find(']') == std::string::npos)) {
       text.erase(text.begin());
+    } else {
+      break;
+    }
+  }
+  return text;
+}
+
+// clean_field_text without the copy: the same trims expressed as
+// remove_suffix/remove_prefix on a view. Must stay behavior-identical —
+// instantiate()'s two code paths feed the same bytes through either one.
+std::string_view clean_field_view(std::string_view text) {
+  while (!text.empty()) {
+    const char c = text.back();
+    if (c == '.' || c == ',' || c == ';') {
+      text.remove_suffix(1);
+    } else if (c == ')' && text.find('(') == std::string_view::npos) {
+      text.remove_suffix(1);
+    } else if (c == ']' && text.find('[') == std::string_view::npos) {
+      text.remove_suffix(1);
+    } else {
+      break;
+    }
+  }
+  while (!text.empty()) {
+    const char c = text.front();
+    if ((c == '(' && text.find(')') == std::string_view::npos) ||
+        (c == '[' && text.find(']') == std::string_view::npos)) {
+      text.remove_prefix(1);
     } else {
       break;
     }
@@ -136,6 +166,107 @@ std::vector<std::string> align_fields(const std::vector<std::string>& key_tokens
     if (ws_field_index) (*ws_field_index)[i] = static_cast<int>(field);
   }
   return fields;
+}
+
+void align_fields_views(const std::vector<std::string>& key_tokens,
+                        const std::vector<std::string_view>& message_ws_tokens,
+                        DetectScratch& s) {
+  // Star groups and constants, exactly as align_fields builds them.
+  s.consts.clear();
+  s.star_groups.clear();
+  std::size_t star_count = 0;
+  for (std::size_t i = 0; i < key_tokens.size(); ++i) {
+    if (key_tokens[i] == "*") {
+      if (i > 0 && key_tokens[i - 1] == "*") {
+        s.star_groups.back().second++;
+      } else {
+        s.star_groups.push_back({star_count, 1});
+      }
+      ++star_count;
+    } else {
+      s.consts.push_back(key_tokens[i]);
+    }
+  }
+
+  // LCS of constants and message, flat DP table in scratch. The recurrence
+  // and backtrace tie-breaking mirror common::lcs exactly (prefer --i on
+  // ties) so the matched positions — and hence the field split — are
+  // identical to the string path.
+  const std::size_t n = s.consts.size(), m = message_ws_tokens.size();
+  s.dp.assign((n + 1) * (m + 1), 0);
+  const auto dp = [&](std::size_t i, std::size_t j) -> std::size_t& {
+    return s.dp[i * (m + 1) + j];
+  };
+  for (std::size_t i = 1; i <= n; ++i)
+    for (std::size_t j = 1; j <= m; ++j)
+      dp(i, j) = (s.consts[i - 1] == message_ws_tokens[j - 1])
+                     ? dp(i - 1, j - 1) + 1
+                     : std::max(dp(i - 1, j), dp(i, j - 1));
+  s.lcs_seq.clear();
+  {
+    std::size_t i = n, j = m;
+    while (i > 0 && j > 0) {
+      if (s.consts[i - 1] == message_ws_tokens[j - 1]) {
+        s.lcs_seq.push_back(message_ws_tokens[j - 1]);
+        --i;
+        --j;
+      } else if (dp(i - 1, j) >= dp(i, j - 1)) {
+        --i;
+      } else {
+        --j;
+      }
+    }
+    std::reverse(s.lcs_seq.begin(), s.lcs_seq.end());
+  }
+
+  s.matched.assign(m, 0);
+  std::size_t mi = 0;
+  for (const auto& w : s.lcs_seq) {
+    while (mi < m && message_ws_tokens[mi] != w) ++mi;
+    if (mi < m) s.matched[mi++] = 1;
+  }
+
+  s.fields.assign(star_count, std::string_view{});
+  if (star_count == 0) return;
+
+  // Same walk as align_fields, run twice: pass 1 sums byte lengths per
+  // field, pass 2 copies tokens (space-joined) into one arena buffer per
+  // field. Two passes cost one extra walk but zero reallocation.
+  const auto walk = [&](auto&& fn) {
+    std::size_t group = 0, offset_in_group = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (s.matched[i]) {
+        if (i > 0 && !s.matched[i - 1] && group < s.star_groups.size()) {
+          ++group;
+          offset_in_group = 0;
+        }
+        continue;
+      }
+      const auto& g = s.star_groups[std::min(group, s.star_groups.size() - 1)];
+      const std::size_t field = g.first + std::min(offset_in_group, g.second - 1);
+      if (offset_in_group + 1 < g.second) ++offset_in_group;
+      fn(field, message_ws_tokens[i]);
+    }
+  };
+
+  s.field_len.assign(star_count, 0);
+  walk([&](std::size_t field, std::string_view tok) {
+    s.field_len[field] += (s.field_len[field] ? 1 : 0) + tok.size();
+  });
+
+  s.field_ptr.assign(star_count, nullptr);
+  for (std::size_t f = 0; f < star_count; ++f) {
+    if (s.field_len[f] == 0) continue;
+    char* base = static_cast<char*>(s.arena.allocate(s.field_len[f], 1));
+    s.fields[f] = std::string_view(base, s.field_len[f]);
+    s.field_ptr[f] = base;
+  }
+  walk([&](std::size_t field, std::string_view tok) {
+    char*& p = s.field_ptr[field];
+    if (p != s.fields[field].data()) *p++ = ' ';
+    std::memcpy(p, tok.data(), tok.size());
+    p += tok.size();
+  });
 }
 
 struct InfoExtractor::Analysis {
@@ -476,33 +607,69 @@ IntelKey InfoExtractor::extract_from_message(std::string_view message) const {
 
 IntelMessage InfoExtractor::instantiate(const IntelKey& ikey, const logparse::LogKey& key,
                                         const logparse::LogRecord& record) const {
+  // Fallback for call sites without their own scratch (training stage 3b,
+  // checkpoint replay): one scratch per thread, rewound per call — nothing
+  // from it escapes instantiate.
+  thread_local DetectScratch scratch;
+  scratch.reset_session();
+  return instantiate(ikey, key, record, scratch);
+}
+
+void InfoExtractor::instantiate_identifiers(const IntelKey& ikey, const logparse::LogKey& key,
+                                            const logparse::LogRecord& record,
+                                            DetectScratch& s,
+                                            std::vector<IdentifierValue>& out) const {
+  PROF_FRAME("extract.instantiate");
+  out.clear();
+  // A key without identifier fields can't produce output: skip the
+  // tokenize/align work its caller would throw away.
+  const auto is_id = [](const FieldInfo& fld) {
+    return fld.category == FieldCategory::Identifier;
+  };
+  if (std::none_of(ikey.fields.begin(), ikey.fields.end(), is_id)) return;
+  common::split_ws_views(record.content, s.ws);
+  align_fields_views(key.tokens, s.ws, s);
+  const std::size_t n = std::min(s.fields.size(), ikey.fields.size());
+  for (std::size_t f = 0; f < n; ++f) {
+    if (ikey.fields[f].category != FieldCategory::Identifier) continue;
+    const std::string_view text = clean_field_view(s.fields[f]);
+    if (text.empty()) continue;
+    std::string type = ikey.fields[f].id_type;
+    if (type.empty()) type = infer_id_type(text, {});
+    out.push_back({std::move(type), std::string(text)});
+  }
+}
+
+IntelMessage InfoExtractor::instantiate(const IntelKey& ikey, const logparse::LogKey& key,
+                                        const logparse::LogRecord& record,
+                                        DetectScratch& s) const {
   PROF_FRAME("extract.instantiate");
   IntelMessage msg;
   msg.key_id = ikey.key_id;
   msg.timestamp_ms = record.timestamp_ms;
   msg.container_id = record.container_id;
 
-  const std::vector<std::string> ws = common::split_ws(record.content);
-  const std::vector<std::string> field_texts = align_fields(key.tokens, ws, nullptr);
-  const std::size_t n = std::min(field_texts.size(), ikey.fields.size());
+  common::split_ws_views(record.content, s.ws);
+  align_fields_views(key.tokens, s.ws, s);
+  const std::size_t n = std::min(s.fields.size(), ikey.fields.size());
   for (std::size_t f = 0; f < n; ++f) {
-    const std::string text = clean_field_text(field_texts[f]);
+    const std::string_view text = clean_field_view(s.fields[f]);
     if (text.empty()) continue;
     switch (ikey.fields[f].category) {
       case FieldCategory::Identifier: {
         std::string type = ikey.fields[f].id_type;
         if (type.empty()) type = infer_id_type(text, {});
-        msg.identifiers.push_back({std::move(type), text});
+        msg.identifiers.push_back({std::move(type), std::string(text)});
         break;
       }
       case FieldCategory::Value:
-        msg.values.emplace_back(text, ikey.fields[f].unit);
+        msg.values.emplace_back(std::string(text), ikey.fields[f].unit);
         break;
       case FieldCategory::Locality:
-        msg.localities.push_back(text);
+        msg.localities.emplace_back(text);
         break;
       default:
-        msg.others.push_back(text);
+        msg.others.emplace_back(text);
     }
   }
   return msg;

@@ -31,6 +31,8 @@
 
 namespace intellog::core {
 
+struct DetectScratch;
+
 class InfoExtractor {
  public:
   InfoExtractor();
@@ -60,8 +62,25 @@ class InfoExtractor {
   IntelKey extract_from_message(std::string_view message) const;
 
   /// Fills an Intel Message from a concrete record matching `key`.
+  /// Delegates to the scratch overload via a thread-local DetectScratch.
   IntelMessage instantiate(const IntelKey& ikey, const logparse::LogKey& key,
                            const logparse::LogRecord& record) const;
+
+  /// Allocation-lean instantiate for the detection hot path: tokenization,
+  /// LCS alignment and field assembly all run in `scratch` (views + arena)
+  /// instead of per-call heap vectors. Output is byte-identical to the
+  /// 3-argument overload; only the escaping IntelMessage strings allocate.
+  IntelMessage instantiate(const IntelKey& ikey, const logparse::LogKey& key,
+                           const logparse::LogRecord& record, DetectScratch& scratch) const;
+
+  /// Identifier extraction only, for detection's group-message loop: the
+  /// loop keeps IntelMessage::identifiers and throws the rest away, so
+  /// this skips the container-id copy and the value/locality/other string
+  /// assembly entirely. `out` receives exactly what instantiate() would
+  /// have produced in IntelMessage::identifiers, in the same order.
+  void instantiate_identifiers(const IntelKey& ikey, const logparse::LogKey& key,
+                               const logparse::LogRecord& record, DetectScratch& scratch,
+                               std::vector<IdentifierValue>& out) const;
 
   /// Infers the identifier type of a concrete identifier value
   /// ("attempt_01" -> "ATTEMPT", "3" after "TID" -> "TID").
@@ -91,5 +110,14 @@ class InfoExtractor {
 std::vector<std::string> align_fields(const std::vector<std::string>& key_tokens,
                                       const std::vector<std::string>& message_ws_tokens,
                                       std::vector<int>* ws_field_index = nullptr);
+
+/// Zero-copy align_fields: message tokens arrive as views (split_ws_views)
+/// and the per-field texts land in `scratch.fields` as views into
+/// `scratch.arena` — no per-call vectors, no field strings. Replicates
+/// align_fields (same LCS tie-breaking, same star-group fill) byte for
+/// byte; `scratch.fields` stays valid until the arena is reset.
+void align_fields_views(const std::vector<std::string>& key_tokens,
+                        const std::vector<std::string_view>& message_ws_tokens,
+                        DetectScratch& scratch);
 
 }  // namespace intellog::core

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/thread_pool.hpp"
+#include "core/detect_scratch.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile/profile.hpp"
 #include "obs/trace.hpp"
@@ -291,11 +292,16 @@ void IntelLog::record_model_metrics(obs::MetricsRegistry& reg) const {
 }
 
 AnomalyReport IntelLog::detect(const logparse::Session& session) const {
+  thread_local DetectScratch scratch;
+  return detect(session, scratch);
+}
+
+AnomalyReport IntelLog::detect(const logparse::Session& session, DetectScratch& scratch) const {
   if (!trained_) throw std::logic_error("IntelLog::detect before train");
   obs::Span span("detect");
   obs::MetricsRegistry* reg = obs::registry();
   obs::ScopedTimerMs timer(reg ? &reg->histogram("intellog_detect_session_ms") : nullptr);
-  AnomalyReport report = detector_->detect(session);
+  AnomalyReport report = detector_->detect(session, scratch);
   if (reg) {
     reg->counter("intellog_detect_sessions_total").add(1);
     reg->counter("intellog_detect_records_total").add(session.records.size());
@@ -325,6 +331,10 @@ std::vector<AnomalyReport> IntelLog::detect_batch(std::span<const logparse::Sess
   // identical no matter how many workers run or how they interleave.
   const auto run_shard = [&](std::size_t shard) {
     PROF_FRAME("detect.batch_shard");
+    // One scratch per shard: the arena's pages are acquired on the first
+    // session and rewound (not freed) between sessions, so a shard of N
+    // sessions does page setup once, not N times.
+    DetectScratch scratch;
     const std::size_t begin = sessions.size() * shard / shards;
     const std::size_t end = sessions.size() * (shard + 1) / shards;
     obs::ScopedTimerMs shard_timer(
@@ -336,7 +346,7 @@ std::vector<AnomalyReport> IntelLog::detect_batch(std::span<const logparse::Sess
                    {{"shard", std::to_string(shard)}})
           .add(end - begin);
     }
-    for (std::size_t i = begin; i < end; ++i) reports[i] = detect(sessions[i]);
+    for (std::size_t i = begin; i < end; ++i) reports[i] = detect(sessions[i], scratch);
   };
   if (shards == 1) {
     run_shard(0);

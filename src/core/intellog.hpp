@@ -62,6 +62,11 @@ class IntelLog {
   /// Detects anomalies in one session against the trained model.
   AnomalyReport detect(const logparse::Session& session) const;
 
+  /// detect() with a caller-owned DetectScratch (arena + reusable working
+  /// vectors). Reuse one scratch per thread across many sessions to keep
+  /// the hot path allocation-free; verdicts are identical either way.
+  AnomalyReport detect(const logparse::Session& session, DetectScratch& scratch) const;
+
   /// Batch detection: fans `sessions` across `jobs` worker threads in
   /// contiguous shards. Reports are returned in input order and are
   /// identical to calling detect() serially on each session (the whole

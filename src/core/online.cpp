@@ -92,15 +92,18 @@ std::optional<OnlineDetector::Event> OnlineDetector::consume(const logparse::Log
   const std::uint64_t t0 = tel_.consume_us ? obs::monotonic_ns() : 0;
   if (tel_.records) tel_.records->add(1);
 
-  SessionState& state = open_[record.container_id];
+  SessionState& state = open_[record.container_id.str()];
   if (state.session.container_id.empty()) {
-    state.session.container_id = record.container_id;
+    state.session.container_id = record.container_id.str();
     state.first_seen_ms = record.timestamp_ms;
   }
   state.session.records.push_back(record);
+  // The buffered copy outlives whatever backing the caller's record
+  // borrowed from (mmap ingest), so it must own its bytes.
+  state.session.records.back().materialize();
   ++total_records_;
   state.last_seen_ms = std::max(state.last_seen_ms, record.timestamp_ms);
-  touch(record.container_id, state);
+  touch(state.session.container_id, state);
 
   std::optional<Event> out;
   const int key_id = model_.spell().match(record.content);
@@ -267,9 +270,9 @@ common::Json OnlineDetector::checkpoint() const {
     for (const auto& rec : state.session.records) {
       common::Json r = common::Json::object();
       r["t"] = rec.timestamp_ms;
-      r["l"] = rec.level;
-      r["s"] = rec.source;
-      r["c"] = rec.content;
+      r["l"] = rec.level.str();
+      r["s"] = rec.source.str();
+      r["c"] = rec.content.str();
       if (rec.line_no != 0) r["n"] = static_cast<std::size_t>(rec.line_no);
       if (rec.byte_offset != 0) r["b"] = static_cast<std::int64_t>(rec.byte_offset);
       records.push_back(std::move(r));

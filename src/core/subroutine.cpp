@@ -1,16 +1,14 @@
 #include "core/subroutine.hpp"
 
 #include <algorithm>
+#include <string_view>
+
+#include "core/detect_scratch.hpp"
+#include "obs/profile/profile.hpp"
 
 namespace intellog::core {
 
 namespace {
-
-std::set<std::string> value_set(const std::vector<IdentifierValue>& ids) {
-  std::set<std::string> out;
-  for (const auto& iv : ids) out.insert(iv.type + ":" + iv.value);
-  return out;
-}
 
 std::set<std::string> type_set(const std::vector<IdentifierValue>& ids) {
   std::set<std::string> out;
@@ -18,8 +16,19 @@ std::set<std::string> type_set(const std::vector<IdentifierValue>& ids) {
   return out;
 }
 
-bool subset(const std::set<std::string>& a, const std::set<std::string>& b) {
-  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+// Both ranges are sorted by the same lexicographic order (std::sort's and
+// the sorted-unique invariant's operator< agree once everything is viewed
+// as string_view), so std::includes with a view comparator answers a ⊆ b
+// across the vector-of-string / vector-of-view mix without materializing
+// anything.
+constexpr auto view_less = [](std::string_view x, std::string_view y) { return x < y; };
+
+bool subset(const std::vector<std::string_view>& a, const std::vector<std::string>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end(), view_less);
+}
+
+bool subset(const std::vector<std::string>& a, const std::vector<std::string_view>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end(), view_less);
 }
 
 }  // namespace
@@ -30,35 +39,87 @@ std::set<int> SubroutineInstance::key_set() const {
   return out;
 }
 
-std::vector<SubroutineInstance> partition_instances(const std::vector<GroupMessage>& messages) {
-  std::vector<SubroutineInstance> instances;
-  SubroutineInstance none;  // the NONE-keyed sequence (Line 5)
-  for (const GroupMessage& msg : messages) {
-    const std::set<std::string> sv = value_set(msg.ids);
-    if (sv.empty()) {
-      none.messages.push_back(msg);
+std::size_t partition_instances(std::vector<GroupMessage>&& messages, DetectScratch& s) {
+  PROF_FRAME("detect.partition");
+  std::size_t used = 0;
+  // Pool acquisition: a recycled element's vectors keep their capacity, so
+  // steady-state instance creation only pays for signature set nodes.
+  const auto acquire = [&]() -> SubroutineInstance& {
+    if (used == s.instances.size()) s.instances.emplace_back();
+    SubroutineInstance& inst = s.instances[used++];
+    inst.signature.clear();
+    inst.id_values.clear();
+    inst.messages.clear();
+    return inst;
+  };
+  s.none_messages.clear();  // the NONE-keyed sequence (Line 5)
+  for (GroupMessage& msg : messages) {
+    // S_v assembled in reused scratch buffers: the "TYPE:value" strings
+    // keep their capacity across messages, so after warm-up the working
+    // set costs no allocations where the std::set it replaces paid one
+    // node per identifier per message. Sorted-unique views reproduce the
+    // set's element sequence exactly.
+    if (s.id_concat.size() < msg.ids.size()) s.id_concat.resize(msg.ids.size());
+    s.id_views.clear();
+    for (std::size_t i = 0; i < msg.ids.size(); ++i) {
+      std::string& buf = s.id_concat[i];
+      buf.assign(msg.ids[i].type);
+      buf += ':';
+      buf += msg.ids[i].value;
+      s.id_views.push_back(buf);
+    }
+    std::sort(s.id_views.begin(), s.id_views.end());
+    s.id_views.erase(std::unique(s.id_views.begin(), s.id_views.end()), s.id_views.end());
+    if (s.id_views.empty()) {
+      s.none_messages.push_back(std::move(msg));
       continue;
     }
     bool placed = false;
-    for (auto& inst : instances) {
-      if (subset(sv, inst.id_values) || subset(inst.id_values, sv)) {
-        inst.id_values.insert(sv.begin(), sv.end());
+    for (std::size_t ii = 0; ii < used; ++ii) {
+      SubroutineInstance& inst = s.instances[ii];
+      if (subset(s.id_views, inst.id_values) || subset(inst.id_values, s.id_views)) {
+        // Merge: insert only genuinely new values at their sorted slot —
+        // nothing is built for values the instance already holds, and a
+        // short new value lands in the inserted string's SSO buffer.
+        for (const std::string_view v : s.id_views) {
+          const auto it =
+              std::lower_bound(inst.id_values.begin(), inst.id_values.end(), v, view_less);
+          if (it == inst.id_values.end() || std::string_view(*it) != v)
+            inst.id_values.insert(it, std::string(v));
+        }
         for (const auto& iv : msg.ids) inst.signature.insert(iv.type);
-        inst.messages.push_back(msg);
+        inst.messages.push_back(std::move(msg));
         placed = true;
         break;
       }
     }
     if (!placed) {
-      SubroutineInstance inst;
-      inst.id_values = sv;
+      SubroutineInstance& inst = acquire();
       inst.signature = type_set(msg.ids);
-      inst.messages.push_back(msg);
-      instances.push_back(std::move(inst));
+      inst.id_values.reserve(s.id_views.size());
+      for (const std::string_view v : s.id_views) inst.id_values.emplace_back(v);
+      inst.messages.push_back(std::move(msg));
     }
   }
-  if (!none.messages.empty()) instances.push_back(std::move(none));
-  return instances;
+  if (!s.none_messages.empty()) {
+    // NONE comes last, as in the returning overloads. The swap circulates
+    // buffer capacity between the accumulator and the pool slot.
+    acquire().messages.swap(s.none_messages);
+  }
+  return used;
+}
+
+std::vector<SubroutineInstance> partition_instances(std::vector<GroupMessage>&& messages) {
+  thread_local DetectScratch scratch;
+  const std::size_t used = partition_instances(std::move(messages), scratch);
+  std::vector<SubroutineInstance> out;
+  out.reserve(used);
+  for (std::size_t i = 0; i < used; ++i) out.push_back(std::move(scratch.instances[i]));
+  return out;
+}
+
+std::vector<SubroutineInstance> partition_instances(const std::vector<GroupMessage>& messages) {
+  return partition_instances(std::vector<GroupMessage>(messages));
 }
 
 void SubroutineModel::update(const std::vector<SubroutineInstance>& instances) {
@@ -111,6 +172,14 @@ void SubroutineModel::update(const std::vector<SubroutineInstance>& instances) {
 
 SubroutineModel::InstanceCheck SubroutineModel::check(
     const SubroutineInstance& inst, std::size_t min_instances_for_order) const {
+  thread_local DetectScratch scratch;
+  return check(inst, scratch, min_instances_for_order);
+}
+
+SubroutineModel::InstanceCheck SubroutineModel::check(
+    const SubroutineInstance& inst, DetectScratch& s,
+    std::size_t min_instances_for_order) const {
+  PROF_FRAME("detect.check");
   InstanceCheck out;
   const auto it = subs_.find(inst.signature);
   if (it == subs_.end()) {
@@ -119,25 +188,48 @@ SubroutineModel::InstanceCheck SubroutineModel::check(
   }
   const Subroutine& sub = it->second;
   out.matched = &sub;
-  const std::set<int> keys = inst.key_set();
+  // Flat sorted-unique key list instead of a std::set: check() runs once
+  // per instance on the detection hot path and the set's node allocations
+  // dominated it. Ascending order matches the set's iteration order, so
+  // unknown_keys comes out identical.
+  std::vector<int>& keys = s.check_keys;
+  keys.clear();
+  keys.reserve(inst.messages.size());
+  for (const auto& m : inst.messages) keys.push_back(m.key_id);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
   for (const int k : sub.critical) {
-    if (!keys.count(k)) out.missing_critical.push_back(k);
+    if (!std::binary_search(keys.begin(), keys.end(), k)) out.missing_critical.push_back(k);
   }
   for (const int k : keys) {
     if (!sub.keys.count(k)) out.unknown_keys.push_back(k);
   }
   // Order violations: a trained-invariant BEFORE relation observed inverted.
   if (sub.instance_count >= min_instances_for_order) {
-    std::map<int, std::size_t> first_pos;
+    // First-occurrence position per key: sort (key, position) pairs and
+    // keep the first of each key — the map this replaces kept only the
+    // first emplace per key, which is the same thing.
+    std::vector<std::pair<int, std::size_t>>& first_pos = s.check_first_pos;
+    first_pos.clear();
+    first_pos.reserve(inst.messages.size());
     for (std::size_t i = 0; i < inst.messages.size(); ++i) {
-      first_pos.emplace(inst.messages[i].key_id, i);
+      first_pos.emplace_back(inst.messages[i].key_id, i);
     }
+    std::sort(first_pos.begin(), first_pos.end());
+    first_pos.erase(
+        std::unique(first_pos.begin(), first_pos.end(),
+                    [](const auto& a, const auto& b) { return a.first == b.first; }),
+        first_pos.end());
+    const auto pos_of = [&](int k) -> const std::pair<int, std::size_t>* {
+      const auto pit = std::lower_bound(
+          first_pos.begin(), first_pos.end(), k,
+          [](const std::pair<int, std::size_t>& p, int key) { return p.first < key; });
+      return (pit != first_pos.end() && pit->first == k) ? &*pit : nullptr;
+    };
     for (const auto& [a, b] : sub.before) {
-      const auto pa = first_pos.find(a);
-      const auto pb = first_pos.find(b);
-      if (pa != first_pos.end() && pb != first_pos.end() && pb->second < pa->second) {
-        out.order_violations.emplace_back(a, b);
-      }
+      const auto* pa = pos_of(a);
+      const auto* pb = pos_of(b);
+      if (pa && pb && pb->second < pa->second) out.order_violations.emplace_back(a, b);
     }
   }
   return out;

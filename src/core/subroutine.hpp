@@ -22,6 +22,8 @@
 
 namespace intellog::core {
 
+struct DetectScratch;
+
 /// One message of an entity group, reduced to what Algorithm 2 needs.
 struct GroupMessage {
   int key_id = -1;
@@ -32,7 +34,11 @@ struct GroupMessage {
 
 /// A subroutine instance: messages bound together by shared identifiers.
 struct SubroutineInstance {
-  std::set<std::string> id_values;  ///< "TYPE:value" strings (S_v); empty = NONE
+  /// "TYPE:value" strings (S_v), sorted and unique; empty = NONE. A flat
+  /// vector instead of a std::set: short strings stay in SSO buffers, so
+  /// the detect path's frequent inserts cost no node allocations. The
+  /// element sequence is exactly what set iteration produced.
+  std::vector<std::string> id_values;
   std::set<std::string> signature;  ///< identifier types
   std::vector<GroupMessage> messages;
 
@@ -41,6 +47,20 @@ struct SubroutineInstance {
 
 /// Algorithm 2, lines 5-15: partition one session's group messages.
 std::vector<SubroutineInstance> partition_instances(const std::vector<GroupMessage>& messages);
+
+/// Move overload for callers done with `messages` (the detect hot path):
+/// each message — identifier strings included — moves into its instance
+/// instead of being deep-copied. Same partition, same order.
+std::vector<SubroutineInstance> partition_instances(std::vector<GroupMessage>&& messages);
+
+/// Scratch variant for the detection hot path: partitions into
+/// `scratch.instances`, reusing pooled elements so their messages and
+/// id_values buffers keep their capacity bucket to bucket, and assembling
+/// the per-message "TYPE:value" working set in reused scratch buffers
+/// instead of a fresh std::set<std::string>. Returns the number of leading
+/// pool elements that form this bucket's partition — same instances, same
+/// order as the returning overloads.
+std::size_t partition_instances(std::vector<GroupMessage>&& messages, DetectScratch& scratch);
 
 /// A learned subroutine for one identifier-type signature.
 struct Subroutine {
@@ -81,6 +101,12 @@ class SubroutineModel {
   /// `min_instances_for_order`: BEFORE relations from subroutines with
   /// fewer training instances are not trusted for violation reports.
   InstanceCheck check(const SubroutineInstance& instance,
+                      std::size_t min_instances_for_order = 20) const;
+
+  /// Scratch variant for the detection hot path: the per-check key and
+  /// first-position working vectors live in `scratch` instead of being
+  /// allocated per call. Identical result to the plain overload.
+  InstanceCheck check(const SubroutineInstance& instance, DetectScratch& scratch,
                       std::size_t min_instances_for_order = 20) const;
 
   const std::map<std::set<std::string>, Subroutine>& subroutines() const { return subs_; }

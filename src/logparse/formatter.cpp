@@ -2,8 +2,10 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstring>
 
 #include "common/strings.hpp"
+#include "logparse/scanner.hpp"
 
 namespace intellog::logparse {
 
@@ -35,46 +37,52 @@ std::uint64_t join_clock(unsigned day, unsigned hour, unsigned minute, unsigned 
          minute * 60000ULL + second * 1000ULL + millis;
 }
 
-bool parse_uint(std::string_view s, unsigned& out) {
-  if (s.empty()) return false;
-  unsigned v = 0;
-  for (char c : s) {
-    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
-    v = v * 10 + static_cast<unsigned>(c - '0');
-  }
-  out = v;
-  return true;
+// Reads a 2-digit field already validated by all_digits().
+unsigned two_digits(std::string_view line, std::size_t pos) {
+  return static_cast<unsigned>(line[pos] - '0') * 10 +
+         static_cast<unsigned>(line[pos + 1] - '0');
+}
+
+// True when line starts with the 8 literal bytes of pat — one 64-bit
+// compare on the fast path instead of a byte loop.
+bool starts_with8(std::string_view line, const char* pat) {
+  std::uint64_t want;
+  std::memcpy(&want, pat, 8);
+  return line.size() >= 8 && swar::load8(line.data()) == want;
 }
 
 /// Hadoop format: "2019-06-DD HH:MM:SS,mmm LEVEL [thread] class: message"
 class HadoopFormatter final : public Formatter {
  public:
-  std::optional<LogRecord> parse(std::string_view line) const override {
-    // Fixed-width timestamp: "2019-06-DD HH:MM:SS,mmm " = 24 chars.
-    if (line.size() < 25 || line.substr(0, 8) != "2019-06-") return std::nullopt;
-    unsigned day, hour, minute, second, millis;
-    if (!parse_uint(line.substr(8, 2), day) || !parse_uint(line.substr(11, 2), hour) ||
-        !parse_uint(line.substr(14, 2), minute) || !parse_uint(line.substr(17, 2), second) ||
-        line[19] != ',' || !parse_uint(line.substr(20, 3), millis))
-      return std::nullopt;
+  bool parse_view(std::string_view line, RecordView* out) const override {
+    // Fixed-width timestamp: "2019-06-DD HH:MM:SS,mmm " = 24 chars. The
+    // prefix is one 8-byte compare and the clock digits are two SWAR
+    // digit-range checks, so a clean line reaches the field split with
+    // almost no branching.
+    if (line.size() < 25 || !starts_with8(line, "2019-06-")) return false;
+    // "DD HH:MM:SS,mmm": digits at 8-9, 11-12, 14-15, 17-18 and 20-22.
+    if (!all_digits(line, 8, 2) || !all_digits(line, 11, 2) || !all_digits(line, 14, 2) ||
+        !all_digits(line, 17, 2) || line[19] != ',' || !all_digits(line, 20, 3))
+      return false;
+    const unsigned millis = two_digits(line, 20) * 10 + static_cast<unsigned>(line[22] - '0');
     std::string_view rest = common::trim(line.substr(24));
 
-    LogRecord rec;
-    rec.timestamp_ms = join_clock(day, hour, minute, second, millis);
+    out->timestamp_ms = join_clock(two_digits(line, 8), two_digits(line, 11),
+                                   two_digits(line, 14), two_digits(line, 17), millis);
     const std::size_t sp1 = rest.find(' ');
-    if (sp1 == std::string_view::npos) return std::nullopt;
-    rec.level = std::string(rest.substr(0, sp1));
+    if (sp1 == std::string_view::npos) return false;
+    out->level = rest.substr(0, sp1);
     rest = common::trim(rest.substr(sp1));
     if (!rest.empty() && rest.front() == '[') {
       const std::size_t close = rest.find(']');
-      if (close == std::string_view::npos) return std::nullopt;
+      if (close == std::string_view::npos) return false;
       rest = common::trim(rest.substr(close + 1));
     }
     const std::size_t colon = rest.find(": ");
-    if (colon == std::string_view::npos) return std::nullopt;
-    rec.source = std::string(rest.substr(0, colon));
-    rec.content = std::string(rest.substr(colon + 2));
-    return rec;
+    if (colon == std::string_view::npos) return false;
+    out->source = rest.substr(0, colon);
+    out->content = rest.substr(colon + 2);
+    return true;
   }
 
   std::string render(const LogRecord& rec) const override {
@@ -91,26 +99,26 @@ class HadoopFormatter final : public Formatter {
 /// Spark log4j default: "19/06/DD HH:MM:SS LEVEL class: message"
 class SparkFormatter final : public Formatter {
  public:
-  std::optional<LogRecord> parse(std::string_view line) const override {
-    if (line.size() < 19 || line.substr(0, 6) != "19/06/") return std::nullopt;
-    unsigned day, hour, minute, second;
-    if (!parse_uint(line.substr(6, 2), day) || line[8] != ' ' ||
-        !parse_uint(line.substr(9, 2), hour) || !parse_uint(line.substr(12, 2), minute) ||
-        !parse_uint(line.substr(15, 2), second))
-      return std::nullopt;
+  bool parse_view(std::string_view line, RecordView* out) const override {
+    // "19/06/DD H" is an 8-byte prefix-plus-digit probe: check the first
+    // 6 literal bytes and the clock digits with SWAR range tests.
+    if (line.size() < 19 || line.substr(0, 6) != "19/06/") return false;
+    if (!all_digits(line, 6, 2) || line[8] != ' ' || !all_digits(line, 9, 2) ||
+        !all_digits(line, 12, 2) || !all_digits(line, 15, 2))
+      return false;
     std::string_view rest = common::trim(line.substr(18));
 
-    LogRecord rec;
-    rec.timestamp_ms = join_clock(day, hour, minute, second, 0);
+    out->timestamp_ms = join_clock(two_digits(line, 6), two_digits(line, 9),
+                                   two_digits(line, 12), two_digits(line, 15), 0);
     const std::size_t sp1 = rest.find(' ');
-    if (sp1 == std::string_view::npos) return std::nullopt;
-    rec.level = std::string(rest.substr(0, sp1));
+    if (sp1 == std::string_view::npos) return false;
+    out->level = rest.substr(0, sp1);
     rest = common::trim(rest.substr(sp1));
     const std::size_t colon = rest.find(": ");
-    if (colon == std::string_view::npos) return std::nullopt;
-    rec.source = std::string(rest.substr(0, colon));
-    rec.content = std::string(rest.substr(colon + 2));
-    return rec;
+    if (colon == std::string_view::npos) return false;
+    out->source = rest.substr(0, colon);
+    out->content = rest.substr(colon + 2);
+    return true;
   }
 
   std::string render(const LogRecord& rec) const override {
@@ -133,8 +141,9 @@ std::unique_ptr<Formatter> make_hadoop_formatter() { return std::make_unique<Had
 std::unique_ptr<Formatter> make_spark_formatter() { return std::make_unique<SparkFormatter>(); }
 
 const Formatter* detect_format(std::string_view sample_line) {
-  if (kHadoop.parse(sample_line)) return &kHadoop;
-  if (kSpark.parse(sample_line)) return &kSpark;
+  RecordView v;
+  if (kHadoop.parse_view(sample_line, &v)) return &kHadoop;
+  if (kSpark.parse_view(sample_line, &v)) return &kSpark;
   return nullptr;
 }
 

@@ -6,6 +6,8 @@
 #include <iostream>
 #include <stdexcept>
 
+#include "logparse/mmap_file.hpp"
+#include "logparse/scanner.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile/profile.hpp"
 
@@ -22,17 +24,22 @@ void count_skipped_file(const std::string& path) {
   }
 }
 
-std::vector<std::string> read_lines(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  std::vector<std::string> lines;
-  std::string line;
-  while (std::getline(in, line)) lines.push_back(line);
+// Splits a mapped file into line views with the SWAR scanner. The views
+// point straight into the mapping; offsets are byte-exact (scanner
+// semantics mirror the std::getline loop this replaced).
+std::vector<std::string_view> scan_lines(std::string_view data) {
+  std::vector<std::string_view> lines;
+  lines.reserve(data.size() / 48 + 1);  // typical log line runs 60-120 bytes
+  LineScanner scanner(data);
+  std::string_view line;
+  std::size_t offset = 0;
+  while (scanner.next(&line, &offset)) lines.push_back(line);
   return lines;
 }
 
-bool all_lines_empty(const std::vector<std::string>& lines) {
+bool all_lines_empty(const std::vector<std::string_view>& lines) {
   return std::all_of(lines.begin(), lines.end(),
-                     [](const std::string& l) { return l.empty(); });
+                     [](std::string_view l) { return l.empty(); });
 }
 
 std::vector<std::string> sorted_log_paths(const std::string& dir) {
@@ -65,11 +72,10 @@ void write_log_directory(const Formatter& fmt, const std::vector<Session>& sessi
 
 Session read_session_file(const std::string& path, std::string_view system) {
   PROF_FRAME("ingest.read_file");
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("read_session_file: cannot open " + path);
-  std::vector<std::string> lines;
-  std::string line;
-  while (std::getline(in, line)) lines.push_back(line);
+  std::string error;
+  auto mapping = MappedFile::open(path, &error);
+  if (mapping == nullptr) throw std::runtime_error("read_session_file: cannot open " + path);
+  const std::vector<std::string_view> lines = scan_lines(mapping->view());
 
   // Format auto-detection from the first parseable line.
   const Formatter* fmt = nullptr;
@@ -80,10 +86,13 @@ Session read_session_file(const std::string& path, std::string_view system) {
   const std::string container = fs::path(path).stem().string();
   if (!fmt) {
     if (!all_lines_empty(lines)) count_skipped_file(path);
-    return Session{container, std::string(system), path, {}};
+    return Session{container, std::string(system), path, {}, nullptr};
   }
-  Session s = parse_session(*fmt, container, lines, system);
+  auto storage = std::make_shared<SessionStorage>();
+  storage->mapping = std::move(mapping);
+  Session s = parse_session(*fmt, container, lines, system, storage.get());
   s.source_file = path;
+  s.storage = std::move(storage);
   return s;
 }
 
@@ -118,7 +127,13 @@ SessionIngest read_session_file_resilient(const std::string& path, std::string_v
     std::cerr << "log_io: warning: cannot read " << path << "\n";
     return out;
   }
-  const std::vector<std::string> lines = read_lines(path);
+  std::string error;
+  auto mapping = MappedFile::open(path, &error);
+  if (mapping == nullptr) {
+    std::cerr << "log_io: warning: cannot read " << path << ": " << error << "\n";
+    return out;
+  }
+  const std::vector<std::string_view> lines = scan_lines(mapping->view());
 
   const Formatter* fmt = nullptr;
   for (const auto& l : lines) {
@@ -138,7 +153,7 @@ SessionIngest read_session_file_resilient(const std::string& path, std::string_v
       q.file = path;
       q.line_no = 1 + static_cast<std::size_t>(&l - lines.data());
       q.raw_bytes = l.size();
-      q.text = l.substr(0, options.quarantine_text_bytes);
+      q.text = std::string(l.substr(0, options.quarantine_text_bytes));
       q.reason = "no-known-format";
       for (std::size_t i = 0; i + 1 < q.line_no; ++i) q.byte_offset += lines[i].size() + 1;
       out.quarantined.push_back(std::move(q));
@@ -146,7 +161,12 @@ SessionIngest read_session_file_resilient(const std::string& path, std::string_v
     }
     return out;
   }
-  return parse_session_resilient(*fmt, out.session.container_id, lines, system, options, path);
+  auto storage = std::make_shared<SessionStorage>();
+  storage->mapping = std::move(mapping);
+  SessionIngest ingest = parse_session_resilient(*fmt, out.session.container_id, lines, system,
+                                                 options, path, storage.get());
+  ingest.session.storage = std::move(storage);
+  return ingest;
 }
 
 IngestReport read_log_directory_resilient(const std::string& dir, std::string_view system,

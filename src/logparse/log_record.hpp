@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
+
 namespace intellog::logparse {
 
 /// The four variable-field categories of §2.1 plus an "other" bucket.
@@ -43,12 +45,18 @@ struct GroundTruth {
 };
 
 /// A parsed log line.
+///
+/// The text fields are ArenaStrings: owning std::strings by default
+/// (simulators, checkpoints, tests — everything behaves as before), or
+/// zero-copy views into an mmap'd file / session arena when produced by
+/// the mmap ingest path. Borrowed records are only valid while their
+/// Session's storage is alive; call materialize() before detaching one.
 struct LogRecord {
   std::uint64_t timestamp_ms = 0;
-  std::string level = "INFO";
-  std::string source;        ///< logging class, e.g. "storage.BlockManager"
-  std::string content;       ///< the message text
-  std::string container_id;  ///< session key (one YARN container = session)
+  common::ArenaString level = "INFO";
+  common::ArenaString source;        ///< logging class, e.g. "storage.BlockManager"
+  common::ArenaString content;       ///< the message text
+  common::ArenaString container_id;  ///< session key (one YARN container = session)
   /// Ingest provenance (the quarantine channel's byte-offset discipline,
   /// threaded through accepted records too): 1-based line number within the
   /// source file and the offset of the line's first byte. 0/0 when the
@@ -58,6 +66,15 @@ struct LogRecord {
   std::uint32_t line_no = 0;
   std::uint64_t byte_offset = 0;
   std::optional<GroundTruth> truth;  ///< simulator side channel (benches only)
+
+  /// Converts any borrowed fields into owning copies so the record can
+  /// outlive its session's backing storage (no-op for owned records).
+  void materialize() {
+    level.materialize();
+    source.materialize();
+    content.materialize();
+    container_id.materialize();
+  }
 };
 
 }  // namespace intellog::logparse

@@ -1,0 +1,89 @@
+#include "logparse/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace intellog::logparse {
+namespace {
+
+bool mmap_disabled() {
+  const char* env = std::getenv("INTELLOG_NO_MMAP");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
+
+void set_error(std::string* error, const std::string& path, const char* what) {
+  if (error != nullptr) {
+    *error = path + ": " + what + ": " + std::strerror(errno);
+  }
+}
+
+}  // namespace
+
+MappedFile::~MappedFile() {
+  if (mmapped_ && data_ != nullptr && size_ > 0) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+  delete[] heap_;
+}
+
+std::shared_ptr<MappedFile> MappedFile::open(const std::string& path,
+                                             std::string* error) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    set_error(error, path, "open");
+    return nullptr;
+  }
+
+  auto file = std::shared_ptr<MappedFile>(new MappedFile());
+  file->path_ = path;
+
+  struct stat st{};
+  const bool have_size = ::fstat(fd, &st) == 0 && S_ISREG(st.st_mode);
+
+  if (have_size && st.st_size > 0 && !mmap_disabled()) {
+    void* mapped = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                          PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapped != MAP_FAILED) {
+      file->data_ = static_cast<const char*>(mapped);
+      file->size_ = static_cast<std::size_t>(st.st_size);
+      file->mmapped_ = true;
+      ::close(fd);
+      return file;
+    }
+    // fall through to the read() path — e.g. filesystems without mmap
+  }
+
+  // Fallback: slurp with read(). Handles empty regular files, pipes and
+  // anything mmap refused; still yields one contiguous buffer.
+  std::vector<char> buf;
+  if (have_size && st.st_size > 0) buf.reserve(static_cast<std::size_t>(st.st_size));
+  char chunk[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      buf.insert(buf.end(), chunk, chunk + n);
+    } else if (n == 0) {
+      break;
+    } else if (errno != EINTR) {
+      set_error(error, path, "read");
+      ::close(fd);
+      return nullptr;
+    }
+  }
+  ::close(fd);
+  file->heap_ = new char[buf.size() > 0 ? buf.size() : 1];
+  if (!buf.empty()) std::memcpy(file->heap_, buf.data(), buf.size());
+  file->data_ = file->heap_;
+  file->size_ = buf.size();
+  file->mmapped_ = false;
+  return file;
+}
+
+}  // namespace intellog::logparse

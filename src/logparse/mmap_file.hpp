@@ -1,0 +1,45 @@
+#pragma once
+
+// Read-only file mapping for zero-copy ingest. MappedFile::open() mmaps
+// the file when it can and falls back to a plain read() into a heap
+// buffer when it can't (pipes, pseudo-files with st_size 0, platforms
+// without mmap, or INTELLOG_NO_MMAP=1 forcing the fallback so CI can
+// exercise that path). Either way the caller gets one contiguous
+// string_view of the whole file whose lifetime is the MappedFile's —
+// Sessions pin it via shared_ptr so borrowed records stay valid.
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace intellog::logparse {
+
+class MappedFile {
+ public:
+  // Returns nullptr (with errno-derived message in *error when given)
+  // only when the file cannot be read at all; an unmappable but readable
+  // file succeeds via the fallback.
+  static std::shared_ptr<MappedFile> open(const std::string& path,
+                                          std::string* error = nullptr);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  std::string_view view() const { return {data_, size_}; }
+  std::size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+  // True when the bytes come from an actual mmap (false: read() fallback).
+  bool mmapped() const { return mmapped_; }
+
+ private:
+  MappedFile() = default;
+
+  std::string path_;
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+  char* heap_ = nullptr;  // owned buffer when the fallback was used
+  bool mmapped_ = false;
+};
+
+}  // namespace intellog::logparse

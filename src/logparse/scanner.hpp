@@ -1,0 +1,130 @@
+#pragma once
+
+// SWAR line scanning for the mmap ingest path: 8 bytes at a time with
+// plain 64-bit arithmetic, no intrinsics, so it vectorizes the newline
+// search portably. Semantics exactly mirror the std::getline loop the
+// ifstream readers used — '\n' terminates a line and is consumed, '\r'
+// is kept, a torn final line without a newline is still yielded, and an
+// empty input yields nothing — so record boundaries and byte offsets are
+// byte-identical between the two ingest paths. A naive scalar reference
+// implementation lives alongside for differential fuzzing.
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace intellog::logparse {
+
+namespace swar {
+
+inline constexpr std::uint64_t kOnes = 0x0101010101010101ull;
+inline constexpr std::uint64_t kHighs = 0x8080808080808080ull;
+
+inline std::uint64_t load8(const char* p) {
+  std::uint64_t word;
+  std::memcpy(&word, p, sizeof(word));  // unaligned-safe, folds to one load
+  return word;
+}
+
+// High bit set in each byte of the result where word's byte equals b.
+inline std::uint64_t match_byte(std::uint64_t word, char b) {
+  const std::uint64_t x = word ^ (kOnes * static_cast<unsigned char>(b));
+  return (x - kOnes) & ~x & kHighs;
+}
+
+// High bit set where word's byte is NOT an ASCII digit.
+inline std::uint64_t nondigit_bytes(std::uint64_t word) {
+  const std::uint64_t x = word ^ (kOnes * static_cast<unsigned char>('0'));
+  // A byte of x is <= 9 exactly when the original was '0'..'9'; adding
+  // 0x76 overflows into the high bit for 0x0A and above, and OR-ing x
+  // itself catches bytes that already had the high bit set.
+  return ((x + kOnes * 0x76) | x) & kHighs;
+}
+
+}  // namespace swar
+
+// First index >= from where data[i] == b, or npos. SWAR fast path over
+// full 8-byte words, scalar over the <8-byte head alignment-free tail.
+inline std::size_t find_byte(std::string_view data, std::size_t from, char b) {
+  static_assert(std::endian::native == std::endian::little,
+                "SWAR lane extraction assumes little-endian byte order");
+  const char* p = data.data();
+  std::size_t i = from;
+  const std::size_t n = data.size();
+  while (i + 8 <= n) {
+    const std::uint64_t hit = swar::match_byte(swar::load8(p + i), b);
+    if (hit != 0) {
+      return i + static_cast<std::size_t>(std::countr_zero(hit)) / 8;
+    }
+    i += 8;
+  }
+  for (; i < n; ++i) {
+    if (p[i] == b) return i;
+  }
+  return std::string_view::npos;
+}
+
+// Scalar reference with identical contract, kept for differential fuzz.
+inline std::size_t find_byte_naive(std::string_view data, std::size_t from, char b) {
+  for (std::size_t i = from; i < data.size(); ++i) {
+    if (data[i] == b) return i;
+  }
+  return std::string_view::npos;
+}
+
+// True when the len bytes at data[pos..) are all ASCII digits.
+inline bool all_digits(std::string_view data, std::size_t pos, std::size_t len) {
+  if (pos + len > data.size()) return false;
+  const char* p = data.data() + pos;
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    if (swar::nondigit_bytes(swar::load8(p + i)) != 0) return false;
+  }
+  for (; i < len; ++i) {
+    if (p[i] < '0' || p[i] > '9') return false;
+  }
+  return true;
+}
+
+// Yields (line, byte offset) pairs over one contiguous buffer.
+class LineScanner {
+ public:
+  explicit LineScanner(std::string_view data) : data_(data) {}
+
+  bool next(std::string_view* line, std::size_t* offset) {
+    if (pos_ >= data_.size()) return false;
+    const std::size_t nl = find_byte(data_, pos_, '\n');
+    const std::size_t end = nl == std::string_view::npos ? data_.size() : nl;
+    *line = data_.substr(pos_, end - pos_);
+    *offset = pos_;
+    pos_ = end + 1;  // past the '\n'; past-the-end terminates on a torn tail
+    return true;
+  }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// Differential-fuzz reference: same contract via the scalar search.
+class NaiveLineScanner {
+ public:
+  explicit NaiveLineScanner(std::string_view data) : data_(data) {}
+
+  bool next(std::string_view* line, std::size_t* offset) {
+    if (pos_ >= data_.size()) return false;
+    const std::size_t nl = find_byte_naive(data_, pos_, '\n');
+    const std::size_t end = nl == std::string_view::npos ? data_.size() : nl;
+    *line = data_.substr(pos_, end - pos_);
+    *offset = pos_;
+    pos_ = end + 1;
+    return true;
+  }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace intellog::logparse

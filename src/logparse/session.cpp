@@ -12,15 +12,20 @@ namespace intellog::logparse {
 std::vector<Session> split_sessions(const std::vector<LogRecord>& records,
                                     std::string_view system) {
   // std::map keeps container order deterministic (sorted by id).
-  std::map<std::string, Session> by_container;
+  std::map<std::string, Session, std::less<>> by_container;
   for (const LogRecord& rec : records) {
     if (rec.container_id.empty()) continue;
-    Session& s = by_container[rec.container_id];
-    if (s.container_id.empty()) {
-      s.container_id = rec.container_id;
-      s.system = std::string(system);
+    auto it = by_container.find(rec.container_id.view());
+    if (it == by_container.end()) {
+      it = by_container.emplace(rec.container_id.str(), Session{}).first;
+      it->second.container_id = rec.container_id.str();
+      it->second.system = std::string(system);
     }
+    Session& s = it->second;
     s.records.push_back(rec);
+    // The output sessions carry no backing storage, so any borrowed input
+    // record must not leave dangling views behind (no-op for owned ones).
+    s.records.back().materialize();
   }
   std::vector<Session> out;
   out.reserve(by_container.size());
@@ -28,22 +33,66 @@ std::vector<Session> split_sessions(const std::vector<LogRecord>& records,
   return out;
 }
 
+namespace {
+
+std::vector<std::string_view> as_views(const std::vector<std::string>& lines) {
+  return std::vector<std::string_view>(lines.begin(), lines.end());
+}
+
+// Builds one record from parsed views: borrowing them when the session
+// has backing storage, copying otherwise.
+LogRecord make_record(const RecordView& v, std::string_view container_id,
+                      bool borrow) {
+  LogRecord rec;
+  rec.timestamp_ms = v.timestamp_ms;
+  if (borrow) {
+    rec.level = common::ArenaString::borrowed(v.level);
+    rec.source = common::ArenaString::borrowed(v.source);
+    rec.content = common::ArenaString::borrowed(v.content);
+    rec.container_id = common::ArenaString::borrowed(container_id);
+  } else {
+    rec.level = v.level;
+    rec.source = v.source;
+    rec.content = v.content;
+    rec.container_id = container_id;
+  }
+  return rec;
+}
+
+}  // namespace
+
 Session parse_session(const Formatter& fmt, std::string_view container_id,
                       const std::vector<std::string>& lines, std::string_view system) {
+  return parse_session(fmt, container_id, as_views(lines), system, nullptr);
+}
+
+Session parse_session(const Formatter& fmt, std::string_view container_id,
+                      const std::vector<std::string_view>& lines, std::string_view system,
+                      SessionStorage* backing) {
   PROF_FRAME("ingest.parse");
   Session s;
   s.container_id = std::string(container_id);
   s.system = std::string(system);
+  // Borrowed records view the arena copy, not s.container_id: short ids
+  // sit in the std::string's SSO buffer, which moves with the Session.
+  const std::string_view cid =
+      backing != nullptr ? backing->arena.copy(container_id) : container_id;
+  s.records.reserve(lines.size());  // continuations only ever shrink this
+  RecordView v;
   std::uint64_t offset = 0;
   for (std::size_t i = 0; i < lines.size(); ++i, offset += lines[i - 1].size() + 1) {
-    const std::string& line = lines[i];
-    if (auto rec = fmt.parse(line)) {
-      rec->container_id = s.container_id;
-      rec->line_no = static_cast<std::uint32_t>(i + 1);
-      rec->byte_offset = offset;
-      s.records.push_back(std::move(*rec));
+    const std::string_view line = lines[i];
+    if (fmt.parse_view(line, &v)) {
+      LogRecord rec = make_record(v, cid, backing != nullptr);
+      rec.line_no = static_cast<std::uint32_t>(i + 1);
+      rec.byte_offset = offset;
+      s.records.push_back(std::move(rec));
     } else if (!s.records.empty()) {
-      s.records.back().content += "\n" + line;  // continuation (stack trace)
+      // Continuation (stack trace): materializes the record's content —
+      // off the fast path, and repeated appends stay amortized.
+      common::ArenaString& c = s.records.back().content;
+      c += '\n';
+      c += line;
     }
   }
   return s;
@@ -106,15 +155,25 @@ SessionIngest parse_session_resilient(const Formatter& fmt, std::string_view con
                                       const std::vector<std::string>& lines,
                                       std::string_view system, const IngestOptions& options,
                                       std::string_view file) {
+  return parse_session_resilient(fmt, container_id, as_views(lines), system, options, file,
+                                 nullptr);
+}
+
+SessionIngest parse_session_resilient(const Formatter& fmt, std::string_view container_id,
+                                      const std::vector<std::string_view>& lines,
+                                      std::string_view system, const IngestOptions& options,
+                                      std::string_view file, SessionStorage* backing) {
   PROF_FRAME("ingest.parse_resilient");
   SessionIngest out;
   out.session.container_id = std::string(container_id);
   out.session.system = std::string(system);
   out.session.source_file = std::string(file);
   const std::string source = file.empty() ? std::string(container_id) : std::string(file);
+  const std::string_view cid =
+      backing != nullptr ? backing->arena.copy(container_id) : container_id;
 
   const auto quarantine = [&](std::size_t line_no, std::uint64_t offset,
-                              const std::string& line, const char* reason) {
+                              std::string_view line, const char* reason) {
     ++out.stats.quarantined;
     ++out.stats.quarantined_by_reason[reason];
     if (out.quarantined.size() >= options.max_quarantined) return;
@@ -123,12 +182,13 @@ SessionIngest parse_session_resilient(const Formatter& fmt, std::string_view con
     q.line_no = line_no;
     q.byte_offset = offset;
     q.raw_bytes = line.size();
-    q.text = line.substr(0, options.quarantine_text_bytes);
+    q.text = std::string(line.substr(0, options.quarantine_text_bytes));
     q.reason = reason;
     out.quarantined.push_back(std::move(q));
   };
 
   auto& recs = out.session.records;
+  recs.reserve(lines.size());  // quarantine/dedupe only ever shrink this
 
   // Compact dedupe index parallel to `recs`: each accepted record leaves one
   // 64-bit signature mixing its timestamp, content length, and 8 bytes
@@ -175,8 +235,9 @@ SessionIngest parse_session_resilient(const Formatter& fmt, std::string_view con
   };
 
   std::uint64_t offset = 0;
+  RecordView view;
   for (std::size_t i = 0; i < lines.size(); ++i, offset += lines[i - 1].size() + 1) {
-    const std::string& line = lines[i];
+    const std::string_view line = lines[i];
     const std::size_t line_no = i + 1;
     ++out.stats.lines_total;
 
@@ -185,8 +246,7 @@ SessionIngest parse_session_resilient(const Formatter& fmt, std::string_view con
       continue;
     }
 
-    auto rec = fmt.parse(line);
-    if (!rec) {
+    if (!fmt.parse_view(line, &view)) {
       // The byte-level binary scan only runs on lines the formatter already
       // rejected, so clean streams never pay for it.
       if (looks_binary(line)) {
@@ -195,7 +255,10 @@ SessionIngest parse_session_resilient(const Formatter& fmt, std::string_view con
         quarantine(line_no, offset, line, "torn");
       } else if (!recs.empty() &&
                  recs.back().content.size() + line.size() < options.max_line_bytes) {
-        recs.back().content += "\n" + line;  // continuation (stack trace)
+        // Continuation (stack trace): materializes the record's content.
+        common::ArenaString& c = recs.back().content;
+        c += '\n';
+        c += line;
         ++out.stats.continuations;
       } else if (!recs.empty()) {
         quarantine(line_no, offset, line, "oversized");
@@ -204,14 +267,14 @@ SessionIngest parse_session_resilient(const Formatter& fmt, std::string_view con
       }
       continue;
     }
-    rec->container_id = out.session.container_id;
-    rec->line_no = static_cast<std::uint32_t>(line_no);
-    rec->byte_offset = offset;
+    LogRecord rec = make_record(view, cid, backing != nullptr);
+    rec.line_no = static_cast<std::uint32_t>(line_no);
+    rec.byte_offset = offset;
 
     // Exact-duplicate suppression: at-least-once shippers re-deliver
     // verbatim copies close to the original.
     if (dedupe_window > 0) {
-      const std::uint64_t nsig = sig_of(*rec);
+      const std::uint64_t nsig = sig_of(rec);
       bool dup = false;
       if (bucket[nsig & 63] != 0) {
         const std::size_t n = sigs.size();
@@ -219,8 +282,8 @@ SessionIngest parse_session_resilient(const Formatter& fmt, std::string_view con
         for (std::size_t k = n; k > lo && !dup; --k) {
           if (sigs[k - 1].sig != nsig) continue;
           const LogRecord& prev = recs[sigs[k - 1].idx];
-          if (prev.timestamp_ms == rec->timestamp_ms && prev.content == rec->content &&
-              prev.level == rec->level && prev.source == rec->source) {
+          if (prev.timestamp_ms == rec.timestamp_ms && prev.content == rec.content &&
+              prev.level == rec.level && prev.source == rec.source) {
             dup = true;
             // Refresh, don't append: the next copy in a re-delivery chain
             // arrives within a few records, so moving the original's entry
@@ -238,7 +301,7 @@ SessionIngest parse_session_resilient(const Formatter& fmt, std::string_view con
       push_sig(nsig, recs.size());
     }
 
-    recs.push_back(std::move(*rec));
+    recs.push_back(std::move(rec));
     ++out.stats.records;
 
     // Bounded reorder tolerance: a record whose timestamp precedes its

@@ -174,7 +174,7 @@ TEST(LogIo, ReadersStampSourceFileAndLineProvenance) {
       // The line at that offset carries the record's content (content is
       // the message part; the raw line has timestamp/level prefixes, and
       // continuations are folded, so compare against the first line).
-      const std::string head = rec.content.substr(0, rec.content.find('\n'));
+      const std::string head(rec.content.substr(0, rec.content.find('\n')));
       EXPECT_NE(raw_line.find(head), std::string::npos)
           << s.source_file << ":" << rec.line_no;
     }

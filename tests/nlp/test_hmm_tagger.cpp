@@ -17,7 +17,7 @@ std::vector<std::string> corpus_messages(const std::string& system, int jobs,
   for (int i = 0; i < jobs; ++i) {
     const simsys::JobResult job = simsys::run_job(gen.training_job(), cluster);
     for (const auto& s : job.sessions) {
-      for (const auto& rec : s.records) out.push_back(rec.content);
+      for (const auto& rec : s.records) out.push_back(rec.content.str());
     }
   }
   return out;

@@ -20,6 +20,13 @@ applies the gates given on the command line:
                            such as profiler_disabled_ratio, which must
                            straddle 1.00 for the one-sided overhead
                            gates to be trustworthy)
+  --extra-ratio-min NUM/DEN=BOUND
+                          fresh.extra[NUM] / fresh.extra[DEN] >= BOUND
+                          (self-relative gate between two fresh metrics
+                           measured in the same run — e.g. the mmap
+                           ingest path vs the getline path it replaced —
+                           so machine speed cancels out and no baseline
+                           entry is needed)
 
 A gated --extra-* key absent from the fresh snapshot is skipped with a
 note: older bench binaries simply don't emit newer ratios, and the gate
@@ -65,6 +72,15 @@ def parse_gate(spec):
         sys.exit(2)
 
 
+def parse_ratio_gate(spec):
+    key, bound = parse_gate(spec)
+    num, sep, den = key.partition("/")
+    if not sep or not num or not den:
+        print(f"compare_bench: bad ratio spec {spec!r} (want NUM/DEN=BOUND)", file=sys.stderr)
+        sys.exit(2)
+    return num, den, bound
+
+
 def parse_range_gate(spec):
     key, bounds = parse_gate_raw(spec)
     lo, sep, hi = bounds.partition(":")
@@ -90,6 +106,7 @@ def main():
     ap.add_argument("--extra-min", action="append", default=[], metavar="KEY=BOUND")
     ap.add_argument("--extra-max", action="append", default=[], metavar="KEY=BOUND")
     ap.add_argument("--extra-range", action="append", default=[], metavar="KEY=LO:HI")
+    ap.add_argument("--extra-ratio-min", action="append", default=[], metavar="NUM/DEN=BOUND")
     args = ap.parse_args()
 
     with open(args.baseline, encoding="utf-8") as f:
@@ -141,6 +158,23 @@ def main():
                   f"{'OK' if ok else 'FAIL'}")
             if not ok:
                 failures.append(f"{key}: {value:.3f} violates {op} {bound:g}")
+
+    for spec in args.extra_ratio_min:
+        num, den, bound = parse_ratio_gate(spec)
+        num_v = fresh.get(f"extra.{num}")
+        den_v = fresh.get(f"extra.{den}")
+        if num_v is None or den_v is None:
+            print(f"  gate {num}/{den}: not emitted by this bench build, skipped")
+            continue
+        if den_v == 0:
+            failures.append(f"{num}/{den}: denominator is zero, ratio undefined")
+            continue
+        ratio = num_v / den_v
+        ok = ratio >= bound
+        print(f"  gate {num}/{den}: {ratio:.3f} (need >= {bound:g}) "
+              f"{'OK' if ok else 'FAIL'}")
+        if not ok:
+            failures.append(f"{num}/{den}: {ratio:.3f}, below {bound:g}")
 
     for spec in args.extra_range:
         key, lo, hi = parse_range_gate(spec)
