@@ -41,12 +41,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard lock(mu_);
-    stopping_ = true;
-  }
-  cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  shutdown(DrainMode::Drain);
   if (PoolObserver* obs = pool_observer()) {
     const Stats s = stats();
     std::uint64_t busy_us = 0, idle_us = 0, tasks = 0;
@@ -57,6 +52,34 @@ ThreadPool::~ThreadPool() {
     }
     obs->on_retire(busy_us, idle_us, tasks);
   }
+}
+
+void ThreadPool::shutdown(DrainMode mode) {
+  std::queue<Task> cancelled;
+  std::size_t pending = 0;
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) return;  // the first shutdown joined the workers already
+    stopping_ = true;
+    pending = queue_.size();
+    if (mode == DrainMode::Cancel) queue_.swap(cancelled);
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  std::uint64_t n_drained = 0, n_cancelled = 0;
+  if (mode == DrainMode::Cancel) {
+    n_cancelled = cancelled.size();
+    // Destroying the queue releases each packaged_task; unfired promises
+    // surface as std::future_error{broken_promise} at the caller's .get().
+    while (!cancelled.empty()) cancelled.pop();
+    cancelled_.fetch_add(n_cancelled, std::memory_order_relaxed);
+  } else {
+    n_drained = pending;
+    drained_at_shutdown_.fetch_add(n_drained, std::memory_order_relaxed);
+  }
+  if (PoolObserver* obs = pool_observer()) obs->on_shutdown(n_drained, n_cancelled);
 }
 
 void ThreadPool::note_enqueue(std::size_t depth) {
@@ -111,6 +134,8 @@ ThreadPool::Stats ThreadPool::stats() const {
   Stats s;
   s.tasks_enqueued = enqueued_.load(std::memory_order_relaxed);
   s.tasks_completed = completed_.load(std::memory_order_relaxed);
+  s.tasks_cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.tasks_drained_at_shutdown = drained_at_shutdown_.load(std::memory_order_relaxed);
   s.queue_delay_total_ms =
       static_cast<double>(delay_total_ns_.load(std::memory_order_relaxed)) / 1e6;
   s.queue_delay_max_ms =

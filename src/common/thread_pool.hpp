@@ -42,6 +42,14 @@ class PoolObserver {
   /// summed over workers.
   virtual void on_retire(std::uint64_t busy_us, std::uint64_t idle_us,
                          std::uint64_t tasks) = 0;
+  /// shutdown() resolved the queue: `drained` tasks were queued at shutdown
+  /// time and ran to completion; `cancelled` tasks were destroyed unrun
+  /// (their futures report broken_promise). Default no-op so existing
+  /// observers keep compiling.
+  virtual void on_shutdown(std::uint64_t drained, std::uint64_t cancelled) {
+    (void)drained;
+    (void)cancelled;
+  }
 };
 
 /// Installs the process-global observer (nullptr disables; the default).
@@ -52,12 +60,24 @@ PoolObserver* pool_observer();
 
 class ThreadPool {
  public:
+  /// What happens to queued-but-unstarted tasks at shutdown.
+  enum class DrainMode {
+    Drain,   ///< run every queued task to completion before joining
+    Cancel,  ///< destroy queued tasks unrun; their futures throw broken_promise
+  };
+
   /// Starts `num_threads` workers (defaults to hardware concurrency, min 1).
   explicit ThreadPool(std::size_t num_threads = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Stops the pool deterministically: no new submits are accepted, queued
+  /// tasks are drained or cancelled per `mode`, and all workers are joined
+  /// before returning. Idempotent — later calls (including the destructor's
+  /// implicit Drain) are no-ops. Not safe to race with submit().
+  void shutdown(DrainMode mode = DrainMode::Drain);
 
   /// Enqueues a task; returns a future for its result.
   template <typename F>
@@ -90,6 +110,8 @@ class ThreadPool {
   struct Stats {
     std::uint64_t tasks_enqueued = 0;
     std::uint64_t tasks_completed = 0;
+    std::uint64_t tasks_cancelled = 0;           ///< destroyed unrun by shutdown(Cancel)
+    std::uint64_t tasks_drained_at_shutdown = 0; ///< queued at shutdown, ran during drain
     double queue_delay_total_ms = 0.0;  ///< summed enqueue->dequeue latency
     double queue_delay_max_ms = 0.0;
     std::size_t max_queue_depth = 0;
@@ -123,6 +145,8 @@ class ThreadPool {
 
   std::atomic<std::uint64_t> enqueued_{0};
   std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> drained_at_shutdown_{0};
   std::atomic<std::uint64_t> delay_total_ns_{0};
   std::atomic<std::uint64_t> delay_max_ns_{0};
   std::atomic<std::size_t> max_depth_{0};

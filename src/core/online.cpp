@@ -1,9 +1,12 @@
 #include "core/online.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <initializer_list>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 #include "common/checksum.hpp"
 #include "common/strings.hpp"
@@ -306,15 +309,59 @@ OnlineDetector OnlineDetector::restore(const IntelLog& model, const common::Json
       doc["kind"].as_string() != "intellog_online_checkpoint") {
     throw std::runtime_error("OnlineDetector::restore: not a checkpoint document");
   }
-  if (!doc.contains("format_version") || !doc["format_version"].is_int() ||
-      doc["format_version"].as_int() != kCheckpointVersion) {
+  if (!doc.contains("format_version") || !doc["format_version"].is_int()) {
     throw std::runtime_error(
         "OnlineDetector::restore: unsupported checkpoint format version (want " +
         std::to_string(kCheckpointVersion) + ")");
   }
+  if (doc["format_version"].as_int() != kCheckpointVersion) {
+    // A future version means a newer build wrote fields this one cannot
+    // interpret; guessing would half-restore. One clear error, no state.
+    throw std::runtime_error(
+        "OnlineDetector::restore: checkpoint format version " +
+        std::to_string(doc["format_version"].as_int()) +
+        " is not supported by this build (supported: " +
+        std::to_string(kCheckpointVersion) + "); refusing to restore");
+  }
   if (!common::verify_checksum(doc)) {
     throw std::runtime_error(
         "OnlineDetector::restore: checksum mismatch (corrupted checkpoint)");
+  }
+
+  // Forward-compatibility guard: a checkpoint carrying keys this build does
+  // not know about was written by a newer (or foreign) writer. Restoring
+  // around them would silently discard state, so reject before touching
+  // anything. Runs after the checksum check so corruption reports as
+  // corruption, not as an unknown key.
+  const auto reject_unknown_keys = [](const common::JsonObject& obj,
+                                      std::initializer_list<std::string_view> known,
+                                      const char* where) {
+    for (const auto& [key, value] : obj) {
+      (void)value;
+      if (std::find(known.begin(), known.end(), key) == known.end()) {
+        throw std::runtime_error("OnlineDetector::restore: unknown key \"" + key +
+                                 "\" in " + where +
+                                 " — written by a newer build? refusing to restore");
+      }
+    }
+  };
+  reject_unknown_keys(doc.as_object(),
+                      {"kind", "format_version", "seq", "sessions", "checksum"},
+                      "checkpoint");
+  if (doc.contains("sessions") && doc["sessions"].is_array()) {
+    for (const auto& s : doc["sessions"].as_array()) {
+      if (!s.is_object()) continue;  // shape errors surface below as malformed
+      reject_unknown_keys(s.as_object(),
+                          {"container", "system", "file", "first_seen_ms",
+                           "last_seen_ms", "lru_seq", "records"},
+                          "session entry");
+      if (!s.contains("records") || !s["records"].is_array()) continue;
+      for (const auto& r : s["records"].as_array()) {
+        if (!r.is_object()) continue;
+        reject_unknown_keys(r.as_object(), {"t", "l", "s", "c", "n", "b"},
+                            "record entry");
+      }
+    }
   }
 
   OnlineDetector det(model, jobs, limits);

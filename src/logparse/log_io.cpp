@@ -178,13 +178,14 @@ IngestReport read_log_directory_resilient(const std::string& dir, std::string_vi
     std::cerr << "log_io: warning: no such log directory: " << dir << "\n";
     return report;
   }
+  // Directory-level bounded channel: per-file ingest already rotates within
+  // each file; this re-applies the caps across files so the oldest evidence
+  // rotates out first globally instead of later files being truncated.
+  QuarantineChannel channel(options.max_quarantined, options.max_quarantined_bytes);
   for (const auto& p : sorted_log_paths(dir)) {
     SessionIngest one = read_session_file_resilient(p, system, options);
     report.stats.merge(one.stats);
-    for (auto& q : one.quarantined) {
-      if (report.quarantined.size() >= options.max_quarantined) break;
-      report.quarantined.push_back(std::move(q));
-    }
+    for (auto& q : one.quarantined) channel.push(std::move(q));
     // Zero-byte files surface as empty sessions (see read_log_directory):
     // a container that never logged is detection signal, not junk.
     std::error_code fec;
@@ -193,6 +194,8 @@ IngestReport read_log_directory_resilient(const std::string& dir, std::string_vi
       report.sessions.push_back(std::move(one.session));
     }
   }
+  report.quarantined = channel.take();
+  report.stats.quarantine_dropped += channel.dropped();
 
   if (obs::MetricsRegistry* reg = obs::registry()) {
     reg->describe("intellog_ingest_skipped_files_total",
@@ -205,11 +208,15 @@ IngestReport read_log_directory_resilient(const std::string& dir, std::string_vi
                   "Records reordered into timestamp order during ingest");
     reg->describe("intellog_ingest_quarantined_total",
                   "Lines quarantined during ingest, by reason");
+    reg->describe("intellog_ingest_quarantine_dropped_total",
+                  "Quarantined lines rotated out oldest-first by the bounded channel");
     reg->counter("intellog_ingest_lines_total").add(report.stats.lines_total);
     reg->counter("intellog_ingest_records_total").add(report.stats.records);
     reg->counter("intellog_ingest_duplicates_dropped_total")
         .add(report.stats.duplicates_dropped);
     reg->counter("intellog_ingest_reordered_total").add(report.stats.reordered);
+    reg->counter("intellog_ingest_quarantine_dropped_total")
+        .add(report.stats.quarantine_dropped);
     for (const auto& [reason, n] : report.stats.quarantined_by_reason) {
       reg->counter("intellog_ingest_quarantined_total", {{"reason", reason}}).add(n);
     }

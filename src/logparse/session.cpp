@@ -108,9 +108,33 @@ void IngestStats::merge(const IngestStats& other) {
   duplicates_dropped += other.duplicates_dropped;
   reordered += other.reordered;
   skipped_files += other.skipped_files;
+  quarantine_dropped += other.quarantine_dropped;
   for (const auto& [reason, n] : other.quarantined_by_reason) {
     quarantined_by_reason[reason] += n;
   }
+}
+
+void QuarantineChannel::push(QuarantinedLine q) {
+  if (max_records_ == 0) {
+    ++dropped_;
+    return;
+  }
+  bytes_ += q.text.size();
+  items_.push_back(std::move(q));
+  while (items_.size() > max_records_ || (bytes_ > max_bytes_ && items_.size() > 1)) {
+    bytes_ -= items_.front().text.size();
+    items_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::vector<QuarantinedLine> QuarantineChannel::take() {
+  std::vector<QuarantinedLine> out;
+  out.reserve(items_.size());
+  for (auto& q : items_) out.push_back(std::move(q));
+  items_.clear();
+  bytes_ = 0;
+  return out;
 }
 
 bool looks_binary(std::string_view line) {
@@ -172,11 +196,11 @@ SessionIngest parse_session_resilient(const Formatter& fmt, std::string_view con
   const std::string_view cid =
       backing != nullptr ? backing->arena.copy(container_id) : container_id;
 
+  QuarantineChannel channel(options.max_quarantined, options.max_quarantined_bytes);
   const auto quarantine = [&](std::size_t line_no, std::uint64_t offset,
                               std::string_view line, const char* reason) {
     ++out.stats.quarantined;
     ++out.stats.quarantined_by_reason[reason];
-    if (out.quarantined.size() >= options.max_quarantined) return;
     QuarantinedLine q;
     q.file = source;
     q.line_no = line_no;
@@ -184,7 +208,7 @@ SessionIngest parse_session_resilient(const Formatter& fmt, std::string_view con
     q.raw_bytes = line.size();
     q.text = std::string(line.substr(0, options.quarantine_text_bytes));
     q.reason = reason;
-    out.quarantined.push_back(std::move(q));
+    channel.push(std::move(q));
   };
 
   auto& recs = out.session.records;
@@ -334,6 +358,8 @@ SessionIngest parse_session_resilient(const Formatter& fmt, std::string_view con
       ++out.stats.reordered;
     }
   }
+  out.quarantined = channel.take();
+  out.stats.quarantine_dropped += channel.dropped();
   return out;
 }
 

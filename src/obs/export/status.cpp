@@ -161,6 +161,26 @@ std::string render_top(const common::Json& status) {
            std::to_string(occ_int("max_buffered_records")) + " records (0 = unbounded)\n";
   }
 
+  // Serve-mode statuses carry a per-tenant table on top of the aggregate
+  // occupancy; render it before the session list so the multi-tenant shape
+  // is visible at a glance.
+  if (status["tenants"].is_array() && !status["tenants"].as_array().empty()) {
+    out += "tenants:\n";
+    for (const common::Json& t : status["tenants"].as_array()) {
+      if (!t.is_object() || !t["tenant"].is_string()) continue;
+      const auto t_int = [&t](const char* key) {
+        return t[key].is_number() ? t[key].as_int() : 0;
+      };
+      out += "  " + t["tenant"].as_string();
+      if (t["breaker"].is_string()) out += "  breaker " + t["breaker"].as_string();
+      out += "  " + std::to_string(t_int("open_sessions")) + " open, " +
+             std::to_string(t_int("buffered_records")) + " buffered, " +
+             std::to_string(t_int("pending_files")) + " pending file(s)";
+      if (t_int("restarts") > 0) out += ", " + std::to_string(t_int("restarts")) + " restart(s)";
+      out += "\n";
+    }
+  }
+
   if (status["checkpoint"].is_object()) {
     const common::Json& cp = status["checkpoint"];
     out += "checkpoint: " + cp["path"].as_string();

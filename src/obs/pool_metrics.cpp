@@ -10,7 +10,9 @@ PoolMetricsBridge::PoolMetricsBridge(MetricsRegistry& registry)
       tasks_(&registry.counter("intellog_pool_tasks_total")),
       busy_us_(&registry.counter("intellog_pool_busy_us_total")),
       idle_us_(&registry.counter("intellog_pool_idle_us_total")),
-      pools_retired_(&registry.counter("intellog_pool_retired_total")) {
+      pools_retired_(&registry.counter("intellog_pool_retired_total")),
+      cancelled_(&registry.counter("intellog_pool_cancelled_total")),
+      drained_(&registry.counter("intellog_pool_drained_total")) {
   registry.describe("intellog_pool_queue_depth",
                     "Tasks currently queued across all thread pools.");
   registry.describe("intellog_pool_queue_delay_ms",
@@ -23,6 +25,10 @@ PoolMetricsBridge::PoolMetricsBridge(MetricsRegistry& registry)
                     "Worker time spent waiting for work, summed over retired pools.");
   registry.describe("intellog_pool_retired_total",
                     "Thread pools shut down since the registry was installed.");
+  registry.describe("intellog_pool_cancelled_total",
+                    "Queued tasks destroyed unrun by ThreadPool::shutdown(Cancel).");
+  registry.describe("intellog_pool_drained_total",
+                    "Tasks still queued at shutdown that ran to completion during drain.");
 }
 
 void PoolMetricsBridge::on_enqueue(std::size_t) { depth_->add(1); }
@@ -39,6 +45,14 @@ void PoolMetricsBridge::on_retire(std::uint64_t busy_us, std::uint64_t idle_us,
   busy_us_->add(busy_us);
   idle_us_->add(idle_us);
   pools_retired_->add(1);
+}
+
+void PoolMetricsBridge::on_shutdown(std::uint64_t drained, std::uint64_t cancelled) {
+  // Cancelled tasks were counted by on_enqueue but never reach on_dequeue;
+  // settle the depth gauge so it returns to zero after a Cancel shutdown.
+  if (cancelled > 0) depth_->sub(static_cast<double>(cancelled));
+  if (cancelled > 0) cancelled_->add(static_cast<double>(cancelled));
+  if (drained > 0) drained_->add(static_cast<double>(drained));
 }
 
 void sync_pool_metrics_bridge(MetricsRegistry* registry) {

@@ -21,6 +21,7 @@ class PoolMetricsBridge final : public common::PoolObserver {
   void on_dequeue(double delay_ms, std::size_t queue_depth) override;
   void on_retire(std::uint64_t busy_us, std::uint64_t idle_us,
                  std::uint64_t tasks) override;
+  void on_shutdown(std::uint64_t drained, std::uint64_t cancelled) override;
 
  private:
   Gauge* depth_;
@@ -29,6 +30,8 @@ class PoolMetricsBridge final : public common::PoolObserver {
   Counter* busy_us_;
   Counter* idle_us_;
   Counter* pools_retired_;
+  Counter* cancelled_;
+  Counter* drained_;
 };
 
 /// Installs (registry != nullptr) or uninstalls (nullptr) the process

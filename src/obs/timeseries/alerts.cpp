@@ -168,6 +168,36 @@ std::vector<AlertRule> AlertEngine::default_rules() {
   return rules;
 }
 
+std::vector<AlertRule> AlertEngine::serve_rules() {
+  // Daemon self-monitoring on top of the detect-path stock rules. Both
+  // gauges are published every serve tick, so short windows suffice.
+  std::vector<AlertRule> rules = default_rules();
+  {
+    // Worst tenant backlog as a percentage of its shed threshold:
+    // sustained > 80% means admission cannot keep up and shedding is
+    // imminent. Percent (not a fraction) because gauges are integers.
+    AlertRule r;
+    r.name = "serve-queue-saturation";
+    r.series = "intellog_serve_queue_saturation_pct{}";
+    r.kind = AlertRule::Kind::GaugeAbove;
+    r.threshold = 80.0;
+    r.window_ms = 10'000;
+    rules.push_back(std::move(r));
+  }
+  {
+    // Any tenant breaker open (or half-open) is an incident for that
+    // tenant even though the daemon as a whole keeps serving.
+    AlertRule r;
+    r.name = "serve-breaker-open";
+    r.series = "intellog_serve_breakers_open{}";
+    r.kind = AlertRule::Kind::GaugeAbove;
+    r.threshold = 0.0;
+    r.window_ms = 10'000;
+    rules.push_back(std::move(r));
+  }
+  return rules;
+}
+
 std::vector<AlertRule> AlertEngine::rules_from_json(const common::Json& doc) {
   const common::Json* arr = &doc;
   if (doc.is_object()) {

@@ -80,6 +80,11 @@ class AlertEngine {
   /// unexpected-key (no-Intel-Key-match) rate, and degraded reports.
   static std::vector<AlertRule> default_rules();
 
+  /// The stock rules for the `intellog serve` daemon, layered on top of
+  /// default_rules(): spool backlog saturation and tenant circuit breakers
+  /// stuck open.
+  static std::vector<AlertRule> serve_rules();
+
   /// Parses a rules file: either a JSON array of rule objects or
   /// {"rules": [...]}. Throws std::runtime_error on malformed input.
   static std::vector<AlertRule> rules_from_json(const common::Json& doc);

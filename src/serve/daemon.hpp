@@ -1,0 +1,116 @@
+// The `intellog serve` supervision loop.
+//
+// One daemon owns a root directory of tenant spools (`<root>/<tenant>/`),
+// one TenantShard per tenant, and one ThreadPool that shard ticks are
+// multiplexed over. Each supervision tick fans every shard's tick() out to
+// the pool, waits with a per-shard heartbeat deadline, and applies the
+// results on the daemon thread (ledger appends, metrics, checkpoints,
+// status) — shards never touch the filesystem for writes themselves.
+//
+// Wedged-shard recovery: a tick that misses its heartbeat deadline is
+// abandoned — the shard instance and its still-running future move to an
+// orphan graveyard (kept alive until the task actually returns, so nothing
+// is freed under a running thread), and a replacement shard with a bumped
+// epoch is restored from the tenant's last checkpoint. Stale results from
+// orphaned epochs are discarded by epoch guard.
+//
+// Shutdown paths:
+//  - SIGTERM/SIGINT (or max_ticks): graceful drain — close every open
+//    session, flush a final checkpoint + status, drain the pool.
+//  - kill_after_ticks (soak harness): simulated crash — return mid-flight
+//    with no drain and no final checkpoint, so recovery is exercised from
+//    whatever the periodic checkpoint cadence left behind.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "core/intellog.hpp"
+#include "serve/tenant.hpp"
+
+namespace intellog::serve {
+
+struct ServeOptions {
+  std::string root;        ///< directory of tenant subdirectories
+  std::string model_path;  ///< default model; `<tenant>/model.json` overrides
+
+  std::size_t jobs = 2;          ///< pool threads shard ticks multiplex over
+  std::uint64_t poll_ms = 50;    ///< sleep between ticks when nothing was admitted
+  std::uint64_t checkpoint_every_ticks = 8;
+  std::uint64_t heartbeat_timeout_ms = 2000;  ///< wedged-shard deadline
+  std::uint64_t metrics_interval_s = 0;       ///< 0: flush metrics every tick
+
+  std::uint64_t max_ticks = 0;        ///< 0: run until stop signal; else drain after N
+  std::uint64_t kill_after_ticks = 0; ///< soak: simulated crash after N ticks (no drain)
+  bool drain_on_empty = false;        ///< exit cleanly once every tenant is idle
+  bool handle_signals = true;         ///< install SIGTERM/SIGINT stop handlers
+
+  std::string status_path;       ///< empty: no status snapshots
+  std::string metrics_path;      ///< empty: no metrics snapshots
+  std::string alert_rules_path;  ///< empty: AlertEngine::serve_rules()
+
+  TenantShard::Options shard;  ///< quotas/breaker/limits applied to every tenant
+
+  /// Test-only fault injection, called on the pool thread at the start of
+  /// every shard tick (sleep here to wedge a shard).
+  std::function<void(const std::string& tenant, std::uint64_t tick)> fault_hook;
+};
+
+/// What one daemon run did, for callers (CLI exit summary, soak asserts).
+struct ServeSummary {
+  std::uint64_t ticks = 0;
+  int stop_signal = 0;  ///< signal that triggered the drain, 0 when none
+  bool killed = false;  ///< kill_after_ticks fired: state is crash-consistent
+  std::map<std::string, TenantAccounting> tenants;
+  std::map<std::string, std::uint64_t> restarts;         ///< wedged-shard restarts
+  std::map<std::string, std::string> breaker_states;
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t checkpoints_corrupt = 0;  ///< found corrupt at startup, renamed aside
+};
+
+class ServeDaemon {
+ public:
+  /// Discovers tenants, loads models, restores per-tenant checkpoints
+  /// (corrupt ones are renamed to `.checkpoint.json.corrupt` and counted,
+  /// never trusted). Throws std::runtime_error on unusable root/model.
+  explicit ServeDaemon(ServeOptions options);
+  ~ServeDaemon();
+
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+  /// Runs the supervision loop until a stop condition; blocking.
+  ServeSummary run();
+
+  /// Tenant names in service order (sorted).
+  std::vector<std::string> tenants() const;
+
+  /// Per-tenant checkpoint file path (under the tenant's spool directory).
+  static std::string checkpoint_path(const std::string& tenant_dir);
+
+ private:
+  struct TenantState;
+  struct Orphan;
+
+  const core::IntelLog& model_for(const std::string& tenant_dir);
+  void restore_or_reset(TenantState& ts);
+  void write_checkpoint(TenantState& ts);
+  void apply_result(TenantState& ts, TickResult result);
+  void flush_status(std::uint64_t now_ms);
+  void flush_metrics();
+
+  ServeOptions options_;
+  std::map<std::string, std::unique_ptr<core::IntelLog>> models_;  ///< by path
+  std::vector<std::unique_ptr<TenantState>> tenants_;
+  std::vector<std::unique_ptr<Orphan>> orphans_;
+  ServeSummary summary_;
+  std::uint64_t last_metrics_ns_ = 0;
+  std::uint64_t last_checkpoint_ns_ = 0;
+
+  struct AlertsImpl;  ///< tseries + engine, hidden to keep includes local
+  std::unique_ptr<AlertsImpl> alerts_;
+};
+
+}  // namespace intellog::serve

@@ -1,0 +1,30 @@
+#include "serve/signals.hpp"
+
+#include <csignal>
+
+namespace intellog::serve {
+
+namespace {
+
+volatile std::sig_atomic_t g_stop_signal = 0;
+
+void on_stop(int sig) {
+  // Keep the first signal: a SIGINT followed by SIGTERM still reports the
+  // operator's original intent, and repeated deliveries stay idempotent.
+  if (g_stop_signal == 0) g_stop_signal = sig;
+}
+
+}  // namespace
+
+void install_stop_signals() {
+  std::signal(SIGTERM, &on_stop);
+  std::signal(SIGINT, &on_stop);
+}
+
+int stop_signal() { return static_cast<int>(g_stop_signal); }
+
+void clear_stop_signal() { g_stop_signal = 0; }
+
+void request_stop(int sig) { on_stop(sig); }
+
+}  // namespace intellog::serve

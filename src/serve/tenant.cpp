@@ -1,0 +1,352 @@
+#include "serve/tenant.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <optional>
+#include <stdexcept>
+
+#include "common/checksum.hpp"
+#include "logparse/log_io.hpp"
+
+namespace intellog::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+double now_us() {
+  return static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+             .count()) /
+         1e3;
+}
+
+}  // namespace
+
+std::string_view to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::Closed: return "closed";
+    case BreakerState::Open: return "open";
+    case BreakerState::HalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+common::Json TenantAccounting::to_json() const {
+  common::Json j = common::Json::object();
+  j["records_admitted"] = static_cast<std::int64_t>(records_admitted);
+  j["lines_seen"] = static_cast<std::int64_t>(lines_seen);
+  j["lines_quarantined"] = static_cast<std::int64_t>(lines_quarantined);
+  j["sessions_closed"] = static_cast<std::int64_t>(sessions_closed);
+  j["sessions_anomalous"] = static_cast<std::int64_t>(sessions_anomalous);
+  j["files_done"] = static_cast<std::int64_t>(files_done);
+  j["files_shed"] = static_cast<std::int64_t>(files_shed);
+  j["bytes_shed"] = static_cast<std::int64_t>(bytes_shed);
+  j["breaker_trips"] = static_cast<std::int64_t>(breaker_trips);
+  j["consume_us_sum"] = consume_us_sum;
+  return j;
+}
+
+TenantAccounting TenantAccounting::from_json(const common::Json& j) {
+  TenantAccounting a;
+  const auto u64 = [&](const char* key) {
+    return static_cast<std::uint64_t>(j[key].as_int());
+  };
+  a.records_admitted = u64("records_admitted");
+  a.lines_seen = u64("lines_seen");
+  a.lines_quarantined = u64("lines_quarantined");
+  a.sessions_closed = u64("sessions_closed");
+  a.sessions_anomalous = u64("sessions_anomalous");
+  a.files_done = u64("files_done");
+  a.files_shed = u64("files_shed");
+  a.bytes_shed = u64("bytes_shed");
+  a.breaker_trips = u64("breaker_trips");
+  a.consume_us_sum = j["consume_us_sum"].as_double();
+  return a;
+}
+
+common::Json ShedRecord::to_json() const {
+  common::Json j = common::Json::object();
+  j["file"] = file;
+  j["bytes"] = static_cast<std::int64_t>(bytes);
+  j["reason"] = reason;
+  return j;
+}
+
+TenantShard::TenantShard(std::string tenant, std::string spool_dir,
+                         const core::IntelLog& model, Options options, std::uint64_t epoch)
+    : tenant_(std::move(tenant)),
+      spool_dir_(std::move(spool_dir)),
+      model_(model),
+      options_(std::move(options)),
+      epoch_(epoch),
+      online_(std::make_unique<core::OnlineDetector>(model, options_.detect_jobs,
+                                                     options_.limits)) {}
+
+std::vector<TenantShard::PendingFile> TenantShard::scan_spool() const {
+  std::vector<PendingFile> out;
+  std::error_code ec;
+  for (fs::directory_iterator it(spool_dir_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    const fs::path& p = it->path();
+    const std::string name = p.filename().string();
+    // Dotfiles are the daemon's own artifacts (checkpoint, ledgers), and
+    // anything not *.log is a producer temp file not yet renamed in.
+    if (name.empty() || name[0] == '.' || p.extension() != ".log") continue;
+    if (done_.count(name) != 0) continue;
+    std::error_code sec;
+    const std::uint64_t bytes = fs::file_size(p, sec);
+    out.push_back(PendingFile{p.string(), name, sec ? 0 : bytes});
+  }
+  // Deterministic service order: name-sorted, so kill-and-resume replays
+  // the exact admission sequence of an uninterrupted run.
+  std::sort(out.begin(), out.end(),
+            [](const PendingFile& a, const PendingFile& b) { return a.name < b.name; });
+  return out;
+}
+
+void TenantShard::consume_file(const PendingFile& file, std::size_t& record_budget,
+                               TickResult& out) {
+  const bool first_read = cursors_.find(file.name) == cursors_.end();
+  logparse::SessionIngest ingest =
+      logparse::read_session_file_resilient(file.path, /*system=*/{}, options_.ingest);
+  if (first_read) {
+    // Parse-quality stats count once per file even when admission slices
+    // its records across several ticks.
+    accounting_.lines_seen += ingest.stats.lines_total;
+    accounting_.lines_quarantined += ingest.stats.quarantined;
+    out.lines_seen += ingest.stats.lines_total;
+    out.lines_quarantined += ingest.stats.quarantined;
+    for (auto& q : ingest.quarantined) out.quarantined.push_back(std::move(q));
+  }
+
+  const auto finish_session = [&](std::optional<core::AnomalyReport> report) {
+    ++accounting_.files_done;
+    if (report) {
+      ++accounting_.sessions_closed;
+      ++out.sessions_closed;
+      if (report->anomalous()) {
+        ++accounting_.sessions_anomalous;
+        out.reports.push_back(std::move(*report));
+      }
+    }
+    done_.insert(file.name);
+    cursors_.erase(file.name);
+  };
+
+  auto& records = ingest.session.records;
+  if (records.empty()) {
+    if (first_read && file.bytes == 0) {
+      // A zero-byte spool file is a container that died before logging a
+      // single line — detection signal (session abort), not junk. Same
+      // contract as the one-shot CLI's empty-session path.
+      finish_session(model_.detect(ingest.session));
+    } else {
+      finish_session(std::nullopt);  // garbage-only file: quarantined above
+    }
+    return;
+  }
+
+  std::uint64_t& cursor = cursors_[file.name];
+  if (cursor >= records.size()) {
+    // Shrunk or rewritten in place (spool contract violation): close what
+    // we buffered rather than replaying records we already consumed.
+    finish_session(online_->close_session(ingest.session.container_id));
+    return;
+  }
+  const std::size_t take =
+      std::min<std::size_t>(record_budget, records.size() - static_cast<std::size_t>(cursor));
+  const double t0 = now_us();
+  for (std::size_t i = 0; i < take; ++i) {
+    online_->consume(records[static_cast<std::size_t>(cursor) + i]);
+  }
+  accounting_.consume_us_sum += now_us() - t0;
+  cursor += take;
+  record_budget -= take;
+  accounting_.records_admitted += take;
+  out.records_admitted += take;
+
+  // Cap-triggered evictions are closed sessions too (degraded): count them
+  // so the accounting balances against open+closed.
+  for (auto& evicted : online_->take_evicted()) {
+    ++accounting_.sessions_closed;
+    ++out.sessions_closed;
+    if (evicted.anomalous()) {
+      ++accounting_.sessions_anomalous;
+      out.reports.push_back(std::move(evicted));
+    }
+  }
+
+  if (cursor >= records.size()) {
+    finish_session(online_->close_session(ingest.session.container_id));
+  }
+}
+
+TickResult TenantShard::tick() {
+  TickResult out;
+  out.epoch = epoch_;
+
+  if (breaker_state_ == BreakerState::Open) {
+    if (breaker_open_left_ > 0) --breaker_open_left_;
+    if (breaker_open_left_ == 0) breaker_state_ = BreakerState::HalfOpen;
+    const auto pending = scan_spool();
+    out.pending_files = pending.size();
+    for (const auto& f : pending) out.pending_bytes += f.bytes;
+    return out;  // admission paused; the spool keeps the backlog lossless
+  }
+
+  std::vector<PendingFile> pending = scan_spool();
+
+  // --- shed pass: bounded work no matter what the producer spools -----------
+  bool parse_bomb = false;
+  const auto shed_file = [&](const PendingFile& f, const char* reason) {
+    out.shed.push_back(ShedRecord{f.path, f.bytes, reason});
+    ++out.files_shed;
+    ++accounting_.files_shed;
+    accounting_.bytes_shed += f.bytes;
+    done_.insert(f.name);
+    cursors_.erase(f.name);
+  };
+  std::vector<PendingFile> admissible;
+  std::uint64_t backlog_bytes = 0;
+  for (const auto& f : pending) {
+    if (f.bytes > options_.quotas.max_file_bytes) {
+      shed_file(f, "parse-bomb");
+      parse_bomb = true;
+      continue;
+    }
+    admissible.push_back(f);
+    backlog_bytes += f.bytes;
+  }
+  // Backlog overflow sheds oldest-first (freshest data keeps flowing), but
+  // never a file already mid-consumption.
+  std::size_t shed_from = 0;
+  while (admissible.size() - shed_from > options_.quotas.max_backlog_files ||
+         backlog_bytes > options_.quotas.max_backlog_bytes) {
+    if (shed_from >= admissible.size()) break;
+    const PendingFile& f = admissible[shed_from];
+    if (cursors_.find(f.name) != cursors_.end()) break;  // in flight: keep
+    shed_file(f, admissible.size() - shed_from > options_.quotas.max_backlog_files
+                     ? "backlog-files"
+                     : "backlog-bytes");
+    backlog_bytes -= f.bytes;
+    ++shed_from;
+  }
+  admissible.erase(admissible.begin(),
+                   admissible.begin() + static_cast<std::ptrdiff_t>(shed_from));
+
+  // --- admission: quota-bounded consume, half-open probes one file ----------
+  std::size_t record_budget = options_.quotas.max_records_per_tick;
+  std::size_t files_opened = 0;
+  for (const auto& f : admissible) {
+    if (record_budget == 0 || files_opened >= options_.quotas.max_files_per_tick) break;
+    consume_file(f, record_budget, out);
+    ++files_opened;
+    if (breaker_state_ == BreakerState::HalfOpen) break;  // one probe file
+  }
+
+  // --- breaker bookkeeping ---------------------------------------------------
+  const bool storm = out.lines_seen >= options_.breaker.min_lines &&
+                     static_cast<double>(out.lines_quarantined) >
+                         options_.breaker.quarantine_frac *
+                             static_cast<double>(out.lines_seen);
+  const bool tripped = storm || parse_bomb;
+  if (tripped) {
+    breaker_state_ = BreakerState::Open;
+    breaker_open_left_ = options_.breaker.open_ticks;
+    ++accounting_.breaker_trips;
+    out.breaker_tripped = true;
+  } else if (breaker_state_ == BreakerState::HalfOpen) {
+    breaker_state_ = BreakerState::Closed;  // clean probe (or empty spool)
+  }
+
+  out.pending_files = 0;
+  out.pending_bytes = 0;
+  for (const auto& f : admissible) {
+    if (done_.count(f.name) != 0) continue;
+    ++out.pending_files;
+    out.pending_bytes += f.bytes;
+  }
+  return out;
+}
+
+std::vector<core::AnomalyReport> TenantShard::close_all() {
+  std::vector<core::AnomalyReport> reports = online_->close_all();
+  for (const auto& r : reports) {
+    ++accounting_.sessions_closed;
+    if (r.anomalous()) ++accounting_.sessions_anomalous;
+  }
+  return reports;
+}
+
+common::Json TenantShard::checkpoint() const {
+  common::Json doc = common::Json::object();
+  doc["kind"] = "intellog_serve_tenant_checkpoint";
+  doc["version"] = kCheckpointVersion;
+  doc["tenant"] = tenant_;
+  common::Json cursors = common::Json::object();
+  for (const auto& [name, at] : cursors_) cursors[name] = static_cast<std::int64_t>(at);
+  doc["cursors"] = std::move(cursors);
+  common::Json done = common::Json::array();
+  for (const auto& name : done_) done.push_back(name);
+  doc["done"] = std::move(done);
+  doc["accounting"] = accounting_.to_json();
+  common::Json breaker = common::Json::object();
+  breaker["state"] = std::string(to_string(breaker_state_));
+  breaker["open_left"] = static_cast<std::int64_t>(breaker_open_left_);
+  doc["breaker"] = std::move(breaker);
+  doc["detector"] = online_->checkpoint();
+  common::stamp_checksum(doc);
+  return doc;
+}
+
+void TenantShard::restore(const common::Json& doc) {
+  const auto fail = [&](const std::string& why) -> void {
+    throw std::runtime_error("TenantShard::restore [" + tenant_ + "]: " + why);
+  };
+  if (!doc.is_object() || !doc.contains("kind") || !doc["kind"].is_string() ||
+      doc["kind"].as_string() != "intellog_serve_tenant_checkpoint") {
+    fail("not a tenant checkpoint document");
+  }
+  if (!doc.contains("version") || !doc["version"].is_int() ||
+      doc["version"].as_int() != kCheckpointVersion) {
+    fail("unsupported checkpoint version (supported: " +
+         std::to_string(kCheckpointVersion) + ")");
+  }
+  if (!common::verify_checksum(doc)) fail("checksum mismatch (corrupted checkpoint)");
+
+  // Parse everything into locals first so a malformed document cannot
+  // leave the shard half-restored.
+  std::map<std::string, std::uint64_t> cursors;
+  std::set<std::string> done;
+  TenantAccounting accounting;
+  BreakerState breaker_state = BreakerState::Closed;
+  std::uint64_t breaker_open_left = 0;
+  std::unique_ptr<core::OnlineDetector> online;
+  try {
+    for (const auto& [name, at] : doc["cursors"].as_object()) {
+      cursors[name] = static_cast<std::uint64_t>(at.as_int());
+    }
+    for (const auto& name : doc["done"].as_array()) done.insert(name.as_string());
+    accounting = TenantAccounting::from_json(doc["accounting"]);
+    const std::string state = doc["breaker"]["state"].as_string();
+    breaker_state = state == "open"        ? BreakerState::Open
+                    : state == "half-open" ? BreakerState::HalfOpen
+                                           : BreakerState::Closed;
+    breaker_open_left = static_cast<std::uint64_t>(doc["breaker"]["open_left"].as_int());
+    online = std::make_unique<core::OnlineDetector>(core::OnlineDetector::restore(
+        model_, doc["detector"], options_.detect_jobs, options_.limits));
+  } catch (const std::exception& e) {
+    fail(std::string("malformed checkpoint: ") + e.what());
+  }
+  cursors_ = std::move(cursors);
+  done_ = std::move(done);
+  accounting_ = accounting;
+  breaker_state_ = breaker_state;
+  breaker_open_left_ = breaker_open_left;
+  online_ = std::move(online);
+}
+
+}  // namespace intellog::serve

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <numeric>
+#include <thread>
 
 using intellog::common::ThreadPool;
 
@@ -59,3 +62,83 @@ TEST(ThreadPool, DestructorDrainsQueue) {
   }  // destructor joins
   EXPECT_EQ(done.load(), 50);
 }
+
+namespace {
+
+// Blocks the pool's single worker on `gate`, queues `n` counting tasks
+// behind it, then calls shutdown(mode) from a helper thread. Submits are
+// probed until one throws — that is the moment stopping_ is set and the
+// queue snapshot/swap has happened — so releasing the gate afterwards makes
+// the drained/cancelled counts exact, not racy. Returns (done, extra_probes).
+struct ShutdownRig {
+  std::atomic<int> done{0};
+  int queued = 0;  // counting tasks + successful probes, all gated behind the first task
+
+  ThreadPool::Stats run(ThreadPool::DrainMode mode, int n,
+                        std::vector<std::future<int>>* futures_out = nullptr) {
+    ThreadPool pool(1);
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+    pool.submit([opened] { opened.wait(); });
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < n; ++i) {
+      futures.push_back(pool.submit([this] { return ++done; }));
+      ++queued;
+    }
+    std::thread closer([&] { pool.shutdown(mode); });
+    for (;;) {
+      try {
+        futures.push_back(pool.submit([this] { return ++done; }));
+        ++queued;
+      } catch (const std::runtime_error&) {
+        break;  // stopping_ is set; the queue decision is already made
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    gate.set_value();
+    closer.join();
+    ThreadPool::Stats s = pool.stats();
+    if (futures_out != nullptr) *futures_out = std::move(futures);
+    return s;
+  }
+};
+
+}  // namespace
+
+TEST(ThreadPool, ShutdownDrainRunsQueuedTasksAndCountsThem) {
+  ShutdownRig rig;
+  std::vector<std::future<int>> futures;
+  ThreadPool::Stats s = rig.run(ThreadPool::DrainMode::Drain, 5, &futures);
+  EXPECT_EQ(rig.done.load(), rig.queued);
+  EXPECT_EQ(s.tasks_drained_at_shutdown, static_cast<std::uint64_t>(rig.queued));
+  EXPECT_EQ(s.tasks_cancelled, 0u);
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+}
+
+TEST(ThreadPool, ShutdownCancelDestroysQueuedTasksAndBreaksPromises) {
+  ShutdownRig rig;
+  std::vector<std::future<int>> futures;
+  ThreadPool::Stats s = rig.run(ThreadPool::DrainMode::Cancel, 5, &futures);
+  EXPECT_EQ(rig.done.load(), 0);  // the gate held the worker; nothing ran
+  EXPECT_EQ(s.tasks_cancelled, static_cast<std::uint64_t>(rig.queued));
+  EXPECT_EQ(s.tasks_drained_at_shutdown, 0u);
+  for (auto& f : futures) {
+    try {
+      f.get();
+      FAIL() << "cancelled task future must not produce a value";
+    } catch (const std::future_error& e) {
+      EXPECT_EQ(e.code(), std::make_error_code(std::future_errc::broken_promise));
+    }
+  }
+}
+
+TEST(ThreadPool, ShutdownIsIdempotentAndRejectsLateSubmits) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) pool.submit([&done] { done++; });
+  pool.shutdown(ThreadPool::DrainMode::Drain);
+  EXPECT_EQ(done.load(), 8);
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+  pool.shutdown(ThreadPool::DrainMode::Cancel);  // no-op, must not hang or recount
+  EXPECT_EQ(pool.stats().tasks_cancelled, 0u);
+}  // destructor runs a third shutdown; must also be a no-op

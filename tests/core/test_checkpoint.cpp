@@ -154,6 +154,72 @@ TEST_F(CheckpointTest, RestoreRejectsWrongVersion) {
   }
 }
 
+TEST_F(CheckpointTest, RestoreRejectsFutureVersionWithClearError) {
+  core::OnlineDetector online(*model);
+  online.consume((*stream)[0].records[0]);
+  auto doc = online.checkpoint();
+  doc["format_version"] = core::OnlineDetector::kCheckpointVersion + 41;
+  common::stamp_checksum(doc);
+  try {
+    core::OnlineDetector::restore(*model, doc);
+    FAIL() << "future version accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    // One clear error that names both the found and the supported version.
+    EXPECT_NE(msg.find("version"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(std::to_string(core::OnlineDetector::kCheckpointVersion + 41)),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find(std::to_string(core::OnlineDetector::kCheckpointVersion)),
+              std::string::npos)
+        << msg;
+  }
+}
+
+TEST_F(CheckpointTest, RestoreRejectsUnknownTopLevelKey) {
+  core::OnlineDetector online(*model);
+  online.consume((*stream)[0].records[0]);
+  auto doc = online.checkpoint();
+  doc["shard_epoch"] = 7;  // a plausible future field
+  common::stamp_checksum(doc);  // valid checksum: the key check must fire
+  try {
+    core::OnlineDetector::restore(*model, doc);
+    FAIL() << "unknown top-level key accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("shard_epoch"), std::string::npos) << e.what();
+  }
+}
+
+TEST_F(CheckpointTest, RestoreRejectsUnknownSessionAndRecordKeys) {
+  core::OnlineDetector online(*model);
+  online.consume((*stream)[0].records[0]);
+  {
+    auto doc = online.checkpoint();
+    doc["sessions"].as_array()[0].as_object()["tenant"] = "acme";
+    common::stamp_checksum(doc);
+    try {
+      core::OnlineDetector::restore(*model, doc);
+      FAIL() << "unknown session key accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("tenant"), std::string::npos) << e.what();
+    }
+  }
+  {
+    auto doc = online.checkpoint();
+    doc["sessions"].as_array()[0].as_object()["records"].as_array()[0].as_object()["z"] = 1;
+    common::stamp_checksum(doc);
+    try {
+      core::OnlineDetector::restore(*model, doc);
+      FAIL() << "unknown record key accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("\"z\""), std::string::npos) << e.what();
+    }
+  }
+  // The known optional provenance keys must still restore cleanly.
+  auto doc = online.checkpoint();
+  EXPECT_NO_THROW(core::OnlineDetector::restore(*model, doc));
+}
+
 TEST_F(CheckpointTest, RestoreRejectsTamperedPayload) {
   core::OnlineDetector online(*model);
   online.consume((*stream)[0].records[0]);

@@ -148,6 +148,59 @@ TEST(ResilientIngest, QuarantineListIsCappedButCountersKeepCounting) {
   EXPECT_EQ(out.stats.quarantined, 10u);
 }
 
+TEST(ResilientIngest, QuarantineRotationKeepsNewestAndCountsDropped) {
+  logparse::IngestOptions opt;
+  opt.max_quarantined = 3;
+  std::vector<std::string> lines;
+  for (int i = 0; i < 10; ++i) lines.push_back(std::string("\x01\x02\x03\x04\x05\x06"));
+  const auto out = ingest(lines, opt);
+  ASSERT_EQ(out.quarantined.size(), 3u);
+  // Oldest-first rotation: the survivors are the NEWEST three lines.
+  EXPECT_EQ(out.quarantined[0].line_no, 8u);
+  EXPECT_EQ(out.quarantined[1].line_no, 9u);
+  EXPECT_EQ(out.quarantined[2].line_no, 10u);
+  EXPECT_EQ(out.stats.quarantine_dropped, 7u);
+  EXPECT_EQ(out.stats.quarantined, 10u);
+}
+
+TEST(ResilientIngest, QuarantineByteCapRotatesOldest) {
+  logparse::IngestOptions opt;
+  opt.max_quarantined_bytes = 20;  // each stored text is 6 bytes -> keeps 3
+  std::vector<std::string> lines;
+  for (int i = 0; i < 10; ++i) lines.push_back(std::string("\x01\x02\x03\x04\x05\x06"));
+  const auto out = ingest(lines, opt);
+  ASSERT_EQ(out.quarantined.size(), 3u);
+  EXPECT_EQ(out.quarantined[2].line_no, 10u);
+  EXPECT_EQ(out.stats.quarantine_dropped, 7u);
+}
+
+TEST(ResilientIngest, QuarantineChannelUnit) {
+  const auto entry = [](std::size_t no, std::size_t text_bytes) {
+    logparse::QuarantinedLine q;
+    q.line_no = no;
+    q.text = std::string(text_bytes, 'x');
+    return q;
+  };
+  logparse::QuarantineChannel ch(4, 100);
+  for (std::size_t i = 1; i <= 6; ++i) ch.push(entry(i, 10));
+  EXPECT_EQ(ch.size(), 4u);
+  EXPECT_EQ(ch.dropped(), 2u);
+  // A single entry may exceed the byte cap alone; everything older rotates.
+  ch.push(entry(7, 500));
+  EXPECT_EQ(ch.size(), 1u);
+  EXPECT_EQ(ch.dropped(), 6u);
+  auto kept = ch.take();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].line_no, 7u);
+  EXPECT_EQ(ch.size(), 0u);
+  EXPECT_EQ(ch.dropped(), 6u);  // take() preserves the drop count
+  // Zero record cap: nothing is ever kept, everything counts as dropped.
+  logparse::QuarantineChannel none(0, 100);
+  none.push(entry(1, 1));
+  EXPECT_EQ(none.size(), 0u);
+  EXPECT_EQ(none.dropped(), 1u);
+}
+
 TEST(ResilientIngest, LooksBinaryHeuristics) {
   EXPECT_TRUE(logparse::looks_binary(std::string_view("has\0nul", 7)));
   EXPECT_TRUE(logparse::looks_binary("\xff\xfe\x01\x02"));      // invalid UTF-8

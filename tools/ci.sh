@@ -8,6 +8,8 @@
 #   tools/ci.sh asan       # sanitizers only
 #   tools/ci.sh bench      # bench smoke only (builds Release if needed)
 #   tools/ci.sh chaos      # corrupted-stream soak under ASan (3 seeds)
+#   tools/ci.sh serve      # multi-tenant daemon soak under ASan (3 seeds)
+#                          # + CLI serve end-to-end with status validation
 #   tools/ci.sh observatory # end-to-end trace-export/explain/status checks
 #   tools/ci.sh quality    # seeded score round-trip, coverage + drift gates
 #   tools/ci.sh profile    # sampling-profiler smoke (Release + ASan/UBSan)
@@ -271,6 +273,66 @@ chaos_smoke() {
   rm -rf "$tmp"
 }
 
+# Serve smoke: the multi-tenant daemon's chaos gate (tools/serve_soak)
+# under ASan/UBSan — per-tenant accounting balance against independent
+# spool truth, kill-and-resume accounting identity, corrupt-checkpoint
+# set-aside, quarantine-storm isolation (breaker + 2x latency bound),
+# parse-bomb shedding with ledger provenance, and wedged-shard watchdog
+# restarts — then one `intellog serve` run through the Release CLI with
+# strict status-document validation.
+serve_smoke() {
+  local dir="$repo/build-ci-asan"
+  if [[ -x "$dir/tools/serve_soak" ]]; then
+    cmake --build "$dir" -j "$jobs" --target serve_soak
+  else
+    run_config asan \
+        -DCMAKE_BUILD_TYPE=Debug \
+        -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+        -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  fi
+  echo "==> [serve] multi-tenant daemon soak (3 seeds, ASan/UBSan)"
+  local tmp seed rc
+  tmp="$(mktemp -d)"
+  for seed in 1 2 3; do
+    ASAN_OPTIONS=detect_leaks=1 INTELLOG_ARENA_POISON=1 \
+        "$dir/tools/serve_soak" --seed "$seed" --workdir "$tmp/soak_$seed" || {
+      echo "serve smoke: FAIL — seed $seed (see SERVE VIOLATION lines above)" >&2
+      exit 1
+    }
+  done
+
+  # CLI end to end: two tenant spools served to drain, then the published
+  # status snapshot must pass strict serve-schema validation and render.
+  local rdir="$repo/build-ci-release"
+  if [[ -x "$rdir/tools/intellog" ]]; then
+    # Incremental rebuild so a standalone `ci.sh serve` never runs a CLI
+    # staler than the working tree (full run_config would re-ctest).
+    cmake --build "$rdir" -j "$jobs" --target intellog --target loggen
+  else
+    run_config release -DCMAKE_BUILD_TYPE=Release
+  fi
+  echo "==> [serve] CLI serve end-to-end (Release)"
+  "$rdir/tools/loggen" "$tmp/gen_a" --system spark --jobs 2 --seed 5 >/dev/null
+  "$rdir/tools/loggen" "$tmp/gen_b" --system spark --jobs 2 --seed 6 >/dev/null
+  mkdir -p "$tmp/root/acme" "$tmp/root/globex" "$tmp/train"
+  cp "$tmp"/gen_a/job_*/*.log "$tmp/root/acme/"
+  cp "$tmp"/gen_b/job_*/*.log "$tmp/root/globex/"
+  cp "$tmp"/gen_a/job_*/*.log "$tmp"/gen_b/job_*/*.log "$tmp/train/"
+  "$rdir/tools/intellog" train "$tmp/train" -o "$tmp/model.json" >/dev/null 2>&1
+  rc=0
+  "$rdir/tools/intellog" serve "$tmp/root" -m "$tmp/model.json" \
+      --drain-on-empty --poll-ms 1 --max-ticks 300 \
+      --status-file "$tmp/status.json" --metrics "$tmp/metrics.json" \
+      >/dev/null 2>&1 || rc=$?
+  [[ $rc -eq 0 ]] || {
+    echo "serve smoke: FAIL — intellog serve exited $rc" >&2; exit 1; }
+  "$rdir/tools/intellog" top "$tmp/status.json" >/dev/null || {
+    echo "serve smoke: FAIL — top cannot render the serve status" >&2; exit 1; }
+  python3 "$repo/tools/validate_observatory.py" serve "$tmp/status.json" || {
+    echo "serve smoke: FAIL — serve status validation" >&2; exit 1; }
+  rm -rf "$tmp"
+}
+
 case "$mode" in
   release|all)
     run_config release -DCMAKE_BUILD_TYPE=Release
@@ -283,6 +345,9 @@ case "$mode" in
     ;;&
   chaos|all)
     chaos_smoke
+    ;;&
+  serve|all)
+    serve_smoke
     ;;&
   release|bench|all)
     bench_smoke
@@ -299,9 +364,9 @@ case "$mode" in
   asan|profile|all)
     profile_smoke asan
     ;;&
-  release|asan|bench|chaos|observatory|quality|profile|all) ;;
+  release|asan|bench|chaos|serve|observatory|quality|profile|all) ;;
   *)
-    echo "usage: $0 [release|asan|bench|chaos|observatory|quality|profile|all]" >&2
+    echo "usage: $0 [release|asan|bench|chaos|serve|observatory|quality|profile|all]" >&2
     exit 2
     ;;
 esac

@@ -49,6 +49,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/explain.hpp"
@@ -66,6 +67,8 @@
 #include "obs/timeseries/alerts.hpp"
 #include "obs/timeseries/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "serve/daemon.hpp"
+#include "serve/signals.hpp"
 
 using namespace intellog;
 
@@ -91,6 +94,15 @@ int usage() {
                "      expected-vs-observed explanation with raw-line provenance per finding\n"
                "  intellog top <status.json>\n"
                "      render a --status-file snapshot\n"
+               "  intellog serve <root> -m <model.json> [--jobs N] [--status-file <f>]\n"
+               "      [--metrics <f>] [--alert-rules <f>] [--poll-ms N] [--max-ticks N]\n"
+               "      [--drain-on-empty] [--checkpoint-ticks N] [--heartbeat-ms N]\n"
+               "      [--records-per-tick N] [--backlog-files N] [--max-file-bytes N]\n"
+               "      [--breaker-open-ticks N]\n"
+               "      multi-tenant daemon: each subdirectory of <root> is a tenant spool\n"
+               "      (drop <container>.log files in; <tenant>/model.json overrides -m).\n"
+               "      Per-tenant quotas, circuit breakers, CRC32 checkpoints; SIGTERM\n"
+               "      drains gracefully. Reports append to <tenant>/.reports.jsonl\n"
                "  intellog profile [-o <prefix>] <cmd> [args...]\n"
                "      run any subcommand under the sampling profiler; writes <prefix>\n"
                "      (collapsed stacks for flamegraph.pl/speedscope), <prefix>.alloc\n"
@@ -136,6 +148,17 @@ struct Args {
   double metrics_interval_s = 0;        ///< detect: periodic flush period (0: off)
   std::size_t checkpoint_every = 1000;  ///< records between checkpoints
   std::size_t jobs = 1;  ///< batch-detect workers; 0 = hardware concurrency
+  // serve knobs (defaults mirror serve::ServeOptions / TenantQuotas)
+  std::uint64_t poll_ms = 50;            ///< serve: idle sleep between ticks
+  std::uint64_t max_ticks = 0;           ///< serve: drain after N ticks (0: run on)
+  std::uint64_t kill_after_ticks = 0;    ///< serve: simulated crash (soak/testing)
+  std::uint64_t checkpoint_ticks = 8;    ///< serve: ticks between checkpoints
+  std::uint64_t heartbeat_ms = 2000;     ///< serve: wedged-shard deadline
+  std::size_t records_per_tick = 5000;   ///< serve: per-tenant admission quota
+  std::size_t backlog_files = 1024;      ///< serve: pending files before shedding
+  std::uint64_t max_file_bytes = 32u << 20;  ///< serve: parse-bomb guard
+  std::uint64_t breaker_open_ticks = 4;  ///< serve: breaker pause length
+  bool drain_on_empty = false;           ///< serve: exit once all tenants idle
   bool json = false, dot = false, critical_only = false;
 };
 
@@ -319,6 +342,29 @@ bool parse_args(int argc, char** argv, Args& args) {
         return false;
       }
       if (args.checkpoint_every == 0) return false;
+    } else if (a == "--poll-ms" || a == "--max-ticks" || a == "--kill-after-ticks" ||
+               a == "--checkpoint-ticks" || a == "--heartbeat-ms" ||
+               a == "--records-per-tick" || a == "--backlog-files" ||
+               a == "--max-file-bytes" || a == "--breaker-open-ticks") {
+      const char* v = next();
+      if (!v) return false;
+      std::uint64_t n = 0;
+      try {
+        n = std::stoull(v);
+      } catch (const std::exception&) {
+        return false;
+      }
+      if (a == "--poll-ms") args.poll_ms = n;
+      else if (a == "--max-ticks") args.max_ticks = n;
+      else if (a == "--kill-after-ticks") args.kill_after_ticks = n;
+      else if (a == "--checkpoint-ticks") args.checkpoint_ticks = n;
+      else if (a == "--heartbeat-ms") args.heartbeat_ms = n;
+      else if (a == "--records-per-tick") args.records_per_tick = static_cast<std::size_t>(n);
+      else if (a == "--backlog-files") args.backlog_files = static_cast<std::size_t>(n);
+      else if (a == "--max-file-bytes") args.max_file_bytes = n;
+      else args.breaker_open_ticks = n;
+    } else if (a == "--drain-on-empty") {
+      args.drain_on_empty = true;
     } else if (a == "--json") {
       args.json = true;
     } else if (a == "--dot") {
@@ -518,11 +564,20 @@ int cmd_detect_stream(const Args& args) {
       static_cast<std::uint64_t>(args.metrics_interval_s * 1e9);
   std::uint64_t last_flush_ns = obs::monotonic_ns();
 
+  // SIGTERM/SIGINT while streaming with a checkpoint means "flush a final
+  // checkpoint at the current cursor, then exit" — the next run resumes
+  // exactly where this one stopped. Without a checkpoint file the default
+  // signal disposition (immediate exit) is the right behavior, so the
+  // handler is only installed in checkpointing mode.
+  if (use_checkpoint) serve::install_stop_signals();
+  int stopped_by = 0;
+
   std::uint64_t idx = 0;
   for (const auto& s : ingest.sessions) {
     for (const auto& rec : s.records) {
       if (idx++ < cursor) continue;  // consumed by a previous (killed) run
       online->consume(rec);
+      if (use_checkpoint && (stopped_by = serve::stop_signal()) != 0) break;
       if (use_checkpoint && idx % args.checkpoint_every == 0) write_checkpoint(idx);
       // Clock reads are amortized: the interval check runs every 256
       // records, which at any realistic rate is far below the interval.
@@ -536,10 +591,22 @@ int cmd_detect_stream(const Args& args) {
         }
       }
     }
+    if (stopped_by != 0) break;
     // Session boundary: close if still open. A session finished AND closed
     // before the checkpoint was taken is absent from the restored state, so
     // close_session returns nullopt and it is not re-reported.
     if (const auto report = online->close_session(s.container_id)) handle(*report);
+  }
+  if (stopped_by != 0) {
+    // Graceful stop: persist exactly what was consumed (the checkpoint file
+    // stays for the resuming run) and publish final telemetry.
+    write_checkpoint(idx);
+    observe_telemetry();
+    flush_metrics();
+    flush_status(idx);
+    std::cerr << "stopped by signal " << stopped_by << " after " << idx
+              << " records; checkpoint -> " << args.checkpoint_path << "\n";
+    return 128 + stopped_by;
   }
   for (const auto& report : online->close_all()) handle(report);
   // Empty sessions (zero-byte log files) carry no records, so the online
@@ -1016,6 +1083,61 @@ int cmd_query(const Args& args) {
   return 0;
 }
 
+// `intellog serve <root>`: the multi-tenant daemon. Every subdirectory of
+// <root> is a tenant spool; the daemon runs until SIGTERM/SIGINT (graceful
+// drain), --max-ticks, or --drain-on-empty fires. Per-tenant anomaly
+// reports, shed ledgers and quarantine ledgers append inside each tenant
+// directory; checkpoints make a kill at any point resumable.
+int cmd_serve(const Args& args) {
+  if (args.logdir.empty()) return usage();
+  ObsScope obs_scope(args, /*force_metrics=*/true);
+
+  serve::ServeOptions opt;
+  opt.root = args.logdir;
+  opt.model_path = args.model_path;
+  opt.jobs = args.jobs != 0 ? args.jobs
+                            : std::max<std::size_t>(2, std::thread::hardware_concurrency());
+  opt.poll_ms = args.poll_ms;
+  opt.checkpoint_every_ticks = args.checkpoint_ticks;
+  opt.heartbeat_timeout_ms = args.heartbeat_ms;
+  opt.metrics_interval_s = static_cast<std::uint64_t>(args.metrics_interval_s);
+  opt.max_ticks = args.max_ticks;
+  opt.kill_after_ticks = args.kill_after_ticks;
+  opt.drain_on_empty = args.drain_on_empty;
+  opt.status_path = args.status_path;
+  opt.metrics_path = args.metrics_path;
+  opt.alert_rules_path = args.alert_rules_path;
+  opt.shard.quotas.max_records_per_tick = args.records_per_tick;
+  opt.shard.quotas.max_backlog_files = args.backlog_files;
+  opt.shard.quotas.max_file_bytes = args.max_file_bytes;
+  opt.shard.breaker.open_ticks = args.breaker_open_ticks;
+
+  serve::ServeDaemon daemon(opt);
+  std::cerr << "serving " << daemon.tenants().size() << " tenant(s) under " << args.logdir
+            << " with " << opt.jobs << " worker(s)\n";
+  const serve::ServeSummary summary = daemon.run();
+
+  std::cerr << "serve: " << summary.ticks << " tick(s), " << summary.checkpoints_written
+            << " checkpoint(s)";
+  if (summary.checkpoints_corrupt != 0) {
+    std::cerr << ", " << summary.checkpoints_corrupt << " corrupt checkpoint(s) set aside";
+  }
+  std::cerr << "\n";
+  for (const auto& [tenant, acc] : summary.tenants) {
+    std::cerr << "  " << tenant << ": " << acc.records_admitted << " records, "
+              << acc.sessions_closed << " sessions (" << acc.sessions_anomalous
+              << " anomalous), " << acc.lines_quarantined << " quarantined, "
+              << acc.files_shed << " shed, breaker "
+              << summary.breaker_states.at(tenant);
+    const auto rit = summary.restarts.find(tenant);
+    if (rit != summary.restarts.end() && rit->second != 0) {
+      std::cerr << ", " << rit->second << " restart(s)";
+    }
+    std::cerr << "\n";
+  }
+  return summary.stop_signal != 0 ? 128 + summary.stop_signal : 0;
+}
+
 int run_command(const Args& args) {
   // The profiler brackets the whole command; ProfileSession is declared
   // first so it is destroyed last, after every command-local thread pool
@@ -1037,6 +1159,7 @@ int run_command(const Args& args) {
   else if (args.command == "export-trace") rc = cmd_export_trace(args);
   else if (args.command == "explain") rc = cmd_explain(args);
   else if (args.command == "top") rc = cmd_top(args);
+  else if (args.command == "serve") rc = cmd_serve(args);
   else return usage();
 
   if (prof) prof->finish();

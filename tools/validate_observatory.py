@@ -29,6 +29,11 @@ profile_smoke produced (`intellog detect --profile <prefix>`):
                        span ingest/spell/extract/detect with >= 8 distinct
                        paths and alloc bytes attributed to >= 5 frames
 
+`serve <status.json>` mode validates the status snapshot an `intellog
+serve` run publishes: the detect-mode status schema plus a sorted,
+duplicate-free per-tenant table (breaker state, occupancy, accounting
+with quarantined <= seen) and the intellog_serve_* metric families.
+
 "Strict" means: the whole file must be one JSON document (json.loads over
 the full text rejects trailing garbage), every entity-group track must
 carry at least one lifespan span, and every finding must prove itself with
@@ -175,6 +180,65 @@ def check_status(path):
     if hist is not None:
         if not isinstance(hist.get("buckets"), list) or not hist["buckets"]:
             fail(f"{path}: consume_latency_us without buckets")
+
+
+def check_serve_status(path):
+    """Serve-mode status: the detect-mode schema plus the per-tenant table
+    and the intellog_serve_* self-monitoring series."""
+    check_status(path)
+    doc = load_strict(path)
+    tenants = doc.get("tenants")
+    if not isinstance(tenants, list) or not tenants:
+        fail(f"{path}: serve status without a tenants array")
+    names = []
+    for t in tenants:
+        name = t.get("tenant")
+        if not isinstance(name, str) or not name:
+            fail(f"{path}: tenant row without a name: {t}")
+        names.append(name)
+        if t.get("breaker") not in ("closed", "open", "half-open"):
+            fail(f"{path}: tenant {name}: bad breaker state {t.get('breaker')!r}")
+        for key in ("epoch", "open_sessions", "buffered_records",
+                    "pending_files", "pending_bytes", "restarts"):
+            if not isinstance(t.get(key), int) or t[key] < 0:
+                fail(f"{path}: tenant {name} lacks non-negative integer {key!r}")
+        acc = t.get("accounting")
+        if not isinstance(acc, dict):
+            fail(f"{path}: tenant {name} has no accounting block")
+        for key in ("records_admitted", "lines_seen", "lines_quarantined",
+                    "sessions_closed", "sessions_anomalous", "files_done",
+                    "files_shed", "bytes_shed", "breaker_trips"):
+            if not isinstance(acc.get(key), int) or acc[key] < 0:
+                fail(f"{path}: tenant {name} accounting lacks {key!r}")
+        # Line accounting must be internally consistent: quarantined lines
+        # are a subset of the lines seen.
+        if acc["lines_quarantined"] > acc["lines_seen"]:
+            fail(f"{path}: tenant {name}: more lines quarantined than seen")
+    if names != sorted(names):
+        fail(f"{path}: tenants not in service (sorted) order: {names}")
+    if len(set(names)) != len(names):
+        fail(f"{path}: duplicate tenant rows: {names}")
+    counters = doc["counters"]
+    if not any(k.startswith("intellog_serve_ticks_total") for k in counters):
+        fail(f"{path}: no intellog_serve_ticks_total counter — the serve "
+             "metrics bridge never ran")
+    gauges = doc["gauges"]
+    for family in ("intellog_serve_queue_saturation_pct",
+                   "intellog_serve_breakers_open"):
+        if not any(k.startswith(family) for k in gauges):
+            fail(f"{path}: missing serve gauge family {family!r}")
+    if not isinstance(doc.get("alerts"), list):
+        fail(f"{path}: serve status without an alerts array (stock "
+             "serve_rules must always be evaluated)")
+    return names
+
+
+def serve_main(argv):
+    if len(argv) != 2:
+        fail("usage: validate_observatory.py serve <status.json>")
+    names = check_serve_status(argv[1])
+    print(f"validate_observatory: serve OK — {len(names)} tenant(s): "
+          f"{', '.join(names)}")
 
 
 def check_score(path, expect_detected, expect_fp, expect_fn):
@@ -387,9 +451,13 @@ def main():
     if len(sys.argv) >= 2 and sys.argv[1] == "profile":
         profile_main(sys.argv[1:])
         return
+    if len(sys.argv) >= 2 and sys.argv[1] == "serve":
+        serve_main(sys.argv[1:])
+        return
     if len(sys.argv) != 3:
         fail("usage: validate_observatory.py <artifact-dir> <system> | "
-             "quality <dir> <detected> <fp> <fn> | profile <prefix>")
+             "quality <dir> <detected> <fp> <fn> | profile <prefix> | "
+             "serve <status.json>")
     d, system = sys.argv[1], sys.argv[2]
     tracks, subs = check_chrome_trace(f"{d}/trace.json")
     check_otlp(f"{d}/otlp.json")
