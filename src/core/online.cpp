@@ -64,6 +64,7 @@ logparse::Session OnlineDetector::detach(std::map<std::string, SessionState>::it
   SessionState& state = it->second;
   total_records_ -= state.session.records.size();
   if (state.lru_seq != 0) lru_.erase(state.lru_seq);
+  if (state.ingress_unix_ms != 0) closed_ingress_[it->first] = state.ingress_unix_ms;
   logparse::Session session = std::move(state.session);
   open_.erase(it);
   return session;
@@ -89,7 +90,8 @@ void OnlineDetector::enforce_caps() {
   update_gauges();
 }
 
-std::optional<OnlineDetector::Event> OnlineDetector::consume(const logparse::LogRecord& record) {
+std::optional<OnlineDetector::Event> OnlineDetector::consume(const logparse::LogRecord& record,
+                                                             std::uint64_t ingress_unix_ms) {
   PROF_FRAME("online.consume");
   if (record.container_id.empty()) return std::nullopt;
   const std::uint64_t t0 = tel_.consume_us ? obs::monotonic_ns() : 0;
@@ -99,6 +101,12 @@ std::optional<OnlineDetector::Event> OnlineDetector::consume(const logparse::Log
   if (state.session.container_id.empty()) {
     state.session.container_id = record.container_id.str();
     state.first_seen_ms = record.timestamp_ms;
+  }
+  // Earliest arrival wins: a session spanning several spool files is as
+  // old as its oldest file.
+  if (ingress_unix_ms != 0 &&
+      (state.ingress_unix_ms == 0 || ingress_unix_ms < state.ingress_unix_ms)) {
+    state.ingress_unix_ms = ingress_unix_ms;
   }
   state.session.records.push_back(record);
   // The buffered copy outlives whatever backing the caller's record
@@ -208,7 +216,9 @@ std::vector<AnomalyReport> OnlineDetector::close_all() {
   std::vector<logparse::Session> sessions;
   sessions.reserve(open_.size());
   for (auto& [id, state] : open_) {
-    (void)id;
+    // close_all bypasses detach() (bulk clear below), so the ingress stamps
+    // must be banked here for take_closed_ingress().
+    if (state.ingress_unix_ms != 0) closed_ingress_[id] = state.ingress_unix_ms;
     sessions.push_back(std::move(state.session));
   }
   std::vector<AnomalyReport> out = model_.detect_batch(sessions, jobs_);
@@ -223,6 +233,12 @@ std::vector<AnomalyReport> OnlineDetector::close_all() {
 std::vector<AnomalyReport> OnlineDetector::take_evicted() {
   std::vector<AnomalyReport> out;
   out.swap(evicted_);
+  return out;
+}
+
+std::map<std::string, std::uint64_t> OnlineDetector::take_closed_ingress() {
+  std::map<std::string, std::uint64_t> out;
+  out.swap(closed_ingress_);
   return out;
 }
 
@@ -269,6 +285,9 @@ common::Json OnlineDetector::checkpoint() const {
     s["first_seen_ms"] = state.first_seen_ms;
     s["last_seen_ms"] = state.last_seen_ms;
     s["lru_seq"] = state.lru_seq;
+    // Optional like "file": absent in pre-telemetry-plane checkpoints, so
+    // the format version does not change.
+    if (state.ingress_unix_ms != 0) s["ingress_unix_ms"] = state.ingress_unix_ms;
     common::Json records = common::Json::array();
     for (const auto& rec : state.session.records) {
       common::Json r = common::Json::object();
@@ -353,7 +372,7 @@ OnlineDetector OnlineDetector::restore(const IntelLog& model, const common::Json
       if (!s.is_object()) continue;  // shape errors surface below as malformed
       reject_unknown_keys(s.as_object(),
                           {"container", "system", "file", "first_seen_ms",
-                           "last_seen_ms", "lru_seq", "records"},
+                           "last_seen_ms", "lru_seq", "ingress_unix_ms", "records"},
                           "session entry");
       if (!s.contains("records") || !s["records"].is_array()) continue;
       for (const auto& r : s["records"].as_array()) {
@@ -375,6 +394,9 @@ OnlineDetector OnlineDetector::restore(const IntelLog& model, const common::Json
       state.first_seen_ms = static_cast<std::uint64_t>(s["first_seen_ms"].as_int());
       state.last_seen_ms = static_cast<std::uint64_t>(s["last_seen_ms"].as_int());
       state.lru_seq = static_cast<std::uint64_t>(s["lru_seq"].as_int());
+      if (s.contains("ingress_unix_ms")) {
+        state.ingress_unix_ms = static_cast<std::uint64_t>(s["ingress_unix_ms"].as_int());
+      }
       for (const auto& r : s["records"].as_array()) {
         logparse::LogRecord rec;
         rec.timestamp_ms = static_cast<std::uint64_t>(r["t"].as_int());

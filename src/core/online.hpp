@@ -72,7 +72,13 @@ class OnlineDetector {
   /// dropped). Returns the unexpected-message event if the record matches
   /// no Intel Key. May evict the least-recently-active session when a
   /// Limits cap is hit — drain those reports with take_evicted().
-  std::optional<Event> consume(const logparse::LogRecord& record);
+  /// `ingress_unix_ms` is the wall-clock arrival time of the record's
+  /// source (spool-file mtime in serve): the session keeps the earliest
+  /// nonzero stamp and hands it back through take_closed_ingress() when
+  /// the session closes, which is how end-to-end latency (arrival ->
+  /// report write) is measured without the detector ever reading a clock.
+  std::optional<Event> consume(const logparse::LogRecord& record,
+                               std::uint64_t ingress_unix_ms = 0);
 
   /// Ends a session and runs the full structural check. Returns nullopt if
   /// the container is unknown.
@@ -95,6 +101,12 @@ class OnlineDetector {
   /// Drains reports produced by cap-triggered evictions since the last
   /// call (in eviction order, each flagged degraded).
   std::vector<AnomalyReport> take_evicted();
+
+  /// Drains the ingress stamps (container id -> earliest ingress_unix_ms)
+  /// of every session closed since the last call, by any path (explicit,
+  /// idle, watchdog, eviction, close_all). Sessions consumed without a
+  /// stamp do not appear.
+  std::map<std::string, std::uint64_t> take_closed_ingress();
 
   std::vector<std::string> open_sessions() const;
 
@@ -145,6 +157,7 @@ class OnlineDetector {
     std::uint64_t first_seen_ms = 0;  ///< watchdog clock (stream time)
     std::uint64_t last_seen_ms = 0;
     std::uint64_t lru_seq = 0;        ///< arrival recency (monotone counter)
+    std::uint64_t ingress_unix_ms = 0;  ///< earliest arrival stamp (0: none)
   };
 
   /// Registry handles (nullptr each when metrics were disabled at
@@ -185,6 +198,7 @@ class OnlineDetector {
   std::uint64_t seq_ = 0;
   std::size_t total_records_ = 0;
   std::vector<AnomalyReport> evicted_;
+  std::map<std::string, std::uint64_t> closed_ingress_;  ///< see take_closed_ingress
   Telemetry tel_;
 };
 

@@ -65,24 +65,7 @@ common::Json build_status(const StatusContext& ctx) {
     // Consume-latency histogram with exemplars: each occupied bucket can
     // name the session that most recently landed in it.
     if (const Histogram* h = ctx.registry->find_histogram("intellog_online_consume_us")) {
-      common::Json hist = common::Json::object();
-      hist["count"] = h->count();
-      hist["sum"] = h->sum();
-      common::Json buckets = common::Json::array();
-      for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
-        common::Json b = common::Json::object();
-        b["le"] = i < h->bounds().size() ? common::Json(h->bounds()[i]) : common::Json("+Inf");
-        b["count"] = h->bucket_count(i);
-        if (const auto ex = h->exemplar(i)) {
-          common::Json ej = common::Json::object();
-          ej["value"] = ex->value;
-          ej["session"] = ex->label;
-          b["exemplar"] = std::move(ej);
-        }
-        buckets.push_back(std::move(b));
-      }
-      hist["buckets"] = std::move(buckets);
-      doc["consume_latency_us"] = std::move(hist);
+      doc["consume_latency_us"] = histogram_to_json(*h);
     }
   }
 
@@ -116,6 +99,27 @@ common::Json build_status(const StatusContext& ctx) {
     doc["profile"] = std::move(prof);
   }
   return doc;
+}
+
+common::Json histogram_to_json(const Histogram& h) {
+  common::Json hist = common::Json::object();
+  hist["count"] = h.count();
+  hist["sum"] = h.sum();
+  common::Json buckets = common::Json::array();
+  for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+    common::Json b = common::Json::object();
+    b["le"] = i < h.bounds().size() ? common::Json(h.bounds()[i]) : common::Json("+Inf");
+    b["count"] = h.bucket_count(i);
+    if (const auto ex = h.exemplar(i)) {
+      common::Json ej = common::Json::object();
+      ej["value"] = ex->value;
+      ej["session"] = ex->label;
+      b["exemplar"] = std::move(ej);
+    }
+    buckets.push_back(std::move(b));
+  }
+  hist["buckets"] = std::move(buckets);
+  return hist;
 }
 
 void write_json_atomic(const common::Json& doc, const std::string& path) {
@@ -178,6 +182,27 @@ std::string render_top(const common::Json& status) {
              std::to_string(t_int("pending_files")) + " pending file(s)";
       if (t_int("restarts") > 0) out += ", " + std::to_string(t_int("restarts")) + " restart(s)";
       out += "\n";
+      // End-to-end latency (spool arrival -> report write), with the
+      // slowest session named from the highest-valued bucket exemplar.
+      if (t["e2e_latency_ms"].is_object() && t["e2e_latency_ms"]["count"].as_int() > 0) {
+        const common::Json& h = t["e2e_latency_ms"];
+        std::string slow_id;
+        double slow_v = -1.0;
+        for (const common::Json& b : h["buckets"].as_array()) {
+          if (!b["exemplar"].is_object()) continue;
+          const double v = b["exemplar"]["value"].as_double();
+          if (v > slow_v) {
+            slow_v = v;
+            slow_id = b["exemplar"]["session"].as_string();
+          }
+        }
+        out += "    e2e latency (ms) — count " + std::to_string(h["count"].as_int()) +
+               ", sum " + fmt_double(h["sum"].as_double());
+        if (!slow_id.empty()) {
+          out += ", slowest " + slow_id + " @ " + fmt_double(slow_v) + "ms";
+        }
+        out += "\n";
+      }
     }
   }
 

@@ -41,6 +41,11 @@ struct StatusContext {
 /// One status document ({"kind": "intellog_status", ...}).
 common::Json build_status(const StatusContext& ctx);
 
+/// JSON view of one histogram — count/sum/buckets, each bucket with its
+/// optional {"value", "session"} exemplar. The shape render_top's latency
+/// sections consume; serve reuses it for per-tenant e2e latency.
+common::Json histogram_to_json(const Histogram& h);
+
 /// Writes `doc` to `path` durably: `path.tmp` first, then an atomic rename
 /// over `path` — a reader sees the previous snapshot or the new one, never
 /// a torn file. Throws std::runtime_error on I/O failure.

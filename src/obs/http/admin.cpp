@@ -1,0 +1,151 @@
+#include "obs/http/admin.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/profile/profile.hpp"
+
+namespace intellog::obs::http {
+
+namespace {
+
+constexpr const char* kJsonType = "application/json; charset=utf-8";
+// The exposition content type Prometheus scrapers negotiate for.
+constexpr const char* kPromType = "text/plain; version=0.0.4; charset=utf-8";
+
+HttpResponse json_response(const common::Json& doc, int status = 200) {
+  HttpResponse r;
+  r.status = status;
+  r.content_type = kJsonType;
+  r.body = doc.dump(2) + "\n";
+  return r;
+}
+
+/// Serves one array-valued key of the status document ([] when the owner
+/// has not published that section yet).
+HttpResponse status_slice(const StatusBoard& board, const char* key) {
+  const auto doc = board.status();
+  const common::Json& slice = (*doc)[key];
+  return json_response(slice.is_array() ? slice : common::Json::array());
+}
+
+// /profilez capture state. Captures serialize on the mutex (a second
+// concurrent request gets 409, it does not queue). Stopped sessions are
+// retained, not freed: daemon pool threads may still hold frame pointers
+// from a finished capture's generation (PROF_FRAMEs opened mid-tick), and
+// the profiler's safe-destruction contract requires those threads to
+// quiesce first — which a live daemon never does. Keeping the stopped
+// trees alive turns that use-after-free into a few KB per manual capture.
+std::mutex g_profilez_mu;
+std::vector<std::unique_ptr<Profiler>>& retained_sessions() {
+  static std::vector<std::unique_ptr<Profiler>> sessions;
+  return sessions;
+}
+
+HttpResponse profilez(const HttpRequest& req) {
+  int seconds = 5;
+  const auto params = parse_query(req.query);
+  if (auto it = params.find("seconds"); it != params.end()) {
+    seconds = std::atoi(it->second.c_str());
+    if (seconds < 1) seconds = 1;
+    if (seconds > 30) seconds = 30;
+  }
+  std::unique_lock lock(g_profilez_mu, std::try_to_lock);
+  if (!lock.owns_lock() || profiler() != nullptr) {
+    HttpResponse r;
+    r.status = 409;
+    r.body = "a profiling session is already active\n";
+    return r;
+  }
+  std::string collapsed;
+  try {
+    auto session = std::make_unique<Profiler>();
+    std::this_thread::sleep_for(std::chrono::seconds(seconds));
+    session->stop();
+    collapsed = session->collapsed();
+    retained_sessions().push_back(std::move(session));
+  } catch (const std::exception& e) {
+    HttpResponse r;
+    r.status = 409;
+    r.body = std::string("profiler unavailable: ") + e.what() + "\n";
+    return r;
+  }
+  HttpResponse r;
+  r.body = std::move(collapsed);
+  return r;
+}
+
+}  // namespace
+
+common::Json Readiness::to_json() const {
+  common::Json doc = common::Json::object();
+  doc["ready"] = ready;
+  common::Json why = common::Json::array();
+  for (const auto& reason : reasons) why.push_back(reason);
+  doc["reasons"] = std::move(why);
+  return doc;
+}
+
+StatusBoard::StatusBoard()
+    : status_(std::make_shared<const common::Json>(common::Json::object())) {}
+
+void StatusBoard::publish(common::Json status, Readiness readiness) {
+  auto snapshot = std::make_shared<const common::Json>(std::move(status));
+  std::lock_guard lock(mu_);
+  status_ = std::move(snapshot);
+  readiness_ = std::move(readiness);
+}
+
+std::shared_ptr<const common::Json> StatusBoard::status() const {
+  std::lock_guard lock(mu_);
+  return status_;
+}
+
+Readiness StatusBoard::readiness() const {
+  std::lock_guard lock(mu_);
+  return readiness_;
+}
+
+void mount_admin_plane(HttpServer& server, const StatusBoard& board) {
+  if (MetricsRegistry* reg = registry()) {
+    reg->describe("intellog_http_requests_total", "admin-plane responses by status code");
+  }
+
+  server.handle("/metrics", [](const HttpRequest&) {
+    HttpResponse r;
+    const MetricsRegistry* reg = registry();
+    if (!reg) {
+      r.status = 503;
+      r.body = "no metrics registry installed\n";
+      return r;
+    }
+    r.content_type = kPromType;
+    r.body = reg->to_prometheus();
+    return r;
+  });
+
+  server.handle("/status.json", [&board](const HttpRequest&) {
+    return json_response(*board.status());
+  });
+  server.handle("/tenants",
+                [&board](const HttpRequest&) { return status_slice(board, "tenants"); });
+  server.handle("/alerts",
+                [&board](const HttpRequest&) { return status_slice(board, "alerts"); });
+
+  server.handle("/healthz", [](const HttpRequest&) {
+    HttpResponse r;
+    r.body = "ok\n";
+    return r;
+  });
+  server.handle("/readyz", [&board](const HttpRequest&) {
+    const Readiness ready = board.readiness();
+    return json_response(ready.to_json(), ready.ready ? 200 : 503);
+  });
+
+  server.handle("/profilez", profilez);
+}
+
+}  // namespace intellog::obs::http

@@ -1,0 +1,66 @@
+// The live admin plane: the seven telemetry endpoints mounted on an
+// HttpServer, backed by a StatusBoard the owning daemon publishes into.
+//
+// Split of responsibilities: the daemon (or streaming detect) keeps doing
+// what it already did — build a status document and evaluate alerts on its
+// own thread at its own cadence — and additionally publishes each snapshot
+// to a StatusBoard. Handlers run on HTTP worker threads and only ever read
+// the board (a shared_ptr swap under a mutex) or the process-global
+// MetricsRegistry (whose snapshot paths are already thread-safe). Nothing
+// the handlers touch is owned by the supervision loop, so a slow scraper
+// can never stall a tick and a tick can never tear a scrape.
+//
+// Endpoints:
+//   /metrics       Prometheus text exposition of the installed registry
+//   /status.json   last published status document
+//   /tenants       the status document's tenants table
+//   /alerts        the status document's alerts array (last evaluation)
+//   /healthz       liveness: 200 "ok" whenever the server answers at all
+//   /readyz        readiness: 200/503 + JSON {"ready", "reasons"}
+//   /profilez      on-demand collapsed-stack capture (?seconds=N, 1..30)
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "obs/http/http.hpp"
+
+namespace intellog::obs::http {
+
+/// Readiness verdict the owner derives from real serve state (breaker
+/// states, checkpoint age, backlog saturation). `reasons` lists every
+/// failing condition; empty when ready.
+struct Readiness {
+  bool ready = true;
+  std::vector<std::string> reasons;
+
+  common::Json to_json() const;
+};
+
+/// Thread-safe publication point between the daemon thread (writer) and
+/// HTTP workers (readers). Readers get an immutable snapshot; the writer
+/// swaps in a fresh one per flush.
+class StatusBoard {
+ public:
+  StatusBoard();
+
+  void publish(common::Json status, Readiness readiness);
+  /// The last published status document (an empty object before the first
+  /// publish — endpoints stay answerable from the first accept on).
+  std::shared_ptr<const common::Json> status() const;
+  Readiness readiness() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const common::Json> status_;
+  Readiness readiness_;
+};
+
+/// Registers every admin endpoint on `server`. The board must outlive the
+/// server. Call before start().
+void mount_admin_plane(HttpServer& server, const StatusBoard& board);
+
+}  // namespace intellog::obs::http

@@ -1,0 +1,443 @@
+#include "obs/http/http.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace intellog::obs::http {
+
+namespace {
+
+constexpr std::string_view kHeaderEnd = "\r\n\r\n";
+
+std::string_view reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+/// Remaining milliseconds before `deadline_ns`, clamped to >= 0.
+int remaining_ms(std::uint64_t deadline_ns) {
+  const std::uint64_t now = monotonic_ns();
+  if (now >= deadline_ns) return 0;
+  return static_cast<int>((deadline_ns - now) / 1'000'000);
+}
+
+/// Sends the whole buffer; false on any error. MSG_NOSIGNAL: a scraper
+/// that hung up mid-write must surface as EPIPE, not kill the process.
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+bool write_response(int fd, const HttpResponse& resp, bool head_only) {
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " ";
+  out += reason_phrase(resp.status);
+  out += "\r\nContent-Type: " + resp.content_type;
+  out += "\r\nContent-Length: " + std::to_string(resp.body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  if (!head_only) out += resp.body;
+  return send_all(fd, out);
+}
+
+HttpResponse error_response(int status, std::string message) {
+  HttpResponse r;
+  r.status = status;
+  r.content_type = "text/plain; charset=utf-8";
+  r.body = std::move(message) + "\n";
+  return r;
+}
+
+void count_request(int status) {
+  if (MetricsRegistry* reg = registry()) {
+    reg->counter("intellog_http_requests_total", {{"code", std::to_string(status)}})
+        .add(1);
+  }
+}
+
+/// Reads from `fd` until the blank line ending the header block, an error,
+/// the byte cap, or the deadline. GET/HEAD carry no body, so the header
+/// block is the whole request.
+enum class ReadOutcome { Ok, Timeout, Oversize, Closed };
+ReadOutcome read_request_head(int fd, std::uint64_t deadline_ns,
+                              std::size_t max_bytes, std::string& out) {
+  char buf[2048];
+  while (out.find(kHeaderEnd) == std::string::npos) {
+    const int wait = remaining_ms(deadline_ns);
+    if (wait <= 0) return ReadOutcome::Timeout;
+    pollfd pfd{fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, wait);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return ReadOutcome::Closed;
+    }
+    if (pr == 0) return ReadOutcome::Timeout;
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ReadOutcome::Closed;
+    }
+    if (n == 0) return ReadOutcome::Closed;
+    out.append(buf, static_cast<std::size_t>(n));
+    if (out.size() > max_bytes) return ReadOutcome::Oversize;
+  }
+  return ReadOutcome::Ok;
+}
+
+/// Parses the request line + headers into `req`; false on malformed input.
+bool parse_request(const std::string& raw, HttpRequest& req) {
+  const std::size_t line_end = raw.find("\r\n");
+  if (line_end == std::string::npos) return false;
+  const std::string line = raw.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) return false;
+  req.method = line.substr(0, sp1);
+  req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = line.substr(sp2 + 1);
+  if (req.method.empty() || req.target.empty() || req.target[0] != '/') return false;
+  if (version.rfind("HTTP/1.", 0) != 0) return false;
+
+  const std::size_t q = req.target.find('?');
+  req.path = req.target.substr(0, q);
+  req.query = q == std::string::npos ? "" : req.target.substr(q + 1);
+
+  std::size_t pos = line_end + 2;
+  while (pos < raw.size()) {
+    std::size_t eol = raw.find("\r\n", pos);
+    if (eol == std::string::npos) eol = raw.size();
+    if (eol == pos) break;  // blank line: end of headers
+    const std::string header = raw.substr(pos, eol - pos);
+    const std::size_t colon = header.find(':');
+    if (colon == std::string::npos || colon == 0) return false;
+    std::string key = header.substr(0, colon);
+    for (char& c : key) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    std::size_t vstart = colon + 1;
+    while (vstart < header.size() && header[vstart] == ' ') ++vstart;
+    req.headers[key] = header.substr(vstart);
+    pos = eol + 2;
+  }
+  return true;
+}
+
+/// Resolves `host` to an IPv4 sockaddr_in (numeric or resolvable name).
+bool resolve_ipv4(const std::string& host, std::uint16_t port, sockaddr_in& addr) {
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1) return true;
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (::getaddrinfo(host.c_str(), nullptr, &hints, &res) != 0 || !res) return false;
+  addr.sin_addr = reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+  ::freeaddrinfo(res);
+  return true;
+}
+
+}  // namespace
+
+std::map<std::string, std::string> parse_query(const std::string& query) {
+  std::map<std::string, std::string> out;
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string::npos && eq > 0) {
+      out[pair.substr(0, eq)] = pair.substr(eq + 1);
+    } else if (!pair.empty()) {
+      out[pair] = "";
+    }
+    pos = amp + 1;
+  }
+  return out;
+}
+
+std::pair<std::string, std::uint16_t> split_host_port(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    throw std::runtime_error("expected HOST:PORT, got '" + spec + "'");
+  }
+  const std::string port_str = spec.substr(colon + 1);
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_str.c_str(), &end, 10);
+  if (*end != '\0' || port > 65535) {
+    throw std::runtime_error("invalid port in '" + spec + "'");
+  }
+  return {spec.substr(0, colon), static_cast<std::uint16_t>(port)};
+}
+
+HttpServer::HttpServer(Options opts) : opts_(std::move(opts)) {
+  if (opts_.workers == 0) opts_.workers = 1;
+  if (opts_.max_queue == 0) opts_.max_queue = 1;
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(std::string path, Handler handler) {
+  routes_[std::move(path)] = std::move(handler);
+}
+
+void HttpServer::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  sockaddr_in addr;
+  if (!resolve_ipv4(opts_.host, opts_.port, addr)) {
+    throw std::runtime_error("http: cannot resolve host '" + opts_.host + "'");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("http: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("http: cannot listen on " + opts_.host + ":" +
+                             std::to_string(opts_.port) + ": " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { accept_loop(); });
+  workers_.reserve(opts_.workers);
+  for (std::size_t i = 0; i < opts_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Join the acceptor first so no connection can be enqueued after the
+  // workers drain and exit; then wake the workers to finish the queue.
+  if (acceptor_.joinable()) acceptor_.join();
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  std::deque<int> leftover;
+  {
+    std::lock_guard lock(mu_);
+    leftover.swap(queue_);
+  }
+  for (int fd : leftover) {
+    write_response(fd, error_response(503, "server shutting down"), false);
+    ::close(fd);
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 100);
+    if (pr <= 0) continue;  // timeout (re-check running_) or EINTR
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    bool enqueued = false;
+    {
+      std::lock_guard lock(mu_);
+      if (queue_.size() < opts_.max_queue) {
+        queue_.push_back(fd);
+        enqueued = true;
+      }
+    }
+    if (enqueued) {
+      cv_.notify_one();
+    } else {
+      // Backpressure: answering 503 here keeps the accept queue drained and
+      // tells the scraper to back off, instead of parking accepted sockets.
+      write_response(fd, error_response(503, "handler queue full"), false);
+      count_request(503);
+      served_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+    }
+  }
+}
+
+void HttpServer::worker_loop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] {
+        return !queue_.empty() || !running_.load(std::memory_order_acquire);
+      });
+      if (queue_.empty()) {
+        // Drained after stop(): connections accepted before shutdown are
+        // still answered above, so an in-flight scrape never sees a reset.
+        if (!running_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      fd = queue_.front();
+      queue_.pop_front();
+    }
+    serve_connection(fd);
+    ::close(fd);
+    served_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  const std::uint64_t deadline_ns =
+      monotonic_ns() + opts_.read_timeout_ms * 1'000'000ull;
+  std::string raw;
+  HttpRequest req;
+  HttpResponse resp;
+  bool head_only = false;
+  switch (read_request_head(fd, deadline_ns, opts_.max_request_bytes, raw)) {
+    case ReadOutcome::Timeout:
+      resp = error_response(408, "request header read timed out");
+      break;
+    case ReadOutcome::Oversize:
+      resp = error_response(431, "request headers exceed limit");
+      break;
+    case ReadOutcome::Closed:
+      // Peer vanished before sending a full request; nothing to answer.
+      count_request(400);
+      return;
+    case ReadOutcome::Ok:
+      if (!parse_request(raw, req)) {
+        resp = error_response(400, "malformed request");
+      } else if (req.method != "GET" && req.method != "HEAD") {
+        resp = error_response(405, "only GET and HEAD are supported");
+      } else {
+        head_only = req.method == "HEAD";
+        auto it = routes_.find(req.path);
+        if (it == routes_.end()) {
+          resp = error_response(404, "no such endpoint: " + req.path);
+        } else {
+          try {
+            resp = it->second(req);
+          } catch (const std::exception& e) {
+            resp = error_response(500, std::string("handler failed: ") + e.what());
+          }
+        }
+      }
+      break;
+  }
+  write_response(fd, resp, head_only);
+  count_request(resp.status);
+}
+
+std::optional<FetchResult> http_get(const std::string& host, std::uint16_t port,
+                                    const std::string& target,
+                                    std::uint64_t timeout_ms) {
+  sockaddr_in addr;
+  if (!resolve_ipv4(host, port, addr)) return std::nullopt;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  const std::uint64_t deadline_ns = monotonic_ns() + timeout_ms * 1'000'000ull;
+
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  if (!send_all(fd, request)) {
+    ::close(fd);
+    return std::nullopt;
+  }
+
+  // Connection: close — the response is everything until EOF.
+  std::string raw;
+  char buf[4096];
+  while (true) {
+    const int wait = remaining_ms(deadline_ns);
+    if (wait <= 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, wait);
+    if (pr < 0 && errno == EINTR) continue;
+    if (pr <= 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return std::nullopt;
+    }
+    if (n == 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t head_end = raw.find(kHeaderEnd);
+  if (head_end == std::string::npos) return std::nullopt;
+  const std::size_t line_end = raw.find("\r\n");
+  const std::string status_line = raw.substr(0, line_end);
+  if (status_line.rfind("HTTP/1.", 0) != 0) return std::nullopt;
+  const std::size_t sp = status_line.find(' ');
+  if (sp == std::string::npos || sp + 4 > status_line.size()) return std::nullopt;
+  FetchResult result;
+  result.status = std::atoi(status_line.c_str() + sp + 1);
+  if (result.status < 100 || result.status > 599) return std::nullopt;
+
+  std::size_t pos = line_end + 2;
+  while (pos < head_end) {
+    std::size_t eol = raw.find("\r\n", pos);
+    if (eol == std::string::npos || eol > head_end) eol = head_end;
+    std::string header = raw.substr(pos, eol - pos);
+    const std::size_t colon = header.find(':');
+    if (colon != std::string::npos) {
+      std::string key = header.substr(0, colon);
+      for (char& c : key) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      if (key == "content-type") {
+        std::size_t vstart = colon + 1;
+        while (vstart < header.size() && header[vstart] == ' ') ++vstart;
+        result.content_type = header.substr(vstart);
+      }
+    }
+    pos = eol + 2;
+  }
+  result.body = raw.substr(head_end + kHeaderEnd.size());
+  return result;
+}
+
+}  // namespace intellog::obs::http

@@ -1,0 +1,134 @@
+// Embedded HTTP/1.1 admin server and a matching tiny client.
+//
+// The telemetry plane needs a live transport: every observatory so far
+// published through files (--status-file snapshots, BENCH JSON, collapsed
+// stacks), which works for batch runs but not for a long-lived daemon that
+// an orchestrator wants to scrape and health-check. This server is the
+// smallest thing that does that job correctly:
+//
+//  - dependency-free POSIX sockets, IPv4, GET/HEAD only, Connection: close
+//    (one request per connection — scrapes and probes are all short);
+//  - a blocking accept loop on its own thread feeding a bounded queue of
+//    accepted connections; a fixed pool of worker threads parses and
+//    answers them. A full queue answers 503 immediately instead of letting
+//    accepted sockets pile up;
+//  - hardened request reading: a total wall-clock deadline over the whole
+//    header read (a slowloris client trickling bytes gets 408, not a
+//    parked worker) and a hard cap on header bytes (431 on overflow);
+//  - graceful stop(): the acceptor quits, queued connections are drained
+//    and answered, workers join. The serve daemon calls it from the same
+//    drain path its SIGTERM handling already runs.
+//
+// Routing is exact-match on the decoded path (no patterns — the admin
+// plane has seven endpoints). Handlers run on worker threads and must be
+// thread-safe; everything they touch here (metrics registry snapshots,
+// published status boards) already is.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace intellog::obs::http {
+
+struct HttpRequest {
+  std::string method;  ///< "GET" / "HEAD" (anything else is rejected earlier)
+  std::string target;  ///< raw request target, e.g. "/profilez?seconds=3"
+  std::string path;    ///< target up to '?'
+  std::string query;   ///< after '?', "" when absent
+  std::map<std::string, std::string> headers;  ///< keys lower-cased
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Parses "k1=v1&k2=v2" (no %-decoding — admin queries are ASCII).
+std::map<std::string, std::string> parse_query(const std::string& query);
+
+/// Splits "HOST:PORT"; throws std::runtime_error on a missing/invalid port.
+std::pair<std::string, std::uint16_t> split_host_port(const std::string& spec);
+
+struct HttpServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0: ephemeral, read back via port()
+  std::size_t workers = 2;
+  std::size_t max_queue = 64;  ///< accepted-but-unserved connections
+  std::uint64_t read_timeout_ms = 5000;   ///< total header-read deadline
+  std::size_t max_request_bytes = 16 * 1024;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+  using Options = HttpServerOptions;
+
+  explicit HttpServer(Options opts = {});
+  ~HttpServer();  ///< calls stop()
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for an exact path. Must precede start().
+  void handle(std::string path, Handler handler);
+
+  /// Binds + listens and starts the acceptor and worker threads. Throws
+  /// std::runtime_error when the address is unusable.
+  void start();
+  /// Graceful: stops accepting, drains queued connections, joins all
+  /// threads. Idempotent; safe to call without start().
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (resolves an ephemeral request); 0 before start().
+  std::uint16_t port() const { return port_; }
+  const Options& options() const { return opts_; }
+  /// Responses written so far (all statuses), for tests and overhead accounting.
+  std::uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void serve_connection(int fd);
+
+  Options opts_;
+  std::map<std::string, Handler> routes_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<int> queue_;  ///< accepted fds awaiting a worker
+};
+
+/// One fetched response; `status` 0 never occurs (transport failures
+/// return nullopt from http_get instead).
+struct FetchResult {
+  int status = 0;
+  std::string content_type;
+  std::string body;
+};
+
+/// Blocking GET with a total wall-clock deadline covering connect + IO.
+/// nullopt on any transport failure (refused, reset, timeout, bad host).
+std::optional<FetchResult> http_get(const std::string& host, std::uint16_t port,
+                                    const std::string& target,
+                                    std::uint64_t timeout_ms = 5000);
+
+}  // namespace intellog::obs::http

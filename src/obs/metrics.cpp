@@ -80,6 +80,8 @@ void atomic_add_double(std::atomic<double>& a, double v) {
 
 }  // namespace
 
+void DoubleGauge::add(double n) { atomic_add_double(v_, n); }
+
 std::string prom_escape(std::string_view value) {
   std::string out;
   out.reserve(value.size());
@@ -183,6 +185,13 @@ Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
   return *e.gauge;
 }
 
+DoubleGauge& MetricsRegistry::double_gauge(const std::string& name, const Labels& labels) {
+  std::lock_guard lock(mu_);
+  Entry& e = get_or_create(name, labels);
+  if (!e.double_gauge) e.double_gauge = std::make_unique<DoubleGauge>();
+  return *e.double_gauge;
+}
+
 Histogram& MetricsRegistry::histogram(const std::string& name, const Labels& labels,
                                       const std::vector<double>& bounds) {
   std::lock_guard lock(mu_);
@@ -201,6 +210,13 @@ const Gauge* MetricsRegistry::find_gauge(const std::string& name, const Labels& 
   std::lock_guard lock(mu_);
   const Entry* e = find(name, labels);
   return e ? e->gauge.get() : nullptr;
+}
+
+const DoubleGauge* MetricsRegistry::find_double_gauge(const std::string& name,
+                                                      const Labels& labels) const {
+  std::lock_guard lock(mu_);
+  const Entry* e = find(name, labels);
+  return e ? e->double_gauge.get() : nullptr;
 }
 
 const Histogram* MetricsRegistry::find_histogram(const std::string& name,
@@ -235,6 +251,9 @@ common::Json MetricsRegistry::to_json() const {
     } else if (e.gauge) {
       m["type"] = "gauge";
       m["value"] = e.gauge->value();
+    } else if (e.double_gauge) {
+      m["type"] = "gauge";  // consumers see one gauge kind; the value is real
+      m["value"] = e.double_gauge->value();
     } else if (e.histogram) {
       m["type"] = "histogram";
       m["count"] = e.histogram->count();
@@ -289,6 +308,9 @@ std::string MetricsRegistry::to_prometheus() const {
     } else if (e.gauge) {
       type_line("gauge");
       out += prom_series(e.name, e.labels) + " " + std::to_string(e.gauge->value()) + "\n";
+    } else if (e.double_gauge) {
+      type_line("gauge");
+      out += prom_series(e.name, e.labels) + " " + fmt_number(e.double_gauge->value()) + "\n";
     } else if (e.histogram) {
       type_line("histogram");
       const Histogram& h = *e.histogram;
@@ -296,7 +318,13 @@ std::string MetricsRegistry::to_prometheus() const {
         const std::string le =
             i < h.bounds().size() ? fmt_number(h.bounds()[i]) : std::string("+Inf");
         out += prom_series(e.name + "_bucket", e.labels, "le", le) + " " +
-               std::to_string(h.cumulative_count(i)) + "\n";
+               std::to_string(h.cumulative_count(i));
+        // OpenMetrics-style exemplar suffix: ties a latency bucket back to
+        // the session that most recently landed in it.
+        if (const auto ex = h.exemplar(i)) {
+          out += " # {session=\"" + prom_escape(ex->label) + "\"} " + fmt_number(ex->value);
+        }
+        out += "\n";
       }
       out += prom_series(e.name + "_sum", e.labels) + " " + fmt_number(h.sum()) + "\n";
       out += prom_series(e.name + "_count", e.labels) + " " + std::to_string(h.count()) + "\n";

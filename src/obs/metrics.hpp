@@ -57,6 +57,19 @@ class Gauge {
   std::atomic<std::int64_t> v_{0};
 };
 
+/// Instantaneous real value (saturation fractions, ratios). Gauge is
+/// integral, which forced PR-8-era ratio gauges into scaled percents;
+/// DoubleGauge exports the fraction itself through JSON and Prometheus.
+class DoubleGauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double n);  ///< CAS loop (atomic<double> has no fetch_add pre-C++26)
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
 /// One exemplar: a concrete observation pinned to a histogram bucket so a
 /// latency bucket can be traced back to the thing that caused it (the
 /// OpenMetrics exemplar concept — here, consume latencies -> session ids).
@@ -120,6 +133,7 @@ class MetricsRegistry {
 
   Counter& counter(const std::string& name, const Labels& labels = {});
   Gauge& gauge(const std::string& name, const Labels& labels = {});
+  DoubleGauge& double_gauge(const std::string& name, const Labels& labels = {});
   /// `bounds` is consulted only on first creation of this name+labels.
   Histogram& histogram(const std::string& name, const Labels& labels = {},
                        const std::vector<double>& bounds = Histogram::default_ms_buckets());
@@ -132,6 +146,7 @@ class MetricsRegistry {
   /// Lookup without creation (introspection/tests). nullptr when absent.
   const Counter* find_counter(const std::string& name, const Labels& labels = {}) const;
   const Gauge* find_gauge(const std::string& name, const Labels& labels = {}) const;
+  const DoubleGauge* find_double_gauge(const std::string& name, const Labels& labels = {}) const;
   const Histogram* find_histogram(const std::string& name, const Labels& labels = {}) const;
 
   std::size_t size() const;
@@ -147,6 +162,7 @@ class MetricsRegistry {
     Labels labels;  // canonical (sorted by key)
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<DoubleGauge> double_gauge;
     std::unique_ptr<Histogram> histogram;
   };
 

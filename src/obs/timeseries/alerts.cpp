@@ -173,14 +173,14 @@ std::vector<AlertRule> AlertEngine::serve_rules() {
   // gauges are published every serve tick, so short windows suffice.
   std::vector<AlertRule> rules = default_rules();
   {
-    // Worst tenant backlog as a percentage of its shed threshold:
-    // sustained > 80% means admission cannot keep up and shedding is
-    // imminent. Percent (not a fraction) because gauges are integers.
+    // Worst tenant backlog as a fraction of its shed threshold:
+    // sustained > 0.8 means admission cannot keep up and shedding is
+    // imminent.
     AlertRule r;
     r.name = "serve-queue-saturation";
-    r.series = "intellog_serve_queue_saturation_pct{}";
+    r.series = "intellog_serve_queue_saturation_ratio{}";
     r.kind = AlertRule::Kind::GaugeAbove;
-    r.threshold = 80.0;
+    r.threshold = 0.8;
     r.window_ms = 10'000;
     rules.push_back(std::move(r));
   }

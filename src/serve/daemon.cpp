@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <future>
@@ -12,6 +13,8 @@
 #include "common/thread_pool.hpp"
 #include "core/model_io.hpp"
 #include "obs/export/status.hpp"
+#include "obs/http/admin.hpp"
+#include "obs/http/http.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeseries/alerts.hpp"
 #include "obs/timeseries/timeseries.hpp"
@@ -49,6 +52,15 @@ std::string read_file(const std::string& path) {
   return buf.str();
 }
 
+/// Wall-clock now, unix ms — the same clock spool-file mtimes live on, so
+/// `now - ingress` is a real end-to-end latency even across a daemon restart.
+std::uint64_t unix_now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 struct ServeDaemon::TenantState {
@@ -74,6 +86,12 @@ struct ServeDaemon::AlertsImpl {
   obs::ts::TimeSeriesStore store;
   obs::ts::AlertEngine engine;
   explicit AlertsImpl(std::vector<obs::ts::AlertRule> rules) : engine(std::move(rules)) {}
+};
+
+struct ServeDaemon::HttpImpl {
+  obs::http::StatusBoard board;  ///< must outlive the server (handlers read it)
+  obs::http::HttpServer server;
+  explicit HttpImpl(obs::http::HttpServer::Options opts) : server(std::move(opts)) {}
 };
 
 std::string ServeDaemon::checkpoint_path(const std::string& tenant_dir) {
@@ -160,10 +178,32 @@ ServeDaemon::ServeDaemon(ServeOptions options) : options_(std::move(options)) {
     reg->describe("intellog_serve_ticks_total", "supervision ticks");
     reg->describe("intellog_serve_pending_files", "spool backlog per tenant (files)");
     reg->describe("intellog_serve_pending_bytes", "spool backlog per tenant (bytes)");
-    reg->describe("intellog_serve_queue_saturation_pct",
-                  "worst tenant backlog as percent of the shed threshold "
-                  "(>= 100 means shedding)");
+    reg->describe("intellog_serve_queue_saturation_ratio",
+                  "worst tenant backlog as a fraction of the shed threshold "
+                  "(>= 1 means shedding)");
     reg->describe("intellog_serve_breakers_open", "tenants whose breaker is not closed");
+    reg->describe("intellog_serve_e2e_latency_ms",
+                  "end-to-end session latency per tenant: spool-file arrival "
+                  "(mtime) to report-ledger write");
+  }
+
+  start_ns_ = obs::monotonic_ns();
+  if (!options_.listen.empty()) {
+    const auto [host, port] = obs::http::split_host_port(options_.listen);
+    obs::http::HttpServer::Options hopts;
+    hopts.host = host;
+    hopts.port = port;
+    http_ = std::make_unique<HttpImpl>(hopts);
+    obs::http::Readiness starting;
+    starting.ready = false;
+    starting.reasons.push_back("starting: no supervision tick yet");
+    http_->board.publish(common::Json::object(), std::move(starting));
+    obs::http::mount_admin_plane(http_->server, http_->board);
+    http_->server.start();
+    summary_.http_port = http_->server.port();
+    // Machine-greppable line for harnesses that listen on an ephemeral port.
+    std::fprintf(stderr, "intellog serve: admin plane listening on http://%s:%u\n",
+                 host.c_str(), static_cast<unsigned>(http_->server.port()));
   }
 }
 
@@ -173,6 +213,10 @@ std::vector<std::string> ServeDaemon::tenants() const {
   std::vector<std::string> out;
   for (const auto& ts : tenants_) out.push_back(ts->name);
   return out;
+}
+
+std::uint16_t ServeDaemon::http_port() const {
+  return http_ ? http_->server.port() : 0;
 }
 
 void ServeDaemon::write_checkpoint(TenantState& ts) {
@@ -216,6 +260,18 @@ void ServeDaemon::apply_result(TenantState& ts, TickResult r) {
         .set(static_cast<double>(r.pending_files));
     reg->gauge("intellog_serve_pending_bytes", labels)
         .set(static_cast<double>(r.pending_bytes));
+
+    // End-to-end latency: the report ledger for these sessions was just
+    // written above, so "now - spool arrival" is the full pipeline time.
+    // The exemplar names the session, so a slow bucket is actionable.
+    if (!r.session_ingress_ms.empty()) {
+      obs::Histogram& hist = reg->histogram("intellog_serve_e2e_latency_ms", labels);
+      const std::uint64_t now = unix_now_ms();
+      for (const auto& [id, ingress] : r.session_ingress_ms) {
+        const double ms = now > ingress ? static_cast<double>(now - ingress) : 0.0;
+        hist.observe(ms, id);
+      }
+    }
   }
 }
 
@@ -227,14 +283,17 @@ void ServeDaemon::flush_metrics() {
 }
 
 void ServeDaemon::flush_status(std::uint64_t now_ms) {
-  if (options_.status_path.empty()) return;
+  if (options_.status_path.empty() && !http_) return;
   obs::StatusContext ctx;
   ctx.registry = obs::registry();
   ctx.alerts = &alerts_->engine;
   common::Json doc = obs::build_status(ctx);
 
   // Aggregate occupancy across shards, so the standard `top`/validator view
-  // of a serve status still reads like a detect status.
+  // of a serve status still reads like a detect status. The same pass
+  // derives /readyz: every failing condition becomes a reason string.
+  obs::http::Readiness rd;
+  double saturation = 0.0;
   std::size_t open = 0, buffered = 0, pending_evicted = 0;
   common::Json tenants = common::Json::array();
   for (const auto& ts : tenants_) {
@@ -243,10 +302,29 @@ void ServeDaemon::flush_status(std::uint64_t now_ms) {
     buffered += det.total_buffered_records();
     pending_evicted += det.pending_evicted();
 
+    const BreakerState breaker = ts->shard->breaker_state();
+    if (breaker != BreakerState::Closed) {
+      rd.ready = false;
+      rd.reasons.push_back("breaker " + std::string(to_string(breaker)) + ": " + ts->name);
+    }
+    if (options_.shard.quotas.max_backlog_files > 0) {
+      saturation = std::max(
+          saturation, static_cast<double>(ts->pending_files) /
+                          static_cast<double>(options_.shard.quotas.max_backlog_files));
+    }
+    if (options_.checkpoint_deadline_ms != 0) {
+      const std::uint64_t ref =
+          ts->last_checkpoint_ns != 0 ? ts->last_checkpoint_ns : start_ns_;
+      if (obs::monotonic_ns() - ref > options_.checkpoint_deadline_ms * 1'000'000ull) {
+        rd.ready = false;
+        rd.reasons.push_back("checkpoint stale: " + ts->name);
+      }
+    }
+
     common::Json t = common::Json::object();
     t["tenant"] = ts->name;
     t["epoch"] = static_cast<std::int64_t>(ts->epoch);
-    t["breaker"] = std::string(to_string(ts->shard->breaker_state()));
+    t["breaker"] = std::string(to_string(breaker));
     t["open_sessions"] = det.open_sessions().size();
     t["buffered_records"] = det.total_buffered_records();
     t["pending_files"] = ts->pending_files;
@@ -258,7 +336,17 @@ void ServeDaemon::flush_status(std::uint64_t now_ms) {
             : common::Json(static_cast<double>(obs::monotonic_ns() - ts->last_checkpoint_ns) /
                            1e9);
     t["accounting"] = ts->shard->accounting().to_json();
+    if (ctx.registry) {
+      if (const obs::Histogram* h = ctx.registry->find_histogram(
+              "intellog_serve_e2e_latency_ms", tenant_labels(ts->name))) {
+        t["e2e_latency_ms"] = obs::histogram_to_json(*h);
+      }
+    }
     tenants.push_back(std::move(t));
+  }
+  if (saturation >= 1.0) {
+    rd.ready = false;
+    rd.reasons.push_back("backlog saturated (shedding)");
   }
   common::Json occ = common::Json::object();
   occ["open_sessions"] = open;
@@ -271,7 +359,8 @@ void ServeDaemon::flush_status(std::uint64_t now_ms) {
   doc["occupancy"] = std::move(occ);
   doc["tenants"] = std::move(tenants);
   (void)now_ms;
-  obs::write_json_atomic(doc, options_.status_path);
+  if (http_) http_->board.publish(doc, std::move(rd));
+  if (!options_.status_path.empty()) obs::write_json_atomic(doc, options_.status_path);
 }
 
 ServeSummary ServeDaemon::run() {
@@ -355,10 +444,7 @@ ServeSummary ServeDaemon::run() {
         }
         if (ts->shard->breaker_state() != BreakerState::Closed) open_breakers += 1.0;
       }
-      // Gauges are integer-valued; exporting the fraction directly would
-      // truncate everything below 1.0 to zero, so publish percent.
-      reg->gauge("intellog_serve_queue_saturation_pct")
-          .set(static_cast<std::int64_t>(saturation * 100.0 + 0.5));
+      reg->double_gauge("intellog_serve_queue_saturation_ratio").set(saturation);
       reg->gauge("intellog_serve_breakers_open")
           .set(static_cast<std::int64_t>(open_breakers));
     }
@@ -409,6 +495,19 @@ ServeSummary ServeDaemon::run() {
           append_jsonl((fs::path(ts->dir) / ".reports.jsonl").string(), rep.to_json());
         }
       }
+      if (reg) {
+        // Sessions force-closed by the drain still get their end-to-end
+        // observation — their reports were just written above.
+        const auto stamps = ts->shard->take_closed_ingress();
+        if (!stamps.empty()) {
+          obs::Histogram& hist =
+              reg->histogram("intellog_serve_e2e_latency_ms", tenant_labels(ts->name));
+          const std::uint64_t now = unix_now_ms();
+          for (const auto& [id, ingress] : stamps) {
+            hist.observe(now > ingress ? static_cast<double>(now - ingress) : 0.0, id);
+          }
+        }
+      }
       write_checkpoint(*ts);
     }
     flush_status(obs::monotonic_ns() / 1'000'000);
@@ -417,6 +516,10 @@ ServeSummary ServeDaemon::run() {
   }
   // On the kill path the pool destructor joins the workers; orphaned tasks
   // finish against shards that stay alive in the graveyard until then.
+
+  // Stop answering before run() returns on every path (drain and simulated
+  // crash): the admin plane's lifetime is the supervision loop's.
+  if (http_) http_->server.stop();
 
   for (const auto& ts : tenants_) {
     summary_.tenants[ts->name] = ts->shard->accounting();

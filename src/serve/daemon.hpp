@@ -51,6 +51,15 @@ struct ServeOptions {
   std::string metrics_path;      ///< empty: no metrics snapshots
   std::string alert_rules_path;  ///< empty: AlertEngine::serve_rules()
 
+  /// "HOST:PORT": mount the live admin plane (/metrics, /status.json,
+  /// /healthz, /readyz, /tenants, /alerts, /profilez) on an embedded HTTP
+  /// server. Port 0 binds an ephemeral port (resolved address goes to
+  /// stderr and http_port()). Empty: no HTTP server.
+  std::string listen;
+  /// /readyz staleness probe: a tenant whose last checkpoint (or, before
+  /// any, daemon start) is older than this reports not-ready. 0 disables.
+  std::uint64_t checkpoint_deadline_ms = 60'000;
+
   TenantShard::Options shard;  ///< quotas/breaker/limits applied to every tenant
 
   /// Test-only fault injection, called on the pool thread at the start of
@@ -68,6 +77,7 @@ struct ServeSummary {
   std::map<std::string, std::string> breaker_states;
   std::uint64_t checkpoints_written = 0;
   std::uint64_t checkpoints_corrupt = 0;  ///< found corrupt at startup, renamed aside
+  std::uint16_t http_port = 0;  ///< bound admin-plane port, 0 when --listen was off
 };
 
 class ServeDaemon {
@@ -86,6 +96,11 @@ class ServeDaemon {
 
   /// Tenant names in service order (sorted).
   std::vector<std::string> tenants() const;
+
+  /// The admin plane's bound port; 0 when Options::listen was empty. The
+  /// server accepts from construction on (readiness says "starting" until
+  /// the first supervision tick publishes real state).
+  std::uint16_t http_port() const;
 
   /// Per-tenant checkpoint file path (under the tenant's spool directory).
   static std::string checkpoint_path(const std::string& tenant_dir);
@@ -108,9 +123,12 @@ class ServeDaemon {
   ServeSummary summary_;
   std::uint64_t last_metrics_ns_ = 0;
   std::uint64_t last_checkpoint_ns_ = 0;
+  std::uint64_t start_ns_ = 0;  ///< checkpoint-staleness reference before any write
 
   struct AlertsImpl;  ///< tseries + engine, hidden to keep includes local
   std::unique_ptr<AlertsImpl> alerts_;
+  struct HttpImpl;  ///< embedded server + status board, hidden likewise
+  std::unique_ptr<HttpImpl> http_;
 };
 
 }  // namespace intellog::serve

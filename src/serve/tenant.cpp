@@ -1,5 +1,7 @@
 #include "serve/tenant.hpp"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
@@ -20,6 +22,16 @@ double now_us() {
              std::chrono::steady_clock::now().time_since_epoch())
              .count()) /
          1e3;
+}
+
+// Spool arrival time: producers rename finished files in, so st_mtim is the
+// moment the session became visible to the daemon — the start of the
+// end-to-end latency clock. 0 on stat failure (the observation is skipped).
+std::uint64_t file_mtime_unix_ms(const std::string& path) {
+  struct ::stat st {};
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<std::uint64_t>(st.st_mtim.tv_sec) * 1000u +
+         static_cast<std::uint64_t>(st.st_mtim.tv_nsec) / 1000000u;
 }
 
 }  // namespace
@@ -98,7 +110,8 @@ std::vector<TenantShard::PendingFile> TenantShard::scan_spool() const {
     if (done_.count(name) != 0) continue;
     std::error_code sec;
     const std::uint64_t bytes = fs::file_size(p, sec);
-    out.push_back(PendingFile{p.string(), name, sec ? 0 : bytes});
+    out.push_back(PendingFile{p.string(), name, sec ? 0 : bytes,
+                              file_mtime_unix_ms(p.string())});
   }
   // Deterministic service order: name-sorted, so kill-and-resume replays
   // the exact admission sequence of an uninterrupted run.
@@ -141,7 +154,11 @@ void TenantShard::consume_file(const PendingFile& file, std::size_t& record_budg
     if (first_read && file.bytes == 0) {
       // A zero-byte spool file is a container that died before logging a
       // single line — detection signal (session abort), not junk. Same
-      // contract as the one-shot CLI's empty-session path.
+      // contract as the one-shot CLI's empty-session path. This path never
+      // touches the detector, so stamp the ingress map directly.
+      if (file.mtime_unix_ms != 0 && !ingest.session.container_id.empty()) {
+        out.session_ingress_ms[ingest.session.container_id] = file.mtime_unix_ms;
+      }
       finish_session(model_.detect(ingest.session));
     } else {
       finish_session(std::nullopt);  // garbage-only file: quarantined above
@@ -160,7 +177,7 @@ void TenantShard::consume_file(const PendingFile& file, std::size_t& record_budg
       std::min<std::size_t>(record_budget, records.size() - static_cast<std::size_t>(cursor));
   const double t0 = now_us();
   for (std::size_t i = 0; i < take; ++i) {
-    online_->consume(records[static_cast<std::size_t>(cursor) + i]);
+    online_->consume(records[static_cast<std::size_t>(cursor) + i], file.mtime_unix_ms);
   }
   accounting_.consume_us_sum += now_us() - t0;
   cursor += take;
@@ -269,6 +286,13 @@ TickResult TenantShard::tick() {
     ++out.pending_files;
     out.pending_bytes += f.bytes;
   }
+
+  // Every session the detector closed this tick (explicit, eviction) hands
+  // its arrival stamp back here; the daemon observes end-to-end latency
+  // when it writes the report ledger.
+  for (const auto& [id, ms] : online_->take_closed_ingress()) {
+    out.session_ingress_ms.emplace(id, ms);
+  }
   return out;
 }
 
@@ -279,6 +303,10 @@ std::vector<core::AnomalyReport> TenantShard::close_all() {
     if (r.anomalous()) ++accounting_.sessions_anomalous;
   }
   return reports;
+}
+
+std::map<std::string, std::uint64_t> TenantShard::take_closed_ingress() {
+  return online_->take_closed_ingress();
 }
 
 common::Json TenantShard::checkpoint() const {

@@ -107,6 +107,10 @@ struct TickResult {
   std::vector<logparse::QuarantinedLine> quarantined;  ///< quarantine ledger entries
   std::size_t pending_files = 0;             ///< backlog remaining after the tick
   std::uint64_t pending_bytes = 0;
+  /// Arrival stamps (container id -> spool-file mtime, unix ms) of every
+  /// session closed this tick — the daemon turns these into end-to-end
+  /// latency observations at ledger-write time.
+  std::map<std::string, std::uint64_t> session_ingress_ms;
 };
 
 class TenantShard {
@@ -153,11 +157,16 @@ class TenantShard {
   /// reports are already counted into the accounting.
   std::vector<core::AnomalyReport> close_all();
 
+  /// Arrival stamps of sessions closed outside a tick (close_all drain);
+  /// forwards OnlineDetector::take_closed_ingress.
+  std::map<std::string, std::uint64_t> take_closed_ingress();
+
  private:
   struct PendingFile {
     std::string path;
     std::string name;
     std::uint64_t bytes = 0;
+    std::uint64_t mtime_unix_ms = 0;  ///< spool arrival time (0: stat failed)
   };
 
   std::vector<PendingFile> scan_spool() const;

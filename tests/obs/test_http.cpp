@@ -1,0 +1,386 @@
+// Embedded HTTP admin server: parsing units, request/response round trips,
+// hardening paths (404/405/400/408/431), graceful stop, and the tentpole
+// concurrency contract — N clients scraping /metrics and /status.json while
+// a detect stream is consuming must always see complete, parseable answers.
+#include "obs/http/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "core/online.hpp"
+#include "obs/export/status.hpp"
+#include "obs/http/admin.hpp"
+#include "obs/metrics.hpp"
+#include "simsys/workload.hpp"
+
+using namespace intellog;
+using namespace intellog::obs::http;
+
+namespace {
+
+/// Raw-socket client for the paths http_get cannot exercise (bad methods,
+/// malformed request lines, slowloris). Sends `bytes` verbatim and returns
+/// everything the server answers before closing.
+std::string raw_request(std::uint16_t port, const std::string& bytes) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, 0);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  std::string out;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+int status_of(const std::string& response) {
+  // "HTTP/1.1 NNN ..."
+  if (response.size() < 12 || response.compare(0, 9, "HTTP/1.1 ") != 0) return -1;
+  return std::stoi(response.substr(9, 3));
+}
+
+/// Every non-comment exposition line must be `series value` (optionally
+/// with an OpenMetrics exemplar suffix) — the torn-snapshot check the
+/// concurrent scrape test runs on every response.
+bool exposition_well_formed(const std::string& text) {
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) return false;  // must end with a newline
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) return false;  // registry never emits blank lines
+    if (line[0] == '#') continue;    // HELP/TYPE
+    if (const std::size_t ex = line.find(" # {"); ex != std::string::npos) {
+      line = line.substr(0, ex);  // validate the sample part
+    }
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string::npos || sp + 1 >= line.size()) return false;
+    try {
+      (void)std::stod(line.substr(sp + 1));
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<logparse::Session> corpus(int jobs, std::uint64_t seed) {
+  simsys::ClusterSpec cluster;
+  simsys::WorkloadGenerator gen("spark", seed);
+  std::vector<logparse::Session> out;
+  for (int i = 0; i < jobs; ++i) {
+    simsys::JobResult job = simsys::run_job(gen.training_job(), cluster);
+    for (auto& s : job.sessions) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(SplitHostPort, ParsesHostAndPort) {
+  const auto [host, port] = split_host_port("127.0.0.1:8080");
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 8080);
+  EXPECT_EQ(split_host_port("localhost:0").second, 0);  // ephemeral request
+}
+
+TEST(SplitHostPort, RejectsMissingOrInvalidPort) {
+  EXPECT_THROW(split_host_port("127.0.0.1"), std::runtime_error);
+  EXPECT_THROW(split_host_port("127.0.0.1:"), std::runtime_error);
+  EXPECT_THROW(split_host_port("127.0.0.1:http"), std::runtime_error);
+  EXPECT_THROW(split_host_port("127.0.0.1:70000"), std::runtime_error);
+  EXPECT_THROW(split_host_port(""), std::runtime_error);
+}
+
+TEST(ParseQuery, SplitsPairs) {
+  const auto q = parse_query("seconds=3&verbose=1");
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.at("seconds"), "3");
+  EXPECT_EQ(q.at("verbose"), "1");
+  EXPECT_TRUE(parse_query("").empty());
+  EXPECT_EQ(parse_query("flag").count("flag"), 1u);  // bare key, empty value
+}
+
+TEST(HttpServer, RoundTripsAGet) {
+  HttpServer server;
+  server.handle("/hello", [](const HttpRequest& req) {
+    HttpResponse resp;
+    resp.body = "hi " + req.query + "\n";
+    return resp;
+  });
+  server.start();
+  ASSERT_NE(server.port(), 0);
+
+  const auto got = http_get("127.0.0.1", server.port(), "/hello?who=there");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->status, 200);
+  EXPECT_EQ(got->body, "hi who=there\n");
+  EXPECT_NE(got->content_type.find("text/plain"), std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServer, UnknownPathIs404AndBadMethodIs405) {
+  HttpServer server;
+  server.handle("/only", [](const HttpRequest&) { return HttpResponse{}; });
+  server.start();
+
+  const auto miss = http_get("127.0.0.1", server.port(), "/nope");
+  ASSERT_TRUE(miss.has_value());
+  EXPECT_EQ(miss->status, 404);
+
+  EXPECT_EQ(status_of(raw_request(server.port(),
+                                  "POST /only HTTP/1.1\r\nHost: x\r\n\r\n")),
+            405);
+  EXPECT_EQ(status_of(raw_request(server.port(), "BROKEN\r\n\r\n")), 400);
+  server.stop();
+}
+
+TEST(HttpServer, HeadReturnsHeadersWithoutBody) {
+  HttpServer server;
+  server.handle("/data", [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.body = "0123456789";
+    return resp;
+  });
+  server.start();
+  const std::string resp =
+      raw_request(server.port(), "HEAD /data HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_EQ(status_of(resp), 200);
+  EXPECT_NE(resp.find("Content-Length: 10"), std::string::npos);
+  const std::size_t head_end = resp.find("\r\n\r\n");
+  ASSERT_NE(head_end, std::string::npos);
+  EXPECT_EQ(resp.substr(head_end + 4), "");  // no body after the headers
+  server.stop();
+}
+
+TEST(HttpServer, OversizeHeadersGet431AndSlowlorisGets408) {
+  HttpServer::Options opts;
+  opts.read_timeout_ms = 200;
+  opts.max_request_bytes = 512;
+  HttpServer server(opts);
+  server.handle("/", [](const HttpRequest&) { return HttpResponse{}; });
+  server.start();
+
+  const std::string huge =
+      "GET / HTTP/1.1\r\nX-Pad: " + std::string(4096, 'a') + "\r\n\r\n";
+  EXPECT_EQ(status_of(raw_request(server.port(), huge)), 431);
+
+  // Trickle half a request line and stop: the wall-clock deadline answers.
+  EXPECT_EQ(status_of(raw_request(server.port(), "GET / HT")), 408);
+  server.stop();
+}
+
+TEST(HttpServer, StopRefusesNewConnectionsAndIsIdempotent) {
+  HttpServer server;
+  server.handle("/", [](const HttpRequest&) { return HttpResponse{}; });
+  server.start();
+  const std::uint16_t port = server.port();
+  ASSERT_TRUE(http_get("127.0.0.1", port, "/").has_value());
+  server.stop();
+  server.stop();  // idempotent
+  EXPECT_FALSE(http_get("127.0.0.1", port, "/", /*timeout_ms=*/500).has_value());
+}
+
+TEST(AdminPlane, HealthAndReadinessFollowTheBoard) {
+  StatusBoard board;
+  HttpServer server;
+  mount_admin_plane(server, board);
+  server.start();
+
+  const auto health = http_get("127.0.0.1", server.port(), "/healthz");
+  ASSERT_TRUE(health.has_value());
+  EXPECT_EQ(health->status, 200);
+  EXPECT_EQ(health->body, "ok\n");
+
+  Readiness degraded;
+  degraded.ready = false;
+  degraded.reasons.push_back("breaker open: acme");
+  board.publish(common::Json::object(), degraded);
+  auto ready = http_get("127.0.0.1", server.port(), "/readyz");
+  ASSERT_TRUE(ready.has_value());
+  EXPECT_EQ(ready->status, 503);
+  common::Json doc = common::Json::parse(ready->body);
+  EXPECT_FALSE(doc["ready"].as_bool());
+  EXPECT_EQ(doc["reasons"].as_array().size(), 1u);
+
+  board.publish(common::Json::object(), Readiness{});
+  ready = http_get("127.0.0.1", server.port(), "/readyz");
+  ASSERT_TRUE(ready.has_value());
+  EXPECT_EQ(ready->status, 200);
+  EXPECT_TRUE(common::Json::parse(ready->body)["ready"].as_bool());
+  server.stop();
+}
+
+TEST(AdminPlane, StatusTenantsAndAlertsServeTheLastPublishedDocument) {
+  StatusBoard board;
+  common::Json doc = common::Json::object();
+  doc["kind"] = "intellog_status";
+  common::Json tenants = common::Json::array();
+  common::Json t = common::Json::object();
+  t["tenant"] = "acme";
+  tenants.push_back(std::move(t));
+  doc["tenants"] = std::move(tenants);
+  doc["alerts"] = common::Json::array();
+  board.publish(doc, Readiness{});
+
+  HttpServer server;
+  mount_admin_plane(server, board);
+  server.start();
+
+  const auto status = http_get("127.0.0.1", server.port(), "/status.json");
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->status, 200);
+  EXPECT_NE(status->content_type.find("application/json"), std::string::npos);
+  EXPECT_EQ(common::Json::parse(status->body)["kind"].as_string(), "intellog_status");
+
+  const auto ten = http_get("127.0.0.1", server.port(), "/tenants");
+  ASSERT_TRUE(ten.has_value());
+  const common::Json rows = common::Json::parse(ten->body);
+  ASSERT_TRUE(rows.is_array());
+  ASSERT_EQ(rows.as_array().size(), 1u);
+  EXPECT_EQ(rows.as_array()[0]["tenant"].as_string(), "acme");
+
+  const auto alerts = http_get("127.0.0.1", server.port(), "/alerts");
+  ASSERT_TRUE(alerts.has_value());
+  EXPECT_TRUE(common::Json::parse(alerts->body).is_array());
+  server.stop();
+}
+
+TEST(AdminPlane, MetricsServesThePrometheusExposition) {
+  obs::MetricsRegistry reg;
+  obs::set_registry(&reg);
+  reg.describe("intellog_test_requests_total", "test counter");
+  reg.counter("intellog_test_requests_total", {{"tenant", "acme"}}).add(3);
+  reg.histogram("intellog_test_latency_ms").observe(2.5, "session-9");
+
+  StatusBoard board;
+  HttpServer server;
+  mount_admin_plane(server, board);
+  server.start();
+  const auto got = http_get("127.0.0.1", server.port(), "/metrics");
+  obs::set_registry(nullptr);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->status, 200);
+  EXPECT_NE(got->content_type.find("version=0.0.4"), std::string::npos);
+  EXPECT_NE(got->body.find("intellog_test_requests_total{tenant=\"acme\"} 3"),
+            std::string::npos);
+  // The exemplar suffix ties the bucket back to the session.
+  EXPECT_NE(got->body.find("# {session=\"session-9\"} 2.5"), std::string::npos);
+  EXPECT_TRUE(exposition_well_formed(got->body));
+  server.stop();
+}
+
+// The tentpole concurrency contract: scrapes during a live detect stream
+// are always complete and parseable — no torn exposition, no torn JSON, no
+// 5xx — while the consume loop keeps mutating every metric being read.
+TEST(AdminPlane, ConcurrentScrapesDuringDetectStayWellFormed) {
+  core::IntelLog model;
+  model.train(corpus(8, 31));
+
+  obs::MetricsRegistry reg;
+  obs::set_registry(&reg);
+  StatusBoard board;
+  HttpServer server;
+  mount_admin_plane(server, board);
+  server.start();
+  const std::uint16_t port = server.port();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> scrapes{0};
+  std::string failure;
+  std::mutex failure_mu;
+  const auto fail = [&](const std::string& why) {
+    std::lock_guard lock(failure_mu);
+    if (failure.empty()) failure = why;
+    stop.store(true);
+  };
+
+  constexpr int kClients = 4;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      while (!stop.load()) {
+        const bool metrics = (c + scrapes.load()) % 2 == 0;
+        const auto got =
+            http_get("127.0.0.1", port, metrics ? "/metrics" : "/status.json");
+        if (!got) {
+          fail("transport failure mid-run");
+          return;
+        }
+        if (got->status != 200) {
+          fail("non-200 during detect: " + std::to_string(got->status));
+          return;
+        }
+        if (metrics) {
+          if (!exposition_well_formed(got->body)) {
+            fail("torn /metrics exposition");
+            return;
+          }
+        } else {
+          try {
+            (void)common::Json::parse(got->body);
+          } catch (const std::exception& e) {
+            fail(std::string("torn /status.json: ") + e.what());
+            return;
+          }
+        }
+        ++scrapes;
+      }
+    });
+  }
+
+  // Drive the detect stream on this thread, publishing the board the same
+  // way a daemon flush would, until every client has seen plenty of scrapes.
+  core::OnlineDetector online(model, 1);
+  simsys::ClusterSpec cluster;
+  std::uint64_t seed = 100;
+  while (!stop.load() && scrapes.load() < 200) {
+    simsys::WorkloadGenerator gen("spark", seed++);
+    const simsys::JobResult job = simsys::run_job(gen.detection_job(1), cluster);
+    for (const auto& s : job.sessions) {
+      for (const auto& rec : s.records) online.consume(rec, /*ingress=*/seed);
+    }
+    (void)online.close_all();
+    (void)online.take_closed_ingress();
+    obs::StatusContext ctx;
+    ctx.detector = &online;
+    ctx.registry = &reg;
+    board.publish(obs::build_status(ctx), Readiness{});
+  }
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  server.stop();
+  obs::set_registry(nullptr);
+
+  EXPECT_TRUE(failure.empty()) << failure;
+  EXPECT_GE(scrapes.load(), 200);
+  EXPECT_GE(server.requests_served(), static_cast<std::uint64_t>(scrapes.load()));
+}

@@ -32,6 +32,40 @@ TEST(Gauge, SetAddSub) {
   EXPECT_EQ(g.value(), -3);
 }
 
+TEST(DoubleGauge, SetAddKeepFractions) {
+  obs::DoubleGauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(0.37);
+  EXPECT_DOUBLE_EQ(g.value(), 0.37);
+  g.add(0.03);
+  EXPECT_DOUBLE_EQ(g.value(), 0.4);
+  g.set(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), -1.5);
+}
+
+TEST(DoubleGauge, RegistryExportsFractionThroughJsonAndPrometheus) {
+  obs::MetricsRegistry reg;
+  reg.describe("saturation_ratio", "backlog as a fraction of the shed threshold");
+  reg.double_gauge("saturation_ratio", {{"tenant", "acme"}}).set(0.25);
+  EXPECT_EQ(reg.find_double_gauge("saturation_ratio", {{"tenant", "acme"}})->value(),
+            0.25);
+  EXPECT_EQ(reg.find_double_gauge("saturation_ratio", {{"tenant", "nope"}}), nullptr);
+  // Same name+labels hands back the same instance.
+  EXPECT_EQ(&reg.double_gauge("saturation_ratio", {{"tenant", "acme"}}),
+            &reg.double_gauge("saturation_ratio", {{"tenant", "acme"}}));
+
+  const common::Json j = reg.to_json();
+  const common::Json& g = j["saturation_ratio{tenant=\"acme\"}"];
+  // Consumers see one gauge kind; the value just happens to be real.
+  EXPECT_EQ(g["type"].as_string(), "gauge");
+  EXPECT_DOUBLE_EQ(g["value"].as_double(), 0.25);
+
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("# HELP saturation_ratio"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE saturation_ratio gauge"), std::string::npos);
+  EXPECT_NE(text.find("saturation_ratio{tenant=\"acme\"} 0.25"), std::string::npos);
+}
+
 TEST(Histogram, BucketsObservationsByUpperBound) {
   obs::Histogram h({1.0, 10.0, 100.0});
   h.observe(0.5);    // <= 1

@@ -314,7 +314,7 @@ TEST(ServeRulesTest, StockRulesCoverServeGaugesAndFire) {
   EXPECT_TRUE(has_breaker);
 
   obs::MetricsRegistry reg;
-  reg.gauge("intellog_serve_queue_saturation_pct", {}).set(95);
+  reg.double_gauge("intellog_serve_queue_saturation_ratio", {}).set(0.95);
   reg.gauge("intellog_serve_breakers_open", {}).set(1);
   obs::ts::TimeSeriesStore store;
   store.observe_registry(reg, 1'000);

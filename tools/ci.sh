@@ -10,6 +10,9 @@
 #   tools/ci.sh chaos      # corrupted-stream soak under ASan (3 seeds)
 #   tools/ci.sh serve      # multi-tenant daemon soak under ASan (3 seeds)
 #                          # + CLI serve end-to-end with status validation
+#   tools/ci.sh http       # live admin-plane smoke (Release + ASan/UBSan):
+#                          # endpoint validation, e2e-latency SLO series,
+#                          # breaker-driven /readyz flip and recovery
 #   tools/ci.sh observatory # end-to-end trace-export/explain/status checks
 #   tools/ci.sh quality    # seeded score round-trip, coverage + drift gates
 #   tools/ci.sh profile    # sampling-profiler smoke (Release + ASan/UBSan)
@@ -57,6 +60,8 @@ run_config() {
 #                                       larger fraction — 1.05 started
 #                                       flaking at exactly the bound)
 #   profiler_overhead_ratio <= 1.10     detect under a live sampling profiler
+#   scrape_overhead_ratio <= 1.05       detect while a 10 Hz client scrapes
+#                                       /metrics off the embedded HTTP server
 #   profiler_disabled_ratio in 0.90..1.10  noise floor: uninstalled PROF_FRAME
 #                                       annotations must cost ~nothing
 #   ingest_mmap/ingest_getline >= 1.8   zero-copy mmap+SWAR file ingest vs
@@ -97,7 +102,8 @@ bench_smoke() {
     --extra-max profiler_overhead_ratio=1.10 \
     --extra-range profiler_disabled_ratio=0.90:1.10 \
     --extra-ratio-min ingest_mmap_lines_per_s/ingest_getline_lines_per_s=1.8 \
-    --extra-max detect_allocs_per_record=10
+    --extra-max detect_allocs_per_record=10 \
+    --extra-max scrape_overhead_ratio=1.05
 }
 
 # Profile smoke: the Performance Observatory end to end through the CLI.
@@ -333,6 +339,134 @@ serve_smoke() {
   rm -rf "$tmp"
 }
 
+# HTTP smoke: the live telemetry plane end to end against a real daemon.
+# `intellog serve --listen 127.0.0.1:0` is started against two tenant
+# spools; once `healthcheck` reports ready, every admin endpoint must pass
+# the strict http validator (content types, Prometheus exposition, serve
+# status schema), /metrics must carry the per-tenant e2e-latency histogram
+# with session exemplars, and `top --connect` must render the live view.
+# Then a garbage flood trips one tenant's breaker: /readyz must flip to
+# 503 (healthcheck exit 1) while the breaker is open and recover to 200
+# after the half-open probe closes it. SIGTERM must drain gracefully.
+# Runs against both the Release and the ASan/UBSan build.
+http_smoke() {
+  local name="$1"
+  local dir="$repo/build-ci-$name"
+  if [[ -x "$dir/tools/intellog" ]]; then
+    cmake --build "$dir" -j "$jobs" --target intellog --target loggen
+  elif [[ "$name" == asan ]]; then
+    run_config asan \
+        -DCMAKE_BUILD_TYPE=Debug \
+        -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+        -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  else
+    run_config release -DCMAKE_BUILD_TYPE=Release
+  fi
+  echo "==> [http:$name] live admin-plane smoke"
+  local tmp pid addr rc i
+  tmp="$(mktemp -d)"
+  "$dir/tools/loggen" "$tmp/gen_a" --system spark --jobs 2 --seed 5 >/dev/null
+  "$dir/tools/loggen" "$tmp/gen_b" --system spark --jobs 2 --seed 6 >/dev/null
+  mkdir -p "$tmp/root/acme" "$tmp/root/globex" "$tmp/train"
+  cp "$tmp"/gen_a/job_*/*.log "$tmp/root/acme/"
+  cp "$tmp"/gen_b/job_*/*.log "$tmp/root/globex/"
+  cp "$tmp"/gen_a/job_*/*.log "$tmp"/gen_b/job_*/*.log "$tmp/train/"
+  "$dir/tools/intellog" train "$tmp/train" -o "$tmp/model.json" >/dev/null 2>&1
+
+  # --breaker-open-ticks 20 at --poll-ms 50 keeps /readyz degraded for
+  # about a second, wide enough for the healthcheck poll below to observe
+  # the flip on a loaded runner.
+  "$dir/tools/intellog" serve "$tmp/root" -m "$tmp/model.json" \
+      --listen 127.0.0.1:0 --poll-ms 50 --breaker-open-ticks 20 \
+      >/dev/null 2>"$tmp/serve.err" &
+  pid=$!
+  for i in $(seq 1 100); do
+    grep -q "listening on http://" "$tmp/serve.err" && break
+    kill -0 "$pid" 2>/dev/null || {
+      echo "http smoke: FAIL — serve died before listening:" >&2
+      cat "$tmp/serve.err" >&2; exit 1; }
+    sleep 0.1
+  done
+  addr="$(sed -n 's#.*listening on http://\([0-9.:]*\).*#\1#p' "$tmp/serve.err" | head -1)"
+  [[ -n "$addr" ]] || {
+    echo "http smoke: FAIL — no listen address in serve stderr" >&2; exit 1; }
+
+  # Ready once the first tick has published real state and both spools
+  # consumed cleanly.
+  rc=2
+  for i in $(seq 1 200); do
+    rc=0; "$dir/tools/intellog" healthcheck "$addr" >/dev/null 2>&1 || rc=$?
+    [[ $rc -eq 0 ]] && break
+    sleep 0.1
+  done
+  [[ $rc -eq 0 ]] || {
+    echo "http smoke: FAIL — daemon never became ready (healthcheck $rc)" >&2
+    kill -9 "$pid" 2>/dev/null; exit 1; }
+
+  python3 "$repo/tools/validate_observatory.py" http "$addr" || {
+    echo "http smoke: FAIL — endpoint validation" >&2
+    kill -9 "$pid" 2>/dev/null; exit 1; }
+
+  # The SLO pillar: per-tenant e2e latency histograms with session
+  # exemplars must be in the live exposition once sessions have closed.
+  python3 - "$addr" <<'PY' || { kill -9 "$pid" 2>/dev/null; exit 1; }
+import sys, urllib.request
+body = urllib.request.urlopen(f"http://{sys.argv[1]}/metrics", timeout=15).read().decode()
+lines = [l for l in body.splitlines() if l.startswith("intellog_serve_e2e_latency_ms_bucket")]
+if not lines:
+    sys.exit("http smoke: FAIL - no e2e latency buckets in /metrics")
+for tenant in ("acme", "globex"):
+    if not any(f'tenant="{tenant}"' in l for l in lines):
+        sys.exit(f"http smoke: FAIL - no e2e latency series for {tenant}")
+if not any(' # {session="' in l for l in lines):
+    sys.exit("http smoke: FAIL - e2e latency buckets carry no session exemplars")
+PY
+
+  "$dir/tools/intellog" top --connect "$addr" | grep -q "e2e latency" || {
+    echo "http smoke: FAIL — top --connect does not render e2e latency" >&2
+    kill -9 "$pid" 2>/dev/null; exit 1; }
+
+  # Breaker flip: a flood file of junk with one parseable line at the END —
+  # the trailing line lets format detection succeed, and with no parsed
+  # record yet every junk line quarantines as "unparseable" (junk after a
+  # valid record would fold into it as stack-trace continuations instead).
+  # >50% of the tick's lines quarantining with >= 64 seen trips the
+  # breaker, and /readyz must say so.
+  { for i in $(seq 1 200); do echo "@@ garbage line $i @@"; done
+    head -1 "$(ls "$tmp/root/acme"/*.log | head -1)"
+  } > "$tmp/flood.log"
+  mv "$tmp/flood.log" "$tmp/root/acme/zzflood.log"
+  rc=0
+  for i in $(seq 1 200); do
+    rc=0; "$dir/tools/intellog" healthcheck "$addr" >/dev/null 2>&1 || rc=$?
+    [[ $rc -eq 1 ]] && break
+    [[ $rc -eq 2 ]] && break
+    sleep 0.05
+  done
+  [[ $rc -eq 1 ]] || {
+    echo "http smoke: FAIL — breaker trip never degraded /readyz (last $rc)" >&2
+    kill -9 "$pid" 2>/dev/null; exit 1; }
+
+  # Recovery: the half-open probe closes the breaker once the pause ends
+  # (the flood file is already done), and /readyz must return to 200.
+  rc=1
+  for i in $(seq 1 200); do
+    rc=0; "$dir/tools/intellog" healthcheck "$addr" >/dev/null 2>&1 || rc=$?
+    [[ $rc -eq 0 ]] && break
+    sleep 0.1
+  done
+  [[ $rc -eq 0 ]] || {
+    echo "http smoke: FAIL — /readyz never recovered after the breaker pause" >&2
+    kill -9 "$pid" 2>/dev/null; exit 1; }
+
+  kill -TERM "$pid"
+  rc=0; wait "$pid" || rc=$?
+  [[ $rc -eq $((128 + 15)) ]] || {
+    echo "http smoke: FAIL — SIGTERM drain exited $rc (want 143)" >&2; exit 1; }
+  rm -rf "$tmp"
+  echo "http smoke: OK ($name)"
+}
+
 case "$mode" in
   release|all)
     run_config release -DCMAKE_BUILD_TYPE=Release
@@ -349,6 +483,12 @@ case "$mode" in
   serve|all)
     serve_smoke
     ;;&
+  release|http|all)
+    http_smoke release
+    ;;&
+  asan|http|all)
+    http_smoke asan
+    ;;&
   release|bench|all)
     bench_smoke
     ;;&
@@ -364,9 +504,9 @@ case "$mode" in
   asan|profile|all)
     profile_smoke asan
     ;;&
-  release|asan|bench|chaos|serve|observatory|quality|profile|all) ;;
+  release|asan|bench|chaos|serve|http|observatory|quality|profile|all) ;;
   *)
-    echo "usage: $0 [release|asan|bench|chaos|serve|observatory|quality|profile|all]" >&2
+    echo "usage: $0 [release|asan|bench|chaos|serve|http|observatory|quality|profile|all]" >&2
     exit 2
     ;;
 esac

@@ -63,6 +63,8 @@
 #include "logparse/log_io.hpp"
 #include "obs/export/status.hpp"
 #include "obs/export/trace_export.hpp"
+#include "obs/http/admin.hpp"
+#include "obs/http/http.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeseries/alerts.hpp"
 #include "obs/timeseries/timeseries.hpp"
@@ -92,10 +94,15 @@ int usage() {
                "      export HW-graph instances as span trees (Chrome trace / OTLP JSON)\n"
                "  intellog explain <report.json|logdir> -m <model.json> [--json]\n"
                "      expected-vs-observed explanation with raw-line provenance per finding\n"
-               "  intellog top <status.json>\n"
-               "      render a --status-file snapshot\n"
+               "  intellog top <status.json> | top --connect <HOST:PORT>\n"
+               "      render a --status-file snapshot, or fetch /status.json from a\n"
+               "      --listen admin plane and render the same view\n"
+               "  intellog healthcheck <HOST:PORT>\n"
+               "      probe /readyz on a --listen admin plane; exit 0 ready, 1 degraded\n"
+               "      (503 + reasons), 2 unreachable\n"
                "  intellog serve <root> -m <model.json> [--jobs N] [--status-file <f>]\n"
-               "      [--metrics <f>] [--alert-rules <f>] [--poll-ms N] [--max-ticks N]\n"
+               "      [--metrics <f>] [--alert-rules <f>] [--listen <HOST:PORT>]\n"
+               "      [--poll-ms N] [--max-ticks N]\n"
                "      [--drain-on-empty] [--checkpoint-ticks N] [--heartbeat-ms N]\n"
                "      [--records-per-tick N] [--backlog-files N] [--max-file-bytes N]\n"
                "      [--breaker-open-ticks N]\n"
@@ -128,6 +135,10 @@ int usage() {
                "      rules (quarantine burst, evictions, unexpected-key rate, degraded)\n"
                "  --coverage <f>: (detect) stamp the model coverage ledger during the run\n"
                "      and write the coverage report JSON to <f>\n"
+               "  --listen <HOST:PORT>: (serve, streaming detect) embedded HTTP admin\n"
+               "      plane — /metrics (Prometheus), /status.json, /tenants, /alerts,\n"
+               "      /healthz, /readyz, /profilez?seconds=N; port 0 binds ephemeral\n"
+               "      (resolved address is logged to stderr)\n"
                "  --profile <out>: profile this command (same outputs as `intellog\n"
                "      profile`); INTELLOG_PROF_PERIOD_US overrides the sample period\n";
   return 2;
@@ -145,6 +156,8 @@ struct Args {
   std::string alert_rules_path;         ///< detect: custom alert rules (JSON)
   std::string otlp_path;                ///< export-trace: OTLP JSON output
   std::string profile_path;             ///< profiler output prefix (empty: off)
+  std::string listen;                   ///< serve/detect: HTTP admin plane HOST:PORT
+  std::string connect;                  ///< top: fetch /status.json from HOST:PORT
   double metrics_interval_s = 0;        ///< detect: periodic flush period (0: off)
   std::size_t checkpoint_every = 1000;  ///< records between checkpoints
   std::size_t jobs = 1;  ///< batch-detect workers; 0 = hardware concurrency
@@ -324,6 +337,14 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.profile_path = v;
+    } else if (a == "--listen") {
+      const char* v = next();
+      if (!v) return false;
+      args.listen = v;
+    } else if (a == "--connect") {
+      const char* v = next();
+      if (!v) return false;
+      args.connect = v;
     } else if (a == "--metrics-interval") {
       const char* v = next();
       if (!v) return false;
@@ -438,7 +459,8 @@ int cmd_detect_stream(const Args& args) {
   // Status snapshots read the metrics registry, so streaming with
   // introspection enabled forces one even without --metrics.
   ObsScope obs_scope(args,
-                     /*force_metrics=*/!args.status_path.empty() || args.metrics_interval_s > 0);
+                     /*force_metrics=*/!args.status_path.empty() ||
+                         args.metrics_interval_s > 0 || !args.listen.empty());
   const bool use_checkpoint = !args.checkpoint_path.empty();
   const core::IntelLog il = core::load_model_file(args.model_path);
   if (obs::MetricsRegistry* reg = obs::registry()) il.record_model_metrics(*reg);
@@ -472,6 +494,24 @@ int cmd_detect_stream(const Args& args) {
     std::cerr << "resumed from " << args.checkpoint_path << " at record " << cursor << "\n";
   } else {
     online = std::make_unique<core::OnlineDetector>(il, args.jobs);
+  }
+
+  // --listen: the same live admin plane `serve` mounts, over this run's
+  // detector. Handlers only read registry snapshots and the board, so the
+  // consume loop never blocks on a scraper.
+  std::unique_ptr<obs::http::StatusBoard> board;
+  std::unique_ptr<obs::http::HttpServer> http;
+  if (!args.listen.empty()) {
+    const auto [host, port] = obs::http::split_host_port(args.listen);
+    obs::http::HttpServer::Options hopts;
+    hopts.host = host;
+    hopts.port = port;
+    board = std::make_unique<obs::http::StatusBoard>();
+    http = std::make_unique<obs::http::HttpServer>(hopts);
+    obs::http::mount_admin_plane(*http, *board);
+    http->start();
+    std::cerr << "intellog detect: admin plane listening on http://" << host << ":"
+              << http->port() << "\n";
   }
 
   std::uint64_t last_checkpoint_ns = 0;
@@ -519,7 +559,7 @@ int cmd_detect_stream(const Args& args) {
   // (--metrics-interval): both publish with the checkpoint's atomic-rename
   // discipline so a concurrent reader never sees a torn file.
   const auto flush_status = [&](std::uint64_t at) {
-    if (args.status_path.empty()) return;
+    if (args.status_path.empty() && !board) return;
     obs::StatusContext ctx;
     ctx.detector = online.get();
     ctx.registry = obs::registry();
@@ -531,8 +571,13 @@ int cmd_detect_stream(const Args& args) {
             ? -1.0
             : static_cast<double>(obs::monotonic_ns() - last_checkpoint_ns) / 1e9;
     ctx.cursor = static_cast<std::int64_t>(at);
-    obs::write_json_atomic(obs::build_status(ctx), args.status_path);
+    const common::Json doc = obs::build_status(ctx);
+    // A one-shot detect that is still consuming is ready by definition; the
+    // interesting readiness states (breakers, backlog) belong to `serve`.
+    if (board) board->publish(doc, obs::http::Readiness{});
+    if (!args.status_path.empty()) obs::write_json_atomic(doc, args.status_path);
   };
+  flush_status(cursor);  // the plane answers real state from the first scrape
   const auto flush_metrics = [&] {
     if (args.metrics_path.empty()) return;
     const obs::MetricsRegistry* reg = obs::registry();
@@ -640,7 +685,7 @@ int cmd_detect(const Args& args) {
   if (args.logdir.empty() || args.model_path.empty()) return usage();
   // Any of the streaming features routes through the online detector.
   if (!args.checkpoint_path.empty() || !args.status_path.empty() ||
-      args.metrics_interval_s > 0) {
+      args.metrics_interval_s > 0 || !args.listen.empty()) {
     return cmd_detect_stream(args);
   }
   ObsScope obs_scope(args, /*force_metrics=*/false);
@@ -1040,8 +1085,23 @@ int cmd_explain(const Args& args) {
   return anomalous > 0 ? 3 : 0;
 }
 
-// Workflow Observatory: one-shot renderer for a --status-file snapshot.
+// Workflow Observatory: one-shot renderer for a --status-file snapshot, or
+// (--connect) for the /status.json a --listen admin plane publishes live.
 int cmd_top(const Args& args) {
+  if (!args.connect.empty()) {
+    const auto [host, port] = obs::http::split_host_port(args.connect);
+    const auto fetched = obs::http::http_get(host, port, "/status.json");
+    if (!fetched) {
+      std::cerr << "error: cannot reach http://" << args.connect << "/status.json\n";
+      return 1;
+    }
+    if (fetched->status != 200) {
+      std::cerr << "error: /status.json returned " << fetched->status << "\n";
+      return 1;
+    }
+    std::cout << obs::render_top(common::Json::parse(fetched->body));
+    return 0;
+  }
   if (args.logdir.empty()) return usage();  // positional: the status file
   std::ifstream in(args.logdir);
   if (!in) {
@@ -1052,6 +1112,37 @@ int cmd_top(const Args& args) {
   buf << in.rdbuf();
   std::cout << obs::render_top(common::Json::parse(buf.str()));
   return 0;
+}
+
+// Orchestrator-facing probe: GET /readyz and fold the answer into an exit
+// code (0 ready, 1 degraded, 2 unreachable/unrecognizable) — the shape
+// container health checks and process supervisors want.
+int cmd_healthcheck(const Args& args) {
+  if (args.logdir.empty()) return usage();  // positional: HOST:PORT
+  const auto [host, port] = obs::http::split_host_port(args.logdir);
+  const auto fetched = obs::http::http_get(host, port, "/readyz", /*timeout_ms=*/3000);
+  if (!fetched) {
+    std::cerr << "unreachable: http://" << args.logdir << "/readyz\n";
+    return 2;
+  }
+  if (fetched->status == 200) {
+    std::cout << "ready\n";
+    return 0;
+  }
+  if (fetched->status == 503) {
+    std::cout << "degraded\n";
+    try {
+      const common::Json doc = common::Json::parse(fetched->body);
+      for (const auto& r : doc["reasons"].as_array()) {
+        std::cout << "  " << r.as_string() << "\n";
+      }
+    } catch (const std::exception&) {
+      // body was not the expected JSON; the 503 alone already says degraded
+    }
+    return 1;
+  }
+  std::cerr << "unexpected /readyz status " << fetched->status << "\n";
+  return 2;
 }
 
 int cmd_query(const Args& args) {
@@ -1107,6 +1198,7 @@ int cmd_serve(const Args& args) {
   opt.status_path = args.status_path;
   opt.metrics_path = args.metrics_path;
   opt.alert_rules_path = args.alert_rules_path;
+  opt.listen = args.listen;
   opt.shard.quotas.max_records_per_tick = args.records_per_tick;
   opt.shard.quotas.max_backlog_files = args.backlog_files;
   opt.shard.quotas.max_file_bytes = args.max_file_bytes;
@@ -1159,6 +1251,7 @@ int run_command(const Args& args) {
   else if (args.command == "export-trace") rc = cmd_export_trace(args);
   else if (args.command == "explain") rc = cmd_explain(args);
   else if (args.command == "top") rc = cmd_top(args);
+  else if (args.command == "healthcheck") rc = cmd_healthcheck(args);
   else if (args.command == "serve") rc = cmd_serve(args);
   else return usage();
 

@@ -34,6 +34,13 @@ serve` run publishes: the detect-mode status schema plus a sorted,
 duplicate-free per-tenant table (breaker state, occupancy, accounting
 with quarantined <= seen) and the intellog_serve_* metric families.
 
+`http HOST:PORT` mode probes a live `serve --listen` admin plane: every
+endpoint must answer with the right status and content type, /metrics
+must pass strict Prometheus text-exposition checks (one HELP/TYPE per
+family, well-formed samples, histogram +Inf bucket == _count), and
+/status.json must satisfy the serve-mode status schema. Any 5xx or
+unreachable endpoint is fatal.
+
 "Strict" means: the whole file must be one JSON document (json.loads over
 the full text rejects trailing garbage), every entity-group track must
 carry at least one lifespan span, and every finding must prove itself with
@@ -161,7 +168,10 @@ def check_evidence(path, finding, label):
 
 
 def check_status(path):
-    doc = load_strict(path)
+    check_status_doc(load_strict(path), path)
+
+
+def check_status_doc(doc, path):
     if doc.get("kind") != "intellog_status":
         fail(f"{path}: kind != intellog_status")
     # Versioned since the Quality Observatory: `intellog top` warns on a
@@ -183,10 +193,13 @@ def check_status(path):
 
 
 def check_serve_status(path):
+    return check_serve_status_doc(load_strict(path), path)
+
+
+def check_serve_status_doc(doc, path):
     """Serve-mode status: the detect-mode schema plus the per-tenant table
     and the intellog_serve_* self-monitoring series."""
-    check_status(path)
-    doc = load_strict(path)
+    check_status_doc(doc, path)
     tenants = doc.get("tenants")
     if not isinstance(tenants, list) or not tenants:
         fail(f"{path}: serve status without a tenants array")
@@ -223,7 +236,7 @@ def check_serve_status(path):
         fail(f"{path}: no intellog_serve_ticks_total counter — the serve "
              "metrics bridge never ran")
     gauges = doc["gauges"]
-    for family in ("intellog_serve_queue_saturation_pct",
+    for family in ("intellog_serve_queue_saturation_ratio",
                    "intellog_serve_breakers_open"):
         if not any(k.startswith(family) for k in gauges):
             fail(f"{path}: missing serve gauge family {family!r}")
@@ -238,6 +251,171 @@ def serve_main(argv):
         fail("usage: validate_observatory.py serve <status.json>")
     names = check_serve_status(argv[1])
     print(f"validate_observatory: serve OK — {len(names)} tenant(s): "
+          f"{', '.join(names)}")
+
+
+def http_fetch(base, target, timeout=15):
+    """GET base+target; returns (status, content_type, body_bytes). Any
+    transport-level failure (refused, reset, timeout) is fatal — the CI
+    stage starts the daemon first, so unreachable means it crashed."""
+    import urllib.error
+    import urllib.request
+    url = base + target
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return resp.status, resp.headers.get("Content-Type", ""), resp.read()
+    except urllib.error.HTTPError as e:
+        body = e.read()
+        return e.code, e.headers.get("Content-Type", "") or "", body
+    except OSError as e:
+        fail(f"{url}: unreachable: {e}")
+
+
+def check_prometheus_text(text, label):
+    """Strict Prometheus text-exposition checks: every line is a comment or
+    a well-formed sample, HELP/TYPE at most once per family and before its
+    samples, histogram families carry _bucket/_sum/_count with a +Inf
+    bucket equal to _count. Returns the set of family names seen."""
+    import re
+    name_re = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+    label_set_re = r"\{(?:[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\.)*\",?)*\}"
+    number_re = r"-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?"
+    # OpenMetrics-style exemplar suffix the serve e2e-latency histogram
+    # emits on _bucket lines: ` # {session="..."} VALUE`.
+    sample_re = re.compile(
+        r"^(" + name_re + r")"
+        r"(" + label_set_re + r")?"
+        r" (" + number_re + r"|[+-]?Inf|NaN)"
+        r"( # " + label_set_re + r" " + number_re + r")?$")
+    if not text:
+        fail(f"{label}: empty exposition")
+    if not text.endswith("\n"):
+        fail(f"{label}: exposition does not end with a newline")
+    helped, typed, families = set(), set(), set()
+    sampled = set()
+    buckets = {}   # family -> +Inf bucket value
+    sums = set()   # families with a _sum sample
+    counts = {}    # family -> _count value
+    for i, line in enumerate(text.splitlines(), 1):
+        if not line:
+            fail(f"{label}:{i}: blank line in exposition")
+        if line.startswith("#"):
+            m = re.match(r"^# (HELP|TYPE) (" + name_re + r")(?: (.*))?$", line)
+            if not m:
+                fail(f"{label}:{i}: malformed comment line: {line!r}")
+            kind, family = m.group(1), m.group(2)
+            seen = helped if kind == "HELP" else typed
+            if family in seen:
+                fail(f"{label}:{i}: duplicate {kind} for family {family}")
+            if family in sampled:
+                fail(f"{label}:{i}: {kind} for {family} after its samples")
+            seen.add(family)
+            if kind == "TYPE" and m.group(3) not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"):
+                fail(f"{label}:{i}: unknown TYPE {m.group(3)!r}")
+            continue
+        m = sample_re.match(line)
+        if not m:
+            fail(f"{label}:{i}: not a valid sample line: {line!r}")
+        name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+        if m.group(4) and not name.endswith("_bucket"):
+            fail(f"{label}:{i}: exemplar on a non-bucket sample: {line!r}")
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        families.add(family)
+        sampled.add(family)
+        sampled.add(name)
+        if name.endswith("_bucket"):
+            lem = re.search(r'le="([^"]*)"', labels)
+            if not lem:
+                fail(f"{label}:{i}: histogram bucket without le: {line!r}")
+            if lem.group(1) == "+Inf":
+                buckets[family] = float(value)
+        elif name.endswith("_sum"):
+            sums.add(family)
+        elif name.endswith("_count"):
+            counts[family] = float(value)
+    for family in buckets:
+        if family not in sums or family not in counts:
+            fail(f"{label}: histogram {family} lacks _sum/_count")
+        if buckets[family] != counts[family]:
+            fail(f"{label}: histogram {family}: +Inf bucket "
+                 f"{buckets[family]} != _count {counts[family]}")
+    return families
+
+
+def http_main(argv):
+    if len(argv) != 2 or ":" not in argv[1]:
+        fail("usage: validate_observatory.py http HOST:PORT")
+    base = f"http://{argv[1]}"
+
+    status, ctype, body = http_fetch(base, "/healthz")
+    if status != 200 or not ctype.startswith("text/plain"):
+        fail(f"/healthz: {status} {ctype!r}")
+    if body.decode("utf-8", "replace").strip() != "ok":
+        fail(f"/healthz: unexpected body {body!r}")
+
+    status, ctype, body = http_fetch(base, "/readyz")
+    if status not in (200, 503) or not ctype.startswith("application/json"):
+        fail(f"/readyz: {status} {ctype!r}")
+    try:
+        ready = json.loads(body.decode("utf-8"))
+    except json.JSONDecodeError as e:
+        fail(f"/readyz: not JSON: {e}")
+    if not isinstance(ready.get("ready"), bool) or \
+            not isinstance(ready.get("reasons"), list):
+        fail(f"/readyz: bad schema: {ready!r}")
+    if ready["ready"] != (status == 200):
+        fail(f"/readyz: ready={ready['ready']} but HTTP status {status}")
+
+    status, ctype, body = http_fetch(base, "/metrics")
+    if status != 200:
+        fail(f"/metrics: HTTP {status}")
+    if not ctype.startswith("text/plain") or "version=0.0.4" not in ctype:
+        fail(f"/metrics: bad content type {ctype!r}")
+    families = check_prometheus_text(body.decode("utf-8"), "/metrics")
+    for family in ("intellog_serve_ticks_total",
+                   "intellog_serve_queue_saturation_ratio",
+                   "intellog_serve_breakers_open"):
+        if family not in families:
+            fail(f"/metrics: missing serve family {family}")
+
+    status, ctype, body = http_fetch(base, "/status.json")
+    if status != 200 or not ctype.startswith("application/json"):
+        fail(f"/status.json: {status} {ctype!r}")
+    try:
+        doc = json.loads(body.decode("utf-8"))
+    except json.JSONDecodeError as e:
+        fail(f"/status.json: not JSON: {e}")
+    names = check_serve_status_doc(doc, "/status.json")
+
+    for target, want_list in (("/tenants", True), ("/alerts", True)):
+        status, ctype, body = http_fetch(base, target)
+        if status != 200 or not ctype.startswith("application/json"):
+            fail(f"{target}: {status} {ctype!r}")
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except json.JSONDecodeError as e:
+            fail(f"{target}: not JSON: {e}")
+        if want_list and not isinstance(payload, list):
+            fail(f"{target}: expected a JSON array")
+    if len(json.loads(http_fetch(base, "/tenants")[2])) != len(names):
+        fail("/tenants: row count disagrees with /status.json")
+
+    status, ctype, body = http_fetch(base, "/profilez?seconds=1", timeout=30)
+    if status != 200 or not ctype.startswith("text/plain"):
+        fail(f"/profilez: {status} {ctype!r}")
+    import re
+    pattern = re.compile(r"^([^; ]+(?:;[^; ]+)*) (\d+)$")
+    for i, line in enumerate(body.decode("utf-8").splitlines(), 1):
+        if line and not pattern.match(line):
+            fail(f"/profilez:{i}: not a collapsed-stack line: {line!r}")
+
+    status, _, _ = http_fetch(base, "/no-such-endpoint")
+    if status != 404:
+        fail(f"/no-such-endpoint: expected 404, got {status}")
+
+    print(f"validate_observatory: http OK — all endpoints up, "
+          f"{len(families)} metric families, {len(names)} tenant(s): "
           f"{', '.join(names)}")
 
 
@@ -454,10 +632,13 @@ def main():
     if len(sys.argv) >= 2 and sys.argv[1] == "serve":
         serve_main(sys.argv[1:])
         return
+    if len(sys.argv) >= 2 and sys.argv[1] == "http":
+        http_main(sys.argv[1:])
+        return
     if len(sys.argv) != 3:
         fail("usage: validate_observatory.py <artifact-dir> <system> | "
              "quality <dir> <detected> <fp> <fn> | profile <prefix> | "
-             "serve <status.json>")
+             "serve <status.json> | http HOST:PORT")
     d, system = sys.argv[1], sys.argv[2]
     tracks, subs = check_chrome_trace(f"{d}/trace.json")
     check_otlp(f"{d}/otlp.json")
