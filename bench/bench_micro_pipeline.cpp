@@ -9,7 +9,7 @@
 // bench smoke stage regresses against. Headline throughput_per_s is Spell
 // match records/s; `extra` carries detect records/s, detect_batch
 // 1/2/4-thread scaling, the observability overhead ratios
-// (evidence/coverage/profiler/scrape — all gated in ci.sh) and the profiler's
+// (evidence/coverage/profiler/flight/scrape — all gated in ci.sh) and the profiler's
 // top-N hotspot attribution. Pass --benchmark_filter to trim the google
 // part (the harness part always runs).
 #include <benchmark/benchmark.h>
@@ -28,6 +28,7 @@
 #include "logparse/log_io.hpp"
 #include "logparse/session.hpp"
 #include "obs/export/trace_export.hpp"
+#include "obs/flight/flight.hpp"
 #include "obs/http/admin.hpp"
 #include "obs/http/http.hpp"
 #include "obs/metrics.hpp"
@@ -556,6 +557,71 @@ void emit_harness_bench() {
       }
       extra["profiler_hotspots"] = std::move(hotspots);
     }
+  }
+
+  // Flight-recorder cost: batch detection with the always-on event journal
+  // recording (shard begin/end + any other instrumented sites firing) vs
+  // with the recorder disabled. Same min-over-order-alternated-interleaved
+  // scheme as the profiler ratio; ci.sh gates the enabled ratio at <= 1.05
+  // and the disabled noise floor at ~1.00 — the disabled FLIGHT_EVENT
+  // macro must stay one relaxed load + branch, invisible at this scale.
+  {
+    constexpr int kFlightPasses = 3;
+    const auto detect_all = [&] {
+      for (int p = 0; p < kFlightPasses; ++p) {
+        benchmark::DoNotOptimize(il.detect_batch(sessions, 2));
+      }
+    };
+    const auto timed_ms = [](const auto& fn) {
+      const auto t0 = std::chrono::steady_clock::now();
+      fn();
+      return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+          .count();
+    };
+    const auto min_of = [](const std::vector<double>& v) {
+      return v.empty() ? 0.0 : *std::min_element(v.begin(), v.end());
+    };
+    detect_all();  // warmup (recorder currently off)
+    obs::flight::flight_enable();
+    detect_all();  // warmup the enabled path (ring registration etc.)
+    obs::flight::flight_disable();
+
+    std::vector<double> on_runs;
+    std::vector<double> off_runs;
+    for (int r = 0; r < 9; ++r) {
+      const auto run_on = [&] {
+        obs::flight::flight_enable();
+        on_runs.push_back(timed_ms(detect_all));
+        obs::flight::flight_disable();
+      };
+      const auto run_off = [&] { off_runs.push_back(timed_ms(detect_all)); };
+      if (r % 2 == 0) {
+        run_on();
+        run_off();
+      } else {
+        run_off();
+        run_on();
+      }
+    }
+    const double min_off = min_of(off_runs);
+    extra["flight_overhead_ratio"] = min_off > 0 ? min_of(on_runs) / min_off : 0.0;
+
+    // Noise floor: the identical estimator over two sets of recorder-off
+    // runs. Gated to straddle 1.00 in ci.sh — this is the assertion that
+    // the disabled FLIGHT_EVENT path costs one relaxed atomic load.
+    std::vector<double> bare_a;
+    std::vector<double> bare_b;
+    for (int r = 0; r < 9; ++r) {
+      if (r % 2 == 0) {
+        bare_a.push_back(timed_ms(detect_all));
+        bare_b.push_back(timed_ms(detect_all));
+      } else {
+        bare_b.push_back(timed_ms(detect_all));
+        bare_a.push_back(timed_ms(detect_all));
+      }
+    }
+    const double min_b = min_of(bare_b);
+    extra["flight_disabled_ratio"] = min_b > 0 ? min_of(bare_a) / min_b : 0.0;
   }
 
   // Telemetry-plane cost: detection while a 10 Hz client scrapes /metrics

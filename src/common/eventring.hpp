@@ -1,0 +1,72 @@
+// Fixed-record lock-free journal ring: the storage primitive under the
+// flight recorder (obs/flight).
+//
+// One ring belongs to exactly one producer thread; any number of readers
+// (live snapshots, the crash-time dumper) may scan it concurrently. The
+// producer publishes with a single release store of a monotonically
+// increasing head counter; it never blocks, never allocates, and never
+// takes a lock, which is what makes the write path safe to call from
+// anywhere — including from inside a signal handler.
+//
+// Readers accept one caveat in exchange: the slot the producer is writing
+// *right now* may be torn. `head` counts records ever pushed, so a reader
+// that loads `head` (acquire) and then copies slots knows every slot
+// strictly older than `head` is fully published except possibly the single
+// in-flight one on a concurrent push. Decoders validate each record
+// (event-id range, non-zero timestamp) and drop the at-most-one garbage
+// slot per ring instead of trying to synchronize with a crashing thread.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace intellog::common {
+
+/// Power-of-two ring of trivially-copyable `Record`s with a monotonic head.
+template <typename Record, std::size_t Capacity>
+struct alignas(64) EventRing {
+  static_assert(Capacity >= 2 && (Capacity & (Capacity - 1)) == 0,
+                "EventRing capacity must be a power of two");
+
+  static constexpr std::size_t kCapacity = Capacity;
+  static constexpr std::uint64_t kMask = Capacity - 1;
+
+  /// Total records ever pushed (not an index — wraps are implicit).
+  std::atomic<std::uint64_t> head{0};
+  /// OS thread id of the owning producer, for post-mortem annotation.
+  std::uint32_t os_tid = 0;
+  Record records[Capacity] = {};
+
+  /// Producer-only. Overwrites the oldest record once full.
+  void push(const Record& r) noexcept {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    records[h & kMask] = r;
+    head.store(h + 1, std::memory_order_release);
+  }
+
+  /// Records currently resident (≤ Capacity).
+  std::uint64_t size() const noexcept {
+    const std::uint64_t h = head.load(std::memory_order_acquire);
+    return h < Capacity ? h : Capacity;
+  }
+
+  /// Sequence number of the oldest resident record.
+  std::uint64_t oldest_seq() const noexcept {
+    const std::uint64_t h = head.load(std::memory_order_acquire);
+    return h < Capacity ? 0 : h - Capacity;
+  }
+
+  /// Copies the resident records, oldest first, into `out` (which must
+  /// hold `Capacity` entries). Returns the number copied. Reader-side;
+  /// the newest slot may be torn if the producer is mid-push.
+  std::uint64_t snapshot(Record* out) const noexcept {
+    const std::uint64_t h = head.load(std::memory_order_acquire);
+    const std::uint64_t n = h < Capacity ? h : Capacity;
+    const std::uint64_t first = h - n;
+    for (std::uint64_t i = 0; i < n; ++i) out[i] = records[(first + i) & kMask];
+    return n;
+  }
+};
+
+}  // namespace intellog::common

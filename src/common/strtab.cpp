@@ -1,0 +1,40 @@
+#include "common/strtab.hpp"
+
+#include <cstring>
+
+namespace intellog::common {
+
+FixedStringTable::FixedStringTable(std::size_t arena_bytes, std::size_t max_strings)
+    : arena_(new char[arena_bytes]),
+      off_(new std::uint32_t[max_strings]),
+      len_(new std::uint32_t[max_strings]),
+      cap_bytes_(arena_bytes),
+      cap_strings_(max_strings) {}
+
+std::uint32_t FixedStringTable::intern(std::string_view s) {
+  std::lock_guard lock(mu_);
+  if (const auto it = map_.find(s); it != map_.end()) return it->second;
+
+  const std::uint32_t n = count_.load(std::memory_order_relaxed);
+  const std::size_t used = used_.load(std::memory_order_relaxed);
+  if (n >= cap_strings_ || used + s.size() > cap_bytes_) return kNone;
+
+  std::memcpy(arena_.get() + used, s.data(), s.size());
+  off_[n] = static_cast<std::uint32_t>(used);
+  len_[n] = static_cast<std::uint32_t>(s.size());
+  // Publish bytes and slot before the count that makes them visible.
+  used_.store(used + s.size(), std::memory_order_release);
+  count_.store(n + 1, std::memory_order_release);
+
+  const std::uint32_t id = n + 1;
+  map_.emplace(std::string(s), id);
+  return id;
+}
+
+std::string_view FixedStringTable::text(std::uint32_t id) const {
+  const std::uint32_t n = count_.load(std::memory_order_acquire);
+  if (id == kNone || id > n) return {};
+  return {arena_.get() + off_[id - 1], len_[id - 1]};
+}
+
+}  // namespace intellog::common

@@ -1,0 +1,63 @@
+// Fixed-capacity append-only string table for crash-safe interning.
+//
+// The flight recorder stores a 32-bit string id per event instead of
+// characters; the id must be resolvable by a crash-time dumper that can
+// only call write(2). That rules out std::unordered_map traversal at dump
+// time, so the table keeps everything the dumper needs in three flat,
+// preallocated arrays — character arena, offsets, lengths — published with
+// a single release store of the count. Interning takes a mutex and may
+// allocate (map bookkeeping); it is meant for startup/registration-time
+// strings (tenant names, static labels), never for per-record hot-path
+// data. Lookups and raw-array reads are lock-free and async-signal-safe.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/interner.hpp"
+
+namespace intellog::common {
+
+class FixedStringTable {
+ public:
+  /// Ids are 1-based; 0 means "no string" and is returned when the table
+  /// is full (callers degrade to an id-less event rather than blocking).
+  static constexpr std::uint32_t kNone = 0;
+
+  FixedStringTable(std::size_t arena_bytes, std::size_t max_strings);
+
+  /// Returns the id of `s`, appending it if new. Duplicate-safe.
+  /// Returns kNone when the arena or slot budget is exhausted.
+  std::uint32_t intern(std::string_view s);
+
+  /// Text for a valid id (1..size()); empty view for kNone/out-of-range.
+  std::string_view text(std::uint32_t id) const;
+
+  std::uint32_t size() const { return count_.load(std::memory_order_acquire); }
+
+  // Raw views for the signal-safe dumper: plain preallocated memory,
+  // consistent for every id < size() at the moment size() was read.
+  const char* arena_data() const { return arena_.get(); }
+  std::size_t arena_used() const { return used_.load(std::memory_order_acquire); }
+  const std::uint32_t* offsets() const { return off_.get(); }
+  const std::uint32_t* lengths() const { return len_.get(); }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::string, std::uint32_t, StringHash, std::equal_to<>> map_;
+  std::unique_ptr<char[]> arena_;
+  std::unique_ptr<std::uint32_t[]> off_;
+  std::unique_ptr<std::uint32_t[]> len_;
+  std::atomic<std::uint32_t> count_{0};
+  std::atomic<std::size_t> used_{0};
+  std::size_t cap_bytes_;
+  std::size_t cap_strings_;
+};
+
+}  // namespace intellog::common

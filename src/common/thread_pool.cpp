@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
 
 namespace intellog::common {
 
@@ -159,7 +160,18 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   for (std::size_t i = 0; i < n; ++i) {
     futures.push_back(submit([&fn, i] { fn(i); }));
   }
-  for (auto& f : futures) f.get();  // .get() rethrows worker exceptions
+  // Every task captures `fn` by reference, so this frame must not unwind
+  // while any of them is still pending — drain all futures, then rethrow
+  // the first worker exception.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace intellog::common

@@ -7,6 +7,7 @@
 
 #include "common/thread_pool.hpp"
 #include "core/detect_scratch.hpp"
+#include "obs/flight/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile/profile.hpp"
 #include "obs/trace.hpp"
@@ -337,6 +338,7 @@ std::vector<AnomalyReport> IntelLog::detect_batch(std::span<const logparse::Sess
     DetectScratch scratch;
     const std::size_t begin = sessions.size() * shard / shards;
     const std::size_t end = sessions.size() * (shard + 1) / shards;
+    FLIGHT_EVENT(kDetectShardBegin, shard, end - begin);
     obs::ScopedTimerMs shard_timer(
         reg ? &reg->histogram("intellog_detect_batch_shard_ms",
                               {{"shard", std::to_string(shard)}})
@@ -347,6 +349,7 @@ std::vector<AnomalyReport> IntelLog::detect_batch(std::span<const logparse::Sess
           .add(end - begin);
     }
     for (std::size_t i = begin; i < end; ++i) reports[i] = detect(sessions[i], scratch);
+    FLIGHT_EVENT(kDetectShardEnd, shard, end - begin);
   };
   if (shards == 1) {
     run_shard(0);

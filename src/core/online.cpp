@@ -10,6 +10,7 @@
 
 #include "common/checksum.hpp"
 #include "common/strings.hpp"
+#include "obs/flight/flight.hpp"
 #include "obs/profile/profile.hpp"
 #include "obs/trace.hpp"
 
@@ -81,6 +82,8 @@ void OnlineDetector::enforce_caps() {
     // in degraded mode rather than letting the buffer grow without bound.
     const auto it = open_.find(lru_.begin()->second);
     logparse::Session victim = detach(it);
+    FLIGHT_EVENT(kOnlineEvict,
+                 std::hash<std::string>{}(victim.container_id), open_.size());
     AnomalyReport report = model_.detect(victim);
     report.degraded_reason = "lru";
     evicted_.push_back(std::move(report));
@@ -268,6 +271,7 @@ std::size_t OnlineDetector::buffered_records(const std::string& container_id) co
 // --- checkpoint / restore ----------------------------------------------------
 
 common::Json OnlineDetector::checkpoint() const {
+  FLIGHT_EVENT(kOnlineCheckpoint, open_.size(), seq_);
   common::Json doc = common::Json::object();
   doc["kind"] = "intellog_online_checkpoint";
   doc["format_version"] = kCheckpointVersion;

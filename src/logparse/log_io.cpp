@@ -8,6 +8,7 @@
 
 #include "logparse/mmap_file.hpp"
 #include "logparse/scanner.hpp"
+#include "obs/flight/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile/profile.hpp"
 
@@ -159,6 +160,7 @@ SessionIngest read_session_file_resilient(const std::string& path, std::string_v
       out.quarantined.push_back(std::move(q));
       break;  // one forensic sample per skipped file is enough
     }
+    FLIGHT_EVENT(kIngestQuarantine, out.stats.quarantined, out.stats.lines_total);
     return out;
   }
   auto storage = std::make_shared<SessionStorage>();
@@ -166,6 +168,10 @@ SessionIngest read_session_file_resilient(const std::string& path, std::string_v
   SessionIngest ingest = parse_session_resilient(*fmt, out.session.container_id, lines, system,
                                                  options, path, storage.get());
   ingest.session.storage = std::move(storage);
+  FLIGHT_EVENT(kIngestAdmit, ingest.session.records.size(), ingest.stats.lines_total);
+  if (ingest.stats.quarantined > 0) {
+    FLIGHT_EVENT(kIngestQuarantine, ingest.stats.quarantined, ingest.stats.lines_total);
+  }
   return ingest;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.hpp"
+#include "obs/flight/flight.hpp"
 #include "obs/profile/profile.hpp"
 #include "obs/trace.hpp"
 
@@ -148,6 +149,7 @@ int Spell::best_match(const std::vector<int>& token_ids, std::size_t num_tokens,
 
 void Spell::refine_key(LogKey& key, const std::vector<std::string>& tokens) {
   PROF_FRAME("spell.refine");
+  FLIGHT_EVENT(kSpellRefine, static_cast<std::uint64_t>(key.id), keys_.size());
   // Align the key's constant tokens with the message; keep common tokens,
   // collapse every divergent run (including pre-existing '*') to one '*'.
   const std::vector<std::string> consts = key.constants();

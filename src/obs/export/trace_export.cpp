@@ -299,4 +299,81 @@ common::Json hwgraph_otlp_json(const core::IntelLog& model,
   return doc;
 }
 
+common::Json flight_chrome_trace(const flight::FlightDump& dump) {
+  // t=0 is the oldest surviving event; events are already time-sorted.
+  std::uint64_t t0 = UINT64_MAX;
+  for (const flight::DecodedEvent& e : dump.events) t0 = std::min(t0, e.steady_ns);
+  if (t0 == UINT64_MAX) t0 = 0;
+  const auto us = [t0](std::uint64_t ns) { return (ns - t0) / 1000; };
+
+  constexpr int kPid = 1;
+  common::Json events = common::Json::array();
+
+  // One thread track per ring slot, named by the OS thread id so the trace
+  // lines up with gdb/perf output from the same process.
+  std::vector<std::uint32_t> seen_slots;
+  for (const flight::DecodedEvent& e : dump.events) {
+    if (std::find(seen_slots.begin(), seen_slots.end(), e.slot) == seen_slots.end()) {
+      seen_slots.push_back(e.slot);
+      events.push_back(meta_event(kPid, static_cast<int>(e.slot) + 1, "thread_name",
+                                  "ring " + std::to_string(e.slot) + " (tid " +
+                                      std::to_string(e.os_tid) + ")"));
+    }
+  }
+
+  const auto duration_event = [](const char* ph, int tid, const std::string& name,
+                                 const char* category, std::uint64_t ts_us) {
+    common::Json d = common::Json::object();
+    d["ph"] = ph;
+    d["pid"] = kPid;
+    d["tid"] = tid;
+    d["name"] = name;
+    d["cat"] = category;
+    d["ts"] = static_cast<std::int64_t>(ts_us);
+    return d;
+  };
+
+  for (const flight::DecodedEvent& e : dump.events) {
+    const flight::FlightEventInfo& info = flight::event_info(e.id);
+    const int tid = static_cast<int>(e.slot) + 1;
+    const std::uint64_t ts = us(e.steady_ns);
+
+    if (e.id == flight::FlightEventId::kDetectShardBegin ||
+        e.id == flight::FlightEventId::kDetectShardEnd) {
+      // Paired duration events: Perfetto matches B/E by (pid, tid, name),
+      // and shard begin/end always land on the same worker thread.
+      const char* ph = e.id == flight::FlightEventId::kDetectShardBegin ? "B" : "E";
+      common::Json d =
+          duration_event(ph, tid, "detect shard " + std::to_string(e.a), info.subsystem, ts);
+      if (e.id == flight::FlightEventId::kDetectShardBegin) {
+        common::Json args = common::Json::object();
+        args[info.arg_b] = static_cast<std::size_t>(e.b);
+        d["args"] = std::move(args);
+      }
+      events.push_back(std::move(d));
+      continue;
+    }
+
+    common::Json i = common::Json::object();
+    i["ph"] = "i";
+    i["pid"] = kPid;
+    i["tid"] = tid;
+    i["name"] = info.name;
+    i["cat"] = info.subsystem;
+    i["s"] = "t";  // thread-scoped instant
+    i["ts"] = static_cast<std::int64_t>(ts);
+    common::Json args = common::Json::object();
+    args[info.arg_a] = static_cast<std::size_t>(e.a);
+    args[info.arg_b] = static_cast<std::size_t>(e.b);
+    if (!e.str.empty()) args["str"] = e.str;
+    i["args"] = std::move(args);
+    events.push_back(std::move(i));
+  }
+
+  common::Json doc = common::Json::object();
+  doc["traceEvents"] = std::move(events);
+  doc["displayTimeUnit"] = "ms";
+  return doc;
+}
+
 }  // namespace intellog::obs

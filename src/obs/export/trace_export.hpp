@@ -22,6 +22,7 @@
 #include "common/json.hpp"
 #include "core/intellog.hpp"
 #include "logparse/session.hpp"
+#include "obs/flight/flight.hpp"
 
 namespace intellog::obs {
 
@@ -39,5 +40,13 @@ common::Json hwgraph_chrome_trace(const core::IntelLog& model,
 /// same sessions yields byte-identical documents.
 common::Json hwgraph_otlp_json(const core::IntelLog& model,
                                std::span<const logparse::Session> sessions);
+
+/// Chrome trace-event document for a decoded flight-recorder dump
+/// (`intellog flight decode --trace`). One process, one thread track per
+/// ring slot (named by OS tid); detect.shard_begin/end become paired B/E
+/// spans, every other event is a thread-scoped instant carrying its
+/// annotated args. Timestamps are the records' steady-clock values rebased
+/// so the oldest surviving event is t=0.
+common::Json flight_chrome_trace(const flight::FlightDump& dump);
 
 }  // namespace intellog::obs

@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/flight/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile/profile.hpp"
 
@@ -53,12 +54,18 @@ HttpResponse profilez(const HttpRequest& req) {
     if (seconds < 1) seconds = 1;
     if (seconds > 30) seconds = 30;
   }
+  // Losing a concurrent-capture race is a machine-visible condition:
+  // answer 409 with a JSON body so pollers can branch on it, not a prose
+  // string they would have to grep.
+  const auto conflict = [](std::string why) {
+    common::Json doc = common::Json::object();
+    doc["error"] = "conflict";
+    doc["detail"] = std::move(why);
+    return json_response(doc, 409);
+  };
   std::unique_lock lock(g_profilez_mu, std::try_to_lock);
   if (!lock.owns_lock() || profiler() != nullptr) {
-    HttpResponse r;
-    r.status = 409;
-    r.body = "a profiling session is already active\n";
-    return r;
+    return conflict("a profiling session is already active");
   }
   std::string collapsed;
   try {
@@ -68,10 +75,7 @@ HttpResponse profilez(const HttpRequest& req) {
     collapsed = session->collapsed();
     retained_sessions().push_back(std::move(session));
   } catch (const std::exception& e) {
-    HttpResponse r;
-    r.status = 409;
-    r.body = std::string("profiler unavailable: ") + e.what() + "\n";
-    return r;
+    return conflict(std::string("profiler unavailable: ") + e.what());
   }
   HttpResponse r;
   r.body = std::move(collapsed);
@@ -146,6 +150,18 @@ void mount_admin_plane(HttpServer& server, const StatusBoard& board) {
   });
 
   server.handle("/profilez", profilez);
+
+  // Live flight-recorder snapshot: the same merged-event JSON shape the
+  // blackbox decoder emits, read straight off the in-memory rings.
+  server.handle("/flightz", [](const HttpRequest& req) {
+    std::size_t max_events = 512;
+    const auto params = parse_query(req.query);
+    if (auto it = params.find("max"); it != params.end()) {
+      const long n = std::atol(it->second.c_str());
+      if (n > 0) max_events = static_cast<std::size_t>(n);
+    }
+    return json_response(flight::flight_snapshot_json(max_events));
+  });
 }
 
 }  // namespace intellog::obs::http

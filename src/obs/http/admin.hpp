@@ -1,4 +1,4 @@
-// The live admin plane: the seven telemetry endpoints mounted on an
+// The live admin plane: the eight telemetry endpoints mounted on an
 // HttpServer, backed by a StatusBoard the owning daemon publishes into.
 //
 // Split of responsibilities: the daemon (or streaming detect) keeps doing
@@ -18,6 +18,7 @@
 //   /healthz       liveness: 200 "ok" whenever the server answers at all
 //   /readyz        readiness: 200/503 + JSON {"ready", "reasons"}
 //   /profilez      on-demand collapsed-stack capture (?seconds=N, 1..30)
+//   /flightz       live flight-recorder ring snapshot (?max=N events)
 #pragma once
 
 #include <memory>

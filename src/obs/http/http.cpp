@@ -1,6 +1,7 @@
 #include "obs/http/http.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -15,6 +16,7 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "obs/flight/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace intellog::obs::http {
@@ -78,6 +80,7 @@ HttpResponse error_response(int status, std::string message) {
 }
 
 void count_request(int status) {
+  FLIGHT_EVENT(kHttpRequest, static_cast<std::uint64_t>(status), 0);
   if (MetricsRegistry* reg = registry()) {
     reg->counter("intellog_http_requests_total", {{"code", std::to_string(status)}})
         .add(1);
@@ -186,17 +189,32 @@ std::map<std::string, std::string> parse_query(const std::string& query) {
 }
 
 std::pair<std::string, std::uint16_t> split_host_port(const std::string& spec) {
-  const std::size_t colon = spec.rfind(':');
-  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
-    throw std::runtime_error("expected HOST:PORT, got '" + spec + "'");
+  std::string host;
+  std::string port_str;
+  if (!spec.empty() && spec.front() == '[') {
+    // RFC 3986 bracket form: the colons inside the brackets belong to the
+    // IPv6 literal, the port follows "]:".
+    const std::size_t close = spec.find(']');
+    if (close == std::string::npos || close < 2 || close + 2 >= spec.size() ||
+        spec[close + 1] != ':') {
+      throw std::runtime_error("expected [HOST]:PORT, got '" + spec + "'");
+    }
+    host = spec.substr(1, close - 1);
+    port_str = spec.substr(close + 2);
+  } else {
+    const std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+      throw std::runtime_error("expected HOST:PORT, got '" + spec + "'");
+    }
+    host = spec.substr(0, colon);
+    port_str = spec.substr(colon + 1);
   }
-  const std::string port_str = spec.substr(colon + 1);
   char* end = nullptr;
   const unsigned long port = std::strtoul(port_str.c_str(), &end, 10);
   if (*end != '\0' || port > 65535) {
     throw std::runtime_error("invalid port in '" + spec + "'");
   }
-  return {spec.substr(0, colon), static_cast<std::uint16_t>(port)};
+  return {std::move(host), static_cast<std::uint16_t>(port)};
 }
 
 HttpServer::HttpServer(Options opts) : opts_(std::move(opts)) {
@@ -361,17 +379,47 @@ void HttpServer::serve_connection(int fd) {
 
 std::optional<FetchResult> http_get(const std::string& host, std::uint16_t port,
                                     const std::string& target,
-                                    std::uint64_t timeout_ms) {
+                                    std::uint64_t timeout_ms,
+                                    std::size_t max_body_bytes) {
   sockaddr_in addr;
   if (!resolve_ipv4(host, port, addr)) return std::nullopt;
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return std::nullopt;
   const std::uint64_t deadline_ns = monotonic_ns() + timeout_ms * 1'000'000ull;
 
+  // Non-blocking connect under the same deadline: a host that is routable
+  // but not answering (dropped SYNs) must hit the caller's timeout, not
+  // the kernel's minutes-long connect(2) default.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    ::close(fd);
-    return std::nullopt;
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    while (true) {
+      const int wait = remaining_ms(deadline_ns);
+      if (wait <= 0) {
+        ::close(fd);
+        return std::nullopt;
+      }
+      pollfd pfd{fd, POLLOUT, 0};
+      const int pr = ::poll(&pfd, 1, wait);
+      if (pr < 0 && errno == EINTR) continue;
+      if (pr <= 0) {
+        ::close(fd);
+        return std::nullopt;
+      }
+      break;
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
   }
+  ::fcntl(fd, F_SETFL, flags);  // back to blocking; reads poll anyway
   const std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host +
                               "\r\nConnection: close\r\n\r\n";
   if (!send_all(fd, request)) {
@@ -403,6 +451,10 @@ std::optional<FetchResult> http_get(const std::string& host, std::uint16_t port,
     }
     if (n == 0) break;
     raw.append(buf, static_cast<std::size_t>(n));
+    if (raw.size() > max_body_bytes) {
+      ::close(fd);
+      return std::nullopt;
+    }
   }
   ::close(fd);
 

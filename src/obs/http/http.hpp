@@ -20,7 +20,7 @@
 //    drain path its SIGTERM handling already runs.
 //
 // Routing is exact-match on the decoded path (no patterns — the admin
-// plane has seven endpoints). Handlers run on worker threads and must be
+// plane has eight endpoints). Handlers run on worker threads and must be
 // thread-safe; everything they touch here (metrics registry snapshots,
 // published status boards) already is.
 #pragma once
@@ -57,7 +57,8 @@ struct HttpResponse {
 /// Parses "k1=v1&k2=v2" (no %-decoding — admin queries are ASCII).
 std::map<std::string, std::string> parse_query(const std::string& query);
 
-/// Splits "HOST:PORT"; throws std::runtime_error on a missing/invalid port.
+/// Splits "HOST:PORT" or "[V6HOST]:PORT" (brackets stripped); throws
+/// std::runtime_error on a missing/invalid port or unbalanced brackets.
 std::pair<std::string, std::uint16_t> split_host_port(const std::string& spec);
 
 struct HttpServerOptions {
@@ -125,10 +126,15 @@ struct FetchResult {
   std::string body;
 };
 
-/// Blocking GET with a total wall-clock deadline covering connect + IO.
-/// nullopt on any transport failure (refused, reset, timeout, bad host).
+/// Blocking GET with a total wall-clock deadline covering connect + IO
+/// (a non-responding host times out instead of parking the caller in
+/// connect(2)). nullopt on any transport failure (refused, reset,
+/// timeout, bad host) and on a response body larger than
+/// `max_body_bytes` — admin-plane answers are bounded, so an unbounded
+/// read would only ever buffer garbage.
 std::optional<FetchResult> http_get(const std::string& host, std::uint16_t port,
                                     const std::string& target,
-                                    std::uint64_t timeout_ms = 5000);
+                                    std::uint64_t timeout_ms = 5000,
+                                    std::size_t max_body_bytes = 8 * 1024 * 1024);
 
 }  // namespace intellog::obs::http

@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "obs/flight/flight.hpp"
+
 namespace intellog::obs {
 
 PoolMetricsBridge::PoolMetricsBridge(MetricsRegistry& registry)
@@ -31,12 +33,16 @@ PoolMetricsBridge::PoolMetricsBridge(MetricsRegistry& registry)
                     "Tasks still queued at shutdown that ran to completion during drain.");
 }
 
-void PoolMetricsBridge::on_enqueue(std::size_t) { depth_->add(1); }
+void PoolMetricsBridge::on_enqueue(std::size_t queue_depth) {
+  depth_->add(1);
+  FLIGHT_EVENT(kPoolEnqueue, queue_depth, 0);
+}
 
-void PoolMetricsBridge::on_dequeue(double delay_ms, std::size_t) {
+void PoolMetricsBridge::on_dequeue(double delay_ms, std::size_t queue_depth) {
   depth_->sub(1);
   delay_ms_->observe(delay_ms);
   tasks_->add(1);
+  FLIGHT_EVENT(kPoolDequeue, queue_depth, static_cast<std::uint64_t>(delay_ms * 1000.0));
 }
 
 void PoolMetricsBridge::on_retire(std::uint64_t busy_us, std::uint64_t idle_us,
@@ -45,6 +51,7 @@ void PoolMetricsBridge::on_retire(std::uint64_t busy_us, std::uint64_t idle_us,
   busy_us_->add(busy_us);
   idle_us_->add(idle_us);
   pools_retired_->add(1);
+  FLIGHT_EVENT(kPoolRetire, busy_us, idle_us);
 }
 
 void PoolMetricsBridge::on_shutdown(std::uint64_t drained, std::uint64_t cancelled) {

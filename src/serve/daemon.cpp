@@ -13,6 +13,7 @@
 #include "common/thread_pool.hpp"
 #include "core/model_io.hpp"
 #include "obs/export/status.hpp"
+#include "obs/flight/flight.hpp"
 #include "obs/http/admin.hpp"
 #include "obs/http/http.hpp"
 #include "obs/metrics.hpp"
@@ -134,6 +135,14 @@ void ServeDaemon::restore_or_reset(TenantState& ts) {
 ServeDaemon::ServeDaemon(ServeOptions options) : options_(std::move(options)) {
   if (!fs::is_directory(options_.root)) {
     throw std::runtime_error("serve: root is not a directory: " + options_.root);
+  }
+  // Before tenant discovery: shard constructors intern their tenant names
+  // into the recorder's string table, which requires it to be live first.
+  if (!options_.blackbox.empty()) {
+    obs::flight::flight_enable();
+    if (!obs::flight::flight_set_dump_path(options_.blackbox)) {
+      throw std::runtime_error("serve: cannot open blackbox file: " + options_.blackbox);
+    }
   }
   alerts_ = std::make_unique<AlertsImpl>(
       options_.alert_rules_path.empty()
@@ -364,7 +373,13 @@ void ServeDaemon::flush_status(std::uint64_t now_ms) {
 }
 
 ServeSummary ServeDaemon::run() {
-  if (options_.handle_signals) install_stop_signals();
+  if (options_.handle_signals) {
+    install_stop_signals();
+    // Fatal-signal forensics ride the same opt-in: freeze + dump the
+    // flight rings to the pre-opened blackbox fd, then die with the
+    // original signal.
+    install_crash_signals();
+  }
   common::ThreadPool pool(std::max<std::size_t>(1, options_.jobs));
   obs::MetricsRegistry* reg = obs::registry();
   bool drain = false;
@@ -417,6 +432,10 @@ ServeSummary ServeDaemon::run() {
         // replacement from the last checkpoint. Work since that checkpoint
         // is replayed from the spool cursor — same math as kill-and-resume.
         all_idle = false;
+        // Snapshot the blackbox once the replacement is in place: a wedge
+        // is exactly the situation the rings were recording for, and it
+        // must not require a crash to become readable.
+        obs::flight::ScopedFlightDump wedge_dump(obs::flight::DumpReason::kWatchdog);
         auto orphan = std::make_unique<Orphan>();
         orphan->fut = std::move(f.fut);
         orphan->shard = std::move(f.ts->shard);
@@ -426,6 +445,8 @@ ServeSummary ServeDaemon::run() {
         f.ts->shard = std::make_unique<TenantShard>(f.ts->name, f.ts->dir, *f.ts->model,
                                                     options_.shard, f.ts->epoch);
         restore_or_reset(*f.ts);
+        FLIGHT_EVENT_STR(kWatchdogRestart, f.ts->epoch, tick_no,
+                         obs::flight::flight_intern(f.ts->name));
         if (reg) {
           reg->counter("intellog_serve_shard_restarts_total", tenant_labels(f.ts->name))
               .add(1);
@@ -477,6 +498,7 @@ ServeSummary ServeDaemon::run() {
     if (sig != 0 || (options_.max_ticks != 0 && tick_no >= options_.max_ticks) ||
         (options_.drain_on_empty && all_idle)) {
       summary_.stop_signal = sig;
+      FLIGHT_EVENT(kDrainBegin, static_cast<std::uint64_t>(sig), tick_no);
       drain = true;
       break;
     }
@@ -488,9 +510,13 @@ ServeSummary ServeDaemon::run() {
   if (drain) {
     // Graceful drain: close every open session (reports go to the same
     // ledger), persist final checkpoints, publish a last status/metrics
-    // snapshot, and drain the pool deterministically.
+    // snapshot, and drain the pool deterministically. The blackbox gets a
+    // farewell snapshot when this scope closes.
+    obs::flight::ScopedFlightDump drain_dump(obs::flight::DumpReason::kGracefulDrain);
+    std::uint64_t drained_sessions = 0;
     for (auto& ts : tenants_) {
       for (const auto& rep : ts->shard->close_all()) {
+        ++drained_sessions;
         if (rep.anomalous()) {
           append_jsonl((fs::path(ts->dir) / ".reports.jsonl").string(), rep.to_json());
         }
@@ -513,6 +539,7 @@ ServeSummary ServeDaemon::run() {
     flush_status(obs::monotonic_ns() / 1'000'000);
     flush_metrics();
     pool.shutdown(common::ThreadPool::DrainMode::Drain);
+    FLIGHT_EVENT(kDrainEnd, summary_.ticks, drained_sessions);
   }
   // On the kill path the pool destructor joins the workers; orphaned tasks
   // finish against shards that stay alive in the graveyard until then.

@@ -51,6 +51,12 @@ struct ServeOptions {
   std::string metrics_path;      ///< empty: no metrics snapshots
   std::string alert_rules_path;  ///< empty: AlertEngine::serve_rules()
 
+  /// Flight-recorder blackbox file: enables the always-on event journal,
+  /// rotates a prior dump to "<path>.1", and pre-opens the fd the crash
+  /// handler dumps to on SIGSEGV/SIGBUS/SIGABRT/SIGFPE (and the graceful
+  /// drain / watchdog paths snapshot to). Empty: recorder stays as-is.
+  std::string blackbox;
+
   /// "HOST:PORT": mount the live admin plane (/metrics, /status.json,
   /// /healthz, /readyz, /tenants, /alerts, /profilez) on an embedded HTTP
   /// server. Port 0 binds an ephemeral port (resolved address goes to

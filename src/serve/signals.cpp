@@ -2,6 +2,8 @@
 
 #include <csignal>
 
+#include "obs/flight/flight.hpp"
+
 namespace intellog::serve {
 
 namespace {
@@ -26,5 +28,7 @@ int stop_signal() { return static_cast<int>(g_stop_signal); }
 void clear_stop_signal() { g_stop_signal = 0; }
 
 void request_stop(int sig) { on_stop(sig); }
+
+void install_crash_signals() { obs::flight::install_crash_handlers(); }
 
 }  // namespace intellog::serve

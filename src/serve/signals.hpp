@@ -25,4 +25,11 @@ void clear_stop_signal();
 /// e.g. the soak harness asking a daemon to stop without raise()).
 void request_stop(int sig);
 
+/// Installs the flight recorder's fatal-signal handlers (SIGSEGV/SIGBUS/
+/// SIGABRT/SIGFPE): journal the signal, freeze the rings, dump to the
+/// pre-opened blackbox fd, re-raise. Thin wrapper over
+/// obs::flight::install_crash_handlers so serve owns all of its signal
+/// dispositions in one place.
+void install_crash_signals();
+
 }  // namespace intellog::serve

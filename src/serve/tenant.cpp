@@ -10,6 +10,7 @@
 
 #include "common/checksum.hpp"
 #include "logparse/log_io.hpp"
+#include "obs/flight/flight.hpp"
 
 namespace intellog::serve {
 
@@ -94,7 +95,10 @@ TenantShard::TenantShard(std::string tenant, std::string spool_dir,
       options_(std::move(options)),
       epoch_(epoch),
       online_(std::make_unique<core::OnlineDetector>(model, options_.detect_jobs,
-                                                     options_.limits)) {}
+                                                     options_.limits)),
+      // Interned once here (construction is registration time), so every
+      // tick/shed/breaker event can name the tenant without allocating.
+      flight_str_(obs::flight::flight_intern(tenant_)) {}
 
 std::vector<TenantShard::PendingFile> TenantShard::scan_spool() const {
   std::vector<PendingFile> out;
@@ -204,10 +208,15 @@ void TenantShard::consume_file(const PendingFile& file, std::size_t& record_budg
 TickResult TenantShard::tick() {
   TickResult out;
   out.epoch = epoch_;
+  FLIGHT_EVENT_STR(kTenantTick, ticks_++, epoch_, flight_str_);
 
   if (breaker_state_ == BreakerState::Open) {
     if (breaker_open_left_ > 0) --breaker_open_left_;
-    if (breaker_open_left_ == 0) breaker_state_ = BreakerState::HalfOpen;
+    if (breaker_open_left_ == 0) {
+      breaker_state_ = BreakerState::HalfOpen;
+      FLIGHT_EVENT_STR(kBreakerTransition, static_cast<std::uint64_t>(BreakerState::HalfOpen),
+                       static_cast<std::uint64_t>(BreakerState::Open), flight_str_);
+    }
     const auto pending = scan_spool();
     out.pending_files = pending.size();
     for (const auto& f : pending) out.pending_bytes += f.bytes;
@@ -225,6 +234,7 @@ TickResult TenantShard::tick() {
     accounting_.bytes_shed += f.bytes;
     done_.insert(f.name);
     cursors_.erase(f.name);
+    FLIGHT_EVENT_STR(kTenantShed, out.files_shed, f.bytes, flight_str_);
   };
   std::vector<PendingFile> admissible;
   std::uint64_t backlog_bytes = 0;
@@ -271,11 +281,15 @@ TickResult TenantShard::tick() {
                              static_cast<double>(out.lines_seen);
   const bool tripped = storm || parse_bomb;
   if (tripped) {
+    FLIGHT_EVENT_STR(kBreakerTransition, static_cast<std::uint64_t>(BreakerState::Open),
+                     static_cast<std::uint64_t>(breaker_state_), flight_str_);
     breaker_state_ = BreakerState::Open;
     breaker_open_left_ = options_.breaker.open_ticks;
     ++accounting_.breaker_trips;
     out.breaker_tripped = true;
   } else if (breaker_state_ == BreakerState::HalfOpen) {
+    FLIGHT_EVENT_STR(kBreakerTransition, static_cast<std::uint64_t>(BreakerState::Closed),
+                     static_cast<std::uint64_t>(BreakerState::HalfOpen), flight_str_);
     breaker_state_ = BreakerState::Closed;  // clean probe (or empty spool)
   }
 

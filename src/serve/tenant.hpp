@@ -185,6 +185,9 @@ class TenantShard {
 
   BreakerState breaker_state_ = BreakerState::Closed;
   std::uint64_t breaker_open_left_ = 0;  ///< ticks until half-open
+
+  std::uint32_t flight_str_ = 0;  ///< interned tenant name (0: recorder off)
+  std::uint64_t ticks_ = 0;       ///< ticks run by this shard instance
 };
 
 }  // namespace intellog::serve

@@ -79,7 +79,15 @@ struct ShutdownRig {
     ThreadPool pool(1);
     std::promise<void> gate;
     std::shared_future<void> opened = gate.get_future().share();
-    pool.submit([opened] { opened.wait(); });
+    std::atomic<bool> gate_held{false};
+    pool.submit([opened, &gate_held] {
+      gate_held.store(true);
+      opened.wait();
+    });
+    // The gate task must be *running* (dequeued) before anything else is
+    // queued; otherwise shutdown() can swap it out with the rest of the
+    // queue and the drain/cancel counts would include it.
+    while (!gate_held.load()) std::this_thread::yield();
     std::vector<std::future<int>> futures;
     for (int i = 0; i < n; ++i) {
       futures.push_back(pool.submit([this] { return ++done; }));

@@ -12,7 +12,9 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -383,4 +385,140 @@ TEST(AdminPlane, ConcurrentScrapesDuringDetectStayWellFormed) {
   EXPECT_TRUE(failure.empty()) << failure;
   EXPECT_GE(scrapes.load(), 200);
   EXPECT_GE(server.requests_served(), static_cast<std::uint64_t>(scrapes.load()));
+}
+
+TEST(SplitHostPort, ParsesBracketedIpv6) {
+  const auto [host, port] = split_host_port("[::1]:8080");
+  EXPECT_EQ(host, "::1");
+  EXPECT_EQ(port, 8080);
+  const auto [host2, port2] = split_host_port("[fe80::1%eth0]:0");
+  EXPECT_EQ(host2, "fe80::1%eth0");
+  EXPECT_EQ(port2, 0);
+}
+
+TEST(SplitHostPort, RejectsMalformedBrackets) {
+  EXPECT_THROW(split_host_port("[::1]"), std::runtime_error);      // no port
+  EXPECT_THROW(split_host_port("[::1]:"), std::runtime_error);     // empty port
+  EXPECT_THROW(split_host_port("[]:80"), std::runtime_error);      // empty host
+  EXPECT_THROW(split_host_port("[::1"), std::runtime_error);       // unclosed
+  EXPECT_THROW(split_host_port("[::1]8080"), std::runtime_error);  // no colon
+  EXPECT_THROW(split_host_port("[::1]:http"), std::runtime_error);
+}
+
+TEST(HttpGet, ConnectionRefusedReturnsNullopt) {
+  // Bind an ephemeral port to learn a number nothing listens on, then
+  // close it before fetching.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+  ::close(fd);
+
+  EXPECT_FALSE(http_get("127.0.0.1", port, "/anything", /*timeout_ms=*/1000).has_value());
+}
+
+TEST(HttpGet, UnresponsiveServerTimesOutWithinTheDeadline) {
+  // A raw listening socket that accepts (kernel backlog) but never
+  // answers: the fetch must give up at the deadline instead of hanging.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(fd, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto got = http_get("127.0.0.1", ntohs(addr.sin_port), "/x", /*timeout_ms=*/300);
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(std::chrono::steady_clock::now() - t0);
+  EXPECT_FALSE(got.has_value());
+  EXPECT_LT(elapsed.count(), 5000) << "deadline must bound the wait";
+  ::close(fd);
+}
+
+TEST(HttpGet, TruncatedStatusLineReturnsNullopt) {
+  // A one-shot server that sends half a status line and hangs up.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(fd, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  std::thread server([fd] {
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) return;
+    char buf[1024];
+    (void)::recv(conn, buf, sizeof(buf), 0);  // drain the request
+    const char half[] = "HTTP/1.1 20";
+    (void)::send(conn, half, sizeof(half) - 1, 0);
+    ::close(conn);
+  });
+
+  EXPECT_FALSE(http_get("127.0.0.1", ntohs(addr.sin_port), "/x", /*timeout_ms=*/2000)
+                   .has_value());
+  server.join();
+  ::close(fd);
+}
+
+TEST(HttpGet, OversizedBodyReturnsNullopt) {
+  HttpServer server;
+  server.handle("/big", [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.body.assign(64 * 1024, 'x');
+    return resp;
+  });
+  server.start();
+
+  EXPECT_FALSE(http_get("127.0.0.1", server.port(), "/big", /*timeout_ms=*/5000,
+                        /*max_body_bytes=*/1024)
+                   .has_value());
+  // Same response under the default cap round-trips fine.
+  const auto ok = http_get("127.0.0.1", server.port(), "/big");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->body.size(), 64u * 1024u);
+  server.stop();
+}
+
+// Satellite contract: concurrent /profilez capture requests serialize on a
+// try-lock — the loser gets 409 Conflict with a JSON body immediately
+// instead of stacking a second sampling run (or blocking the worker).
+TEST(AdminPlane, ConcurrentProfilezLoserGets409WithJsonBody) {
+  StatusBoard board;
+  HttpServer server;
+  mount_admin_plane(server, board);
+  server.start();
+  const std::uint16_t port = server.port();
+
+  std::optional<FetchResult> winner;
+  std::thread holder([&] {
+    winner = http_get("127.0.0.1", port, "/profilez?seconds=2", /*timeout_ms=*/15000);
+  });
+  // Give the holder time to take the profiler lock, then contend.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const auto loser = http_get("127.0.0.1", port, "/profilez?seconds=1", /*timeout_ms=*/15000);
+  holder.join();
+  server.stop();
+
+  ASSERT_TRUE(winner.has_value());
+  EXPECT_EQ(winner->status, 200);
+  ASSERT_TRUE(loser.has_value());
+  EXPECT_EQ(loser->status, 409);
+  EXPECT_NE(loser->content_type.find("application/json"), std::string::npos);
+  const auto doc = common::Json::parse(loser->body);
+  EXPECT_EQ(doc["error"].as_string(), "conflict");
+  EXPECT_FALSE(doc["detail"].as_string().empty());
 }

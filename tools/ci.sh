@@ -13,6 +13,8 @@
 #   tools/ci.sh http       # live admin-plane smoke (Release + ASan/UBSan):
 #                          # endpoint validation, e2e-latency SLO series,
 #                          # breaker-driven /readyz flip and recovery
+#   tools/ci.sh flight     # black-box recorder crash drill: SIGSEGV a live
+#                          # daemon, decode + validate the post-mortem dump
 #   tools/ci.sh observatory # end-to-end trace-export/explain/status checks
 #   tools/ci.sh quality    # seeded score round-trip, coverage + drift gates
 #   tools/ci.sh profile    # sampling-profiler smoke (Release + ASan/UBSan)
@@ -64,6 +66,10 @@ run_config() {
 #                                       /metrics off the embedded HTTP server
 #   profiler_disabled_ratio in 0.90..1.10  noise floor: uninstalled PROF_FRAME
 #                                       annotations must cost ~nothing
+#   flight_overhead_ratio <= 1.05       detect_batch with the flight
+#                                       recorder journaling vs off
+#   flight_disabled_ratio in 0.90..1.10 noise floor: a disabled FLIGHT_EVENT
+#                                       must stay one relaxed load + branch
 #   ingest_mmap/ingest_getline >= 1.8   zero-copy mmap+SWAR file ingest vs
 #                                       the getline+owning-parse pipeline it
 #                                       replaced (measured ~2.3x; headroom
@@ -101,6 +107,8 @@ bench_smoke() {
     --extra-max coverage_overhead_ratio=1.08 \
     --extra-max profiler_overhead_ratio=1.10 \
     --extra-range profiler_disabled_ratio=0.90:1.10 \
+    --extra-max flight_overhead_ratio=1.05 \
+    --extra-range flight_disabled_ratio=0.90:1.10 \
     --extra-ratio-min ingest_mmap_lines_per_s/ingest_getline_lines_per_s=1.8 \
     --extra-max detect_allocs_per_record=10 \
     --extra-max scrape_overhead_ratio=1.05
@@ -339,6 +347,105 @@ serve_smoke() {
   rm -rf "$tmp"
 }
 
+# Flight smoke: the black-box recorder's crash drill. A Release daemon is
+# booted with --blackbox against two tenant spools and SIGSEGV'd while
+# detect work is flowing; it must die 128+11 leaving a decodable
+# blackbox.bin whose merged event log passes the strict flight validator
+# (>= 50 events spanning >= 3 subsystems, per-thread monotonic steady
+# timestamps, reason=signal signo=11). /flightz must answer with a live
+# ring snapshot before the kill, and the decode side (file parsing of a
+# crash-truncatable binary format) re-runs under ASan/UBSan when that
+# build exists — decode only, the dump is already on disk.
+flight_smoke() {
+  local dir="$repo/build-ci-release"
+  if [[ -x "$dir/tools/intellog" ]]; then
+    cmake --build "$dir" -j "$jobs" --target intellog --target loggen
+  else
+    run_config release -DCMAKE_BUILD_TYPE=Release
+  fi
+  echo "==> [flight] crash-time black-box drill (Release)"
+  local tmp pid addr rc i
+  tmp="$(mktemp -d)"
+  "$dir/tools/loggen" "$tmp/gen_a" --system spark --jobs 2 --seed 5 >/dev/null
+  "$dir/tools/loggen" "$tmp/gen_b" --system spark --jobs 2 --seed 6 >/dev/null
+  mkdir -p "$tmp/root/acme" "$tmp/root/globex" "$tmp/train"
+  cp "$tmp"/gen_a/job_*/*.log "$tmp/root/acme/"
+  cp "$tmp"/gen_b/job_*/*.log "$tmp/root/globex/"
+  cp "$tmp"/gen_a/job_*/*.log "$tmp"/gen_b/job_*/*.log "$tmp/train/"
+  "$dir/tools/intellog" train "$tmp/train" -o "$tmp/model.json" >/dev/null 2>&1
+
+  "$dir/tools/intellog" serve "$tmp/root" -m "$tmp/model.json" \
+      --listen 127.0.0.1:0 --poll-ms 20 --blackbox "$tmp/blackbox.bin" \
+      >/dev/null 2>"$tmp/serve.err" &
+  pid=$!
+  for i in $(seq 1 100); do
+    grep -q "listening on http://" "$tmp/serve.err" && break
+    kill -0 "$pid" 2>/dev/null || {
+      echo "flight smoke: FAIL — serve died before listening:" >&2
+      cat "$tmp/serve.err" >&2; exit 1; }
+    sleep 0.1
+  done
+  addr="$(sed -n 's#.*listening on http://\([0-9.:]*\).*#\1#p' "$tmp/serve.err" | head -1)"
+  [[ -n "$addr" ]] || {
+    echo "flight smoke: FAIL — no listen address in serve stderr" >&2; exit 1; }
+  rc=2
+  for i in $(seq 1 200); do
+    rc=0; "$dir/tools/intellog" healthcheck "$addr" >/dev/null 2>&1 || rc=$?
+    [[ $rc -eq 0 ]] && break
+    sleep 0.1
+  done
+  [[ $rc -eq 0 ]] || {
+    echo "flight smoke: FAIL — daemon never became ready (healthcheck $rc)" >&2
+    kill -9 "$pid" 2>/dev/null; exit 1; }
+
+  # Live ring snapshot while the daemon is healthy: /flightz must say the
+  # recorder is on and already hold journal events.
+  python3 - "$addr" <<'PY' || { kill -9 "$pid" 2>/dev/null; exit 1; }
+import json, sys, urllib.request
+doc = json.loads(urllib.request.urlopen(
+    f"http://{sys.argv[1]}/flightz", timeout=15).read().decode())
+if doc.get("enabled") is not True:
+    sys.exit("flight smoke: FAIL - /flightz says recorder is off")
+if not doc.get("events"):
+    sys.exit("flight smoke: FAIL - /flightz snapshot holds no events")
+PY
+
+  # Fresh spool drops keep detect work in flight, then the crash drill:
+  # SIGSEGV mid-run must exit 139 with the handler's dump on disk.
+  cp "$tmp"/gen_a/job_*/*.log "$tmp/root/globex/" 2>/dev/null || true
+  sleep 0.3
+  kill -SEGV "$pid"
+  rc=0; wait "$pid" || rc=$?
+  [[ $rc -eq $((128 + 11)) ]] || {
+    echo "flight smoke: FAIL — SIGSEGV exited $rc (want 139)" >&2; exit 1; }
+  [[ -s "$tmp/blackbox.bin" ]] || {
+    echo "flight smoke: FAIL — no blackbox.bin after the crash" >&2; exit 1; }
+
+  "$dir/tools/intellog" flight decode "$tmp/blackbox.bin" > "$tmp/flight.txt" || {
+    echo "flight smoke: FAIL — text decode failed" >&2; exit 1; }
+  "$dir/tools/intellog" flight decode "$tmp/blackbox.bin" --trace > "$tmp/flight.trace.json" || {
+    echo "flight smoke: FAIL — trace decode failed" >&2; exit 1; }
+  "$dir/tools/intellog" flight decode "$tmp/blackbox.bin" --json > "$tmp/flight.json" || {
+    echo "flight smoke: FAIL — json decode failed" >&2; exit 1; }
+  python3 "$repo/tools/validate_observatory.py" flight "$tmp/flight.json" signal 11 || {
+    echo "flight smoke: FAIL — flight validation" >&2; exit 1; }
+
+  # Decode-only repeat under sanitizers: the dump parser takes untrusted
+  # crash-time bytes, so it gets the ASan/UBSan pass too when available.
+  local adir="$repo/build-ci-asan"
+  if [[ -x "$adir/tools/intellog" ]]; then
+    cmake --build "$adir" -j "$jobs" --target intellog
+    "$adir/tools/intellog" flight decode "$tmp/blackbox.bin" --json > "$tmp/flight.asan.json" || {
+      echo "flight smoke: FAIL — ASan decode failed" >&2; exit 1; }
+    python3 "$repo/tools/validate_observatory.py" flight "$tmp/flight.asan.json" signal 11 || {
+      echo "flight smoke: FAIL — ASan flight validation" >&2; exit 1; }
+  else
+    echo "flight smoke: note — no ASan build tree, decode-only repeat skipped"
+  fi
+  rm -rf "$tmp"
+  echo "flight smoke: OK"
+}
+
 # HTTP smoke: the live telemetry plane end to end against a real daemon.
 # `intellog serve --listen 127.0.0.1:0` is started against two tenant
 # spools; once `healthcheck` reports ready, every admin endpoint must pass
@@ -489,6 +596,9 @@ case "$mode" in
   asan|http|all)
     http_smoke asan
     ;;&
+  release|flight|all)
+    flight_smoke
+    ;;&
   release|bench|all)
     bench_smoke
     ;;&
@@ -504,9 +614,9 @@ case "$mode" in
   asan|profile|all)
     profile_smoke asan
     ;;&
-  release|asan|bench|chaos|serve|http|observatory|quality|profile|all) ;;
+  release|asan|bench|chaos|serve|http|flight|observatory|quality|profile|all) ;;
   *)
-    echo "usage: $0 [release|asan|bench|chaos|serve|http|observatory|quality|profile|all]" >&2
+    echo "usage: $0 [release|asan|bench|chaos|serve|http|flight|observatory|quality|profile|all]" >&2
     exit 2
     ;;
 esac

@@ -94,18 +94,23 @@ int usage() {
                "      export HW-graph instances as span trees (Chrome trace / OTLP JSON)\n"
                "  intellog explain <report.json|logdir> -m <model.json> [--json]\n"
                "      expected-vs-observed explanation with raw-line provenance per finding\n"
-               "  intellog top <status.json> | top --connect <HOST:PORT>\n"
+               "  intellog top <status.json> | top --connect <HOST:PORT> [--timeout-ms N]\n"
                "      render a --status-file snapshot, or fetch /status.json from a\n"
-               "      --listen admin plane and render the same view\n"
-               "  intellog healthcheck <HOST:PORT>\n"
+               "      --listen admin plane and render the same view (exit 2 when the\n"
+               "      host does not answer within the deadline, default 2000ms)\n"
+               "  intellog healthcheck <HOST:PORT> [--timeout-ms N]\n"
                "      probe /readyz on a --listen admin plane; exit 0 ready, 1 degraded\n"
-               "      (503 + reasons), 2 unreachable\n"
+               "      (503 + reasons), 2 unreachable within the deadline (default 2000ms)\n"
+               "  intellog flight decode <blackbox.bin> [--json|--trace]\n"
+               "      decode a flight-recorder dump (--blackbox) into a merged\n"
+               "      time-ordered event log (default annotated text; --json machine\n"
+               "      form; --trace Chrome trace-event JSON for Perfetto)\n"
                "  intellog serve <root> -m <model.json> [--jobs N] [--status-file <f>]\n"
                "      [--metrics <f>] [--alert-rules <f>] [--listen <HOST:PORT>]\n"
                "      [--poll-ms N] [--max-ticks N]\n"
                "      [--drain-on-empty] [--checkpoint-ticks N] [--heartbeat-ms N]\n"
                "      [--records-per-tick N] [--backlog-files N] [--max-file-bytes N]\n"
-               "      [--breaker-open-ticks N]\n"
+               "      [--breaker-open-ticks N] [--blackbox <f>]\n"
                "      multi-tenant daemon: each subdirectory of <root> is a tenant spool\n"
                "      (drop <container>.log files in; <tenant>/model.json overrides -m).\n"
                "      Per-tenant quotas, circuit breakers, CRC32 checkpoints; SIGTERM\n"
@@ -140,7 +145,11 @@ int usage() {
                "      /healthz, /readyz, /profilez?seconds=N; port 0 binds ephemeral\n"
                "      (resolved address is logged to stderr)\n"
                "  --profile <out>: profile this command (same outputs as `intellog\n"
-               "      profile`); INTELLOG_PROF_PERIOD_US overrides the sample period\n";
+               "      profile`); INTELLOG_PROF_PERIOD_US overrides the sample period\n"
+               "  --blackbox <f>: (serve, streaming detect) always-on flight recorder;\n"
+               "      fatal signals, graceful drains and watchdog restarts dump the\n"
+               "      per-thread event rings to <f> (prior dump rotates to <f>.1) —\n"
+               "      read with `intellog flight decode <f>` or GET /flightz live\n";
   return 2;
 }
 
@@ -158,6 +167,8 @@ struct Args {
   std::string profile_path;             ///< profiler output prefix (empty: off)
   std::string listen;                   ///< serve/detect: HTTP admin plane HOST:PORT
   std::string connect;                  ///< top: fetch /status.json from HOST:PORT
+  std::string blackbox;                 ///< serve/detect: flight-recorder dump file
+  std::uint64_t timeout_ms = 2000;      ///< top --connect / healthcheck deadline
   double metrics_interval_s = 0;        ///< detect: periodic flush period (0: off)
   std::size_t checkpoint_every = 1000;  ///< records between checkpoints
   std::size_t jobs = 1;  ///< batch-detect workers; 0 = hardware concurrency
@@ -345,6 +356,10 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.connect = v;
+    } else if (a == "--blackbox") {
+      const char* v = next();
+      if (!v) return false;
+      args.blackbox = v;
     } else if (a == "--metrics-interval") {
       const char* v = next();
       if (!v) return false;
@@ -366,7 +381,8 @@ bool parse_args(int argc, char** argv, Args& args) {
     } else if (a == "--poll-ms" || a == "--max-ticks" || a == "--kill-after-ticks" ||
                a == "--checkpoint-ticks" || a == "--heartbeat-ms" ||
                a == "--records-per-tick" || a == "--backlog-files" ||
-               a == "--max-file-bytes" || a == "--breaker-open-ticks") {
+               a == "--max-file-bytes" || a == "--breaker-open-ticks" ||
+               a == "--timeout-ms") {
       const char* v = next();
       if (!v) return false;
       std::uint64_t n = 0;
@@ -383,6 +399,7 @@ bool parse_args(int argc, char** argv, Args& args) {
       else if (a == "--records-per-tick") args.records_per_tick = static_cast<std::size_t>(n);
       else if (a == "--backlog-files") args.backlog_files = static_cast<std::size_t>(n);
       else if (a == "--max-file-bytes") args.max_file_bytes = n;
+      else if (a == "--timeout-ms") args.timeout_ms = n;
       else args.breaker_open_ticks = n;
     } else if (a == "--drain-on-empty") {
       args.drain_on_empty = true;
@@ -461,6 +478,19 @@ int cmd_detect_stream(const Args& args) {
   ObsScope obs_scope(args,
                      /*force_metrics=*/!args.status_path.empty() ||
                          args.metrics_interval_s > 0 || !args.listen.empty());
+  // --blackbox: always-on flight recorder with a crash-time post-mortem
+  // dump. Enabled before any ingest/detect work so the journal covers the
+  // whole run; the scoped dump snapshots the rings on clean exit too.
+  std::unique_ptr<obs::flight::ScopedFlightDump> blackbox_dump;
+  if (!args.blackbox.empty()) {
+    obs::flight::flight_enable();
+    if (!obs::flight::flight_set_dump_path(args.blackbox)) {
+      throw std::runtime_error("cannot open blackbox file: " + args.blackbox);
+    }
+    serve::install_crash_signals();
+    blackbox_dump = std::make_unique<obs::flight::ScopedFlightDump>(
+        obs::flight::DumpReason::kGracefulDrain);
+  }
   const bool use_checkpoint = !args.checkpoint_path.empty();
   const core::IntelLog il = core::load_model_file(args.model_path);
   if (obs::MetricsRegistry* reg = obs::registry()) il.record_model_metrics(*reg);
@@ -1090,10 +1120,11 @@ int cmd_explain(const Args& args) {
 int cmd_top(const Args& args) {
   if (!args.connect.empty()) {
     const auto [host, port] = obs::http::split_host_port(args.connect);
-    const auto fetched = obs::http::http_get(host, port, "/status.json");
+    const auto fetched = obs::http::http_get(host, port, "/status.json", args.timeout_ms);
     if (!fetched) {
-      std::cerr << "error: cannot reach http://" << args.connect << "/status.json\n";
-      return 1;
+      std::cerr << "error: cannot reach http://" << args.connect << "/status.json within "
+                << args.timeout_ms << "ms\n";
+      return 2;
     }
     if (fetched->status != 200) {
       std::cerr << "error: /status.json returned " << fetched->status << "\n";
@@ -1120,9 +1151,10 @@ int cmd_top(const Args& args) {
 int cmd_healthcheck(const Args& args) {
   if (args.logdir.empty()) return usage();  // positional: HOST:PORT
   const auto [host, port] = obs::http::split_host_port(args.logdir);
-  const auto fetched = obs::http::http_get(host, port, "/readyz", /*timeout_ms=*/3000);
+  const auto fetched = obs::http::http_get(host, port, "/readyz", args.timeout_ms);
   if (!fetched) {
-    std::cerr << "unreachable: http://" << args.logdir << "/readyz\n";
+    std::cerr << "unreachable: http://" << args.logdir << "/readyz (timeout "
+              << args.timeout_ms << "ms)\n";
     return 2;
   }
   if (fetched->status == 200) {
@@ -1199,6 +1231,7 @@ int cmd_serve(const Args& args) {
   opt.metrics_path = args.metrics_path;
   opt.alert_rules_path = args.alert_rules_path;
   opt.listen = args.listen;
+  opt.blackbox = args.blackbox;
   opt.shard.quotas.max_records_per_tick = args.records_per_tick;
   opt.shard.quotas.max_backlog_files = args.backlog_files;
   opt.shard.quotas.max_file_bytes = args.max_file_bytes;
@@ -1228,6 +1261,34 @@ int cmd_serve(const Args& args) {
     std::cerr << "\n";
   }
   return summary.stop_signal != 0 ? 128 + summary.stop_signal : 0;
+}
+
+// `intellog flight decode <blackbox.bin> [--json|--trace]` — post-mortem
+// reader for the flight recorder's crash/drain dumps. Parsed outside the
+// shared Args machinery because its --trace is a flag (output goes to
+// stdout), not the path-valued --trace every other command takes.
+int cmd_flight(int argc, char** argv) {
+  if (argc < 3 || std::string(argv[2]) != "decode") return usage();
+  std::string path;
+  bool json = false, trace = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json") json = true;
+    else if (a == "--trace") trace = true;
+    else if (!a.empty() && a[0] != '-' && path.empty()) path = a;
+    else return usage();
+  }
+  if (path.empty() || (json && trace)) return usage();
+
+  const obs::flight::FlightDump dump = obs::flight::decode_flight_file(path);
+  if (json) {
+    std::cout << obs::flight::flight_dump_json(dump).dump(2) << "\n";
+  } else if (trace) {
+    std::cout << obs::flight_chrome_trace(dump).dump() << "\n";
+  } else {
+    std::cout << obs::flight::render_flight_text(dump);
+  }
+  return 0;
 }
 
 int run_command(const Args& args) {
@@ -1284,6 +1345,7 @@ int cmd_profile_wrapper(int argc, char** argv) {
 int main(int argc, char** argv) {
   try {
     if (argc >= 2 && std::string(argv[1]) == "profile") return cmd_profile_wrapper(argc, argv);
+    if (argc >= 2 && std::string(argv[1]) == "flight") return cmd_flight(argc, argv);
     Args args;
     if (!parse_args(argc, argv, args)) return usage();
     return run_command(args);

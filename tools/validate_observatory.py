@@ -41,6 +41,12 @@ family, well-formed samples, histogram +Inf bucket == _count), and
 /status.json must satisfy the serve-mode status schema. Any 5xx or
 unreachable endpoint is fatal.
 
+`flight <flight.json> [reason signo]` mode validates a decoded flight-
+recorder dump (`intellog flight decode --json` of the blackbox a crashed
+daemon left behind): schema, >= 50 events spanning >= 3 subsystems,
+per-thread (per ring slot, in listed order) monotonic steady timestamps,
+and — for the CI crash drill — reason "signal" with signo 11.
+
 "Strict" means: the whole file must be one JSON document (json.loads over
 the full text rejects trailing garbage), every entity-group track must
 carry at least one lifespan span, and every finding must prove itself with
@@ -622,6 +628,52 @@ def quality_main(argv):
           f"coverage {hit}/{total} components, drift 0")
 
 
+def flight_main(argv):
+    if len(argv) not in (2, 4):
+        fail("usage: validate_observatory.py flight <flight.json> [reason signo]")
+    path = argv[1]
+    doc = load_strict(path)
+    if doc.get("kind") != "intellog_flight":
+        fail(f"{path}: kind is {doc.get('kind')!r}, not intellog_flight")
+    for key in ("version", "reason", "signo", "threads", "dropped", "events",
+                "anchor_wall_ns", "anchor_steady_ns"):
+        if key not in doc:
+            fail(f"{path}: missing {key}")
+    if len(argv) == 4:
+        want_reason, want_signo = argv[2], int(argv[3])
+        if doc["reason"] != want_reason:
+            fail(f"{path}: reason {doc['reason']!r}, want {want_reason!r}")
+        if doc["signo"] != want_signo:
+            fail(f"{path}: signo {doc['signo']}, want {want_signo}")
+
+    events = doc["events"]
+    if not isinstance(events, list) or len(events) < 50:
+        fail(f"{path}: only {len(events) if isinstance(events, list) else '?'} "
+             "events (need >= 50 — the journal was not always-on)")
+    subsystems = set()
+    last_by_slot = {}
+    for i, e in enumerate(events):
+        for key in ("seq", "steady_ns", "wall_ns", "slot", "os_tid", "event",
+                    "subsystem"):
+            if key not in e:
+                fail(f"{path}: event {i} missing {key}")
+        subsystems.add(e["subsystem"])
+        # The merged log is globally time-sorted, so per-slot order in the
+        # listed sequence must also be monotonic in the steady clock — a
+        # violation means the decoder mis-merged or a ring tore.
+        slot = e["slot"]
+        if slot in last_by_slot and e["steady_ns"] < last_by_slot[slot]:
+            fail(f"{path}: event {i} (slot {slot}) steady_ns goes backwards")
+        last_by_slot[slot] = e["steady_ns"]
+    if len(subsystems) < 3:
+        fail(f"{path}: events span only {sorted(subsystems)} "
+             "(need >= 3 subsystems)")
+    print(f"validate_observatory: flight OK — {len(events)} events over "
+          f"{len(last_by_slot)} thread(s) and {len(subsystems)} subsystems "
+          f"({doc['reason']}, signo {doc['signo']}, "
+          f"dropped {doc['dropped']})")
+
+
 def main():
     if len(sys.argv) >= 2 and sys.argv[1] == "quality":
         quality_main(sys.argv[1:])
@@ -635,10 +687,14 @@ def main():
     if len(sys.argv) >= 2 and sys.argv[1] == "http":
         http_main(sys.argv[1:])
         return
+    if len(sys.argv) >= 2 and sys.argv[1] == "flight":
+        flight_main(sys.argv[1:])
+        return
     if len(sys.argv) != 3:
         fail("usage: validate_observatory.py <artifact-dir> <system> | "
              "quality <dir> <detected> <fp> <fn> | profile <prefix> | "
-             "serve <status.json> | http HOST:PORT")
+             "serve <status.json> | http HOST:PORT | "
+             "flight <flight.json> [reason signo]")
     d, system = sys.argv[1], sys.argv[2]
     tracks, subs = check_chrome_trace(f"{d}/trace.json")
     check_otlp(f"{d}/otlp.json")
